@@ -1,0 +1,52 @@
+//! E1 (wall-clock companion) — approximate agreement cost as Δ/ε and n
+//! grow. The step-count table comes from `experiments -- e1`; this bench
+//! tracks the wall-clock of complete round-robin executions of the state
+//! machine, whose growth must be ~log₂(Δ/ε) (Theorem 5) and ~n² per
+//! round (n processes × n reads per scan).
+
+use apram_agreement::machine::AgreementMachine;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_delta_over_eps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_delta_over_eps");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for k in [4u32, 8, 12, 16] {
+        let eps = 2f64.powi(-(k as i32));
+        group.bench_with_input(
+            BenchmarkId::new("n2_rr", format!("2^{k}")),
+            &eps,
+            |b, &eps| {
+                b.iter(|| {
+                    let mut m = AgreementMachine::new(eps, vec![0.0, 1.0]);
+                    m.run_all_round_robin(10_000_000)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_processes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_processes");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for n in [2usize, 4, 8, 16] {
+        let inputs: Vec<f64> = (0..n).map(|p| p as f64 / (n - 1) as f64).collect();
+        group.bench_with_input(BenchmarkId::new("eps_2e-8_rr", n), &inputs, |b, inputs| {
+            b.iter(|| {
+                let mut m = AgreementMachine::new(2f64.powi(-8), inputs.clone());
+                m.run_all_round_robin(10_000_000)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_delta_over_eps, bench_processes);
+criterion_main!(benches);

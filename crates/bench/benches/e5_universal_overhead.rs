@@ -1,0 +1,109 @@
+//! E5 (wall-clock companion) — the universal construction's local
+//! overhead: the cost of one `execute` as the visible history grows
+//! (replay + lingraph work, the paper's "quite a bit of overhead"), and
+//! the direct-counter comparison at the same history length.
+
+use apram_model::NativeMemory;
+use apram_objects::{DirectCounter, UniversalCounter};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_history_growth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_history_growth");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    for hist in [8usize, 32, 128, 256] {
+        group.bench_with_input(
+            BenchmarkId::new("universal_read_after_k_ops", hist),
+            &hist,
+            |b, &hist| {
+                // Pre-build a history of `hist` increments, then measure
+                // one *uncached* read: snapshot + full replay (the
+                // paper's acknowledged per-operation graph overhead).
+                let uni = apram_core::Universal::new(1, apram_core::CounterSpec);
+                let mem = NativeMemory::new(1, uni.registers());
+                let mut h = uni.handle();
+                let mut ctx = mem.ctx(0);
+                for _ in 0..hist {
+                    h.execute(&mut ctx, apram_core::CounterOp::Inc(1));
+                }
+                b.iter(|| {
+                    h.clear_replay_memo();
+                    h.execute_unpublished(&mut ctx, apram_core::CounterOp::Read)
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("universal_read_memoized", hist),
+            &hist,
+            |b, &hist| {
+                // Same, with the view-signature memo warm: repeated reads
+                // against an unchanged world cost O(n), independent of k.
+                let uni = apram_core::Universal::new(1, apram_core::CounterSpec);
+                let mem = NativeMemory::new(1, uni.registers());
+                let mut h = uni.handle();
+                let mut ctx = mem.ctx(0);
+                for _ in 0..hist {
+                    h.execute(&mut ctx, apram_core::CounterOp::Inc(1));
+                }
+                b.iter(|| h.execute_unpublished(&mut ctx, apram_core::CounterOp::Read));
+            },
+        );
+    }
+    for hist in [8usize, 32, 128, 256] {
+        group.bench_with_input(
+            BenchmarkId::new("direct_read_after_k_ops", hist),
+            &hist,
+            |b, &hist| {
+                let cnt = DirectCounter::new(1);
+                let mem = NativeMemory::new(1, cnt.registers());
+                let mut h = cnt.handle();
+                let mut ctx = mem.ctx(0);
+                for _ in 0..hist {
+                    h.inc(&mut ctx, 1);
+                }
+                b.iter(|| h.read(&mut ctx));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_process_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_process_count");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    // Single-threaded probe of the O(n²) register traffic: one read on
+    // an n-process object with a small fixed history (no contention, so
+    // the curve is the pure per-operation cost — it must grow ~n²).
+    for n in [2usize, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("universal_read", n), &n, |b, &n| {
+            let cnt = UniversalCounter::new(n);
+            let mem = NativeMemory::new(n, cnt.registers());
+            let mut h = cnt.handle();
+            let mut ctx = mem.ctx(0);
+            for _ in 0..4 {
+                h.inc(&mut ctx, 1);
+            }
+            b.iter(|| h.read_unpublished(&mut ctx));
+        });
+        group.bench_with_input(BenchmarkId::new("direct_read", n), &n, |b, &n| {
+            let cnt = DirectCounter::new(n);
+            let mem = NativeMemory::new(n, cnt.registers());
+            let mut h = cnt.handle();
+            let mut ctx = mem.ctx(0);
+            for _ in 0..4 {
+                h.inc(&mut ctx, 1);
+            }
+            b.iter(|| h.read(&mut ctx));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_history_growth, bench_process_count);
+criterion_main!(benches);

@@ -1,0 +1,261 @@
+//! E7 — native-thread wall-clock comparison.
+//!
+//! The paper makes no wall-clock claims (its model counts register
+//! accesses), so this bench records the *shape*: who wins and how the
+//! algorithms scale with thread count.
+//!
+//! * snapshot objects: Aspnes–Herlihy scan vs double-collect vs mutex;
+//! * counters: direct (lattice) vs universal (Figure 4) vs mutex.
+//!
+//! Workload: every thread alternates one update and one full snapshot
+//! (or inc and read for counters).
+
+use apram_model::NativeMemory;
+use apram_objects::{DirectCounter, UniversalCounter};
+use apram_snapshot::afek::AfekSnapshot;
+use apram_snapshot::collect::{CollectArray, DoubleCollect};
+use apram_snapshot::lock::LockSnapshot;
+use apram_snapshot::Snapshot;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+/// One timed scenario: `threads` threads, per-thread state from
+/// `setup(t)`, then `ops` iterations of `op`. Setup is excluded from the
+/// measurement by a barrier.
+fn timed_run<S, Setup, Op>(threads: usize, ops: usize, setup: Setup, op: Op) -> Duration
+where
+    S: Send,
+    Setup: Fn(usize) -> S + Sync,
+    Op: Fn(&mut S, usize) + Sync,
+{
+    let barrier = Barrier::new(threads + 1);
+    let start = std::thread::scope(|s| {
+        for t in 0..threads {
+            let barrier = &barrier;
+            let setup = &setup;
+            let op = &op;
+            s.spawn(move || {
+                let mut state = setup(t);
+                barrier.wait();
+                for k in 0..ops {
+                    op(&mut state, k);
+                }
+            });
+        }
+        barrier.wait();
+        Instant::now()
+    });
+    start.elapsed()
+}
+
+fn bench_snapshots(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_snapshot");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    const OPS: usize = 60;
+    for &threads in &[2usize, 4, 8] {
+        group.throughput(Throughput::Elements((threads * OPS * 2) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("aspnes_herlihy_scan", threads),
+            &threads,
+            |b, &threads| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let snap = Snapshot::new(threads);
+                        let mem = NativeMemory::new(threads, snap.registers::<u64>());
+                        total += timed_run(
+                            threads,
+                            OPS,
+                            |t| (snap.handle::<u64>(), mem.ctx(t)),
+                            |(h, ctx), k| {
+                                h.update(ctx, k as u64);
+                                let _ = h.snap(ctx);
+                            },
+                        );
+                    }
+                    total
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("afek_et_al", threads),
+            &threads,
+            |b, &threads| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let snap = AfekSnapshot::new(threads);
+                        let mem = NativeMemory::new(threads, snap.registers::<u64>());
+                        total += timed_run(
+                            threads,
+                            OPS,
+                            |t| mem.ctx(t),
+                            |ctx, k| {
+                                snap.update(ctx, k as u64);
+                                let _ = snap.snap(ctx);
+                            },
+                        );
+                    }
+                    total
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("double_collect", threads),
+            &threads,
+            |b, &threads| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let arr = CollectArray::new(threads);
+                        let mem = NativeMemory::new(threads, arr.registers::<u64>());
+                        total += timed_run(
+                            threads,
+                            OPS,
+                            |t| (DoubleCollect::new(arr), mem.ctx(t)),
+                            |(h, ctx), k| {
+                                h.update(ctx, k as u64);
+                                let _ = h.snap(ctx);
+                            },
+                        );
+                    }
+                    total
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("mutex", threads),
+            &threads,
+            |b, &threads| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let obj: LockSnapshot<u64> = LockSnapshot::new(threads);
+                        total += timed_run(
+                            threads,
+                            OPS,
+                            |t| (obj.clone(), t),
+                            |(obj, t), k| {
+                                obj.update(*t, k as u64);
+                                let _ = obj.snap();
+                            },
+                        );
+                    }
+                    total
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_counters(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_counter");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    // Small op count: the universal counter's replay work grows with the
+    // total history (the paper's acknowledged overhead).
+    const OPS: usize = 15;
+    for &threads in &[2usize, 4] {
+        group.throughput(Throughput::Elements((threads * OPS * 2) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("direct_lattice", threads),
+            &threads,
+            |b, &threads| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let cnt = DirectCounter::new(threads);
+                        let mem = NativeMemory::new(threads, cnt.registers());
+                        total += timed_run(
+                            threads,
+                            OPS,
+                            |t| (cnt.handle(), mem.ctx(t)),
+                            |(h, ctx), _| {
+                                h.inc(ctx, 1);
+                                let _ = h.read(ctx);
+                            },
+                        );
+                    }
+                    total
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("universal_figure4", threads),
+            &threads,
+            |b, &threads| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let cnt = UniversalCounter::new(threads);
+                        let mem = NativeMemory::new(threads, cnt.registers());
+                        total += timed_run(
+                            threads,
+                            OPS,
+                            |t| (cnt.handle(), mem.ctx(t)),
+                            |(h, ctx), _| {
+                                h.inc(ctx, 1);
+                                let _ = h.read(ctx);
+                            },
+                        );
+                    }
+                    total
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("mutex", threads),
+            &threads,
+            |b, &threads| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let obj = std::sync::Arc::new(parking_lot_counter::Counter::new());
+                        total += timed_run(
+                            threads,
+                            OPS,
+                            |_| obj.clone(),
+                            |obj, _| {
+                                obj.inc(1);
+                                let _ = obj.read();
+                            },
+                        );
+                    }
+                    total
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// A minimal mutex counter baseline (kept local to the bench).
+mod parking_lot_counter {
+    use std::sync::Mutex;
+
+    pub struct Counter(Mutex<i64>);
+
+    impl Counter {
+        pub fn new() -> Self {
+            Counter(Mutex::new(0))
+        }
+
+        pub fn inc(&self, by: i64) {
+            *self.0.lock().unwrap() += by;
+        }
+
+        pub fn read(&self) -> i64 {
+            *self.0.lock().unwrap()
+        }
+    }
+}
+
+criterion_group!(benches, bench_snapshots, bench_counters);
+criterion_main!(benches);

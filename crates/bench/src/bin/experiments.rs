@@ -1,0 +1,271 @@
+//! Regenerate the EXPERIMENTS.md tables.
+//!
+//! ```text
+//! cargo run -p apram-bench --bin experiments --release            # all
+//! cargo run -p apram-bench --bin experiments --release -- e2 e4  # some
+//! ```
+
+use apram_bench::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
+
+    if want("e1") {
+        println!("## E1 — Theorem 5 upper bound (approximate agreement steps)\n");
+        let rows: Vec<Vec<String>> = e1_rows()
+            .into_iter()
+            .map(|r| {
+                vec![
+                    r.n.to_string(),
+                    format!("{}", r.delta_over_eps),
+                    r.measured_worst.to_string(),
+                    r.bound.to_string(),
+                    format!("{:.1}", r.per_round),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            markdown_table(
+                &[
+                    "n",
+                    "Δ/ε",
+                    "measured worst steps",
+                    "Theorem 5 bound",
+                    "steps / log₂(Δ/ε)"
+                ],
+                &rows
+            )
+        );
+    }
+
+    if want("e2") {
+        println!("## E2 — Lemma 6 adversary lower bound (2 processes)\n");
+        let rows: Vec<Vec<String>> = e2_rows(10)
+            .into_iter()
+            .map(|r| {
+                vec![
+                    r.k.to_string(),
+                    r.bound.to_string(),
+                    r.forced_confrontations.to_string(),
+                    r.forced_steps.to_string(),
+                    format!("{:.2e}", r.final_gap),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            markdown_table(
+                &[
+                    "k (Δ/ε = 3^k)",
+                    "⌊log₃(Δ/ε)⌋",
+                    "forced confrontations",
+                    "forced steps (max proc)",
+                    "final gap"
+                ],
+                &rows
+            )
+        );
+    }
+
+    if want("e3") {
+        println!("## E3 — the bounded wait-free hierarchy (Theorems 7–8)\n");
+        let rows: Vec<Vec<String>> = e3_hierarchy(8)
+            .into_iter()
+            .map(|r| {
+                vec![
+                    r.k.to_string(),
+                    format!("{:.2e}", r.eps),
+                    r.lower_bound.to_string(),
+                    r.forced_confrontations.to_string(),
+                    r.forced_steps.to_string(),
+                    r.measured_upper.to_string(),
+                    r.theorem5_bound.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            markdown_table(
+                &[
+                    "k",
+                    "ε",
+                    "lower bound k",
+                    "forced confrontations",
+                    "forced steps",
+                    "measured K (worst)",
+                    "Theorem 5 bound"
+                ],
+                &rows
+            )
+        );
+        println!("### E3b — Theorem 8: unbounded range defeats any bound (ε = 1)\n");
+        let rows: Vec<Vec<String>> = e3_unbounded()
+            .into_iter()
+            .map(|(d, s)| vec![format!("{d}"), s.to_string()])
+            .collect();
+        println!("{}", markdown_table(&["Δ", "forced steps"], &rows));
+    }
+
+    if want("e4") {
+        println!("## E4 — §6.2 Scan operation counts\n");
+        let rows: Vec<Vec<String>> = e4_rows(&[2, 3, 4, 8, 16, 32])
+            .into_iter()
+            .map(|r| {
+                vec![
+                    r.n.to_string(),
+                    format!("{}/{}", r.literal.0, r.literal.1),
+                    format!("{}/{}", r.literal_claim.0, r.literal_claim.1),
+                    format!("{}/{}", r.optimized.0, r.optimized.1),
+                    format!("{}/{}", r.optimized_claim.0, r.optimized_claim.1),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            markdown_table(
+                &[
+                    "n",
+                    "literal reads/writes",
+                    "paper n²+n+1 / n+2",
+                    "optimized reads/writes",
+                    "paper n²−1 / n+1"
+                ],
+                &rows
+            )
+        );
+    }
+
+    if want("e4") {
+        println!("### E4b — lattice scan vs Afek et al. snapshot (reads per scan)\n");
+        let rows: Vec<Vec<String>> = e4b_rows(&[2, 4, 8])
+            .into_iter()
+            .map(|r| {
+                vec![
+                    r.n.to_string(),
+                    r.lattice_reads.to_string(),
+                    r.afek_quiet_reads.to_string(),
+                    r.afek_contended_reads.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            markdown_table(
+                &[
+                    "n",
+                    "lattice scan (always)",
+                    "Afek quiet (2n)",
+                    "Afek under interposing writer"
+                ],
+                &rows
+            )
+        );
+    }
+
+    if want("e5") {
+        println!("## E5 — universal construction overhead per operation\n");
+        let rows: Vec<Vec<String>> = e5_rows(&[2, 3, 4, 8, 12, 16])
+            .into_iter()
+            .map(|r| {
+                vec![
+                    r.n.to_string(),
+                    r.reads.to_string(),
+                    r.reads_claim.to_string(),
+                    r.writes.to_string(),
+                    r.writes_claim.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            markdown_table(
+                &[
+                    "n",
+                    "measured reads/op",
+                    "2(n²−1)",
+                    "measured writes/op",
+                    "2(n+1)"
+                ],
+                &rows
+            )
+        );
+    }
+
+    if want("e6") {
+        println!("## E6 — exhaustive linearizability verification\n");
+        let s = e6_summary();
+        println!(
+            "{}",
+            markdown_table(
+                &["object", "schedules explored", "violations"],
+                &[
+                    vec![
+                        "atomic snapshot (2 procs)".into(),
+                        s.snapshot_runs.to_string(),
+                        "0".into()
+                    ],
+                    vec![
+                        "universal counter (2 procs)".into(),
+                        s.universal_runs.to_string(),
+                        "0".into()
+                    ],
+                    vec![
+                        "Afek et al. snapshot (2 procs)".into(),
+                        s.afek_runs.to_string(),
+                        "0".into()
+                    ],
+                    vec![
+                        "MW register (2 procs, full depth)".into(),
+                        s.mwreg_runs.to_string(),
+                        "0".into()
+                    ],
+                    vec![
+                        "total histories checked".into(),
+                        s.histories_checked.to_string(),
+                        "0".into()
+                    ],
+                ]
+            )
+        );
+    }
+
+    if want("e8") {
+        println!("## E8 — ablations of Figure 2\n");
+        let rows: Vec<Vec<String>> = e8_rows()
+            .into_iter()
+            .map(|r| {
+                vec![
+                    r.variant.to_string(),
+                    r.mode.to_string(),
+                    r.config,
+                    r.search.to_string(),
+                    r.runs.to_string(),
+                    match r.violation {
+                        Some(ys) => format!("VIOLATION {ys:?}"),
+                        None => "safe".into(),
+                    },
+                    r.spread_over_eps
+                        .map(|x| format!("{x:.2}"))
+                        .unwrap_or_else(|| "-".into()),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            markdown_table(
+                &[
+                    "variant",
+                    "scan",
+                    "config",
+                    "search",
+                    "runs",
+                    "safety",
+                    "max spread/ε"
+                ],
+                &rows
+            )
+        );
+    }
+}

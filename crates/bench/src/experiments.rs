@@ -1,0 +1,705 @@
+#![allow(clippy::type_complexity)]
+
+//! The experiment implementations (E1–E6, E8). Wall-clock E7 lives in
+//! `benches/`.
+
+use apram_agreement::ablation::{explore_machine, random_search};
+use apram_agreement::adversary::{lemma6_bound, run_adversary};
+use apram_agreement::hierarchy::{hierarchy_row, theorem5_bound, unbounded_growth};
+use apram_agreement::machine::AgreementMachine;
+use apram_agreement::proto::{ScanMode, Variant};
+use apram_core::{CounterOp, Universal};
+use apram_history::check::{check_linearizable, CheckerConfig};
+use apram_history::Recorder;
+use apram_model::sim::explore::{explore, ExploreConfig};
+use apram_model::sim::strategy::RoundRobin;
+use apram_model::sim::{run_symmetric, ProcBody, SimConfig, SimCtx};
+use apram_model::MemCtx;
+use apram_snapshot::afek::{AfekReg, AfekSnapshot};
+use apram_snapshot::snapshot::{SnapOp, SnapResp, SnapshotSpec};
+use apram_snapshot::{ScanHandle, ScanObject, Snapshot};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// E1 — Theorem 5 upper bound: measured worst per-process steps of the
+/// approximate agreement protocol vs the analytic bound.
+#[derive(Clone, Debug)]
+pub struct E1Row {
+    /// Number of processes.
+    pub n: usize,
+    /// Input range over ε.
+    pub delta_over_eps: f64,
+    /// Worst per-process step count over the sampled schedules.
+    pub measured_worst: u64,
+    /// Theorem 5 analytic bound (2n+1)·log₂(Δ/ε)+O(n).
+    pub bound: u64,
+    /// measured / log₂(Δ/ε) — should stay ~linear in n.
+    pub per_round: f64,
+}
+
+/// Worst per-process machine steps over random + round-robin schedules
+/// with `n` equally spaced inputs in \[0, 1\].
+pub fn measured_worst_steps_n(n: usize, eps: f64, samples: u64, seed: u64) -> u64 {
+    let inputs: Vec<f64> = (0..n).map(|p| p as f64 / (n - 1).max(1) as f64).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut worst = 0u64;
+    for s in 0..=samples {
+        // Collect mode: every machine step is one register access — the
+        // currency of Theorem 5's (2n+1)·log₂(Δ/ε) + O(n) claim.
+        let mut m =
+            AgreementMachine::with_config(eps, inputs.clone(), Variant::Full, ScanMode::Collect);
+        if s == 0 {
+            m.run_all_round_robin(100_000_000);
+        } else {
+            while (0..n).any(|p| !m.is_done(p)) {
+                let live: Vec<usize> = (0..n).filter(|&p| !m.is_done(p)).collect();
+                let p = live[rng.gen_range(0..live.len())];
+                m.step(p);
+            }
+        }
+        for p in 0..n {
+            worst = worst.max(m.steps_taken(p));
+        }
+    }
+    worst
+}
+
+/// Run E1 over the standard grid.
+pub fn e1_rows() -> Vec<E1Row> {
+    let mut rows = Vec::new();
+    for &n in &[2usize, 4, 8, 16] {
+        for k in [2u32, 6, 10, 14] {
+            let doe = 2f64.powi(k as i32);
+            let eps = 1.0 / doe;
+            let measured = measured_worst_steps_n(n, eps, 20, 0xE1 + n as u64 + k as u64);
+            rows.push(E1Row {
+                n,
+                delta_over_eps: doe,
+                measured_worst: measured,
+                bound: theorem5_bound(n, doe),
+                per_round: measured as f64 / doe.log2(),
+            });
+        }
+    }
+    rows
+}
+
+/// E2 — Lemma 6 lower bound: what the adversary forces vs ⌊log₃(Δ/ε)⌋.
+#[derive(Clone, Debug)]
+pub struct E2Row {
+    /// Hierarchy level (Δ/ε = 3^k).
+    pub k: u32,
+    /// The analytic bound ⌊log₃(Δ/ε)⌋.
+    pub bound: u64,
+    /// Confrontations the adversary forced.
+    pub forced_confrontations: u64,
+    /// Worst per-process steps under the adversary.
+    pub forced_steps: u64,
+    /// Final output gap (must be < ε = 3^−k).
+    pub final_gap: f64,
+}
+
+/// Run E2 for k = 1..=max_k.
+pub fn e2_rows(max_k: u32) -> Vec<E2Row> {
+    (1..=max_k)
+        .map(|k| {
+            let eps = 3f64.powi(-(k as i32));
+            let rep = run_adversary(eps, 0.0, 1.0, 100_000_000);
+            E2Row {
+                k,
+                bound: lemma6_bound(1.0, eps),
+                forced_confrontations: rep.confrontations,
+                forced_steps: rep.max_steps(),
+                final_gap: rep.final_gap,
+            }
+        })
+        .collect()
+}
+
+/// E3 — the Theorem 7 hierarchy table plus Theorem 8 growth.
+pub fn e3_hierarchy(max_k: u32) -> Vec<apram_agreement::hierarchy::HierarchyRow> {
+    (1..=max_k).map(|k| hierarchy_row(k, 15)).collect()
+}
+
+/// E3b — Theorem 8: forced steps as Δ grows with ε = 1.
+pub fn e3_unbounded() -> Vec<(f64, u64)> {
+    unbounded_growth(&[3.0, 9.0, 27.0, 81.0, 243.0, 2187.0, 19683.0])
+}
+
+/// E4 — §6.2 operation counts of one `Scan`, literal and optimized.
+#[derive(Clone, Debug)]
+pub struct E4Row {
+    /// Number of processes.
+    pub n: usize,
+    /// Measured (reads, writes) of the literal Figure 5 scan.
+    pub literal: (u64, u64),
+    /// Paper's claim: (n²+n+1, n+2).
+    pub literal_claim: (u64, u64),
+    /// Measured (reads, writes) of the §6.2-optimized scan.
+    pub optimized: (u64, u64),
+    /// Paper's claim: (n²−1, n+1).
+    pub optimized_claim: (u64, u64),
+}
+
+/// Run E4 over a range of n.
+pub fn e4_rows(ns: &[usize]) -> Vec<E4Row> {
+    ns.iter()
+        .map(|&n| {
+            let obj = ScanObject::new(n);
+            let cfg =
+                SimConfig::new(obj.registers::<apram_lattice::MaxU64>()).with_owners(obj.owners());
+            let lit = run_symmetric(&cfg, &mut RoundRobin::new(), n, move |ctx| {
+                obj.scan(ctx, apram_lattice::MaxU64::new(1))
+            });
+            let cfg2 =
+                SimConfig::new(obj.registers::<apram_lattice::MaxU64>()).with_owners(obj.owners());
+            let opt = run_symmetric(&cfg2, &mut RoundRobin::new(), n, move |ctx| {
+                let mut h = ScanHandle::new(obj);
+                h.scan(ctx, apram_lattice::MaxU64::new(1))
+            });
+            lit.assert_no_panics();
+            opt.assert_no_panics();
+            E4Row {
+                n,
+                literal: (lit.counts[0].reads, lit.counts[0].writes),
+                literal_claim: ((n * n + n + 1) as u64, (n + 2) as u64),
+                optimized: (opt.counts[0].reads, opt.counts[0].writes),
+                optimized_claim: ((n * n - 1) as u64, (n + 1) as u64),
+            }
+        })
+        .collect()
+}
+
+/// E4b — the Aspnes–Herlihy lattice scan vs the Afek et al. snapshot
+/// (paper §2: "time complexity comparable to ours"), measured.
+#[derive(Clone, Debug)]
+pub struct E4bRow {
+    /// Number of processes.
+    pub n: usize,
+    /// Lattice scan reads per operation (schedule-independent, §6.2
+    /// optimized form): n²−1.
+    pub lattice_reads: u64,
+    /// Afek snapshot reads for a quiet (uncontended) snap: 2n.
+    pub afek_quiet_reads: u64,
+    /// Afek snapshot reads for a snap under an interposing writer
+    /// (forces failed double collects until a view is borrowed).
+    pub afek_contended_reads: u64,
+}
+
+/// Run E4b over a range of n.
+pub fn e4b_rows(ns: &[usize]) -> Vec<E4bRow> {
+    use apram_model::sim::strategy::PrioritizeLowest;
+    ns.iter()
+        .map(|&n| {
+            let snap = AfekSnapshot::new(n);
+            // Quiet: the scanner runs alone.
+            let cfg = SimConfig::new(snap.registers::<u64>()).with_owners(snap.owners());
+            let quiet = run_symmetric(&cfg, &mut PrioritizeLowest, 1, move |ctx| {
+                snap.snap::<u64, _>(ctx)
+            });
+            quiet.assert_no_panics();
+            // Contended: the writer gets a long burst between scanner
+            // steps (an update embeds a scan, so it needs 2n+2 steps per
+            // write); every scanner double collect then observes a moved
+            // sequence number until a view is borrowed.
+            let cfg = SimConfig::new(snap.registers::<u64>())
+                .with_owners(snap.owners())
+                .with_max_steps(10_000_000);
+            let mut interpose =
+                apram_model::sim::strategy::BurstAdversary::new(1, 2 * n as u64 + 2);
+            let bodies: Vec<ProcBody<'static, AfekReg<u64>, ()>> = vec![
+                Box::new(move |ctx: &mut SimCtx<AfekReg<u64>>| {
+                    let _ = snap.snap::<u64, _>(ctx);
+                }),
+                Box::new(move |ctx: &mut SimCtx<AfekReg<u64>>| {
+                    for v in 0..10_000u64 {
+                        snap.update(ctx, v);
+                    }
+                }),
+            ];
+            let contended = apram_model::sim::run_sim(&cfg, &mut interpose, bodies);
+            contended.assert_no_panics();
+            E4bRow {
+                n,
+                lattice_reads: (n * n - 1) as u64,
+                afek_quiet_reads: quiet.counts[0].reads,
+                afek_contended_reads: contended.counts[0].reads,
+            }
+        })
+        .collect()
+}
+
+/// E5 — universal construction synchronization overhead per operation.
+#[derive(Clone, Debug)]
+pub struct E5Row {
+    /// Number of processes.
+    pub n: usize,
+    /// Measured shared reads per `execute`.
+    pub reads: u64,
+    /// Measured shared writes per `execute`.
+    pub writes: u64,
+    /// Expected: 2·(n²−1) reads (two optimized scans: snap + update).
+    pub reads_claim: u64,
+    /// Expected: 2·(n+1) writes.
+    pub writes_claim: u64,
+}
+
+/// Run E5 over a range of n.
+pub fn e5_rows(ns: &[usize]) -> Vec<E5Row> {
+    ns.iter()
+        .map(|&n| {
+            let uni = Universal::new(n, apram_core::CounterSpec);
+            let cfg = SimConfig::new(uni.registers()).with_owners(uni.owners());
+            let uni2 = uni.clone();
+            let out = run_symmetric(&cfg, &mut RoundRobin::new(), n, move |ctx| {
+                let mut h = uni2.handle();
+                h.execute(ctx, CounterOp::Inc(1));
+            });
+            out.assert_no_panics();
+            E5Row {
+                n,
+                reads: out.counts[0].reads,
+                writes: out.counts[0].writes,
+                reads_claim: 2 * (n * n - 1) as u64,
+                writes_claim: 2 * (n as u64 + 1),
+            }
+        })
+        .collect()
+}
+
+/// E6 — linearizability verification summary.
+#[derive(Clone, Debug)]
+pub struct E6Summary {
+    /// Schedules exhaustively explored for the snapshot object (2 procs).
+    pub snapshot_runs: u64,
+    /// Schedules exhaustively explored for the universal counter.
+    pub universal_runs: u64,
+    /// Schedules exhaustively explored for the Afek et al. snapshot.
+    pub afek_runs: u64,
+    /// Schedules exhaustively explored for the MW register.
+    pub mwreg_runs: u64,
+    /// Histories checked in total (all linearizable, or this function
+    /// panics).
+    pub histories_checked: u64,
+}
+
+/// Run the E6 exhaustive checks (smaller than the test-suite versions;
+/// the suite is the authority, this reports the counts for the table).
+pub fn e6_summary() -> E6Summary {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    let mut histories = 0u64;
+
+    // Snapshot object, 2 processes, update+snap each, truncated depth.
+    let snap = Snapshot::new(2);
+    let cfg = SimConfig::new(snap.registers::<u32>()).with_owners(snap.owners());
+    let spec = SnapshotSpec::<u32>::new(2);
+    let rec_cell: Rc<RefCell<Option<Recorder<SnapOp<u32>, SnapResp<u32>>>>> =
+        Rc::new(RefCell::new(None));
+    let rc = Rc::clone(&rec_cell);
+    let make = move || {
+        let rec: Recorder<SnapOp<u32>, SnapResp<u32>> = Recorder::new();
+        *rc.borrow_mut() = Some(rec.clone());
+        (0..2usize)
+            .map(|p| {
+                let rec = rec.clone();
+                Box::new(move |ctx: &mut SimCtx<apram_lattice::TaggedVec<u32>>| {
+                    let mut h = snap.handle::<u32>();
+                    rec.record(p, SnapOp::Update(p as u32 + 1), || {
+                        h.update(ctx, p as u32 + 1);
+                        SnapResp::Ack
+                    });
+                    rec.invoke(p, SnapOp::Snap);
+                    let view = h.snap(ctx);
+                    rec.respond(p, SnapResp::View(view));
+                }) as ProcBody<'static, apram_lattice::TaggedVec<u32>, ()>
+            })
+            .collect::<Vec<_>>()
+    };
+    let snap_stats = explore(
+        &cfg,
+        &ExploreConfig {
+            max_runs: 20_000,
+            max_depth: 12,
+        },
+        make,
+        |out| {
+            out.assert_no_panics();
+            let hist = rec_cell.borrow_mut().take().unwrap().snapshot();
+            histories += 1;
+            assert!(
+                check_linearizable(&spec, &hist, &CheckerConfig::default()).is_ok(),
+                "E6: snapshot violation"
+            );
+            true
+        },
+    );
+
+    // Universal counter, 2 processes, one op each + read, truncated.
+    let uni = Universal::new(2, apram_core::CounterSpec);
+    let cfg = SimConfig::new(uni.registers()).with_owners(uni.owners());
+    let rec_cell2: Rc<RefCell<Option<Recorder<CounterOp, apram_core::CounterResp>>>> =
+        Rc::new(RefCell::new(None));
+    let rc2 = Rc::clone(&rec_cell2);
+    let make2 = move || {
+        let rec: Recorder<CounterOp, apram_core::CounterResp> = Recorder::new();
+        *rc2.borrow_mut() = Some(rec.clone());
+        (0..2usize)
+            .map(|p| {
+                let rec = rec.clone();
+                let mut h = uni.handle();
+                let op = if p == 0 {
+                    CounterOp::Inc(1)
+                } else {
+                    CounterOp::Reset(5)
+                };
+                Box::new(
+                    move |ctx: &mut SimCtx<
+                        apram_core::universal::UniversalReg<apram_core::CounterSpec>,
+                    >| {
+                        rec.invoke(p, op);
+                        let r = h.execute(ctx, op);
+                        rec.respond(p, r);
+                        rec.invoke(p, CounterOp::Read);
+                        let r = h.execute(ctx, CounterOp::Read);
+                        rec.respond(p, r);
+                    },
+                ) as ProcBody<'static, _, ()>
+            })
+            .collect::<Vec<_>>()
+    };
+    let uni_stats = explore(
+        &cfg,
+        &ExploreConfig {
+            max_runs: 20_000,
+            max_depth: 10,
+        },
+        make2,
+        |out| {
+            out.assert_no_panics();
+            let hist = rec_cell2.borrow_mut().take().unwrap().snapshot();
+            histories += 1;
+            assert!(
+                check_linearizable(&apram_core::CounterSpec, &hist, &CheckerConfig::default())
+                    .is_ok(),
+                "E6: universal counter violation"
+            );
+            true
+        },
+    );
+
+    // Afek et al. snapshot, 2 processes.
+    let asnap = AfekSnapshot::new(2);
+    let cfg = SimConfig::new(asnap.registers::<u32>()).with_owners(asnap.owners());
+    let spec2 = SnapshotSpec::<u32>::new(2);
+    let rec_cell3: Rc<RefCell<Option<Recorder<SnapOp<u32>, SnapResp<u32>>>>> =
+        Rc::new(RefCell::new(None));
+    let rc3 = Rc::clone(&rec_cell3);
+    let make3 = move || {
+        let rec: Recorder<SnapOp<u32>, SnapResp<u32>> = Recorder::new();
+        *rc3.borrow_mut() = Some(rec.clone());
+        (0..2usize)
+            .map(|p| {
+                let rec = rec.clone();
+                Box::new(move |ctx: &mut SimCtx<AfekReg<u32>>| {
+                    rec.record(p, SnapOp::Update(p as u32 + 1), || {
+                        asnap.update(ctx, p as u32 + 1);
+                        SnapResp::Ack
+                    });
+                    rec.invoke(p, SnapOp::Snap);
+                    let view = asnap.snap(ctx);
+                    rec.respond(p, SnapResp::View(view));
+                }) as ProcBody<'static, AfekReg<u32>, ()>
+            })
+            .collect::<Vec<_>>()
+    };
+    let afek_stats = explore(
+        &cfg,
+        &ExploreConfig {
+            max_runs: 20_000,
+            max_depth: 12,
+        },
+        make3,
+        |out| {
+            out.assert_no_panics();
+            let hist = rec_cell3.borrow_mut().take().unwrap().snapshot();
+            histories += 1;
+            assert!(
+                check_linearizable(&spec2, &hist, &CheckerConfig::default()).is_ok(),
+                "E6: Afek snapshot violation"
+            );
+            true
+        },
+    );
+
+    // MW register, 2 processes, full depth (exhaustible).
+    use apram_objects::mwreg::{MwRegOp, MwRegResp, MwRegSpec, MwRegister, Stamped};
+    let reg = MwRegister::new(2);
+    let cfg = SimConfig::new(reg.registers::<u64>()).with_owners(reg.owners());
+    let rec_cell4: Rc<RefCell<Option<Recorder<MwRegOp, MwRegResp>>>> = Rc::new(RefCell::new(None));
+    let rc4 = Rc::clone(&rec_cell4);
+    let make4 = move || {
+        let rec: Recorder<MwRegOp, MwRegResp> = Recorder::new();
+        *rc4.borrow_mut() = Some(rec.clone());
+        (0..2usize)
+            .map(|p| {
+                let rec = rec.clone();
+                Box::new(move |ctx: &mut SimCtx<Stamped<u64>>| {
+                    rec.invoke(p, MwRegOp::Write(p as u64 + 1));
+                    reg.write(ctx, p as u64 + 1);
+                    rec.respond(p, MwRegResp::Ack);
+                    rec.invoke(p, MwRegOp::Read);
+                    let v = reg.read(ctx);
+                    rec.respond(p, MwRegResp::Value(v));
+                }) as ProcBody<'static, Stamped<u64>, ()>
+            })
+            .collect::<Vec<_>>()
+    };
+    let mw_stats = explore(&cfg, &ExploreConfig::default(), make4, |out| {
+        out.assert_no_panics();
+        let hist = rec_cell4.borrow_mut().take().unwrap().snapshot();
+        histories += 1;
+        assert!(
+            check_linearizable(&MwRegSpec, &hist, &CheckerConfig::default()).is_ok(),
+            "E6: MW register violation"
+        );
+        true
+    });
+
+    E6Summary {
+        snapshot_runs: snap_stats.runs,
+        universal_runs: uni_stats.runs,
+        afek_runs: afek_stats.runs,
+        mwreg_runs: mw_stats.runs,
+        histories_checked: histories,
+    }
+}
+
+/// E8 — ablation / soundness outcomes for one configuration.
+#[derive(Clone, Debug)]
+pub struct E8Row {
+    /// Variant (or "OneShot" for the corrected fixed-round algorithm).
+    pub variant: &'static str,
+    /// Scan mode ("atomic", "collect", or "-" for OneShot).
+    pub mode: &'static str,
+    /// Configuration description.
+    pub config: String,
+    /// Search mode used ("exhaustive" or "random(N)").
+    pub search: &'static str,
+    /// Executions examined.
+    pub runs: u64,
+    /// Did a safety violation appear, and what were the outputs?
+    pub violation: Option<Vec<f64>>,
+    /// Worst observed spread as a multiple of ε (where measured).
+    pub spread_over_eps: Option<f64>,
+}
+
+/// Run the E8 grid: 2-process exhaustive safety, the n ≥ 3
+/// counterexamples for every Figure 2 variant under both scan modes,
+/// the bounded-spread measurement, and the corrected one-shot variant.
+pub fn e8_rows() -> Vec<E8Row> {
+    use apram_agreement::ablation::max_spread;
+    use apram_agreement::OneShotAgreement;
+    let mut rows = Vec::new();
+    // 2 processes: exhaustive, everything safe.
+    for (variant, vname) in [
+        (Variant::Full, "Full"),
+        (Variant::NoRescan, "NoRescan"),
+        (Variant::MidpointOfAll, "MidpointOfAll"),
+    ] {
+        for (mode, mname) in [(ScanMode::Atomic, "atomic"), (ScanMode::Collect, "collect")] {
+            let out = explore_machine(0.6, &[0.0, 1.0], variant, mode, 3_000_000);
+            rows.push(E8Row {
+                variant: vname,
+                mode: mname,
+                config: "n=2, ε=0.6, inputs {0,1}".into(),
+                search: "exhaustive",
+                runs: out.runs,
+                violation: out.violation.map(|(_, ys)| ys),
+                spread_over_eps: None,
+            });
+        }
+    }
+    // 3 processes: seeded random search; every Figure 2 variant breaks.
+    let grid: [(
+        Variant,
+        &'static str,
+        ScanMode,
+        &'static str,
+        f64,
+        Vec<f64>,
+        u64,
+    ); 5] = [
+        (
+            Variant::Full,
+            "Full",
+            ScanMode::Collect,
+            "collect",
+            0.15,
+            vec![0.0, 0.9, 1.0],
+            1,
+        ),
+        (
+            Variant::Full,
+            "Full",
+            ScanMode::Atomic,
+            "atomic",
+            0.15,
+            vec![0.0, 0.9, 1.0],
+            3,
+        ),
+        (
+            Variant::NoRescan,
+            "NoRescan",
+            ScanMode::Collect,
+            "collect",
+            0.15,
+            vec![0.0, 0.9, 1.0],
+            1,
+        ),
+        (
+            Variant::NoRescan,
+            "NoRescan",
+            ScanMode::Atomic,
+            "atomic",
+            0.15,
+            vec![0.0, 0.9, 1.0],
+            3,
+        ),
+        (
+            Variant::MidpointOfAll,
+            "MidpointOfAll",
+            ScanMode::Atomic,
+            "atomic",
+            0.1,
+            vec![0.0, 0.7, 1.0],
+            2,
+        ),
+    ];
+    for (variant, vname, mode, mname, eps, inputs, seed) in grid {
+        let out = random_search(eps, &inputs, variant, mode, 30_000, seed);
+        let spread = max_spread(eps, &inputs, variant, mode, 10_000, seed);
+        rows.push(E8Row {
+            variant: vname,
+            mode: mname,
+            config: format!("n={}, ε={eps}, inputs {inputs:?}", inputs.len()),
+            search: "random(30000)",
+            runs: out.runs,
+            violation: out.violation.map(|(_, ys)| ys),
+            spread_over_eps: Some(spread),
+        });
+    }
+    // The corrected fixed-round variant on the breaking configurations.
+    for (eps, inputs) in [
+        (0.15f64, vec![0.0, 0.9, 1.0]),
+        (0.08, vec![0.0, 0.5, 0.9, 1.0]),
+    ] {
+        let n = inputs.len();
+        let obj = OneShotAgreement::new(n, eps, 0.0, 1.0);
+        let mut violation = None;
+        let mut runs = 0u64;
+        let mut worst: f64 = 0.0;
+        for seed in 0..200u64 {
+            let cfg = SimConfig::new(obj.registers()).with_owners(obj.owners());
+            let inputs_ref = &inputs;
+            let obj_ref = &obj;
+            let out = run_symmetric(
+                &cfg,
+                &mut apram_model::sim::strategy::SeededRandom::new(seed),
+                n,
+                move |ctx| obj_ref.run(ctx, inputs_ref[ctx.proc()]),
+            );
+            let ys = out.unwrap_results();
+            runs += 1;
+            worst = worst.max(apram_agreement::range_width(&ys) / eps);
+            if !apram_agreement::spec::outputs_valid(eps, &inputs, &ys) {
+                violation = Some(ys);
+                break;
+            }
+        }
+        rows.push(E8Row {
+            variant: "OneShot (fixed R)",
+            mode: "-",
+            config: format!("n={n}, ε={eps}, inputs {inputs:?}"),
+            search: "random(200 sim)",
+            runs,
+            violation,
+            spread_over_eps: Some(worst),
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e4_counts_match_claims() {
+        for row in e4_rows(&[2, 3, 5]) {
+            assert_eq!(row.literal, row.literal_claim, "n={}", row.n);
+            assert_eq!(row.optimized, row.optimized_claim, "n={}", row.n);
+        }
+    }
+
+    #[test]
+    fn e5_counts_match_claims() {
+        for row in e5_rows(&[2, 3]) {
+            assert_eq!(row.reads, row.reads_claim, "n={}", row.n);
+            assert_eq!(row.writes, row.writes_claim, "n={}", row.n);
+        }
+    }
+
+    #[test]
+    fn e2_meets_bound() {
+        for row in e2_rows(4) {
+            assert!(row.forced_confrontations >= row.bound, "{row:?}");
+            assert!(row.final_gap < 3f64.powi(-(row.k as i32)), "{row:?}");
+        }
+    }
+
+    #[test]
+    fn e1_within_bound() {
+        for row in e1_rows().into_iter().filter(|r| r.n <= 4) {
+            assert!(
+                row.measured_worst <= row.bound,
+                "measured {} > bound {} at n={} Δ/ε={}",
+                row.measured_worst,
+                row.bound,
+                row.n,
+                row.delta_over_eps
+            );
+        }
+    }
+
+    #[test]
+    fn e8_shapes() {
+        let rows = e8_rows();
+        // 2-process exhaustive rows are all safe.
+        assert!(rows
+            .iter()
+            .filter(|r| r.search == "exhaustive")
+            .all(|r| r.violation.is_none()));
+        // Every Figure 2 variant violates at n ≥ 3 (both modes for Full).
+        for (v, m) in [
+            ("Full", "collect"),
+            ("Full", "atomic"),
+            ("NoRescan", "collect"),
+            ("MidpointOfAll", "atomic"),
+        ] {
+            assert!(
+                rows.iter().any(|r| r.variant == v
+                    && r.mode == m
+                    && r.search != "exhaustive"
+                    && r.violation.is_some()),
+                "expected {v}/{m} violation"
+            );
+        }
+        // The corrected variant is safe with small spread.
+        assert!(rows
+            .iter()
+            .filter(|r| r.variant.starts_with("OneShot"))
+            .all(|r| r.violation.is_none() && r.spread_over_eps.unwrap() < 1.0));
+    }
+}

@@ -1,0 +1,113 @@
+//! Commuting, overwriting, and dominance (Definitions 9–14).
+//!
+//! * **Definition 10** — invocations `p` and `q` *commute* when, from any
+//!   legal state, `H·p·q` and `H·q·p` are both legal and equivalent.
+//! * **Definition 11** — `q` *overwrites* `p` when `H·p·q` is legal and
+//!   equivalent to `H·q` (running `q` last destroys all evidence of `p`).
+//! * **Property 1** — every pair of operations commutes or one
+//!   overwrites the other; this is the constructibility criterion.
+//! * **Definition 14** — `p` of process `P` *dominates* `q` of `Q` when
+//!   `p` overwrites `q` but not vice versa, or they overwrite each other
+//!   and `P > Q`. Lemma 15 proves dominance is a strict partial order;
+//!   a property test in this module re-checks that on the counter spec.
+
+use apram_history::{DetSpec, ProcId};
+
+/// A deterministic sequential specification annotated with its
+/// commute/overwrite algebra.
+///
+/// The relations are *claims about all states*; [`crate::verify`]
+/// provides a sampling falsifier, and the universal construction's
+/// linearizability tests exercise them end to end.
+pub trait AlgebraicSpec: DetSpec {
+    /// Definition 10: do `p` and `q` commute?
+    ///
+    /// Must be symmetric; [`crate::verify::verify_property1`] checks it.
+    fn commutes(&self, p: &Self::Op, q: &Self::Op) -> bool;
+
+    /// Definition 11: does `overwriter` overwrite `overwritten`? I.e.
+    /// is `H · overwritten · overwriter` always equivalent to
+    /// `H · overwriter`?
+    fn overwrites(&self, overwriter: &Self::Op, overwritten: &Self::Op) -> bool;
+
+    /// Property 1 for one pair (used by verification and by
+    /// [`crate::lingraph`]'s preconditions).
+    fn property1_holds(&self, p: &Self::Op, q: &Self::Op) -> bool {
+        self.commutes(p, q) || self.overwrites(p, q) || self.overwrites(q, p)
+    }
+}
+
+/// Definition 14: does operation `p` of process `pp` dominate operation
+/// `q` of process `qp`?
+pub fn dominates<S: AlgebraicSpec>(spec: &S, p: &S::Op, pp: ProcId, q: &S::Op, qp: ProcId) -> bool {
+    let p_over_q = spec.overwrites(p, q);
+    let q_over_p = spec.overwrites(q, p);
+    p_over_q && (!q_over_p || pp > qp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counter::{CounterOp, CounterSpec};
+
+    #[test]
+    fn dominance_follows_definition_14() {
+        let s = CounterSpec;
+        let inc = CounterOp::Inc(1);
+        let read = CounterOp::Read;
+        let reset = CounterOp::Reset(0);
+        // inc overwrites read, not vice versa: inc dominates read.
+        assert!(dominates(&s, &inc, 0, &read, 1));
+        assert!(!dominates(&s, &read, 1, &inc, 0));
+        // reset overwrites reset mutually: higher process index wins.
+        assert!(dominates(&s, &reset, 2, &reset, 1));
+        assert!(!dominates(&s, &reset, 1, &reset, 2));
+        // commuting ops dominate neither way.
+        assert!(!dominates(&s, &inc, 0, &CounterOp::Dec(1), 1));
+        assert!(!dominates(&s, &CounterOp::Dec(1), 1, &inc, 0));
+    }
+
+    /// Lemma 15: dominance is a strict partial order — irreflexive,
+    /// antisymmetric, transitive. Checked over all op pairs/triples from
+    /// a pool with distinct process ids.
+    #[test]
+    fn lemma_15_dominance_is_strict_partial_order() {
+        let s = CounterSpec;
+        let pool: Vec<(CounterOp, ProcId)> = vec![
+            (CounterOp::Inc(1), 0),
+            (CounterOp::Dec(2), 1),
+            (CounterOp::Read, 2),
+            (CounterOp::Reset(5), 3),
+            (CounterOp::Reset(7), 4),
+            (CounterOp::Read, 5),
+        ];
+        for (p, pp) in &pool {
+            assert!(!dominates(&s, p, *pp, p, *pp), "irreflexive");
+            for (q, qp) in &pool {
+                if (p, pp) == (q, qp) {
+                    continue;
+                }
+                assert!(
+                    !(dominates(&s, p, *pp, q, *qp) && dominates(&s, q, *qp, p, *pp)),
+                    "antisymmetric: {p:?}/{pp} vs {q:?}/{qp}"
+                );
+                for (r, rp) in &pool {
+                    if dominates(&s, p, *pp, q, *qp) && dominates(&s, q, *qp, r, *rp) {
+                        assert!(
+                            dominates(&s, p, *pp, r, *rp),
+                            "transitive: {p:?}/{pp} → {q:?}/{qp} → {r:?}/{rp}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn property1_helper() {
+        let s = CounterSpec;
+        assert!(s.property1_holds(&CounterOp::Inc(1), &CounterOp::Dec(1)));
+        assert!(s.property1_holds(&CounterOp::Read, &CounterOp::Read));
+        assert!(s.property1_holds(&CounterOp::Reset(1), &CounterOp::Inc(1)));
+    }
+}

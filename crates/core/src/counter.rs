@@ -1,0 +1,138 @@
+//! The paper's running example (§5.1): a fetch-free counter.
+//!
+//! "Note that *inc* and *dec* operations commute, every operation
+//! overwrites *read*, and *reset* overwrites every operation."
+//!
+//! `read` returns the current value; the other operations return an
+//! acknowledgement (they are "fetch-free" — a fetching `inc` would solve
+//! consensus and fall outside Property 1).
+
+use crate::algebra::AlgebraicSpec;
+use apram_history::{DetSpec, ProcId};
+
+/// Counter operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CounterOp {
+    /// Add `amount`.
+    Inc(i64),
+    /// Subtract `amount`.
+    Dec(i64),
+    /// Reinitialize to `amount`.
+    Reset(i64),
+    /// Return the current value.
+    Read,
+}
+
+/// Counter responses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CounterResp {
+    /// Acknowledgement of an update.
+    Ack,
+    /// The value read.
+    Value(i64),
+}
+
+/// The counter's sequential specification with its §5.1 algebra.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CounterSpec;
+
+impl DetSpec for CounterSpec {
+    type State = i64;
+    type Op = CounterOp;
+    type Resp = CounterResp;
+
+    fn initial(&self) -> i64 {
+        0
+    }
+
+    fn apply(&self, state: &mut i64, _proc: ProcId, op: &CounterOp) -> CounterResp {
+        match op {
+            CounterOp::Inc(a) => {
+                *state = state.wrapping_add(*a);
+                CounterResp::Ack
+            }
+            CounterOp::Dec(a) => {
+                *state = state.wrapping_sub(*a);
+                CounterResp::Ack
+            }
+            CounterOp::Reset(a) => {
+                *state = *a;
+                CounterResp::Ack
+            }
+            CounterOp::Read => CounterResp::Value(*state),
+        }
+    }
+}
+
+impl AlgebraicSpec for CounterSpec {
+    fn commutes(&self, p: &CounterOp, q: &CounterOp) -> bool {
+        use CounterOp::*;
+        match (p, q) {
+            // read changes nothing, so it commutes with everything in
+            // the Definition 9/10 sense (equivalence is about future
+            // behaviour, not about the read's own response).
+            (Read, _) | (_, Read) => true,
+            (Inc(_) | Dec(_), Inc(_) | Dec(_)) => true,
+            (Reset(a), Reset(b)) => a == b,
+            (Reset(_), Inc(_) | Dec(_)) | (Inc(_) | Dec(_), Reset(_)) => false,
+        }
+    }
+
+    fn overwrites(&self, overwriter: &CounterOp, overwritten: &CounterOp) -> bool {
+        use CounterOp::*;
+        // reset overwrites every operation; every operation overwrites
+        // read (running it last erases all evidence of the read).
+        matches!(overwriter, Reset(_)) || matches!(overwritten, Read)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_semantics() {
+        let s = CounterSpec;
+        let (state, resps) = s.run(&[
+            (0, CounterOp::Inc(5)),
+            (1, CounterOp::Dec(2)),
+            (0, CounterOp::Read),
+            (1, CounterOp::Reset(100)),
+            (0, CounterOp::Read),
+        ]);
+        assert_eq!(state, 100);
+        assert_eq!(resps[2], CounterResp::Value(3));
+        assert_eq!(resps[4], CounterResp::Value(100));
+        assert_eq!(resps[0], CounterResp::Ack);
+    }
+
+    #[test]
+    fn wrapping_is_defined_behaviour() {
+        let s = CounterSpec;
+        let mut st = i64::MAX;
+        s.apply(&mut st, 0, &CounterOp::Inc(1));
+        assert_eq!(st, i64::MIN);
+        s.apply(&mut st, 0, &CounterOp::Dec(1));
+        assert_eq!(st, i64::MAX);
+    }
+
+    #[test]
+    fn algebra_matches_section_5_1() {
+        let s = CounterSpec;
+        use CounterOp::*;
+        assert!(s.commutes(&Inc(1), &Dec(2)));
+        assert!(s.commutes(&Read, &Reset(3)));
+        assert!(!s.commutes(&Inc(1), &Reset(0)));
+        assert!(s.overwrites(&Reset(0), &Inc(1)));
+        assert!(s.overwrites(&Reset(0), &Reset(1)));
+        assert!(s.overwrites(&Inc(1), &Read));
+        assert!(!s.overwrites(&Inc(1), &Dec(1)));
+        // Property 1 over a representative pool.
+        let pool = [Inc(1), Dec(2), Reset(0), Reset(9), Read];
+        for p in &pool {
+            for q in &pool {
+                assert!(s.property1_holds(p, q), "{p:?} vs {q:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! Sampling-based falsification of a spec's claimed algebra.
+//!
+//! [`AlgebraicSpec`] implementations *claim* their commute/overwrite
+//! relations; the universal construction is only correct when the claims
+//! are true (Definitions 10/11) and cover every pair (Property 1). This
+//! module checks the claims against concrete sample states:
+//!
+//! * a claimed `commutes(p, q)` must yield equal states via `p·q` and
+//!   `q·p` from every sample state;
+//! * a claimed `overwrites(w, u)` must make `u·w` equal `w` from every
+//!   sample state;
+//! * `commutes` must be symmetric, and every pair must satisfy
+//!   Property 1.
+//!
+//! Equality of *states* is a sufficient condition for the paper's
+//! history equivalence (Definition 9); it requires specs to use
+//! canonical state representations (all of ours do). Sampling can only
+//! falsify, not prove — but a spec that survives a rich sample set and
+//! the end-to-end linearizability tests is trustworthy in practice, and
+//! a wrong spec (like the sticky register in `apram-objects`) is caught
+//! immediately.
+
+use crate::algebra::AlgebraicSpec;
+use std::fmt::Debug;
+
+/// A falsified claim.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AlgebraViolation {
+    /// `commutes(p, q)` was claimed but applying the pair in the two
+    /// orders produced different states.
+    NotCommutative {
+        /// Display of the offending pair and state.
+        detail: String,
+    },
+    /// `overwrites(w, u)` was claimed but `u·w` differed from `w`.
+    NotOverwriting {
+        /// Display of the offending pair and state.
+        detail: String,
+    },
+    /// `commutes` returned different answers for `(p, q)` and `(q, p)`.
+    AsymmetricCommute {
+        /// Display of the offending pair.
+        detail: String,
+    },
+    /// A pair neither commutes nor overwrites in either direction.
+    Property1Fails {
+        /// Display of the offending pair.
+        detail: String,
+    },
+}
+
+/// Check every claim over all pairs from `ops` and all states in
+/// `states`. Returns the first violation found.
+pub fn verify_property1<S>(
+    spec: &S,
+    states: &[S::State],
+    ops: &[S::Op],
+) -> Result<(), AlgebraViolation>
+where
+    S: AlgebraicSpec,
+    S::State: PartialEq + Debug,
+    S::Op: Debug,
+{
+    for p in ops {
+        for q in ops {
+            if spec.commutes(p, q) != spec.commutes(q, p) {
+                return Err(AlgebraViolation::AsymmetricCommute {
+                    detail: format!("{p:?} / {q:?}"),
+                });
+            }
+            if !spec.property1_holds(p, q) {
+                return Err(AlgebraViolation::Property1Fails {
+                    detail: format!("{p:?} / {q:?}"),
+                });
+            }
+            for s in states {
+                if spec.commutes(p, q) {
+                    let mut spq = s.clone();
+                    spec.apply(&mut spq, 0, p);
+                    spec.apply(&mut spq, 1, q);
+                    let mut sqp = s.clone();
+                    spec.apply(&mut sqp, 1, q);
+                    spec.apply(&mut sqp, 0, p);
+                    if spq != sqp {
+                        return Err(AlgebraViolation::NotCommutative {
+                            detail: format!("{p:?} / {q:?} from {s:?}: {spq:?} ≠ {sqp:?}"),
+                        });
+                    }
+                }
+                if spec.overwrites(p, q) {
+                    // p overwrites q: state after q·p must equal after p.
+                    let mut sqp = s.clone();
+                    spec.apply(&mut sqp, 1, q);
+                    spec.apply(&mut sqp, 0, p);
+                    let mut sp = s.clone();
+                    spec.apply(&mut sp, 0, p);
+                    if sqp != sp {
+                        return Err(AlgebraViolation::NotOverwriting {
+                            detail: format!("{p:?} over {q:?} from {s:?}: {sqp:?} ≠ {sp:?}"),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counter::{CounterOp, CounterSpec};
+    use apram_history::{DetSpec, ProcId};
+
+    fn counter_pool() -> (Vec<i64>, Vec<CounterOp>) {
+        (
+            vec![-5, 0, 3, 17],
+            vec![
+                CounterOp::Inc(1),
+                CounterOp::Inc(4),
+                CounterOp::Dec(2),
+                CounterOp::Reset(0),
+                CounterOp::Reset(7),
+                CounterOp::Read,
+            ],
+        )
+    }
+
+    #[test]
+    fn counter_spec_passes() {
+        let (states, ops) = counter_pool();
+        assert_eq!(verify_property1(&CounterSpec, &states, &ops), Ok(()));
+    }
+
+    /// A deliberately wrong spec: claims inc commutes with reset.
+    #[derive(Clone, Copy, Debug)]
+    struct BadCommute;
+    impl DetSpec for BadCommute {
+        type State = i64;
+        type Op = CounterOp;
+        type Resp = crate::counter::CounterResp;
+        fn initial(&self) -> i64 {
+            0
+        }
+        fn apply(&self, s: &mut i64, p: ProcId, op: &CounterOp) -> Self::Resp {
+            CounterSpec.apply(s, p, op)
+        }
+    }
+    impl AlgebraicSpec for BadCommute {
+        fn commutes(&self, _: &CounterOp, _: &CounterOp) -> bool {
+            true // wrong: Inc does not commute with Reset
+        }
+        fn overwrites(&self, w: &CounterOp, u: &CounterOp) -> bool {
+            CounterSpec.overwrites(w, u)
+        }
+    }
+
+    #[test]
+    fn false_commute_claim_is_caught() {
+        let (states, ops) = counter_pool();
+        match verify_property1(&BadCommute, &states, &ops) {
+            Err(AlgebraViolation::NotCommutative { .. }) => {}
+            other => panic!("expected NotCommutative, got {other:?}"),
+        }
+    }
+
+    /// A spec claiming an overwrite that does not hold.
+    #[derive(Clone, Copy, Debug)]
+    struct BadOverwrite;
+    impl DetSpec for BadOverwrite {
+        type State = i64;
+        type Op = CounterOp;
+        type Resp = crate::counter::CounterResp;
+        fn initial(&self) -> i64 {
+            0
+        }
+        fn apply(&self, s: &mut i64, p: ProcId, op: &CounterOp) -> Self::Resp {
+            CounterSpec.apply(s, p, op)
+        }
+    }
+    impl AlgebraicSpec for BadOverwrite {
+        fn commutes(&self, p: &CounterOp, q: &CounterOp) -> bool {
+            CounterSpec.commutes(p, q)
+        }
+        fn overwrites(&self, w: &CounterOp, _: &CounterOp) -> bool {
+            matches!(w, CounterOp::Inc(_)) // wrong: inc overwrites nothing but read
+        }
+    }
+
+    #[test]
+    fn false_overwrite_claim_is_caught() {
+        let (states, ops) = counter_pool();
+        match verify_property1(&BadOverwrite, &states, &ops) {
+            Err(AlgebraViolation::NotOverwriting { .. }) => {}
+            other => panic!("expected NotOverwriting, got {other:?}"),
+        }
+    }
+
+    /// A spec with an uncovered pair (Property 1 fails): claims nothing.
+    #[derive(Clone, Copy, Debug)]
+    struct ClaimsNothing;
+    impl DetSpec for ClaimsNothing {
+        type State = i64;
+        type Op = CounterOp;
+        type Resp = crate::counter::CounterResp;
+        fn initial(&self) -> i64 {
+            0
+        }
+        fn apply(&self, s: &mut i64, p: ProcId, op: &CounterOp) -> Self::Resp {
+            CounterSpec.apply(s, p, op)
+        }
+    }
+    impl AlgebraicSpec for ClaimsNothing {
+        fn commutes(&self, _: &CounterOp, _: &CounterOp) -> bool {
+            false
+        }
+        fn overwrites(&self, _: &CounterOp, _: &CounterOp) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn uncovered_pair_is_caught() {
+        let (states, ops) = counter_pool();
+        match verify_property1(&ClaimsNothing, &states, &ops) {
+            Err(AlgebraViolation::Property1Fails { .. }) => {}
+            other => panic!("expected Property1Fails, got {other:?}"),
+        }
+    }
+
+    /// An asymmetric commute claim.
+    #[derive(Clone, Copy, Debug)]
+    struct Asymmetric;
+    impl DetSpec for Asymmetric {
+        type State = i64;
+        type Op = CounterOp;
+        type Resp = crate::counter::CounterResp;
+        fn initial(&self) -> i64 {
+            0
+        }
+        fn apply(&self, s: &mut i64, p: ProcId, op: &CounterOp) -> Self::Resp {
+            CounterSpec.apply(s, p, op)
+        }
+    }
+    impl AlgebraicSpec for Asymmetric {
+        fn commutes(&self, p: &CounterOp, q: &CounterOp) -> bool {
+            // CounterSpec's relation, except the (Read, Inc) direction is
+            // (wrongly) denied — asymmetric against (Inc, Read).
+            if matches!(p, CounterOp::Read) && matches!(q, CounterOp::Inc(_)) {
+                return false;
+            }
+            CounterSpec.commutes(p, q)
+        }
+        fn overwrites(&self, w: &CounterOp, u: &CounterOp) -> bool {
+            CounterSpec.overwrites(w, u)
+        }
+    }
+
+    #[test]
+    fn asymmetric_commute_is_caught() {
+        let (states, ops) = counter_pool();
+        match verify_property1(&Asymmetric, &states, &ops) {
+            Err(AlgebraViolation::AsymmetricCommute { .. }) => {}
+            other => panic!("expected AsymmetricCommute, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! A brute-force reference checker.
+//!
+//! Enumerates *every* permutation of the completed operations, keeping
+//! those that extend the real-time order, and replays each through the
+//! spec. Exponentially slower than [`crate::check`], but it shares no code
+//! with it, so the two are property-tested against each other on small
+//! random histories.
+
+use crate::event::History;
+use crate::ops::Ops;
+use crate::spec::NondetSpec;
+
+/// `true` iff some precedence-respecting permutation of the completed
+/// operations of `h` is legal under `spec`. Pending operations are
+/// dropped (strict mode, matching
+/// [`crate::check::check_linearizable`]).
+pub fn brute_force_linearizable<Sp: NondetSpec>(spec: &Sp, h: &History<Sp::Op, Sp::Resp>) -> bool {
+    if !h.well_formed() {
+        return false;
+    }
+    let ops = Ops::extract(h);
+    let completed = ops.completed();
+    let mut perm = Vec::with_capacity(completed.len());
+    let mut used = vec![false; completed.len()];
+    permute(spec, &ops, &completed, &mut perm, &mut used)
+}
+
+fn permute<Sp: NondetSpec>(
+    spec: &Sp,
+    ops: &Ops<Sp::Op, Sp::Resp>,
+    completed: &[usize],
+    perm: &mut Vec<usize>,
+    used: &mut [bool],
+) -> bool {
+    if perm.len() == completed.len() {
+        return replay(spec, ops, perm);
+    }
+    for (k, &i) in completed.iter().enumerate() {
+        if used[k] {
+            continue;
+        }
+        // Precedence filter: every op that must precede i is already in.
+        let ok = completed
+            .iter()
+            .enumerate()
+            .all(|(k2, &j)| k2 == k || !ops.precedes(j, i) || used[k2]);
+        if !ok {
+            continue;
+        }
+        used[k] = true;
+        perm.push(i);
+        if permute(spec, ops, completed, perm, used) {
+            return true;
+        }
+        perm.pop();
+        used[k] = false;
+    }
+    false
+}
+
+fn replay<Sp: NondetSpec>(spec: &Sp, ops: &Ops<Sp::Op, Sp::Resp>, perm: &[usize]) -> bool {
+    let mut state = spec.initial();
+    for &i in perm {
+        let r = &ops.records()[i];
+        let resp = r.resp.as_ref().expect("completed op");
+        match spec.step(&state, r.proc, &r.op, resp) {
+            Some(next) => state = next,
+            None => return false,
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::{check_linearizable, CheckerConfig};
+    use crate::spec::{QueueOp, QueueResp, QueueSpec, RegOp, RegResp, RegisterSpec};
+    use proptest::prelude::*;
+
+    #[test]
+    fn agrees_on_hand_cases() {
+        let mut good: History<RegOp, RegResp> = History::new();
+        good.invoke(0, RegOp::Write(1));
+        good.invoke(1, RegOp::Read);
+        good.respond(1, RegResp::Value(1));
+        good.respond(0, RegResp::Ack);
+        assert!(brute_force_linearizable(&RegisterSpec, &good));
+
+        let mut bad: History<RegOp, RegResp> = History::new();
+        bad.invoke(0, RegOp::Write(1));
+        bad.respond(0, RegResp::Ack);
+        bad.invoke(1, RegOp::Read);
+        bad.respond(1, RegResp::Value(0));
+        assert!(!brute_force_linearizable(&RegisterSpec, &bad));
+    }
+
+    #[test]
+    fn queue_fifo_violation_detected_by_both() {
+        // enq(1) completes before enq(2) begins, yet deq returns 2 first.
+        let mut h: History<QueueOp, QueueResp> = History::new();
+        h.invoke(0, QueueOp::Enq(1));
+        h.respond(0, QueueResp::Ack);
+        h.invoke(0, QueueOp::Enq(2));
+        h.respond(0, QueueResp::Ack);
+        h.invoke(1, QueueOp::Deq);
+        h.respond(1, QueueResp::Head(Some(2)));
+        assert!(!brute_force_linearizable(&QueueSpec, &h));
+        assert!(!check_linearizable(&QueueSpec, &h, &CheckerConfig::default()).is_ok());
+    }
+
+    /// Generate a small random well-formed register history: a sequence of
+    /// (proc, op, resp, overlap) drives an interleaving builder.
+    fn small_history() -> impl Strategy<Value = History<RegOp, RegResp>> {
+        proptest::collection::vec((0usize..3, 0u8..2, 0u64..3, any::<bool>()), 0..6).prop_map(
+            |steps| {
+                let mut h = History::new();
+                let mut open: Vec<(usize, RegResp)> = Vec::new();
+                for (proc, kind, val, close_now) in steps {
+                    if open.iter().any(|(p, _)| *p == proc) {
+                        // close this proc's pending op first
+                        let pos = open.iter().position(|(p, _)| *p == proc).unwrap();
+                        let (p, resp) = open.remove(pos);
+                        h.respond(p, resp);
+                    }
+                    let (op, resp) = if kind == 0 {
+                        (RegOp::Write(val), RegResp::Ack)
+                    } else {
+                        (RegOp::Read, RegResp::Value(val))
+                    };
+                    h.invoke(proc, op);
+                    if close_now {
+                        h.respond(proc, resp);
+                    } else {
+                        open.push((proc, resp));
+                    }
+                }
+                for (p, resp) in open {
+                    h.respond(p, resp);
+                }
+                h
+            },
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+        #[test]
+        fn checker_agrees_with_brute_force(h in small_history()) {
+            prop_assume!(h.well_formed());
+            let fast = check_linearizable(&RegisterSpec, &h, &CheckerConfig::default());
+            let slow = brute_force_linearizable(&RegisterSpec, &h);
+            prop_assert_eq!(fast.is_ok(), slow, "history: {:?}", h);
+        }
+    }
+}

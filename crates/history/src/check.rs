@@ -1,0 +1,523 @@
+//! A Wing–Gong style linearizability checker.
+//!
+//! The checker searches for a legal sequential history `S` that (a) agrees
+//! with `complete(H')` per process and (b) extends the real-time order
+//! `≺_H` (Section 3.2). It explores linearization orders depth-first,
+//! always choosing among *minimal* operations — those whose invocation
+//! precedes every response still outstanding — which is exactly the
+//! constraint `≺_H ⊆ ≺_S`.
+//!
+//! Pending invocations are handled per the definition: they may be dropped
+//! or (for deterministic specs, where the unique enabled response is
+//! computable) completed and linearized. Nondeterministic specs use
+//! *strict* mode: pending operations are dropped, which is sound whenever
+//! their effects were not observed by any completed operation.
+//!
+//! Failed `(remaining-set, state)` configurations are memoized when the
+//! spec state is hashable ([`check_linearizable`]); an unmemoized variant
+//! ([`check_linearizable_nomemo`]) covers states like the `f64` sets of
+//! the approximate agreement spec.
+
+use crate::event::History;
+use crate::ops::{OpRecord, Ops};
+use crate::spec::{DetSpec, NondetSpec};
+use std::collections::HashSet;
+use std::hash::Hash;
+
+/// Maximum number of operations the bitmask-based search supports.
+pub const MAX_OPS: usize = 128;
+
+/// Checker tuning knobs.
+#[derive(Clone, Debug)]
+pub struct CheckerConfig {
+    /// Abort after exploring this many search nodes.
+    pub node_budget: u64,
+    /// Allow pending operations to be completed-and-linearized
+    /// (deterministic specs only; ignored by the nondet entry points).
+    pub complete_pending: bool,
+}
+
+impl Default for CheckerConfig {
+    fn default() -> Self {
+        CheckerConfig {
+            node_budget: 20_000_000,
+            complete_pending: true,
+        }
+    }
+}
+
+/// Why a history failed the check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// The event sequence itself is not well-formed.
+    Malformed,
+    /// Exhaustive search found no legal linearization.
+    NotLinearizable {
+        /// Number of search nodes explored before concluding.
+        explored: u64,
+    },
+    /// The history has more than [`MAX_OPS`] operations.
+    TooLarge,
+}
+
+/// Result of a linearizability check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckOutcome {
+    /// A witness linearization: indices into [`Ops::records`], in
+    /// linearized order. Dropped pending operations do not appear.
+    Linearizable(Vec<usize>),
+    /// The history is not linearizable (or malformed / too large).
+    Violation(Violation),
+    /// The node budget was exhausted before the search concluded.
+    BudgetExhausted,
+}
+
+impl CheckOutcome {
+    /// `true` for the `Linearizable` case.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, CheckOutcome::Linearizable(_))
+    }
+}
+
+trait Memo<S> {
+    fn seen_failure(&mut self, mask: u128, state: &S) -> bool;
+    fn record_failure(&mut self, mask: u128, state: &S);
+}
+
+struct NoMemo;
+impl<S> Memo<S> for NoMemo {
+    fn seen_failure(&mut self, _: u128, _: &S) -> bool {
+        false
+    }
+    fn record_failure(&mut self, _: u128, _: &S) {}
+}
+
+struct HashMemo<S>(HashSet<(u128, S)>);
+impl<S: Hash + Eq + Clone> Memo<S> for HashMemo<S> {
+    fn seen_failure(&mut self, mask: u128, state: &S) -> bool {
+        self.0.contains(&(mask, state.clone()))
+    }
+    fn record_failure(&mut self, mask: u128, state: &S) {
+        self.0.insert((mask, state.clone()));
+    }
+}
+
+/// Completion function for pending operations (deterministic specs).
+type Completer<'a, S> = &'a dyn Fn(&mut S, usize);
+
+struct Search<'a, Sp: NondetSpec, M> {
+    spec: &'a Sp,
+    records: &'a [OpRecord<Sp::Op, Sp::Resp>],
+    cfg: &'a CheckerConfig,
+    memo: M,
+    explored: u64,
+    witness: Vec<usize>,
+    /// Completion function for pending ops (deterministic specs only).
+    complete_pending: Option<Completer<'a, Sp::State>>,
+}
+
+enum SearchResult {
+    Found,
+    Exhausted,
+    OverBudget,
+}
+
+impl<'a, Sp: NondetSpec, M: Memo<Sp::State>> Search<'a, Sp, M> {
+    /// `remaining` has bit `i` set when op `i` is not yet linearized.
+    fn dfs(&mut self, remaining: u128, state: &Sp::State) -> SearchResult {
+        self.explored += 1;
+        if self.explored > self.cfg.node_budget {
+            return SearchResult::OverBudget;
+        }
+        // Done when every *completed* op has been linearized; remaining
+        // pending ops are dropped (extending H with their responses is
+        // optional).
+        let mut any_completed_left = false;
+        let mut min_respond = usize::MAX;
+        for i in 0..self.records.len() {
+            if remaining & (1u128 << i) != 0 {
+                let r = &self.records[i];
+                if !r.is_pending() {
+                    any_completed_left = true;
+                    min_respond = min_respond.min(r.respond_at);
+                }
+            }
+        }
+        if !any_completed_left {
+            return SearchResult::Found;
+        }
+        if self.memo.seen_failure(remaining, state) {
+            return SearchResult::Exhausted;
+        }
+        for i in 0..self.records.len() {
+            if remaining & (1u128 << i) == 0 {
+                continue;
+            }
+            let r = &self.records[i];
+            // Minimality: no still-remaining op responded before `i`'s
+            // invocation; otherwise that op must be linearized first.
+            if r.invoke_at > min_respond {
+                continue;
+            }
+            let next_remaining = remaining & !(1u128 << i);
+            if let Some(resp) = &r.resp {
+                if let Some(next) = self.spec.step(state, r.proc, &r.op, resp) {
+                    self.witness.push(i);
+                    match self.dfs(next_remaining, &next) {
+                        SearchResult::Found => return SearchResult::Found,
+                        SearchResult::OverBudget => return SearchResult::OverBudget,
+                        SearchResult::Exhausted => {
+                            self.witness.pop();
+                        }
+                    }
+                }
+            } else if let Some(complete) = self.complete_pending {
+                // Try linearizing the pending op with its spec-computed
+                // effect (the unique enabled response of a det spec).
+                let mut next = state.clone();
+                complete(&mut next, i);
+                self.witness.push(i);
+                match self.dfs(next_remaining, &next) {
+                    SearchResult::Found => return SearchResult::Found,
+                    SearchResult::OverBudget => return SearchResult::OverBudget,
+                    SearchResult::Exhausted => {
+                        self.witness.pop();
+                    }
+                }
+                // Also covered: *not* linearizing it, because the done
+                // condition ignores pending ops.
+            }
+        }
+        self.memo.record_failure(remaining, state);
+        SearchResult::Exhausted
+    }
+}
+
+fn run_check<Sp: NondetSpec, M: Memo<Sp::State>>(
+    spec: &Sp,
+    h: &History<Sp::Op, Sp::Resp>,
+    cfg: &CheckerConfig,
+    memo: M,
+    complete_pending: Option<Completer<'_, Sp::State>>,
+) -> CheckOutcome {
+    if !h.well_formed() {
+        return CheckOutcome::Violation(Violation::Malformed);
+    }
+    let ops = Ops::extract(h);
+    if ops.len() > MAX_OPS {
+        return CheckOutcome::Violation(Violation::TooLarge);
+    }
+    let mut search = Search {
+        spec,
+        records: ops.records(),
+        cfg,
+        memo,
+        explored: 0,
+        witness: Vec::new(),
+        complete_pending,
+    };
+    let full: u128 = if ops.len() == MAX_OPS {
+        u128::MAX
+    } else {
+        (1u128 << ops.len()) - 1
+    };
+    let init = spec.initial();
+    match search.dfs(full, &init) {
+        SearchResult::Found => CheckOutcome::Linearizable(search.witness),
+        SearchResult::OverBudget => CheckOutcome::BudgetExhausted,
+        SearchResult::Exhausted => CheckOutcome::Violation(Violation::NotLinearizable {
+            explored: search.explored,
+        }),
+    }
+}
+
+/// Check a history against a nondeterministic spec, memoizing failed
+/// configurations. Pending operations are dropped (strict mode).
+pub fn check_linearizable<Sp>(
+    spec: &Sp,
+    h: &History<Sp::Op, Sp::Resp>,
+    cfg: &CheckerConfig,
+) -> CheckOutcome
+where
+    Sp: NondetSpec,
+    Sp::State: Hash + Eq,
+{
+    run_check(spec, h, cfg, HashMemo(HashSet::new()), None)
+}
+
+/// Check without memoization; use when the spec state is not hashable
+/// (e.g. the real-valued approximate agreement state). Pending operations
+/// are dropped (strict mode).
+pub fn check_linearizable_nomemo<Sp>(
+    spec: &Sp,
+    h: &History<Sp::Op, Sp::Resp>,
+    cfg: &CheckerConfig,
+) -> CheckOutcome
+where
+    Sp: NondetSpec,
+{
+    run_check(spec, h, cfg, NoMemo, None)
+}
+
+/// Check a history against a *deterministic* spec. When
+/// `cfg.complete_pending` is set, pending invocations may be completed
+/// with their (unique) spec response and linearized, per the "extended to
+/// a well-formed history H' by adding zero or more responses" clause of
+/// the linearizability definition.
+pub fn check_linearizable_det<Sp>(
+    spec: &Sp,
+    h: &History<Sp::Op, Sp::Resp>,
+    cfg: &CheckerConfig,
+) -> CheckOutcome
+where
+    Sp: DetSpec,
+    Sp::State: Hash + Eq,
+{
+    if !h.well_formed() {
+        return CheckOutcome::Violation(Violation::Malformed);
+    }
+    let ops = Ops::extract(h);
+    if ops.len() > MAX_OPS {
+        return CheckOutcome::Violation(Violation::TooLarge);
+    }
+    let records: Vec<OpRecord<Sp::Op, Sp::Resp>> = ops.records().to_vec();
+    let records2 = records.clone();
+    let completer = move |state: &mut Sp::State, i: usize| {
+        let r = &records2[i];
+        let _ = spec.apply(state, r.proc, &r.op);
+    };
+    let complete: Option<Completer<'_, Sp::State>> = if cfg.complete_pending {
+        Some(&completer)
+    } else {
+        None
+    };
+    let mut search = Search {
+        spec,
+        records: &records,
+        cfg,
+        memo: HashMemo(HashSet::new()),
+        explored: 0,
+        witness: Vec::new(),
+        complete_pending: complete,
+    };
+    let full: u128 = if records.len() == MAX_OPS {
+        u128::MAX
+    } else {
+        (1u128 << records.len()) - 1
+    };
+    let init = DetSpec::initial(spec);
+    match search.dfs(full, &init) {
+        SearchResult::Found => CheckOutcome::Linearizable(search.witness),
+        SearchResult::OverBudget => CheckOutcome::BudgetExhausted,
+        SearchResult::Exhausted => CheckOutcome::Violation(Violation::NotLinearizable {
+            explored: search.explored,
+        }),
+    }
+}
+
+/// Independently verify a witness: replays it through the spec and checks
+/// that it extends the real-time order. Used by tests to guard the
+/// checker itself.
+pub fn verify_witness<Sp>(spec: &Sp, h: &History<Sp::Op, Sp::Resp>, witness: &[usize]) -> bool
+where
+    Sp: NondetSpec,
+{
+    let ops = Ops::extract(h);
+    // Precedence: for every pair of completed ops a ≺_H b that both appear,
+    // a must come first.
+    let pos: std::collections::HashMap<usize, usize> =
+        witness.iter().enumerate().map(|(k, &i)| (i, k)).collect();
+    for &a in witness {
+        for &b in witness {
+            if a != b && ops.precedes(a, b) && pos[&a] > pos[&b] {
+                return false;
+            }
+        }
+    }
+    // Every completed op must appear exactly once.
+    for i in ops.completed() {
+        if !pos.contains_key(&i) {
+            return false;
+        }
+    }
+    // Legality: replay.
+    let mut state = spec.initial();
+    for &i in witness {
+        let r = &ops.records()[i];
+        match &r.resp {
+            Some(resp) => match spec.step(&state, r.proc, &r.op, resp) {
+                Some(next) => state = next,
+                None => return false,
+            },
+            None => return false, // strict witnesses contain no pending ops
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{RegOp, RegResp, RegisterSpec};
+
+    type H = History<RegOp, RegResp>;
+
+    fn cfg() -> CheckerConfig {
+        CheckerConfig::default()
+    }
+
+    #[test]
+    fn empty_history_is_linearizable() {
+        let h = H::new();
+        assert_eq!(
+            check_linearizable(&RegisterSpec, &h, &cfg()),
+            CheckOutcome::Linearizable(vec![])
+        );
+    }
+
+    #[test]
+    fn sequential_legal_history_passes() {
+        let mut h = H::new();
+        h.invoke(0, RegOp::Write(1));
+        h.respond(0, RegResp::Ack);
+        h.invoke(1, RegOp::Read);
+        h.respond(1, RegResp::Value(1));
+        let out = check_linearizable(&RegisterSpec, &h, &cfg());
+        match &out {
+            CheckOutcome::Linearizable(w) => {
+                assert!(verify_witness(&RegisterSpec, &h, w));
+            }
+            other => panic!("expected linearizable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stale_read_after_write_completes_fails() {
+        // w(1) completes strictly before the read, yet the read sees 0.
+        let mut h = H::new();
+        h.invoke(0, RegOp::Write(1));
+        h.respond(0, RegResp::Ack);
+        h.invoke(1, RegOp::Read);
+        h.respond(1, RegResp::Value(0));
+        assert!(matches!(
+            check_linearizable(&RegisterSpec, &h, &cfg()),
+            CheckOutcome::Violation(Violation::NotLinearizable { .. })
+        ));
+    }
+
+    #[test]
+    fn concurrent_read_may_see_either_value() {
+        // The read overlaps the write: both 0 and 1 are legal.
+        for seen in [0u64, 1] {
+            let mut h = H::new();
+            h.invoke(0, RegOp::Write(1));
+            h.invoke(1, RegOp::Read);
+            h.respond(1, RegResp::Value(seen));
+            h.respond(0, RegResp::Ack);
+            assert!(
+                check_linearizable(&RegisterSpec, &h, &cfg()).is_ok(),
+                "value {seen} should be legal"
+            );
+        }
+    }
+
+    #[test]
+    fn new_old_inversion_is_rejected() {
+        // Two sequential reads around a concurrent write: the first sees
+        // the new value, the second the old one — not linearizable.
+        let mut h = H::new();
+        h.invoke(0, RegOp::Write(1)); // concurrent with both reads
+        h.invoke(1, RegOp::Read);
+        h.respond(1, RegResp::Value(1)); // sees new
+        h.invoke(1, RegOp::Read);
+        h.respond(1, RegResp::Value(0)); // then sees old
+        h.respond(0, RegResp::Ack);
+        assert!(matches!(
+            check_linearizable(&RegisterSpec, &h, &cfg()),
+            CheckOutcome::Violation(Violation::NotLinearizable { .. })
+        ));
+    }
+
+    #[test]
+    fn pending_write_effect_requires_completion_mode() {
+        // The write never responds, but a later read observes it; only
+        // the det checker with complete_pending can accept this.
+        let mut h = H::new();
+        h.invoke(0, RegOp::Write(7)); // pending forever
+        h.invoke(1, RegOp::Read);
+        h.respond(1, RegResp::Value(7));
+        // Strict mode drops the write, so Value(7) is illegal:
+        assert!(matches!(
+            check_linearizable(&RegisterSpec, &h, &cfg()),
+            CheckOutcome::Violation(Violation::NotLinearizable { .. })
+        ));
+        // Completion mode accepts:
+        assert!(check_linearizable_det(&RegisterSpec, &h, &cfg()).is_ok());
+        // ... and with completion disabled it rejects again:
+        let strict = CheckerConfig {
+            complete_pending: false,
+            ..cfg()
+        };
+        assert!(!check_linearizable_det(&RegisterSpec, &h, &strict).is_ok());
+    }
+
+    #[test]
+    fn malformed_history_is_flagged() {
+        let mut h = H::new();
+        h.respond(0, RegResp::Ack);
+        assert_eq!(
+            check_linearizable(&RegisterSpec, &h, &cfg()),
+            CheckOutcome::Violation(Violation::Malformed)
+        );
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let mut h = H::new();
+        for p in 0..6 {
+            h.invoke(p, RegOp::Write(p as u64));
+        }
+        for p in 0..6 {
+            h.respond(p, RegResp::Ack);
+        }
+        let tiny = CheckerConfig {
+            node_budget: 2,
+            ..cfg()
+        };
+        assert_eq!(
+            check_linearizable(&RegisterSpec, &h, &tiny),
+            CheckOutcome::BudgetExhausted
+        );
+    }
+
+    #[test]
+    fn nomemo_agrees_on_small_histories() {
+        let mut h = H::new();
+        h.invoke(0, RegOp::Write(1));
+        h.invoke(1, RegOp::Read);
+        h.respond(1, RegResp::Value(1));
+        h.respond(0, RegResp::Ack);
+        assert_eq!(
+            check_linearizable(&RegisterSpec, &h, &cfg()).is_ok(),
+            check_linearizable_nomemo(&RegisterSpec, &h, &cfg()).is_ok()
+        );
+    }
+
+    #[test]
+    fn witness_respects_precedence() {
+        let mut h = H::new();
+        h.invoke(0, RegOp::Write(1));
+        h.respond(0, RegResp::Ack);
+        h.invoke(0, RegOp::Write(2));
+        h.respond(0, RegResp::Ack);
+        h.invoke(1, RegOp::Read);
+        h.respond(1, RegResp::Value(2));
+        match check_linearizable(&RegisterSpec, &h, &cfg()) {
+            CheckOutcome::Linearizable(w) => {
+                assert_eq!(w, vec![0, 1, 2]);
+                assert!(verify_witness(&RegisterSpec, &h, &w));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,349 @@
+//! Invocation/response events and the history container.
+//!
+//! "An object is an automaton with input events INVOKE(P, op) ... and
+//! output events RESPOND(P, res)" (Section 3.2). A history is the sequence
+//! of such events from an execution; positions in the sequence encode the
+//! real-time order.
+
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::Arc;
+
+/// A process identifier (the paper's `P`); processes are ordered by index,
+/// which Definition 14 uses to break ties in the dominance relation.
+pub type ProcId = usize;
+
+/// One event of a history.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Event<O, R> {
+    /// `INVOKE(P, op)`.
+    Invoke {
+        /// The invoking process.
+        proc: ProcId,
+        /// The operation (including its arguments).
+        op: O,
+    },
+    /// `RESPOND(P, res)`.
+    Respond {
+        /// The responding process.
+        proc: ProcId,
+        /// The result value.
+        resp: R,
+    },
+}
+
+impl<O, R> Event<O, R> {
+    /// The process an event belongs to.
+    pub fn proc(&self) -> ProcId {
+        match self {
+            Event::Invoke { proc, .. } | Event::Respond { proc, .. } => *proc,
+        }
+    }
+
+    /// `true` for invocation events.
+    pub fn is_invoke(&self) -> bool {
+        matches!(self, Event::Invoke { .. })
+    }
+}
+
+/// A history: a finite sequence of events.
+///
+/// Invariants are *checked*, not assumed: [`History::well_formed`]
+/// verifies that each per-process subhistory `H|P` begins with an
+/// invocation and alternates matching invocations and responses.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct History<O, R> {
+    events: Vec<Event<O, R>>,
+}
+
+impl<O, R> History<O, R> {
+    /// The empty history.
+    pub fn new() -> Self {
+        History { events: Vec::new() }
+    }
+
+    /// Build from a raw event sequence.
+    pub fn from_events(events: Vec<Event<O, R>>) -> Self {
+        History { events }
+    }
+
+    /// Append an invocation event.
+    pub fn invoke(&mut self, proc: ProcId, op: O) {
+        self.events.push(Event::Invoke { proc, op });
+    }
+
+    /// Append a response event.
+    pub fn respond(&mut self, proc: ProcId, resp: R) {
+        self.events.push(Event::Respond { proc, resp });
+    }
+
+    /// The events, in real-time order.
+    pub fn events(&self) -> &[Event<O, R>] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when there are no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The projection `H|P`: the subsequence of events of process `p`.
+    pub fn project(&self, p: ProcId) -> Vec<&Event<O, R>> {
+        self.events.iter().filter(|e| e.proc() == p).collect()
+    }
+
+    /// Well-formedness: for every process, `H|P` begins with an invocation
+    /// and alternates matching invocations and responses (Section 3.2).
+    pub fn well_formed(&self) -> bool {
+        let mut pending: std::collections::BTreeMap<ProcId, bool> = Default::default();
+        for e in &self.events {
+            let has_pending = pending.entry(e.proc()).or_insert(false);
+            match e {
+                Event::Invoke { .. } => {
+                    if *has_pending {
+                        return false; // invocation while one is pending
+                    }
+                    *has_pending = true;
+                }
+                Event::Respond { .. } => {
+                    if !*has_pending {
+                        return false; // response with no matching invocation
+                    }
+                    *has_pending = false;
+                }
+            }
+        }
+        true
+    }
+
+    /// `complete(H)`: the maximal subsequence consisting only of
+    /// invocations and *matching* responses — i.e. `H` with pending
+    /// invocations removed.
+    pub fn complete(&self) -> History<O, R>
+    where
+        O: Clone,
+        R: Clone,
+    {
+        // A pending invocation is one with no later response by the same
+        // process (well-formed histories have at most one per process).
+        let mut responded = vec![false; self.events.len()];
+        let mut awaiting: std::collections::BTreeMap<ProcId, usize> = Default::default();
+        for (i, e) in self.events.iter().enumerate() {
+            match e {
+                Event::Invoke { proc, .. } => {
+                    awaiting.insert(*proc, i);
+                }
+                Event::Respond { proc, .. } => {
+                    if let Some(j) = awaiting.remove(proc) {
+                        responded[j] = true;
+                    }
+                    responded[i] = true;
+                }
+            }
+        }
+        History {
+            events: self
+                .events
+                .iter()
+                .zip(&responded)
+                .filter(|(e, &r)| r || !e.is_invoke())
+                .map(|(e, _)| e.clone())
+                .collect(),
+        }
+    }
+
+    /// `true` when the history is sequential: it begins with an invocation
+    /// and alternates matching invocations and responses at the
+    /// granularity of complete operations (Section 3.2).
+    pub fn is_sequential(&self) -> bool {
+        let mut current: Option<ProcId> = None;
+        for e in &self.events {
+            match (e, current) {
+                (Event::Invoke { proc, .. }, None) => current = Some(*proc),
+                (Event::Respond { proc, .. }, Some(p)) if *proc == p => current = None,
+                _ => return false,
+            }
+        }
+        current.is_none()
+    }
+}
+
+impl<O: fmt::Debug, R: fmt::Debug> fmt::Debug for History<O, R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "History[")?;
+        for (i, e) in self.events.iter().enumerate() {
+            match e {
+                Event::Invoke { proc, op } => writeln!(f, "  {i:4}  P{proc} invoke  {op:?}")?,
+                Event::Respond { proc, resp } => writeln!(f, "  {i:4}  P{proc} respond {resp:?}")?,
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+/// A thread-safe history recorder for native multi-threaded runs.
+///
+/// Each wrapper method appends its event atomically, so the recorded
+/// sequence is a legal real-time order of the actual execution: an
+/// operation's invocation is recorded before its body runs and its
+/// response after the body returns, hence if operation `a` really finished
+/// before `b` began, `a`'s response precedes `b`'s invocation in the
+/// record.
+#[derive(Clone, Default)]
+pub struct Recorder<O, R> {
+    inner: Arc<Mutex<History<O, R>>>,
+}
+
+impl<O: Clone, R: Clone> Recorder<O, R> {
+    /// A fresh recorder with an empty history.
+    pub fn new() -> Self {
+        Recorder {
+            inner: Arc::new(Mutex::new(History::new())),
+        }
+    }
+
+    /// Record `INVOKE(p, op)`.
+    pub fn invoke(&self, proc: ProcId, op: O) {
+        self.inner.lock().invoke(proc, op);
+    }
+
+    /// Record `RESPOND(p, resp)`.
+    pub fn respond(&self, proc: ProcId, resp: R) {
+        self.inner.lock().respond(proc, resp);
+    }
+
+    /// Run `body` bracketed by invoke/respond events.
+    pub fn record<F: FnOnce() -> R>(&self, proc: ProcId, op: O, body: F) -> R {
+        self.invoke(proc, op);
+        let resp = body();
+        self.respond(proc, resp.clone());
+        resp
+    }
+
+    /// Extract the history recorded so far.
+    pub fn snapshot(&self) -> History<O, R> {
+        self.inner.lock().clone()
+    }
+
+    /// Consume the recorder, returning the history (panics if other clones
+    /// are still alive).
+    pub fn into_history(self) -> History<O, R> {
+        Arc::try_unwrap(self.inner)
+            .unwrap_or_else(|_| panic!("Recorder still shared"))
+            .into_inner()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type H = History<&'static str, u32>;
+
+    #[test]
+    fn well_formed_accepts_interleaving() {
+        let mut h = H::new();
+        h.invoke(0, "a");
+        h.invoke(1, "b");
+        h.respond(1, 1);
+        h.respond(0, 0);
+        assert!(h.well_formed());
+        assert!(!h.is_sequential());
+    }
+
+    #[test]
+    fn well_formed_rejects_double_invoke() {
+        let mut h = H::new();
+        h.invoke(0, "a");
+        h.invoke(0, "b");
+        assert!(!h.well_formed());
+    }
+
+    #[test]
+    fn well_formed_rejects_orphan_response() {
+        let mut h = H::new();
+        h.respond(0, 3);
+        assert!(!h.well_formed());
+    }
+
+    #[test]
+    fn complete_drops_pending() {
+        let mut h = H::new();
+        h.invoke(0, "a");
+        h.respond(0, 0);
+        h.invoke(1, "b"); // pending
+        let c = h.complete();
+        assert_eq!(c.len(), 2);
+        assert!(c.well_formed());
+        assert!(c.is_sequential());
+    }
+
+    #[test]
+    fn complete_keeps_matched_pairs_in_order() {
+        let mut h = H::new();
+        h.invoke(0, "a");
+        h.invoke(1, "b");
+        h.respond(0, 0);
+        h.invoke(2, "c"); // pending
+        h.respond(1, 1);
+        let c = h.complete();
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.project(2).len(), 0);
+    }
+
+    #[test]
+    fn sequential_detection() {
+        let mut h = H::new();
+        h.invoke(0, "a");
+        h.respond(0, 0);
+        h.invoke(1, "b");
+        h.respond(1, 1);
+        assert!(h.is_sequential());
+    }
+
+    #[test]
+    fn projection_filters_by_process() {
+        let mut h = H::new();
+        h.invoke(0, "a");
+        h.invoke(1, "b");
+        h.respond(0, 0);
+        assert_eq!(h.project(0).len(), 2);
+        assert_eq!(h.project(1).len(), 1);
+        assert_eq!(h.project(7).len(), 0);
+    }
+
+    #[test]
+    fn recorder_round_trip() {
+        let rec: Recorder<&'static str, u32> = Recorder::new();
+        let r = rec.record(0, "inc", || 7);
+        assert_eq!(r, 7);
+        rec.invoke(1, "get");
+        rec.respond(1, 7);
+        let h = rec.into_history();
+        assert!(h.well_formed());
+        assert_eq!(h.len(), 4);
+    }
+
+    #[test]
+    fn recorder_is_threadsafe() {
+        let rec: Recorder<usize, usize> = Recorder::new();
+        std::thread::scope(|s| {
+            for p in 0..4 {
+                let rec = rec.clone();
+                s.spawn(move || {
+                    for i in 0..50 {
+                        rec.record(p, i, || i);
+                    }
+                });
+            }
+        });
+        let h = rec.snapshot();
+        assert!(h.well_formed());
+        assert_eq!(h.len(), 4 * 50 * 2);
+    }
+}

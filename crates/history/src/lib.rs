@@ -1,0 +1,45 @@
+//! Histories, sequential specifications, and a linearizability checker.
+//!
+//! Section 3.2 of the paper defines the correctness condition every object
+//! in this workspace is held to: **linearizability** (Herlihy & Wing). A
+//! history is a sequence of invocation and response events; it is
+//! linearizable when it can be extended (completing some pending
+//! invocations) and reordered into a legal sequential history that
+//! respects the real-time precedence order `≺_H`.
+//!
+//! This crate supplies:
+//!
+//! * [`event`] — invocation/response events, the [`History`] container,
+//!   well-formedness, `complete(H)`, and a thread-safe [`Recorder`] for
+//!   capturing histories from native multi-threaded runs.
+//! * [`ops`] — extraction of operation records and the real-time
+//!   precedence relation `≺_H`.
+//! * [`spec`] — the [`DetSpec`] trait for the paper's *total,
+//!   deterministic* sequential specifications (Section 3.2) and the more
+//!   general [`NondetSpec`] relation used for specifications like
+//!   approximate agreement whose responses are constrained rather than
+//!   determined (Figure 1).
+//! * [`check`] — a Wing–Gong style linearizability checker (DFS over
+//!   minimal-operation choices, with memoization when states are
+//!   hashable), returning a witness linearization or a violation.
+//! * [`brute`] — a brute-force reference checker used to property-test
+//!   the real one.
+//! * [`sc`] — a sequential-consistency checker, demonstrating the
+//!   paper's §3.2 point that linearizability is a *local* property while
+//!   SC is not.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod brute;
+pub mod check;
+pub mod event;
+pub mod ops;
+pub mod sc;
+pub mod spec;
+
+pub use check::{check_linearizable, CheckOutcome, CheckerConfig, Violation};
+pub use event::{Event, History, ProcId, Recorder};
+pub use ops::{OpRecord, Ops};
+pub use sc::check_sequentially_consistent;
+pub use spec::{DetSpec, NondetSpec};

@@ -1,0 +1,268 @@
+//! Operation records and the real-time precedence order `≺_H`.
+//!
+//! "Each history H induces a partial 'real-time' order `≺_H` on its
+//! operations: `p ≺_H q` if the response for p precedes the invocation for
+//! q. Operations unrelated by `≺_H` are said to be concurrent."
+//! (Section 3.2.)
+
+use crate::event::{Event, History, ProcId};
+
+/// One operation of a history: an invocation plus (if present) its
+/// matching response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OpRecord<O, R> {
+    /// The executing process.
+    pub proc: ProcId,
+    /// Zero-based index of this operation among `proc`'s operations.
+    pub seq: usize,
+    /// The operation (with arguments).
+    pub op: O,
+    /// The response, or `None` while pending.
+    pub resp: Option<R>,
+    /// Event index of the invocation.
+    pub invoke_at: usize,
+    /// Event index of the response (`usize::MAX` while pending).
+    pub respond_at: usize,
+}
+
+impl<O, R> OpRecord<O, R> {
+    /// `true` when the operation has no matching response in the history.
+    pub fn is_pending(&self) -> bool {
+        self.resp.is_none()
+    }
+}
+
+/// The operations of a history, in invocation order, plus precedence
+/// queries.
+#[derive(Clone, Debug)]
+pub struct Ops<O, R> {
+    records: Vec<OpRecord<O, R>>,
+}
+
+impl<O: Clone, R: Clone> Ops<O, R> {
+    /// Extract the operations of a well-formed history.
+    ///
+    /// # Panics
+    /// Panics when the history is not well-formed; callers should validate
+    /// with [`History::well_formed`] first when the source is untrusted.
+    pub fn extract(h: &History<O, R>) -> Self {
+        assert!(
+            h.well_formed(),
+            "cannot extract operations of a malformed history"
+        );
+        let mut records: Vec<OpRecord<O, R>> = Vec::new();
+        let mut open: std::collections::BTreeMap<ProcId, usize> = Default::default();
+        let mut counts: std::collections::BTreeMap<ProcId, usize> = Default::default();
+        for (i, e) in h.events().iter().enumerate() {
+            match e {
+                Event::Invoke { proc, op } => {
+                    let seq = counts.entry(*proc).or_insert(0);
+                    open.insert(*proc, records.len());
+                    records.push(OpRecord {
+                        proc: *proc,
+                        seq: *seq,
+                        op: op.clone(),
+                        resp: None,
+                        invoke_at: i,
+                        respond_at: usize::MAX,
+                    });
+                    *seq += 1;
+                }
+                Event::Respond { proc, resp } => {
+                    let idx = open.remove(proc).expect("well-formed");
+                    records[idx].resp = Some(resp.clone());
+                    records[idx].respond_at = i;
+                }
+            }
+        }
+        Ops { records }
+    }
+
+    /// All operation records, in invocation order.
+    pub fn records(&self) -> &[OpRecord<O, R>] {
+        &self.records
+    }
+
+    /// Number of operations (completed and pending).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when the history had no operations.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Real-time precedence: `a ≺_H b` iff `a`'s response precedes `b`'s
+    /// invocation. Pending operations never precede anything.
+    pub fn precedes(&self, a: usize, b: usize) -> bool {
+        self.records[a].respond_at < self.records[b].invoke_at
+    }
+
+    /// `true` when neither operation precedes the other.
+    pub fn concurrent(&self, a: usize, b: usize) -> bool {
+        !self.precedes(a, b) && !self.precedes(b, a)
+    }
+
+    /// Indices of the completed operations.
+    pub fn completed(&self) -> Vec<usize> {
+        (0..self.records.len())
+            .filter(|&i| !self.records[i].is_pending())
+            .collect()
+    }
+
+    /// Indices of the pending operations.
+    pub fn pending(&self) -> Vec<usize> {
+        (0..self.records.len())
+            .filter(|&i| self.records[i].is_pending())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> History<&'static str, u32> {
+        // P0: |--a--|        |--c--|
+        // P1:     |-----b--------|
+        let mut h = History::new();
+        h.invoke(0, "a"); // op 0
+        h.invoke(1, "b"); // op 1
+        h.respond(0, 10);
+        h.invoke(0, "c"); // op 2
+        h.respond(1, 11);
+        h.respond(0, 12);
+        h
+    }
+
+    #[test]
+    fn extraction_pairs_events() {
+        let ops = Ops::extract(&sample());
+        assert_eq!(ops.len(), 3);
+        assert_eq!(ops.records()[0].op, "a");
+        assert_eq!(ops.records()[0].resp, Some(10));
+        assert_eq!(ops.records()[2].proc, 0);
+        assert_eq!(ops.records()[2].seq, 1);
+        assert!(!ops.is_empty());
+    }
+
+    #[test]
+    fn precedence_matches_definition() {
+        let ops = Ops::extract(&sample());
+        assert!(ops.precedes(0, 2)); // a before c (same process)
+        assert!(!ops.precedes(0, 1)); // a and b overlap
+        assert!(ops.concurrent(0, 1));
+        assert!(ops.concurrent(1, 2)); // b overlaps c
+        assert!(!ops.precedes(2, 1));
+    }
+
+    #[test]
+    fn pending_ops_never_precede() {
+        let mut h = History::new();
+        h.invoke(0, "a"); // pending forever
+        h.invoke(1, "b");
+        h.respond(1, 1);
+        let ops = Ops::extract(&h);
+        assert_eq!(ops.pending(), vec![0]);
+        assert_eq!(ops.completed(), vec![1]);
+        assert!(!ops.precedes(0, 1));
+        assert!(ops.records()[0].is_pending());
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed")]
+    fn extraction_rejects_malformed() {
+        let mut h: History<&str, u32> = History::new();
+        h.respond(3, 0);
+        let _ = Ops::extract(&h);
+    }
+
+    /// Lemma 13 over random histories: "Let H be a history with
+    /// operations p, q, r, s such that p precedes q, r precedes s, and p
+    /// and s are concurrent. Then r precedes q." This is the interval-
+    /// order property every real-time precedence relation satisfies;
+    /// the lingraph lemmas lean on it.
+    #[test]
+    fn lemma_13_property() {
+        use proptest::prelude::*;
+        use proptest::test_runner::TestRunner;
+        let mut runner = TestRunner::default();
+        runner
+            .run(
+                &proptest::collection::vec((0usize..4, 1u32..8, 0u32..8), 1..10),
+                |raw| {
+                    // Build a well-formed history from per-process
+                    // serialized intervals.
+                    let mut next_free = [0u32; 4];
+                    let mut spans: Vec<(u32, u32, usize)> = Vec::new();
+                    for (proc, dur, gap) in raw {
+                        let start = next_free[proc] + gap;
+                        let end = start + dur;
+                        next_free[proc] = end + 1;
+                        spans.push((start, end, proc));
+                    }
+                    // Emit events by time: invocation at start, response
+                    // at end (ties broken responses-first; the lemma is
+                    // position-based, so any tie-break is valid).
+                    let mut evs: Vec<(u32, bool, usize)> = Vec::new();
+                    for (i, &(s, e, _)) in spans.iter().enumerate() {
+                        evs.push((s, true, i));
+                        evs.push((e, false, i));
+                    }
+                    evs.sort_by_key(|&(t, is_inv, _)| (t, is_inv));
+                    let mut h: History<usize, usize> = History::new();
+                    for (_, is_inv, i) in evs {
+                        if is_inv {
+                            h.invoke(spans[i].2, i);
+                        } else {
+                            h.respond(spans[i].2, i);
+                        }
+                    }
+                    prop_assert!(h.well_formed());
+                    let ops = Ops::extract(&h);
+                    let k = ops.len();
+                    for p in 0..k {
+                        for q in 0..k {
+                            for r in 0..k {
+                                for s in 0..k {
+                                    if ops.precedes(p, q)
+                                        && ops.precedes(r, s)
+                                        && ops.concurrent(p, s)
+                                    {
+                                        prop_assert!(
+                                            ops.precedes(r, q),
+                                            "Lemma 13 violated: p={p} q={q} r={r} s={s}"
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    Ok(())
+                },
+            )
+            .unwrap();
+    }
+
+    #[test]
+    fn lemma_13_sanity() {
+        // Lemma 13: if p precedes q, r precedes s, and p,s concurrent,
+        // then r precedes q. Check on a concrete witness history.
+        let mut h: History<&str, u32> = History::new();
+        h.invoke(2, "r"); // op 0 = r
+        h.respond(2, 0);
+        h.invoke(0, "p"); // op 1 = p
+        h.invoke(3, "s"); // op 2 = s  (concurrent with p)
+        h.respond(0, 0);
+        h.invoke(1, "q"); // op 3 = q
+        h.respond(1, 0);
+        h.respond(3, 0);
+        let ops = Ops::extract(&h);
+        let (r, p, s, q) = (0, 1, 2, 3);
+        assert!(ops.precedes(p, q));
+        assert!(ops.precedes(r, s));
+        assert!(ops.concurrent(p, s));
+        assert!(ops.precedes(r, q)); // the lemma's conclusion
+    }
+}

@@ -1,0 +1,310 @@
+//! Sequential consistency, and why the paper insists on linearizability.
+//!
+//! Section 3.2: "linearizability differs from related correctness
+//! conditions such as sequential consistency \[34\] or strict
+//! serializability \[42\] because it is a *local* property: a set of
+//! objects is linearizable if and only if each individual object is
+//! linearizable."
+//!
+//! This module makes the comparison executable:
+//!
+//! * [`check_sequentially_consistent`] — the same DFS as the
+//!   linearizability checker but with the real-time constraint dropped:
+//!   a legal total order need only respect each process's *program
+//!   order*.
+//! * Tests reproduce the classic facts: every linearizable history is
+//!   sequentially consistent; SC additionally admits "stale" histories
+//!   linearizability rejects; and — the paper's point — SC is **not
+//!   local**: two registers, each individually SC, can compose into a
+//!   non-SC history, whereas linearizability verdicts always compose.
+
+use crate::check::{CheckOutcome, CheckerConfig, Violation, MAX_OPS};
+use crate::event::History;
+use crate::ops::{OpRecord, Ops};
+use crate::spec::NondetSpec;
+use std::collections::HashSet;
+use std::hash::Hash;
+
+struct ScSearch<'a, Sp: NondetSpec> {
+    spec: &'a Sp,
+    records: &'a [OpRecord<Sp::Op, Sp::Resp>],
+    cfg: &'a CheckerConfig,
+    memo: HashSet<(u128, Sp::State)>,
+    explored: u64,
+    witness: Vec<usize>,
+}
+
+enum ScResult {
+    Found,
+    Exhausted,
+    OverBudget,
+}
+
+impl<Sp> ScSearch<'_, Sp>
+where
+    Sp: NondetSpec,
+    Sp::State: Hash + Eq + Clone,
+{
+    fn dfs(&mut self, remaining: u128, state: &Sp::State) -> ScResult {
+        self.explored += 1;
+        if self.explored > self.cfg.node_budget {
+            return ScResult::OverBudget;
+        }
+        let mut any_completed_left = false;
+        for (i, r) in self.records.iter().enumerate() {
+            if remaining & (1u128 << i) != 0 && !r.is_pending() {
+                any_completed_left = true;
+            }
+        }
+        if !any_completed_left {
+            return ScResult::Found;
+        }
+        if self.memo.contains(&(remaining, state.clone())) {
+            return ScResult::Exhausted;
+        }
+        'cand: for i in 0..self.records.len() {
+            if remaining & (1u128 << i) == 0 {
+                continue;
+            }
+            let r = &self.records[i];
+            let Some(resp) = &r.resp else { continue };
+            // Program-order constraint only: every earlier op of the
+            // same process must already be linearized.
+            for (j, rj) in self.records.iter().enumerate() {
+                if j != i
+                    && remaining & (1u128 << j) != 0
+                    && rj.proc == r.proc
+                    && rj.invoke_at < r.invoke_at
+                    && !rj.is_pending()
+                {
+                    continue 'cand;
+                }
+            }
+            if let Some(next) = self.spec.step(state, r.proc, &r.op, resp) {
+                self.witness.push(i);
+                match self.dfs(remaining & !(1u128 << i), &next) {
+                    ScResult::Found => return ScResult::Found,
+                    ScResult::OverBudget => return ScResult::OverBudget,
+                    ScResult::Exhausted => {
+                        self.witness.pop();
+                    }
+                }
+            }
+        }
+        self.memo.insert((remaining, state.clone()));
+        ScResult::Exhausted
+    }
+}
+
+/// Check sequential consistency: is there a legal total order of the
+/// completed operations that respects every process's program order
+/// (real time is ignored)? Pending operations are dropped.
+pub fn check_sequentially_consistent<Sp>(
+    spec: &Sp,
+    h: &History<Sp::Op, Sp::Resp>,
+    cfg: &CheckerConfig,
+) -> CheckOutcome
+where
+    Sp: NondetSpec,
+    Sp::State: Hash + Eq + Clone,
+{
+    if !h.well_formed() {
+        return CheckOutcome::Violation(Violation::Malformed);
+    }
+    let ops = Ops::extract(h);
+    if ops.len() > MAX_OPS {
+        return CheckOutcome::Violation(Violation::TooLarge);
+    }
+    let mut search = ScSearch {
+        spec,
+        records: ops.records(),
+        cfg,
+        memo: HashSet::new(),
+        explored: 0,
+        witness: Vec::new(),
+    };
+    let full: u128 = if ops.len() == MAX_OPS {
+        u128::MAX
+    } else {
+        (1u128 << ops.len()) - 1
+    };
+    let init = spec.initial();
+    match search.dfs(full, &init) {
+        ScResult::Found => CheckOutcome::Linearizable(search.witness),
+        ScResult::OverBudget => CheckOutcome::BudgetExhausted,
+        ScResult::Exhausted => CheckOutcome::Violation(Violation::NotLinearizable {
+            explored: search.explored,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::check_linearizable;
+    use crate::spec::{DetSpec, RegOp, RegResp, RegisterSpec};
+    use crate::ProcId;
+    use proptest::prelude::*;
+
+    type H = History<RegOp, RegResp>;
+
+    fn cfg() -> CheckerConfig {
+        CheckerConfig::default()
+    }
+
+    /// SC admits stale reads that linearizability rejects.
+    #[test]
+    fn sc_accepts_stale_reads() {
+        let mut h = H::new();
+        h.invoke(0, RegOp::Write(1));
+        h.respond(0, RegResp::Ack);
+        h.invoke(1, RegOp::Read);
+        h.respond(1, RegResp::Value(0)); // stale: after the write completed
+        assert!(!check_linearizable(&RegisterSpec, &h, &cfg()).is_ok());
+        assert!(check_sequentially_consistent(&RegisterSpec, &h, &cfg()).is_ok());
+    }
+
+    /// Program order still binds: a process cannot contradict itself.
+    #[test]
+    fn sc_rejects_program_order_violations() {
+        let mut h = H::new();
+        h.invoke(0, RegOp::Write(1));
+        h.respond(0, RegResp::Ack);
+        h.invoke(0, RegOp::Read);
+        h.respond(0, RegResp::Value(0)); // own write must be visible
+        assert!(!check_sequentially_consistent(&RegisterSpec, &h, &cfg()).is_ok());
+    }
+
+    /// A two-register composed specification for the locality tests:
+    /// ops carry the register index.
+    #[derive(Clone, Copy, Debug, Default)]
+    struct TwoRegs;
+
+    #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+    enum Op2 {
+        Write(usize, u64),
+        Read(usize),
+    }
+
+    impl DetSpec for TwoRegs {
+        type State = [u64; 2];
+        type Op = Op2;
+        type Resp = RegResp;
+
+        fn initial(&self) -> [u64; 2] {
+            [0, 0]
+        }
+
+        fn apply(&self, s: &mut [u64; 2], _p: ProcId, op: &Op2) -> RegResp {
+            match op {
+                Op2::Write(r, v) => {
+                    s[*r] = *v;
+                    RegResp::Ack
+                }
+                Op2::Read(r) => RegResp::Value(s[*r]),
+            }
+        }
+    }
+
+    fn project(h: &History<Op2, RegResp>, reg: usize) -> H {
+        // Project onto one register, mapping ops to the single-register
+        // spec's ops. (Well-formed because each op is complete here.)
+        let mut out = H::new();
+        let ops = Ops::extract(h);
+        for r in ops.records() {
+            let keep = match r.op {
+                Op2::Write(q, _) | Op2::Read(q) => q == reg,
+            };
+            if keep {
+                let op = match r.op {
+                    Op2::Write(_, v) => RegOp::Write(v),
+                    Op2::Read(_) => RegOp::Read,
+                };
+                out.invoke(r.proc, op);
+                out.respond(r.proc, r.resp.clone().unwrap());
+            }
+        }
+        out
+    }
+
+    /// The paper's locality contrast, on the classic Dekker-style
+    /// history: each register's projection is SC, yet the composition is
+    /// not — while the linearizability verdicts compose exactly
+    /// (projection x is already non-linearizable, matching the
+    /// non-linearizable whole).
+    #[test]
+    fn sc_is_not_local_linearizability_is() {
+        // Sequential real-time order of completed ops:
+        //   P0: W(x,1)   P0: R(y)→0   P1: W(y,1)   P1: R(x)→0
+        let mut h: History<Op2, RegResp> = History::new();
+        h.invoke(0, Op2::Write(0, 1));
+        h.respond(0, RegResp::Ack);
+        h.invoke(1, Op2::Write(1, 1));
+        h.respond(1, RegResp::Ack);
+        h.invoke(0, Op2::Read(1));
+        h.respond(0, RegResp::Value(0)); // P0 misses P1's write to y
+        h.invoke(1, Op2::Read(0));
+        h.respond(1, RegResp::Value(0)); // P1 misses P0's write to x
+                                         // Composition: not SC (the cycle W(x,1)<R(y)<W(y,1)<R(x)<W(x,1)).
+        assert!(!check_sequentially_consistent(&TwoRegs, &h, &cfg()).is_ok());
+        // But each projection alone is SC:
+        let hx = project(&h, 0);
+        let hy = project(&h, 1);
+        assert!(check_sequentially_consistent(&RegisterSpec, &hx, &cfg()).is_ok());
+        assert!(check_sequentially_consistent(&RegisterSpec, &hy, &cfg()).is_ok());
+        // Linearizability is local: the projections are already
+        // rejected, agreeing with the rejected composition.
+        assert!(!check_linearizable(&RegisterSpec, &hx, &cfg()).is_ok());
+        assert!(!check_linearizable(&RegisterSpec, &hy, &cfg()).is_ok());
+        assert!(!check_linearizable(&TwoRegs, &h, &cfg()).is_ok());
+    }
+
+    /// Strategy for small random register histories (reused shape from
+    /// the brute-force tests).
+    fn small_history() -> impl Strategy<Value = H> {
+        proptest::collection::vec((0usize..3, 0u8..2, 0u64..3, any::<bool>()), 0..6).prop_map(
+            |steps| {
+                let mut h = H::new();
+                let mut open: Vec<(usize, RegResp)> = Vec::new();
+                for (proc, kind, val, close_now) in steps {
+                    if let Some(pos) = open.iter().position(|(p, _)| *p == proc) {
+                        let (p, resp) = open.remove(pos);
+                        h.respond(p, resp);
+                    }
+                    let (op, resp) = if kind == 0 {
+                        (RegOp::Write(val), RegResp::Ack)
+                    } else {
+                        (RegOp::Read, RegResp::Value(val))
+                    };
+                    h.invoke(proc, op);
+                    if close_now {
+                        h.respond(proc, resp);
+                    } else {
+                        open.push((proc, resp));
+                    }
+                }
+                for (p, resp) in open {
+                    h.respond(p, resp);
+                }
+                h
+            },
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Linearizability implies sequential consistency (the SC order
+        /// relaxes the linearization's constraints).
+        #[test]
+        fn linearizable_implies_sc(h in small_history()) {
+            prop_assume!(h.well_formed());
+            if check_linearizable(&RegisterSpec, &h, &cfg()).is_ok() {
+                prop_assert!(
+                    check_sequentially_consistent(&RegisterSpec, &h, &cfg()).is_ok(),
+                    "linearizable history rejected by SC: {:?}", h
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Sequential specifications.
+//!
+//! The paper considers "only objects whose sequential specifications are
+//! *total* and *deterministic*: if the object has a pending invocation,
+//! then it has a unique matching enabled response" (Section 3.2). Those
+//! are [`DetSpec`]s. The approximate agreement object of Figure 1,
+//! however, is specified by a *relation* (any `y` with
+//! `range(Y ∪ {y}) ⊆ range(X)` and `|range(Y ∪ {y})| < ε` is legal), so
+//! the checker is written against the weaker [`NondetSpec`] interface,
+//! which every `DetSpec` satisfies via a blanket implementation.
+
+use crate::event::ProcId;
+use std::fmt::Debug;
+
+/// A total, deterministic sequential specification.
+pub trait DetSpec {
+    /// Abstract object state.
+    type State: Clone;
+    /// Operations (including arguments).
+    type Op: Clone + Debug;
+    /// Responses.
+    type Resp: Clone + PartialEq + Debug;
+
+    /// The initial state.
+    fn initial(&self) -> Self::State;
+
+    /// Apply `op` by process `proc`, mutating the state and returning the
+    /// unique enabled response. Totality means this must succeed on every
+    /// state.
+    fn apply(&self, state: &mut Self::State, proc: ProcId, op: &Self::Op) -> Self::Resp;
+
+    /// Run a sequence of operations from the initial state, returning the
+    /// responses. Convenience for tests and the universal construction.
+    fn run(&self, ops: &[(ProcId, Self::Op)]) -> (Self::State, Vec<Self::Resp>) {
+        let mut s = self.initial();
+        let resps = ops
+            .iter()
+            .map(|(p, op)| self.apply(&mut s, *p, op))
+            .collect();
+        (s, resps)
+    }
+}
+
+/// A (possibly) nondeterministic sequential specification, given as a
+/// transition *relation*: `step` returns the successor state when
+/// `(state, op, resp)` is a legal transition, and `None` otherwise.
+pub trait NondetSpec {
+    /// Abstract object state.
+    type State: Clone;
+    /// Operations (including arguments).
+    type Op: Clone + Debug;
+    /// Responses.
+    type Resp: Clone + Debug;
+
+    /// The initial state.
+    fn initial(&self) -> Self::State;
+
+    /// The transition relation, deterministic *given the response*.
+    fn step(
+        &self,
+        state: &Self::State,
+        proc: ProcId,
+        op: &Self::Op,
+        resp: &Self::Resp,
+    ) -> Option<Self::State>;
+}
+
+/// Every deterministic spec is a nondeterministic one whose relation
+/// accepts exactly the response `apply` computes.
+impl<S: DetSpec> NondetSpec for S {
+    type State = S::State;
+    type Op = S::Op;
+    type Resp = S::Resp;
+
+    fn initial(&self) -> Self::State {
+        DetSpec::initial(self)
+    }
+
+    fn step(
+        &self,
+        state: &Self::State,
+        proc: ProcId,
+        op: &Self::Op,
+        resp: &Self::Resp,
+    ) -> Option<Self::State> {
+        let mut next = state.clone();
+        let expected = self.apply(&mut next, proc, op);
+        (&expected == resp).then_some(next)
+    }
+}
+
+/// A single read/write register specification; the base object of the
+/// asynchronous PRAM model itself, and the simplest checker test case.
+#[derive(Clone, Debug, Default)]
+pub struct RegisterSpec;
+
+/// Register operations.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum RegOp {
+    /// Write a value.
+    Write(u64),
+    /// Read the current value.
+    Read,
+}
+
+/// Register responses.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum RegResp {
+    /// Acknowledgement of a write.
+    Ack,
+    /// The value read.
+    Value(u64),
+}
+
+impl DetSpec for RegisterSpec {
+    type State = u64;
+    type Op = RegOp;
+    type Resp = RegResp;
+
+    fn initial(&self) -> u64 {
+        0
+    }
+
+    fn apply(&self, state: &mut u64, _proc: ProcId, op: &RegOp) -> RegResp {
+        match op {
+            RegOp::Write(v) => {
+                *state = *v;
+                RegResp::Ack
+            }
+            RegOp::Read => RegResp::Value(*state),
+        }
+    }
+}
+
+/// A FIFO queue specification with a *total* `deq` (returns `None` on
+/// empty, per the paper's discussion of why partial operations are
+/// excluded). Queues solve consensus and therefore have no wait-free
+/// asynchronous-PRAM implementation — this spec exists to test the
+/// checker, not to be implemented.
+#[derive(Clone, Debug, Default)]
+pub struct QueueSpec;
+
+/// Queue operations.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum QueueOp {
+    /// Enqueue a value.
+    Enq(u64),
+    /// Dequeue the head (total: returns `None` when empty).
+    Deq,
+}
+
+/// Queue responses.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum QueueResp {
+    /// Acknowledgement of an enqueue.
+    Ack,
+    /// The dequeued head, or `None` when the queue was empty.
+    Head(Option<u64>),
+}
+
+impl DetSpec for QueueSpec {
+    type State = std::collections::VecDeque<u64>;
+    type Op = QueueOp;
+    type Resp = QueueResp;
+
+    fn initial(&self) -> Self::State {
+        Default::default()
+    }
+
+    fn apply(&self, state: &mut Self::State, _proc: ProcId, op: &QueueOp) -> QueueResp {
+        match op {
+            QueueOp::Enq(v) => {
+                state.push_back(*v);
+                QueueResp::Ack
+            }
+            QueueOp::Deq => QueueResp::Head(state.pop_front()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_spec_is_a_register() {
+        let spec = RegisterSpec;
+        let (state, resps) = spec.run(&[(0, RegOp::Read), (1, RegOp::Write(5)), (0, RegOp::Read)]);
+        assert_eq!(state, 5);
+        assert_eq!(
+            resps,
+            vec![RegResp::Value(0), RegResp::Ack, RegResp::Value(5)]
+        );
+    }
+
+    #[test]
+    fn queue_spec_is_fifo_and_total() {
+        let spec = QueueSpec;
+        let (_, resps) = spec.run(&[
+            (0, QueueOp::Deq),
+            (0, QueueOp::Enq(1)),
+            (1, QueueOp::Enq(2)),
+            (0, QueueOp::Deq),
+            (1, QueueOp::Deq),
+            (1, QueueOp::Deq),
+        ]);
+        assert_eq!(
+            resps,
+            vec![
+                QueueResp::Head(None),
+                QueueResp::Ack,
+                QueueResp::Ack,
+                QueueResp::Head(Some(1)),
+                QueueResp::Head(Some(2)),
+                QueueResp::Head(None),
+            ]
+        );
+    }
+
+    #[test]
+    fn blanket_nondet_accepts_only_the_computed_response() {
+        let spec = RegisterSpec;
+        let s0 = NondetSpec::initial(&spec);
+        assert!(spec
+            .step(&s0, 0, &RegOp::Read, &RegResp::Value(0))
+            .is_some());
+        assert!(spec
+            .step(&s0, 0, &RegOp::Read, &RegResp::Value(1))
+            .is_none());
+        let s1 = spec.step(&s0, 0, &RegOp::Write(9), &RegResp::Ack).unwrap();
+        assert_eq!(s1, 9);
+    }
+}

@@ -1,0 +1,136 @@
+//! A generic element-wise vector lattice.
+//!
+//! `ElemVec<L>` joins two vectors component-wise, treating missing
+//! trailing components as ⊥ — the shape used by the "direct" objects of
+//! `apram-objects`, where slot `p` carries process `p`'s monotone
+//! contribution (e.g. its `(increments, decrements)` pair for the
+//! counter). [`crate::VectorClock`] is the `MaxU64` special case of this
+//! construction.
+
+use crate::JoinSemilattice;
+
+/// A vector of lattice values joined element-wise.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct ElemVec<L>(pub Vec<L>);
+
+impl<L: JoinSemilattice> ElemVec<L> {
+    /// A vector of `n` bottom elements.
+    pub fn bottom_n(n: usize) -> Self {
+        ElemVec((0..n).map(|_| L::bottom()).collect())
+    }
+
+    /// A vector that is ⊥ everywhere except slot `p`.
+    pub fn singleton(n: usize, p: usize, v: L) -> Self {
+        assert!(p < n, "slot {p} out of range for {n}");
+        let mut out = Self::bottom_n(n);
+        out.0[p] = v;
+        out
+    }
+
+    /// Component accessor (⊥ for out-of-range slots).
+    pub fn get(&self, i: usize) -> L {
+        self.0.get(i).cloned().unwrap_or_else(L::bottom)
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` when there are no components.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterate the components.
+    pub fn iter(&self) -> impl Iterator<Item = &L> {
+        self.0.iter()
+    }
+}
+
+impl<L: JoinSemilattice> JoinSemilattice for ElemVec<L> {
+    fn bottom() -> Self {
+        ElemVec(Vec::new())
+    }
+
+    fn join(&self, other: &Self) -> Self {
+        let n = self.0.len().max(other.0.len());
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            out.push(match (self.0.get(i), other.0.get(i)) {
+                (Some(a), Some(b)) => a.join(b),
+                (Some(a), None) => a.clone(),
+                (None, Some(b)) => b.clone(),
+                (None, None) => unreachable!(),
+            });
+        }
+        ElemVec(out)
+    }
+
+    fn join_assign(&mut self, other: &Self) {
+        while self.0.len() < other.0.len() {
+            self.0.push(L::bottom());
+        }
+        for (i, b) in other.0.iter().enumerate() {
+            self.0[i].join_assign(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{laws, MaxU64};
+    use proptest::prelude::*;
+
+    #[test]
+    fn singleton_and_get() {
+        let v: ElemVec<MaxU64> = ElemVec::singleton(3, 1, MaxU64::new(7));
+        assert_eq!(v.len(), 3);
+        assert!(!v.is_empty());
+        assert_eq!(v.get(0), MaxU64::new(0));
+        assert_eq!(v.get(1), MaxU64::new(7));
+        assert_eq!(v.get(99), MaxU64::bottom());
+        assert_eq!(v.iter().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn singleton_bounds_checked() {
+        let _: ElemVec<MaxU64> = ElemVec::singleton(2, 5, MaxU64::new(1));
+    }
+
+    #[test]
+    fn join_pads_with_bottom() {
+        let a: ElemVec<MaxU64> = ElemVec(vec![MaxU64::new(3)]);
+        let b: ElemVec<MaxU64> = ElemVec::singleton(3, 2, MaxU64::new(5));
+        let j = a.join(&b);
+        assert_eq!(j.0, vec![MaxU64::new(3), MaxU64::new(0), MaxU64::new(5)]);
+        let mut a2 = a.clone();
+        a2.join_assign(&b);
+        assert_eq!(a2, j);
+    }
+
+    #[test]
+    fn pair_components_join_componentwise() {
+        type Pair = (MaxU64, MaxU64);
+        let a: ElemVec<Pair> = ElemVec::singleton(2, 0, (MaxU64::new(4), MaxU64::new(1)));
+        let b: ElemVec<Pair> = ElemVec::singleton(2, 0, (MaxU64::new(2), MaxU64::new(9)));
+        assert_eq!(a.join(&b).get(0), (MaxU64::new(4), MaxU64::new(9)));
+    }
+
+    fn evec() -> impl Strategy<Value = ElemVec<MaxU64>> {
+        proptest::collection::vec((0u64..10).prop_map(MaxU64), 3).prop_map(ElemVec)
+    }
+
+    proptest! {
+        #[test]
+        fn elemvec_laws(x in evec(), y in evec(), z in evec()) {
+            laws::assert_idempotent(&x);
+            laws::assert_commutative(&x, &y);
+            laws::assert_associative(&x, &y, &z);
+            laws::assert_join_assign_consistent(&x, &y);
+            laws::assert_upper_bound(&x, &y);
+        }
+    }
+}

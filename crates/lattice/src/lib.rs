@@ -1,0 +1,158 @@
+//! Join-semilattice algebra for the Aspnes–Herlihy atomic scan.
+//!
+//! Section 6 of the paper casts the atomic snapshot problem in terms of a
+//! ∨-semilattice: "since the array's state does not depend on the order in
+//! which distinct processes update their array elements, it is natural to
+//! treat the array state as the join in a ∨-semilattice of the input
+//! values. The snapshot scan simply returns the join of the register
+//! values."
+//!
+//! This crate defines the [`JoinSemilattice`] trait with a distinguished
+//! bottom element (the paper's ⊥, satisfying `⊥ ∨ x = x`), the standard
+//! instances the rest of the workspace uses — max-lattices, set-union
+//! lattices, vector clocks, products — and the [`tagged`] instance the
+//! paper describes at the end of Section 6 for turning the generic scan
+//! into an atomic snapshot of an *n*-slot array.
+//!
+//! Every instance is exercised by property tests asserting the semilattice
+//! laws (see [`laws`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod elemvec;
+pub mod laws;
+pub mod max;
+pub mod product;
+pub mod set;
+pub mod tagged;
+pub mod vclock;
+
+pub use elemvec::ElemVec;
+pub use max::{MaxI64, MaxU64};
+pub use set::SetUnion;
+pub use tagged::{Tagged, TaggedVec};
+pub use vclock::VectorClock;
+
+/// A join-semilattice with a bottom element.
+///
+/// Laws (checked for all shipped instances by the property tests in each
+/// module, via the assertion helpers in [`laws`]):
+///
+/// * **idempotent**: `x ∨ x = x`
+/// * **commutative**: `x ∨ y = y ∨ x`
+/// * **associative**: `(x ∨ y) ∨ z = x ∨ (y ∨ z)`
+/// * **identity**: `⊥ ∨ x = x`
+///
+/// The partial order is recovered as `x ≤ y  ⇔  x ∨ y = y` (see
+/// [`JoinSemilattice::leq`]).
+pub trait JoinSemilattice: Clone {
+    /// The bottom element ⊥ such that `⊥.join(x) == x` for all `x`.
+    fn bottom() -> Self;
+
+    /// The join (least upper bound) of `self` and `other`.
+    fn join(&self, other: &Self) -> Self;
+
+    /// In-place join: `*self = self.join(other)`.
+    ///
+    /// Instances should override this when they can avoid the clone.
+    fn join_assign(&mut self, other: &Self) {
+        *self = self.join(other);
+    }
+
+    /// The induced partial order: `self ≤ other` iff `self ∨ other = other`.
+    fn leq(&self, other: &Self) -> bool
+    where
+        Self: PartialEq,
+    {
+        &self.join(other) == other
+    }
+
+    /// `true` when `self` and `other` are comparable in the induced order.
+    ///
+    /// Lemma 32 of the paper proves that any two values returned by `Scan`
+    /// are comparable; the snapshot tests use this predicate directly.
+    fn comparable(&self, other: &Self) -> bool
+    where
+        Self: PartialEq,
+    {
+        self.leq(other) || other.leq(self)
+    }
+
+    /// Join of an arbitrary collection, starting from ⊥.
+    fn join_all<'a, I>(items: I) -> Self
+    where
+        Self: 'a,
+        I: IntoIterator<Item = &'a Self>,
+    {
+        let mut acc = Self::bottom();
+        for item in items {
+            acc.join_assign(item);
+        }
+        acc
+    }
+}
+
+/// The one-point lattice; useful as a unit element in products.
+impl JoinSemilattice for () {
+    fn bottom() -> Self {}
+
+    fn join(&self, _other: &Self) -> Self {}
+}
+
+/// `Option<L>` is the lattice `L` lifted with a *new* bottom (`None`).
+///
+/// This is how the paper's ⊥ ("initially ⊥") is represented for payload
+/// types that do not have a natural least element of their own.
+impl<L: JoinSemilattice> JoinSemilattice for Option<L> {
+    fn bottom() -> Self {
+        None
+    }
+
+    fn join(&self, other: &Self) -> Self {
+        match (self, other) {
+            (None, None) => None,
+            (Some(a), None) => Some(a.clone()),
+            (None, Some(b)) => Some(b.clone()),
+            (Some(a), Some(b)) => Some(a.join(b)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_lattice_laws() {
+        laws::assert_laws(&[(), (), ()]);
+    }
+
+    #[test]
+    fn option_lifts_bottom() {
+        let a: Option<MaxU64> = Some(MaxU64::new(3));
+        assert_eq!(Option::<MaxU64>::bottom().join(&a), a);
+        assert_eq!(a.join(&None), a);
+        assert_eq!(
+            Some(MaxU64::new(3)).join(&Some(MaxU64::new(5))),
+            Some(MaxU64::new(5))
+        );
+    }
+
+    #[test]
+    fn le_and_comparable() {
+        let a = MaxU64::new(1);
+        let b = MaxU64::new(2);
+        assert!(a.leq(&b));
+        assert!(!b.leq(&a));
+        assert!(a.comparable(&b));
+    }
+
+    #[test]
+    fn join_all_folds_from_bottom() {
+        let xs = [MaxU64::new(4), MaxU64::new(9), MaxU64::new(2)];
+        assert_eq!(MaxU64::join_all(xs.iter()), MaxU64::new(9));
+        let empty: [MaxU64; 0] = [];
+        assert_eq!(MaxU64::join_all(empty.iter()), MaxU64::bottom());
+    }
+}

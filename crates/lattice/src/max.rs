@@ -1,0 +1,129 @@
+//! Max-lattices over the primitive integer types.
+//!
+//! `MaxU64` doubles as the paper's "unbounded counter" lattice: the
+//! straightforward implementation of the scan algorithm "uses unbounded
+//! counters to represent lattice elements" (Section 2). We use `u64`; see
+//! DESIGN.md for the wrap-around discussion.
+
+use crate::JoinSemilattice;
+
+/// The lattice of `u64` under `max`, with bottom `0`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct MaxU64(pub u64);
+
+impl MaxU64 {
+    /// Wrap a value.
+    pub const fn new(v: u64) -> Self {
+        MaxU64(v)
+    }
+
+    /// The wrapped value.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl JoinSemilattice for MaxU64 {
+    fn bottom() -> Self {
+        MaxU64(0)
+    }
+
+    fn join(&self, other: &Self) -> Self {
+        MaxU64(self.0.max(other.0))
+    }
+
+    fn join_assign(&mut self, other: &Self) {
+        if other.0 > self.0 {
+            self.0 = other.0;
+        }
+    }
+}
+
+/// The lattice of `i64` under `max`, with bottom `i64::MIN`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct MaxI64(pub i64);
+
+impl MaxI64 {
+    /// Wrap a value.
+    pub const fn new(v: i64) -> Self {
+        MaxI64(v)
+    }
+
+    /// The wrapped value.
+    pub const fn get(self) -> i64 {
+        self.0
+    }
+}
+
+impl Default for MaxI64 {
+    fn default() -> Self {
+        Self::bottom()
+    }
+}
+
+impl JoinSemilattice for MaxI64 {
+    fn bottom() -> Self {
+        MaxI64(i64::MIN)
+    }
+
+    fn join(&self, other: &Self) -> Self {
+        MaxI64(self.0.max(other.0))
+    }
+
+    fn join_assign(&mut self, other: &Self) {
+        if other.0 > self.0 {
+            self.0 = other.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws;
+    use proptest::prelude::*;
+
+    #[test]
+    fn max_u64_basics() {
+        assert_eq!(MaxU64::bottom(), MaxU64::new(0));
+        assert_eq!(MaxU64::new(3).join(&MaxU64::new(7)), MaxU64::new(7));
+        assert_eq!(MaxU64::new(7).join(&MaxU64::new(3)), MaxU64::new(7));
+        assert_eq!(MaxU64::new(5).get(), 5);
+    }
+
+    #[test]
+    fn max_i64_bottom_is_min() {
+        assert_eq!(MaxI64::bottom().get(), i64::MIN);
+        assert_eq!(MaxI64::default(), MaxI64::bottom());
+        assert_eq!(MaxI64::new(-3).join(&MaxI64::new(-7)), MaxI64::new(-3));
+    }
+
+    proptest! {
+        #[test]
+        fn max_u64_laws(x in any::<u64>(), y in any::<u64>(), z in any::<u64>()) {
+            let (x, y, z) = (MaxU64(x), MaxU64(y), MaxU64(z));
+            laws::assert_idempotent(&x);
+            laws::assert_identity(&x);
+            laws::assert_commutative(&x, &y);
+            laws::assert_associative(&x, &y, &z);
+            laws::assert_join_assign_consistent(&x, &y);
+            laws::assert_upper_bound(&x, &y);
+        }
+
+        #[test]
+        fn max_i64_laws(x in any::<i64>(), y in any::<i64>(), z in any::<i64>()) {
+            let (x, y, z) = (MaxI64(x), MaxI64(y), MaxI64(z));
+            laws::assert_idempotent(&x);
+            laws::assert_identity(&x);
+            laws::assert_commutative(&x, &y);
+            laws::assert_associative(&x, &y, &z);
+            laws::assert_join_assign_consistent(&x, &y);
+            laws::assert_upper_bound(&x, &y);
+        }
+
+        #[test]
+        fn max_order_agrees_with_integer_order(x in any::<u64>(), y in any::<u64>()) {
+            prop_assert_eq!(MaxU64(x).leq(&MaxU64(y)), x <= y);
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Product lattices: tuples join component-wise.
+//!
+//! Products let callers snapshot heterogeneous per-process state (e.g. a
+//! counter component and a set component) through a single scan.
+
+use crate::JoinSemilattice;
+
+impl<A, B> JoinSemilattice for (A, B)
+where
+    A: JoinSemilattice,
+    B: JoinSemilattice,
+{
+    fn bottom() -> Self {
+        (A::bottom(), B::bottom())
+    }
+
+    fn join(&self, other: &Self) -> Self {
+        (self.0.join(&other.0), self.1.join(&other.1))
+    }
+
+    fn join_assign(&mut self, other: &Self) {
+        self.0.join_assign(&other.0);
+        self.1.join_assign(&other.1);
+    }
+}
+
+impl<A, B, C> JoinSemilattice for (A, B, C)
+where
+    A: JoinSemilattice,
+    B: JoinSemilattice,
+    C: JoinSemilattice,
+{
+    fn bottom() -> Self {
+        (A::bottom(), B::bottom(), C::bottom())
+    }
+
+    fn join(&self, other: &Self) -> Self {
+        (
+            self.0.join(&other.0),
+            self.1.join(&other.1),
+            self.2.join(&other.2),
+        )
+    }
+
+    fn join_assign(&mut self, other: &Self) {
+        self.0.join_assign(&other.0);
+        self.1.join_assign(&other.1);
+        self.2.join_assign(&other.2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{laws, JoinSemilattice, MaxU64, SetUnion};
+    use proptest::prelude::*;
+
+    #[test]
+    fn pair_joins_componentwise() {
+        let a = (MaxU64::new(1), SetUnion::from_iter([1]));
+        let b = (MaxU64::new(2), SetUnion::from_iter([2]));
+        assert_eq!(a.join(&b), (MaxU64::new(2), SetUnion::from_iter([1, 2])));
+    }
+
+    #[test]
+    fn triple_bottom() {
+        let b: (MaxU64, MaxU64, SetUnion<u8>) = JoinSemilattice::bottom();
+        assert_eq!(b, (MaxU64::new(0), MaxU64::new(0), SetUnion::new()));
+    }
+
+    proptest! {
+        #[test]
+        fn pair_laws(
+            (xa, xb) in (any::<u64>(), any::<u64>()),
+            (ya, yb) in (any::<u64>(), any::<u64>()),
+            (za, zb) in (any::<u64>(), any::<u64>()),
+        ) {
+            let x = (MaxU64(xa), MaxU64(xb));
+            let y = (MaxU64(ya), MaxU64(yb));
+            let z = (MaxU64(za), MaxU64(zb));
+            laws::assert_idempotent(&x);
+            laws::assert_identity(&x);
+            laws::assert_commutative(&x, &y);
+            laws::assert_associative(&x, &y, &z);
+            laws::assert_join_assign_consistent(&x, &y);
+        }
+    }
+}

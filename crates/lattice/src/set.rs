@@ -1,0 +1,124 @@
+//! The set-union lattice.
+//!
+//! Section 5.1 of the paper names "certain kinds of set abstractions" as
+//! constructible objects; the grow-only set in `apram-objects` is built
+//! directly on this lattice plus the atomic scan.
+
+use crate::JoinSemilattice;
+use std::collections::BTreeSet;
+
+/// The lattice of finite sets of `T` under union, with bottom ∅.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct SetUnion<T: Ord + Clone>(pub BTreeSet<T>);
+
+impl<T: Ord + Clone> SetUnion<T> {
+    /// The empty set.
+    pub fn new() -> Self {
+        SetUnion(BTreeSet::new())
+    }
+
+    /// A singleton set.
+    pub fn singleton(v: T) -> Self {
+        let mut s = BTreeSet::new();
+        s.insert(v);
+        SetUnion(s)
+    }
+
+    /// Insert an element.
+    pub fn insert(&mut self, v: T) -> bool {
+        self.0.insert(v)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, v: &T) -> bool {
+        self.0.contains(v)
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` when the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterate over the elements in order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.0.iter()
+    }
+}
+
+impl<T: Ord + Clone> FromIterator<T> for SetUnion<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        SetUnion(iter.into_iter().collect())
+    }
+}
+
+impl<T: Ord + Clone> JoinSemilattice for SetUnion<T> {
+    fn bottom() -> Self {
+        SetUnion(BTreeSet::new())
+    }
+
+    fn join(&self, other: &Self) -> Self {
+        let mut out = self.0.clone();
+        out.extend(other.0.iter().cloned());
+        SetUnion(out)
+    }
+
+    fn join_assign(&mut self, other: &Self) {
+        self.0.extend(other.0.iter().cloned());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws;
+    use proptest::prelude::*;
+
+    #[test]
+    fn union_is_join() {
+        let a = SetUnion::from_iter([1, 2]);
+        let b = SetUnion::from_iter([2, 3]);
+        assert_eq!(a.join(&b), SetUnion::from_iter([1, 2, 3]));
+    }
+
+    #[test]
+    fn accessors() {
+        let mut s = SetUnion::new();
+        assert!(s.is_empty());
+        assert!(s.insert(5));
+        assert!(!s.insert(5));
+        assert!(s.contains(&5));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.iter().copied().collect::<Vec<_>>(), vec![5]);
+        assert_eq!(SetUnion::singleton(9), SetUnion::from_iter([9]));
+    }
+
+    #[test]
+    fn le_is_subset() {
+        let a = SetUnion::from_iter([1]);
+        let b = SetUnion::from_iter([1, 2]);
+        assert!(a.leq(&b));
+        assert!(!b.leq(&a));
+    }
+
+    proptest! {
+        #[test]
+        fn set_laws(
+            x in proptest::collection::btree_set(0u32..100, 0..8),
+            y in proptest::collection::btree_set(0u32..100, 0..8),
+            z in proptest::collection::btree_set(0u32..100, 0..8),
+        ) {
+            let (x, y, z) = (SetUnion(x), SetUnion(y), SetUnion(z));
+            laws::assert_idempotent(&x);
+            laws::assert_identity(&x);
+            laws::assert_commutative(&x, &y);
+            laws::assert_associative(&x, &y, &z);
+            laws::assert_join_assign_consistent(&x, &y);
+            laws::assert_upper_bound(&x, &y);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Vector clocks as a join-semilattice.
+//!
+//! The paper's Section 5.1 points at Lamport's logical clocks \[33\] as a
+//! constructible object; vector clocks are the lattice-shaped
+//! generalization and a convenient test instance whose induced order is a
+//! genuine partial (not total) order, which exercises the incomparable
+//! branches of the scan proofs.
+
+use crate::JoinSemilattice;
+
+/// A vector clock: component-wise max over `u64` counters.
+///
+/// Clocks of different lengths join by treating missing components as 0.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct VectorClock(pub Vec<u64>);
+
+impl VectorClock {
+    /// The zero clock over `n` components.
+    pub fn zero(n: usize) -> Self {
+        VectorClock(vec![0; n])
+    }
+
+    /// Increment component `i`, growing the clock if needed.
+    pub fn tick(&mut self, i: usize) {
+        if i >= self.0.len() {
+            self.0.resize(i + 1, 0);
+        }
+        self.0[i] += 1;
+    }
+
+    /// Component accessor (0 for out-of-range components).
+    pub fn get(&self, i: usize) -> u64 {
+        self.0.get(i).copied().unwrap_or(0)
+    }
+
+    /// Sum of all components; handy as a scalar "Lamport time".
+    pub fn total(&self) -> u64 {
+        self.0.iter().sum()
+    }
+}
+
+impl JoinSemilattice for VectorClock {
+    fn bottom() -> Self {
+        VectorClock(Vec::new())
+    }
+
+    fn join(&self, other: &Self) -> Self {
+        let n = self.0.len().max(other.0.len());
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            out.push(self.get(i).max(other.get(i)));
+        }
+        VectorClock(out)
+    }
+
+    fn join_assign(&mut self, other: &Self) {
+        if other.0.len() > self.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (i, &b) in other.0.iter().enumerate() {
+            if b > self.0[i] {
+                self.0[i] = b;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws;
+    use proptest::prelude::*;
+
+    #[test]
+    fn tick_and_get() {
+        let mut c = VectorClock::zero(2);
+        c.tick(0);
+        c.tick(3);
+        assert_eq!(c.get(0), 1);
+        assert_eq!(c.get(1), 0);
+        assert_eq!(c.get(3), 1);
+        assert_eq!(c.get(99), 0);
+        assert_eq!(c.total(), 2);
+    }
+
+    #[test]
+    fn join_is_componentwise_max() {
+        let a = VectorClock(vec![3, 0, 1]);
+        let b = VectorClock(vec![1, 5]);
+        assert_eq!(a.join(&b), VectorClock(vec![3, 5, 1]));
+    }
+
+    #[test]
+    fn incomparable_clocks_exist() {
+        let a = VectorClock(vec![1, 0]);
+        let b = VectorClock(vec![0, 1]);
+        assert!(!a.leq(&b) && !b.leq(&a));
+        assert!(!a.comparable(&b));
+    }
+
+    fn vclk() -> impl Strategy<Value = VectorClock> {
+        proptest::collection::vec(0u64..8, 3).prop_map(VectorClock)
+    }
+
+    proptest! {
+        #[test]
+        fn vclock_laws(x in vclk(), y in vclk(), z in vclk()) {
+            laws::assert_idempotent(&x);
+            laws::assert_commutative(&x, &y);
+            laws::assert_associative(&x, &y, &z);
+            laws::assert_join_assign_consistent(&x, &y);
+            laws::assert_upper_bound(&x, &y);
+        }
+
+        #[test]
+        fn identity_after_padding(x in vclk()) {
+            // bottom is the empty clock; joining pads, so compare padded.
+            let j = VectorClock::bottom().join(&x);
+            prop_assert_eq!(j, x);
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Crash signalling.
+//!
+//! The model lets a process "fail" by simply ceasing to take steps. In
+//! the simulator a crashed process's thread must still be torn down; we
+//! unwind it with a distinguished panic payload, caught by the process
+//! wrapper. A process-wide panic hook suppresses the default stderr
+//! backtrace for this payload only.
+
+use std::panic;
+use std::sync::Once;
+
+/// The panic payload used to unwind a crashed simulated process.
+pub struct CrashSignal;
+
+static INSTALL_HOOK: Once = Once::new();
+
+/// Install (once) a panic hook that stays silent for [`CrashSignal`]
+/// unwinds and defers to the previous hook otherwise.
+pub fn install_quiet_crash_hook() {
+    INSTALL_HOOK.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<CrashSignal>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// `true` when a caught panic payload is a crash signal rather than a
+/// genuine algorithm panic.
+pub fn is_crash(payload: &(dyn std::any::Any + Send)) -> bool {
+    payload.downcast_ref::<CrashSignal>().is_some()
+}
+
+/// Render a non-crash panic payload for diagnostics.
+pub fn describe_panic(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[test]
+    fn crash_signal_is_recognized() {
+        install_quiet_crash_hook();
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            panic::panic_any(CrashSignal);
+        }))
+        .unwrap_err();
+        assert!(is_crash(err.as_ref()));
+    }
+
+    #[test]
+    fn ordinary_panics_are_described() {
+        install_quiet_crash_hook();
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            panic!("boom {}", 42);
+        }))
+        .unwrap_err();
+        assert!(!is_crash(err.as_ref()));
+        assert_eq!(describe_panic(err.as_ref()), "boom 42");
+    }
+}

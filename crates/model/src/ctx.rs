@@ -1,0 +1,107 @@
+//! The per-process shared-memory interface.
+//!
+//! Algorithms are written once against [`MemCtx`] and run unchanged on the
+//! deterministic simulator ([`crate::sim::SimCtx`]) and on native threads
+//! ([`crate::native::NativeCtx`]). The trait deliberately exposes nothing
+//! but atomic register reads and writes — the *only* communication
+//! primitives of the asynchronous PRAM model.
+
+/// A process identifier; processes are numbered `0..n`.
+pub type ProcId = usize;
+
+/// The kind of a shared-memory access.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AccessKind {
+    /// An atomic register read.
+    Read,
+    /// An atomic register write.
+    Write,
+}
+
+/// A process's handle onto the shared memory: an array of atomic
+/// registers holding values of type `T`.
+///
+/// Backends may enforce a single-writer (SWMR) discipline per register and
+/// may *crash* the process at any access (the crash unwinds the process
+/// body; algorithm code neither observes nor handles it, exactly as a
+/// halted process in the model simply stops taking steps).
+pub trait MemCtx<T: Clone> {
+    /// This process's id.
+    fn proc(&self) -> ProcId;
+
+    /// Total number of processes.
+    fn n_procs(&self) -> usize;
+
+    /// Number of shared registers.
+    fn n_regs(&self) -> usize;
+
+    /// Atomically read register `reg`.
+    fn read(&mut self, reg: usize) -> T;
+
+    /// Atomically write `val` to register `reg`.
+    fn write(&mut self, reg: usize, val: T);
+}
+
+/// Register-array layout helpers shared by the algorithms.
+///
+/// The paper's snapshot uses a matrix `scan[1..n][0..n+1]` of registers;
+/// algorithms address it through a flat register array via this mapping.
+#[derive(Clone, Copy, Debug)]
+pub struct Matrix {
+    /// Number of rows (one per process).
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+}
+
+impl Matrix {
+    /// A `rows × cols` register matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols }
+    }
+
+    /// Flat register index of `(row, col)`.
+    pub fn idx(&self, row: usize, col: usize) -> usize {
+        debug_assert!(row < self.rows && col < self.cols);
+        row * self.cols + col
+    }
+
+    /// Total number of registers.
+    pub fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// `true` when the matrix has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Owner map for the SWMR discipline: row `r` is writable only by
+    /// process `r`.
+    pub fn row_owners(&self) -> Vec<ProcId> {
+        (0..self.rows)
+            .flat_map(|r| std::iter::repeat_n(r, self.cols))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_indexing_is_row_major() {
+        let m = Matrix::new(3, 4);
+        assert_eq!(m.len(), 12);
+        assert!(!m.is_empty());
+        assert_eq!(m.idx(0, 0), 0);
+        assert_eq!(m.idx(1, 0), 4);
+        assert_eq!(m.idx(2, 3), 11);
+    }
+
+    #[test]
+    fn row_owners_assign_each_row_to_its_process() {
+        let m = Matrix::new(2, 3);
+        assert_eq!(m.row_owners(), vec![0, 0, 0, 1, 1, 1]);
+    }
+}

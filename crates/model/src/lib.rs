@@ -1,0 +1,48 @@
+//! The asynchronous PRAM substrate.
+//!
+//! Section 3 of the paper: "asynchronous processes communicate by applying
+//! atomic read and write operations to the shared memory"; processes'
+//! relative speeds are unpredictable, and wait-freedom must hold "despite
+//! failures of other processes".
+//!
+//! This crate makes that model executable:
+//!
+//! * [`ctx`] — the [`MemCtx`] trait every algorithm in the
+//!   workspace is written against: a per-process handle whose only shared
+//!   operations are atomic register reads and writes. The same algorithm
+//!   code runs on both backends below.
+//! * [`native`] — a real-threads backend: one `parking_lot::RwLock` per
+//!   register (register values are arbitrary `Clone` data, which an
+//!   `AtomicUsize` cannot hold; a short-critical-section lock per cell is
+//!   the standard way to realize a linearizable register of arbitrary
+//!   width). Shared-memory step counters are kept per process.
+//! * [`sim`] — the deterministic simulator. Every simulated process runs
+//!   on an OS thread but blocks at each shared access until the central
+//!   scheduler services it, so a *schedule* (a sequence of process ids)
+//!   fully determines the execution. Schedulers implement
+//!   [`Strategy`]: round-robin, seeded-random, replay,
+//!   crash-injecting, and arbitrary adversaries. The scheduler itself
+//!   applies each access to the (unshared) register vector, so executions
+//!   are exactly the interleavings of atomic accesses the model defines.
+//! * [`mod@sim::explore`] — stateless model checking: exhaustive enumeration
+//!   of all schedules of a bounded execution, used to verify
+//!   linearizability claims (paper Theorems 26/33) on small instances.
+//! * [`trace`] — step traces and per-process read/write counts; the
+//!   operation-count experiments (paper §6.2) read these directly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crash;
+pub mod ctx;
+pub mod native;
+pub mod sim;
+pub mod trace;
+
+pub use ctx::{AccessKind, MemCtx, ProcId};
+pub use native::{NativeCtx, NativeMemory};
+pub use sim::{
+    explore, run_sim, run_symmetric, Decision, ProcBody, SchedView, SimConfig, SimCtx, SimOutcome,
+    Strategy,
+};
+pub use trace::{StepCounts, Trace, TraceEvent};

@@ -1,0 +1,201 @@
+//! The native (real threads) backend.
+//!
+//! Register values in this workspace are arbitrary `Clone` data (lattice
+//! elements, pointers to operation entries), wider than any machine
+//! atomic, so each register is realized as a `parking_lot::RwLock` cell:
+//! every read and write is a single short critical section, which makes
+//! each access atomic (linearizable) exactly as the model requires. No
+//! process ever *holds* a lock across steps, so lock-freedom of the
+//! overall algorithms is preserved in spirit: a preempted process can
+//! delay others only for the duration of one memcpy.
+//!
+//! Per-context read/write counters let native benches report the same
+//! step counts the simulator does.
+
+use crate::ctx::{AccessKind, MemCtx, ProcId};
+use crate::trace::StepCounts;
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// A shared array of atomic registers for native threads.
+pub struct NativeMemory<T> {
+    regs: Arc<Vec<RwLock<T>>>,
+    owners: Option<Arc<Vec<ProcId>>>,
+    n_procs: usize,
+}
+
+impl<T> Clone for NativeMemory<T> {
+    fn clone(&self) -> Self {
+        NativeMemory {
+            regs: Arc::clone(&self.regs),
+            owners: self.owners.clone(),
+            n_procs: self.n_procs,
+        }
+    }
+}
+
+impl<T: Clone> NativeMemory<T> {
+    /// A memory with the given initial register contents, shared by
+    /// `n_procs` processes.
+    pub fn new(n_procs: usize, init: Vec<T>) -> Self {
+        NativeMemory {
+            regs: Arc::new(init.into_iter().map(RwLock::new).collect()),
+            owners: None,
+            n_procs,
+        }
+    }
+
+    /// Attach a single-writer owner map (checked on every write).
+    pub fn with_owners(mut self, owners: Vec<ProcId>) -> Self {
+        assert_eq!(owners.len(), self.regs.len());
+        self.owners = Some(Arc::new(owners));
+        self
+    }
+
+    /// Number of registers.
+    pub fn n_regs(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// Number of processes.
+    pub fn n_procs(&self) -> usize {
+        self.n_procs
+    }
+
+    /// A context for process `proc`, with fresh step counters.
+    pub fn ctx(&self, proc: ProcId) -> NativeCtx<T> {
+        assert!(proc < self.n_procs, "process {proc} out of range");
+        NativeCtx {
+            mem: self.clone(),
+            proc,
+            counts: StepCounts::default(),
+        }
+    }
+
+    /// Read a register from outside any process (e.g. test assertions).
+    pub fn peek(&self, reg: usize) -> T {
+        self.regs[reg].read().clone()
+    }
+}
+
+/// A process's handle onto a [`NativeMemory`].
+pub struct NativeCtx<T> {
+    mem: NativeMemory<T>,
+    proc: ProcId,
+    counts: StepCounts,
+}
+
+impl<T: Clone> NativeCtx<T> {
+    /// The read/write counts of this context so far.
+    pub fn counts(&self) -> StepCounts {
+        self.counts
+    }
+
+    /// Reset the counters (e.g. between benchmark phases).
+    pub fn reset_counts(&mut self) {
+        self.counts = StepCounts::default();
+    }
+}
+
+impl<T: Clone> MemCtx<T> for NativeCtx<T> {
+    fn proc(&self) -> ProcId {
+        self.proc
+    }
+
+    fn n_procs(&self) -> usize {
+        self.mem.n_procs
+    }
+
+    fn n_regs(&self) -> usize {
+        self.mem.regs.len()
+    }
+
+    fn read(&mut self, reg: usize) -> T {
+        self.counts.bump(AccessKind::Read);
+        self.mem.regs[reg].read().clone()
+    }
+
+    fn write(&mut self, reg: usize, val: T) {
+        if let Some(owners) = &self.mem.owners {
+            assert_eq!(
+                owners[reg], self.proc,
+                "SWMR violation: P{} wrote register {reg} owned by P{}",
+                self.proc, owners[reg]
+            );
+        }
+        self.counts.bump(AccessKind::Write);
+        *self.mem.regs[reg].write() = val;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_thread_read_write() {
+        let mem = NativeMemory::new(1, vec![0u64; 3]);
+        let mut ctx = mem.ctx(0);
+        assert_eq!(ctx.read(1), 0);
+        ctx.write(1, 42);
+        assert_eq!(ctx.read(1), 42);
+        assert_eq!(mem.peek(1), 42);
+        assert_eq!(
+            ctx.counts(),
+            StepCounts {
+                reads: 2,
+                writes: 1
+            }
+        );
+        ctx.reset_counts();
+        assert_eq!(ctx.counts().total(), 0);
+        assert_eq!(ctx.n_procs(), 1);
+        assert_eq!(ctx.n_regs(), 3);
+        assert_eq!(ctx.proc(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "SWMR violation")]
+    fn owner_map_enforced() {
+        let mem = NativeMemory::new(2, vec![0u64; 2]).with_owners(vec![0, 1]);
+        let mut ctx = mem.ctx(0);
+        ctx.write(1, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn proc_bounds_checked() {
+        let mem = NativeMemory::new(2, vec![0u64; 1]);
+        let _ = mem.ctx(2);
+    }
+
+    #[test]
+    fn concurrent_writers_to_distinct_registers() {
+        let mem = NativeMemory::new(8, vec![0u64; 8]).with_owners((0..8).collect());
+        std::thread::scope(|s| {
+            for p in 0..8 {
+                let mem = mem.clone();
+                s.spawn(move || {
+                    let mut ctx = mem.ctx(p);
+                    for i in 0..1000u64 {
+                        ctx.write(p, i);
+                        let _ = ctx.read((p + 1) % 8);
+                    }
+                });
+            }
+        });
+        for p in 0..8 {
+            assert_eq!(mem.peek(p), 999);
+        }
+    }
+
+    #[test]
+    fn clone_shares_storage() {
+        let mem = NativeMemory::new(1, vec![7u64]);
+        let mem2 = mem.clone();
+        mem.ctx(0).write(0, 9);
+        assert_eq!(mem2.peek(0), 9);
+        assert_eq!(mem2.n_regs(), 1);
+        assert_eq!(mem2.n_procs(), 1);
+    }
+}

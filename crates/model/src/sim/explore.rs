@@ -1,0 +1,546 @@
+//! Exhaustive schedule exploration (stateless model checking).
+//!
+//! Enumerates every schedule of a bounded execution by depth-first search
+//! over the *schedule tree*: each node is a decision point, its children
+//! the runnable processes. Each tree path is executed as an ordinary
+//! simulated run (bodies are re-created per run and must be deterministic
+//! functions of their reads — re-running a prefix then reaches the same
+//! decision point with the same runnable set).
+//!
+//! This is how the paper's linearizability theorems (26 and 33) are
+//! checked exhaustively on small instances: every interleaving of a
+//! 2–3 process execution is generated and its history verified.
+
+use super::strategy::{Decision, SchedView, Strategy};
+use super::{run_sim, ProcBody, SimConfig, SimOutcome};
+use crate::ctx::{AccessKind, ProcId};
+
+/// Exploration limits.
+#[derive(Clone, Debug)]
+pub struct ExploreConfig {
+    /// Stop after this many runs even if the tree is not exhausted.
+    pub max_runs: u64,
+    /// Only branch within the first `max_depth` steps; beyond it, the
+    /// first runnable process is chosen deterministically. Runs remain
+    /// complete executions; coverage is exhaustive over the prefix.
+    pub max_depth: usize,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            max_runs: 1_000_000,
+            max_depth: usize::MAX,
+        }
+    }
+}
+
+/// Exploration summary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExploreStats {
+    /// Number of complete runs executed.
+    pub runs: u64,
+    /// `true` when the whole schedule tree was exhausted (within
+    /// `max_depth`).
+    pub exhausted: bool,
+    /// `true` when some decision point beyond `max_depth` was truncated.
+    pub truncated: bool,
+}
+
+struct Branch {
+    choices: Vec<ProcId>,
+    pick: usize,
+}
+
+struct TreeStrategy<'a> {
+    stack: &'a mut Vec<Branch>,
+    pos: usize,
+    max_depth: usize,
+    truncated: &'a mut bool,
+}
+
+impl Strategy for TreeStrategy<'_> {
+    fn decide(&mut self, view: &SchedView) -> Decision {
+        let choice = if self.pos < self.stack.len() {
+            let b = &self.stack[self.pos];
+            assert_eq!(
+                b.choices.as_slice(),
+                view.runnable,
+                "explore: runnable set diverged on replay at step {}; \
+                 process bodies must be deterministic",
+                self.pos
+            );
+            b.choices[b.pick]
+        } else if self.pos >= self.max_depth {
+            *self.truncated = true;
+            view.runnable[0]
+        } else {
+            self.stack.push(Branch {
+                choices: view.runnable.to_vec(),
+                pick: 0,
+            });
+            view.runnable[0]
+        };
+        self.pos += 1;
+        Decision::Step(choice)
+    }
+}
+
+/// Exhaustively explore the schedules of the execution defined by
+/// `factory` (called once per run; it must return equivalent,
+/// deterministic bodies every time).
+///
+/// `visit` is called with each run's outcome; return `false` to stop
+/// early (e.g. on the first counterexample).
+pub fn explore<T, R, FMake, Visit>(
+    cfg: &SimConfig<T>,
+    econfig: &ExploreConfig,
+    mut factory: FMake,
+    mut visit: Visit,
+) -> ExploreStats
+where
+    T: Clone + Send,
+    R: Send,
+    FMake: FnMut() -> Vec<ProcBody<'static, T, R>>,
+    Visit: FnMut(&SimOutcome<T, R>) -> bool,
+{
+    let mut stack: Vec<Branch> = Vec::new();
+    let mut runs = 0u64;
+    let mut truncated = false;
+    loop {
+        let mut strategy = TreeStrategy {
+            stack: &mut stack,
+            pos: 0,
+            max_depth: econfig.max_depth,
+            truncated: &mut truncated,
+        };
+        let outcome = run_sim(cfg, &mut strategy, factory());
+        runs += 1;
+        if !visit(&outcome) {
+            return ExploreStats {
+                runs,
+                exhausted: false,
+                truncated,
+            };
+        }
+        if runs >= econfig.max_runs {
+            return ExploreStats {
+                runs,
+                exhausted: false,
+                truncated,
+            };
+        }
+        // Advance to the next schedule: drop exhausted trailing branches,
+        // bump the deepest one with choices left.
+        while let Some(last) = stack.last() {
+            if last.pick + 1 < last.choices.len() {
+                break;
+            }
+            stack.pop();
+        }
+        match stack.last_mut() {
+            Some(last) => last.pick += 1,
+            None => {
+                return ExploreStats {
+                    runs,
+                    exhausted: true,
+                    truncated,
+                }
+            }
+        }
+    }
+}
+
+/// Are two pending accesses *independent* (they commute as memory
+/// operations)? True when they touch different registers, or both read.
+fn independent(a: (AccessKind, usize), b: (AccessKind, usize)) -> bool {
+    a.1 != b.1 || (a.0 == AccessKind::Read && b.0 == AccessKind::Read)
+}
+
+struct SleepNode {
+    /// Runnable processes at this decision point (sorted).
+    choices: Vec<ProcId>,
+    /// The pending access of each runnable process, parallel to
+    /// `choices`.
+    accesses: Vec<(AccessKind, usize)>,
+    /// Processes asleep at this node: exploring them here is redundant
+    /// (an independence-commuted schedule already covers it).
+    sleep: Vec<ProcId>,
+    /// Indices into `choices` already fully explored from this node.
+    explored: Vec<usize>,
+    /// Index into `choices` currently being explored.
+    pick: usize,
+    /// `true` when every runnable process was asleep here: the whole
+    /// subtree is redundant; one arbitrary completion run is performed
+    /// and the node is popped without exploring siblings.
+    barren: bool,
+}
+
+impl SleepNode {
+    fn next_explorable(&self, from: usize) -> Option<usize> {
+        (from..self.choices.len())
+            .find(|&i| !self.explored.contains(&i) && !self.sleep.contains(&self.choices[i]))
+    }
+}
+
+struct SleepStrategy<'a> {
+    stack: &'a mut Vec<SleepNode>,
+    pos: usize,
+    max_depth: usize,
+    truncated: &'a mut bool,
+    /// Set once a barren node is entered this run: no further nodes are
+    /// pushed (the tail is completed deterministically and never
+    /// revisited, because the barren ancestor pops on backtrack).
+    redundant_tail: bool,
+}
+
+impl Strategy for SleepStrategy<'_> {
+    fn decide(&mut self, view: &SchedView) -> Decision {
+        let choice = if self.pos < self.stack.len() {
+            let node = &self.stack[self.pos];
+            debug_assert_eq!(
+                node.choices.as_slice(),
+                view.runnable,
+                "explore_reduced: runnable set diverged on replay"
+            );
+            node.choices[node.pick]
+        } else if self.redundant_tail || self.pos >= self.max_depth {
+            if !self.redundant_tail {
+                *self.truncated = true;
+            }
+            view.runnable[0]
+        } else {
+            // Push a fresh node. Its sleep set: processes asleep at the
+            // parent (after the parent's choice) — a proc q stays asleep
+            // while its pending access is independent of every executed
+            // access since q was put to sleep; executing a dependent
+            // access wakes it.
+            let sleep = match self.pos.checked_sub(1).map(|i| &self.stack[i]) {
+                None => Vec::new(),
+                Some(parent) => {
+                    let chosen = parent.accesses[parent.pick];
+                    let mut asleep: Vec<ProcId> = Vec::new();
+                    // Asleep at parent, still independent of the chosen
+                    // access ⇒ still asleep here.
+                    for &q in &parent.sleep {
+                        if let Some(i) = parent.choices.iter().position(|&c| c == q) {
+                            if independent(parent.accesses[i], chosen) {
+                                asleep.push(q);
+                            }
+                        }
+                    }
+                    // Siblings explored before the parent's current pick
+                    // fall asleep for this subtree when independent.
+                    for &i in &parent.explored {
+                        if independent(parent.accesses[i], chosen) {
+                            asleep.push(parent.choices[i]);
+                        }
+                    }
+                    asleep.sort_unstable();
+                    asleep.dedup();
+                    asleep
+                }
+            };
+            let accesses: Vec<(AccessKind, usize)> = view
+                .runnable
+                .iter()
+                .map(|&p| view.pending[p].expect("runnable implies pending"))
+                .collect();
+            let mut node = SleepNode {
+                choices: view.runnable.to_vec(),
+                accesses,
+                sleep,
+                explored: Vec::new(),
+                pick: 0,
+                barren: false,
+            };
+            // First explorable choice (skip asleep processes).
+            match node.next_explorable(0) {
+                Some(i) => node.pick = i,
+                None => {
+                    // Everyone runnable is asleep: this whole subtree is
+                    // covered elsewhere. Record a barren node (keeping
+                    // stack positions aligned with decision positions),
+                    // complete this run deterministically, and let the
+                    // backtracker pop it without exploring siblings.
+                    node.barren = true;
+                    self.redundant_tail = true;
+                }
+            }
+            let c = node.choices[node.pick];
+            self.stack.push(node);
+            self.pos += 1;
+            return Decision::Step(c);
+        };
+        self.pos += 1;
+        Decision::Step(choice)
+    }
+}
+
+/// Exhaustive exploration with **sleep-set partial-order reduction**
+/// (Godefroid): schedules that differ only by swapping adjacent
+/// *independent* accesses (different registers, or read/read) are
+/// explored once. Typically exponentially fewer runs than [`explore`].
+///
+/// Soundness caveat: reduction preserves all memory-level behaviours
+/// (per-process results and final register contents — every
+/// Mazurkiewicz trace is represented), but *not* every real-time event
+/// ordering: two commuting accesses may still order one operation's
+/// response against another's invocation. Use plain [`explore`] when
+/// the property under test is sensitive to real-time precedence between
+/// otherwise-independent operations (e.g. exhaustive linearizability
+/// certification); use this for result/state assertions and bug
+/// hunting.
+pub fn explore_reduced<T, R, FMake, Visit>(
+    cfg: &SimConfig<T>,
+    econfig: &ExploreConfig,
+    mut factory: FMake,
+    mut visit: Visit,
+) -> ExploreStats
+where
+    T: Clone + Send,
+    R: Send,
+    FMake: FnMut() -> Vec<ProcBody<'static, T, R>>,
+    Visit: FnMut(&SimOutcome<T, R>) -> bool,
+{
+    let mut stack: Vec<SleepNode> = Vec::new();
+    let mut runs = 0u64;
+    let mut truncated = false;
+    loop {
+        let mut strategy = SleepStrategy {
+            stack: &mut stack,
+            pos: 0,
+            max_depth: econfig.max_depth,
+            truncated: &mut truncated,
+            redundant_tail: false,
+        };
+        let outcome = run_sim(cfg, &mut strategy, factory());
+        runs += 1;
+        if !visit(&outcome) || runs >= econfig.max_runs {
+            return ExploreStats {
+                runs,
+                exhausted: false,
+                truncated,
+            };
+        }
+        // Backtrack: mark the deepest node's pick explored and move to
+        // its next explorable choice; pop exhausted nodes.
+        loop {
+            match stack.last_mut() {
+                None => {
+                    return ExploreStats {
+                        runs,
+                        exhausted: true,
+                        truncated,
+                    }
+                }
+                Some(node) => {
+                    if node.barren {
+                        stack.pop();
+                        continue;
+                    }
+                    let pick = node.pick;
+                    node.explored.push(pick);
+                    match node.next_explorable(0) {
+                        Some(next) => {
+                            node.pick = next;
+                            break;
+                        }
+                        None => {
+                            stack.pop();
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::MemCtx;
+    use crate::sim::SimCtx;
+    use std::collections::HashSet;
+
+    fn two_proc_bodies() -> Vec<ProcBody<'static, u64, u64>> {
+        (0..2)
+            .map(|p| {
+                Box::new(move |ctx: &mut SimCtx<u64>| {
+                    ctx.write(p, p as u64 + 1);
+                    ctx.read(1 - p)
+                }) as ProcBody<'static, u64, u64>
+            })
+            .collect()
+    }
+
+    #[test]
+    fn explores_all_interleavings_of_two_two_step_processes() {
+        // Each process takes 2 steps; the number of interleavings of
+        // 2+2 steps is C(4,2) = 6.
+        let cfg = SimConfig::new(vec![0u64; 2]);
+        let mut schedules = HashSet::new();
+        let stats = explore(&cfg, &ExploreConfig::default(), two_proc_bodies, |out| {
+            out.assert_no_panics();
+            schedules.insert(out.trace.schedule());
+            true
+        });
+        assert!(stats.exhausted);
+        assert!(!stats.truncated);
+        assert_eq!(stats.runs, 6);
+        assert_eq!(schedules.len(), 6);
+    }
+
+    #[test]
+    fn all_outcomes_observed() {
+        // Across all interleavings, P0 must observe {0, 2}: 0 when it
+        // reads before P1's write, 2 after.
+        let cfg = SimConfig::new(vec![0u64; 2]);
+        let mut seen = HashSet::new();
+        explore(&cfg, &ExploreConfig::default(), two_proc_bodies, |out| {
+            seen.insert((out.results[0].unwrap(), out.results[1].unwrap()));
+            true
+        });
+        // Both reads can't miss both writes only in schedules where both
+        // read first — impossible since each writes before reading. The
+        // possible result pairs:
+        assert!(seen.contains(&(2, 1)));
+        assert!(seen.contains(&(0, 1)));
+        assert!(seen.contains(&(2, 0)));
+        assert!(
+            !seen.contains(&(0, 0)),
+            "both cannot miss the other's write"
+        );
+    }
+
+    #[test]
+    fn early_stop_works() {
+        let cfg = SimConfig::new(vec![0u64; 2]);
+        let stats = explore(&cfg, &ExploreConfig::default(), two_proc_bodies, |_| false);
+        assert_eq!(stats.runs, 1);
+        assert!(!stats.exhausted);
+    }
+
+    #[test]
+    fn run_budget_respected() {
+        let cfg = SimConfig::new(vec![0u64; 2]);
+        let econfig = ExploreConfig {
+            max_runs: 3,
+            ..Default::default()
+        };
+        let stats = explore(&cfg, &econfig, two_proc_bodies, |_| true);
+        assert_eq!(stats.runs, 3);
+        assert!(!stats.exhausted);
+    }
+
+    /// The sleep-set explorer covers exactly the same observable
+    /// outcomes (results + final memory) as the full explorer, in fewer
+    /// or equal runs.
+    #[test]
+    fn reduced_covers_all_outcomes() {
+        let cfg = SimConfig::new(vec![0u64; 2]);
+        let collect = |reduced: bool| {
+            let mut outcomes = HashSet::new();
+            let stats = if reduced {
+                explore_reduced(&cfg, &ExploreConfig::default(), two_proc_bodies, |out| {
+                    outcomes.insert((out.results.clone(), out.memory.clone()));
+                    true
+                })
+            } else {
+                explore(&cfg, &ExploreConfig::default(), two_proc_bodies, |out| {
+                    outcomes.insert((out.results.clone(), out.memory.clone()));
+                    true
+                })
+            };
+            (outcomes, stats)
+        };
+        let (full, full_stats) = collect(false);
+        let (reduced, reduced_stats) = collect(true);
+        assert!(full_stats.exhausted && reduced_stats.exhausted);
+        assert_eq!(full, reduced, "outcome sets must match");
+        assert!(
+            reduced_stats.runs <= full_stats.runs,
+            "reduction must not add runs: {} vs {}",
+            reduced_stats.runs,
+            full_stats.runs
+        );
+    }
+
+    /// Fully independent programs (each process touches only its own
+    /// register) collapse to very few runs under reduction.
+    #[test]
+    fn reduced_collapses_independent_programs() {
+        fn bodies() -> Vec<ProcBody<'static, u64, u64>> {
+            (0..3)
+                .map(|p| {
+                    Box::new(move |ctx: &mut SimCtx<u64>| {
+                        ctx.write(p, 1);
+                        ctx.write(p, 2);
+                        ctx.read(p)
+                    }) as ProcBody<'static, u64, u64>
+                })
+                .collect()
+        }
+        let cfg = SimConfig::new(vec![0u64; 3]);
+        let full = explore(&cfg, &ExploreConfig::default(), bodies, |_| true);
+        let reduced = explore_reduced(&cfg, &ExploreConfig::default(), bodies, |out| {
+            assert_eq!(out.results, vec![Some(2), Some(2), Some(2)]);
+            true
+        });
+        assert!(full.exhausted && reduced.exhausted);
+        // Full: multinomial(9; 3,3,3) = 1680 runs. Reduced: drastically
+        // fewer (every interleaving is equivalent).
+        assert_eq!(full.runs, 1680);
+        assert!(
+            reduced.runs * 50 <= full.runs,
+            "expected ≥50× reduction, got {} vs {}",
+            reduced.runs,
+            full.runs
+        );
+    }
+
+    /// Reduction on a contended program (everyone hammers one register)
+    /// keeps every distinct outcome while pruning read/read commutation.
+    #[test]
+    fn reduced_contended_program_outcomes_match() {
+        fn bodies() -> Vec<ProcBody<'static, u64, Vec<u64>>> {
+            (0..2)
+                .map(|p| {
+                    Box::new(move |ctx: &mut SimCtx<u64>| {
+                        let a = ctx.read(0);
+                        ctx.write(0, a + 10 * (p as u64 + 1));
+                        let b = ctx.read(0);
+                        vec![a, b]
+                    }) as ProcBody<'static, u64, Vec<u64>>
+                })
+                .collect()
+        }
+        let cfg = SimConfig::new(vec![0u64; 1]);
+        let mut full_set = HashSet::new();
+        let full = explore(&cfg, &ExploreConfig::default(), bodies, |out| {
+            full_set.insert((out.results.clone(), out.memory.clone()));
+            true
+        });
+        let mut red_set = HashSet::new();
+        let reduced = explore_reduced(&cfg, &ExploreConfig::default(), bodies, |out| {
+            red_set.insert((out.results.clone(), out.memory.clone()));
+            true
+        });
+        assert!(full.exhausted && reduced.exhausted);
+        assert_eq!(full_set, red_set);
+        assert!(reduced.runs <= full.runs);
+    }
+
+    #[test]
+    fn depth_truncation_flagged() {
+        let cfg = SimConfig::new(vec![0u64; 2]);
+        let econfig = ExploreConfig {
+            max_runs: 1_000,
+            max_depth: 1,
+        };
+        let stats = explore(&cfg, &econfig, two_proc_bodies, |_| true);
+        assert!(stats.truncated);
+        assert!(stats.exhausted);
+        assert_eq!(stats.runs, 2); // only the first step branches
+    }
+}

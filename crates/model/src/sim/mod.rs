@@ -1,0 +1,614 @@
+//! The deterministic asynchronous-PRAM simulator.
+//!
+//! Every simulated process runs on its own OS thread but performs **no**
+//! shared-memory access itself: each [`SimCtx::read`]/[`SimCtx::write`]
+//! sends a request to the central scheduler and blocks until serviced.
+//! The scheduler owns the register vector outright, applies each access
+//! itself, and picks the next process to service via a [`Strategy`]. An
+//! execution is therefore completely determined by the strategy's
+//! decisions — a sequence of process ids — which is what makes replay,
+//! adversaries and exhaustive exploration possible.
+//!
+//! Crashing a process (the model's notion of failure — it simply stops
+//! taking steps) is a scheduler decision; the victim's thread is unwound
+//! at teardown via [`crate::crash::CrashSignal`].
+
+pub mod explore;
+pub mod strategy;
+
+pub use explore::{explore, explore_reduced, ExploreConfig, ExploreStats};
+pub use strategy::{Decision, SchedView, Strategy};
+
+use crate::crash::{self, CrashSignal};
+use crate::ctx::{AccessKind, MemCtx, ProcId};
+use crate::trace::{StepCounts, Trace, TraceEvent};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// A shared-memory access request, carrying the written value.
+enum Access<T> {
+    Read(usize),
+    Write(usize, T),
+}
+
+impl<T> Access<T> {
+    fn kind(&self) -> AccessKind {
+        match self {
+            Access::Read(_) => AccessKind::Read,
+            Access::Write(_, _) => AccessKind::Write,
+        }
+    }
+
+    fn reg(&self) -> usize {
+        match self {
+            Access::Read(r) | Access::Write(r, _) => *r,
+        }
+    }
+}
+
+/// Messages from process threads to the scheduler.
+enum Msg<T> {
+    Request { proc: ProcId, access: Access<T> },
+    Done { proc: ProcId },
+}
+
+/// Replies from the scheduler to a blocked process.
+enum Reply<T> {
+    Value(T),
+    Ack,
+    Crash,
+}
+
+/// The per-process handle handed to simulated process bodies.
+pub struct SimCtx<T> {
+    proc: ProcId,
+    n_procs: usize,
+    n_regs: usize,
+    to_sched: Sender<Msg<T>>,
+    from_sched: Receiver<Reply<T>>,
+}
+
+impl<T: Clone> SimCtx<T> {
+    fn request(&mut self, access: Access<T>) -> Reply<T> {
+        if self
+            .to_sched
+            .send(Msg::Request {
+                proc: self.proc,
+                access,
+            })
+            .is_err()
+        {
+            // Scheduler is gone: treat as a crash.
+            std::panic::panic_any(CrashSignal);
+        }
+        match self.from_sched.recv() {
+            Ok(reply) => reply,
+            Err(_) => std::panic::panic_any(CrashSignal),
+        }
+    }
+}
+
+impl<T: Clone> MemCtx<T> for SimCtx<T> {
+    fn proc(&self) -> ProcId {
+        self.proc
+    }
+
+    fn n_procs(&self) -> usize {
+        self.n_procs
+    }
+
+    fn n_regs(&self) -> usize {
+        self.n_regs
+    }
+
+    fn read(&mut self, reg: usize) -> T {
+        assert!(reg < self.n_regs, "register {reg} out of range");
+        match self.request(Access::Read(reg)) {
+            Reply::Value(v) => v,
+            Reply::Crash => std::panic::panic_any(CrashSignal),
+            Reply::Ack => unreachable!("read answered with ack"),
+        }
+    }
+
+    fn write(&mut self, reg: usize, val: T) {
+        assert!(reg < self.n_regs, "register {reg} out of range");
+        match self.request(Access::Write(reg, val)) {
+            Reply::Ack => {}
+            Reply::Crash => std::panic::panic_any(CrashSignal),
+            Reply::Value(_) => unreachable!("write answered with value"),
+        }
+    }
+}
+
+/// A simulated process body.
+pub type ProcBody<'a, T, R> = Box<dyn FnOnce(&mut SimCtx<T>) -> R + Send + 'a>;
+
+/// Simulator configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig<T> {
+    /// Initial register contents; the length fixes the register count.
+    pub registers: Vec<T>,
+    /// Optional single-writer discipline: `owners[r]` is the only process
+    /// allowed to write register `r`. Violations panic (they are bugs in
+    /// the algorithm under test, not schedulable behaviours).
+    pub owners: Option<Vec<ProcId>>,
+    /// Hard step budget; the run halts (crashing all processes) when
+    /// exceeded. Guards against livelock under pathological schedules.
+    pub max_steps: u64,
+    /// How long the scheduler waits for a locally-computing process
+    /// before declaring the run wedged.
+    pub local_timeout: Duration,
+}
+
+impl<T> SimConfig<T> {
+    /// A configuration with the given initial registers and defaults
+    /// (no owner map, 10M-step budget, 30s local timeout).
+    pub fn new(registers: Vec<T>) -> Self {
+        SimConfig {
+            registers,
+            owners: None,
+            max_steps: 10_000_000,
+            local_timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// Attach a single-writer owner map.
+    pub fn with_owners(mut self, owners: Vec<ProcId>) -> Self {
+        assert_eq!(owners.len(), self.registers.len());
+        self.owners = Some(owners);
+        self
+    }
+
+    /// Override the step budget.
+    pub fn with_max_steps(mut self, max_steps: u64) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+}
+
+/// The result of a simulated execution.
+#[derive(Debug)]
+pub struct SimOutcome<T, R> {
+    /// Per-process results; `None` when the process crashed or the run
+    /// halted before it finished.
+    pub results: Vec<Option<R>>,
+    /// Per-process panic messages for *genuine* panics (not crashes).
+    pub panics: Vec<Option<String>>,
+    /// Which processes were crashed by the strategy (or at halt).
+    pub crashed: Vec<bool>,
+    /// The full access trace.
+    pub trace: Trace,
+    /// Per-process read/write counts.
+    pub counts: Vec<StepCounts>,
+    /// Final register contents.
+    pub memory: Vec<T>,
+    /// `true` when the run was stopped by `Decision::Halt` or the step
+    /// budget rather than by every process finishing or crashing.
+    pub halted: bool,
+}
+
+impl<T, R> SimOutcome<T, R> {
+    /// Panic (propagating the first recorded message) if any process body
+    /// panicked. Call this in tests before inspecting results.
+    pub fn assert_no_panics(&self) {
+        for (p, msg) in self.panics.iter().enumerate() {
+            if let Some(m) = msg {
+                panic!("process {p} panicked: {m}");
+            }
+        }
+    }
+
+    /// The results of an execution in which every process finished.
+    pub fn unwrap_results(mut self) -> Vec<R> {
+        self.assert_no_panics();
+        self.results
+            .iter_mut()
+            .enumerate()
+            .map(|(p, r)| {
+                r.take()
+                    .unwrap_or_else(|| panic!("process {p} did not finish"))
+            })
+            .collect()
+    }
+}
+
+/// Run a simulated execution.
+///
+/// Spawns one thread per body, runs the scheduler loop on the calling
+/// thread, and tears everything down before returning (no leaked
+/// threads). The `strategy` is borrowed mutably so adversaries can carry
+/// state across runs.
+pub fn run_sim<T, R, F>(
+    cfg: &SimConfig<T>,
+    strategy: &mut dyn Strategy,
+    bodies: Vec<F>,
+) -> SimOutcome<T, R>
+where
+    T: Clone + Send,
+    R: Send,
+    F: FnOnce(&mut SimCtx<T>) -> R + Send,
+{
+    crash::install_quiet_crash_hook();
+    let n = bodies.len();
+    let n_regs = cfg.registers.len();
+    let (msg_tx, msg_rx) = channel::<Msg<T>>();
+    let mut reply_txs: Vec<Sender<Reply<T>>> = Vec::with_capacity(n);
+    let mut ctxs: Vec<SimCtx<T>> = Vec::with_capacity(n);
+    for p in 0..n {
+        let (tx, rx) = channel::<Reply<T>>();
+        reply_txs.push(tx);
+        ctxs.push(SimCtx {
+            proc: p,
+            n_procs: n,
+            n_regs,
+            to_sched: msg_tx.clone(),
+            from_sched: rx,
+        });
+    }
+    drop(msg_tx);
+
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    let panics: Mutex<Vec<Option<String>>> = Mutex::new(vec![None; n]);
+
+    let mut outcome = std::thread::scope(|scope| {
+        for (p, (body, mut ctx)) in bodies.into_iter().zip(ctxs).enumerate() {
+            let results = &results;
+            let panics = &panics;
+            scope.spawn(move || {
+                let to_sched = ctx.to_sched.clone();
+                match catch_unwind(AssertUnwindSafe(move || body(&mut ctx))) {
+                    Ok(r) => {
+                        results.lock().unwrap()[p] = Some(r);
+                    }
+                    Err(payload) => {
+                        if !crash::is_crash(payload.as_ref()) {
+                            panics.lock().unwrap()[p] =
+                                Some(crash::describe_panic(payload.as_ref()));
+                        }
+                    }
+                }
+                // Ignore send failure: the scheduler may already be gone.
+                let _ = to_sched.send(Msg::Done { proc: p });
+            });
+        }
+        scheduler_loop(cfg, strategy, n, msg_rx, reply_txs)
+    });
+
+    outcome_finish(
+        &mut outcome,
+        results.into_inner().unwrap(),
+        panics.into_inner().unwrap(),
+    );
+    outcome
+}
+
+/// Run `n` copies of the same body (each told its process id via
+/// [`SimCtx::proc`]).
+pub fn run_symmetric<T, R, F>(
+    cfg: &SimConfig<T>,
+    strategy: &mut dyn Strategy,
+    n: usize,
+    body: F,
+) -> SimOutcome<T, R>
+where
+    T: Clone + Send,
+    R: Send,
+    F: Fn(&mut SimCtx<T>) -> R + Send + Sync,
+{
+    let body = &body;
+    let bodies: Vec<_> = (0..n)
+        .map(|_| Box::new(move |ctx: &mut SimCtx<T>| body(ctx)) as ProcBody<'_, T, R>)
+        .collect();
+    run_sim(cfg, strategy, bodies)
+}
+
+fn outcome_finish<T, R>(
+    out: &mut SimOutcome<T, R>,
+    results: Vec<Option<R>>,
+    panics: Vec<Option<String>>,
+) {
+    out.results = results;
+    out.panics = panics;
+}
+
+fn scheduler_loop<T: Clone, R>(
+    cfg: &SimConfig<T>,
+    strategy: &mut dyn Strategy,
+    n: usize,
+    msg_rx: Receiver<Msg<T>>,
+    reply_txs: Vec<Sender<Reply<T>>>,
+) -> SimOutcome<T, R> {
+    let mut memory = cfg.registers.clone();
+    let mut pending: Vec<Option<Access<T>>> = (0..n).map(|_| None).collect();
+    let mut finished = vec![false; n];
+    let mut crashed = vec![false; n];
+    let mut trace = Trace::new();
+    let mut counts = vec![StepCounts::default(); n];
+    let mut halted = false;
+    let mut steps: u64 = 0;
+
+    'outer: loop {
+        // Phase 1: gather messages until every live, uncrashed process is
+        // either finished or has a pending request.
+        while (0..n).any(|p| !finished[p] && !crashed[p] && pending[p].is_none()) {
+            match msg_rx.recv_timeout(cfg.local_timeout) {
+                Ok(Msg::Request { proc, access }) => {
+                    debug_assert!(pending[proc].is_none(), "duplicate request from P{proc}");
+                    pending[proc] = Some(access);
+                }
+                Ok(Msg::Done { proc }) => finished[proc] = true,
+                Err(RecvTimeoutError::Timeout) => {
+                    panic!(
+                        "simulated process computed for {:?} without a shared-memory \
+                         access or completion; bodies must not loop locally forever",
+                        cfg.local_timeout
+                    );
+                }
+                Err(RecvTimeoutError::Disconnected) => break 'outer,
+            }
+        }
+
+        // Phase 2: choose and service a step.
+        let runnable: Vec<ProcId> = (0..n)
+            .filter(|&p| !crashed[p] && !finished[p] && pending[p].is_some())
+            .collect();
+        if runnable.is_empty() {
+            break; // every process finished or crashed
+        }
+        if steps >= cfg.max_steps {
+            halted = true;
+            break;
+        }
+        let pending_info: Vec<Option<(AccessKind, usize)>> = pending
+            .iter()
+            .map(|a| a.as_ref().map(|a| (a.kind(), a.reg())))
+            .collect();
+        let view = SchedView {
+            step: steps,
+            runnable: &runnable,
+            pending: &pending_info,
+            finished: &finished,
+            crashed: &crashed,
+        };
+        match strategy.decide(&view) {
+            Decision::Step(p) => {
+                assert!(
+                    runnable.contains(&p),
+                    "strategy chose non-runnable process {p} (runnable: {runnable:?})"
+                );
+                let access = pending[p].take().expect("runnable implies pending");
+                trace.push(TraceEvent {
+                    step: steps,
+                    proc: p,
+                    kind: access.kind(),
+                    reg: access.reg(),
+                });
+                counts[p].bump(access.kind());
+                steps += 1;
+                let reply = match access {
+                    Access::Read(r) => Reply::Value(memory[r].clone()),
+                    Access::Write(r, v) => {
+                        if let Some(owners) = &cfg.owners {
+                            assert_eq!(
+                                owners[r], p,
+                                "SWMR violation: P{p} wrote register {r} owned by P{}",
+                                owners[r]
+                            );
+                        }
+                        memory[r] = v;
+                        Reply::Ack
+                    }
+                };
+                if reply_txs[p].send(reply).is_err() {
+                    // The process died unexpectedly (its panic is recorded
+                    // by the wrapper); treat like a crash.
+                    crashed[p] = true;
+                }
+            }
+            Decision::Crash(p) => {
+                assert!(!crashed[p] && !finished[p], "cannot crash {p} twice");
+                crashed[p] = true;
+            }
+            Decision::Halt => {
+                halted = true;
+                break;
+            }
+        }
+    }
+
+    // Teardown: crash every process that has not finished, answering its
+    // pending (or eventual) request with `Crash` so its thread unwinds.
+    for p in 0..n {
+        if !finished[p] && pending[p].take().is_some() {
+            let _ = reply_txs[p].send(Reply::Crash);
+        }
+    }
+    while (0..n).any(|p| !finished[p]) {
+        match msg_rx.recv_timeout(cfg.local_timeout) {
+            Ok(Msg::Request { proc, .. }) => {
+                let _ = reply_txs[proc].send(Reply::Crash);
+            }
+            Ok(Msg::Done { proc }) => finished[proc] = true,
+            Err(RecvTimeoutError::Timeout) => {
+                panic!("simulated process failed to unwind during teardown");
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+
+    SimOutcome {
+        results: Vec::new(), // filled by run_sim
+        panics: Vec::new(),  // filled by run_sim
+        crashed,
+        trace,
+        counts,
+        memory,
+        halted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::strategy::{Replay, RoundRobin, SeededRandom};
+    use super::*;
+
+    /// Two processes each write their id+1 then read the other's slot.
+    fn body(ctx: &mut SimCtx<u64>) -> u64 {
+        let me = ctx.proc();
+        let other = 1 - me;
+        ctx.write(me, me as u64 + 1);
+        ctx.read(other)
+    }
+
+    #[test]
+    fn round_robin_interleaves_deterministically() {
+        let cfg = SimConfig::new(vec![0u64; 2]);
+        let out = run_symmetric(&cfg, &mut RoundRobin::new(), 2, body);
+        let res = out.unwrap_results();
+        // RR order: P0 w, P1 w, P0 r, P1 r — both see the other's write.
+        assert_eq!(res, vec![2, 1]);
+    }
+
+    #[test]
+    fn replay_reproduces_a_trace() {
+        let cfg = SimConfig::new(vec![0u64; 2]);
+        let out1 = run_symmetric(&cfg, &mut SeededRandom::new(42), 2, body);
+        out1.assert_no_panics();
+        let sched = out1.trace.schedule();
+        let out2 = run_symmetric(&cfg, &mut Replay::strict(sched.clone()), 2, body);
+        assert_eq!(out1.results, out2.results);
+        assert_eq!(out2.trace.schedule(), sched);
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let cfg = SimConfig::new(vec![0u64; 2]);
+        let a = run_symmetric(&cfg, &mut SeededRandom::new(7), 2, body);
+        let b = run_symmetric(&cfg, &mut SeededRandom::new(7), 2, body);
+        assert_eq!(a.results, b.results);
+        assert_eq!(a.trace.schedule(), b.trace.schedule());
+    }
+
+    #[test]
+    fn sequential_schedule_serializes() {
+        // Run P0 to completion before P1 starts.
+        let cfg = SimConfig::new(vec![0u64; 2]);
+        let out = run_symmetric(&cfg, &mut Replay::strict(vec![0, 0, 1, 1]), 2, body);
+        let res = out.unwrap_results();
+        assert_eq!(res, vec![0, 1]); // P0 reads before P1 writes
+    }
+
+    #[test]
+    fn step_counts_are_exact() {
+        let cfg = SimConfig::new(vec![0u64; 2]);
+        let out = run_symmetric(&cfg, &mut RoundRobin::new(), 2, body);
+        for p in 0..2 {
+            assert_eq!(
+                out.counts[p],
+                StepCounts {
+                    reads: 1,
+                    writes: 1
+                }
+            );
+        }
+        assert_eq!(out.trace.len(), 4);
+        assert_eq!(out.trace.counts(2), out.counts);
+    }
+
+    #[test]
+    fn crash_makes_survivors_proceed() {
+        struct CrashP1ThenRR {
+            crashed: bool,
+        }
+        impl Strategy for CrashP1ThenRR {
+            fn decide(&mut self, view: &SchedView) -> Decision {
+                if !self.crashed {
+                    self.crashed = true;
+                    return Decision::Crash(1);
+                }
+                Decision::Step(view.runnable[0])
+            }
+        }
+        let cfg = SimConfig::new(vec![0u64; 2]);
+        let out = run_symmetric(&cfg, &mut CrashP1ThenRR { crashed: false }, 2, body);
+        out.assert_no_panics();
+        assert_eq!(out.results[0], Some(0)); // P1 never wrote
+        assert_eq!(out.results[1], None);
+        assert!(out.crashed[1]);
+        assert!(!out.halted);
+    }
+
+    #[test]
+    fn halt_stops_everyone() {
+        struct HaltNow;
+        impl Strategy for HaltNow {
+            fn decide(&mut self, _: &SchedView) -> Decision {
+                Decision::Halt
+            }
+        }
+        let cfg = SimConfig::new(vec![0u64; 2]);
+        let out = run_symmetric(&cfg, &mut HaltNow, 2, body);
+        assert!(out.halted);
+        assert_eq!(out.results, vec![None, None]);
+    }
+
+    #[test]
+    fn step_budget_halts() {
+        let cfg = SimConfig::new(vec![0u64; 2]).with_max_steps(1);
+        let out = run_symmetric(&cfg, &mut RoundRobin::new(), 2, body);
+        assert!(out.halted);
+        assert_eq!(out.trace.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "SWMR violation")]
+    fn swmr_violation_is_caught() {
+        let cfg = SimConfig::new(vec![0u64; 2]).with_owners(vec![0, 1]);
+        // The SWMR assertion fires in the scheduler loop, which runs on
+        // the calling thread, so run_sim itself panics.
+        let _: SimOutcome<u64, ()> = run_sim(
+            &cfg,
+            &mut RoundRobin::new(),
+            vec![Box::new(|ctx: &mut SimCtx<u64>| {
+                ctx.write(1, 9); // P0 writes P1's register
+            }) as ProcBody<'_, u64, ()>],
+        );
+    }
+
+    #[test]
+    fn genuine_panics_are_reported() {
+        let cfg = SimConfig::new(vec![0u64; 1]);
+        let out: SimOutcome<u64, ()> = run_sim(
+            &cfg,
+            &mut RoundRobin::new(),
+            vec![Box::new(|ctx: &mut SimCtx<u64>| {
+                let _ = ctx.read(0);
+                panic!("algorithm bug");
+            }) as ProcBody<'_, u64, ()>],
+        );
+        assert_eq!(out.panics[0].as_deref(), Some("algorithm bug"));
+        assert_eq!(out.results[0], None);
+    }
+
+    #[test]
+    fn memory_reflects_final_state() {
+        let cfg = SimConfig::new(vec![0u64; 2]);
+        let out = run_symmetric(&cfg, &mut RoundRobin::new(), 2, body);
+        assert_eq!(out.memory, vec![1, 2]);
+    }
+
+    #[test]
+    fn bodies_may_borrow_environment() {
+        let data = vec![10u64, 20];
+        let cfg = SimConfig::new(vec![0u64; 2]);
+        let data_ref = &data;
+        let out = run_symmetric(&cfg, &mut RoundRobin::new(), 2, move |ctx| {
+            let v = data_ref[ctx.proc()];
+            ctx.write(ctx.proc(), v);
+            v
+        });
+        assert_eq!(out.unwrap_results(), vec![10, 20]);
+    }
+}

@@ -1,0 +1,202 @@
+//! Step traces and per-process operation counts.
+//!
+//! The paper's complexity claims are counted in shared-memory operations
+//! ("each process executes at most (2n+1)·log₂(Δ/ε) + O(n) steps",
+//! Theorem 5; "a Scan requires n²−1 read and n+1 write operations",
+//! §6.2). The simulator records every serviced access here so experiments
+//! can report exact counts.
+
+use crate::ctx::{AccessKind, ProcId};
+
+/// One serviced shared-memory access.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TraceEvent {
+    /// Global step number (0-based, in service order).
+    pub step: u64,
+    /// The process that took the step.
+    pub proc: ProcId,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// The register accessed.
+    pub reg: usize,
+}
+
+/// Per-process read/write counters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct StepCounts {
+    /// Number of register reads serviced.
+    pub reads: u64,
+    /// Number of register writes serviced.
+    pub writes: u64,
+}
+
+impl StepCounts {
+    /// Total shared-memory steps.
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Record one access.
+    pub fn bump(&mut self, kind: AccessKind) {
+        match kind {
+            AccessKind::Read => self.reads += 1,
+            AccessKind::Write => self.writes += 1,
+        }
+    }
+}
+
+/// A complete execution trace.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace { events: Vec::new() }
+    }
+
+    /// Append an event (used by the scheduler).
+    pub fn push(&mut self, ev: TraceEvent) {
+        self.events.push(ev);
+    }
+
+    /// All events in service order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when no step was taken.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The schedule: the sequence of process ids, one per step. Feeding
+    /// this to [`crate::sim::strategy::Replay`] reproduces the execution.
+    pub fn schedule(&self) -> Vec<ProcId> {
+        self.events.iter().map(|e| e.proc).collect()
+    }
+
+    /// Recompute per-process counts from the trace.
+    pub fn counts(&self, n_procs: usize) -> Vec<StepCounts> {
+        let mut out = vec![StepCounts::default(); n_procs];
+        for e in &self.events {
+            out[e.proc].bump(e.kind);
+        }
+        out
+    }
+}
+
+impl Trace {
+    /// Render the trace as an ASCII timeline, one row per process, one
+    /// column per step: `r<reg>` / `w<reg>` at the step the access was
+    /// serviced, `.` elsewhere. Debugging aid for counterexample
+    /// schedules.
+    ///
+    /// ```
+    /// use apram_model::{Trace, TraceEvent, AccessKind};
+    /// let mut t = Trace::new();
+    /// t.push(TraceEvent { step: 0, proc: 1, kind: AccessKind::Write, reg: 0 });
+    /// t.push(TraceEvent { step: 1, proc: 0, kind: AccessKind::Read, reg: 2 });
+    /// let art = t.render_ascii(2);
+    /// assert!(art.contains("P0"));
+    /// assert!(art.contains("w0"));
+    /// assert!(art.contains("r2"));
+    /// ```
+    pub fn render_ascii(&self, n_procs: usize) -> String {
+        let width = self.events.len();
+        let mut rows = vec![vec!["⋅⋅".to_string(); width]; n_procs];
+        for (col, e) in self.events.iter().enumerate() {
+            let k = match e.kind {
+                crate::ctx::AccessKind::Read => 'r',
+                crate::ctx::AccessKind::Write => 'w',
+            };
+            rows[e.proc][col] = format!("{k}{}", e.reg % 100);
+        }
+        let mut out = String::new();
+        for (p, row) in rows.iter().enumerate() {
+            out.push_str(&format!("P{p} |"));
+            for cell in row {
+                out.push_str(&format!("{cell:>3}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_rendering() {
+        let mut t = Trace::new();
+        t.push(TraceEvent {
+            step: 0,
+            proc: 1,
+            kind: AccessKind::Write,
+            reg: 3,
+        });
+        t.push(TraceEvent {
+            step: 1,
+            proc: 0,
+            kind: AccessKind::Read,
+            reg: 0,
+        });
+        let art = t.render_ascii(2);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("P0 |"));
+        assert!(lines[0].contains("r0"));
+        assert!(lines[1].contains("w3"));
+    }
+
+    #[test]
+    fn counts_and_schedule() {
+        let mut t = Trace::new();
+        t.push(TraceEvent {
+            step: 0,
+            proc: 1,
+            kind: AccessKind::Write,
+            reg: 0,
+        });
+        t.push(TraceEvent {
+            step: 1,
+            proc: 0,
+            kind: AccessKind::Read,
+            reg: 0,
+        });
+        t.push(TraceEvent {
+            step: 2,
+            proc: 1,
+            kind: AccessKind::Read,
+            reg: 2,
+        });
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert_eq!(t.schedule(), vec![1, 0, 1]);
+        let c = t.counts(2);
+        assert_eq!(
+            c[0],
+            StepCounts {
+                reads: 1,
+                writes: 0
+            }
+        );
+        assert_eq!(
+            c[1],
+            StepCounts {
+                reads: 1,
+                writes: 1
+            }
+        );
+        assert_eq!(c[1].total(), 2);
+    }
+}

@@ -1,0 +1,355 @@
+//! Counters: the universal full-featured form and the direct
+//! lattice-optimized form.
+//!
+//! The universal counter supports `inc`/`dec`/`reset`/`read` (the §5.1
+//! example) via the Figure 4 construction. The direct counter drops
+//! `reset` — its state then *is* a join-semilattice (per-process
+//! monotone `(increments, decrements)` pairs), so every operation is a
+//! single Section 6 scan: bounded memory, no precedence-graph replay.
+//! Experiment E7 compares the two.
+
+use apram_core::{CounterOp, CounterResp, CounterSpec, Universal, UniversalHandle};
+use apram_history::ProcId;
+use apram_lattice::{ElemVec, MaxU64};
+use apram_model::MemCtx;
+use apram_snapshot::{ScanHandle, ScanObject};
+
+/// The lattice carried by the direct counter: slot `p` holds process
+/// `p`'s running `(total increments, total decrements)` — both monotone.
+pub type CounterLattice = ElemVec<(MaxU64, MaxU64)>;
+
+/// The universal (Figure 4) counter object.
+#[derive(Clone, Debug)]
+pub struct UniversalCounter {
+    uni: Universal<CounterSpec>,
+}
+
+/// Registers backing a [`UniversalCounter`].
+pub type UniversalCounterReg = apram_core::universal::UniversalReg<CounterSpec>;
+
+impl UniversalCounter {
+    /// A counter shared by `n` processes.
+    pub fn new(n: usize) -> Self {
+        UniversalCounter {
+            uni: Universal::new(n, CounterSpec),
+        }
+    }
+
+    /// Initial register contents.
+    pub fn registers(&self) -> Vec<UniversalCounterReg> {
+        self.uni.registers()
+    }
+
+    /// Single-writer owner map.
+    pub fn owners(&self) -> Vec<ProcId> {
+        self.uni.owners()
+    }
+
+    /// A per-process handle.
+    pub fn handle(&self) -> UniversalCounterHandle {
+        UniversalCounterHandle {
+            h: self.uni.handle(),
+        }
+    }
+}
+
+/// Per-process handle on a [`UniversalCounter`].
+#[derive(Clone, Debug)]
+pub struct UniversalCounterHandle {
+    h: UniversalHandle<CounterSpec>,
+}
+
+impl UniversalCounterHandle {
+    /// Add `amount`.
+    pub fn inc<C: MemCtx<UniversalCounterReg>>(&mut self, ctx: &mut C, amount: i64) {
+        let _ = self.h.execute(ctx, CounterOp::Inc(amount));
+    }
+
+    /// Subtract `amount`.
+    pub fn dec<C: MemCtx<UniversalCounterReg>>(&mut self, ctx: &mut C, amount: i64) {
+        let _ = self.h.execute(ctx, CounterOp::Dec(amount));
+    }
+
+    /// Reinitialize to `amount` — the operation only the universal form
+    /// can offer (it overwrites, so it cannot live in a monotone slot).
+    pub fn reset<C: MemCtx<UniversalCounterReg>>(&mut self, ctx: &mut C, amount: i64) {
+        let _ = self.h.execute(ctx, CounterOp::Reset(amount));
+    }
+
+    /// Read the current value.
+    pub fn read<C: MemCtx<UniversalCounterReg>>(&mut self, ctx: &mut C) -> i64 {
+        match self.h.execute(ctx, CounterOp::Read) {
+            CounterResp::Value(v) => v,
+            CounterResp::Ack => unreachable!("read returns a value"),
+        }
+    }
+
+    /// Read without publishing an entry (the type-specific read
+    /// optimization; see
+    /// [`UniversalHandle::execute_unpublished`](apram_core::UniversalHandle::execute_unpublished)).
+    pub fn read_unpublished<C: MemCtx<UniversalCounterReg>>(&mut self, ctx: &mut C) -> i64 {
+        match self.h.execute_unpublished(ctx, CounterOp::Read) {
+            CounterResp::Value(v) => v,
+            CounterResp::Ack => unreachable!("read returns a value"),
+        }
+    }
+
+    /// Operations replayed by the last call (growth diagnostics).
+    pub fn last_history_len(&self) -> usize {
+        self.h.last_history_len()
+    }
+}
+
+/// The direct (lattice) counter: inc/dec/read only.
+#[derive(Clone, Copy, Debug)]
+pub struct DirectCounter {
+    scan: ScanObject,
+}
+
+impl DirectCounter {
+    /// A counter shared by `n` processes.
+    pub fn new(n: usize) -> Self {
+        DirectCounter {
+            scan: ScanObject::new(n),
+        }
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.scan.n()
+    }
+
+    /// Initial register contents.
+    pub fn registers(&self) -> Vec<CounterLattice> {
+        self.scan.registers()
+    }
+
+    /// Single-writer owner map.
+    pub fn owners(&self) -> Vec<ProcId> {
+        self.scan.owners()
+    }
+
+    /// A per-process handle. **One handle per process for the object's
+    /// lifetime**: it caches the process's own registers (both the
+    /// monotone `(pos, neg)` contribution and the scan columns), so a
+    /// second handle for the same process would desynchronize them.
+    pub fn handle(&self) -> DirectCounterHandle {
+        DirectCounterHandle {
+            scan: ScanHandle::new(self.scan),
+            pos: 0,
+            neg: 0,
+        }
+    }
+
+    /// Audit the counter value from the input registers alone (for test
+    /// harnesses with direct memory access; not a process operation).
+    /// `peek(r)` must return the current content of register `r`.
+    pub fn audit_total(&self, mut peek: impl FnMut(usize) -> CounterLattice) -> i64 {
+        let mut total = 0i64;
+        for q in 0..self.scan.n() {
+            let reg = peek(self.scan.input_register(q));
+            let (pos, neg) = reg.get(q);
+            total += pos.get() as i64 - neg.get() as i64;
+        }
+        total
+    }
+}
+
+/// Per-process handle on a [`DirectCounter`]; caches the process's own
+/// monotone contribution.
+#[derive(Clone, Debug)]
+pub struct DirectCounterHandle {
+    scan: ScanHandle<CounterLattice>,
+    pos: u64,
+    neg: u64,
+}
+
+impl DirectCounterHandle {
+    fn contribution<C: MemCtx<CounterLattice>>(&self, ctx: &C) -> CounterLattice {
+        ElemVec::singleton(
+            ctx.n_procs(),
+            ctx.proc(),
+            (MaxU64::new(self.pos), MaxU64::new(self.neg)),
+        )
+    }
+
+    /// Add `amount` (one scan).
+    pub fn inc<C: MemCtx<CounterLattice>>(&mut self, ctx: &mut C, amount: u64) {
+        self.pos += amount;
+        let v = self.contribution(ctx);
+        self.scan.write_l(ctx, v);
+    }
+
+    /// Subtract `amount` (one scan).
+    pub fn dec<C: MemCtx<CounterLattice>>(&mut self, ctx: &mut C, amount: u64) {
+        self.neg += amount;
+        let v = self.contribution(ctx);
+        self.scan.write_l(ctx, v);
+    }
+
+    /// Read the current value (one scan): Σ increments − Σ decrements.
+    pub fn read<C: MemCtx<CounterLattice>>(&mut self, ctx: &mut C) -> i64 {
+        let joined = self.scan.read_max(ctx);
+        let mut total: i64 = 0;
+        for (pos, neg) in joined.iter() {
+            total += pos.get() as i64 - neg.get() as i64;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apram_core::counter::{CounterOp, CounterResp};
+    use apram_history::check::{check_linearizable, CheckerConfig};
+    use apram_history::Recorder;
+    use apram_model::sim::strategy::{CrashAt, RoundRobin, SeededRandom};
+    use apram_model::sim::{run_symmetric, SimConfig};
+    use apram_model::NativeMemory;
+
+    #[test]
+    fn universal_counter_full_api() {
+        let c = UniversalCounter::new(2);
+        let mem = NativeMemory::new(2, c.registers());
+        let mut h0 = c.handle();
+        let mut h1 = c.handle();
+        let mut c0 = mem.ctx(0);
+        let mut c1 = mem.ctx(1);
+        h0.inc(&mut c0, 5);
+        h1.dec(&mut c1, 2);
+        assert_eq!(h0.read(&mut c0), 3);
+        assert_eq!(h0.read_unpublished(&mut c0), 3);
+        h1.reset(&mut c1, 100);
+        assert_eq!(h1.read(&mut c1), 100);
+        h0.inc(&mut c0, 1);
+        assert_eq!(h0.read(&mut c0), 101);
+        assert!(h0.last_history_len() >= 4);
+    }
+
+    #[test]
+    fn direct_counter_sequential() {
+        let c = DirectCounter::new(2);
+        let mem = NativeMemory::new(2, c.registers());
+        let mut h0 = c.handle();
+        let mut h1 = c.handle();
+        let mut c0 = mem.ctx(0);
+        let mut c1 = mem.ctx(1);
+        assert_eq!(h0.read(&mut c0), 0);
+        h0.inc(&mut c0, 5);
+        h1.dec(&mut c1, 2);
+        assert_eq!(h0.read(&mut c0), 3);
+        assert_eq!(h1.read(&mut c1), 3);
+        h1.inc(&mut c1, 10);
+        assert_eq!(h0.read(&mut c0), 13);
+        assert_eq!(c.n(), 2);
+    }
+
+    /// Linearizability of the direct counter against the (reset-free)
+    /// counter spec under random simulated schedules, with real-time
+    /// recording.
+    #[test]
+    fn direct_counter_linearizable_random() {
+        for seed in 0..15u64 {
+            let n = 3;
+            let c = DirectCounter::new(n);
+            let cfg = SimConfig::new(c.registers()).with_owners(c.owners());
+            let rec: Recorder<CounterOp, CounterResp> = Recorder::new();
+            let rec2 = rec.clone();
+            let out = run_symmetric(&cfg, &mut SeededRandom::new(seed), n, move |ctx| {
+                let p = ctx.proc();
+                let mut h = c.handle();
+                rec2.invoke(p, CounterOp::Inc(p as i64 + 1));
+                h.inc(ctx, p as u64 + 1);
+                rec2.respond(p, CounterResp::Ack);
+                rec2.invoke(p, CounterOp::Read);
+                let v = h.read(ctx);
+                rec2.respond(p, CounterResp::Value(v));
+                rec2.invoke(p, CounterOp::Dec(1));
+                h.dec(ctx, 1);
+                rec2.respond(p, CounterResp::Ack);
+            });
+            out.assert_no_panics();
+            let hist = rec.snapshot();
+            assert!(
+                check_linearizable(&apram_core::CounterSpec, &hist, &CheckerConfig::default())
+                    .is_ok(),
+                "seed {seed}: {hist:?}"
+            );
+        }
+    }
+
+    /// Wait-freedom of the direct counter under crashes.
+    #[test]
+    fn direct_counter_survives_crashes() {
+        let n = 3;
+        let c = DirectCounter::new(n);
+        let cfg = SimConfig::new(c.registers()).with_owners(c.owners());
+        let mut strategy = CrashAt::new(RoundRobin::new(), vec![(1, 6), (2, 13)]);
+        let out = run_symmetric(&cfg, &mut strategy, n, move |ctx| {
+            let mut h = c.handle();
+            h.inc(ctx, 10);
+            h.read(ctx)
+        });
+        out.assert_no_panics();
+        let v = out.results[0].expect("survivor finishes");
+        assert!(v >= 10, "own inc must be visible: {v}");
+    }
+
+    /// The direct and universal counters agree on reset-free workloads
+    /// (sequentially, across processes).
+    #[test]
+    fn direct_and_universal_agree() {
+        let n = 2;
+        let d = DirectCounter::new(n);
+        let u = UniversalCounter::new(n);
+        let dmem = NativeMemory::new(n, d.registers());
+        let umem = NativeMemory::new(n, u.registers());
+        let mut dh: Vec<_> = (0..n).map(|_| d.handle()).collect();
+        let mut uh: Vec<_> = (0..n).map(|_| u.handle()).collect();
+        let script: [(usize, i64); 6] = [(0, 3), (1, -2), (0, -1), (1, 5), (0, 7), (1, -4)];
+        for &(p, delta) in &script {
+            let mut dc = dmem.ctx(p);
+            let mut uc = umem.ctx(p);
+            if delta >= 0 {
+                dh[p].inc(&mut dc, delta as u64);
+                uh[p].inc(&mut uc, delta);
+            } else {
+                dh[p].dec(&mut dc, (-delta) as u64);
+                uh[p].dec(&mut uc, -delta);
+            }
+            assert_eq!(dh[p].read(&mut dc), uh[p].read(&mut uc));
+        }
+    }
+
+    /// Native-thread stress on the direct counter: final value is the
+    /// exact sum, and every read is a plausible intermediate value.
+    #[test]
+    fn direct_counter_native_stress() {
+        let n = 4;
+        let c = DirectCounter::new(n);
+        let mem = NativeMemory::new(n, c.registers()).with_owners(c.owners());
+        let per = 50u64;
+        std::thread::scope(|s| {
+            for p in 0..n {
+                let mem = mem.clone();
+                let mut h = c.handle();
+                s.spawn(move || {
+                    let mut ctx = mem.ctx(p);
+                    let mut last = i64::MIN;
+                    for k in 0..per {
+                        h.inc(&mut ctx, 1);
+                        let v = h.read(&mut ctx);
+                        assert!(v > last, "reads by one process are monotone here");
+                        assert!(v > k as i64);
+                        assert!(v <= (n as u64 * per) as i64);
+                        last = v;
+                    }
+                });
+            }
+        });
+        // Audit from the registers (a fresh handle would have a stale
+        // own-register cache; handles are one-per-process-lifetime).
+        assert_eq!(c.audit_total(|r| mem.peek(r)), (n as u64 * per) as i64);
+    }
+}

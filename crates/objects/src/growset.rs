@@ -1,0 +1,291 @@
+//! Set abstractions (paper §5.1: "certain kinds of set abstractions").
+//!
+//! The grow-only set supports `add(v)`, `contains(v)` and `elements()`.
+//! Its state is the union lattice, so the direct form is one Section 6
+//! scan per operation. The universal spec form adds `clear`, an
+//! overwriting operation only Figure 4 can host: `add`s commute with
+//! each other, everything overwrites the read-only operations, `clear`
+//! overwrites everything.
+
+use apram_core::AlgebraicSpec;
+use apram_history::{DetSpec, ProcId};
+use apram_lattice::SetUnion;
+use apram_model::MemCtx;
+use apram_snapshot::{ScanHandle, ScanObject};
+use std::collections::BTreeSet;
+
+/// Operations of the (clearable) set.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum SetOp {
+    /// Insert a value.
+    Add(u64),
+    /// Membership test.
+    Contains(u64),
+    /// Read the whole set.
+    Elements,
+    /// Remove everything (universal form only).
+    Clear,
+}
+
+/// Responses of the set.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum SetResp {
+    /// Acknowledgement of an update.
+    Ack,
+    /// Membership answer.
+    Member(bool),
+    /// The elements.
+    Set(BTreeSet<u64>),
+}
+
+/// Sequential specification of the clearable grow-set.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GrowSetSpec;
+
+impl DetSpec for GrowSetSpec {
+    type State = BTreeSet<u64>;
+    type Op = SetOp;
+    type Resp = SetResp;
+
+    fn initial(&self) -> Self::State {
+        BTreeSet::new()
+    }
+
+    fn apply(&self, state: &mut Self::State, _proc: ProcId, op: &SetOp) -> SetResp {
+        match op {
+            SetOp::Add(v) => {
+                state.insert(*v);
+                SetResp::Ack
+            }
+            SetOp::Contains(v) => SetResp::Member(state.contains(v)),
+            SetOp::Elements => SetResp::Set(state.clone()),
+            SetOp::Clear => {
+                state.clear();
+                SetResp::Ack
+            }
+        }
+    }
+}
+
+impl AlgebraicSpec for GrowSetSpec {
+    fn commutes(&self, p: &SetOp, q: &SetOp) -> bool {
+        use SetOp::*;
+        match (p, q) {
+            // Read-only ops commute with everything.
+            (Contains(_) | Elements, _) | (_, Contains(_) | Elements) => true,
+            (Add(_), Add(_)) => true,
+            (Clear, Clear) => true,
+            (Clear, Add(_)) | (Add(_), Clear) => false,
+        }
+    }
+
+    fn overwrites(&self, overwriter: &SetOp, overwritten: &SetOp) -> bool {
+        use SetOp::*;
+        match (overwriter, overwritten) {
+            // Everything overwrites the read-only ops.
+            (_, Contains(_) | Elements) => true,
+            (Clear, _) => true,
+            // add(v) overwrites add(v) (idempotent).
+            (Add(a), Add(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+/// The direct grow-only set (no `clear`).
+#[derive(Clone, Copy, Debug)]
+pub struct DirectGrowSet {
+    scan: ScanObject,
+}
+
+impl DirectGrowSet {
+    /// A set shared by `n` processes.
+    pub fn new(n: usize) -> Self {
+        DirectGrowSet {
+            scan: ScanObject::new(n),
+        }
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.scan.n()
+    }
+
+    /// Initial register contents.
+    pub fn registers(&self) -> Vec<SetUnion<u64>> {
+        self.scan.registers()
+    }
+
+    /// Single-writer owner map.
+    pub fn owners(&self) -> Vec<ProcId> {
+        self.scan.owners()
+    }
+
+    /// A per-process handle (one per process for the object lifetime).
+    pub fn handle(&self) -> DirectGrowSetHandle {
+        DirectGrowSetHandle {
+            scan: ScanHandle::new(self.scan),
+        }
+    }
+}
+
+/// Per-process handle on a [`DirectGrowSet`].
+#[derive(Clone, Debug)]
+pub struct DirectGrowSetHandle {
+    scan: ScanHandle<SetUnion<u64>>,
+}
+
+impl DirectGrowSetHandle {
+    /// Insert `v` (one scan).
+    pub fn add<C: MemCtx<SetUnion<u64>>>(&mut self, ctx: &mut C, v: u64) {
+        self.scan.write_l(ctx, SetUnion::singleton(v));
+    }
+
+    /// Membership test (one scan).
+    pub fn contains<C: MemCtx<SetUnion<u64>>>(&mut self, ctx: &mut C, v: u64) -> bool {
+        self.scan.read_max(ctx).contains(&v)
+    }
+
+    /// All elements (one scan).
+    pub fn elements<C: MemCtx<SetUnion<u64>>>(&mut self, ctx: &mut C) -> BTreeSet<u64> {
+        self.scan.read_max(ctx).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apram_core::verify::verify_property1;
+    use apram_core::Universal;
+    use apram_history::check::{check_linearizable, CheckerConfig};
+    use apram_history::Recorder;
+    use apram_model::sim::strategy::SeededRandom;
+    use apram_model::sim::{run_symmetric, SimConfig};
+    use apram_model::NativeMemory;
+
+    #[test]
+    fn spec_algebra_verified() {
+        let states = [
+            BTreeSet::new(),
+            BTreeSet::from([1u64]),
+            BTreeSet::from([1, 2, 3]),
+        ];
+        let ops = [
+            SetOp::Add(1),
+            SetOp::Add(2),
+            SetOp::Contains(1),
+            SetOp::Elements,
+            SetOp::Clear,
+        ];
+        assert_eq!(verify_property1(&GrowSetSpec, &states, &ops), Ok(()));
+    }
+
+    #[test]
+    fn direct_sequential() {
+        let s = DirectGrowSet::new(2);
+        let mem = NativeMemory::new(2, s.registers());
+        let mut h0 = s.handle();
+        let mut h1 = s.handle();
+        let mut c0 = mem.ctx(0);
+        let mut c1 = mem.ctx(1);
+        assert!(!h0.contains(&mut c0, 7));
+        h0.add(&mut c0, 7);
+        h1.add(&mut c1, 9);
+        assert!(h1.contains(&mut c1, 7));
+        assert_eq!(h0.elements(&mut c0), BTreeSet::from([7, 9]));
+        assert_eq!(s.n(), 2);
+    }
+
+    #[test]
+    fn direct_linearizable_random() {
+        for seed in 0..10u64 {
+            let n = 3;
+            let s = DirectGrowSet::new(n);
+            let cfg = SimConfig::new(s.registers()).with_owners(s.owners());
+            let rec: Recorder<SetOp, SetResp> = Recorder::new();
+            let rec2 = rec.clone();
+            let out = run_symmetric(&cfg, &mut SeededRandom::new(seed), n, move |ctx| {
+                let p = ctx.proc() as u64;
+                let mut h = s.handle();
+                rec2.invoke(ctx.proc(), SetOp::Add(p));
+                h.add(ctx, p);
+                rec2.respond(ctx.proc(), SetResp::Ack);
+                rec2.invoke(ctx.proc(), SetOp::Elements);
+                let e = h.elements(ctx);
+                rec2.respond(ctx.proc(), SetResp::Set(e));
+            });
+            out.assert_no_panics();
+            let hist = rec.snapshot();
+            assert!(
+                check_linearizable(&GrowSetSpec, &hist, &CheckerConfig::default()).is_ok(),
+                "seed {seed}: {hist:?}"
+            );
+        }
+    }
+
+    /// The universal clearable set: clear really clears, adds after the
+    /// clear survive, and histories stay linearizable.
+    #[test]
+    fn universal_clearable_set() {
+        let n = 2;
+        let uni = Universal::new(n, GrowSetSpec);
+        let mem = NativeMemory::new(n, uni.registers());
+        let mut h0 = uni.handle();
+        let mut h1 = uni.handle();
+        let mut c0 = mem.ctx(0);
+        let mut c1 = mem.ctx(1);
+        h0.execute(&mut c0, SetOp::Add(1));
+        h1.execute(&mut c1, SetOp::Add(2));
+        assert_eq!(
+            h0.execute(&mut c0, SetOp::Elements),
+            SetResp::Set(BTreeSet::from([1, 2]))
+        );
+        h1.execute(&mut c1, SetOp::Clear);
+        assert_eq!(
+            h1.execute(&mut c1, SetOp::Elements),
+            SetResp::Set(BTreeSet::new())
+        );
+        h0.execute(&mut c0, SetOp::Add(5));
+        assert_eq!(
+            h1.execute(&mut c1, SetOp::Contains(5)),
+            SetResp::Member(true)
+        );
+        assert_eq!(
+            h1.execute(&mut c1, SetOp::Contains(1)),
+            SetResp::Member(false)
+        );
+    }
+
+    /// Universal clearable set under random schedules, checked.
+    #[test]
+    fn universal_set_linearizable_random() {
+        for seed in 0..8u64 {
+            let n = 2;
+            let uni = Universal::new(n, GrowSetSpec);
+            let cfg = SimConfig::new(uni.registers()).with_owners(uni.owners());
+            let rec: Recorder<SetOp, SetResp> = Recorder::new();
+            let rec2 = rec.clone();
+            let uni2 = uni.clone();
+            let out = run_symmetric(&cfg, &mut SeededRandom::new(seed), n, move |ctx| {
+                let p = ctx.proc();
+                let mut h = uni2.handle();
+                let ops = if p == 0 {
+                    vec![SetOp::Add(1), SetOp::Elements]
+                } else {
+                    vec![SetOp::Clear, SetOp::Contains(1)]
+                };
+                for op in ops {
+                    rec2.invoke(p, op.clone());
+                    let r = h.execute(ctx, op);
+                    rec2.respond(p, r);
+                }
+            });
+            out.assert_no_panics();
+            let hist = rec.snapshot();
+            assert!(
+                check_linearizable(&GrowSetSpec, &hist, &CheckerConfig::default()).is_ok(),
+                "seed {seed}: {hist:?}"
+            );
+        }
+    }
+}

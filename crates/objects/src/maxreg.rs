@@ -1,0 +1,234 @@
+//! Max-registers: `write_max(v)` / `read() -> max so far`.
+//!
+//! The direct form is literally the Section 6 lattice object at
+//! `MaxI64`: `write_max = Write_L`, `read = ReadMax`, linearizable by
+//! Theorem 33. The universal spec form exists to exercise the Figure 4
+//! construction on a second object and to host the `reset`-like
+//! extension (`clamp`) if ever needed; its algebra: `write_max`
+//! operations commute (max is commutative), everything overwrites
+//! `read`.
+
+use apram_core::AlgebraicSpec;
+use apram_history::{DetSpec, ProcId};
+use apram_lattice::{JoinSemilattice, MaxI64};
+use apram_model::MemCtx;
+use apram_snapshot::{ScanHandle, ScanObject};
+
+/// Operations of the max-register.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MaxRegOp {
+    /// Raise the register to at least `v`.
+    WriteMax(i64),
+    /// Read the current maximum.
+    Read,
+}
+
+/// Responses of the max-register.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MaxRegResp {
+    /// Acknowledgement of a write.
+    Ack,
+    /// The maximum so far (`None` before any write).
+    Value(Option<i64>),
+}
+
+/// Sequential specification of the max-register.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MaxRegSpec;
+
+impl DetSpec for MaxRegSpec {
+    type State = Option<i64>;
+    type Op = MaxRegOp;
+    type Resp = MaxRegResp;
+
+    fn initial(&self) -> Option<i64> {
+        None
+    }
+
+    fn apply(&self, state: &mut Option<i64>, _proc: ProcId, op: &MaxRegOp) -> MaxRegResp {
+        match op {
+            MaxRegOp::WriteMax(v) => {
+                *state = Some(state.map_or(*v, |cur| cur.max(*v)));
+                MaxRegResp::Ack
+            }
+            MaxRegOp::Read => MaxRegResp::Value(*state),
+        }
+    }
+}
+
+impl AlgebraicSpec for MaxRegSpec {
+    fn commutes(&self, _p: &MaxRegOp, _q: &MaxRegOp) -> bool {
+        // max is commutative and read is stateless: every pair commutes.
+        true
+    }
+
+    fn overwrites(&self, overwriter: &MaxRegOp, overwritten: &MaxRegOp) -> bool {
+        // Everything overwrites read; WriteMax(a) overwrites WriteMax(b)
+        // when a ≥ b (the smaller write leaves no trace).
+        match (overwriter, overwritten) {
+            (_, MaxRegOp::Read) => true,
+            (MaxRegOp::WriteMax(a), MaxRegOp::WriteMax(b)) => a >= b,
+            (MaxRegOp::Read, MaxRegOp::WriteMax(_)) => false,
+        }
+    }
+}
+
+/// The direct max-register: the Section 6 object at the `MaxI64`
+/// lattice.
+#[derive(Clone, Copy, Debug)]
+pub struct DirectMaxRegister {
+    scan: ScanObject,
+}
+
+impl DirectMaxRegister {
+    /// A max-register shared by `n` processes.
+    pub fn new(n: usize) -> Self {
+        DirectMaxRegister {
+            scan: ScanObject::new(n),
+        }
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.scan.n()
+    }
+
+    /// Initial register contents.
+    pub fn registers(&self) -> Vec<MaxI64> {
+        self.scan.registers()
+    }
+
+    /// Single-writer owner map.
+    pub fn owners(&self) -> Vec<ProcId> {
+        self.scan.owners()
+    }
+
+    /// A per-process handle (one per process for the object lifetime).
+    pub fn handle(&self) -> DirectMaxRegisterHandle {
+        DirectMaxRegisterHandle {
+            scan: ScanHandle::new(self.scan),
+        }
+    }
+}
+
+/// Per-process handle on a [`DirectMaxRegister`].
+#[derive(Clone, Debug)]
+pub struct DirectMaxRegisterHandle {
+    scan: ScanHandle<MaxI64>,
+}
+
+impl DirectMaxRegisterHandle {
+    /// Raise the register to at least `v` (one scan).
+    pub fn write_max<C: MemCtx<MaxI64>>(&mut self, ctx: &mut C, v: i64) {
+        self.scan.write_l(ctx, MaxI64::new(v));
+    }
+
+    /// Read the maximum so far (one scan). `None` before any write.
+    pub fn read<C: MemCtx<MaxI64>>(&mut self, ctx: &mut C) -> Option<i64> {
+        let m = self.scan.read_max(ctx);
+        (m != MaxI64::bottom()).then(|| m.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apram_core::verify::verify_property1;
+    use apram_core::Universal;
+    use apram_history::check::{check_linearizable, CheckerConfig};
+    use apram_history::Recorder;
+    use apram_model::sim::strategy::SeededRandom;
+    use apram_model::sim::{run_symmetric, SimConfig};
+    use apram_model::NativeMemory;
+
+    #[test]
+    fn spec_algebra_verified() {
+        let states = [None, Some(-3), Some(0), Some(42)];
+        let ops = [
+            MaxRegOp::WriteMax(-5),
+            MaxRegOp::WriteMax(0),
+            MaxRegOp::WriteMax(7),
+            MaxRegOp::Read,
+        ];
+        assert_eq!(verify_property1(&MaxRegSpec, &states, &ops), Ok(()));
+    }
+
+    #[test]
+    fn direct_sequential() {
+        let r = DirectMaxRegister::new(2);
+        let mem = NativeMemory::new(2, r.registers());
+        let mut h0 = r.handle();
+        let mut h1 = r.handle();
+        let mut c0 = mem.ctx(0);
+        let mut c1 = mem.ctx(1);
+        assert_eq!(h0.read(&mut c0), None);
+        h0.write_max(&mut c0, 5);
+        h1.write_max(&mut c1, 3);
+        assert_eq!(h1.read(&mut c1), Some(5));
+        h1.write_max(&mut c1, 9);
+        assert_eq!(h0.read(&mut c0), Some(9));
+        assert_eq!(r.n(), 2);
+    }
+
+    #[test]
+    fn negative_values_work() {
+        let r = DirectMaxRegister::new(1);
+        let mem = NativeMemory::new(1, r.registers());
+        let mut h = r.handle();
+        let mut c = mem.ctx(0);
+        h.write_max(&mut c, -7);
+        assert_eq!(h.read(&mut c), Some(-7));
+        h.write_max(&mut c, -9);
+        assert_eq!(h.read(&mut c), Some(-7));
+    }
+
+    #[test]
+    fn direct_linearizable_random() {
+        for seed in 0..15u64 {
+            let n = 3;
+            let r = DirectMaxRegister::new(n);
+            let cfg = SimConfig::new(r.registers()).with_owners(r.owners());
+            let rec: Recorder<MaxRegOp, MaxRegResp> = Recorder::new();
+            let rec2 = rec.clone();
+            let out = run_symmetric(&cfg, &mut SeededRandom::new(seed), n, move |ctx| {
+                let p = ctx.proc();
+                let mut h = r.handle();
+                rec2.invoke(p, MaxRegOp::WriteMax(p as i64 * 10));
+                h.write_max(ctx, p as i64 * 10);
+                rec2.respond(p, MaxRegResp::Ack);
+                rec2.invoke(p, MaxRegOp::Read);
+                let v = h.read(ctx);
+                rec2.respond(p, MaxRegResp::Value(v));
+            });
+            out.assert_no_panics();
+            let hist = rec.snapshot();
+            assert!(
+                check_linearizable(&MaxRegSpec, &hist, &CheckerConfig::default()).is_ok(),
+                "seed {seed}: {hist:?}"
+            );
+        }
+    }
+
+    /// The universal construction accepts MaxRegSpec and agrees with the
+    /// direct form sequentially.
+    #[test]
+    fn universal_max_register_agrees() {
+        let n = 2;
+        let uni = Universal::new(n, MaxRegSpec);
+        let umem = NativeMemory::new(n, uni.registers());
+        let dir = DirectMaxRegister::new(n);
+        let dmem = NativeMemory::new(n, dir.registers());
+        let mut uh: Vec<_> = (0..n).map(|_| uni.handle()).collect();
+        let mut dh: Vec<_> = (0..n).map(|_| dir.handle()).collect();
+        for (p, v) in [(0usize, 4i64), (1, 9), (0, 2), (1, 11)] {
+            let mut uc = umem.ctx(p);
+            let mut dc = dmem.ctx(p);
+            let ur = uh[p].execute(&mut uc, MaxRegOp::WriteMax(v));
+            assert_eq!(ur, MaxRegResp::Ack);
+            dh[p].write_max(&mut dc, v);
+            let ur = uh[p].execute(&mut uc, MaxRegOp::Read);
+            let dv = dh[p].read(&mut dc);
+            assert_eq!(ur, MaxRegResp::Value(dv));
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! The sticky (write-once) register: the canonical *non*-constructible
+//! object.
+//!
+//! A sticky register keeps the first value written; later writes are
+//! ignored. Two distinct writes neither commute (the order decides the
+//! final value) nor overwrite each other (a later write leaves the
+//! earlier one fully visible), so Property 1 fails — and it must: a
+//! sticky register solves consensus for any number of processes (every
+//! process writes its input and reads the winner), and the paper's §1
+//! cites the impossibility of wait-free consensus from registers. This
+//! module exists so that the verification harness demonstrably rejects
+//! the object, closing the loop between the paper's positive
+//! characterization and its impossibility side.
+
+use apram_core::AlgebraicSpec;
+use apram_history::{DetSpec, ProcId};
+
+/// Operations of the sticky register.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StickyOp {
+    /// Write `v` — wins only if first.
+    Write(u64),
+    /// Read the sticky value.
+    Read,
+}
+
+/// Responses of the sticky register.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StickyResp {
+    /// Acknowledgement of a write (whether or not it stuck).
+    Ack,
+    /// The sticky value (`None` if never written).
+    Value(Option<u64>),
+}
+
+/// Sequential specification: first write wins.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StickySpec;
+
+impl DetSpec for StickySpec {
+    type State = Option<u64>;
+    type Op = StickyOp;
+    type Resp = StickyResp;
+
+    fn initial(&self) -> Option<u64> {
+        None
+    }
+
+    fn apply(&self, state: &mut Option<u64>, _proc: ProcId, op: &StickyOp) -> StickyResp {
+        match op {
+            StickyOp::Write(v) => {
+                if state.is_none() {
+                    *state = Some(*v);
+                }
+                StickyResp::Ack
+            }
+            StickyOp::Read => StickyResp::Value(*state),
+        }
+    }
+}
+
+/// The honest algebra of the sticky register: distinct writes neither
+/// commute nor overwrite. Property 1 fails, and
+/// [`apram_core::verify::verify_property1`] reports it.
+impl AlgebraicSpec for StickySpec {
+    fn commutes(&self, p: &StickyOp, q: &StickyOp) -> bool {
+        use StickyOp::*;
+        match (p, q) {
+            (Read, _) | (_, Read) => true,
+            // Write(a)/Write(b): order determines the winner.
+            (Write(a), Write(b)) => a == b,
+        }
+    }
+
+    fn overwrites(&self, overwriter: &StickyOp, overwritten: &StickyOp) -> bool {
+        use StickyOp::*;
+        match (overwriter, overwritten) {
+            (_, Read) => true,
+            // A later write never erases the first: nothing overwrites a
+            // write (except trivially an identical one).
+            (Write(a), Write(b)) => a == b,
+            (Read, Write(_)) => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apram_core::verify::{verify_property1, AlgebraViolation};
+
+    #[test]
+    fn first_write_wins() {
+        let s = StickySpec;
+        let (state, resps) = s.run(&[
+            (0, StickyOp::Read),
+            (0, StickyOp::Write(5)),
+            (1, StickyOp::Write(9)),
+            (1, StickyOp::Read),
+        ]);
+        assert_eq!(state, Some(5));
+        assert_eq!(resps[0], StickyResp::Value(None));
+        assert_eq!(resps[3], StickyResp::Value(Some(5)));
+    }
+
+    /// The headline: the paper's characterization excludes the sticky
+    /// register, and the harness proves it mechanically.
+    #[test]
+    fn property_1_fails_for_sticky_register() {
+        let states = [None, Some(1u64)];
+        let ops = [StickyOp::Write(1), StickyOp::Write(2), StickyOp::Read];
+        match verify_property1(&StickySpec, &states, &ops) {
+            Err(AlgebraViolation::Property1Fails { detail }) => {
+                assert!(detail.contains("Write"), "{detail}");
+            }
+            other => panic!("sticky register must fail Property 1, got {other:?}"),
+        }
+    }
+
+    /// The claims that *are* made are sound (only Property 1 coverage
+    /// fails): restricting to a single write value passes.
+    #[test]
+    fn restricted_op_set_passes() {
+        let states = [None, Some(1u64)];
+        let ops = [StickyOp::Write(1), StickyOp::Read];
+        assert_eq!(verify_property1(&StickySpec, &states, &ops), Ok(()));
+    }
+}

@@ -1,0 +1,189 @@
+//! Lattice agreement, solved directly by the scan.
+//!
+//! Section 2 of the paper: "The *lattice agreement* technique \[8\], where
+//! processes agree on a chain in a lattice, is closely related to the
+//! semilattice construction we use in Section 6." This module makes the
+//! relation executable: the lattice agreement task —
+//!
+//! * **validity (lower)**: each output contains the process's own input;
+//! * **validity (upper)**: each output is below the join of all inputs;
+//! * **comparability**: any two outputs are comparable in the lattice —
+//!
+//! is solved in one line by the Section 6 object: `Scan(P, input)`
+//! returns a join that contains the caller's write (Lemma 28), contains
+//! only written values (Lemma 30), and is comparable with every other
+//! scan result (Lemma 32). Historically the implication ran the other
+//! way (Attiya–Herlihy–Rachman built faster *snapshots* from lattice
+//! agreement); here we get lattice agreement for free from the snapshot.
+
+use crate::scan::{ScanHandle, ScanObject};
+use apram_lattice::JoinSemilattice;
+use apram_model::{MemCtx, ProcId};
+
+/// A one-shot lattice agreement object for `n` processes over lattice
+/// `L`.
+#[derive(Clone, Copy, Debug)]
+pub struct LatticeAgreement {
+    scan: ScanObject,
+}
+
+impl LatticeAgreement {
+    /// An object for `n` processes.
+    pub fn new(n: usize) -> Self {
+        LatticeAgreement {
+            scan: ScanObject::new(n),
+        }
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.scan.n()
+    }
+
+    /// Initial register contents.
+    pub fn registers<L: JoinSemilattice>(&self) -> Vec<L> {
+        self.scan.registers()
+    }
+
+    /// Single-writer owner map.
+    pub fn owners(&self) -> Vec<ProcId> {
+        self.scan.owners()
+    }
+
+    /// Propose `input`; returns this process's output (one optimized
+    /// scan: `n²−1` reads, `n+1` writes).
+    ///
+    /// One call per process (the object is one-shot; repeated calls
+    /// remain safe but outputs then satisfy the *long-lived* version of
+    /// the task, where later outputs dominate earlier ones).
+    pub fn propose<L, C>(&self, ctx: &mut C, input: L) -> L
+    where
+        L: JoinSemilattice,
+        C: MemCtx<L>,
+    {
+        let mut handle = ScanHandle::new(self.scan);
+        handle.scan(ctx, input)
+    }
+}
+
+/// Check the lattice agreement conditions on a completed run (used by
+/// tests and the example): every output contains its input, is below the
+/// join of all inputs, and all outputs are pairwise comparable.
+pub fn lattice_agreement_valid<L>(inputs: &[L], outputs: &[L]) -> bool
+where
+    L: JoinSemilattice + PartialEq,
+{
+    let all = L::join_all(inputs.iter());
+    inputs
+        .iter()
+        .zip(outputs)
+        .all(|(x, y)| x.leq(y) && y.leq(&all))
+        && outputs
+            .iter()
+            .all(|a| outputs.iter().all(|b| a.comparable(b)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apram_lattice::{SetUnion, VectorClock};
+    use apram_model::sim::strategy::{CrashAt, RoundRobin, SeededRandom};
+    use apram_model::sim::{run_symmetric, SimConfig};
+    use apram_model::NativeMemory;
+
+    #[test]
+    fn sequential_chain() {
+        let la = LatticeAgreement::new(3);
+        let mem = NativeMemory::new(3, la.registers::<SetUnion<u32>>());
+        let mut outs = Vec::new();
+        for p in 0..3 {
+            let mut ctx = mem.ctx(p);
+            outs.push(la.propose(&mut ctx, SetUnion::from_iter([p as u32])));
+        }
+        let ins: Vec<SetUnion<u32>> = (0..3u32).map(|p| SetUnion::from_iter([p])).collect();
+        assert!(lattice_agreement_valid(&ins, &outs));
+        // Sequential runs produce the full chain.
+        assert_eq!(outs[2], SetUnion::from_iter([0, 1, 2]));
+        assert_eq!(la.n(), 3);
+    }
+
+    #[test]
+    fn concurrent_outputs_form_chains() {
+        for seed in 0..30u64 {
+            let n = 4;
+            let la = LatticeAgreement::new(n);
+            let cfg = SimConfig::new(la.registers::<SetUnion<usize>>()).with_owners(la.owners());
+            let out = run_symmetric(&cfg, &mut SeededRandom::new(seed), n, move |ctx| {
+                la.propose(ctx, SetUnion::singleton(ctx.proc()))
+            });
+            let outs = out.unwrap_results();
+            let ins: Vec<SetUnion<usize>> = (0..n).map(SetUnion::singleton).collect();
+            assert!(
+                lattice_agreement_valid(&ins, &outs),
+                "seed {seed}: {outs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn works_over_vector_clocks() {
+        for seed in 40..55u64 {
+            let n = 3;
+            let la = LatticeAgreement::new(n);
+            let cfg = SimConfig::new(la.registers::<VectorClock>()).with_owners(la.owners());
+            let out = run_symmetric(&cfg, &mut SeededRandom::new(seed), n, move |ctx| {
+                let mut input = VectorClock::zero(n);
+                input.tick(ctx.proc());
+                la.propose(ctx, input)
+            });
+            let outs = out.unwrap_results();
+            let ins: Vec<VectorClock> = (0..n)
+                .map(|p| {
+                    let mut c = VectorClock::zero(n);
+                    c.tick(p);
+                    c
+                })
+                .collect();
+            assert!(lattice_agreement_valid(&ins, &outs), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn survivor_decides_despite_crashes() {
+        let n = 3;
+        let la = LatticeAgreement::new(n);
+        let cfg = SimConfig::new(la.registers::<SetUnion<usize>>()).with_owners(la.owners());
+        let mut strategy = CrashAt::new(RoundRobin::new(), vec![(1, 4), (2, 8)]);
+        let out = run_symmetric(&cfg, &mut strategy, n, move |ctx| {
+            la.propose(ctx, SetUnion::singleton(ctx.proc()))
+        });
+        out.assert_no_panics();
+        let y = out.results[0].clone().expect("survivor decides");
+        assert!(y.contains(&0));
+    }
+
+    #[test]
+    fn validity_checker_rejects_bad_runs() {
+        let ins = [SetUnion::from_iter([1u32]), SetUnion::from_iter([2])];
+        // Missing own input:
+        assert!(!lattice_agreement_valid(
+            &ins,
+            &[SetUnion::from_iter([2]), SetUnion::from_iter([2])]
+        ));
+        // Above the join of all inputs:
+        assert!(!lattice_agreement_valid(
+            &ins,
+            &[SetUnion::from_iter([1, 9]), SetUnion::from_iter([2])]
+        ));
+        // Incomparable outputs:
+        assert!(!lattice_agreement_valid(
+            &ins,
+            &[SetUnion::from_iter([1]), SetUnion::from_iter([2])]
+        ));
+        // A proper chain passes:
+        assert!(lattice_agreement_valid(
+            &ins,
+            &[SetUnion::from_iter([1, 2]), SetUnion::from_iter([1, 2])]
+        ));
+    }
+}

@@ -1,0 +1,97 @@
+//! The lock-based snapshot baseline (native threads only).
+//!
+//! One mutex around the whole array: trivially linearizable, trivially
+//! *not* wait-free — a process that stops while holding the lock wedges
+//! every other process forever. This is the conventional-synchronization
+//! strawman the paper's introduction rules out ("the failure or delay of
+//! a single process within a critical section ... will prevent the
+//! non-faulty processes from making progress"), kept as the negative
+//! control in the crash experiments and as the wall-clock baseline in
+//! the throughput benches.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A mutex-protected `n`-slot snapshot object.
+#[derive(Clone)]
+pub struct LockSnapshot<T> {
+    slots: Arc<Mutex<Vec<Option<T>>>>,
+}
+
+impl<T: Clone> LockSnapshot<T> {
+    /// An empty object with `n` slots.
+    pub fn new(n: usize) -> Self {
+        LockSnapshot {
+            slots: Arc::new(Mutex::new(vec![None; n])),
+        }
+    }
+
+    /// Set slot `p`.
+    pub fn update(&self, p: usize, value: T) {
+        self.slots.lock()[p] = Some(value);
+    }
+
+    /// Read the whole array atomically.
+    pub fn snap(&self) -> Vec<Option<T>> {
+        self.slots.lock().clone()
+    }
+
+    /// Simulate a process crashing *inside* the critical section: locks
+    /// and never unlocks (leaks the guard). Everyone else blocks forever.
+    /// Used by the crash-tolerance experiment as the blocking negative
+    /// control; returns whether the lock was acquired.
+    pub fn crash_while_holding(&self) -> bool {
+        std::mem::forget(self.slots.lock());
+        true
+    }
+
+    /// Non-blocking snap attempt; `None` when the lock is unavailable
+    /// (e.g. a crashed holder). Lets tests observe blocking without
+    /// hanging.
+    pub fn try_snap(&self) -> Option<Vec<Option<T>>> {
+        self.slots.try_lock().map(|g| g.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_snap_round_trip() {
+        let s = LockSnapshot::new(2);
+        assert_eq!(s.snap(), vec![None, None]);
+        s.update(0, 5u32);
+        s.update(1, 7);
+        assert_eq!(s.snap(), vec![Some(5), Some(7)]);
+        assert_eq!(s.try_snap(), Some(vec![Some(5), Some(7)]));
+    }
+
+    #[test]
+    fn concurrent_updates_are_serialized() {
+        let s = LockSnapshot::new(4);
+        std::thread::scope(|scope| {
+            for p in 0..4 {
+                let s = s.clone();
+                scope.spawn(move || {
+                    for k in 0..500u64 {
+                        s.update(p, k);
+                        let v = s.snap();
+                        assert_eq!(v[p], Some(k));
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn crashed_holder_blocks_everyone() {
+        let s: LockSnapshot<u32> = LockSnapshot::new(2);
+        assert!(s.crash_while_holding());
+        // Every subsequent non-blocking attempt fails: the object is
+        // wedged. (A real snap() here would hang forever.)
+        assert_eq!(s.try_snap(), None);
+        let s2 = s.clone();
+        assert_eq!(s2.try_snap(), None);
+    }
+}

@@ -1,0 +1,84 @@
+//! Approximate agreement: sensors converging on a shared estimate.
+//!
+//! ```text
+//! cargo run -p apram-bench --example approximate_agreement --release
+//! ```
+//!
+//! Two altimeters disagree about the altitude; they must settle on
+//! values within ε of each other without locks and despite arbitrary
+//! scheduling — including the Lemma 6 adversary, which provably forces
+//! at least ⌊log₃(Δ/ε)⌋ steps.
+//!
+//! The finale runs five sensors through the corrected fixed-round
+//! variant (`OneShotAgreement`), since this repository's experiment E8
+//! shows Figure 2's adaptive termination is only sound for two
+//! processes.
+
+use apram_agreement::adversary::{lemma6_bound, run_adversary};
+use apram_agreement::{AgreementProto, OneShotAgreement};
+use apram_model::sim::strategy::SeededRandom;
+use apram_model::sim::{run_symmetric, SimConfig};
+use apram_model::MemCtx;
+
+fn main() {
+    // --- Two altimeters, Figure 2 protocol, random schedules ---------
+    let eps = 0.5;
+    let (alt0, alt1) = (912.0, 918.0);
+    println!("altimeters read {alt0} m and {alt1} m; agreeing to within {eps} m\n");
+    let proto = AgreementProto::new(2, eps);
+    for seed in 0..3 {
+        let cfg = SimConfig::new(proto.registers()).with_owners(proto.owners());
+        let out = run_symmetric(&cfg, &mut SeededRandom::new(seed), 2, move |ctx| {
+            let mut h = proto.handle();
+            h.input(ctx, if ctx.proc() == 0 { alt0 } else { alt1 });
+            h.output(ctx)
+        });
+        let steps: Vec<u64> = out.counts.iter().map(|c| c.total()).collect();
+        let ys = out.unwrap_results();
+        println!(
+            "schedule {seed}: outputs ({:.3}, {:.3}), gap {:.3}, register ops {:?}",
+            ys[0],
+            ys[1],
+            (ys[0] - ys[1]).abs(),
+            steps
+        );
+        assert!((ys[0] - ys[1]).abs() < eps);
+    }
+
+    // --- The Lemma 6 adversary ----------------------------------------
+    println!("\nthe Lemma 6 adversary forces work as ε shrinks (Δ = 1):");
+    println!(
+        "{:>4} {:>14} {:>16} {:>12}",
+        "k", "⌊log₃(Δ/ε)⌋", "confrontations", "steps"
+    );
+    for k in 1..=6 {
+        let eps = 3f64.powi(-k);
+        let rep = run_adversary(eps, 0.0, 1.0, 10_000_000);
+        println!(
+            "{k:>4} {:>14} {:>16} {:>12}",
+            lemma6_bound(1.0, eps),
+            rep.confrontations,
+            rep.max_steps()
+        );
+        assert!(rep.final_gap < eps);
+    }
+
+    // --- Five sensors, corrected fixed-round variant -------------------
+    let eps = 0.05;
+    let readings = [911.2f64, 912.8, 917.9, 915.0, 913.3];
+    let n = readings.len();
+    println!("\nfive sensors ({readings:?}), ε = {eps}, fixed-round variant:");
+    let obj = OneShotAgreement::new(n, eps, 900.0, 930.0);
+    let cfg = SimConfig::new(obj.registers()).with_owners(obj.owners());
+    let obj_ref = &obj;
+    let readings_ref = &readings;
+    let out = run_symmetric(&cfg, &mut SeededRandom::new(7), n, move |ctx| {
+        obj_ref.run(ctx, readings_ref[ctx.proc()])
+    });
+    let ys = out.unwrap_results();
+    println!("outputs after {} rounds: {ys:?}", obj.rounds());
+    let spread = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        - ys.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!("spread: {spread:.4} (< ε = {eps}) ✓");
+    assert!(spread < eps);
+}

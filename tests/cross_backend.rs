@@ -1,0 +1,129 @@
+//! Cross-backend integration: the same algorithm code runs under the
+//! deterministic simulator and under native threads, and the two
+//! backends agree wherever determinism makes agreement well-defined.
+
+use apram_lattice::{MaxU64, SetUnion};
+use apram_model::sim::strategy::{Replay, RoundRobin, SeededRandom};
+use apram_model::sim::{run_symmetric, SimConfig};
+use apram_model::{MemCtx, NativeMemory};
+use apram_objects::DirectCounter;
+use apram_snapshot::ScanObject;
+
+/// A sequential schedule in the simulator must produce exactly what a
+/// sequential native execution produces.
+#[test]
+fn sequential_schedules_match_native() {
+    let n = 3;
+    let obj = ScanObject::new(n);
+
+    // Native, strictly sequential.
+    let mem = NativeMemory::new(n, obj.registers::<SetUnion<usize>>());
+    let mut native = Vec::new();
+    for p in 0..n {
+        let mut ctx = mem.ctx(p);
+        native.push(obj.scan(&mut ctx, SetUnion::singleton(p)));
+    }
+
+    // Simulator, schedule "P0 to completion, then P1, then P2".
+    let per = (n * n + n + 1) + (n + 2); // literal scan steps
+    let schedule: Vec<usize> = (0..n).flat_map(|p| std::iter::repeat_n(p, per)).collect();
+    let cfg = SimConfig::new(obj.registers::<SetUnion<usize>>()).with_owners(obj.owners());
+    let out = run_symmetric(&cfg, &mut Replay::strict(schedule), n, move |ctx| {
+        obj.scan(ctx, SetUnion::singleton(ctx.proc()))
+    });
+    let sim = out.unwrap_results();
+    assert_eq!(native, sim);
+}
+
+/// Simulator trace replay is deterministic end to end: run a random
+/// schedule, capture the trace, replay it, compare everything.
+#[test]
+fn random_schedule_replays_identically() {
+    let n = 4;
+    let obj = ScanObject::new(n);
+    let cfg = SimConfig::new(obj.registers::<MaxU64>()).with_owners(obj.owners());
+    let body = move |ctx: &mut apram_model::SimCtx<MaxU64>| {
+        let a = obj.scan(ctx, MaxU64::new(ctx.proc() as u64 + 10));
+        let b = obj.read_max(ctx);
+        (a, b)
+    };
+    let first = run_symmetric(&cfg, &mut SeededRandom::new(99), n, body);
+    first.assert_no_panics();
+    let schedule = first.trace.schedule();
+    let second = run_symmetric(&cfg, &mut Replay::strict(schedule.clone()), n, body);
+    assert_eq!(first.results, second.results);
+    assert_eq!(second.trace.schedule(), schedule);
+    assert_eq!(first.memory, second.memory);
+    assert_eq!(first.counts, second.counts);
+}
+
+/// The direct counter produces the same final total on both backends,
+/// and the simulator's step accounting matches the native context's.
+#[test]
+fn counter_totals_and_step_counts_agree() {
+    let n = 3;
+    let per = 5u64;
+    let cnt = DirectCounter::new(n);
+
+    // Simulator (round-robin).
+    let cfg = SimConfig::new(cnt.registers()).with_owners(cnt.owners());
+    let out = run_symmetric(&cfg, &mut RoundRobin::new(), n, move |ctx| {
+        let mut h = cnt.handle();
+        for _ in 0..per {
+            h.inc(ctx, 2);
+        }
+        h.read(ctx)
+    });
+    out.assert_no_panics();
+    let sim_steps: Vec<u64> = out.counts.iter().map(|c| c.total()).collect();
+    let sim_total = cnt.audit_total(|r| out.memory[r].clone());
+    assert_eq!(sim_total, (n as u64 * per * 2) as i64);
+
+    // Native (free-running threads).
+    let mem = NativeMemory::new(n, cnt.registers()).with_owners(cnt.owners());
+    let native_steps: Vec<u64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..n)
+            .map(|p| {
+                let mem = mem.clone();
+                let mut h = cnt.handle();
+                s.spawn(move || {
+                    let mut ctx = mem.ctx(p);
+                    for _ in 0..per {
+                        h.inc(&mut ctx, 2);
+                    }
+                    let _ = h.read(&mut ctx);
+                    ctx.counts().total()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let native_total = cnt.audit_total(|r| mem.peek(r));
+    assert_eq!(native_total, sim_total);
+    // Per-process shared-op counts are schedule-independent for this
+    // workload (fixed number of scans), so they must agree exactly.
+    assert_eq!(sim_steps, native_steps);
+}
+
+/// The simulator's SWMR enforcement and the native one reject the same
+/// misuse.
+#[test]
+fn swmr_enforced_on_both_backends() {
+    let obj = ScanObject::new(2);
+    // Native.
+    let mem = NativeMemory::new(2, obj.registers::<MaxU64>()).with_owners(obj.owners());
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut ctx = mem.ctx(0);
+        // Register n+2 is row 1's first cell — owned by P1.
+        ctx.write(obj.n() + 2, MaxU64::new(1));
+    }));
+    assert!(result.is_err(), "native SWMR violation must panic");
+    // Simulated.
+    let cfg = SimConfig::new(obj.registers::<MaxU64>()).with_owners(obj.owners());
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _ = run_symmetric(&cfg, &mut RoundRobin::new(), 1, move |ctx| {
+            ctx.write(obj.n() + 2, MaxU64::new(1));
+        });
+    }));
+    assert!(result.is_err(), "simulated SWMR violation must panic");
+}

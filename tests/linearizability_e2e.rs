@@ -1,0 +1,171 @@
+//! End-to-end linearizability: native multi-threaded histories of every
+//! object in the workspace, recorded in real time and verified against
+//! their sequential specifications.
+
+use apram_core::{CounterOp, CounterResp, CounterSpec, Universal};
+use apram_history::check::{check_linearizable, CheckOutcome, CheckerConfig};
+use apram_history::Recorder;
+use apram_lattice::MaxU64;
+use apram_model::NativeMemory;
+use apram_objects::growset::{GrowSetSpec, SetOp, SetResp};
+use apram_objects::maxreg::{DirectMaxRegister, MaxRegOp, MaxRegResp, MaxRegSpec};
+use apram_objects::DirectCounter;
+use apram_snapshot::snapshot::{ScanMaxOp, ScanMaxResp, ScanMaxSpec};
+use apram_snapshot::ScanObject;
+
+fn assert_linearizable<S>(spec: &S, hist: &apram_history::History<S::Op, S::Resp>)
+where
+    S: apram_history::NondetSpec,
+    S::State: std::hash::Hash + Eq,
+    S::Op: std::fmt::Debug,
+    S::Resp: std::fmt::Debug,
+{
+    match check_linearizable(spec, hist, &CheckerConfig::default()) {
+        CheckOutcome::Linearizable(_) => {}
+        other => panic!("{other:?}\n{hist:?}"),
+    }
+}
+
+/// The raw Section 6 lattice object (Write_L / ReadMax) under native
+/// threads, against its sequential spec (Theorem 33 end to end).
+#[test]
+fn scan_max_object_native() {
+    for trial in 0..8u64 {
+        let n = 3;
+        let obj = ScanObject::new(n);
+        let mem = NativeMemory::new(n, obj.registers::<MaxU64>()).with_owners(obj.owners());
+        let rec: Recorder<ScanMaxOp<MaxU64>, ScanMaxResp<MaxU64>> = Recorder::new();
+        std::thread::scope(|s| {
+            for p in 0..n {
+                let mem = mem.clone();
+                let rec = rec.clone();
+                s.spawn(move || {
+                    let mut ctx = mem.ctx(p);
+                    let v = MaxU64::new((trial + 1) * 10 + p as u64);
+                    rec.invoke(p, ScanMaxOp::WriteL(v));
+                    obj.write_l(&mut ctx, v);
+                    rec.respond(p, ScanMaxResp::Ack);
+                    rec.invoke(p, ScanMaxOp::ReadMax);
+                    let m = obj.read_max(&mut ctx);
+                    rec.respond(p, ScanMaxResp::Max(m));
+                });
+            }
+        });
+        let hist = rec.into_history();
+        assert_linearizable(&ScanMaxSpec::<MaxU64>::new(), &hist);
+    }
+}
+
+/// Universal counter and direct counter running side by side on native
+/// threads; both histories must linearize against the counter spec.
+#[test]
+fn both_counters_native() {
+    for trial in 0..4 {
+        let n = 3;
+        let uni = Universal::new(n, CounterSpec);
+        let umem = NativeMemory::new(n, uni.registers()).with_owners(uni.owners());
+        let dir = DirectCounter::new(n);
+        let dmem = NativeMemory::new(n, dir.registers()).with_owners(dir.owners());
+        let urec: Recorder<CounterOp, CounterResp> = Recorder::new();
+        let drec: Recorder<CounterOp, CounterResp> = Recorder::new();
+        std::thread::scope(|s| {
+            for p in 0..n {
+                let umem = umem.clone();
+                let dmem = dmem.clone();
+                let urec = urec.clone();
+                let drec = drec.clone();
+                let mut uh = uni.handle();
+                let mut dh = dir.handle();
+                s.spawn(move || {
+                    let mut uc = umem.ctx(p);
+                    let mut dc = dmem.ctx(p);
+                    for k in 0..2 {
+                        let amt = (p + k + 1) as i64;
+                        urec.invoke(p, CounterOp::Inc(amt));
+                        uh.execute(&mut uc, CounterOp::Inc(amt));
+                        urec.respond(p, CounterResp::Ack);
+                        urec.invoke(p, CounterOp::Read);
+                        let r = uh.execute(&mut uc, CounterOp::Read);
+                        urec.respond(p, r);
+
+                        drec.invoke(p, CounterOp::Inc(amt));
+                        dh.inc(&mut dc, amt as u64);
+                        drec.respond(p, CounterResp::Ack);
+                        drec.invoke(p, CounterOp::Read);
+                        let v = dh.read(&mut dc);
+                        drec.respond(p, CounterResp::Value(v));
+                    }
+                });
+            }
+        });
+        let uhist = urec.into_history();
+        let dhist = drec.into_history();
+        assert_linearizable(&CounterSpec, &uhist);
+        assert_linearizable(&CounterSpec, &dhist);
+        let _ = trial;
+    }
+}
+
+/// The universal clearable set, native threads, overwrite-heavy mix.
+#[test]
+fn universal_set_native() {
+    for trial in 0..4u64 {
+        let n = 3;
+        let uni = Universal::new(n, GrowSetSpec);
+        let mem = NativeMemory::new(n, uni.registers()).with_owners(uni.owners());
+        let rec: Recorder<SetOp, SetResp> = Recorder::new();
+        std::thread::scope(|s| {
+            for p in 0..n {
+                let mem = mem.clone();
+                let rec = rec.clone();
+                let mut h = uni.handle();
+                s.spawn(move || {
+                    let mut ctx = mem.ctx(p);
+                    let ops = match p {
+                        0 => vec![SetOp::Add(trial), SetOp::Elements],
+                        1 => vec![SetOp::Clear, SetOp::Contains(trial)],
+                        _ => vec![SetOp::Add(trial + 100), SetOp::Elements],
+                    };
+                    for op in ops {
+                        rec.invoke(p, op.clone());
+                        let r = h.execute(&mut ctx, op);
+                        rec.respond(p, r);
+                    }
+                });
+            }
+        });
+        let hist = rec.into_history();
+        assert_linearizable(&GrowSetSpec, &hist);
+    }
+}
+
+/// The direct max-register, larger thread counts, many ops (the checker
+/// stays fast because states collapse heavily under memoization).
+#[test]
+fn max_register_native_heavier() {
+    let n = 4;
+    let obj = DirectMaxRegister::new(n);
+    let mem = NativeMemory::new(n, obj.registers()).with_owners(obj.owners());
+    let rec: Recorder<MaxRegOp, MaxRegResp> = Recorder::new();
+    std::thread::scope(|s| {
+        for p in 0..n {
+            let mem = mem.clone();
+            let rec = rec.clone();
+            let mut h = obj.handle();
+            s.spawn(move || {
+                let mut ctx = mem.ctx(p);
+                for k in 0..3i64 {
+                    let v = (p as i64) * 3 + k;
+                    rec.invoke(p, MaxRegOp::WriteMax(v));
+                    h.write_max(&mut ctx, v);
+                    rec.respond(p, MaxRegResp::Ack);
+                }
+                rec.invoke(p, MaxRegOp::Read);
+                let v = h.read(&mut ctx);
+                rec.respond(p, MaxRegResp::Value(v));
+            });
+        }
+    });
+    let hist = rec.into_history();
+    assert_linearizable(&MaxRegSpec, &hist);
+}
