@@ -261,7 +261,7 @@ mod tests {
     use crate::proto::{AgreementProto, CollectAgreement, ScanMode};
     use crate::spec::outputs_valid;
     use apram_model::sim::strategy::Replay;
-    use apram_model::sim::{run_symmetric, SimConfig};
+    use apram_model::sim::SimBuilder;
     use apram_model::MemCtx;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -355,12 +355,14 @@ mod tests {
             // Replay the same schedule through the simulator, running
             // the full input-then-output bodies on ⊥ registers.
             let proto = CollectAgreement::new(n, eps);
-            let cfg = SimConfig::new(proto.registers()).with_owners(proto.owners());
             let inputs_ref = &inputs;
-            let out = run_symmetric(&cfg, &mut Replay::strict(schedule), n, move |ctx| {
-                proto.input(ctx, inputs_ref[ctx.proc()]);
-                proto.output(ctx)
-            });
+            let out = SimBuilder::new(proto.registers())
+                .owners(proto.owners())
+                .strategy(Replay::strict(schedule))
+                .run_symmetric(n, move |ctx| {
+                    proto.input(ctx, inputs_ref[ctx.proc()]);
+                    proto.output(ctx)
+                });
             let sim_counts = out.counts.clone();
             let proto_results = out.unwrap_results();
             assert_eq!(machine_results, proto_results, "trial {trial}");
@@ -393,18 +395,15 @@ mod tests {
             assert!(m.register_ops_taken(0) >= m.steps_taken(0));
 
             let proto = AgreementProto::new(n, eps);
-            let cfg = SimConfig::new(proto.registers()).with_owners(proto.owners());
             let inputs_ref = &inputs;
-            let out = run_symmetric(
-                &cfg,
-                &mut apram_model::sim::strategy::RoundRobin::new(),
-                n,
-                move |ctx| {
+            let out = SimBuilder::new(proto.registers())
+                .owners(proto.owners())
+                .strategy(apram_model::sim::strategy::RoundRobin::new())
+                .run_symmetric(n, move |ctx| {
                     let mut h = proto.handle();
                     h.input(ctx, inputs_ref[ctx.proc()]);
                     h.output(ctx)
-                },
-            );
+                });
             let ys = out.unwrap_results();
             assert!(outputs_in_range(&inputs, &ys), "proto: {ys:?}");
         }

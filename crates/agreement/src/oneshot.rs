@@ -175,7 +175,7 @@ mod tests {
     use super::*;
     use crate::spec::outputs_valid;
     use apram_model::sim::strategy::{CrashAt, RoundRobin, SeededRandom};
-    use apram_model::sim::{run_symmetric, SimConfig};
+    use apram_model::sim::SimBuilder;
     use apram_model::NativeMemory;
 
     #[test]
@@ -216,12 +216,12 @@ mod tests {
             ] {
                 let n = inputs.len();
                 let obj = OneShotAgreement::new(n, eps, 0.0, 1.0);
-                let cfg = SimConfig::new(obj.registers()).with_owners(obj.owners());
                 let inputs_ref = &inputs;
                 let obj_ref = &obj;
-                let out = run_symmetric(&cfg, &mut SeededRandom::new(seed), n, move |ctx| {
-                    obj_ref.run(ctx, inputs_ref[ctx.proc()])
-                });
+                let out = SimBuilder::new(obj.registers())
+                    .owners(obj.owners())
+                    .strategy(SeededRandom::new(seed))
+                    .run_symmetric(n, move |ctx| obj_ref.run(ctx, inputs_ref[ctx.proc()]));
                 let ys = out.unwrap_results();
                 assert!(
                     outputs_valid(eps, &inputs, &ys),
@@ -237,12 +237,11 @@ mod tests {
     /// and ε-agreement.
     #[test]
     fn reduced_exploration_result_check() {
-        use apram_model::sim::explore::{explore_reduced, ExploreConfig};
+        use apram_model::sim::explore::ExploreConfig;
         use apram_model::sim::ProcBody;
         let eps = 0.6;
         let inputs = [0.0f64, 1.0];
         let obj = OneShotAgreement::new(2, eps, 0.0, 1.0);
-        let cfg = SimConfig::new(obj.registers()).with_owners(obj.owners());
         let obj2 = obj.clone();
         let make = move || {
             (0..2usize)
@@ -255,20 +254,21 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         let mut checked = 0u64;
-        let stats = explore_reduced(
-            &cfg,
-            &ExploreConfig {
-                max_runs: 20_000,
-                max_depth: usize::MAX,
-            },
-            make,
-            |out| {
-                let ys: Vec<f64> = out.results.iter().map(|r| r.unwrap()).collect();
-                assert!(outputs_valid(eps, &inputs, &ys), "{ys:?}");
-                checked += 1;
-                true
-            },
-        );
+        let stats = SimBuilder::new(obj.registers())
+            .owners(obj.owners())
+            .explore_reduced(
+                &ExploreConfig {
+                    max_runs: 20_000,
+                    max_depth: usize::MAX,
+                },
+                make,
+                |out| {
+                    let ys: Vec<f64> = out.results.iter().map(|r| r.unwrap()).collect();
+                    assert!(outputs_valid(eps, &inputs, &ys), "{ys:?}");
+                    checked += 1;
+                    true
+                },
+            );
         assert!(checked > 100, "{stats:?}");
     }
 
@@ -278,12 +278,12 @@ mod tests {
         let n = 4;
         let eps = 0.1;
         let obj = OneShotAgreement::new(n, eps, 0.0, 3.0);
-        let cfg = SimConfig::new(obj.registers()).with_owners(obj.owners());
         let mut strategy = CrashAt::new(RoundRobin::new(), vec![(1, 25), (3, 60)]);
         let obj_ref = &obj;
-        let out = run_symmetric(&cfg, &mut strategy, n, move |ctx| {
-            obj_ref.run(ctx, ctx.proc() as f64)
-        });
+        let out = SimBuilder::new(obj.registers())
+            .owners(obj.owners())
+            .strategy_ref(&mut strategy)
+            .run_symmetric(n, move |ctx| obj_ref.run(ctx, ctx.proc() as f64));
         out.assert_no_panics();
         let survivors: Vec<f64> = [0usize, 2]
             .iter()

@@ -349,7 +349,7 @@ mod tests {
     use super::*;
     use crate::spec::outputs_valid;
     use apram_model::sim::strategy::{BurstAdversary, CrashAt, RoundRobin, SeededRandom};
-    use apram_model::sim::{run_symmetric, SimConfig};
+    use apram_model::sim::SimBuilder;
     use apram_model::NativeMemory;
 
     #[test]
@@ -408,12 +408,14 @@ mod tests {
             let eps = 0.2;
             let inputs = [0.0f64, 1.0];
             let proto = AgreementProto::new(2, eps);
-            let cfg = SimConfig::new(proto.registers()).with_owners(proto.owners());
-            let out = run_symmetric(&cfg, &mut SeededRandom::new(seed), 2, move |ctx| {
-                let mut h = proto.handle();
-                h.input(ctx, ctx.proc() as f64);
-                h.output(ctx)
-            });
+            let out = SimBuilder::new(proto.registers())
+                .owners(proto.owners())
+                .strategy(SeededRandom::new(seed))
+                .run_symmetric(2, move |ctx| {
+                    let mut h = proto.handle();
+                    h.input(ctx, ctx.proc() as f64);
+                    h.output(ctx)
+                });
             let ys = out.unwrap_results();
             assert!(
                 outputs_valid(eps, &inputs, &ys),
@@ -435,13 +437,15 @@ mod tests {
             let inputs = [0.0f64, 0.9, 1.0];
             let n = inputs.len();
             let proto = AgreementProto::new(n, eps);
-            let cfg = SimConfig::new(proto.registers()).with_owners(proto.owners());
             let inputs_ref = &inputs;
-            let out = run_symmetric(&cfg, &mut SeededRandom::new(seed), n, move |ctx| {
-                let mut h = proto.handle();
-                h.input(ctx, inputs_ref[ctx.proc()]);
-                h.output(ctx)
-            });
+            let out = SimBuilder::new(proto.registers())
+                .owners(proto.owners())
+                .strategy(SeededRandom::new(seed))
+                .run_symmetric(n, move |ctx| {
+                    let mut h = proto.handle();
+                    h.input(ctx, inputs_ref[ctx.proc()]);
+                    h.output(ctx)
+                });
             let ys = out.unwrap_results(); // termination: everyone finished
             assert!(
                 outputs_in_range(&inputs, &ys),
@@ -459,12 +463,14 @@ mod tests {
             let eps = 1.0 / delta_over_eps;
             let proto = AgreementProto::new(n, eps);
             for seed in 0..6u64 {
-                let cfg = SimConfig::new(proto.registers()).with_owners(proto.owners());
-                let out = run_symmetric(&cfg, &mut SeededRandom::new(seed), n, move |ctx| {
-                    let mut h = proto.handle();
-                    h.input(ctx, ctx.proc() as f64 / (n - 1).max(1) as f64);
-                    h.output(ctx)
-                });
+                let out = SimBuilder::new(proto.registers())
+                    .owners(proto.owners())
+                    .strategy(SeededRandom::new(seed))
+                    .run_symmetric(n, move |ctx| {
+                        let mut h = proto.handle();
+                        h.input(ctx, ctx.proc() as f64 / (n - 1).max(1) as f64);
+                        h.output(ctx)
+                    });
                 out.assert_no_panics();
                 let scan_cost = (n * n + n) as u64; // one optimized scan
                 let rounds = delta_over_eps.log2().ceil() as u64 + 4;
@@ -487,13 +493,15 @@ mod tests {
         let n = 3;
         let eps = 0.1;
         let proto = AgreementProto::new(n, eps);
-        let cfg = SimConfig::new(proto.registers()).with_owners(proto.owners());
         let mut strategy = CrashAt::new(RoundRobin::new(), vec![(1, 17), (2, 31)]);
-        let out = run_symmetric(&cfg, &mut strategy, n, move |ctx| {
-            let mut h = proto.handle();
-            h.input(ctx, ctx.proc() as f64);
-            h.output(ctx)
-        });
+        let out = SimBuilder::new(proto.registers())
+            .owners(proto.owners())
+            .strategy_ref(&mut strategy)
+            .run_symmetric(n, move |ctx| {
+                let mut h = proto.handle();
+                h.input(ctx, ctx.proc() as f64);
+                h.output(ctx)
+            });
         out.assert_no_panics();
         let y0 = out.results[0].expect("survivor must finish");
         assert!((0.0..=2.0).contains(&y0), "validity violated: {y0}");
@@ -508,13 +516,15 @@ mod tests {
             for burst in [3u64, 7, 23] {
                 let eps = 0.125;
                 let proto = AgreementProto::new(2, eps);
-                let cfg = SimConfig::new(proto.registers()).with_owners(proto.owners());
                 let mut strategy = BurstAdversary::new(victim, burst);
-                let out = run_symmetric(&cfg, &mut strategy, 2, move |ctx| {
-                    let mut h = proto.handle();
-                    h.input(ctx, ctx.proc() as f64);
-                    h.output(ctx)
-                });
+                let out = SimBuilder::new(proto.registers())
+                    .owners(proto.owners())
+                    .strategy_ref(&mut strategy)
+                    .run_symmetric(2, move |ctx| {
+                        let mut h = proto.handle();
+                        h.input(ctx, ctx.proc() as f64);
+                        h.output(ctx)
+                    });
                 let ys = out.unwrap_results();
                 assert!(
                     (ys[0] - ys[1]).abs() < eps,
@@ -578,11 +588,13 @@ mod tests {
         for seed in 0..20u64 {
             let eps = 0.2;
             let proto = CollectAgreement::new(2, eps);
-            let cfg = SimConfig::new(proto.registers()).with_owners(proto.owners());
-            let out = run_symmetric(&cfg, &mut SeededRandom::new(seed), 2, move |ctx| {
-                proto.input(ctx, ctx.proc() as f64);
-                proto.output(ctx)
-            });
+            let out = SimBuilder::new(proto.registers())
+                .owners(proto.owners())
+                .strategy(SeededRandom::new(seed))
+                .run_symmetric(2, move |ctx| {
+                    proto.input(ctx, ctx.proc() as f64);
+                    proto.output(ctx)
+                });
             let ys = out.unwrap_results();
             assert!(outputs_valid(eps, &[0.0, 1.0], &ys), "seed {seed}: {ys:?}");
         }

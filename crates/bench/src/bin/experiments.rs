@@ -1,20 +1,127 @@
-//! Regenerate the EXPERIMENTS.md tables.
+//! Regenerate the EXPERIMENTS.md tables and, with `--json`, the
+//! machine-readable `BENCH_e<N>.json` reports.
 //!
 //! ```text
-//! cargo run -p apram-bench --bin experiments --release            # all
-//! cargo run -p apram-bench --bin experiments --release -- e2 e4  # some
+//! cargo run -p apram-bench --bin experiments --release                # all
+//! cargo run -p apram-bench --bin experiments --release -- e2 e4      # some
+//! cargo run -p apram-bench --bin experiments -- e4 --json out/       # + report
 //! ```
+//!
+//! Flags (shared by every experiment):
+//!
+//! * `--seed N` — base seed for all sampled schedules (default 0)
+//! * `--quick` — shrink grids and sample counts for a smoke run
+//! * `--json DIR` — write one `BENCH_e<N>.json` per experiment into DIR
 
 use apram_bench::*;
+use apram_model::Json;
+use std::path::PathBuf;
+use std::process::exit;
+use std::time::Instant;
+
+const KNOWN: [&str; 8] = ["e1", "e2", "e3", "e4", "e4b", "e5", "e6", "e8"];
+
+struct Cli {
+    names: Vec<String>,
+    opts: ExpOpts,
+    json_dir: Option<PathBuf>,
+}
+
+impl Cli {
+    fn want(&self, name: &str) -> bool {
+        self.names.is_empty() || self.names.iter().any(|a| a == name)
+    }
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        names: Vec::new(),
+        opts: ExpOpts::default(),
+        json_dir: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => cli.opts.quick = true,
+            "--seed" => {
+                let v = args.next().unwrap_or_else(|| usage("--seed needs a value"));
+                cli.opts.seed = v
+                    .parse()
+                    .unwrap_or_else(|_| usage(&format!("bad --seed value '{v}'")));
+            }
+            "--json" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("--json needs a directory"));
+                cli.json_dir = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => usage(""),
+            name if !name.starts_with('-') => {
+                if !KNOWN.contains(&name) {
+                    usage(&format!("unknown experiment '{name}'"));
+                }
+                cli.names.push(name.to_string());
+            }
+            other => usage(&format!("unknown flag '{other}'")),
+        }
+    }
+    cli
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "usage: experiments [e1 e2 e3 e4 e4b e5 e6 e8 ...] [--seed N] [--quick] [--json DIR]"
+    );
+    exit(if err.is_empty() { 0 } else { 2 })
+}
+
+/// Write `BENCH_<name>.json` holding `rows` plus the run parameters and
+/// wall-clock, when `--json` was given.
+fn emit_report(cli: &Cli, name: &str, title: &str, rows: Json, started: Instant) {
+    let Some(dir) = &cli.json_dir else { return };
+    let doc = Json::obj([
+        ("experiment", Json::Str(name.into())),
+        ("title", Json::Str(title.into())),
+        ("seed", Json::UInt(cli.opts.seed)),
+        ("quick", Json::Bool(cli.opts.quick)),
+        (
+            "wall_clock_secs",
+            Json::Float(started.elapsed().as_secs_f64()),
+        ),
+        ("rows", rows),
+    ]);
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("error: cannot create {}: {e}", dir.display());
+        exit(1);
+    }
+    let path = dir.join(format!("BENCH_{name}.json"));
+    if let Err(e) = std::fs::write(&path, doc.to_pretty(2)) {
+        eprintln!("error: cannot write {}: {e}", path.display());
+        exit(1);
+    }
+    eprintln!("wrote {}", path.display());
+}
+
+fn counts(pair: (u64, u64)) -> Json {
+    Json::obj([
+        ("reads", Json::UInt(pair.0)),
+        ("writes", Json::UInt(pair.1)),
+    ])
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
+    let cli = parse_cli();
+    let opts = cli.opts;
 
-    if want("e1") {
+    if cli.want("e1") {
+        let started = Instant::now();
         println!("## E1 — Theorem 5 upper bound (approximate agreement steps)\n");
-        let rows: Vec<Vec<String>> = e1_rows()
-            .into_iter()
+        let data = e1_rows(&opts);
+        let rows: Vec<Vec<String>> = data
+            .iter()
             .map(|r| {
                 vec![
                     r.n.to_string(),
@@ -38,12 +145,34 @@ fn main() {
                 &rows
             )
         );
+        let json = Json::Arr(
+            data.iter()
+                .map(|r| {
+                    Json::obj([
+                        ("n", Json::UInt(r.n as u64)),
+                        ("delta_over_eps", Json::Float(r.delta_over_eps)),
+                        ("measured_worst_steps", Json::UInt(r.measured_worst)),
+                        ("paper_bound", Json::UInt(r.bound)),
+                        ("within_bound", Json::Bool(r.measured_worst <= r.bound)),
+                    ])
+                })
+                .collect(),
+        );
+        emit_report(
+            &cli,
+            "e1",
+            "Theorem 5 upper bound: measured vs (2n+1)·log₂(Δ/ε)+O(n)",
+            json,
+            started,
+        );
     }
 
-    if want("e2") {
+    if cli.want("e2") {
+        let started = Instant::now();
         println!("## E2 — Lemma 6 adversary lower bound (2 processes)\n");
-        let rows: Vec<Vec<String>> = e2_rows(10)
-            .into_iter()
+        let data = e2_rows(if opts.quick { 5 } else { 10 });
+        let rows: Vec<Vec<String>> = data
+            .iter()
             .map(|r| {
                 vec![
                     r.k.to_string(),
@@ -67,12 +196,38 @@ fn main() {
                 &rows
             )
         );
+        let json = Json::Arr(
+            data.iter()
+                .map(|r| {
+                    Json::obj([
+                        ("k", Json::UInt(r.k as u64)),
+                        ("paper_bound", Json::UInt(r.bound)),
+                        ("forced_confrontations", Json::UInt(r.forced_confrontations)),
+                        ("forced_steps", Json::UInt(r.forced_steps)),
+                        ("final_gap", Json::Float(r.final_gap)),
+                        (
+                            "meets_bound",
+                            Json::Bool(r.forced_confrontations >= r.bound),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        emit_report(
+            &cli,
+            "e2",
+            "Lemma 6 adversary lower bound: forced vs ⌊log₃(Δ/ε)⌋",
+            json,
+            started,
+        );
     }
 
-    if want("e3") {
+    if cli.want("e3") {
+        let started = Instant::now();
         println!("## E3 — the bounded wait-free hierarchy (Theorems 7–8)\n");
-        let rows: Vec<Vec<String>> = e3_hierarchy(8)
-            .into_iter()
+        let data = e3_hierarchy(if opts.quick { 4 } else { 8 });
+        let rows: Vec<Vec<String>> = data
+            .iter()
             .map(|r| {
                 vec![
                     r.k.to_string(),
@@ -101,17 +256,65 @@ fn main() {
             )
         );
         println!("### E3b — Theorem 8: unbounded range defeats any bound (ε = 1)\n");
-        let rows: Vec<Vec<String>> = e3_unbounded()
-            .into_iter()
+        let unbounded = e3_unbounded();
+        let rows: Vec<Vec<String>> = unbounded
+            .iter()
             .map(|(d, s)| vec![format!("{d}"), s.to_string()])
             .collect();
         println!("{}", markdown_table(&["Δ", "forced steps"], &rows));
+        let json = Json::obj([
+            (
+                "hierarchy",
+                Json::Arr(
+                    data.iter()
+                        .map(|r| {
+                            Json::obj([
+                                ("k", Json::UInt(r.k as u64)),
+                                ("eps", Json::Float(r.eps)),
+                                ("paper_lower_bound", Json::UInt(r.lower_bound)),
+                                ("forced_confrontations", Json::UInt(r.forced_confrontations)),
+                                ("forced_steps", Json::UInt(r.forced_steps)),
+                                ("measured_upper", Json::UInt(r.measured_upper)),
+                                ("paper_upper_bound", Json::UInt(r.theorem5_bound)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "unbounded",
+                Json::Arr(
+                    unbounded
+                        .iter()
+                        .map(|&(d, s)| {
+                            Json::obj([("delta", Json::Float(d)), ("forced_steps", Json::UInt(s))])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        emit_report(
+            &cli,
+            "e3",
+            "Theorems 7–8: the bounded wait-free hierarchy",
+            json,
+            started,
+        );
     }
 
-    if want("e4") {
+    if cli.want("e4") {
+        let started = Instant::now();
         println!("## E4 — §6.2 Scan operation counts\n");
-        let rows: Vec<Vec<String>> = e4_rows(&[2, 3, 4, 8, 16, 32])
-            .into_iter()
+        // Every n in 2..=8 is measured (the paper-bound acceptance
+        // grid); the larger sizes confirm the quadratic/linear shape.
+        let ns: Vec<usize> = if opts.quick {
+            vec![2, 3, 4]
+        } else {
+            (2..=8).chain([16, 32]).collect()
+        };
+        let data = e4_rows(&ns);
+        let rows: Vec<Vec<String>> = data
+            .iter()
             .map(|r| {
                 vec![
                     r.n.to_string(),
@@ -135,12 +338,43 @@ fn main() {
                 &rows
             )
         );
+        let json = Json::Arr(
+            data.iter()
+                .map(|r| {
+                    Json::obj([
+                        ("n", Json::UInt(r.n as u64)),
+                        ("literal", counts(r.literal)),
+                        ("paper_literal", counts(r.literal_claim)),
+                        ("optimized", counts(r.optimized)),
+                        ("paper_optimized", counts(r.optimized_claim)),
+                        (
+                            "matches_paper",
+                            Json::Bool(
+                                r.literal == r.literal_claim && r.optimized == r.optimized_claim,
+                            ),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        emit_report(
+            &cli,
+            "e4",
+            "§6.2 Scan operation counts: measured vs n²+n+1/n+2 and n²−1/n+1",
+            json,
+            started,
+        );
     }
 
-    if want("e4") {
+    // E4b rides along with E4 when no explicit selection was given, and
+    // can also be requested on its own.
+    if cli.want("e4b") {
+        let started = Instant::now();
         println!("### E4b — lattice scan vs Afek et al. snapshot (reads per scan)\n");
-        let rows: Vec<Vec<String>> = e4b_rows(&[2, 4, 8])
-            .into_iter()
+        let ns: &[usize] = if opts.quick { &[2, 4] } else { &[2, 4, 8] };
+        let data = e4b_rows(ns);
+        let rows: Vec<Vec<String>> = data
+            .iter()
             .map(|r| {
                 vec![
                     r.n.to_string(),
@@ -162,12 +396,38 @@ fn main() {
                 &rows
             )
         );
+        let json = Json::Arr(
+            data.iter()
+                .map(|r| {
+                    Json::obj([
+                        ("n", Json::UInt(r.n as u64)),
+                        ("lattice_reads", Json::UInt(r.lattice_reads)),
+                        ("afek_quiet_reads", Json::UInt(r.afek_quiet_reads)),
+                        ("afek_contended_reads", Json::UInt(r.afek_contended_reads)),
+                    ])
+                })
+                .collect(),
+        );
+        emit_report(
+            &cli,
+            "e4b",
+            "Lattice scan vs Afek et al. snapshot, reads per scan",
+            json,
+            started,
+        );
     }
 
-    if want("e5") {
+    if cli.want("e5") {
+        let started = Instant::now();
         println!("## E5 — universal construction overhead per operation\n");
-        let rows: Vec<Vec<String>> = e5_rows(&[2, 3, 4, 8, 12, 16])
-            .into_iter()
+        let ns: &[usize] = if opts.quick {
+            &[2, 3, 4]
+        } else {
+            &[2, 3, 4, 8, 12, 16]
+        };
+        let data = e5_rows(ns);
+        let rows: Vec<Vec<String>> = data
+            .iter()
             .map(|r| {
                 vec![
                     r.n.to_string(),
@@ -191,58 +451,114 @@ fn main() {
                 &rows
             )
         );
-    }
-
-    if want("e6") {
-        println!("## E6 — exhaustive linearizability verification\n");
-        let s = e6_summary();
-        println!(
-            "{}",
-            markdown_table(
-                &["object", "schedules explored", "violations"],
-                &[
-                    vec![
-                        "atomic snapshot (2 procs)".into(),
-                        s.snapshot_runs.to_string(),
-                        "0".into()
-                    ],
-                    vec![
-                        "universal counter (2 procs)".into(),
-                        s.universal_runs.to_string(),
-                        "0".into()
-                    ],
-                    vec![
-                        "Afek et al. snapshot (2 procs)".into(),
-                        s.afek_runs.to_string(),
-                        "0".into()
-                    ],
-                    vec![
-                        "MW register (2 procs, full depth)".into(),
-                        s.mwreg_runs.to_string(),
-                        "0".into()
-                    ],
-                    vec![
-                        "total histories checked".into(),
-                        s.histories_checked.to_string(),
-                        "0".into()
-                    ],
-                ]
-            )
+        let json = Json::Arr(
+            data.iter()
+                .map(|r| {
+                    Json::obj([
+                        ("n", Json::UInt(r.n as u64)),
+                        ("measured", counts((r.reads, r.writes))),
+                        ("paper", counts((r.reads_claim, r.writes_claim))),
+                        (
+                            "matches_paper",
+                            Json::Bool(r.reads == r.reads_claim && r.writes == r.writes_claim),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        emit_report(
+            &cli,
+            "e5",
+            "Universal construction overhead: measured vs 2(n²−1) reads / 2(n+1) writes",
+            json,
+            started,
         );
     }
 
-    if want("e8") {
+    if cli.want("e6") {
+        let started = Instant::now();
+        println!("## E6 — exhaustive linearizability verification\n");
+        let s = e6_summary(&opts);
+        let mut rows: Vec<Vec<String>> = s
+            .per_object()
+            .iter()
+            .map(|(name, st)| {
+                vec![
+                    (*name).into(),
+                    st.runs.to_string(),
+                    format!("{:.1}%", 100.0 * st.replay_ratio()),
+                    st.max_depth_reached.to_string(),
+                    "0".into(),
+                ]
+            })
+            .collect();
+        rows.push(vec![
+            "total histories checked".into(),
+            s.histories_checked.to_string(),
+            "-".into(),
+            "-".into(),
+            "0".into(),
+        ]);
+        println!(
+            "{}",
+            markdown_table(
+                &[
+                    "object",
+                    "schedules explored",
+                    "replay overhead",
+                    "max depth",
+                    "violations"
+                ],
+                &rows
+            )
+        );
+        let json = Json::obj([
+            (
+                "objects",
+                Json::Arr(
+                    s.per_object()
+                        .iter()
+                        .map(|(name, st)| {
+                            Json::obj([
+                                ("object", Json::Str((*name).into())),
+                                ("schedules_explored", Json::UInt(st.runs)),
+                                ("exhausted", Json::Bool(st.exhausted)),
+                                ("truncated", Json::Bool(st.truncated)),
+                                ("executed_steps", Json::UInt(st.executed_steps)),
+                                ("replayed_steps", Json::UInt(st.replayed_steps)),
+                                ("replay_ratio", Json::Float(st.replay_ratio())),
+                                ("max_depth_reached", Json::UInt(st.max_depth_reached as u64)),
+                                ("violations", Json::UInt(0)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("histories_checked", Json::UInt(s.histories_checked)),
+        ]);
+        emit_report(
+            &cli,
+            "e6",
+            "Exhaustive linearizability verification (Theorems 26 and 33)",
+            json,
+            started,
+        );
+    }
+
+    if cli.want("e8") {
+        let started = Instant::now();
         println!("## E8 — ablations of Figure 2\n");
-        let rows: Vec<Vec<String>> = e8_rows()
-            .into_iter()
+        let data = e8_rows(&opts);
+        let rows: Vec<Vec<String>> = data
+            .iter()
             .map(|r| {
                 vec![
                     r.variant.to_string(),
                     r.mode.to_string(),
-                    r.config,
-                    r.search.to_string(),
+                    r.config.clone(),
+                    r.search.clone(),
                     r.runs.to_string(),
-                    match r.violation {
+                    match &r.violation {
                         Some(ys) => format!("VIOLATION {ys:?}"),
                         None => "safe".into(),
                     },
@@ -266,6 +582,37 @@ fn main() {
                 ],
                 &rows
             )
+        );
+        let json = Json::Arr(
+            data.iter()
+                .map(|r| {
+                    Json::obj([
+                        ("variant", Json::Str(r.variant.into())),
+                        ("scan_mode", Json::Str(r.mode.into())),
+                        ("config", Json::Str(r.config.clone())),
+                        ("search", Json::Str(r.search.clone())),
+                        ("runs", Json::UInt(r.runs)),
+                        (
+                            "violation",
+                            match &r.violation {
+                                Some(ys) => Json::Arr(ys.iter().map(|&y| Json::Float(y)).collect()),
+                                None => Json::Null,
+                            },
+                        ),
+                        (
+                            "max_spread_over_eps",
+                            r.spread_over_eps.map(Json::Float).unwrap_or(Json::Null),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        emit_report(
+            &cli,
+            "e8",
+            "Figure 2 ablations: adaptive termination is unsound for n ≥ 3",
+            json,
+            started,
         );
     }
 }

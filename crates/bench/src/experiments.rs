@@ -11,15 +11,31 @@ use apram_agreement::proto::{ScanMode, Variant};
 use apram_core::{CounterOp, Universal};
 use apram_history::check::{check_linearizable, CheckerConfig};
 use apram_history::Recorder;
-use apram_model::sim::explore::{explore, ExploreConfig};
-use apram_model::sim::strategy::RoundRobin;
-use apram_model::sim::{run_symmetric, ProcBody, SimConfig, SimCtx};
+use apram_model::sim::explore::{ExploreConfig, ExploreStats};
+use apram_model::sim::{ProcBody, SimBuilder, SimCtx};
 use apram_model::MemCtx;
 use apram_snapshot::afek::{AfekReg, AfekSnapshot};
 use apram_snapshot::snapshot::{SnapOp, SnapResp, SnapshotSpec};
 use apram_snapshot::{ScanHandle, ScanObject, Snapshot};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Shared experiment options, fed by the CLI's `--seed` / `--quick`
+/// flags so every experiment honors the same knobs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExpOpts {
+    /// Base seed mixed into every sampled schedule.
+    pub seed: u64,
+    /// Shrink grids and sample counts for a fast smoke run.
+    pub quick: bool,
+}
+
+impl ExpOpts {
+    /// Options for a given base seed (full-size grids).
+    pub fn with_seed(seed: u64) -> Self {
+        ExpOpts { seed, quick: false }
+    }
+}
 
 /// E1 — Theorem 5 upper bound: measured worst per-process steps of the
 /// approximate agreement protocol vs the analytic bound.
@@ -64,14 +80,20 @@ pub fn measured_worst_steps_n(n: usize, eps: f64, samples: u64, seed: u64) -> u6
     worst
 }
 
-/// Run E1 over the standard grid.
-pub fn e1_rows() -> Vec<E1Row> {
+/// Run E1 over the standard grid (shrunk under `--quick`).
+pub fn e1_rows(opts: &ExpOpts) -> Vec<E1Row> {
+    let (ns, ks, samples): (&[usize], &[u32], u64) = if opts.quick {
+        (&[2, 4], &[2, 6], 5)
+    } else {
+        (&[2, 4, 8, 16], &[2, 6, 10, 14], 20)
+    };
     let mut rows = Vec::new();
-    for &n in &[2usize, 4, 8, 16] {
-        for k in [2u32, 6, 10, 14] {
+    for &n in ns {
+        for &k in ks {
             let doe = 2f64.powi(k as i32);
             let eps = 1.0 / doe;
-            let measured = measured_worst_steps_n(n, eps, 20, 0xE1 + n as u64 + k as u64);
+            let measured =
+                measured_worst_steps_n(n, eps, samples, opts.seed + 0xE1 + n as u64 + k as u64);
             rows.push(E1Row {
                 n,
                 delta_over_eps: doe,
@@ -146,14 +168,12 @@ pub fn e4_rows(ns: &[usize]) -> Vec<E4Row> {
     ns.iter()
         .map(|&n| {
             let obj = ScanObject::new(n);
-            let cfg =
-                SimConfig::new(obj.registers::<apram_lattice::MaxU64>()).with_owners(obj.owners());
-            let lit = run_symmetric(&cfg, &mut RoundRobin::new(), n, move |ctx| {
-                obj.scan(ctx, apram_lattice::MaxU64::new(1))
-            });
-            let cfg2 =
-                SimConfig::new(obj.registers::<apram_lattice::MaxU64>()).with_owners(obj.owners());
-            let opt = run_symmetric(&cfg2, &mut RoundRobin::new(), n, move |ctx| {
+            // Round-robin (the builder default) makes the counts exact
+            // and schedule-independent for this object.
+            let mut sim =
+                SimBuilder::new(obj.registers::<apram_lattice::MaxU64>()).owners(obj.owners());
+            let lit = sim.run_symmetric(n, move |ctx| obj.scan(ctx, apram_lattice::MaxU64::new(1)));
+            let opt = sim.run_symmetric(n, move |ctx| {
                 let mut h = ScanHandle::new(obj);
                 h.scan(ctx, apram_lattice::MaxU64::new(1))
             });
@@ -188,25 +208,20 @@ pub struct E4bRow {
 
 /// Run E4b over a range of n.
 pub fn e4b_rows(ns: &[usize]) -> Vec<E4bRow> {
-    use apram_model::sim::strategy::PrioritizeLowest;
+    use apram_model::sim::strategy::{BurstAdversary, PrioritizeLowest};
     ns.iter()
         .map(|&n| {
             let snap = AfekSnapshot::new(n);
             // Quiet: the scanner runs alone.
-            let cfg = SimConfig::new(snap.registers::<u64>()).with_owners(snap.owners());
-            let quiet = run_symmetric(&cfg, &mut PrioritizeLowest, 1, move |ctx| {
-                snap.snap::<u64, _>(ctx)
-            });
+            let quiet = SimBuilder::new(snap.registers::<u64>())
+                .owners(snap.owners())
+                .strategy(PrioritizeLowest)
+                .run_symmetric(1, move |ctx| snap.snap::<u64, _>(ctx));
             quiet.assert_no_panics();
             // Contended: the writer gets a long burst between scanner
             // steps (an update embeds a scan, so it needs 2n+2 steps per
             // write); every scanner double collect then observes a moved
             // sequence number until a view is borrowed.
-            let cfg = SimConfig::new(snap.registers::<u64>())
-                .with_owners(snap.owners())
-                .with_max_steps(10_000_000);
-            let mut interpose =
-                apram_model::sim::strategy::BurstAdversary::new(1, 2 * n as u64 + 2);
             let bodies: Vec<ProcBody<'static, AfekReg<u64>, ()>> = vec![
                 Box::new(move |ctx: &mut SimCtx<AfekReg<u64>>| {
                     let _ = snap.snap::<u64, _>(ctx);
@@ -217,7 +232,11 @@ pub fn e4b_rows(ns: &[usize]) -> Vec<E4bRow> {
                     }
                 }),
             ];
-            let contended = apram_model::sim::run_sim(&cfg, &mut interpose, bodies);
+            let contended = SimBuilder::new(snap.registers::<u64>())
+                .owners(snap.owners())
+                .max_steps(10_000_000)
+                .strategy(BurstAdversary::new(1, 2 * n as u64 + 2))
+                .run(bodies);
             contended.assert_no_panics();
             E4bRow {
                 n,
@@ -249,12 +268,13 @@ pub fn e5_rows(ns: &[usize]) -> Vec<E5Row> {
     ns.iter()
         .map(|&n| {
             let uni = Universal::new(n, apram_core::CounterSpec);
-            let cfg = SimConfig::new(uni.registers()).with_owners(uni.owners());
             let uni2 = uni.clone();
-            let out = run_symmetric(&cfg, &mut RoundRobin::new(), n, move |ctx| {
-                let mut h = uni2.handle();
-                h.execute(ctx, CounterOp::Inc(1));
-            });
+            let out = SimBuilder::new(uni.registers())
+                .owners(uni.owners())
+                .run_symmetric(n, move |ctx| {
+                    let mut h = uni2.handle();
+                    h.execute(ctx, CounterOp::Inc(1));
+                });
             out.assert_no_panics();
             E5Row {
                 n,
@@ -267,33 +287,48 @@ pub fn e5_rows(ns: &[usize]) -> Vec<E5Row> {
         .collect()
 }
 
-/// E6 — linearizability verification summary.
+/// E6 — linearizability verification summary. Each object carries the
+/// full [`ExploreStats`] of its exploration, so the table can report
+/// schedules explored alongside the search overheads (replay ratio,
+/// deepest branch point).
 #[derive(Clone, Debug)]
 pub struct E6Summary {
-    /// Schedules exhaustively explored for the snapshot object (2 procs).
-    pub snapshot_runs: u64,
-    /// Schedules exhaustively explored for the universal counter.
-    pub universal_runs: u64,
-    /// Schedules exhaustively explored for the Afek et al. snapshot.
-    pub afek_runs: u64,
-    /// Schedules exhaustively explored for the MW register.
-    pub mwreg_runs: u64,
+    /// Exploration stats for the snapshot object (2 procs).
+    pub snapshot: ExploreStats,
+    /// Exploration stats for the universal counter.
+    pub universal: ExploreStats,
+    /// Exploration stats for the Afek et al. snapshot.
+    pub afek: ExploreStats,
+    /// Exploration stats for the MW register (full depth).
+    pub mwreg: ExploreStats,
     /// Histories checked in total (all linearizable, or this function
     /// panics).
     pub histories_checked: u64,
 }
 
+impl E6Summary {
+    /// `(name, stats)` rows in table order.
+    pub fn per_object(&self) -> [(&'static str, &ExploreStats); 4] {
+        [
+            ("atomic snapshot (2 procs)", &self.snapshot),
+            ("universal counter (2 procs)", &self.universal),
+            ("Afek et al. snapshot (2 procs)", &self.afek),
+            ("MW register (2 procs, full depth)", &self.mwreg),
+        ]
+    }
+}
+
 /// Run the E6 exhaustive checks (smaller than the test-suite versions;
 /// the suite is the authority, this reports the counts for the table).
-pub fn e6_summary() -> E6Summary {
+pub fn e6_summary(opts: &ExpOpts) -> E6Summary {
     use std::cell::RefCell;
     use std::rc::Rc;
 
+    let budget = if opts.quick { 2_000 } else { 20_000 };
     let mut histories = 0u64;
 
     // Snapshot object, 2 processes, update+snap each, truncated depth.
     let snap = Snapshot::new(2);
-    let cfg = SimConfig::new(snap.registers::<u32>()).with_owners(snap.owners());
     let spec = SnapshotSpec::<u32>::new(2);
     let rec_cell: Rc<RefCell<Option<Recorder<SnapOp<u32>, SnapResp<u32>>>>> =
         Rc::new(RefCell::new(None));
@@ -317,28 +352,29 @@ pub fn e6_summary() -> E6Summary {
             })
             .collect::<Vec<_>>()
     };
-    let snap_stats = explore(
-        &cfg,
-        &ExploreConfig {
-            max_runs: 20_000,
-            max_depth: 12,
-        },
-        make,
-        |out| {
-            out.assert_no_panics();
-            let hist = rec_cell.borrow_mut().take().unwrap().snapshot();
-            histories += 1;
-            assert!(
-                check_linearizable(&spec, &hist, &CheckerConfig::default()).is_ok(),
-                "E6: snapshot violation"
-            );
-            true
-        },
-    );
+    let snap_stats = SimBuilder::new(snap.registers::<u32>())
+        .owners(snap.owners())
+        .explore(
+            &ExploreConfig {
+                max_runs: budget,
+                max_depth: 12,
+            },
+            make,
+            |out| {
+                out.assert_no_panics();
+                let hist = rec_cell.borrow_mut().take().unwrap().snapshot();
+                histories += 1;
+                assert!(
+                    check_linearizable(&spec, &hist, &CheckerConfig::default()).is_ok(),
+                    "E6: snapshot violation"
+                );
+                true
+            },
+        );
 
     // Universal counter, 2 processes, one op each + read, truncated.
     let uni = Universal::new(2, apram_core::CounterSpec);
-    let cfg = SimConfig::new(uni.registers()).with_owners(uni.owners());
+    let uni_sim = SimBuilder::new(uni.registers()).owners(uni.owners());
     let rec_cell2: Rc<RefCell<Option<Recorder<CounterOp, apram_core::CounterResp>>>> =
         Rc::new(RefCell::new(None));
     let rc2 = Rc::clone(&rec_cell2);
@@ -369,10 +405,9 @@ pub fn e6_summary() -> E6Summary {
             })
             .collect::<Vec<_>>()
     };
-    let uni_stats = explore(
-        &cfg,
+    let uni_stats = uni_sim.explore(
         &ExploreConfig {
-            max_runs: 20_000,
+            max_runs: budget,
             max_depth: 10,
         },
         make2,
@@ -391,7 +426,6 @@ pub fn e6_summary() -> E6Summary {
 
     // Afek et al. snapshot, 2 processes.
     let asnap = AfekSnapshot::new(2);
-    let cfg = SimConfig::new(asnap.registers::<u32>()).with_owners(asnap.owners());
     let spec2 = SnapshotSpec::<u32>::new(2);
     let rec_cell3: Rc<RefCell<Option<Recorder<SnapOp<u32>, SnapResp<u32>>>>> =
         Rc::new(RefCell::new(None));
@@ -414,29 +448,29 @@ pub fn e6_summary() -> E6Summary {
             })
             .collect::<Vec<_>>()
     };
-    let afek_stats = explore(
-        &cfg,
-        &ExploreConfig {
-            max_runs: 20_000,
-            max_depth: 12,
-        },
-        make3,
-        |out| {
-            out.assert_no_panics();
-            let hist = rec_cell3.borrow_mut().take().unwrap().snapshot();
-            histories += 1;
-            assert!(
-                check_linearizable(&spec2, &hist, &CheckerConfig::default()).is_ok(),
-                "E6: Afek snapshot violation"
-            );
-            true
-        },
-    );
+    let afek_stats = SimBuilder::new(asnap.registers::<u32>())
+        .owners(asnap.owners())
+        .explore(
+            &ExploreConfig {
+                max_runs: budget,
+                max_depth: 12,
+            },
+            make3,
+            |out| {
+                out.assert_no_panics();
+                let hist = rec_cell3.borrow_mut().take().unwrap().snapshot();
+                histories += 1;
+                assert!(
+                    check_linearizable(&spec2, &hist, &CheckerConfig::default()).is_ok(),
+                    "E6: Afek snapshot violation"
+                );
+                true
+            },
+        );
 
     // MW register, 2 processes, full depth (exhaustible).
     use apram_objects::mwreg::{MwRegOp, MwRegResp, MwRegSpec, MwRegister, Stamped};
     let reg = MwRegister::new(2);
-    let cfg = SimConfig::new(reg.registers::<u64>()).with_owners(reg.owners());
     let rec_cell4: Rc<RefCell<Option<Recorder<MwRegOp, MwRegResp>>>> = Rc::new(RefCell::new(None));
     let rc4 = Rc::clone(&rec_cell4);
     let make4 = move || {
@@ -456,22 +490,24 @@ pub fn e6_summary() -> E6Summary {
             })
             .collect::<Vec<_>>()
     };
-    let mw_stats = explore(&cfg, &ExploreConfig::default(), make4, |out| {
-        out.assert_no_panics();
-        let hist = rec_cell4.borrow_mut().take().unwrap().snapshot();
-        histories += 1;
-        assert!(
-            check_linearizable(&MwRegSpec, &hist, &CheckerConfig::default()).is_ok(),
-            "E6: MW register violation"
-        );
-        true
-    });
+    let mw_stats = SimBuilder::new(reg.registers::<u64>())
+        .owners(reg.owners())
+        .explore(&ExploreConfig::default(), make4, |out| {
+            out.assert_no_panics();
+            let hist = rec_cell4.borrow_mut().take().unwrap().snapshot();
+            histories += 1;
+            assert!(
+                check_linearizable(&MwRegSpec, &hist, &CheckerConfig::default()).is_ok(),
+                "E6: MW register violation"
+            );
+            true
+        });
 
     E6Summary {
-        snapshot_runs: snap_stats.runs,
-        universal_runs: uni_stats.runs,
-        afek_runs: afek_stats.runs,
-        mwreg_runs: mw_stats.runs,
+        snapshot: snap_stats,
+        universal: uni_stats,
+        afek: afek_stats,
+        mwreg: mw_stats,
         histories_checked: histories,
     }
 }
@@ -486,7 +522,7 @@ pub struct E8Row {
     /// Configuration description.
     pub config: String,
     /// Search mode used ("exhaustive" or "random(N)").
-    pub search: &'static str,
+    pub search: String,
     /// Executions examined.
     pub runs: u64,
     /// Did a safety violation appear, and what were the outputs?
@@ -498,7 +534,7 @@ pub struct E8Row {
 /// Run the E8 grid: 2-process exhaustive safety, the n ≥ 3
 /// counterexamples for every Figure 2 variant under both scan modes,
 /// the bounded-spread measurement, and the corrected one-shot variant.
-pub fn e8_rows() -> Vec<E8Row> {
+pub fn e8_rows(opts: &ExpOpts) -> Vec<E8Row> {
     use apram_agreement::ablation::max_spread;
     use apram_agreement::OneShotAgreement;
     let mut rows = Vec::new();
@@ -514,7 +550,7 @@ pub fn e8_rows() -> Vec<E8Row> {
                 variant: vname,
                 mode: mname,
                 config: "n=2, ε=0.6, inputs {0,1}".into(),
-                search: "exhaustive",
+                search: "exhaustive".into(),
                 runs: out.runs,
                 violation: out.violation.map(|(_, ys)| ys),
                 spread_over_eps: None,
@@ -584,13 +620,14 @@ pub fn e8_rows() -> Vec<E8Row> {
             variant: vname,
             mode: mname,
             config: format!("n={}, ε={eps}, inputs {inputs:?}", inputs.len()),
-            search: "random(30000)",
+            search: "random(30000)".into(),
             runs: out.runs,
             violation: out.violation.map(|(_, ys)| ys),
             spread_over_eps: Some(spread),
         });
     }
     // The corrected fixed-round variant on the breaking configurations.
+    let sim_seeds = if opts.quick { 40u64 } else { 200 };
     for (eps, inputs) in [
         (0.15f64, vec![0.0, 0.9, 1.0]),
         (0.08, vec![0.0, 0.5, 0.9, 1.0]),
@@ -600,16 +637,15 @@ pub fn e8_rows() -> Vec<E8Row> {
         let mut violation = None;
         let mut runs = 0u64;
         let mut worst: f64 = 0.0;
-        for seed in 0..200u64 {
-            let cfg = SimConfig::new(obj.registers()).with_owners(obj.owners());
+        for seed in 0..sim_seeds {
             let inputs_ref = &inputs;
             let obj_ref = &obj;
-            let out = run_symmetric(
-                &cfg,
-                &mut apram_model::sim::strategy::SeededRandom::new(seed),
-                n,
-                move |ctx| obj_ref.run(ctx, inputs_ref[ctx.proc()]),
-            );
+            let out = SimBuilder::new(obj.registers())
+                .owners(obj.owners())
+                .strategy(apram_model::sim::strategy::SeededRandom::new(
+                    opts.seed + seed,
+                ))
+                .run_symmetric(n, move |ctx| obj_ref.run(ctx, inputs_ref[ctx.proc()]));
             let ys = out.unwrap_results();
             runs += 1;
             worst = worst.max(apram_agreement::range_width(&ys) / eps);
@@ -622,7 +658,7 @@ pub fn e8_rows() -> Vec<E8Row> {
             variant: "OneShot (fixed R)",
             mode: "-",
             config: format!("n={n}, ε={eps}, inputs {inputs:?}"),
-            search: "random(200 sim)",
+            search: format!("random({sim_seeds} sim)"),
             runs,
             violation,
             spread_over_eps: Some(worst),
@@ -661,7 +697,10 @@ mod tests {
 
     #[test]
     fn e1_within_bound() {
-        for row in e1_rows().into_iter().filter(|r| r.n <= 4) {
+        for row in e1_rows(&ExpOpts::default())
+            .into_iter()
+            .filter(|r| r.n <= 4)
+        {
             assert!(
                 row.measured_worst <= row.bound,
                 "measured {} > bound {} at n={} Δ/ε={}",
@@ -674,8 +713,24 @@ mod tests {
     }
 
     #[test]
+    fn e6_explores_and_checks() {
+        let s = e6_summary(&ExpOpts {
+            seed: 0,
+            quick: true,
+        });
+        let total_runs: u64 = s.per_object().iter().map(|(_, st)| st.runs).sum();
+        assert_eq!(s.histories_checked, total_runs);
+        for (name, st) in s.per_object() {
+            assert!(st.runs > 0, "{name}: no schedules explored");
+            assert!(st.max_depth_reached > 0, "{name}: depth not tracked");
+            assert!(st.replay_ratio() < 1.0, "{name}: {st:?}");
+            assert_eq!(st.sleep_skips, 0, "{name}: plain explore cannot prune");
+        }
+    }
+
+    #[test]
     fn e8_shapes() {
-        let rows = e8_rows();
+        let rows = e8_rows(&ExpOpts::default());
         // 2-process exhaustive rows are all safe.
         assert!(rows
             .iter()

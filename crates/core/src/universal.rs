@@ -328,9 +328,9 @@ mod tests {
     use crate::counter::{CounterOp, CounterResp, CounterSpec};
     use apram_history::check::{check_linearizable, CheckerConfig};
     use apram_history::Recorder;
-    use apram_model::sim::explore::{explore, ExploreConfig};
+    use apram_model::sim::explore::ExploreConfig;
     use apram_model::sim::strategy::{CrashAt, RoundRobin, SeededRandom};
-    use apram_model::sim::{run_symmetric, ProcBody, SimConfig, SimCtx};
+    use apram_model::sim::{ProcBody, SimBuilder, SimCtx};
     use apram_model::NativeMemory;
 
     type Reg = UniversalReg<CounterSpec>;
@@ -403,7 +403,6 @@ mod tests {
         use std::cell::RefCell;
         use std::rc::Rc;
         let uni = Universal::new(2, CounterSpec);
-        let cfg = SimConfig::new(uni.registers()).with_owners(uni.owners());
         let rec_cell: Rc<RefCell<Option<Recorder<CounterOp, CounterResp>>>> =
             Rc::new(RefCell::new(None));
         let rec_for_make = Rc::clone(&rec_cell);
@@ -431,23 +430,24 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         let spec = CounterSpec;
-        let stats = explore(
-            &cfg,
-            &ExploreConfig {
-                max_runs: 60_000,
-                max_depth: 10,
-            },
-            make,
-            |out| {
-                out.assert_no_panics();
-                let hist = rec_cell.borrow_mut().take().unwrap().snapshot();
-                assert!(
-                    check_linearizable(&spec, &hist, &CheckerConfig::default()).is_ok(),
-                    "non-linearizable universal-counter history: {hist:?}"
-                );
-                true
-            },
-        );
+        let stats = SimBuilder::new(uni.registers())
+            .owners(uni.owners())
+            .explore(
+                &ExploreConfig {
+                    max_runs: 60_000,
+                    max_depth: 10,
+                },
+                make,
+                |out| {
+                    out.assert_no_panics();
+                    let hist = rec_cell.borrow_mut().take().unwrap().snapshot();
+                    assert!(
+                        check_linearizable(&spec, &hist, &CheckerConfig::default()).is_ok(),
+                        "non-linearizable universal-counter history: {hist:?}"
+                    );
+                    true
+                },
+            );
         assert!(stats.runs > 100, "{stats:?}");
     }
 
@@ -457,24 +457,26 @@ mod tests {
         for seed in 0..15u64 {
             let n = 3;
             let uni = Universal::new(n, CounterSpec);
-            let cfg = SimConfig::new(uni.registers()).with_owners(uni.owners());
             let rec: Recorder<CounterOp, CounterResp> = Recorder::new();
             let rec2 = rec.clone();
             let uni2 = uni.clone();
-            let out = run_symmetric(&cfg, &mut SeededRandom::new(seed), n, move |ctx| {
-                let p = ctx.proc();
-                let mut h = uni2.handle();
-                let ops = match p {
-                    0 => vec![CounterOp::Inc(1), CounterOp::Read],
-                    1 => vec![CounterOp::Dec(2), CounterOp::Read],
-                    _ => vec![CounterOp::Reset(9), CounterOp::Read],
-                };
-                for op in ops {
-                    rec2.invoke(p, op);
-                    let r = h.execute(ctx, op);
-                    rec2.respond(p, r);
-                }
-            });
+            let out = SimBuilder::new(uni.registers())
+                .owners(uni.owners())
+                .strategy(SeededRandom::new(seed))
+                .run_symmetric(n, move |ctx| {
+                    let p = ctx.proc();
+                    let mut h = uni2.handle();
+                    let ops = match p {
+                        0 => vec![CounterOp::Inc(1), CounterOp::Read],
+                        1 => vec![CounterOp::Dec(2), CounterOp::Read],
+                        _ => vec![CounterOp::Reset(9), CounterOp::Read],
+                    };
+                    for op in ops {
+                        rec2.invoke(p, op);
+                        let r = h.execute(ctx, op);
+                        rec2.respond(p, r);
+                    }
+                });
             out.assert_no_panics();
             let hist = rec.snapshot();
             assert!(
@@ -490,19 +492,21 @@ mod tests {
     fn survivor_completes_despite_crashes() {
         let n = 3;
         let uni = Universal::new(n, CounterSpec);
-        let cfg = SimConfig::new(uni.registers()).with_owners(uni.owners());
         let mut strategy = CrashAt::new(RoundRobin::new(), vec![(1, 9), (2, 17)]);
         let uni2 = uni.clone();
-        let out = run_symmetric(&cfg, &mut strategy, n, move |ctx| {
-            let mut h = uni2.handle();
-            let mut last = CounterResp::Ack;
-            for k in 0..3 {
-                h.execute(ctx, CounterOp::Inc(1));
-                last = h.execute(ctx, CounterOp::Read);
-                let _ = k;
-            }
-            last
-        });
+        let out = SimBuilder::new(uni.registers())
+            .owners(uni.owners())
+            .strategy_ref(&mut strategy)
+            .run_symmetric(n, move |ctx| {
+                let mut h = uni2.handle();
+                let mut last = CounterResp::Ack;
+                for k in 0..3 {
+                    h.execute(ctx, CounterOp::Inc(1));
+                    last = h.execute(ctx, CounterOp::Read);
+                    let _ = k;
+                }
+                last
+            });
         out.assert_no_panics();
         match out.results[0] {
             Some(CounterResp::Value(v)) => assert!(v >= 3, "survivor's incs visible: {v}"),
@@ -519,12 +523,13 @@ mod tests {
     fn per_operation_shared_cost_is_one_snapshot_plus_one_write() {
         for n in [2usize, 3, 5] {
             let uni = Universal::new(n, CounterSpec);
-            let cfg = SimConfig::new(uni.registers()).with_owners(uni.owners());
             let uni2 = uni.clone();
-            let out = run_symmetric(&cfg, &mut RoundRobin::new(), n, move |ctx| {
-                let mut h = uni2.handle();
-                h.execute(ctx, CounterOp::Inc(1));
-            });
+            let out = SimBuilder::new(uni.registers())
+                .owners(uni.owners())
+                .run_symmetric(n, move |ctx| {
+                    let mut h = uni2.handle();
+                    h.execute(ctx, CounterOp::Inc(1));
+                });
             out.assert_no_panics();
             for p in 0..n {
                 // Optimized scan: n²−1 reads, n+1 writes; update() does

@@ -85,6 +85,99 @@ impl Matrix {
     }
 }
 
+/// A typed view of a [`Matrix`] region of the register array.
+///
+/// Call sites previously computed `base + matrix.idx(row, col)` by hand at
+/// every access; the view owns the base offset and the shape, so algorithm
+/// code reads and writes `(row, col)` cells directly and cannot mix up
+/// offsets between objects sharing one register array.
+///
+/// The view is `Copy` metadata only — it holds no reference to the memory,
+/// so one view works across any number of [`MemCtx`] handles.
+#[derive(Clone, Copy, Debug)]
+pub struct MatrixView<T> {
+    matrix: Matrix,
+    base: usize,
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T> MatrixView<T> {
+    /// View of `matrix` starting at flat register index `base`.
+    pub fn new(matrix: Matrix, base: usize) -> Self {
+        MatrixView {
+            matrix,
+            base,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// View of a fresh `rows × cols` matrix at offset 0.
+    pub fn root(rows: usize, cols: usize) -> Self {
+        Self::new(Matrix::new(rows, cols), 0)
+    }
+
+    /// The underlying shape.
+    pub fn matrix(&self) -> Matrix {
+        self.matrix
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.matrix.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.matrix.cols
+    }
+
+    /// Flat register index of `(row, col)` — for owner maps and layout
+    /// checks; accesses should go through the cell operations.
+    pub fn reg(&self, row: usize, col: usize) -> usize {
+        self.base + self.matrix.idx(row, col)
+    }
+
+    /// Registers one past the view's last cell (where the next object in
+    /// the same array would start).
+    pub fn end(&self) -> usize {
+        self.base + self.matrix.len()
+    }
+
+    /// SWMR owner map for this view's registers: row `r` is writable only
+    /// by process `r` (see [`Matrix::row_owners`]). Only meaningful for
+    /// views at base 0 covering the whole array.
+    pub fn row_owners(&self) -> Vec<ProcId> {
+        self.matrix.row_owners()
+    }
+}
+
+impl<T: Clone> MatrixView<T> {
+    /// Atomically read cell `(row, col)`.
+    pub fn read_cell<C: MemCtx<T>>(&self, ctx: &mut C, row: usize, col: usize) -> T {
+        ctx.read(self.reg(row, col))
+    }
+
+    /// Atomically write cell `(row, col)`.
+    pub fn write_cell<C: MemCtx<T>>(&self, ctx: &mut C, row: usize, col: usize, val: T) {
+        ctx.write(self.reg(row, col), val)
+    }
+
+    /// Read row `row` left to right (one atomic read per cell — *not* an
+    /// atomic snapshot of the row).
+    pub fn collect_row<C: MemCtx<T>>(&self, ctx: &mut C, row: usize) -> Vec<T> {
+        (0..self.matrix.cols)
+            .map(|col| self.read_cell(ctx, row, col))
+            .collect()
+    }
+
+    /// Read column `col` top to bottom (one atomic read per cell).
+    pub fn collect_col<C: MemCtx<T>>(&self, ctx: &mut C, col: usize) -> Vec<T> {
+        (0..self.matrix.rows)
+            .map(|row| self.read_cell(ctx, row, col))
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,5 +196,53 @@ mod tests {
     fn row_owners_assign_each_row_to_its_process() {
         let m = Matrix::new(2, 3);
         assert_eq!(m.row_owners(), vec![0, 0, 0, 1, 1, 1]);
+    }
+
+    /// In-memory MemCtx over a plain Vec, for exercising MatrixView.
+    struct VecCtx {
+        regs: Vec<u32>,
+    }
+
+    impl MemCtx<u32> for VecCtx {
+        fn proc(&self) -> ProcId {
+            0
+        }
+        fn n_procs(&self) -> usize {
+            1
+        }
+        fn n_regs(&self) -> usize {
+            self.regs.len()
+        }
+        fn read(&mut self, reg: usize) -> u32 {
+            self.regs[reg]
+        }
+        fn write(&mut self, reg: usize, val: u32) {
+            self.regs[reg] = val;
+        }
+    }
+
+    #[test]
+    fn view_addresses_cells_relative_to_base() {
+        let view = MatrixView::<u32>::new(Matrix::new(2, 3), 4);
+        let mut ctx = VecCtx { regs: vec![0; 10] };
+        view.write_cell(&mut ctx, 1, 2, 9);
+        assert_eq!(ctx.regs[4 + 5], 9);
+        assert_eq!(view.read_cell(&mut ctx, 1, 2), 9);
+        assert_eq!(view.reg(0, 0), 4);
+        assert_eq!(view.end(), 10);
+        assert_eq!(view.rows(), 2);
+        assert_eq!(view.cols(), 3);
+    }
+
+    #[test]
+    fn view_collects_rows_and_cols() {
+        let view = MatrixView::<u32>::root(2, 3);
+        let mut ctx = VecCtx {
+            regs: vec![1, 2, 3, 4, 5, 6],
+        };
+        assert_eq!(view.collect_row(&mut ctx, 0), vec![1, 2, 3]);
+        assert_eq!(view.collect_row(&mut ctx, 1), vec![4, 5, 6]);
+        assert_eq!(view.collect_col(&mut ctx, 1), vec![2, 5]);
+        assert_eq!(view.row_owners(), vec![0, 0, 0, 1, 1, 1]);
     }
 }

@@ -35,14 +35,19 @@
 
 pub mod crash;
 pub mod ctx;
+pub mod json;
+pub mod metrics;
 pub mod native;
 pub mod sim;
 pub mod trace;
 
-pub use ctx::{AccessKind, MemCtx, ProcId};
+pub use ctx::{AccessKind, Matrix, MatrixView, MemCtx, ProcId};
+pub use json::Json;
+pub use metrics::{Metrics, MetricsLevel, RegStats};
 pub use native::{NativeCtx, NativeMemory};
+#[allow(deprecated)]
 pub use sim::{
-    explore, run_sim, run_symmetric, Decision, ProcBody, SchedView, SimConfig, SimCtx, SimOutcome,
-    Strategy,
+    explore, run_sim, run_symmetric, Decision, ProcBody, SchedView, SimBuilder, SimConfig, SimCtx,
+    SimOutcome, Strategy,
 };
 pub use trace::{StepCounts, Trace, TraceEvent};

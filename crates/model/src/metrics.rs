@@ -1,0 +1,236 @@
+//! Observability counters shared by the simulator and native memory.
+//!
+//! [`Metrics`] records, per register, how many reads/writes it served
+//! and how many of those accesses were *contended*, plus a per-process
+//! read/write histogram. Collection is opt-in via [`MetricsLevel`]:
+//!
+//! - Under the simulator, an access is contended when some *other*
+//!   process also has a pending request on the same register at the
+//!   moment the access is serviced — the scheduler sees every blocked
+//!   request, so this is exact.
+//! - Under [`crate::native::NativeMemory`], an access is contended when
+//!   another thread is inside an access to the same register at the
+//!   same wall-clock instant (tracked with a per-register in-flight
+//!   counter), which is a sampling of true contention.
+
+use crate::json::Json;
+use crate::trace::StepCounts;
+use crate::ProcId;
+
+/// How much observability data to collect during a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MetricsLevel {
+    /// Collect nothing (zero overhead; `metrics` in the outcome is empty).
+    Off,
+    /// Per-register read/write totals and the per-process histogram.
+    Counts,
+    /// Everything in `Counts` plus contention attribution.
+    #[default]
+    Full,
+}
+
+impl MetricsLevel {
+    /// Whether any collection happens at this level.
+    pub fn enabled(self) -> bool {
+        self != MetricsLevel::Off
+    }
+
+    /// Whether contention is attributed at this level.
+    pub fn contention(self) -> bool {
+        self == MetricsLevel::Full
+    }
+}
+
+/// Per-register access totals.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RegStats {
+    /// Reads served by this register.
+    pub reads: u64,
+    /// Writes served by this register.
+    pub writes: u64,
+    /// Accesses (reads + writes) that were contended; see module docs
+    /// for what "contended" means under each memory implementation.
+    pub contended: u64,
+}
+
+/// Collected observability data for one run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Level the data was collected at.
+    pub level: MetricsLevel,
+    /// One entry per register.
+    pub registers: Vec<RegStats>,
+    /// `histogram[p]` is process `p`'s read/write totals.
+    pub histogram: Vec<StepCounts>,
+}
+
+impl Metrics {
+    /// An empty collector for `n_procs` processes over `n_regs` registers.
+    pub fn new(level: MetricsLevel, n_procs: usize, n_regs: usize) -> Self {
+        if !level.enabled() {
+            return Metrics {
+                level,
+                registers: Vec::new(),
+                histogram: Vec::new(),
+            };
+        }
+        Metrics {
+            level,
+            registers: vec![RegStats::default(); n_regs],
+            histogram: vec![StepCounts::default(); n_procs],
+        }
+    }
+
+    /// Whether this collector is recording anything.
+    pub fn enabled(&self) -> bool {
+        self.level.enabled()
+    }
+
+    /// Record a read of `reg` by `proc`; `contended` per the module docs.
+    pub fn record_read(&mut self, proc: ProcId, reg: usize, contended: bool) {
+        if !self.level.enabled() {
+            return;
+        }
+        self.registers[reg].reads += 1;
+        self.histogram[proc].reads += 1;
+        if contended && self.level.contention() {
+            self.registers[reg].contended += 1;
+        }
+    }
+
+    /// Record a write of `reg` by `proc`; `contended` per the module docs.
+    pub fn record_write(&mut self, proc: ProcId, reg: usize, contended: bool) {
+        if !self.level.enabled() {
+            return;
+        }
+        self.registers[reg].writes += 1;
+        self.histogram[proc].writes += 1;
+        if contended && self.level.contention() {
+            self.registers[reg].contended += 1;
+        }
+    }
+
+    /// Total reads across all registers.
+    pub fn total_reads(&self) -> u64 {
+        self.registers.iter().map(|r| r.reads).sum()
+    }
+
+    /// Total writes across all registers.
+    pub fn total_writes(&self) -> u64 {
+        self.registers.iter().map(|r| r.writes).sum()
+    }
+
+    /// Total contended accesses across all registers.
+    pub fn total_contended(&self) -> u64 {
+        self.registers.iter().map(|r| r.contended).sum()
+    }
+
+    /// Render as a JSON object (see EXPERIMENTS.md for the schema).
+    pub fn to_json(&self) -> Json {
+        let regs = self
+            .registers
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                Json::obj([
+                    ("reg", Json::UInt(i as u64)),
+                    ("reads", Json::UInt(r.reads)),
+                    ("writes", Json::UInt(r.writes)),
+                    ("contended", Json::UInt(r.contended)),
+                ])
+            })
+            .collect();
+        let hist = self
+            .histogram
+            .iter()
+            .enumerate()
+            .map(|(p, c)| {
+                Json::obj([
+                    ("proc", Json::UInt(p as u64)),
+                    ("reads", Json::UInt(c.reads)),
+                    ("writes", Json::UInt(c.writes)),
+                ])
+            })
+            .collect();
+        Json::obj([
+            (
+                "level",
+                Json::Str(
+                    match self.level {
+                        MetricsLevel::Off => "off",
+                        MetricsLevel::Counts => "counts",
+                        MetricsLevel::Full => "full",
+                    }
+                    .into(),
+                ),
+            ),
+            ("registers", Json::Arr(regs)),
+            ("histogram", Json::Arr(hist)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_collects_nothing() {
+        let mut m = Metrics::new(MetricsLevel::Off, 2, 3);
+        m.record_read(0, 1, true);
+        m.record_write(1, 2, true);
+        assert!(!m.enabled());
+        assert!(m.registers.is_empty());
+        assert!(m.histogram.is_empty());
+        assert_eq!(m.total_reads(), 0);
+    }
+
+    #[test]
+    fn counts_skips_contention() {
+        let mut m = Metrics::new(MetricsLevel::Counts, 2, 2);
+        m.record_read(0, 0, true);
+        m.record_write(1, 0, true);
+        assert_eq!(m.registers[0].reads, 1);
+        assert_eq!(m.registers[0].writes, 1);
+        assert_eq!(m.registers[0].contended, 0);
+        assert_eq!(
+            m.histogram[0],
+            StepCounts {
+                reads: 1,
+                writes: 0
+            }
+        );
+        assert_eq!(
+            m.histogram[1],
+            StepCounts {
+                reads: 0,
+                writes: 1
+            }
+        );
+    }
+
+    #[test]
+    fn full_attributes_contention() {
+        let mut m = Metrics::new(MetricsLevel::Full, 1, 2);
+        m.record_read(0, 0, true);
+        m.record_read(0, 0, false);
+        m.record_write(0, 1, true);
+        assert_eq!(m.registers[0].contended, 1);
+        assert_eq!(m.registers[1].contended, 1);
+        assert_eq!(m.total_contended(), 2);
+        assert_eq!(m.total_reads(), 2);
+        assert_eq!(m.total_writes(), 1);
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut m = Metrics::new(MetricsLevel::Full, 1, 1);
+        m.record_read(0, 0, false);
+        let j = m.to_json();
+        assert_eq!(j.get("level").and_then(Json::as_str), Some("full"));
+        let regs = j.get("registers").and_then(Json::as_arr).unwrap();
+        assert_eq!(regs[0].get("reads").and_then(Json::as_u64), Some(1));
+        let hist = j.get("histogram").and_then(Json::as_arr).unwrap();
+        assert_eq!(hist[0].get("proc").and_then(Json::as_u64), Some(0));
+    }
+}

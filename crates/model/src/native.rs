@@ -13,15 +13,93 @@
 //! step counts the simulator does.
 
 use crate::ctx::{AccessKind, MemCtx, ProcId};
+use crate::metrics::{Metrics, MetricsLevel};
 use crate::trace::StepCounts;
 use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Lock-free shared counters backing [`NativeMemory::metrics`]. All
+/// updates are relaxed `fetch_add`s; a snapshot is not an atomic cut
+/// across counters, which is fine for observability data.
+struct MetricsShared {
+    level: MetricsLevel,
+    /// Per register: reads, writes, contended accesses.
+    reg_reads: Vec<AtomicU64>,
+    reg_writes: Vec<AtomicU64>,
+    reg_contended: Vec<AtomicU64>,
+    /// Per register: how many threads are inside an access right now.
+    in_flight: Vec<AtomicU64>,
+    /// Per process: reads, writes.
+    proc_reads: Vec<AtomicU64>,
+    proc_writes: Vec<AtomicU64>,
+}
+
+impl MetricsShared {
+    fn new(level: MetricsLevel, n_procs: usize, n_regs: usize) -> Self {
+        let fill = |n: usize| (0..n).map(|_| AtomicU64::new(0)).collect();
+        MetricsShared {
+            level,
+            reg_reads: fill(n_regs),
+            reg_writes: fill(n_regs),
+            reg_contended: fill(n_regs),
+            in_flight: fill(n_regs),
+            proc_reads: fill(n_procs),
+            proc_writes: fill(n_procs),
+        }
+    }
+
+    /// Bracket one access to `reg` by `proc`: bump the in-flight gauge,
+    /// run `access`, then record. Contention is sampled: the access is
+    /// contended iff another thread's access to the same register was in
+    /// flight when this one began.
+    fn record<R>(
+        &self,
+        kind: AccessKind,
+        proc: ProcId,
+        reg: usize,
+        access: impl FnOnce() -> R,
+    ) -> R {
+        let others = self.in_flight[reg].fetch_add(1, Ordering::Relaxed);
+        let out = access();
+        self.in_flight[reg].fetch_sub(1, Ordering::Relaxed);
+        match kind {
+            AccessKind::Read => {
+                self.reg_reads[reg].fetch_add(1, Ordering::Relaxed);
+                self.proc_reads[proc].fetch_add(1, Ordering::Relaxed);
+            }
+            AccessKind::Write => {
+                self.reg_writes[reg].fetch_add(1, Ordering::Relaxed);
+                self.proc_writes[proc].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if others > 0 && self.level.contention() {
+            self.reg_contended[reg].fetch_add(1, Ordering::Relaxed);
+        }
+        out
+    }
+
+    fn snapshot(&self) -> Metrics {
+        let mut m = Metrics::new(self.level, self.proc_reads.len(), self.reg_reads.len());
+        for (reg, slot) in m.registers.iter_mut().enumerate() {
+            slot.reads = self.reg_reads[reg].load(Ordering::Relaxed);
+            slot.writes = self.reg_writes[reg].load(Ordering::Relaxed);
+            slot.contended = self.reg_contended[reg].load(Ordering::Relaxed);
+        }
+        for (proc, slot) in m.histogram.iter_mut().enumerate() {
+            slot.reads = self.proc_reads[proc].load(Ordering::Relaxed);
+            slot.writes = self.proc_writes[proc].load(Ordering::Relaxed);
+        }
+        m
+    }
+}
 
 /// A shared array of atomic registers for native threads.
 pub struct NativeMemory<T> {
     regs: Arc<Vec<RwLock<T>>>,
     owners: Option<Arc<Vec<ProcId>>>,
     n_procs: usize,
+    metrics: Option<Arc<MetricsShared>>,
 }
 
 impl<T> Clone for NativeMemory<T> {
@@ -30,6 +108,7 @@ impl<T> Clone for NativeMemory<T> {
             regs: Arc::clone(&self.regs),
             owners: self.owners.clone(),
             n_procs: self.n_procs,
+            metrics: self.metrics.clone(),
         }
     }
 }
@@ -42,6 +121,7 @@ impl<T: Clone> NativeMemory<T> {
             regs: Arc::new(init.into_iter().map(RwLock::new).collect()),
             owners: None,
             n_procs,
+            metrics: None,
         }
     }
 
@@ -50,6 +130,28 @@ impl<T: Clone> NativeMemory<T> {
         assert_eq!(owners.len(), self.regs.len());
         self.owners = Some(Arc::new(owners));
         self
+    }
+
+    /// Collect [`Metrics`] during the run. Unlike the simulator's exact
+    /// contention attribution, the native backend *samples*: an access is
+    /// contended when another thread's access to the same register is in
+    /// flight at the instant it begins (per-register in-flight gauge).
+    pub fn with_metrics(mut self, level: MetricsLevel) -> Self {
+        self.metrics = level
+            .enabled()
+            .then(|| Arc::new(MetricsShared::new(level, self.n_procs, self.regs.len())));
+        self
+    }
+
+    /// Snapshot the counters collected so far. Empty (level
+    /// [`MetricsLevel::Off`]) unless [`NativeMemory::with_metrics`] was
+    /// called. The snapshot is not an atomic cut while threads are still
+    /// running; call it after joining for exact totals.
+    pub fn metrics(&self) -> Metrics {
+        match &self.metrics {
+            Some(shared) => shared.snapshot(),
+            None => Metrics::new(MetricsLevel::Off, self.n_procs, self.regs.len()),
+        }
     }
 
     /// Number of registers.
@@ -112,7 +214,12 @@ impl<T: Clone> MemCtx<T> for NativeCtx<T> {
 
     fn read(&mut self, reg: usize) -> T {
         self.counts.bump(AccessKind::Read);
-        self.mem.regs[reg].read().clone()
+        match &self.mem.metrics {
+            Some(m) => m.record(AccessKind::Read, self.proc, reg, || {
+                self.mem.regs[reg].read().clone()
+            }),
+            None => self.mem.regs[reg].read().clone(),
+        }
     }
 
     fn write(&mut self, reg: usize, val: T) {
@@ -124,7 +231,12 @@ impl<T: Clone> MemCtx<T> for NativeCtx<T> {
             );
         }
         self.counts.bump(AccessKind::Write);
-        *self.mem.regs[reg].write() = val;
+        match &self.mem.metrics {
+            Some(m) => m.record(AccessKind::Write, self.proc, reg, || {
+                *self.mem.regs[reg].write() = val;
+            }),
+            None => *self.mem.regs[reg].write() = val,
+        }
     }
 }
 
@@ -186,6 +298,78 @@ mod tests {
         });
         for p in 0..8 {
             assert_eq!(mem.peek(p), 999);
+        }
+    }
+
+    #[test]
+    fn metrics_default_off() {
+        let mem = NativeMemory::new(1, vec![0u64; 2]);
+        mem.ctx(0).write(0, 1);
+        let m = mem.metrics();
+        assert!(!m.enabled());
+        assert!(m.registers.is_empty());
+    }
+
+    #[test]
+    fn metrics_count_per_register_and_process() {
+        let mem = NativeMemory::new(2, vec![0u64; 3]).with_metrics(MetricsLevel::Full);
+        let mut c0 = mem.ctx(0);
+        let mut c1 = mem.ctx(1);
+        c0.write(0, 1);
+        c0.write(0, 2);
+        let _ = c1.read(0);
+        let _ = c1.read(2);
+        let m = mem.metrics();
+        assert_eq!(m.registers[0].reads, 1);
+        assert_eq!(m.registers[0].writes, 2);
+        assert_eq!(m.registers[2].reads, 1);
+        assert_eq!(m.registers[1].reads + m.registers[1].writes, 0);
+        assert_eq!(
+            m.histogram[0],
+            StepCounts {
+                reads: 0,
+                writes: 2
+            }
+        );
+        assert_eq!(
+            m.histogram[1],
+            StepCounts {
+                reads: 2,
+                writes: 0
+            }
+        );
+        // Single-threaded accesses are never contended.
+        assert_eq!(m.total_contended(), 0);
+        // Metrics agree with the per-context counters.
+        assert_eq!(c0.counts(), m.histogram[0]);
+        assert_eq!(c1.counts(), m.histogram[1]);
+    }
+
+    #[test]
+    fn metrics_totals_exact_after_join() {
+        let n = 4;
+        let per = 500u64;
+        let mem = NativeMemory::new(n, vec![0u64; n])
+            .with_owners((0..n).collect())
+            .with_metrics(MetricsLevel::Full);
+        std::thread::scope(|s| {
+            for p in 0..n {
+                let mem = mem.clone();
+                s.spawn(move || {
+                    let mut ctx = mem.ctx(p);
+                    for i in 0..per {
+                        ctx.write(p, i);
+                        let _ = ctx.read((p + 1) % n);
+                    }
+                });
+            }
+        });
+        let m = mem.metrics();
+        assert_eq!(m.total_reads(), n as u64 * per);
+        assert_eq!(m.total_writes(), n as u64 * per);
+        for p in 0..n {
+            assert_eq!(m.histogram[p].reads, per);
+            assert_eq!(m.histogram[p].writes, per);
         }
     }
 

@@ -12,8 +12,9 @@
 //! 2–3 process execution is generated and its history verified.
 
 use super::strategy::{Decision, SchedView, Strategy};
-use super::{run_sim, ProcBody, SimConfig, SimOutcome};
+use super::{run_sim_with, ProcBody, SimConfig, SimOutcome};
 use crate::ctx::{AccessKind, ProcId};
+use crate::metrics::MetricsLevel;
 
 /// Exploration limits.
 #[derive(Clone, Debug)]
@@ -36,7 +37,7 @@ impl Default for ExploreConfig {
 }
 
 /// Exploration summary.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ExploreStats {
     /// Number of complete runs executed.
     pub runs: u64,
@@ -45,6 +46,42 @@ pub struct ExploreStats {
     pub exhausted: bool,
     /// `true` when some decision point beyond `max_depth` was truncated.
     pub truncated: bool,
+    /// Total scheduler decisions made across all runs.
+    pub executed_steps: u64,
+    /// Decisions that merely replayed a previously recorded prefix to
+    /// re-reach a branch point (the intrinsic overhead of stateless
+    /// search; always `< executed_steps` once more than one run exists).
+    pub replayed_steps: u64,
+    /// Deepest decision point reached in any run (in steps).
+    pub max_depth_reached: usize,
+    /// Branch choices pruned by sleep sets — subtrees that
+    /// [`explore_reduced`] proved redundant and never entered. Always 0
+    /// for plain [`explore`].
+    pub sleep_skips: u64,
+}
+
+impl ExploreStats {
+    /// Fraction of discovered branch choices that sleep-set reduction
+    /// pruned: `sleep_skips / (sleep_skips + runs)`. 0 when nothing was
+    /// pruned (in particular for plain [`explore`]).
+    pub fn pruning_ratio(&self) -> f64 {
+        let total = self.sleep_skips + self.runs;
+        if total == 0 {
+            0.0
+        } else {
+            self.sleep_skips as f64 / total as f64
+        }
+    }
+
+    /// Replayed fraction of all executed steps — how much work stateless
+    /// re-execution spent re-reaching branch points.
+    pub fn replay_ratio(&self) -> f64 {
+        if self.executed_steps == 0 {
+            0.0
+        } else {
+            self.replayed_steps as f64 / self.executed_steps as f64
+        }
+    }
 }
 
 struct Branch {
@@ -56,7 +93,7 @@ struct TreeStrategy<'a> {
     stack: &'a mut Vec<Branch>,
     pos: usize,
     max_depth: usize,
-    truncated: &'a mut bool,
+    stats: &'a mut ExploreStats,
 }
 
 impl Strategy for TreeStrategy<'_> {
@@ -70,9 +107,10 @@ impl Strategy for TreeStrategy<'_> {
                  process bodies must be deterministic",
                 self.pos
             );
+            self.stats.replayed_steps += 1;
             b.choices[b.pick]
         } else if self.pos >= self.max_depth {
-            *self.truncated = true;
+            self.stats.truncated = true;
             view.runnable[0]
         } else {
             self.stack.push(Branch {
@@ -81,7 +119,9 @@ impl Strategy for TreeStrategy<'_> {
             });
             view.runnable[0]
         };
+        self.stats.executed_steps += 1;
         self.pos += 1;
+        self.stats.max_depth_reached = self.stats.max_depth_reached.max(self.pos);
         Decision::Step(choice)
     }
 }
@@ -105,30 +145,18 @@ where
     Visit: FnMut(&SimOutcome<T, R>) -> bool,
 {
     let mut stack: Vec<Branch> = Vec::new();
-    let mut runs = 0u64;
-    let mut truncated = false;
+    let mut stats = ExploreStats::default();
     loop {
         let mut strategy = TreeStrategy {
             stack: &mut stack,
             pos: 0,
             max_depth: econfig.max_depth,
-            truncated: &mut truncated,
+            stats: &mut stats,
         };
-        let outcome = run_sim(cfg, &mut strategy, factory());
-        runs += 1;
-        if !visit(&outcome) {
-            return ExploreStats {
-                runs,
-                exhausted: false,
-                truncated,
-            };
-        }
-        if runs >= econfig.max_runs {
-            return ExploreStats {
-                runs,
-                exhausted: false,
-                truncated,
-            };
+        let outcome = run_sim_with(cfg, MetricsLevel::Off, &mut strategy, factory());
+        stats.runs += 1;
+        if !visit(&outcome) || stats.runs >= econfig.max_runs {
+            return stats;
         }
         // Advance to the next schedule: drop exhausted trailing branches,
         // bump the deepest one with choices left.
@@ -141,11 +169,8 @@ where
         match stack.last_mut() {
             Some(last) => last.pick += 1,
             None => {
-                return ExploreStats {
-                    runs,
-                    exhausted: true,
-                    truncated,
-                }
+                stats.exhausted = true;
+                return stats;
             }
         }
     }
@@ -187,16 +212,28 @@ struct SleepStrategy<'a> {
     stack: &'a mut Vec<SleepNode>,
     pos: usize,
     max_depth: usize,
-    truncated: &'a mut bool,
+    stats: &'a mut ExploreStats,
     /// Set once a barren node is entered this run: no further nodes are
     /// pushed (the tail is completed deterministically and never
     /// revisited, because the barren ancestor pops on backtrack).
     redundant_tail: bool,
 }
 
+impl SleepStrategy<'_> {
+    fn step_accounting(&mut self, replayed: bool) {
+        self.stats.executed_steps += 1;
+        if replayed {
+            self.stats.replayed_steps += 1;
+        }
+        self.pos += 1;
+        self.stats.max_depth_reached = self.stats.max_depth_reached.max(self.pos);
+    }
+}
+
 impl Strategy for SleepStrategy<'_> {
     fn decide(&mut self, view: &SchedView) -> Decision {
-        let choice = if self.pos < self.stack.len() {
+        let replayed = self.pos < self.stack.len();
+        let choice = if replayed {
             let node = &self.stack[self.pos];
             debug_assert_eq!(
                 node.choices.as_slice(),
@@ -206,7 +243,7 @@ impl Strategy for SleepStrategy<'_> {
             node.choices[node.pick]
         } else if self.redundant_tail || self.pos >= self.max_depth {
             if !self.redundant_tail {
-                *self.truncated = true;
+                self.stats.truncated = true;
             }
             view.runnable[0]
         } else {
@@ -269,10 +306,10 @@ impl Strategy for SleepStrategy<'_> {
             }
             let c = node.choices[node.pick];
             self.stack.push(node);
-            self.pos += 1;
+            self.step_accounting(false);
             return Decision::Step(c);
         };
-        self.pos += 1;
+        self.step_accounting(replayed);
         Decision::Step(choice)
     }
 }
@@ -304,38 +341,33 @@ where
     Visit: FnMut(&SimOutcome<T, R>) -> bool,
 {
     let mut stack: Vec<SleepNode> = Vec::new();
-    let mut runs = 0u64;
-    let mut truncated = false;
+    let mut stats = ExploreStats::default();
     loop {
         let mut strategy = SleepStrategy {
             stack: &mut stack,
             pos: 0,
             max_depth: econfig.max_depth,
-            truncated: &mut truncated,
+            stats: &mut stats,
             redundant_tail: false,
         };
-        let outcome = run_sim(cfg, &mut strategy, factory());
-        runs += 1;
-        if !visit(&outcome) || runs >= econfig.max_runs {
-            return ExploreStats {
-                runs,
-                exhausted: false,
-                truncated,
-            };
+        let outcome = run_sim_with(cfg, MetricsLevel::Off, &mut strategy, factory());
+        stats.runs += 1;
+        if !visit(&outcome) || stats.runs >= econfig.max_runs {
+            return stats;
         }
         // Backtrack: mark the deepest node's pick explored and move to
         // its next explorable choice; pop exhausted nodes.
         loop {
             match stack.last_mut() {
                 None => {
-                    return ExploreStats {
-                        runs,
-                        exhausted: true,
-                        truncated,
-                    }
+                    stats.exhausted = true;
+                    return stats;
                 }
                 Some(node) => {
                     if node.barren {
+                        // The entire node was redundant: every choice
+                        // was pruned by its sleep set.
+                        stats.sleep_skips += node.choices.len() as u64;
                         stack.pop();
                         continue;
                     }
@@ -347,6 +379,9 @@ where
                             break;
                         }
                         None => {
+                            // Choices never explored here were pruned
+                            // (asleep) — count them before popping.
+                            stats.sleep_skips += (node.choices.len() - node.explored.len()) as u64;
                             stack.pop();
                         }
                     }
@@ -378,7 +413,7 @@ mod tests {
     fn explores_all_interleavings_of_two_two_step_processes() {
         // Each process takes 2 steps; the number of interleavings of
         // 2+2 steps is C(4,2) = 6.
-        let cfg = SimConfig::new(vec![0u64; 2]);
+        let cfg = SimConfig::base(vec![0u64; 2]);
         let mut schedules = HashSet::new();
         let stats = explore(&cfg, &ExploreConfig::default(), two_proc_bodies, |out| {
             out.assert_no_panics();
@@ -395,7 +430,7 @@ mod tests {
     fn all_outcomes_observed() {
         // Across all interleavings, P0 must observe {0, 2}: 0 when it
         // reads before P1's write, 2 after.
-        let cfg = SimConfig::new(vec![0u64; 2]);
+        let cfg = SimConfig::base(vec![0u64; 2]);
         let mut seen = HashSet::new();
         explore(&cfg, &ExploreConfig::default(), two_proc_bodies, |out| {
             seen.insert((out.results[0].unwrap(), out.results[1].unwrap()));
@@ -415,7 +450,7 @@ mod tests {
 
     #[test]
     fn early_stop_works() {
-        let cfg = SimConfig::new(vec![0u64; 2]);
+        let cfg = SimConfig::base(vec![0u64; 2]);
         let stats = explore(&cfg, &ExploreConfig::default(), two_proc_bodies, |_| false);
         assert_eq!(stats.runs, 1);
         assert!(!stats.exhausted);
@@ -423,7 +458,7 @@ mod tests {
 
     #[test]
     fn run_budget_respected() {
-        let cfg = SimConfig::new(vec![0u64; 2]);
+        let cfg = SimConfig::base(vec![0u64; 2]);
         let econfig = ExploreConfig {
             max_runs: 3,
             ..Default::default()
@@ -438,7 +473,7 @@ mod tests {
     /// or equal runs.
     #[test]
     fn reduced_covers_all_outcomes() {
-        let cfg = SimConfig::new(vec![0u64; 2]);
+        let cfg = SimConfig::base(vec![0u64; 2]);
         let collect = |reduced: bool| {
             let mut outcomes = HashSet::new();
             let stats = if reduced {
@@ -481,7 +516,7 @@ mod tests {
                 })
                 .collect()
         }
-        let cfg = SimConfig::new(vec![0u64; 3]);
+        let cfg = SimConfig::base(vec![0u64; 3]);
         let full = explore(&cfg, &ExploreConfig::default(), bodies, |_| true);
         let reduced = explore_reduced(&cfg, &ExploreConfig::default(), bodies, |out| {
             assert_eq!(out.results, vec![Some(2), Some(2), Some(2)]);
@@ -515,7 +550,7 @@ mod tests {
                 })
                 .collect()
         }
-        let cfg = SimConfig::new(vec![0u64; 1]);
+        let cfg = SimConfig::base(vec![0u64; 1]);
         let mut full_set = HashSet::new();
         let full = explore(&cfg, &ExploreConfig::default(), bodies, |out| {
             full_set.insert((out.results.clone(), out.memory.clone()));
@@ -533,7 +568,7 @@ mod tests {
 
     #[test]
     fn depth_truncation_flagged() {
-        let cfg = SimConfig::new(vec![0u64; 2]);
+        let cfg = SimConfig::base(vec![0u64; 2]);
         let econfig = ExploreConfig {
             max_runs: 1_000,
             max_depth: 1,

@@ -21,6 +21,7 @@ pub use strategy::{Decision, SchedView, Strategy};
 
 use crate::crash::{self, CrashSignal};
 use crate::ctx::{AccessKind, MemCtx, ProcId};
+use crate::metrics::{Metrics, MetricsLevel};
 use crate::trace::{StepCounts, Trace, TraceEvent};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
@@ -143,9 +144,8 @@ pub struct SimConfig<T> {
 }
 
 impl<T> SimConfig<T> {
-    /// A configuration with the given initial registers and defaults
-    /// (no owner map, 10M-step budget, 30s local timeout).
-    pub fn new(registers: Vec<T>) -> Self {
+    /// Non-deprecated construction path shared by the builder.
+    pub(crate) fn base(registers: Vec<T>) -> Self {
         SimConfig {
             registers,
             owners: None,
@@ -154,7 +154,15 @@ impl<T> SimConfig<T> {
         }
     }
 
+    /// A configuration with the given initial registers and defaults
+    /// (no owner map, 10M-step budget, 30s local timeout).
+    #[deprecated(since = "0.2.0", note = "use SimBuilder::new instead")]
+    pub fn new(registers: Vec<T>) -> Self {
+        Self::base(registers)
+    }
+
     /// Attach a single-writer owner map.
+    #[deprecated(since = "0.2.0", note = "use SimBuilder::owners instead")]
     pub fn with_owners(mut self, owners: Vec<ProcId>) -> Self {
         assert_eq!(owners.len(), self.registers.len());
         self.owners = Some(owners);
@@ -162,6 +170,7 @@ impl<T> SimConfig<T> {
     }
 
     /// Override the step budget.
+    #[deprecated(since = "0.2.0", note = "use SimBuilder::max_steps instead")]
     pub fn with_max_steps(mut self, max_steps: u64) -> Self {
         self.max_steps = max_steps;
         self
@@ -182,6 +191,9 @@ pub struct SimOutcome<T, R> {
     pub trace: Trace,
     /// Per-process read/write counts.
     pub counts: Vec<StepCounts>,
+    /// Observability data (empty unless a metrics level was enabled via
+    /// [`SimBuilder::metrics`]).
+    pub metrics: Metrics,
     /// Final register contents.
     pub memory: Vec<T>,
     /// `true` when the run was stopped by `Decision::Halt` or the step
@@ -220,8 +232,25 @@ impl<T, R> SimOutcome<T, R> {
 /// thread, and tears everything down before returning (no leaked
 /// threads). The `strategy` is borrowed mutably so adversaries can carry
 /// state across runs.
+#[deprecated(since = "0.2.0", note = "use SimBuilder::run instead")]
 pub fn run_sim<T, R, F>(
     cfg: &SimConfig<T>,
+    strategy: &mut dyn Strategy,
+    bodies: Vec<F>,
+) -> SimOutcome<T, R>
+where
+    T: Clone + Send,
+    R: Send,
+    F: FnOnce(&mut SimCtx<T>) -> R + Send,
+{
+    run_sim_with(cfg, MetricsLevel::Off, strategy, bodies)
+}
+
+/// The engine behind [`SimBuilder::run`] and the deprecated free
+/// functions: one extra knob, the metrics collection level.
+pub(crate) fn run_sim_with<T, R, F>(
+    cfg: &SimConfig<T>,
+    level: MetricsLevel,
     strategy: &mut dyn Strategy,
     bodies: Vec<F>,
 ) -> SimOutcome<T, R>
@@ -273,7 +302,7 @@ where
                 let _ = to_sched.send(Msg::Done { proc: p });
             });
         }
-        scheduler_loop(cfg, strategy, n, msg_rx, reply_txs)
+        scheduler_loop(cfg, level, strategy, n, msg_rx, reply_txs)
     });
 
     outcome_finish(
@@ -286,6 +315,7 @@ where
 
 /// Run `n` copies of the same body (each told its process id via
 /// [`SimCtx::proc`]).
+#[deprecated(since = "0.2.0", note = "use SimBuilder::run_symmetric instead")]
 pub fn run_symmetric<T, R, F>(
     cfg: &SimConfig<T>,
     strategy: &mut dyn Strategy,
@@ -301,7 +331,220 @@ where
     let bodies: Vec<_> = (0..n)
         .map(|_| Box::new(move |ctx: &mut SimCtx<T>| body(ctx)) as ProcBody<'_, T, R>)
         .collect();
-    run_sim(cfg, strategy, bodies)
+    run_sim_with(cfg, MetricsLevel::Off, strategy, bodies)
+}
+
+/// How the builder stores its strategy: owned for the common fluent case,
+/// borrowed when the caller needs to keep driving one adversary across
+/// many runs (e.g. schedule-search loops).
+enum StratHolder<'s> {
+    Owned(Box<dyn Strategy + 's>),
+    Borrowed(&'s mut dyn Strategy),
+}
+
+impl StratHolder<'_> {
+    fn get(&mut self) -> &mut dyn Strategy {
+        match self {
+            StratHolder::Owned(s) => &mut **s,
+            StratHolder::Borrowed(s) => &mut **s,
+        }
+    }
+}
+
+/// Crash-plan wrapper installed by [`SimBuilder::crash_at`]: same
+/// semantics as [`strategy::CrashAt`], but over a borrowed inner strategy
+/// so the builder can reuse its strategy across runs.
+struct CrashPlan<'a> {
+    inner: &'a mut dyn Strategy,
+    crashes: Vec<(ProcId, u64)>,
+}
+
+impl Strategy for CrashPlan<'_> {
+    fn decide(&mut self, view: &SchedView) -> Decision {
+        if let Some(i) = self
+            .crashes
+            .iter()
+            .position(|&(p, s)| view.step >= s && !view.crashed[p] && !view.finished[p])
+        {
+            let (p, _) = self.crashes.remove(i);
+            return Decision::Crash(p);
+        }
+        self.inner.decide(view)
+    }
+}
+
+/// Fluent construction of simulated executions — the front door of the
+/// simulator.
+///
+/// Replaces the positional [`SimConfig`]/[`run_sim`]/[`run_symmetric`]
+/// surface: every knob is a named method, the strategy defaults to
+/// [`strategy::RoundRobin`], and runs are launched from the builder
+/// itself.
+///
+/// ```
+/// use apram_model::sim::SimBuilder;
+/// use apram_model::sim::strategy::SeededRandom;
+/// use apram_model::{MemCtx, MetricsLevel};
+///
+/// let out = SimBuilder::new(vec![0u64; 2])
+///     .owners(vec![0, 1])               // SWMR: register p owned by P(p)
+///     .metrics(MetricsLevel::Full)
+///     .strategy(SeededRandom::new(42))
+///     .crash_at(1, 3)                   // crash P1 at step 3
+///     .run_symmetric(2, |ctx| {
+///         let me = ctx.proc();
+///         ctx.write(me, me as u64 + 1);
+///         ctx.read(1 - me)
+///     });
+/// assert_eq!(out.metrics.total_writes() + out.metrics.total_reads(),
+///            out.trace.len() as u64);
+/// ```
+///
+/// `run*` take `&mut self`, so one builder can launch many runs; a
+/// stateful strategy carries its state across them (pass it with
+/// [`SimBuilder::strategy_ref`] to inspect it afterwards).
+pub struct SimBuilder<'s, T> {
+    cfg: SimConfig<T>,
+    level: MetricsLevel,
+    crashes: Vec<(ProcId, u64)>,
+    strat: StratHolder<'s>,
+}
+
+impl<'s, T: Clone + Send> SimBuilder<'s, T> {
+    /// A builder over the given initial register contents (the length
+    /// fixes the register count). Defaults: no owner map, 10M-step
+    /// budget, 30s local timeout, round-robin strategy, metrics off.
+    pub fn new(registers: Vec<T>) -> Self {
+        SimBuilder {
+            cfg: SimConfig::base(registers),
+            level: MetricsLevel::Off,
+            crashes: Vec::new(),
+            strat: StratHolder::Owned(Box::new(strategy::RoundRobin::new())),
+        }
+    }
+
+    /// Single-writer discipline: `owners[r]` is the only process allowed
+    /// to write register `r`. Violations panic.
+    pub fn owners(mut self, owners: Vec<ProcId>) -> Self {
+        assert_eq!(
+            owners.len(),
+            self.cfg.registers.len(),
+            "owner map length must equal register count"
+        );
+        self.cfg.owners = Some(owners);
+        self
+    }
+
+    /// Hard step budget; the run halts (crashing all processes) when
+    /// exceeded.
+    pub fn max_steps(mut self, max_steps: u64) -> Self {
+        self.cfg.max_steps = max_steps;
+        self
+    }
+
+    /// How long the scheduler waits for a locally-computing process
+    /// before declaring the run wedged.
+    pub fn local_timeout(mut self, timeout: Duration) -> Self {
+        self.cfg.local_timeout = timeout;
+        self
+    }
+
+    /// Observability collection level for [`SimOutcome::metrics`].
+    pub fn metrics(mut self, level: MetricsLevel) -> Self {
+        self.level = level;
+        self
+    }
+
+    /// Schedule with `strategy` (owned). Replaces any previous strategy.
+    pub fn strategy(mut self, strategy: impl Strategy + 's) -> Self {
+        self.strat = StratHolder::Owned(Box::new(strategy));
+        self
+    }
+
+    /// Schedule with a borrowed strategy, letting the caller keep the
+    /// adversary (and its accumulated state) after the runs.
+    pub fn strategy_ref(mut self, strategy: &'s mut dyn Strategy) -> Self {
+        self.strat = StratHolder::Borrowed(strategy);
+        self
+    }
+
+    /// Crash `proc` at the first decision point at or after global step
+    /// `step`, on top of whatever the strategy decides. May be called
+    /// once per victim; the plan applies to every subsequent run.
+    pub fn crash_at(mut self, proc: ProcId, step: u64) -> Self {
+        self.crashes.push((proc, step));
+        self
+    }
+
+    /// The accumulated [`SimConfig`] — for interop with the free
+    /// exploration functions, which are parameterized on it.
+    pub fn config(&self) -> &SimConfig<T> {
+        &self.cfg
+    }
+
+    /// Run one execution with the given process bodies.
+    pub fn run<R, F>(&mut self, bodies: Vec<F>) -> SimOutcome<T, R>
+    where
+        R: Send,
+        F: FnOnce(&mut SimCtx<T>) -> R + Send,
+    {
+        let strat = self.strat.get();
+        if self.crashes.is_empty() {
+            run_sim_with(&self.cfg, self.level, strat, bodies)
+        } else {
+            let mut planned = CrashPlan {
+                inner: strat,
+                crashes: self.crashes.clone(),
+            };
+            run_sim_with(&self.cfg, self.level, &mut planned, bodies)
+        }
+    }
+
+    /// Run `n` copies of the same body (each told its process id via
+    /// [`SimCtx::proc`]).
+    pub fn run_symmetric<R, F>(&mut self, n: usize, body: F) -> SimOutcome<T, R>
+    where
+        R: Send,
+        F: Fn(&mut SimCtx<T>) -> R + Send + Sync,
+    {
+        let body = &body;
+        let bodies: Vec<_> = (0..n)
+            .map(|_| Box::new(move |ctx: &mut SimCtx<T>| body(ctx)) as ProcBody<'_, T, R>)
+            .collect();
+        self.run(bodies)
+    }
+
+    /// Exhaustively explore all schedules of this configuration (see
+    /// [`explore::explore`]). The builder's strategy and crash plan are
+    /// *not* used: exploration owns the schedule.
+    pub fn explore<R, FMake, Visit>(
+        &self,
+        econfig: &ExploreConfig,
+        factory: FMake,
+        visit: Visit,
+    ) -> ExploreStats
+    where
+        R: Send,
+        FMake: FnMut() -> Vec<ProcBody<'static, T, R>>,
+        Visit: FnMut(&SimOutcome<T, R>) -> bool,
+    {
+        explore::explore(&self.cfg, econfig, factory, visit)
+    }
+
+    /// Sleep-set-reduced exploration (see [`explore::explore_reduced`]).
+    pub fn explore_reduced<R, FMake, Visit>(
+        &self,
+        econfig: &ExploreConfig,
+        factory: FMake,
+        visit: Visit,
+    ) -> ExploreStats
+    where
+        R: Send,
+        FMake: FnMut() -> Vec<ProcBody<'static, T, R>>,
+        Visit: FnMut(&SimOutcome<T, R>) -> bool,
+    {
+        explore::explore_reduced(&self.cfg, econfig, factory, visit)
+    }
 }
 
 fn outcome_finish<T, R>(
@@ -315,6 +558,7 @@ fn outcome_finish<T, R>(
 
 fn scheduler_loop<T: Clone, R>(
     cfg: &SimConfig<T>,
+    level: MetricsLevel,
     strategy: &mut dyn Strategy,
     n: usize,
     msg_rx: Receiver<Msg<T>>,
@@ -326,6 +570,7 @@ fn scheduler_loop<T: Clone, R>(
     let mut crashed = vec![false; n];
     let mut trace = Trace::new();
     let mut counts = vec![StepCounts::default(); n];
+    let mut metrics = Metrics::new(level, n, cfg.registers.len());
     let mut halted = false;
     let mut steps: u64 = 0;
 
@@ -386,6 +631,19 @@ fn scheduler_loop<T: Clone, R>(
                     reg: access.reg(),
                 });
                 counts[p].bump(access.kind());
+                if metrics.enabled() {
+                    // Contended: some *other* process is blocked on the
+                    // same register right now. The scheduler sees every
+                    // pending request, so this is exact.
+                    let reg = access.reg();
+                    let contended = runnable
+                        .iter()
+                        .any(|&q| q != p && pending_info[q].is_some_and(|(_, r)| r == reg));
+                    match access.kind() {
+                        AccessKind::Read => metrics.record_read(p, reg, contended),
+                        AccessKind::Write => metrics.record_write(p, reg, contended),
+                    }
+                }
                 steps += 1;
                 let reply = match access {
                     Access::Read(r) => Reply::Value(memory[r].clone()),
@@ -439,11 +697,12 @@ fn scheduler_loop<T: Clone, R>(
     }
 
     SimOutcome {
-        results: Vec::new(), // filled by run_sim
-        panics: Vec::new(),  // filled by run_sim
+        results: Vec::new(), // filled by run_sim_with
+        panics: Vec::new(),  // filled by run_sim_with
         crashed,
         trace,
         counts,
+        metrics,
         memory,
         halted,
     }
@@ -451,7 +710,7 @@ fn scheduler_loop<T: Clone, R>(
 
 #[cfg(test)]
 mod tests {
-    use super::strategy::{Replay, RoundRobin, SeededRandom};
+    use super::strategy::{Replay, SeededRandom};
     use super::*;
 
     /// Two processes each write their id+1 then read the other's slot.
@@ -464,8 +723,8 @@ mod tests {
 
     #[test]
     fn round_robin_interleaves_deterministically() {
-        let cfg = SimConfig::new(vec![0u64; 2]);
-        let out = run_symmetric(&cfg, &mut RoundRobin::new(), 2, body);
+        // RoundRobin is the builder default.
+        let out = SimBuilder::new(vec![0u64; 2]).run_symmetric(2, body);
         let res = out.unwrap_results();
         // RR order: P0 w, P1 w, P0 r, P1 r — both see the other's write.
         assert_eq!(res, vec![2, 1]);
@@ -473,20 +732,26 @@ mod tests {
 
     #[test]
     fn replay_reproduces_a_trace() {
-        let cfg = SimConfig::new(vec![0u64; 2]);
-        let out1 = run_symmetric(&cfg, &mut SeededRandom::new(42), 2, body);
+        let out1 = SimBuilder::new(vec![0u64; 2])
+            .strategy(SeededRandom::new(42))
+            .run_symmetric(2, body);
         out1.assert_no_panics();
         let sched = out1.trace.schedule();
-        let out2 = run_symmetric(&cfg, &mut Replay::strict(sched.clone()), 2, body);
+        let out2 = SimBuilder::new(vec![0u64; 2])
+            .strategy(Replay::strict(sched.clone()))
+            .run_symmetric(2, body);
         assert_eq!(out1.results, out2.results);
         assert_eq!(out2.trace.schedule(), sched);
     }
 
     #[test]
     fn seeded_runs_are_reproducible() {
-        let cfg = SimConfig::new(vec![0u64; 2]);
-        let a = run_symmetric(&cfg, &mut SeededRandom::new(7), 2, body);
-        let b = run_symmetric(&cfg, &mut SeededRandom::new(7), 2, body);
+        let run = || {
+            SimBuilder::new(vec![0u64; 2])
+                .strategy(SeededRandom::new(7))
+                .run_symmetric(2, body)
+        };
+        let (a, b) = (run(), run());
         assert_eq!(a.results, b.results);
         assert_eq!(a.trace.schedule(), b.trace.schedule());
     }
@@ -494,16 +759,16 @@ mod tests {
     #[test]
     fn sequential_schedule_serializes() {
         // Run P0 to completion before P1 starts.
-        let cfg = SimConfig::new(vec![0u64; 2]);
-        let out = run_symmetric(&cfg, &mut Replay::strict(vec![0, 0, 1, 1]), 2, body);
+        let out = SimBuilder::new(vec![0u64; 2])
+            .strategy(Replay::strict(vec![0, 0, 1, 1]))
+            .run_symmetric(2, body);
         let res = out.unwrap_results();
         assert_eq!(res, vec![0, 1]); // P0 reads before P1 writes
     }
 
     #[test]
     fn step_counts_are_exact() {
-        let cfg = SimConfig::new(vec![0u64; 2]);
-        let out = run_symmetric(&cfg, &mut RoundRobin::new(), 2, body);
+        let out = SimBuilder::new(vec![0u64; 2]).run_symmetric(2, body);
         for p in 0..2 {
             assert_eq!(
                 out.counts[p],
@@ -531,13 +796,26 @@ mod tests {
                 Decision::Step(view.runnable[0])
             }
         }
-        let cfg = SimConfig::new(vec![0u64; 2]);
-        let out = run_symmetric(&cfg, &mut CrashP1ThenRR { crashed: false }, 2, body);
+        let out = SimBuilder::new(vec![0u64; 2])
+            .strategy(CrashP1ThenRR { crashed: false })
+            .run_symmetric(2, body);
         out.assert_no_panics();
         assert_eq!(out.results[0], Some(0)); // P1 never wrote
         assert_eq!(out.results[1], None);
         assert!(out.crashed[1]);
         assert!(!out.halted);
+    }
+
+    #[test]
+    fn builder_crash_plan_fires() {
+        // Crash P1 before it takes a single step; P0 proceeds alone.
+        let out = SimBuilder::new(vec![0u64; 2])
+            .crash_at(1, 0)
+            .run_symmetric(2, body);
+        out.assert_no_panics();
+        assert_eq!(out.results[0], Some(0));
+        assert_eq!(out.results[1], None);
+        assert!(out.crashed[1]);
     }
 
     #[test]
@@ -548,16 +826,18 @@ mod tests {
                 Decision::Halt
             }
         }
-        let cfg = SimConfig::new(vec![0u64; 2]);
-        let out = run_symmetric(&cfg, &mut HaltNow, 2, body);
+        let out = SimBuilder::new(vec![0u64; 2])
+            .strategy(HaltNow)
+            .run_symmetric(2, body);
         assert!(out.halted);
         assert_eq!(out.results, vec![None, None]);
     }
 
     #[test]
     fn step_budget_halts() {
-        let cfg = SimConfig::new(vec![0u64; 2]).with_max_steps(1);
-        let out = run_symmetric(&cfg, &mut RoundRobin::new(), 2, body);
+        let out = SimBuilder::new(vec![0u64; 2])
+            .max_steps(1)
+            .run_symmetric(2, body);
         assert!(out.halted);
         assert_eq!(out.trace.len(), 1);
     }
@@ -565,50 +845,144 @@ mod tests {
     #[test]
     #[should_panic(expected = "SWMR violation")]
     fn swmr_violation_is_caught() {
-        let cfg = SimConfig::new(vec![0u64; 2]).with_owners(vec![0, 1]);
         // The SWMR assertion fires in the scheduler loop, which runs on
-        // the calling thread, so run_sim itself panics.
-        let _: SimOutcome<u64, ()> = run_sim(
-            &cfg,
-            &mut RoundRobin::new(),
-            vec![Box::new(|ctx: &mut SimCtx<u64>| {
-                ctx.write(1, 9); // P0 writes P1's register
-            }) as ProcBody<'_, u64, ()>],
-        );
+        // the calling thread, so run itself panics.
+        let _: SimOutcome<u64, ()> =
+            SimBuilder::new(vec![0u64; 2])
+                .owners(vec![0, 1])
+                .run(vec![Box::new(|ctx: &mut SimCtx<u64>| {
+                    ctx.write(1, 9); // P0 writes P1's register
+                }) as ProcBody<'_, u64, ()>]);
     }
 
     #[test]
     fn genuine_panics_are_reported() {
-        let cfg = SimConfig::new(vec![0u64; 1]);
-        let out: SimOutcome<u64, ()> = run_sim(
-            &cfg,
-            &mut RoundRobin::new(),
-            vec![Box::new(|ctx: &mut SimCtx<u64>| {
+        let out: SimOutcome<u64, ()> =
+            SimBuilder::new(vec![0u64; 1]).run(vec![Box::new(|ctx: &mut SimCtx<u64>| {
                 let _ = ctx.read(0);
                 panic!("algorithm bug");
-            }) as ProcBody<'_, u64, ()>],
-        );
+            }) as ProcBody<'_, u64, ()>]);
         assert_eq!(out.panics[0].as_deref(), Some("algorithm bug"));
         assert_eq!(out.results[0], None);
     }
 
     #[test]
     fn memory_reflects_final_state() {
-        let cfg = SimConfig::new(vec![0u64; 2]);
-        let out = run_symmetric(&cfg, &mut RoundRobin::new(), 2, body);
+        let out = SimBuilder::new(vec![0u64; 2]).run_symmetric(2, body);
         assert_eq!(out.memory, vec![1, 2]);
     }
 
     #[test]
     fn bodies_may_borrow_environment() {
         let data = vec![10u64, 20];
-        let cfg = SimConfig::new(vec![0u64; 2]);
         let data_ref = &data;
-        let out = run_symmetric(&cfg, &mut RoundRobin::new(), 2, move |ctx| {
+        let out = SimBuilder::new(vec![0u64; 2]).run_symmetric(2, move |ctx| {
             let v = data_ref[ctx.proc()];
             ctx.write(ctx.proc(), v);
             v
         });
         assert_eq!(out.unwrap_results(), vec![10, 20]);
+    }
+
+    #[test]
+    fn borrowed_strategy_carries_state_across_runs() {
+        // One Replay strategy driven through two runs: the second run
+        // continues where the first left off (then falls back to RR).
+        let mut replay = Replay::lenient(vec![0, 0, 1, 1, 1, 1, 0, 0]);
+        let mut builder = SimBuilder::new(vec![0u64; 2]).strategy_ref(&mut replay);
+        let a = builder.run_symmetric(2, body);
+        let b = builder.run_symmetric(2, body);
+        assert_eq!(a.trace.schedule(), vec![0, 0, 1, 1]);
+        assert_eq!(b.trace.schedule(), vec![1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn builder_is_reusable_and_deterministic() {
+        let mut builder = SimBuilder::new(vec![0u64; 2]);
+        let a = builder.run_symmetric(2, body);
+        let b = builder.run_symmetric(2, body);
+        // RoundRobin keeps its cursor between runs, but with all
+        // processes always runnable the interleaving repeats.
+        assert_eq!(a.trace.schedule(), b.trace.schedule());
+        assert_eq!(a.results, b.results);
+    }
+
+    #[test]
+    fn metrics_off_by_default() {
+        let out = SimBuilder::new(vec![0u64; 2]).run_symmetric(2, body);
+        assert!(!out.metrics.enabled());
+        assert!(out.metrics.registers.is_empty());
+    }
+
+    #[test]
+    fn metrics_agree_with_trace_counts() {
+        let out = SimBuilder::new(vec![0u64; 2])
+            .metrics(MetricsLevel::Full)
+            .strategy(SeededRandom::new(9))
+            .run_symmetric(2, body);
+        out.assert_no_panics();
+        // The per-process histogram is exactly Trace::counts.
+        assert_eq!(out.metrics.histogram, out.trace.counts(2));
+        assert_eq!(out.metrics.histogram, out.counts);
+        // Register totals tally with the trace length.
+        assert_eq!(
+            out.metrics.total_reads() + out.metrics.total_writes(),
+            out.trace.len() as u64
+        );
+    }
+
+    #[test]
+    fn contention_is_attributed_exactly() {
+        // Under strict replay both processes are blocked on register 0
+        // at every decision point, so every serviced access is contended
+        // ... except the final step, where only one process remains.
+        let out = SimBuilder::new(vec![0u64; 1])
+            .metrics(MetricsLevel::Full)
+            .strategy(Replay::strict(vec![0, 1, 0, 1]))
+            .run_symmetric(2, |ctx: &mut SimCtx<u64>| {
+                let v = ctx.read(0);
+                ctx.write(0, v + 1);
+            });
+        out.assert_no_panics();
+        assert_eq!(out.metrics.registers[0].reads, 2);
+        assert_eq!(out.metrics.registers[0].writes, 2);
+        assert_eq!(out.metrics.registers[0].contended, 3);
+        // Counts level drops the contention column but keeps totals.
+        let out2 = SimBuilder::new(vec![0u64; 1])
+            .metrics(MetricsLevel::Counts)
+            .strategy(Replay::strict(vec![0, 1, 0, 1]))
+            .run_symmetric(2, |ctx: &mut SimCtx<u64>| {
+                let v = ctx.read(0);
+                ctx.write(0, v + 1);
+            });
+        assert_eq!(out2.metrics.registers[0].reads, 2);
+        assert_eq!(out2.metrics.registers[0].contended, 0);
+    }
+
+    #[test]
+    fn builder_explore_covers_all_interleavings() {
+        let builder = SimBuilder::new(vec![0u64; 2]);
+        let mut runs = 0u64;
+        let stats = builder.explore(
+            &ExploreConfig::default(),
+            || {
+                (0..2)
+                    .map(|p| {
+                        Box::new(move |ctx: &mut SimCtx<u64>| {
+                            ctx.write(p, p as u64 + 1);
+                            ctx.read(1 - p)
+                        }) as ProcBody<'static, u64, u64>
+                    })
+                    .collect()
+            },
+            |out| {
+                out.assert_no_panics();
+                runs += 1;
+                true
+            },
+        );
+        assert!(stats.exhausted);
+        assert_eq!(stats.runs, 6); // C(4,2) interleavings
+        assert_eq!(runs, 6);
     }
 }

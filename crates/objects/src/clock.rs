@@ -97,7 +97,7 @@ impl LamportClockHandle {
 mod tests {
     use super::*;
     use apram_model::sim::strategy::SeededRandom;
-    use apram_model::sim::{run_symmetric, SimConfig};
+    use apram_model::sim::SimBuilder;
     use apram_model::NativeMemory;
     use std::collections::HashSet;
 
@@ -128,15 +128,17 @@ mod tests {
         for seed in 0..20u64 {
             let n = 4;
             let clk = LamportClock::new(n);
-            let cfg = SimConfig::new(clk.registers()).with_owners(clk.owners());
-            let out = run_symmetric(&cfg, &mut SeededRandom::new(seed), n, move |ctx| {
-                let mut h = clk.handle();
-                let mut mine = Vec::new();
-                for _ in 0..3 {
-                    mine.push(h.tick(ctx));
-                }
-                mine
-            });
+            let out = SimBuilder::new(clk.registers())
+                .owners(clk.owners())
+                .strategy(SeededRandom::new(seed))
+                .run_symmetric(n, move |ctx| {
+                    let mut h = clk.handle();
+                    let mut mine = Vec::new();
+                    for _ in 0..3 {
+                        mine.push(h.tick(ctx));
+                    }
+                    mine
+                });
             let per_proc = out.unwrap_results();
             let mut all: Vec<Stamp> = Vec::new();
             for (p, stamps) in per_proc.iter().enumerate() {

@@ -205,7 +205,7 @@ mod tests {
     use apram_history::check::{check_linearizable, CheckerConfig};
     use apram_history::Recorder;
     use apram_model::sim::strategy::{CrashAt, RoundRobin, SeededRandom};
-    use apram_model::sim::{run_symmetric, SimConfig};
+    use apram_model::sim::SimBuilder;
     use apram_model::NativeMemory;
 
     #[test]
@@ -253,22 +253,24 @@ mod tests {
         for seed in 0..15u64 {
             let n = 3;
             let c = DirectCounter::new(n);
-            let cfg = SimConfig::new(c.registers()).with_owners(c.owners());
             let rec: Recorder<CounterOp, CounterResp> = Recorder::new();
             let rec2 = rec.clone();
-            let out = run_symmetric(&cfg, &mut SeededRandom::new(seed), n, move |ctx| {
-                let p = ctx.proc();
-                let mut h = c.handle();
-                rec2.invoke(p, CounterOp::Inc(p as i64 + 1));
-                h.inc(ctx, p as u64 + 1);
-                rec2.respond(p, CounterResp::Ack);
-                rec2.invoke(p, CounterOp::Read);
-                let v = h.read(ctx);
-                rec2.respond(p, CounterResp::Value(v));
-                rec2.invoke(p, CounterOp::Dec(1));
-                h.dec(ctx, 1);
-                rec2.respond(p, CounterResp::Ack);
-            });
+            let out = SimBuilder::new(c.registers())
+                .owners(c.owners())
+                .strategy(SeededRandom::new(seed))
+                .run_symmetric(n, move |ctx| {
+                    let p = ctx.proc();
+                    let mut h = c.handle();
+                    rec2.invoke(p, CounterOp::Inc(p as i64 + 1));
+                    h.inc(ctx, p as u64 + 1);
+                    rec2.respond(p, CounterResp::Ack);
+                    rec2.invoke(p, CounterOp::Read);
+                    let v = h.read(ctx);
+                    rec2.respond(p, CounterResp::Value(v));
+                    rec2.invoke(p, CounterOp::Dec(1));
+                    h.dec(ctx, 1);
+                    rec2.respond(p, CounterResp::Ack);
+                });
             out.assert_no_panics();
             let hist = rec.snapshot();
             assert!(
@@ -284,13 +286,15 @@ mod tests {
     fn direct_counter_survives_crashes() {
         let n = 3;
         let c = DirectCounter::new(n);
-        let cfg = SimConfig::new(c.registers()).with_owners(c.owners());
         let mut strategy = CrashAt::new(RoundRobin::new(), vec![(1, 6), (2, 13)]);
-        let out = run_symmetric(&cfg, &mut strategy, n, move |ctx| {
-            let mut h = c.handle();
-            h.inc(ctx, 10);
-            h.read(ctx)
-        });
+        let out = SimBuilder::new(c.registers())
+            .owners(c.owners())
+            .strategy_ref(&mut strategy)
+            .run_symmetric(n, move |ctx| {
+                let mut h = c.handle();
+                h.inc(ctx, 10);
+                h.read(ctx)
+            });
         out.assert_no_panics();
         let v = out.results[0].expect("survivor finishes");
         assert!(v >= 10, "own inc must be visible: {v}");

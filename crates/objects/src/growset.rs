@@ -160,7 +160,7 @@ mod tests {
     use apram_history::check::{check_linearizable, CheckerConfig};
     use apram_history::Recorder;
     use apram_model::sim::strategy::SeededRandom;
-    use apram_model::sim::{run_symmetric, SimConfig};
+    use apram_model::sim::SimBuilder;
     use apram_model::NativeMemory;
 
     #[test]
@@ -201,19 +201,21 @@ mod tests {
         for seed in 0..10u64 {
             let n = 3;
             let s = DirectGrowSet::new(n);
-            let cfg = SimConfig::new(s.registers()).with_owners(s.owners());
             let rec: Recorder<SetOp, SetResp> = Recorder::new();
             let rec2 = rec.clone();
-            let out = run_symmetric(&cfg, &mut SeededRandom::new(seed), n, move |ctx| {
-                let p = ctx.proc() as u64;
-                let mut h = s.handle();
-                rec2.invoke(ctx.proc(), SetOp::Add(p));
-                h.add(ctx, p);
-                rec2.respond(ctx.proc(), SetResp::Ack);
-                rec2.invoke(ctx.proc(), SetOp::Elements);
-                let e = h.elements(ctx);
-                rec2.respond(ctx.proc(), SetResp::Set(e));
-            });
+            let out = SimBuilder::new(s.registers())
+                .owners(s.owners())
+                .strategy(SeededRandom::new(seed))
+                .run_symmetric(n, move |ctx| {
+                    let p = ctx.proc() as u64;
+                    let mut h = s.handle();
+                    rec2.invoke(ctx.proc(), SetOp::Add(p));
+                    h.add(ctx, p);
+                    rec2.respond(ctx.proc(), SetResp::Ack);
+                    rec2.invoke(ctx.proc(), SetOp::Elements);
+                    let e = h.elements(ctx);
+                    rec2.respond(ctx.proc(), SetResp::Set(e));
+                });
             out.assert_no_panics();
             let hist = rec.snapshot();
             assert!(
@@ -262,24 +264,26 @@ mod tests {
         for seed in 0..8u64 {
             let n = 2;
             let uni = Universal::new(n, GrowSetSpec);
-            let cfg = SimConfig::new(uni.registers()).with_owners(uni.owners());
             let rec: Recorder<SetOp, SetResp> = Recorder::new();
             let rec2 = rec.clone();
             let uni2 = uni.clone();
-            let out = run_symmetric(&cfg, &mut SeededRandom::new(seed), n, move |ctx| {
-                let p = ctx.proc();
-                let mut h = uni2.handle();
-                let ops = if p == 0 {
-                    vec![SetOp::Add(1), SetOp::Elements]
-                } else {
-                    vec![SetOp::Clear, SetOp::Contains(1)]
-                };
-                for op in ops {
-                    rec2.invoke(p, op.clone());
-                    let r = h.execute(ctx, op);
-                    rec2.respond(p, r);
-                }
-            });
+            let out = SimBuilder::new(uni.registers())
+                .owners(uni.owners())
+                .strategy(SeededRandom::new(seed))
+                .run_symmetric(n, move |ctx| {
+                    let p = ctx.proc();
+                    let mut h = uni2.handle();
+                    let ops = if p == 0 {
+                        vec![SetOp::Add(1), SetOp::Elements]
+                    } else {
+                        vec![SetOp::Clear, SetOp::Contains(1)]
+                    };
+                    for op in ops {
+                        rec2.invoke(p, op.clone());
+                        let r = h.execute(ctx, op);
+                        rec2.respond(p, r);
+                    }
+                });
             out.assert_no_panics();
             let hist = rec.snapshot();
             assert!(

@@ -116,7 +116,7 @@ mod tests {
     use apram_history::check::{check_linearizable, CheckerConfig};
     use apram_history::Recorder;
     use apram_model::sim::strategy::{Pct, SeededRandom};
-    use apram_model::sim::{run_symmetric, SimConfig};
+    use apram_model::sim::SimBuilder;
     use apram_model::{MemCtx, NativeMemory};
 
     fn op_pool() -> Vec<MapOp> {
@@ -210,7 +210,7 @@ mod tests {
             for use_pct in [false, true] {
                 let n = 3;
                 let uni = Universal::new(n, LwwMapSpec);
-                let cfg = SimConfig::new(uni.registers()).with_owners(uni.owners());
+                let sim = SimBuilder::new(uni.registers()).owners(uni.owners());
                 let rec: Recorder<MapOp, MapResp> = Recorder::new();
                 let rec2 = rec.clone();
                 let uni2 = uni.clone();
@@ -230,12 +230,12 @@ mod tests {
                         rec2.respond(p, r);
                     }
                 };
-                let out = if use_pct {
-                    let mut s = Pct::new(seed, n, 3, 200);
-                    run_symmetric(&cfg, &mut s, n, body)
+                let mut sim = if use_pct {
+                    sim.strategy(Pct::new(seed, n, 3, 200))
                 } else {
-                    run_symmetric(&cfg, &mut SeededRandom::new(seed), n, body)
+                    sim.strategy(SeededRandom::new(seed))
                 };
+                let out = sim.run_symmetric(n, body);
                 out.assert_no_panics();
                 let hist = rec.snapshot();
                 assert!(

@@ -138,7 +138,7 @@ mod tests {
     use apram_history::check::{check_linearizable, CheckerConfig};
     use apram_history::Recorder;
     use apram_model::sim::strategy::SeededRandom;
-    use apram_model::sim::{run_symmetric, SimConfig};
+    use apram_model::sim::SimBuilder;
     use apram_model::NativeMemory;
 
     #[test]
@@ -187,19 +187,21 @@ mod tests {
         for seed in 0..15u64 {
             let n = 3;
             let r = DirectMaxRegister::new(n);
-            let cfg = SimConfig::new(r.registers()).with_owners(r.owners());
             let rec: Recorder<MaxRegOp, MaxRegResp> = Recorder::new();
             let rec2 = rec.clone();
-            let out = run_symmetric(&cfg, &mut SeededRandom::new(seed), n, move |ctx| {
-                let p = ctx.proc();
-                let mut h = r.handle();
-                rec2.invoke(p, MaxRegOp::WriteMax(p as i64 * 10));
-                h.write_max(ctx, p as i64 * 10);
-                rec2.respond(p, MaxRegResp::Ack);
-                rec2.invoke(p, MaxRegOp::Read);
-                let v = h.read(ctx);
-                rec2.respond(p, MaxRegResp::Value(v));
-            });
+            let out = SimBuilder::new(r.registers())
+                .owners(r.owners())
+                .strategy(SeededRandom::new(seed))
+                .run_symmetric(n, move |ctx| {
+                    let p = ctx.proc();
+                    let mut h = r.handle();
+                    rec2.invoke(p, MaxRegOp::WriteMax(p as i64 * 10));
+                    h.write_max(ctx, p as i64 * 10);
+                    rec2.respond(p, MaxRegResp::Ack);
+                    rec2.invoke(p, MaxRegOp::Read);
+                    let v = h.read(ctx);
+                    rec2.respond(p, MaxRegResp::Value(v));
+                });
             out.assert_no_panics();
             let hist = rec.snapshot();
             assert!(

@@ -23,7 +23,7 @@
 //! randomized native stress against [`MwRegSpec`].
 
 use apram_history::{DetSpec, ProcId};
-use apram_model::MemCtx;
+use apram_model::{MatrixView, MemCtx};
 
 /// A stamped value: ordered by `(tag, author)`, value carried along.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -74,9 +74,15 @@ impl MwRegister {
         vec![Stamped::initial(); self.n]
     }
 
+    /// The register's layout: an `n × 1` matrix of SWMR slots, one row
+    /// per process.
+    pub fn view<T: Clone>(&self) -> MatrixView<Stamped<T>> {
+        MatrixView::root(self.n, 1)
+    }
+
     /// Single-writer owner map.
     pub fn owners(&self) -> Vec<ProcId> {
-        (0..self.n).collect()
+        self.view::<()>().row_owners()
     }
 
     fn collect_max<T, C>(&self, ctx: &mut C) -> Stamped<T>
@@ -84,14 +90,11 @@ impl MwRegister {
         T: Clone,
         C: MemCtx<Stamped<T>>,
     {
-        let mut best: Stamped<T> = ctx.read(0);
-        for q in 1..self.n {
-            let s = ctx.read(q);
-            if s.key() > best.key() {
-                best = s;
-            }
-        }
-        best
+        self.view()
+            .collect_col(ctx, 0)
+            .into_iter()
+            .reduce(|best, s| if s.key() > best.key() { s } else { best })
+            .expect("n >= 1")
     }
 
     /// Write `v` (n reads + 1 write).
@@ -100,12 +103,15 @@ impl MwRegister {
         T: Clone,
         C: MemCtx<Stamped<T>>,
     {
+        let p = ctx.proc();
         let best = self.collect_max(ctx);
-        ctx.write(
-            ctx.proc(),
+        self.view().write_cell(
+            ctx,
+            p,
+            0,
             Stamped {
                 tag: best.tag + 1,
-                author: ctx.proc(),
+                author: p,
                 value: Some(v),
             },
         );
@@ -118,8 +124,9 @@ impl MwRegister {
         T: Clone,
         C: MemCtx<Stamped<T>>,
     {
+        let p = ctx.proc();
         let best = self.collect_max(ctx);
-        ctx.write(ctx.proc(), best.clone());
+        self.view().write_cell(ctx, p, 0, best.clone());
         best.value
     }
 }
@@ -172,9 +179,9 @@ mod tests {
     use super::*;
     use apram_history::check::{check_linearizable, CheckerConfig};
     use apram_history::Recorder;
-    use apram_model::sim::explore::{explore, ExploreConfig};
-    use apram_model::sim::strategy::{CrashAt, RoundRobin, SeededRandom};
-    use apram_model::sim::{run_symmetric, ProcBody, SimConfig, SimCtx};
+    use apram_model::sim::explore::ExploreConfig;
+    use apram_model::sim::strategy::SeededRandom;
+    use apram_model::sim::{ProcBody, SimBuilder, SimCtx};
     use apram_model::NativeMemory;
     use std::cell::RefCell;
     use std::rc::Rc;
@@ -200,7 +207,7 @@ mod tests {
     #[test]
     fn exhaustive_two_processes() {
         let reg = MwRegister::new(2);
-        let cfg = SimConfig::new(reg.registers::<u64>()).with_owners(reg.owners());
+        let sim = SimBuilder::new(reg.registers::<u64>()).owners(reg.owners());
         let spec = MwRegSpec;
         let rec_cell: Rc<RefCell<Option<Recorder<MwRegOp, MwRegResp>>>> =
             Rc::new(RefCell::new(None));
@@ -222,8 +229,7 @@ mod tests {
                 })
                 .collect::<Vec<_>>()
         };
-        let stats = explore(
-            &cfg,
+        let stats = sim.explore(
             &ExploreConfig {
                 max_runs: 200_000,
                 max_depth: usize::MAX,
@@ -241,6 +247,12 @@ mod tests {
         );
         assert!(stats.exhausted, "{stats:?}");
         assert!(stats.runs > 500); // C(12,6) = 924 complete schedules
+                                   // Exploration telemetry: replay work exists and is properly
+                                   // bounded, and the deepest path covers all 12 accesses.
+        assert_eq!(stats.max_depth_reached, 12);
+        assert!(stats.replayed_steps > 0);
+        assert!(stats.replay_ratio() > 0.0 && stats.replay_ratio() < 1.0);
+        assert_eq!(stats.sleep_skips, 0); // plain explore never prunes
     }
 
     /// Three processes (two writers + reader), randomized schedules.
@@ -249,21 +261,23 @@ mod tests {
         for seed in 0..20u64 {
             let n = 3;
             let reg = MwRegister::new(n);
-            let cfg = SimConfig::new(reg.registers::<u64>()).with_owners(reg.owners());
             let rec: Recorder<MwRegOp, MwRegResp> = Recorder::new();
             let rec2 = rec.clone();
-            let out = run_symmetric(&cfg, &mut SeededRandom::new(seed), n, move |ctx| {
-                let p = ctx.proc();
-                for k in 0..2u64 {
-                    let v = p as u64 * 10 + k;
-                    rec2.invoke(p, MwRegOp::Write(v));
-                    reg.write(ctx, v);
-                    rec2.respond(p, MwRegResp::Ack);
-                    rec2.invoke(p, MwRegOp::Read);
-                    let got = reg.read(ctx);
-                    rec2.respond(p, MwRegResp::Value(got));
-                }
-            });
+            let out = SimBuilder::new(reg.registers::<u64>())
+                .owners(reg.owners())
+                .strategy(SeededRandom::new(seed))
+                .run_symmetric(n, move |ctx| {
+                    let p = ctx.proc();
+                    for k in 0..2u64 {
+                        let v = p as u64 * 10 + k;
+                        rec2.invoke(p, MwRegOp::Write(v));
+                        reg.write(ctx, v);
+                        rec2.respond(p, MwRegResp::Ack);
+                        rec2.invoke(p, MwRegOp::Read);
+                        let got = reg.read(ctx);
+                        rec2.respond(p, MwRegResp::Value(got));
+                    }
+                });
             out.assert_no_panics();
             let hist = rec.snapshot();
             assert!(
@@ -310,12 +324,14 @@ mod tests {
     fn crash_tolerant_with_fixed_step_cost() {
         let n = 3;
         let reg = MwRegister::new(n);
-        let cfg = SimConfig::new(reg.registers::<u64>()).with_owners(reg.owners());
-        let mut strategy = CrashAt::new(RoundRobin::new(), vec![(1, 3), (2, 7)]);
-        let out = run_symmetric(&cfg, &mut strategy, n, move |ctx| {
-            reg.write(ctx, 9);
-            reg.read(ctx)
-        });
+        let out = SimBuilder::new(reg.registers::<u64>())
+            .owners(reg.owners())
+            .crash_at(1, 3)
+            .crash_at(2, 7)
+            .run_symmetric(n, move |ctx| {
+                reg.write(ctx, 9);
+                reg.read(ctx)
+            });
         out.assert_no_panics();
         assert_eq!(out.results[0], Some(Some(9)));
         // write: n reads + 1 write; read: n reads + 1 write.

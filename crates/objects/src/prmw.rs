@@ -225,7 +225,7 @@ mod tests {
     use apram_history::check::{check_linearizable, CheckerConfig};
     use apram_history::Recorder;
     use apram_model::sim::strategy::{Pct, SeededRandom};
-    use apram_model::sim::{run_symmetric, SimConfig};
+    use apram_model::sim::SimBuilder;
     use apram_model::NativeMemory;
 
     #[test]
@@ -287,7 +287,7 @@ mod tests {
             let reg: PrmwRegister<AddOp> = PrmwRegister::new(n, 0);
             let spec = AddPrmwSpec { init: 0 };
             for use_pct in [false, true] {
-                let cfg = SimConfig::new(reg.registers()).with_owners(reg.owners());
+                let sim = SimBuilder::new(reg.registers()).owners(reg.owners());
                 let rec: Recorder<PrmwOp, PrmwResp> = Recorder::new();
                 let rec2 = rec.clone();
                 let reg2 = reg.clone();
@@ -301,12 +301,12 @@ mod tests {
                     let v = h.read(ctx);
                     rec2.respond(p, PrmwResp::Value(v));
                 };
-                let out = if use_pct {
-                    let mut s = Pct::new(seed, n, 3, 100);
-                    run_symmetric(&cfg, &mut s, n, body)
+                let mut sim = if use_pct {
+                    sim.strategy(Pct::new(seed, n, 3, 100))
                 } else {
-                    run_symmetric(&cfg, &mut SeededRandom::new(seed), n, body)
+                    sim.strategy(SeededRandom::new(seed))
                 };
+                let out = sim.run_symmetric(n, body);
                 out.assert_no_panics();
                 let hist = rec.snapshot();
                 assert!(

@@ -215,7 +215,7 @@ mod tests {
     use apram_history::spec::{RegOp, RegResp, RegisterSpec};
     use apram_history::History;
     use apram_model::sim::strategy::Replay;
-    use apram_model::sim::{run_sim, ProcBody, SimConfig, SimCtx};
+    use apram_model::sim::{ProcBody, SimBuilder, SimCtx};
     use apram_model::NativeMemory;
 
     #[test]
@@ -238,7 +238,6 @@ mod tests {
     #[test]
     fn new_old_inversion_witness() {
         let reg = RegularRegister::new(0);
-        let cfg = SimConfig::new(RegularRegister::registers::<u64>(1)).with_owners(vec![0]);
         let bodies: Vec<ProcBody<'static, RegCell<u64>, Vec<(u64, Option<u64>)>>> = vec![
             // P0, the writer: one prior write (steady 7), then a write
             // of 8 whose dirty window the reads land in.
@@ -260,7 +259,10 @@ mod tests {
         // then starts write(8): read + dirty write [2 steps]; reader's
         // two reads [2 steps]; writer commits.
         let mut strategy = Replay::strict(vec![0, 0, 0, 0, 0, 1, 1, 0]);
-        let out = run_sim(&cfg, &mut strategy, bodies);
+        let out = SimBuilder::new(RegularRegister::registers::<u64>(1))
+            .owners(vec![0])
+            .strategy_ref(&mut strategy)
+            .run(bodies);
         out.assert_no_panics();
         let reads = out.results[1].clone().unwrap();
         assert_eq!(
@@ -288,7 +290,6 @@ mod tests {
     /// schedule and chooser script.
     #[test]
     fn lamport_construction_fixes_the_witness() {
-        let cfg = SimConfig::new(RegularRegister::registers::<u64>(1)).with_owners(vec![0]);
         let bodies: Vec<ProcBody<'static, RegCell<u64>, Vec<Option<u64>>>> = vec![
             Box::new(move |ctx: &mut SimCtx<RegCell<u64>>| {
                 let mut w = AtomicFromRegular::new(0);
@@ -303,7 +304,10 @@ mod tests {
             }),
         ];
         let mut strategy = Replay::strict(vec![0, 0, 0, 0, 0, 1, 1, 0]);
-        let out = run_sim(&cfg, &mut strategy, bodies);
+        let out = SimBuilder::new(RegularRegister::registers::<u64>(1))
+            .owners(vec![0])
+            .strategy_ref(&mut strategy)
+            .run(bodies);
         out.assert_no_panics();
         let reads = out.results[1].clone().unwrap();
         assert_eq!(
@@ -320,7 +324,6 @@ mod tests {
         use apram_history::Recorder;
         use apram_model::sim::strategy::SeededRandom;
         for seed in 0..25u64 {
-            let cfg = SimConfig::new(RegularRegister::registers::<u64>(1)).with_owners(vec![0]);
             let rec: Recorder<RegOp, RegResp> = Recorder::new();
             let (r1, r2) = (rec.clone(), rec.clone());
             let bodies: Vec<ProcBody<'static, RegCell<u64>, ()>> = vec![
@@ -342,7 +345,10 @@ mod tests {
                     }
                 }),
             ];
-            let out = run_sim(&cfg, &mut SeededRandom::new(seed), bodies);
+            let out = SimBuilder::new(RegularRegister::registers::<u64>(1))
+                .owners(vec![0])
+                .strategy(SeededRandom::new(seed))
+                .run(bodies);
             out.assert_no_panics();
             let hist = rec.snapshot();
             assert!(
@@ -362,7 +368,6 @@ mod tests {
         let mut violated = false;
         for seed in 0..200u64 {
             let reg = RegularRegister::new(0);
-            let cfg = SimConfig::new(RegularRegister::registers::<u64>(1)).with_owners(vec![0]);
             let rec: Recorder<RegOp, RegResp> = Recorder::new();
             let (r1, r2) = (rec.clone(), rec.clone());
             let bodies: Vec<ProcBody<'static, RegCell<u64>, ()>> = vec![
@@ -382,7 +387,10 @@ mod tests {
                     }
                 }),
             ];
-            let out = run_sim(&cfg, &mut SeededRandom::new(seed), bodies);
+            let out = SimBuilder::new(RegularRegister::registers::<u64>(1))
+                .owners(vec![0])
+                .strategy(SeededRandom::new(seed))
+                .run(bodies);
             out.assert_no_panics();
             let hist = rec.snapshot();
             if !check_linearizable(&RegisterSpec, &hist, &CheckerConfig::default()).is_ok() {

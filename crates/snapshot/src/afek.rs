@@ -142,9 +142,9 @@ mod tests {
     use crate::snapshot::{SnapOp, SnapResp, SnapshotSpec};
     use apram_history::check::{check_linearizable, CheckerConfig};
     use apram_history::Recorder;
-    use apram_model::sim::explore::{explore, ExploreConfig};
+    use apram_model::sim::explore::ExploreConfig;
     use apram_model::sim::strategy::{CrashAt, Pct, RoundRobin, SeededRandom};
-    use apram_model::sim::{run_symmetric, ProcBody, SimConfig, SimCtx};
+    use apram_model::sim::{ProcBody, SimBuilder, SimCtx};
     use apram_model::NativeMemory;
     use std::cell::RefCell;
     use std::rc::Rc;
@@ -170,18 +170,15 @@ mod tests {
     fn quiet_operation_costs() {
         for n in [2usize, 4, 8] {
             let snap = AfekSnapshot::new(n);
-            let cfg = SimConfig::new(snap.registers::<u32>()).with_owners(snap.owners());
             // One process runs alone (others never scheduled): quiet.
-            let out = run_symmetric(
-                &cfg,
-                &mut apram_model::sim::strategy::PrioritizeLowest,
-                1,
-                move |ctx| {
+            let out = SimBuilder::new(snap.registers::<u32>())
+                .owners(snap.owners())
+                .strategy(apram_model::sim::strategy::PrioritizeLowest)
+                .run_symmetric(1, move |ctx| {
                     let before = snap.snap::<u32, _>(ctx);
                     snap.update(ctx, 7);
                     before
-                },
-            );
+                });
             out.assert_no_panics();
             // snap: 2n reads; update: 2n reads + 1 read + 1 write.
             assert_eq!(out.counts[0].reads, (2 * n + 2 * n + 1) as u64, "n={n}");
@@ -194,7 +191,6 @@ mod tests {
     #[test]
     fn exhaustive_two_processes() {
         let snap = AfekSnapshot::new(2);
-        let cfg = SimConfig::new(snap.registers::<u32>()).with_owners(snap.owners());
         let spec = SnapshotSpec::<u32>::new(2);
         let rec_cell: Rc<RefCell<Option<Recorder<SnapOp<u32>, SnapResp<u32>>>>> =
             Rc::new(RefCell::new(None));
@@ -217,23 +213,24 @@ mod tests {
                 })
                 .collect::<Vec<_>>()
         };
-        let stats = explore(
-            &cfg,
-            &ExploreConfig {
-                max_runs: 100_000,
-                max_depth: 14,
-            },
-            make,
-            |out| {
-                out.assert_no_panics();
-                let hist = rec_cell.borrow_mut().take().unwrap().snapshot();
-                assert!(
-                    check_linearizable(&spec, &hist, &CheckerConfig::default()).is_ok(),
-                    "non-linearizable Afek snapshot history: {hist:?}"
-                );
-                true
-            },
-        );
+        let stats = SimBuilder::new(snap.registers::<u32>())
+            .owners(snap.owners())
+            .explore(
+                &ExploreConfig {
+                    max_runs: 100_000,
+                    max_depth: 14,
+                },
+                make,
+                |out| {
+                    out.assert_no_panics();
+                    let hist = rec_cell.borrow_mut().take().unwrap().snapshot();
+                    assert!(
+                        check_linearizable(&spec, &hist, &CheckerConfig::default()).is_ok(),
+                        "non-linearizable Afek snapshot history: {hist:?}"
+                    );
+                    true
+                },
+            );
         assert!(stats.runs > 100, "{stats:?}");
     }
 
@@ -244,7 +241,7 @@ mod tests {
             for use_pct in [false, true] {
                 let n = 3;
                 let snap = AfekSnapshot::new(n);
-                let cfg = SimConfig::new(snap.registers::<u32>()).with_owners(snap.owners());
+                let sim = SimBuilder::new(snap.registers::<u32>()).owners(snap.owners());
                 let rec: Recorder<SnapOp<u32>, SnapResp<u32>> = Recorder::new();
                 let rec2 = rec.clone();
                 let body = move |ctx: &mut SimCtx<AfekReg<u32>>| {
@@ -259,12 +256,12 @@ mod tests {
                         rec2.respond(p, SnapResp::View(view));
                     }
                 };
-                let out = if use_pct {
-                    let mut s = Pct::new(seed, n, 3, 400);
-                    run_symmetric(&cfg, &mut s, n, body)
+                let mut sim = if use_pct {
+                    sim.strategy(Pct::new(seed, n, 3, 400))
                 } else {
-                    run_symmetric(&cfg, &mut SeededRandom::new(seed), n, body)
+                    sim.strategy(SeededRandom::new(seed))
                 };
+                let out = sim.run_symmetric(n, body);
                 out.assert_no_panics();
                 let hist = rec.snapshot();
                 assert!(
@@ -286,9 +283,6 @@ mod tests {
     fn scanner_terminates_under_perpetual_writer() {
         let n = 2;
         let snap = AfekSnapshot::new(n);
-        let cfg = SimConfig::new(snap.registers::<u64>())
-            .with_owners(snap.owners())
-            .with_max_steps(200_000);
         // Same interposing adversary that starves the double-collect
         // baseline (one writer step between the scanner's collects).
         let mut k = 0u64;
@@ -310,7 +304,11 @@ mod tests {
                 None
             }),
         ];
-        let out = apram_model::sim::run_sim(&cfg, &mut interpose, bodies);
+        let out = apram_model::sim::SimBuilder::new(snap.registers::<u64>())
+            .owners(snap.owners())
+            .max_steps(200_000)
+            .strategy_ref(&mut interpose)
+            .run(bodies);
         out.assert_no_panics();
         let view = out.results[0].clone().expect("scanner must terminate");
         assert!(view.is_some(), "borrowed or quiet view returned");
@@ -322,12 +320,14 @@ mod tests {
     fn survivor_completes_despite_crashes() {
         let n = 3;
         let snap = AfekSnapshot::new(n);
-        let cfg = SimConfig::new(snap.registers::<u32>()).with_owners(snap.owners());
         let mut strategy = CrashAt::new(RoundRobin::new(), vec![(1, 5), (2, 9)]);
-        let out = run_symmetric(&cfg, &mut strategy, n, move |ctx| {
-            snap.update(ctx, 1);
-            snap.snap(ctx)
-        });
+        let out = SimBuilder::new(snap.registers::<u32>())
+            .owners(snap.owners())
+            .strategy_ref(&mut strategy)
+            .run_symmetric(n, move |ctx| {
+                snap.update(ctx, 1);
+                snap.snap(ctx)
+            });
         out.assert_no_panics();
         let view = out.results[0].clone().expect("survivor finishes");
         assert_eq!(view[0], Some(1));

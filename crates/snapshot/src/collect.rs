@@ -138,9 +138,9 @@ mod tests {
     use crate::snapshot::{SnapOp, SnapResp, SnapshotSpec};
     use apram_history::check::{check_linearizable, CheckerConfig};
     use apram_history::Recorder;
-    use apram_model::sim::explore::{explore, ExploreConfig};
+    use apram_model::sim::explore::ExploreConfig;
     use apram_model::sim::strategy::{Decision, SchedView, SeededRandom};
-    use apram_model::sim::{run_sim, run_symmetric, ProcBody, SimConfig, SimCtx};
+    use apram_model::sim::{ProcBody, SimBuilder, SimCtx};
     use apram_model::NativeMemory;
 
     #[test]
@@ -163,9 +163,6 @@ mod tests {
     #[test]
     fn double_collect_starves_under_adversary() {
         let arr = CollectArray::new(2);
-        let cfg = SimConfig::new(arr.registers::<u64>())
-            .with_owners(arr.owners())
-            .with_max_steps(5_000);
         // Adversary: let the scanner take one full collect (2 reads),
         // then interpose one writer step, forever. Consecutive collects
         // then always differ in slot 1's tag.
@@ -192,7 +189,11 @@ mod tests {
                 true
             }),
         ];
-        let out = run_sim(&cfg, &mut interpose, bodies);
+        let out = SimBuilder::new(arr.registers::<u64>())
+            .owners(arr.owners())
+            .max_steps(5_000)
+            .strategy_ref(&mut interpose)
+            .run(bodies);
         out.assert_no_panics();
         // The scanner gave up: 200 collects, no clean double collect.
         assert_eq!(out.results[0], Some(false), "scanner should starve");
@@ -205,7 +206,6 @@ mod tests {
         use std::cell::RefCell;
         use std::rc::Rc;
         let arr = CollectArray::new(2);
-        let cfg = SimConfig::new(arr.registers::<u32>()).with_owners(arr.owners());
         let spec = SnapshotSpec::<u32>::new(2);
         let rec_cell: Rc<RefCell<Option<Recorder<SnapOp<u32>, SnapResp<u32>>>>> =
             Rc::new(RefCell::new(None));
@@ -229,23 +229,24 @@ mod tests {
                 })
                 .collect::<Vec<_>>()
         };
-        let stats = explore(
-            &cfg,
-            &ExploreConfig {
-                max_runs: 100_000,
-                max_depth: 12,
-            },
-            make,
-            |out| {
-                out.assert_no_panics();
-                let hist = rec_cell.borrow_mut().take().unwrap().snapshot();
-                assert!(
-                    check_linearizable(&spec, &hist, &CheckerConfig::default()).is_ok(),
-                    "double-collect produced non-linearizable history: {hist:?}"
-                );
-                true
-            },
-        );
+        let stats = SimBuilder::new(arr.registers::<u32>())
+            .owners(arr.owners())
+            .explore(
+                &ExploreConfig {
+                    max_runs: 100_000,
+                    max_depth: 12,
+                },
+                make,
+                |out| {
+                    out.assert_no_panics();
+                    let hist = rec_cell.borrow_mut().take().unwrap().snapshot();
+                    assert!(
+                        check_linearizable(&spec, &hist, &CheckerConfig::default()).is_ok(),
+                        "double-collect produced non-linearizable history: {hist:?}"
+                    );
+                    true
+                },
+            );
         assert!(stats.runs > 50, "{stats:?}");
     }
 
@@ -260,7 +261,6 @@ mod tests {
         use apram_history::History;
         use apram_model::sim::strategy::Replay;
         let arr = CollectArray::new(3);
-        let cfg = SimConfig::new(arr.registers::<u32>()).with_owners(arr.owners());
         let bodies: Vec<ProcBody<'static, Tagged<u32>, Option<Vec<Option<u32>>>>> = vec![
             Box::new(move |ctx: &mut SimCtx<Tagged<u32>>| Some(naive_collect(&arr, ctx))),
             Box::new(move |ctx: &mut SimCtx<Tagged<u32>>| {
@@ -275,7 +275,10 @@ mod tests {
         // Steps: P0 reads r0, r1 (empty); P1 writes r1 (completes);
         // P2 writes r2 (starts after P1 ended); P0 reads r2.
         let mut strategy = Replay::strict(vec![0, 0, 1, 2, 0]);
-        let out = run_sim(&cfg, &mut strategy, bodies);
+        let out = SimBuilder::new(arr.registers::<u32>())
+            .owners(arr.owners())
+            .strategy_ref(&mut strategy)
+            .run(bodies);
         out.assert_no_panics();
         let view = out.results[0].clone().unwrap().unwrap();
         assert_eq!(view, vec![None, None, Some(2)], "witness schedule changed?");
@@ -302,12 +305,14 @@ mod tests {
     fn double_collect_randomized() {
         for seed in 0..10u64 {
             let arr = CollectArray::new(3);
-            let cfg = SimConfig::new(arr.registers::<u64>()).with_owners(arr.owners());
-            let out = run_symmetric(&cfg, &mut SeededRandom::new(seed), 3, move |ctx| {
-                let mut h = DoubleCollect::new(arr);
-                h.update(ctx, ctx.proc() as u64);
-                h.snap_bounded(ctx, 10_000)
-            });
+            let out = SimBuilder::new(arr.registers::<u64>())
+                .owners(arr.owners())
+                .strategy(SeededRandom::new(seed))
+                .run_symmetric(3, move |ctx| {
+                    let mut h = DoubleCollect::new(arr);
+                    h.update(ctx, ctx.proc() as u64);
+                    h.snap_bounded(ctx, 10_000)
+                });
             let results = out.unwrap_results();
             for (p, r) in results.iter().enumerate() {
                 let view = r.as_ref().expect("fair schedule should terminate");

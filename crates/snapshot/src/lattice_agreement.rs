@@ -88,7 +88,7 @@ mod tests {
     use super::*;
     use apram_lattice::{SetUnion, VectorClock};
     use apram_model::sim::strategy::{CrashAt, RoundRobin, SeededRandom};
-    use apram_model::sim::{run_symmetric, SimConfig};
+    use apram_model::sim::SimBuilder;
     use apram_model::NativeMemory;
 
     #[test]
@@ -112,10 +112,12 @@ mod tests {
         for seed in 0..30u64 {
             let n = 4;
             let la = LatticeAgreement::new(n);
-            let cfg = SimConfig::new(la.registers::<SetUnion<usize>>()).with_owners(la.owners());
-            let out = run_symmetric(&cfg, &mut SeededRandom::new(seed), n, move |ctx| {
-                la.propose(ctx, SetUnion::singleton(ctx.proc()))
-            });
+            let out = SimBuilder::new(la.registers::<SetUnion<usize>>())
+                .owners(la.owners())
+                .strategy(SeededRandom::new(seed))
+                .run_symmetric(n, move |ctx| {
+                    la.propose(ctx, SetUnion::singleton(ctx.proc()))
+                });
             let outs = out.unwrap_results();
             let ins: Vec<SetUnion<usize>> = (0..n).map(SetUnion::singleton).collect();
             assert!(
@@ -130,12 +132,14 @@ mod tests {
         for seed in 40..55u64 {
             let n = 3;
             let la = LatticeAgreement::new(n);
-            let cfg = SimConfig::new(la.registers::<VectorClock>()).with_owners(la.owners());
-            let out = run_symmetric(&cfg, &mut SeededRandom::new(seed), n, move |ctx| {
-                let mut input = VectorClock::zero(n);
-                input.tick(ctx.proc());
-                la.propose(ctx, input)
-            });
+            let out = SimBuilder::new(la.registers::<VectorClock>())
+                .owners(la.owners())
+                .strategy(SeededRandom::new(seed))
+                .run_symmetric(n, move |ctx| {
+                    let mut input = VectorClock::zero(n);
+                    input.tick(ctx.proc());
+                    la.propose(ctx, input)
+                });
             let outs = out.unwrap_results();
             let ins: Vec<VectorClock> = (0..n)
                 .map(|p| {
@@ -152,11 +156,13 @@ mod tests {
     fn survivor_decides_despite_crashes() {
         let n = 3;
         let la = LatticeAgreement::new(n);
-        let cfg = SimConfig::new(la.registers::<SetUnion<usize>>()).with_owners(la.owners());
         let mut strategy = CrashAt::new(RoundRobin::new(), vec![(1, 4), (2, 8)]);
-        let out = run_symmetric(&cfg, &mut strategy, n, move |ctx| {
-            la.propose(ctx, SetUnion::singleton(ctx.proc()))
-        });
+        let out = SimBuilder::new(la.registers::<SetUnion<usize>>())
+            .owners(la.owners())
+            .strategy_ref(&mut strategy)
+            .run_symmetric(n, move |ctx| {
+                la.propose(ctx, SetUnion::singleton(ctx.proc()))
+            });
         out.assert_no_panics();
         let y = out.results[0].clone().expect("survivor decides");
         assert!(y.contains(&0));

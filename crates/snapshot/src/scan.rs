@@ -30,20 +30,21 @@
 
 use apram_lattice::JoinSemilattice;
 use apram_model::ctx::Matrix;
-use apram_model::{MemCtx, ProcId};
+use apram_model::{MatrixView, MemCtx, ProcId};
 
 /// The layout and procedures of one atomic scan object for `n` processes.
 ///
 /// The object occupies `n × (n+2)` registers of lattice type `L`
 /// (the paper's `scan[1..n][0..n+1]` matrix), each initialized to ⊥ and
-/// writable only by its row owner.
+/// writable only by its row owner. All register addressing goes through a
+/// [`MatrixView`], so offsets never leak into the procedures.
 #[derive(Clone, Copy, Debug)]
 pub struct ScanObject {
     n: usize,
-    matrix: Matrix,
-    /// First register index of the matrix within the memory (lets several
-    /// objects share one register array).
-    base: usize,
+    /// Untyped view of the object's matrix within the register array
+    /// (lets several objects share one array); retyped to the lattice at
+    /// each access site.
+    view: MatrixView<()>,
 }
 
 impl ScanObject {
@@ -52,8 +53,7 @@ impl ScanObject {
         assert!(n >= 1, "need at least one process");
         ScanObject {
             n,
-            matrix: Matrix::new(n, n + 2),
-            base,
+            view: MatrixView::new(Matrix::new(n, n + 2), base),
         }
     }
 
@@ -69,7 +69,13 @@ impl ScanObject {
 
     /// Number of registers the object occupies.
     pub fn n_regs(&self) -> usize {
-        self.matrix.len()
+        self.view.matrix().len()
+    }
+
+    /// The object's register matrix as a typed [`MatrixView`]: row `p`,
+    /// column `i` is the paper's `scan[p][i]`.
+    pub fn view<L>(&self) -> MatrixView<L> {
+        MatrixView::new(self.view.matrix(), self.view.reg(0, 0))
     }
 
     /// Initial register contents (all ⊥) for this object alone.
@@ -80,18 +86,14 @@ impl ScanObject {
     /// Owner map realizing the single-writer discipline (`scan[P][i]` is
     /// written only by `P`), offset-free (for this object alone).
     pub fn owners(&self) -> Vec<ProcId> {
-        self.matrix.row_owners()
-    }
-
-    fn reg(&self, p: ProcId, col: usize) -> usize {
-        self.base + self.matrix.idx(p, col)
+        self.view.row_owners()
     }
 
     /// Register index of `scan[p]\[0\]` — process `p`'s *input* register,
     /// which holds exactly the join of the values `p` has written. Test
     /// harnesses peek these to audit object state from outside.
     pub fn input_register(&self, p: ProcId) -> usize {
-        self.reg(p, 0)
+        self.view.reg(p, 0)
     }
 
     /// The literal Figure 5 `Scan`: `n²+n+1` reads, `n+2` writes.
@@ -102,19 +104,20 @@ impl ScanObject {
     {
         let p = ctx.proc();
         let n = self.n;
+        let scan = self.view::<L>();
         // Line 2: scan[P][0] := v ∨ scan[P][0]
-        let mut cur = ctx.read(self.reg(p, 0));
+        let mut cur = scan.read_cell(ctx, p, 0);
         cur.join_assign(&v);
-        ctx.write(self.reg(p, 0), cur.clone());
+        scan.write_cell(ctx, p, 0, cur.clone());
         // Lines 3–7: n+1 passes, each reading column i−1 of every process
         // and writing the accumulated join to scan[P][i].
         for i in 1..=n + 1 {
             let mut acc = L::bottom();
             for q in 0..n {
-                let x = ctx.read(self.reg(q, i - 1));
+                let x = scan.read_cell(ctx, q, i - 1);
                 acc.join_assign(&x);
             }
-            ctx.write(self.reg(p, i), acc.clone());
+            scan.write_cell(ctx, p, i, acc.clone());
             cur = acc;
         }
         // Line 8: return scan[P][n+1] — the value just written.
@@ -172,9 +175,10 @@ impl<L: JoinSemilattice> ScanHandle<L> {
     pub fn scan<C: MemCtx<L>>(&mut self, ctx: &mut C, v: L) -> L {
         let p = ctx.proc();
         let n = self.obj.n;
+        let scan = self.obj.view::<L>();
         // scan[P][0] := v ∨ scan[P][0], with the read served by the cache.
         self.own[0].join_assign(&v);
-        ctx.write(self.obj.reg(p, 0), self.own[0].clone());
+        scan.write_cell(ctx, p, 0, self.own[0].clone());
         for i in 1..=n + 1 {
             // Seed the pass with the cached own value of column i−1
             // (replacing the Q = P read).
@@ -183,11 +187,11 @@ impl<L: JoinSemilattice> ScanHandle<L> {
                 if q == p {
                     continue;
                 }
-                let x = ctx.read(self.obj.reg(q, i - 1));
+                let x = scan.read_cell(ctx, q, i - 1);
                 acc.join_assign(&x);
             }
             if i <= n {
-                ctx.write(self.obj.reg(p, i), acc.clone());
+                scan.write_cell(ctx, p, i, acc.clone());
             }
             self.own[i] = acc;
         }
@@ -209,9 +213,8 @@ impl<L: JoinSemilattice> ScanHandle<L> {
 mod tests {
     use super::*;
     use apram_lattice::{MaxU64, SetUnion};
-    use apram_model::sim::strategy::{RoundRobin, SeededRandom};
-    use apram_model::sim::{run_symmetric, SimConfig};
-    use apram_model::{NativeMemory, StepCounts};
+    use apram_model::sim::strategy::SeededRandom;
+    use apram_model::{NativeMemory, SimBuilder, StepCounts};
 
     #[test]
     fn layout_and_owners() {
@@ -245,10 +248,11 @@ mod tests {
         // n+2 write operations"
         for n in [1usize, 2, 3, 5, 8] {
             let obj = ScanObject::new(n);
-            let cfg = SimConfig::new(obj.registers::<MaxU64>()).with_owners(obj.owners());
-            let out = run_symmetric(&cfg, &mut RoundRobin::new(), n, move |ctx| {
-                obj.scan(ctx, MaxU64::new(ctx.proc() as u64 + 1))
-            });
+            let out = SimBuilder::new(obj.registers::<MaxU64>())
+                .owners(obj.owners())
+                .run_symmetric(n, move |ctx| {
+                    obj.scan(ctx, MaxU64::new(ctx.proc() as u64 + 1))
+                });
             out.assert_no_panics();
             let expect = StepCounts {
                 reads: (n * n + n + 1) as u64,
@@ -266,11 +270,12 @@ mod tests {
         // and n+1 write operations."
         for n in [2usize, 3, 5, 8] {
             let obj = ScanObject::new(n);
-            let cfg = SimConfig::new(obj.registers::<MaxU64>()).with_owners(obj.owners());
-            let out = run_symmetric(&cfg, &mut RoundRobin::new(), n, move |ctx| {
-                let mut h = ScanHandle::new(obj);
-                h.scan(ctx, MaxU64::new(ctx.proc() as u64 + 1))
-            });
+            let out = SimBuilder::new(obj.registers::<MaxU64>())
+                .owners(obj.owners())
+                .run_symmetric(n, move |ctx| {
+                    let mut h = ScanHandle::new(obj);
+                    h.scan(ctx, MaxU64::new(ctx.proc() as u64 + 1))
+                });
             out.assert_no_panics();
             let expect = StepCounts {
                 reads: (n * n - 1) as u64,
@@ -308,14 +313,16 @@ mod tests {
         for seed in 0..30u64 {
             let n = 4usize;
             let obj = ScanObject::new(n);
-            let cfg = SimConfig::new(obj.registers::<SetUnion<usize>>()).with_owners(obj.owners());
-            let out = run_symmetric(&cfg, &mut SeededRandom::new(seed), n, move |ctx| {
-                let mut rets = Vec::new();
-                for k in 0..3 {
-                    rets.push(obj.scan(ctx, SetUnion::singleton(ctx.proc() * 10 + k)));
-                }
-                rets
-            });
+            let out = SimBuilder::new(obj.registers::<SetUnion<usize>>())
+                .owners(obj.owners())
+                .strategy(SeededRandom::new(seed))
+                .run_symmetric(n, move |ctx| {
+                    let mut rets = Vec::new();
+                    for k in 0..3 {
+                        rets.push(obj.scan(ctx, SetUnion::singleton(ctx.proc() * 10 + k)));
+                    }
+                    rets
+                });
             let all: Vec<SetUnion<usize>> = out.unwrap_results().into_iter().flatten().collect();
             for a in &all {
                 for b in &all {
@@ -335,24 +342,27 @@ mod tests {
         for seed in 100..120u64 {
             let n = 3usize;
             let obj = ScanObject::new(n);
-            let cfg = SimConfig::new(obj.registers::<SetUnion<usize>>()).with_owners(obj.owners());
-            let out = run_symmetric(&cfg, &mut SeededRandom::new(seed), n, move |ctx| {
-                // Even processes use the optimized handle (exclusively —
-                // the cache requires that all of a process's scans go
-                // through its handle), odd ones the literal procedure.
-                let mut h = ScanHandle::new(obj);
-                let optimized = ctx.proc() % 2 == 0;
-                let mut rets = Vec::new();
-                for k in 0..3 {
-                    let v = SetUnion::singleton(ctx.proc() * 10 + k);
-                    rets.push(if optimized {
-                        h.scan(ctx, v)
-                    } else {
-                        obj.scan(ctx, v)
-                    });
-                }
-                rets
-            });
+            let out = SimBuilder::new(obj.registers::<SetUnion<usize>>())
+                .owners(obj.owners())
+                .strategy(SeededRandom::new(seed))
+                .run_symmetric(n, move |ctx| {
+                    // Even processes use the optimized handle (exclusively
+                    // — the cache requires that all of a process's scans
+                    // go through its handle), odd ones the literal
+                    // procedure.
+                    let mut h = ScanHandle::new(obj);
+                    let optimized = ctx.proc() % 2 == 0;
+                    let mut rets = Vec::new();
+                    for k in 0..3 {
+                        let v = SetUnion::singleton(ctx.proc() * 10 + k);
+                        rets.push(if optimized {
+                            h.scan(ctx, v)
+                        } else {
+                            obj.scan(ctx, v)
+                        });
+                    }
+                    rets
+                });
             let all: Vec<SetUnion<usize>> = out.unwrap_results().into_iter().flatten().collect();
             for a in &all {
                 for b in &all {
@@ -366,15 +376,16 @@ mod tests {
     /// still completes in its bounded step count.
     #[test]
     fn scan_is_wait_free_under_crashes() {
-        use apram_model::sim::strategy::{CrashAt, RoundRobin};
         let n = 4usize;
         let obj = ScanObject::new(n);
-        let cfg = SimConfig::new(obj.registers::<MaxU64>()).with_owners(obj.owners());
-        let crashes = vec![(1, 5u64), (2, 9), (3, 13)];
-        let mut strategy = CrashAt::new(RoundRobin::new(), crashes);
-        let out = run_symmetric(&cfg, &mut strategy, n, move |ctx| {
-            obj.scan(ctx, MaxU64::new(ctx.proc() as u64 + 1))
-        });
+        let out = SimBuilder::new(obj.registers::<MaxU64>())
+            .owners(obj.owners())
+            .crash_at(1, 5)
+            .crash_at(2, 9)
+            .crash_at(3, 13)
+            .run_symmetric(n, move |ctx| {
+                obj.scan(ctx, MaxU64::new(ctx.proc() as u64 + 1))
+            });
         out.assert_no_panics();
         assert!(out.results[0].is_some(), "survivor must finish");
         assert!(out.crashed[1] && out.crashed[2] && out.crashed[3]);
@@ -447,10 +458,10 @@ mod tests {
         for seed in 0..20u64 {
             let n = 3usize;
             let obj = ScanObject::new(n);
-            let cfg = SimConfig::new(obj.registers::<SetUnion<usize>>()).with_owners(obj.owners());
-            let out = run_symmetric(&cfg, &mut SeededRandom::new(seed), n, move |ctx| {
-                obj.scan(ctx, SetUnion::singleton(ctx.proc()))
-            });
+            let out = SimBuilder::new(obj.registers::<SetUnion<usize>>())
+                .owners(obj.owners())
+                .strategy(SeededRandom::new(seed))
+                .run_symmetric(n, move |ctx| obj.scan(ctx, SetUnion::singleton(ctx.proc())));
             let results = out.unwrap_results();
             for (p, r) in results.iter().enumerate() {
                 assert!(r.contains(&p), "seed {seed}: P{p} missing own value");

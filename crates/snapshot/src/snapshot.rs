@@ -211,9 +211,9 @@ mod tests {
     use apram_history::check::{check_linearizable, CheckerConfig};
     use apram_history::Recorder;
     use apram_lattice::MaxU64;
-    use apram_model::sim::explore::{explore, ExploreConfig};
+    use apram_model::sim::explore::ExploreConfig;
     use apram_model::sim::strategy::SeededRandom;
-    use apram_model::sim::{run_symmetric, ProcBody, SimConfig, SimCtx};
+    use apram_model::sim::{ProcBody, SimBuilder, SimCtx};
     use apram_model::NativeMemory;
 
     #[test]
@@ -276,7 +276,6 @@ mod tests {
         use std::cell::RefCell;
         use std::rc::Rc;
         let snap = Snapshot::new(2);
-        let cfg = SimConfig::new(snap.registers::<u32>()).with_owners(snap.owners());
         let spec = SnapshotSpec::<u32>::new(2);
         let mut checked = 0u64;
         let rec_cell: Rc<RefCell<Option<Recorder<SnapOp<u32>, SnapResp<u32>>>>> =
@@ -301,28 +300,29 @@ mod tests {
                 })
                 .collect::<Vec<_>>()
         };
-        let stats = explore(
-            &cfg,
-            &ExploreConfig {
-                max_runs: 50_000,
-                max_depth: 14,
-            },
-            make,
-            |out| {
-                out.assert_no_panics();
-                let hist = rec_cell
-                    .borrow_mut()
-                    .take()
-                    .expect("factory ran")
-                    .snapshot();
-                checked += 1;
-                assert!(
-                    check_linearizable(&spec, &hist, &CheckerConfig::default()).is_ok(),
-                    "non-linearizable snapshot history: {hist:?}"
-                );
-                true
-            },
-        );
+        let stats = SimBuilder::new(snap.registers::<u32>())
+            .owners(snap.owners())
+            .explore(
+                &ExploreConfig {
+                    max_runs: 50_000,
+                    max_depth: 14,
+                },
+                make,
+                |out| {
+                    out.assert_no_panics();
+                    let hist = rec_cell
+                        .borrow_mut()
+                        .take()
+                        .expect("factory ran")
+                        .snapshot();
+                    checked += 1;
+                    assert!(
+                        check_linearizable(&spec, &hist, &CheckerConfig::default()).is_ok(),
+                        "non-linearizable snapshot history: {hist:?}"
+                    );
+                    true
+                },
+            );
         assert!(stats.runs > 100, "exploration too shallow: {stats:?}");
         assert_eq!(checked, stats.runs);
     }
@@ -374,17 +374,19 @@ mod tests {
         for seed in 0..25u64 {
             let n = 3usize;
             let snap = Snapshot::new(n);
-            let cfg = SimConfig::new(snap.registers::<u64>()).with_owners(snap.owners());
-            let out = run_symmetric(&cfg, &mut SeededRandom::new(seed), n, move |ctx| {
-                let p = ctx.proc();
-                let mut h = snap.handle::<u64>();
-                let mut views = Vec::new();
-                for k in 0..3u64 {
-                    h.update(ctx, (p as u64) * 10 + k);
-                    views.push(h.snap(ctx));
-                }
-                views
-            });
+            let out = SimBuilder::new(snap.registers::<u64>())
+                .owners(snap.owners())
+                .strategy(SeededRandom::new(seed))
+                .run_symmetric(n, move |ctx| {
+                    let p = ctx.proc();
+                    let mut h = snap.handle::<u64>();
+                    let mut views = Vec::new();
+                    for k in 0..3u64 {
+                        h.update(ctx, (p as u64) * 10 + k);
+                        views.push(h.snap(ctx));
+                    }
+                    views
+                });
             let results = out.unwrap_results();
             for (p, views) in results.iter().enumerate() {
                 for (k, view) in views.iter().enumerate() {

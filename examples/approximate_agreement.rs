@@ -17,7 +17,7 @@
 use apram_agreement::adversary::{lemma6_bound, run_adversary};
 use apram_agreement::{AgreementProto, OneShotAgreement};
 use apram_model::sim::strategy::SeededRandom;
-use apram_model::sim::{run_symmetric, SimConfig};
+use apram_model::sim::SimBuilder;
 use apram_model::MemCtx;
 
 fn main() {
@@ -27,12 +27,14 @@ fn main() {
     println!("altimeters read {alt0} m and {alt1} m; agreeing to within {eps} m\n");
     let proto = AgreementProto::new(2, eps);
     for seed in 0..3 {
-        let cfg = SimConfig::new(proto.registers()).with_owners(proto.owners());
-        let out = run_symmetric(&cfg, &mut SeededRandom::new(seed), 2, move |ctx| {
-            let mut h = proto.handle();
-            h.input(ctx, if ctx.proc() == 0 { alt0 } else { alt1 });
-            h.output(ctx)
-        });
+        let out = SimBuilder::new(proto.registers())
+            .owners(proto.owners())
+            .strategy(SeededRandom::new(seed))
+            .run_symmetric(2, move |ctx| {
+                let mut h = proto.handle();
+                h.input(ctx, if ctx.proc() == 0 { alt0 } else { alt1 });
+                h.output(ctx)
+            });
         let steps: Vec<u64> = out.counts.iter().map(|c| c.total()).collect();
         let ys = out.unwrap_results();
         println!(
@@ -69,12 +71,12 @@ fn main() {
     let n = readings.len();
     println!("\nfive sensors ({readings:?}), ε = {eps}, fixed-round variant:");
     let obj = OneShotAgreement::new(n, eps, 900.0, 930.0);
-    let cfg = SimConfig::new(obj.registers()).with_owners(obj.owners());
     let obj_ref = &obj;
     let readings_ref = &readings;
-    let out = run_symmetric(&cfg, &mut SeededRandom::new(7), n, move |ctx| {
-        obj_ref.run(ctx, readings_ref[ctx.proc()])
-    });
+    let out = SimBuilder::new(obj.registers())
+        .owners(obj.owners())
+        .strategy(SeededRandom::new(7))
+        .run_symmetric(n, move |ctx| obj_ref.run(ctx, readings_ref[ctx.proc()]));
     let ys = out.unwrap_results();
     println!("outputs after {} rounds: {ys:?}", obj.rounds());
     let spread = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max)

@@ -16,9 +16,9 @@
 use apram_history::check::{check_linearizable, CheckerConfig};
 use apram_history::{History, Recorder};
 use apram_lattice::{Tagged, TaggedVec};
-use apram_model::sim::explore::{explore, ExploreConfig};
+use apram_model::sim::explore::ExploreConfig;
 use apram_model::sim::strategy::Replay;
-use apram_model::sim::{run_sim, ProcBody, SimConfig, SimCtx};
+use apram_model::sim::{ProcBody, SimBuilder, SimCtx};
 use apram_snapshot::collect::{naive_collect, CollectArray, DoubleCollect};
 use apram_snapshot::snapshot::{SnapOp, SnapResp, SnapshotSpec};
 use apram_snapshot::Snapshot;
@@ -28,7 +28,6 @@ use std::rc::Rc;
 fn main() {
     // ---- Part 1: exhaustively verify the atomic snapshot -------------
     let snap = Snapshot::new(2);
-    let cfg = SimConfig::new(snap.registers::<u32>()).with_owners(snap.owners());
     let spec = SnapshotSpec::<u32>::new(2);
     let rec_cell: Rc<RefCell<Option<Recorder<SnapOp<u32>, SnapResp<u32>>>>> =
         Rc::new(RefCell::new(None));
@@ -53,22 +52,23 @@ fn main() {
             .collect::<Vec<_>>()
     };
     let mut checked = 0u64;
-    let stats = explore(
-        &cfg,
-        &ExploreConfig {
-            max_runs: 100_000,
-            max_depth: 12,
-        },
-        make,
-        |out| {
-            out.assert_no_panics();
-            let hist = rec_cell.borrow_mut().take().unwrap().snapshot();
-            let verdict = check_linearizable(&spec, &hist, &CheckerConfig::default());
-            assert!(verdict.is_ok(), "counterexample!\n{hist:?}");
-            checked += 1;
-            true
-        },
-    );
+    let stats = SimBuilder::new(snap.registers::<u32>())
+        .owners(snap.owners())
+        .explore(
+            &ExploreConfig {
+                max_runs: 100_000,
+                max_depth: 12,
+            },
+            make,
+            |out| {
+                out.assert_no_panics();
+                let hist = rec_cell.borrow_mut().take().unwrap().snapshot();
+                let verdict = check_linearizable(&spec, &hist, &CheckerConfig::default());
+                assert!(verdict.is_ok(), "counterexample!\n{hist:?}");
+                checked += 1;
+                true
+            },
+        );
     println!(
         "atomic snapshot: explored {} schedules (branching depth 12), \
          {checked} histories checked, 0 violations ✓",
@@ -80,7 +80,6 @@ fn main() {
     // P1's update completes *before* P2's begins, then the collect reads
     // slot 2 — an impossible view.
     let arr = CollectArray::new(3);
-    let cfg = SimConfig::new(arr.registers::<u32>()).with_owners(arr.owners());
     let bodies: Vec<ProcBody<'static, Tagged<u32>, Option<Vec<Option<u32>>>>> = vec![
         Box::new(move |ctx: &mut SimCtx<Tagged<u32>>| Some(naive_collect(&arr, ctx))),
         Box::new(move |ctx: &mut SimCtx<Tagged<u32>>| {
@@ -92,7 +91,10 @@ fn main() {
             None
         }),
     ];
-    let out = run_sim(&cfg, &mut Replay::strict(vec![0, 0, 1, 2, 0]), bodies);
+    let out = SimBuilder::new(arr.registers::<u32>())
+        .owners(arr.owners())
+        .strategy(Replay::strict(vec![0, 0, 1, 2, 0]))
+        .run(bodies);
     out.assert_no_panics();
     let view = out.results[0].clone().unwrap().unwrap();
     println!("\nnaive collect, witness schedule: view = {view:?}");

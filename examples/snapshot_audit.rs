@@ -25,7 +25,7 @@
 
 use apram_lattice::Tagged;
 use apram_model::sim::strategy::SeededRandom;
-use apram_model::sim::{run_sim, ProcBody, SimConfig, SimCtx};
+use apram_model::sim::{ProcBody, SimBuilder, SimCtx};
 use apram_snapshot::collect::{naive_collect, CollectArray, DoubleCollect};
 use apram_snapshot::Snapshot;
 
@@ -39,7 +39,6 @@ fn main() {
 
     // ---- Run 1: naive collect auditor --------------------------------
     let arr = CollectArray::new(n);
-    let cfg = SimConfig::new(arr.registers::<Entry>()).with_owners(arr.owners());
     let bodies: Vec<ProcBody<'static, Tagged<Entry>, Vec<Vec<Option<Entry>>>>> = (0..n)
         .map(|p| {
             Box::new(move |ctx: &mut SimCtx<Tagged<Entry>>| {
@@ -55,13 +54,15 @@ fn main() {
             }) as ProcBody<'static, Tagged<Entry>, Vec<Vec<Option<Entry>>>>
         })
         .collect();
-    let out = run_sim(&cfg, &mut SeededRandom::new(2024), bodies);
+    let out = SimBuilder::new(arr.registers::<Entry>())
+        .owners(arr.owners())
+        .strategy(SeededRandom::new(2024))
+        .run(bodies);
     out.assert_no_panics();
     let naive_views = out.results[2].clone().unwrap();
 
     // ---- Run 2: atomic snapshot auditor -------------------------------
     let snap = Snapshot::new(n);
-    let cfg = SimConfig::new(snap.registers::<Entry>()).with_owners(snap.owners());
     let bodies: Vec<ProcBody<'static, _, Vec<Vec<Option<Entry>>>>> = (0..n)
         .map(|p| {
             Box::new(move |ctx: &mut SimCtx<_>| {
@@ -77,7 +78,10 @@ fn main() {
             }) as ProcBody<'static, _, Vec<Vec<Option<Entry>>>>
         })
         .collect();
-    let out = run_sim(&cfg, &mut SeededRandom::new(2024), bodies);
+    let out = SimBuilder::new(snap.registers::<Entry>())
+        .owners(snap.owners())
+        .strategy(SeededRandom::new(2024))
+        .run(bodies);
     out.assert_no_panics();
     let atomic_views = out.results[2].clone().unwrap();
 

@@ -20,7 +20,7 @@ use apram_history::check::{check_linearizable, CheckOutcome, CheckerConfig};
 use apram_history::spec::{RegOp, RegResp, RegisterSpec};
 use apram_history::History;
 use apram_model::sim::strategy::Replay;
-use apram_model::sim::{run_sim, ProcBody, SimConfig, SimCtx};
+use apram_model::sim::{ProcBody, SimBuilder, SimCtx};
 use apram_objects::regular::{AtomicFromRegular, RegCell, RegularRegister, ScriptChooser};
 
 fn main() {
@@ -30,7 +30,6 @@ fn main() {
 
     // --- Raw regular register ----------------------------------------
     let reg = RegularRegister::new(0);
-    let cfg = SimConfig::new(RegularRegister::registers::<u64>(1)).with_owners(vec![0]);
     let bodies: Vec<ProcBody<'static, RegCell<u64>, Vec<(u64, Option<u64>)>>> = vec![
         Box::new(move |ctx: &mut SimCtx<RegCell<u64>>| {
             reg.write(ctx, 1, 7);
@@ -42,7 +41,10 @@ fn main() {
             vec![reg.read(ctx, &mut ch), reg.read(ctx, &mut ch)]
         }),
     ];
-    let out = run_sim(&cfg, &mut Replay::strict(schedule.clone()), bodies);
+    let out = SimBuilder::new(RegularRegister::registers::<u64>(1))
+        .owners(vec![0])
+        .strategy(Replay::strict(schedule.clone()))
+        .run(bodies);
     out.assert_no_panics();
     let reads = out.results[1].clone().unwrap();
     println!(
@@ -67,7 +69,6 @@ fn main() {
     }
 
     // --- Lamport's construction, same schedule and chooser ------------
-    let cfg = SimConfig::new(RegularRegister::registers::<u64>(1)).with_owners(vec![0]);
     let bodies: Vec<ProcBody<'static, RegCell<u64>, Vec<Option<u64>>>> = vec![
         Box::new(move |ctx: &mut SimCtx<RegCell<u64>>| {
             let mut w = AtomicFromRegular::new(0);
@@ -81,7 +82,10 @@ fn main() {
             vec![r.read(ctx, &mut ch), r.read(ctx, &mut ch)]
         }),
     ];
-    let out = run_sim(&cfg, &mut Replay::strict(schedule), bodies);
+    let out = SimBuilder::new(RegularRegister::registers::<u64>(1))
+        .owners(vec![0])
+        .strategy(Replay::strict(schedule))
+        .run(bodies);
     out.assert_no_panics();
     let reads = out.results[1].clone().unwrap();
     println!(

@@ -10,8 +10,8 @@
 //! each failure is exactly the bivalence phenomenon the FLP-style
 //! argument formalizes.
 
-use apram_model::sim::explore::{explore, ExploreConfig};
-use apram_model::sim::{ProcBody, SimConfig, SimCtx};
+use apram_model::sim::explore::ExploreConfig;
+use apram_model::sim::{ProcBody, SimBuilder, SimCtx};
 use apram_model::MemCtx;
 
 /// Attempt 1 — "write mine, read theirs, defer to the smaller id":
@@ -45,16 +45,19 @@ fn attempt_defer_to_peer_violates_agreement() {
             })
             .collect::<Vec<_>>()
     };
-    let cfg = SimConfig::new(vec![None; 2]).with_owners(vec![0, 1]);
     let mut disagreement = false;
-    explore(&cfg, &ExploreConfig::default(), make, |out| {
-        let (a, b) = (out.results[0].unwrap(), out.results[1].unwrap());
-        if a != b {
-            disagreement = true;
-            return false;
-        }
-        true
-    });
+    SimBuilder::new(vec![None; 2]).owners(vec![0, 1]).explore(
+        &ExploreConfig::default(),
+        make,
+        |out| {
+            let (a, b) = (out.results[0].unwrap(), out.results[1].unwrap());
+            if a != b {
+                disagreement = true;
+                return false;
+            }
+            true
+        },
+    );
     assert!(
         disagreement,
         "the explorer must find a disagreeing schedule"
@@ -81,16 +84,19 @@ fn attempt_mutual_deference_violates_agreement() {
             })
             .collect::<Vec<_>>()
     };
-    let cfg = SimConfig::new(vec![None; 2]).with_owners(vec![0, 1]);
     let mut disagreement = false;
-    explore(&cfg, &ExploreConfig::default(), make, |out| {
-        let (a, b) = (out.results[0].unwrap(), out.results[1].unwrap());
-        if a != b {
-            disagreement = true;
-            return false;
-        }
-        true
-    });
+    SimBuilder::new(vec![None; 2]).owners(vec![0, 1]).explore(
+        &ExploreConfig::default(),
+        make,
+        |out| {
+            let (a, b) = (out.results[0].unwrap(), out.results[1].unwrap());
+            if a != b {
+                disagreement = true;
+                return false;
+            }
+            true
+        },
+    );
     assert!(disagreement, "the swap schedule must disagree");
 }
 
@@ -102,8 +108,6 @@ fn attempt_mutual_deference_violates_agreement() {
 /// non-faulty processes from making progress").
 #[test]
 fn attempt_waiting_gives_up_wait_freedom() {
-    use apram_model::sim::run_sim;
-    use apram_model::sim::strategy::{CrashAt, RoundRobin};
     let bodies: Vec<ProcBody<'static, Option<bool>, bool>> = vec![
         Box::new(move |ctx: &mut SimCtx<Option<bool>>| {
             ctx.write(0, Some(false));
@@ -126,11 +130,11 @@ fn attempt_waiting_gives_up_wait_freedom() {
     ];
     // Crash P1 before its write: P0 spins forever; the step budget is
     // the only thing that stops the run.
-    let cfg = SimConfig::new(vec![None; 2])
-        .with_owners(vec![0, 1])
-        .with_max_steps(500);
-    let mut strategy = CrashAt::new(RoundRobin::new(), vec![(1, 0)]);
-    let out = run_sim(&cfg, &mut strategy, bodies);
+    let out = SimBuilder::new(vec![None; 2])
+        .owners(vec![0, 1])
+        .max_steps(500)
+        .crash_at(1, 0)
+        .run(bodies);
     out.assert_no_panics();
     assert!(
         out.halted,

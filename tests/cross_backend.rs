@@ -3,8 +3,8 @@
 //! backends agree wherever determinism makes agreement well-defined.
 
 use apram_lattice::{MaxU64, SetUnion};
-use apram_model::sim::strategy::{Replay, RoundRobin, SeededRandom};
-use apram_model::sim::{run_symmetric, SimConfig};
+use apram_model::sim::strategy::{Replay, SeededRandom};
+use apram_model::sim::SimBuilder;
 use apram_model::{MemCtx, NativeMemory};
 use apram_objects::DirectCounter;
 use apram_snapshot::ScanObject;
@@ -27,10 +27,10 @@ fn sequential_schedules_match_native() {
     // Simulator, schedule "P0 to completion, then P1, then P2".
     let per = (n * n + n + 1) + (n + 2); // literal scan steps
     let schedule: Vec<usize> = (0..n).flat_map(|p| std::iter::repeat_n(p, per)).collect();
-    let cfg = SimConfig::new(obj.registers::<SetUnion<usize>>()).with_owners(obj.owners());
-    let out = run_symmetric(&cfg, &mut Replay::strict(schedule), n, move |ctx| {
-        obj.scan(ctx, SetUnion::singleton(ctx.proc()))
-    });
+    let out = SimBuilder::new(obj.registers::<SetUnion<usize>>())
+        .owners(obj.owners())
+        .strategy(Replay::strict(schedule))
+        .run_symmetric(n, move |ctx| obj.scan(ctx, SetUnion::singleton(ctx.proc())));
     let sim = out.unwrap_results();
     assert_eq!(native, sim);
 }
@@ -41,16 +41,18 @@ fn sequential_schedules_match_native() {
 fn random_schedule_replays_identically() {
     let n = 4;
     let obj = ScanObject::new(n);
-    let cfg = SimConfig::new(obj.registers::<MaxU64>()).with_owners(obj.owners());
+    let sim = SimBuilder::new(obj.registers::<MaxU64>()).owners(obj.owners());
     let body = move |ctx: &mut apram_model::SimCtx<MaxU64>| {
         let a = obj.scan(ctx, MaxU64::new(ctx.proc() as u64 + 10));
         let b = obj.read_max(ctx);
         (a, b)
     };
-    let first = run_symmetric(&cfg, &mut SeededRandom::new(99), n, body);
+    let mut sim = sim.strategy(SeededRandom::new(99));
+    let first = sim.run_symmetric(n, body);
     first.assert_no_panics();
     let schedule = first.trace.schedule();
-    let second = run_symmetric(&cfg, &mut Replay::strict(schedule.clone()), n, body);
+    let mut sim = sim.strategy(Replay::strict(schedule.clone()));
+    let second = sim.run_symmetric(n, body);
     assert_eq!(first.results, second.results);
     assert_eq!(second.trace.schedule(), schedule);
     assert_eq!(first.memory, second.memory);
@@ -66,14 +68,15 @@ fn counter_totals_and_step_counts_agree() {
     let cnt = DirectCounter::new(n);
 
     // Simulator (round-robin).
-    let cfg = SimConfig::new(cnt.registers()).with_owners(cnt.owners());
-    let out = run_symmetric(&cfg, &mut RoundRobin::new(), n, move |ctx| {
-        let mut h = cnt.handle();
-        for _ in 0..per {
-            h.inc(ctx, 2);
-        }
-        h.read(ctx)
-    });
+    let out = SimBuilder::new(cnt.registers())
+        .owners(cnt.owners())
+        .run_symmetric(n, move |ctx| {
+            let mut h = cnt.handle();
+            for _ in 0..per {
+                h.inc(ctx, 2);
+            }
+            h.read(ctx)
+        });
     out.assert_no_panics();
     let sim_steps: Vec<u64> = out.counts.iter().map(|c| c.total()).collect();
     let sim_total = cnt.audit_total(|r| out.memory[r].clone());
@@ -119,11 +122,12 @@ fn swmr_enforced_on_both_backends() {
     }));
     assert!(result.is_err(), "native SWMR violation must panic");
     // Simulated.
-    let cfg = SimConfig::new(obj.registers::<MaxU64>()).with_owners(obj.owners());
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        let _ = run_symmetric(&cfg, &mut RoundRobin::new(), 1, move |ctx| {
-            ctx.write(obj.n() + 2, MaxU64::new(1));
-        });
+        let _ = SimBuilder::new(obj.registers::<MaxU64>())
+            .owners(obj.owners())
+            .run_symmetric(1, move |ctx| {
+                ctx.write(obj.n() + 2, MaxU64::new(1));
+            });
     }));
     assert!(result.is_err(), "simulated SWMR violation must panic");
 }

@@ -6,7 +6,7 @@ use apram_agreement::{AgreementProto, OneShotAgreement};
 use apram_core::{CounterOp, CounterSpec, Universal};
 use apram_lattice::SetUnion;
 use apram_model::sim::strategy::{CrashAt, RoundRobin, SeededRandom};
-use apram_model::sim::{run_symmetric, SimConfig};
+use apram_model::sim::SimBuilder;
 use apram_model::MemCtx;
 use apram_objects::DirectCounter;
 use apram_snapshot::lock::LockSnapshot;
@@ -21,11 +21,11 @@ fn scan_survivor_sweep() {
     let obj = ScanObject::new(n);
     for c1 in [1u64, 5, 9, 13] {
         for c2 in [2u64, 7, 15] {
-            let cfg = SimConfig::new(obj.registers::<SetUnion<usize>>()).with_owners(obj.owners());
             let mut strategy = CrashAt::new(RoundRobin::new(), vec![(1, c1), (2, c2)]);
-            let out = run_symmetric(&cfg, &mut strategy, n, move |ctx| {
-                obj.scan(ctx, SetUnion::singleton(ctx.proc()))
-            });
+            let out = SimBuilder::new(obj.registers::<SetUnion<usize>>())
+                .owners(obj.owners())
+                .strategy_ref(&mut strategy)
+                .run_symmetric(n, move |ctx| obj.scan(ctx, SetUnion::singleton(ctx.proc())));
             out.assert_no_panics();
             let r = out.results[0]
                 .as_ref()
@@ -48,18 +48,20 @@ fn universal_counter_survivor_sweep() {
     let uni = Universal::new(n, CounterSpec);
     for c1 in [3u64, 11, 23] {
         for c2 in [5u64, 17] {
-            let cfg = SimConfig::new(uni.registers()).with_owners(uni.owners());
             let mut strategy = CrashAt::new(RoundRobin::new(), vec![(1, c1), (2, c2)]);
             let uni2 = uni.clone();
-            let out = run_symmetric(&cfg, &mut strategy, n, move |ctx| {
-                let mut h = uni2.handle();
-                h.execute(ctx, CounterOp::Inc(5));
-                h.execute(ctx, CounterOp::Inc(5));
-                match h.execute(ctx, CounterOp::Read) {
-                    apram_core::CounterResp::Value(v) => v,
-                    _ => unreachable!(),
-                }
-            });
+            let out = SimBuilder::new(uni.registers())
+                .owners(uni.owners())
+                .strategy_ref(&mut strategy)
+                .run_symmetric(n, move |ctx| {
+                    let mut h = uni2.handle();
+                    h.execute(ctx, CounterOp::Inc(5));
+                    h.execute(ctx, CounterOp::Inc(5));
+                    match h.execute(ctx, CounterOp::Read) {
+                        apram_core::CounterResp::Value(v) => v,
+                        _ => unreachable!(),
+                    }
+                });
             out.assert_no_panics();
             let v =
                 out.results[0].unwrap_or_else(|| panic!("survivor stuck at crashes ({c1},{c2})"));
@@ -76,25 +78,27 @@ fn agreement_survivors() {
     // Figure 2, n = 2, crash the partner at various points.
     for crash_at in [0u64, 3, 8, 20] {
         let proto = AgreementProto::new(2, 0.25);
-        let cfg = SimConfig::new(proto.registers()).with_owners(proto.owners());
         let mut strategy = CrashAt::new(RoundRobin::new(), vec![(1, crash_at)]);
-        let out = run_symmetric(&cfg, &mut strategy, 2, move |ctx| {
-            let mut h = proto.handle();
-            h.input(ctx, ctx.proc() as f64);
-            h.output(ctx)
-        });
+        let out = SimBuilder::new(proto.registers())
+            .owners(proto.owners())
+            .strategy_ref(&mut strategy)
+            .run_symmetric(2, move |ctx| {
+                let mut h = proto.handle();
+                h.input(ctx, ctx.proc() as f64);
+                h.output(ctx)
+            });
         out.assert_no_panics();
         let y = out.results[0].expect("survivor finishes");
         assert!((0.0..=1.0).contains(&y), "crash@{crash_at}: {y}");
     }
     // Fixed-round variant, n = 4, two crashes.
     let obj = OneShotAgreement::new(4, 0.1, 0.0, 1.0);
-    let cfg = SimConfig::new(obj.registers()).with_owners(obj.owners());
     let mut strategy = CrashAt::new(RoundRobin::new(), vec![(1, 30), (2, 70)]);
     let obj_ref = &obj;
-    let out = run_symmetric(&cfg, &mut strategy, 4, move |ctx| {
-        obj_ref.run(ctx, ctx.proc() as f64 / 3.0)
-    });
+    let out = SimBuilder::new(obj.registers())
+        .owners(obj.owners())
+        .strategy_ref(&mut strategy)
+        .run_symmetric(4, move |ctx| obj_ref.run(ctx, ctx.proc() as f64 / 3.0));
     out.assert_no_panics();
     let a = out.results[0].expect("P0 finishes");
     let b = out.results[3].expect("P3 finishes");
@@ -115,13 +119,15 @@ fn lock_baseline_wedges_on_crash() {
     // Meanwhile the wait-free counter with the same fault keeps going.
     let n = 2;
     let cnt = DirectCounter::new(n);
-    let cfg = SimConfig::new(cnt.registers()).with_owners(cnt.owners());
     let mut strategy = CrashAt::new(RoundRobin::new(), vec![(1, 4)]); // mid-operation
-    let out = run_symmetric(&cfg, &mut strategy, n, move |ctx| {
-        let mut h = cnt.handle();
-        h.inc(ctx, 1);
-        h.read(ctx)
-    });
+    let out = SimBuilder::new(cnt.registers())
+        .owners(cnt.owners())
+        .strategy_ref(&mut strategy)
+        .run_symmetric(n, move |ctx| {
+            let mut h = cnt.handle();
+            h.inc(ctx, 1);
+            h.read(ctx)
+        });
     out.assert_no_panics();
     assert!(out.results[0].is_some(), "wait-free survivor completes");
 }
@@ -134,15 +140,17 @@ fn randomized_crash_sweep() {
     for seed in 0..10u64 {
         let n = 4;
         let cnt = DirectCounter::new(n);
-        let cfg = SimConfig::new(cnt.registers()).with_owners(cnt.owners());
         let crashes = vec![(1, 3 + seed % 7), (2, 9 + seed % 11)];
         let mut strategy = CrashAt::new(SeededRandom::new(seed), crashes);
-        let out = run_symmetric(&cfg, &mut strategy, n, move |ctx| {
-            let mut h = cnt.handle();
-            h.inc(ctx, 1);
-            h.inc(ctx, 1);
-            h.read(ctx)
-        });
+        let out = SimBuilder::new(cnt.registers())
+            .owners(cnt.owners())
+            .strategy_ref(&mut strategy)
+            .run_symmetric(n, move |ctx| {
+                let mut h = cnt.handle();
+                h.inc(ctx, 1);
+                h.inc(ctx, 1);
+                h.read(ctx)
+            });
         out.assert_no_panics();
         for p in [0usize, 3] {
             let v = out.results[p].unwrap_or_else(|| panic!("seed {seed}: P{p} stuck"));

@@ -1,0 +1,119 @@
+//! End-to-end observability guarantees: the JSONL trace export parses
+//! back and replays to a bit-identical trace, and the opt-in metrics
+//! counters agree exactly with the trace-derived counts on a known
+//! schedule.
+
+use apram_model::sim::strategy::{Replay, SeededRandom};
+use apram_model::sim::{SimBuilder, SimCtx};
+use apram_model::{AccessKind, MemCtx, MetricsLevel, Trace};
+
+/// A deterministic body: three rounds of publish-then-collect, so every
+/// process issues a known mix of reads and writes.
+fn body(n: usize) -> impl Fn(&mut SimCtx<u64>) -> u64 + Send + Sync {
+    move |ctx| {
+        let p = ctx.proc();
+        let mut acc = 0u64;
+        for round in 0..3u64 {
+            ctx.write(p, round * n as u64 + p as u64);
+            for r in 0..n {
+                acc = acc.wrapping_add(ctx.read(r));
+            }
+        }
+        acc
+    }
+}
+
+/// Export → parse → replay: the trace written as JSONL, parsed back,
+/// and driven through `Replay::strict` must reproduce the original
+/// execution bit for bit (same JSONL text, same results).
+#[test]
+fn jsonl_round_trips_through_replay() {
+    let n = 3;
+    let out = SimBuilder::new(vec![0u64; n])
+        .owners((0..n).collect())
+        .strategy(SeededRandom::new(42))
+        .run_symmetric(n, body(n));
+    out.assert_no_panics();
+    assert!(!out.trace.is_empty());
+
+    let text = out.trace.to_jsonl();
+    let parsed = Trace::from_jsonl(&text).expect("exported JSONL must parse");
+    assert_eq!(parsed.events(), out.trace.events());
+    assert_eq!(
+        parsed.to_jsonl(),
+        text,
+        "serialise-parse-serialise fixpoint"
+    );
+
+    let replayed = SimBuilder::new(vec![0u64; n])
+        .owners((0..n).collect())
+        .strategy(Replay::strict(parsed.schedule()))
+        .run_symmetric(n, body(n));
+    replayed.assert_no_panics();
+    assert_eq!(replayed.trace.to_jsonl(), text, "replay diverged");
+    assert_eq!(replayed.results, out.results);
+    assert_eq!(replayed.memory, out.memory);
+}
+
+/// A corrupted line must be rejected, not silently skipped.
+#[test]
+fn jsonl_rejects_corruption() {
+    let n = 2;
+    let out = SimBuilder::new(vec![0u64; n])
+        .owners((0..n).collect())
+        .run_symmetric(n, body(n));
+    let text = out.trace.to_jsonl();
+    let corrupted = text.replacen("\"kind\":\"r\"", "\"kind\":\"x\"", 1);
+    assert!(Trace::from_jsonl(&corrupted).is_err());
+}
+
+/// Under a fixed round-robin schedule, the metrics histogram must equal
+/// both the outcome's per-process counts and the counts recomputed from
+/// the trace, and the per-register totals must tally with the events.
+#[test]
+fn metrics_agree_with_trace_counts() {
+    let n = 4;
+    let out = SimBuilder::new(vec![0u64; n])
+        .owners((0..n).collect())
+        .metrics(MetricsLevel::Full)
+        .run_symmetric(n, body(n));
+    out.assert_no_panics();
+
+    let m = &out.metrics;
+    assert!(m.enabled());
+    assert_eq!(m.histogram, out.trace.counts(n));
+    assert_eq!(m.histogram, out.counts);
+
+    // Per-register counters, recomputed straight from the events.
+    let mut reads = vec![0u64; n];
+    let mut writes = vec![0u64; n];
+    for ev in out.trace.events() {
+        match ev.kind {
+            AccessKind::Read => reads[ev.reg] += 1,
+            AccessKind::Write => writes[ev.reg] += 1,
+        }
+    }
+    for r in 0..n {
+        assert_eq!(m.registers[r].reads, reads[r], "register {r} reads");
+        assert_eq!(m.registers[r].writes, writes[r], "register {r} writes");
+    }
+    assert_eq!(m.total_reads(), out.trace.len() as u64 - m.total_writes());
+
+    // Each process writes 3 times and reads 3n times in `body`.
+    for p in 0..n {
+        assert_eq!(m.histogram[p].writes, 3, "process {p}");
+        assert_eq!(m.histogram[p].reads, 3 * n as u64, "process {p}");
+    }
+}
+
+/// Metrics default to off: no collection, empty vectors.
+#[test]
+fn metrics_off_by_default() {
+    let n = 2;
+    let out = SimBuilder::new(vec![0u64; n])
+        .owners((0..n).collect())
+        .run_symmetric(n, body(n));
+    assert!(!out.metrics.enabled());
+    assert!(out.metrics.registers.is_empty());
+    assert!(out.metrics.histogram.is_empty());
+}

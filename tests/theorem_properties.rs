@@ -6,7 +6,7 @@ use apram_agreement::{AgreementProto, OneShotAgreement};
 use apram_core::{CounterOp, CounterResp, CounterSpec, Universal};
 use apram_lattice::{JoinSemilattice, SetUnion};
 use apram_model::sim::strategy::{Pct, SeededRandom};
-use apram_model::sim::{run_symmetric, SimConfig};
+use apram_model::sim::SimBuilder;
 use apram_model::MemCtx;
 use apram_snapshot::{ScanHandle, ScanObject};
 
@@ -18,12 +18,14 @@ fn theorem_5_two_process_sweep() {
         let eps = 2f64.powi(-(k as i32));
         let proto = AgreementProto::new(2, eps);
         for seed in 0..6u64 {
-            let cfg = SimConfig::new(proto.registers()).with_owners(proto.owners());
-            let out = run_symmetric(&cfg, &mut SeededRandom::new(seed), 2, move |ctx| {
-                let mut h = proto.handle();
-                h.input(ctx, ctx.proc() as f64);
-                h.output(ctx)
-            });
+            let out = SimBuilder::new(proto.registers())
+                .owners(proto.owners())
+                .strategy(SeededRandom::new(seed))
+                .run_symmetric(2, move |ctx| {
+                    let mut h = proto.handle();
+                    h.input(ctx, ctx.proc() as f64);
+                    h.output(ctx)
+                });
             let counts: Vec<u64> = out.counts.iter().map(|c| c.total()).collect();
             let ys = out.unwrap_results();
             assert!(
@@ -47,23 +49,25 @@ fn lemma_32_mixed_scanners_under_pct() {
     for seed in 0..12u64 {
         let n = 4;
         let obj = ScanObject::new(n);
-        let cfg = SimConfig::new(obj.registers::<SetUnion<usize>>()).with_owners(obj.owners());
         let mut strategy = Pct::new(seed, n, 4, 300);
-        let out = run_symmetric(&cfg, &mut strategy, n, move |ctx| {
-            let p = ctx.proc();
-            let mut handle = ScanHandle::new(obj);
-            let optimized = p % 2 == 0;
-            let mut rets = Vec::new();
-            for k in 0..2 {
-                let v = SetUnion::singleton(p * 10 + k);
-                rets.push(if optimized {
-                    handle.scan(ctx, v)
-                } else {
-                    obj.scan(ctx, v)
-                });
-            }
-            rets
-        });
+        let out = SimBuilder::new(obj.registers::<SetUnion<usize>>())
+            .owners(obj.owners())
+            .strategy_ref(&mut strategy)
+            .run_symmetric(n, move |ctx| {
+                let p = ctx.proc();
+                let mut handle = ScanHandle::new(obj);
+                let optimized = p % 2 == 0;
+                let mut rets = Vec::new();
+                for k in 0..2 {
+                    let v = SetUnion::singleton(p * 10 + k);
+                    rets.push(if optimized {
+                        handle.scan(ctx, v)
+                    } else {
+                        obj.scan(ctx, v)
+                    });
+                }
+                rets
+            });
         let all: Vec<SetUnion<usize>> = out.unwrap_results().into_iter().flatten().collect();
         for a in &all {
             for b in &all {
@@ -82,28 +86,30 @@ fn universal_quiescent_reads_agree_exactly() {
     for seed in 0..10u64 {
         let n = 3;
         let uni = Universal::new(n, CounterSpec);
-        let cfg = SimConfig::new(uni.registers()).with_owners(uni.owners());
         let uni2 = uni.clone();
         // Phase 1 (concurrent): mixed updates. Phase 2 is modelled by
         // reading at the end of each body; since bodies may still
         // interleave, we instead check agreement after the run using
         // fresh reads against the final memory.
-        let out = run_symmetric(&cfg, &mut SeededRandom::new(seed), n, move |ctx| {
-            let p = ctx.proc();
-            let mut h = uni2.handle();
-            match p {
-                0 => {
-                    h.execute(ctx, CounterOp::Inc(3));
-                    h.execute(ctx, CounterOp::Dec(1));
+        let out = SimBuilder::new(uni.registers())
+            .owners(uni.owners())
+            .strategy(SeededRandom::new(seed))
+            .run_symmetric(n, move |ctx| {
+                let p = ctx.proc();
+                let mut h = uni2.handle();
+                match p {
+                    0 => {
+                        h.execute(ctx, CounterOp::Inc(3));
+                        h.execute(ctx, CounterOp::Dec(1));
+                    }
+                    1 => {
+                        h.execute(ctx, CounterOp::Reset(100));
+                    }
+                    _ => {
+                        h.execute(ctx, CounterOp::Inc(10));
+                    }
                 }
-                1 => {
-                    h.execute(ctx, CounterOp::Reset(100));
-                }
-                _ => {
-                    h.execute(ctx, CounterOp::Inc(10));
-                }
-            }
-        });
+            });
         out.assert_no_panics();
         // Quiescence: replay the final shared graph from each process's
         // perspective via unpublished reads on the final memory.
@@ -138,12 +144,12 @@ fn oneshot_round_formula_and_convergence() {
         let inputs = [0.0f64, 0.37, 1.0];
         let n = inputs.len();
         let obj = OneShotAgreement::new(n, eps, 0.0, 1.0);
-        let cfg = SimConfig::new(obj.registers()).with_owners(obj.owners());
         let obj_ref = &obj;
         let inputs_ref = &inputs;
-        let out = run_symmetric(&cfg, &mut SeededRandom::new(42), n, move |ctx| {
-            obj_ref.run(ctx, inputs_ref[ctx.proc()])
-        });
+        let out = SimBuilder::new(obj.registers())
+            .owners(obj.owners())
+            .strategy(SeededRandom::new(42))
+            .run_symmetric(n, move |ctx| obj_ref.run(ctx, inputs_ref[ctx.proc()]));
         let ys = out.unwrap_results();
         assert!(outputs_valid(eps, &inputs, &ys), "eps={eps}: {ys:?}");
     }
@@ -157,17 +163,14 @@ fn universal_cost_is_spec_independent() {
     use apram_objects::growset::{GrowSetSpec, SetOp};
     for n in [2usize, 4] {
         let uni = Universal::new(n, GrowSetSpec);
-        let cfg = SimConfig::new(uni.registers()).with_owners(uni.owners());
         let uni2 = uni.clone();
-        let out = run_symmetric(
-            &cfg,
-            &mut apram_model::sim::strategy::RoundRobin::new(),
-            n,
-            move |ctx| {
+        let out = SimBuilder::new(uni.registers())
+            .owners(uni.owners())
+            .strategy(apram_model::sim::strategy::RoundRobin::new())
+            .run_symmetric(n, move |ctx| {
                 let mut h = uni2.handle();
                 h.execute(ctx, SetOp::Add(ctx.proc() as u64));
-            },
-        );
+            });
         out.assert_no_panics();
         for p in 0..n {
             assert_eq!(out.counts[p].reads, 2 * (n * n - 1) as u64, "n={n} P{p}");

@@ -1,0 +1,303 @@
+//! Offline drop-in replacement for the subset of the `criterion` API this
+//! workspace uses: `Criterion`, `benchmark_group`, `bench_with_input`,
+//! `bench_function`, `Bencher::{iter, iter_custom}`, `BenchmarkId`,
+//! `Throughput`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is a plain timing loop — no warm-up statistics, no outlier
+//! analysis, no HTML reports. `--test` mode (used by `cargo bench --
+//! --test` in CI) runs each benchmark body exactly once to check it
+//! executes, matching real criterion's smoke-test behaviour. Results are
+//! printed one line per benchmark.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimiser from discarding a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How a benchmark's throughput is reported.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier `{name}/{parameter}`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to benchmark closures to drive the measured loop.
+pub struct Bencher<'a> {
+    test_mode: bool,
+    sample_size: usize,
+    measurement_time: Duration,
+    elapsed: &'a mut Duration,
+    iters_done: &'a mut u64,
+}
+
+impl Bencher<'_> {
+    /// Time `routine`, called in a loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            *self.iters_done = 1;
+            return;
+        }
+        // One calibration call, then enough iterations to roughly fill
+        // the measurement window (capped so cheap bodies don't spin long).
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let want = (self.measurement_time.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        let iters = want.max(self.sample_size as u64);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        *self.elapsed = start.elapsed();
+        *self.iters_done = iters;
+    }
+
+    /// Time `routine(iters)`, which must return the measured duration of
+    /// `iters` executions (setup excluded by the caller).
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        if self.test_mode {
+            *self.elapsed = routine(1);
+            *self.iters_done = 1;
+            return;
+        }
+        let iters = self.sample_size as u64;
+        *self.elapsed = routine(iters);
+        *self.iters_done = iters;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a Criterion,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Set the warm-up duration (ignored by this shim).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Set the measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Set the throughput used for reporting subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark `routine` with `input`.
+    pub fn bench_with_input<I: ?Sized, R>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self
+    where
+        R: FnMut(&mut Bencher<'_>, &I),
+    {
+        let mut elapsed = Duration::ZERO;
+        let mut iters = 0u64;
+        let mut b = Bencher {
+            test_mode: self.criterion.test_mode,
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            elapsed: &mut elapsed,
+            iters_done: &mut iters,
+        };
+        routine(&mut b, input);
+        self.report(&id.id, elapsed, iters);
+        self
+    }
+
+    /// Benchmark `routine` with no input.
+    pub fn bench_function<R>(&mut self, id: impl Into<String>, mut routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        let mut elapsed = Duration::ZERO;
+        let mut iters = 0u64;
+        let mut b = Bencher {
+            test_mode: self.criterion.test_mode,
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            elapsed: &mut elapsed,
+            iters_done: &mut iters,
+        };
+        routine(&mut b);
+        self.report(&id, elapsed, iters);
+        self
+    }
+
+    fn report(&self, id: &str, elapsed: Duration, iters: u64) {
+        if self.criterion.test_mode {
+            println!("{}/{}: ok (test mode)", self.name, id);
+            return;
+        }
+        let per_iter = if iters > 0 {
+            elapsed.as_nanos() as f64 / iters as f64
+        } else {
+            0.0
+        };
+        match self.throughput {
+            Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+                let rate = n as f64 / (per_iter / 1e9);
+                println!(
+                    "{}/{}: {per_iter:.1} ns/iter, {rate:.0} elem/s",
+                    self.name, id
+                );
+            }
+            Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+                let rate = n as f64 / (per_iter / 1e9);
+                println!("{}/{}: {per_iter:.1} ns/iter, {rate:.0} B/s", self.name, id);
+            }
+            _ => println!("{}/{}: {per_iter:.1} ns/iter", self.name, id),
+        }
+    }
+
+    /// Finish the group (reporting already happened per-benchmark).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark manager; entry point handed to `criterion_group!` targets.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- --test` asks for a single smoke run per bench.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            throughput: None,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+
+    /// Benchmark a single function outside a group.
+    pub fn bench_function<R>(&mut self, id: impl Into<String>, routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher<'_>),
+    {
+        let mut g = self.benchmark_group("bench");
+        g.bench_function(id, routine);
+        self
+    }
+
+    /// Run configured target functions (invoked by `criterion_main!`).
+    pub fn final_summary(&self) {}
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the benchmark harness entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion { test_mode: true };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(5)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(1));
+        let mut calls = 0u32;
+        g.throughput(Throughput::Elements(4));
+        g.bench_with_input(BenchmarkId::new("f", 4), &4u32, |b, &x| {
+            b.iter(|| {
+                calls += 1;
+                x * 2
+            });
+        });
+        g.finish();
+        assert_eq!(calls, 1); // test mode: exactly one call
+
+        let mut g = c.benchmark_group("g2");
+        g.bench_function("custom", |b| {
+            b.iter_custom(|iters| {
+                assert_eq!(iters, 1);
+                Duration::from_millis(2)
+            });
+        });
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("scan", 8).id, "scan/8");
+        assert_eq!(BenchmarkId::from_parameter(3).id, "3");
+    }
+}

@@ -1,0 +1,290 @@
+//! Offline drop-in replacement for the subset of the `proptest` API this
+//! workspace uses: deterministic property testing with strategy
+//! combinators, **without shrinking**.
+//!
+//! Supported surface: integer/float range strategies, `any::<T>()`,
+//! `Just`, tuples, `prop_map`, `prop_oneof!`, `collection::vec`,
+//! the `proptest!` macro (with optional
+//! `#![proptest_config(ProptestConfig::with_cases(N))]`),
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assume!`, and
+//! `test_runner::TestRunner`. Failing cases are reported by ordinary
+//! panics with the generated inputs in the test name's loop index; there
+//! is no shrinking and no persistence (regression files are ignored).
+//!
+//! Generation is seeded from a hash of the test-function name, so every
+//! run of a given test sees the same cases.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::strategy::{Strategy, VecStrategy};
+    use std::ops::{Range, RangeInclusive};
+
+    /// A size specification for [`vec()`]: an exact length or a range.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        pub(crate) lo: usize,
+        pub(crate) hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// A strategy producing `Vec`s of values drawn from `element`, with
+    /// lengths drawn uniformly from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// A strategy producing `BTreeSet`s of values drawn from `element`.
+    ///
+    /// `size` bounds the number of *draws*; duplicates collapse, so the
+    /// resulting set may be smaller (same caveat as real proptest).
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            inner: vec(element, size),
+        }
+    }
+
+    /// Strategy returned by [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        inner: VecStrategy<S>,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = std::collections::BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut super::strategy::TestRng) -> Self::Value {
+            self.inner.generate(rng).into_iter().collect()
+        }
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use super::strategy::TestRng;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Generate an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+/// Everything a property test module needs in scope.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Assert inside a property test (panics — no shrinking in this shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Discard the current case when `cond` is false.
+///
+/// Expands to an early `return Ok(())` from the per-case closure the
+/// `proptest!` macro wraps each body in (the closure returns
+/// `Result<(), TestCaseError>`, matching real proptest).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Ok(());
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
+/// Choose uniformly among several strategies for the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( Box::new($strat) as Box<dyn $crate::strategy::Strategy<Value = _>> ),+
+        ])
+    };
+}
+
+/// Define property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn holds(x in 0u64..10, v in proptest::collection::vec(any::<bool>(), 0..4)) {
+///         prop_assert!(x < 10 && v.len() < 4);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident( $($arg:pat in $strat:expr),* $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng = $crate::strategy::TestRng::from_name(stringify!($name));
+                for __case in 0..__cfg.cases {
+                    let mut __run = || {
+                        $( let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng); )*
+                        let mut __case_body = move ||
+                            -> ::core::result::Result<(), $crate::test_runner::TestCaseError>
+                        {
+                            $body
+                            #[allow(unreachable_code)]
+                            ::core::result::Result::Ok(())
+                        };
+                        if let ::core::result::Result::Err(e) = __case_body() {
+                            panic!("test case failed at input #{}: {}", __case, e);
+                        }
+                    };
+                    __run();
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn evens() -> impl Strategy<Value = u64> {
+        (0u64..100).prop_map(|x| x * 2)
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_and_maps(x in evens(), b in any::<bool>(), (lo, hi) in (0u32..5, 5u32..10)) {
+            prop_assert!(x.is_multiple_of(2) && x < 200);
+            prop_assert!(lo < hi);
+            let _ = b;
+        }
+
+        #[test]
+        fn vec_sizes(v in crate::collection::vec(0usize..3, 2..5)) {
+            prop_assert!((2..5).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 3));
+        }
+
+        #[test]
+        fn assume_discards(x in 0u64..10) {
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(17))]
+        #[test]
+        fn config_accepted(x in prop_oneof![Just(1u8), Just(2u8)]) {
+            prop_assert!((1u8..=2u8).contains(&x));
+        }
+    }
+
+    #[test]
+    fn runner_reports_failure() {
+        use crate::test_runner::TestRunner;
+        let mut runner = TestRunner::default();
+        let ok = runner.run(&(0u64..10), |x| {
+            prop_assert!(x < 10);
+            Ok(())
+        });
+        assert!(ok.is_ok());
+        let bad = runner.run(&(0u64..10), |x| {
+            if x >= 5 {
+                Err(crate::test_runner::TestCaseError::fail("too big"))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(bad.is_err());
+    }
+}

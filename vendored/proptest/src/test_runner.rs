@@ -1,0 +1,98 @@
+//! Imperative test-runner interface (`TestRunner::run`).
+
+use crate::strategy::{Strategy, TestRng};
+
+/// Property-test configuration: just the case count in this shim.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A rejected or failed test case.
+#[derive(Clone, Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A failed property run.
+#[derive(Clone, Debug)]
+pub struct TestError {
+    /// Which case failed (0-based).
+    pub case: u32,
+    /// The failure message.
+    pub message: String,
+}
+
+impl std::fmt::Display for TestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "property failed at case {}: {}", self.case, self.message)
+    }
+}
+
+/// Runs a property against generated cases.
+#[derive(Clone, Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+}
+
+impl Default for TestRunner {
+    fn default() -> Self {
+        TestRunner {
+            config: ProptestConfig::default(),
+            rng: TestRng::new(0x5EED_u64),
+        }
+    }
+}
+
+impl TestRunner {
+    /// A runner with the given configuration.
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner {
+            config,
+            rng: TestRng::new(0x5EED_u64),
+        }
+    }
+
+    /// Run `test` against `config.cases` generated values.
+    pub fn run<S: Strategy, F>(&mut self, strategy: &S, test: F) -> Result<(), TestError>
+    where
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        for case in 0..self.config.cases {
+            let value = strategy.generate(&mut self.rng);
+            if let Err(e) = test(value) {
+                return Err(TestError {
+                    case,
+                    message: e.to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
