@@ -260,6 +260,7 @@ mod tests {
                 &ExploreConfig {
                     max_runs: 20_000,
                     max_depth: usize::MAX,
+                    ..ExploreConfig::default()
                 },
                 make,
                 |out| {

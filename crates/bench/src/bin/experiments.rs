@@ -12,19 +12,23 @@
 //! * `--seed N` — base seed for all sampled schedules (default 0)
 //! * `--quick` — shrink grids and sample counts for a smoke run
 //! * `--json DIR` — write one `BENCH_e<N>.json` per experiment into DIR
+//! * `--forensics DIR` — write the E9 forensics bundle into DIR
+//!   (`shrunk_schedule.jsonl`, `witness.json`, `witness.txt`,
+//!   `spans.json`; see EXPERIMENTS.md for the schema)
 
 use apram_bench::*;
 use apram_model::Json;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::exit;
 use std::time::Instant;
 
-const KNOWN: [&str; 8] = ["e1", "e2", "e3", "e4", "e4b", "e5", "e6", "e8"];
+const KNOWN: [&str; 9] = ["e1", "e2", "e3", "e4", "e4b", "e5", "e6", "e8", "e9"];
 
 struct Cli {
     names: Vec<String>,
     opts: ExpOpts,
     json_dir: Option<PathBuf>,
+    forensics_dir: Option<PathBuf>,
 }
 
 impl Cli {
@@ -38,6 +42,7 @@ fn parse_cli() -> Cli {
         names: Vec::new(),
         opts: ExpOpts::default(),
         json_dir: None,
+        forensics_dir: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -54,6 +59,12 @@ fn parse_cli() -> Cli {
                     .next()
                     .unwrap_or_else(|| usage("--json needs a directory"));
                 cli.json_dir = Some(PathBuf::from(v));
+            }
+            "--forensics" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("--forensics needs a directory"));
+                cli.forensics_dir = Some(PathBuf::from(v));
             }
             "--help" | "-h" => usage(""),
             name if !name.starts_with('-') => {
@@ -73,7 +84,8 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: experiments [e1 e2 e3 e4 e4b e5 e6 e8 ...] [--seed N] [--quick] [--json DIR]"
+        "usage: experiments [e1 e2 e3 e4 e4b e5 e6 e8 e9 ...] \
+         [--seed N] [--quick] [--json DIR] [--forensics DIR]"
     );
     exit(if err.is_empty() { 0 } else { 2 })
 }
@@ -110,6 +122,49 @@ fn counts(pair: (u64, u64)) -> Json {
         ("reads", Json::UInt(pair.0)),
         ("writes", Json::UInt(pair.1)),
     ])
+}
+
+/// Write the E9 forensics bundle: the shrunk schedule as JSONL (a report
+/// line followed by one line per step), the witness explanation as JSON
+/// and rendered text, and both span trees.
+fn write_forensics(dir: &Path, r: &E9Report) {
+    let shrink = r.explore.violation.as_ref().expect("e9 always violates");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("error: cannot create {}: {e}", dir.display());
+        exit(1);
+    }
+    let mut jsonl = shrink.to_json().to_compact();
+    jsonl.push('\n');
+    for (i, &p) in shrink.schedule.iter().enumerate() {
+        jsonl.push_str(
+            &Json::obj([
+                ("step", Json::UInt(i as u64)),
+                ("proc", Json::UInt(p as u64)),
+            ])
+            .to_compact(),
+        );
+        jsonl.push('\n');
+    }
+    let spans = Json::obj([
+        (
+            "explore",
+            r.explore.spans.as_ref().expect("spans traced").to_json(),
+        ),
+        ("check", r.check_spans.to_json()),
+    ]);
+    for (name, contents) in [
+        ("shrunk_schedule.jsonl", jsonl),
+        ("witness.json", r.explanation.to_json().to_pretty(2)),
+        ("witness.txt", r.rendered.clone()),
+        ("spans.json", spans.to_pretty(2)),
+    ] {
+        let path = dir.join(name);
+        if let Err(e) = std::fs::write(&path, contents) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            exit(1);
+        }
+        eprintln!("wrote {}", path.display());
+    }
 }
 
 fn main() {
@@ -614,5 +669,75 @@ fn main() {
             json,
             started,
         );
+    }
+
+    if cli.want("e9") {
+        let started = Instant::now();
+        println!("## E9 — failure forensics (naive-collect negative control)\n");
+        let r = e9_forensics(&opts);
+        let shrink = r.explore.violation.as_ref().expect("e9 always violates");
+        let rows: Vec<Vec<String>> = r
+            .rows
+            .iter()
+            .map(|row| {
+                vec![
+                    row.op.to_string(),
+                    row.ops.to_string(),
+                    row.observed_steps.to_string(),
+                    row.bound.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            markdown_table(&["operation", "ops", "observed steps", "paper cost"], &rows)
+        );
+        println!(
+            "schedule shrunk {} → {} steps ({} candidate re-executions, {} adopted); \
+             final check explored {} nodes; {} histories checked in total\n",
+            shrink.original.len(),
+            shrink.schedule.len(),
+            shrink.stats.attempts,
+            shrink.stats.useful,
+            r.check_explored,
+            r.histories_checked
+        );
+        for line in r.rendered.lines() {
+            println!("    {line}");
+        }
+        println!();
+        let json = Json::obj([
+            (
+                "rows",
+                Json::Arr(
+                    r.rows
+                        .iter()
+                        .map(|row| {
+                            Json::obj([
+                                ("op", Json::Str(row.op.into())),
+                                ("ops", Json::UInt(row.ops)),
+                                ("observed_steps", Json::UInt(row.observed_steps)),
+                                ("paper_cost", Json::UInt(row.bound)),
+                                ("within_bound", Json::Bool(row.observed_steps <= row.bound)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("shrink", shrink.to_json()),
+            ("explanation", r.explanation.to_json()),
+            ("check_explored", Json::UInt(r.check_explored)),
+            ("histories_checked", Json::UInt(r.histories_checked)),
+        ]);
+        emit_report(
+            &cli,
+            "e9",
+            "Failure forensics: shrunk counterexample, witness explanation, search spans",
+            json,
+            started,
+        );
+        if let Some(dir) = &cli.forensics_dir {
+            write_forensics(dir, &r);
+        }
     }
 }

@@ -1,7 +1,7 @@
 #![allow(clippy::type_complexity)]
 
-//! The experiment implementations (E1–E6, E8). Wall-clock E7 lives in
-//! `benches/`.
+//! The experiment implementations (E1–E6, E8, E9). Wall-clock E7 lives
+//! in `benches/`.
 
 use apram_agreement::ablation::{explore_machine, random_search};
 use apram_agreement::adversary::{lemma6_bound, run_adversary};
@@ -9,16 +9,22 @@ use apram_agreement::hierarchy::{hierarchy_row, theorem5_bound, unbounded_growth
 use apram_agreement::machine::AgreementMachine;
 use apram_agreement::proto::{ScanMode, Variant};
 use apram_core::{CounterOp, Universal};
-use apram_history::check::{check_linearizable, CheckerConfig};
-use apram_history::Recorder;
+use apram_history::check::{check_linearizable, check_linearizable_traced, CheckerConfig};
+use apram_history::{CheckOutcome, FailureExplanation, Ops, Recorder, Violation};
+use apram_lattice::Tagged;
 use apram_model::sim::explore::{ExploreConfig, ExploreStats};
+use apram_model::sim::shrink::ShrinkConfig;
+use apram_model::sim::strategy::Replay;
 use apram_model::sim::{ProcBody, SimBuilder, SimCtx};
-use apram_model::MemCtx;
+use apram_model::{MemCtx, SpanNode, SpanRecorder};
 use apram_snapshot::afek::{AfekReg, AfekSnapshot};
+use apram_snapshot::collect::{naive_collect, CollectArray, DoubleCollect};
 use apram_snapshot::snapshot::{SnapOp, SnapResp, SnapshotSpec};
 use apram_snapshot::{ScanHandle, ScanObject, Snapshot};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// Shared experiment options, fed by the CLI's `--seed` / `--quick`
 /// flags so every experiment honors the same knobs.
@@ -321,9 +327,6 @@ impl E6Summary {
 /// Run the E6 exhaustive checks (smaller than the test-suite versions;
 /// the suite is the authority, this reports the counts for the table).
 pub fn e6_summary(opts: &ExpOpts) -> E6Summary {
-    use std::cell::RefCell;
-    use std::rc::Rc;
-
     let budget = if opts.quick { 2_000 } else { 20_000 };
     let mut histories = 0u64;
 
@@ -358,6 +361,7 @@ pub fn e6_summary(opts: &ExpOpts) -> E6Summary {
             &ExploreConfig {
                 max_runs: budget,
                 max_depth: 12,
+                ..ExploreConfig::default()
             },
             make,
             |out| {
@@ -409,6 +413,7 @@ pub fn e6_summary(opts: &ExpOpts) -> E6Summary {
         &ExploreConfig {
             max_runs: budget,
             max_depth: 10,
+            ..ExploreConfig::default()
         },
         make2,
         |out| {
@@ -454,6 +459,7 @@ pub fn e6_summary(opts: &ExpOpts) -> E6Summary {
             &ExploreConfig {
                 max_runs: budget,
                 max_depth: 12,
+                ..ExploreConfig::default()
             },
             make3,
             |out| {
@@ -667,6 +673,186 @@ pub fn e8_rows(opts: &ExpOpts) -> Vec<E8Row> {
     rows
 }
 
+/// The recorder cell shared between the E9 factory and its visitors.
+pub type E9RecCell = Rc<RefCell<Option<Recorder<SnapOp<u32>, SnapResp<u32>>>>>;
+
+/// Number of processes in the E9 scenario (one scanner, two writers).
+pub const E9_PROCS: usize = 3;
+
+/// Body factory for the E9 forensics scenario: P0 runs one recorded
+/// [`naive_collect`] scan, P1 and P2 each run two recorded updates. Every
+/// recorded event sits *between* two shared accesses of its process (each
+/// body opens with a warmup read of its own slot), so the captured
+/// history is a deterministic function of the schedule — the re-execution
+/// contract that exploration and schedule shrinking rely on.
+///
+/// Shared so the acceptance test in `tests/forensics.rs` drives the exact
+/// scenario the experiment reports on.
+pub fn e9_factory(
+    arr: CollectArray,
+    cell: E9RecCell,
+) -> impl FnMut() -> Vec<ProcBody<'static, Tagged<u32>, ()>> {
+    move || {
+        let rec: Recorder<SnapOp<u32>, SnapResp<u32>> = Recorder::new();
+        *cell.borrow_mut() = Some(rec.clone());
+        let scanner = rec.clone();
+        let mut bodies: Vec<ProcBody<'static, Tagged<u32>, ()>> =
+            vec![Box::new(move |ctx: &mut SimCtx<Tagged<u32>>| {
+                let _ = ctx.read(0); // warmup: anchor the events below
+                scanner.invoke(0, SnapOp::Snap);
+                let view = naive_collect(&arr, ctx);
+                scanner.respond(0, SnapResp::View(view));
+            })];
+        for p in 1..E9_PROCS {
+            let rec = rec.clone();
+            bodies.push(Box::new(move |ctx: &mut SimCtx<Tagged<u32>>| {
+                let _ = ctx.read(p); // warmup
+                let mut h = DoubleCollect::new(arr);
+                for k in 0..2u32 {
+                    let v = 10 * p as u32 + k;
+                    rec.record(p, SnapOp::Update(v), || {
+                        h.update(ctx, v);
+                        SnapResp::Ack
+                    });
+                }
+            }));
+        }
+        bodies
+    }
+}
+
+/// E9 — one operation class of the shrunk counterexample: observed
+/// shared-memory steps vs the paper's per-operation cost.
+#[derive(Clone, Debug)]
+pub struct E9Row {
+    /// Operation class label.
+    pub op: &'static str,
+    /// Completed operations of that class in the shrunk run.
+    pub ops: u64,
+    /// Shared accesses the class performed in the shrunk run (warmup
+    /// reads excluded).
+    pub observed_steps: u64,
+    /// Analytic cost: `n` reads per collect, 1 write per update.
+    pub bound: u64,
+}
+
+/// Everything E9 produces: the exploration (shrunk violation and span
+/// tree inside), the per-operation step accounting of the minimal run,
+/// the checker's structured witness explanation with its rendering, and
+/// the checker's own span tree.
+#[derive(Clone, Debug)]
+pub struct E9Report {
+    /// Exploration stats; [`ExploreStats::violation`] holds the shrink
+    /// report and [`ExploreStats::spans`] the explorer span tree.
+    pub explore: ExploreStats,
+    /// Per-operation step counts vs paper costs, measured on the shrunk
+    /// schedule's strict replay.
+    pub rows: Vec<E9Row>,
+    /// Structured explanation of why the shrunk run's history fails.
+    pub explanation: FailureExplanation,
+    /// Human-readable rendering of `explanation` (with the operation
+    /// timeline).
+    pub rendered: String,
+    /// Span tree of the final traced linearizability check.
+    pub check_spans: SpanNode,
+    /// Search nodes the final check explored before concluding.
+    pub check_explored: u64,
+    /// Histories checked across exploration and shrinking.
+    pub histories_checked: u64,
+}
+
+/// Run E9 — failure forensics end to end on the naive-collect negative
+/// control: explore until the checker rejects a history, shrink the
+/// failing schedule to a locally minimal one, strict-replay it, and
+/// explain the resulting violation.
+///
+/// # Panics
+/// Panics if the naive collect fails to produce a violation (it always
+/// does: that is what makes it the negative control).
+pub fn e9_forensics(opts: &ExpOpts) -> E9Report {
+    let arr = CollectArray::new(E9_PROCS);
+    let spec = SnapshotSpec::<u32>::new(E9_PROCS);
+    let cell: E9RecCell = Rc::new(RefCell::new(None));
+    let mut histories = 0u64;
+    let econfig = ExploreConfig {
+        max_runs: if opts.quick { 20_000 } else { 200_000 },
+        shrink: Some(ShrinkConfig::default()),
+        trace_spans: true,
+        ..ExploreConfig::default()
+    };
+    let visit_cell = Rc::clone(&cell);
+    let explore = SimBuilder::new(arr.registers::<u32>())
+        .owners(arr.owners())
+        .explore(&econfig, e9_factory(arr, Rc::clone(&cell)), |out| {
+            out.assert_no_panics();
+            let hist = visit_cell.borrow_mut().take().unwrap().snapshot();
+            histories += 1;
+            check_linearizable(&spec, &hist, &CheckerConfig::default()).is_ok()
+        });
+    let report = explore
+        .violation
+        .clone()
+        .expect("the naive collect must produce a violation");
+
+    // Strict-replay the minimal schedule (every entry is serviced, so the
+    // step budget pins the execution exactly) and explain its history.
+    let mut factory = e9_factory(arr, Rc::clone(&cell));
+    let out = SimBuilder::new(arr.registers::<u32>())
+        .owners(arr.owners())
+        .strategy(Replay::strict(report.schedule.clone()))
+        .max_steps(report.schedule.len() as u64)
+        .run(factory());
+    out.assert_no_panics();
+    let hist = cell.borrow_mut().take().unwrap().snapshot();
+    let mut spans = SpanRecorder::new("forensics");
+    let verdict = check_linearizable_traced(&spec, &hist, &CheckerConfig::default(), &mut spans);
+    let check_spans = spans.finish();
+    let CheckOutcome::Violation(Violation::NotLinearizable {
+        explored,
+        explanation,
+    }) = verdict
+    else {
+        panic!("shrunk schedule no longer violates: {verdict:?}");
+    };
+    let explanation = *explanation.expect("the exhaustive search tracks explanations");
+    let ops = Ops::extract(&hist);
+    let rendered = explanation.render(&ops);
+
+    // Per-operation accounting on the minimal run. The scanner's accesses
+    // are its warmup plus one collect (n reads); each serviced update is
+    // exactly one write, so a locally minimal schedule should spend
+    // nothing beyond the analytic costs.
+    let updates: u64 = ops
+        .records()
+        .iter()
+        .filter(|r| matches!(r.op, SnapOp::Update(_)) && !r.is_pending())
+        .count() as u64;
+    let rows = vec![
+        E9Row {
+            op: "naive collect scan (P0)",
+            ops: 1,
+            observed_steps: out.counts[0].reads.saturating_sub(1),
+            bound: E9_PROCS as u64,
+        },
+        E9Row {
+            op: "update (P1, P2)",
+            ops: updates,
+            observed_steps: (1..E9_PROCS).map(|p| out.counts[p].writes).sum(),
+            bound: updates,
+        },
+    ];
+
+    E9Report {
+        explore,
+        rows,
+        explanation,
+        rendered,
+        check_spans,
+        check_explored: explored,
+        histories_checked: histories,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -726,6 +912,41 @@ mod tests {
             assert!(st.replay_ratio() < 1.0, "{name}: {st:?}");
             assert_eq!(st.sleep_skips, 0, "{name}: plain explore cannot prune");
         }
+    }
+
+    #[test]
+    fn e9_minimal_run_meets_paper_costs() {
+        let r = e9_forensics(&ExpOpts {
+            seed: 0,
+            quick: true,
+        });
+        let shrink = r.explore.violation.as_ref().expect("violation captured");
+        assert!(
+            shrink.schedule.len() < shrink.original.len(),
+            "shrunk {} vs original {}",
+            shrink.schedule.len(),
+            shrink.original.len()
+        );
+        // A locally minimal run spends exactly the analytic per-op costs.
+        for row in &r.rows {
+            assert!(row.ops > 0, "{row:?}");
+            assert_eq!(row.observed_steps, row.bound, "{row:?}");
+        }
+        assert!(!r.explanation.edges.is_empty());
+        assert!(r.rendered.contains("not linearizable"), "{}", r.rendered);
+        assert!(r.rendered.contains("timeline:"), "{}", r.rendered);
+        // Both span trees are present: the explorer's (with a nested
+        // shrink span) and the checker's.
+        let espans = r.explore.spans.as_ref().expect("explore spans");
+        assert!(espans.children.iter().any(|c| c.name == "shrink"));
+        let check = r
+            .check_spans
+            .children
+            .iter()
+            .find(|c| c.name == "check")
+            .expect("check span");
+        assert_eq!(check.counter("nodes"), Some(r.check_explored));
+        assert!(r.histories_checked > r.explore.runs, "shrink re-checks");
     }
 
     #[test]

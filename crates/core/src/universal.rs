@@ -436,6 +436,7 @@ mod tests {
                 &ExploreConfig {
                     max_runs: 60_000,
                     max_depth: 10,
+                    ..ExploreConfig::default()
                 },
                 make,
                 |out| {

@@ -19,8 +19,10 @@
 //! the approximate agreement spec.
 
 use crate::event::History;
+use crate::explain::{BlockReason, BlockedOp, FailureExplanation};
 use crate::ops::{OpRecord, Ops};
 use crate::spec::{DetSpec, NondetSpec};
+use apram_model::SpanRecorder;
 use std::collections::HashSet;
 use std::hash::Hash;
 
@@ -55,6 +57,12 @@ pub enum Violation {
     NotLinearizable {
         /// Number of search nodes explored before concluding.
         explored: u64,
+        /// Structured account of the failure: the longest linearizable
+        /// prefix, why each remaining operation is blocked, and the
+        /// reduced real-time precedence edges. `None` only for checkers
+        /// that do not track it (e.g. the sequential-consistency one,
+        /// where real time plays no role).
+        explanation: Option<Box<FailureExplanation>>,
     },
     /// The history has more than [`MAX_OPS`] operations.
     TooLarge,
@@ -111,7 +119,12 @@ struct Search<'a, Sp: NondetSpec, M> {
     cfg: &'a CheckerConfig,
     memo: M,
     explored: u64,
+    memo_hits: u64,
+    backtracks: u64,
     witness: Vec<usize>,
+    /// Longest witness prefix reached at any point in the search; on
+    /// failure this is the frontier of the explanation.
+    best_prefix: Vec<usize>,
     /// Completion function for pending ops (deterministic specs only).
     complete_pending: Option<Completer<'a, Sp::State>>,
 }
@@ -147,6 +160,7 @@ impl<'a, Sp: NondetSpec, M: Memo<Sp::State>> Search<'a, Sp, M> {
             return SearchResult::Found;
         }
         if self.memo.seen_failure(remaining, state) {
+            self.memo_hits += 1;
             return SearchResult::Exhausted;
         }
         for i in 0..self.records.len() {
@@ -162,12 +176,13 @@ impl<'a, Sp: NondetSpec, M: Memo<Sp::State>> Search<'a, Sp, M> {
             let next_remaining = remaining & !(1u128 << i);
             if let Some(resp) = &r.resp {
                 if let Some(next) = self.spec.step(state, r.proc, &r.op, resp) {
-                    self.witness.push(i);
+                    self.push_witness(i);
                     match self.dfs(next_remaining, &next) {
                         SearchResult::Found => return SearchResult::Found,
                         SearchResult::OverBudget => return SearchResult::OverBudget,
                         SearchResult::Exhausted => {
                             self.witness.pop();
+                            self.backtracks += 1;
                         }
                     }
                 }
@@ -176,12 +191,13 @@ impl<'a, Sp: NondetSpec, M: Memo<Sp::State>> Search<'a, Sp, M> {
                 // effect (the unique enabled response of a det spec).
                 let mut next = state.clone();
                 complete(&mut next, i);
-                self.witness.push(i);
+                self.push_witness(i);
                 match self.dfs(next_remaining, &next) {
                     SearchResult::Found => return SearchResult::Found,
                     SearchResult::OverBudget => return SearchResult::OverBudget,
                     SearchResult::Exhausted => {
                         self.witness.pop();
+                        self.backtracks += 1;
                     }
                 }
                 // Also covered: *not* linearizing it, because the done
@@ -191,6 +207,122 @@ impl<'a, Sp: NondetSpec, M: Memo<Sp::State>> Search<'a, Sp, M> {
         self.memo.record_failure(remaining, state);
         SearchResult::Exhausted
     }
+
+    fn push_witness(&mut self, i: usize) {
+        self.witness.push(i);
+        if self.witness.len() > self.best_prefix.len() {
+            self.best_prefix.clone_from(&self.witness);
+        }
+    }
+
+    /// Build the failure explanation after an exhausted search: replay
+    /// the longest legal prefix found, then classify every remaining
+    /// operation by what blocks it at that frontier.
+    fn explain(&self, init: &Sp::State) -> FailureExplanation {
+        let n = self.records.len();
+        let full: u128 = if n == MAX_OPS {
+            u128::MAX
+        } else {
+            (1u128 << n) - 1
+        };
+        let mut state = init.clone();
+        let mut remaining = full;
+        for &i in &self.best_prefix {
+            remaining &= !(1u128 << i);
+            let r = &self.records[i];
+            state = match (&r.resp, self.complete_pending) {
+                (Some(resp), _) => self
+                    .spec
+                    .step(&state, r.proc, &r.op, resp)
+                    .expect("best prefix was legal when first explored"),
+                (None, Some(complete)) => {
+                    let mut next = state.clone();
+                    complete(&mut next, i);
+                    next
+                }
+                (None, None) => unreachable!("pending op linearized without a completer"),
+            };
+        }
+        // The minimality frontier among what is left: the earliest
+        // response of a still-remaining completed op bounds which
+        // invocations may linearize next.
+        let mut min_respond = usize::MAX;
+        let mut min_idx = None;
+        for i in 0..n {
+            if remaining & (1u128 << i) != 0 {
+                let r = &self.records[i];
+                if !r.is_pending() && r.respond_at < min_respond {
+                    min_respond = r.respond_at;
+                    min_idx = Some(i);
+                }
+            }
+        }
+        let mut blocked = Vec::new();
+        for i in 0..n {
+            if remaining & (1u128 << i) == 0 {
+                continue;
+            }
+            let r = &self.records[i];
+            let reason = if r.invoke_at > min_respond {
+                BlockReason::Precedence {
+                    after: min_idx.expect("min_respond is finite"),
+                }
+            } else if let Some(resp) = &r.resp {
+                match self.spec.step(&state, r.proc, &r.op, resp) {
+                    None => BlockReason::SpecRejected,
+                    Some(_) => BlockReason::DeadEnd,
+                }
+            } else if self.complete_pending.is_some() {
+                BlockReason::DeadEnd
+            } else {
+                BlockReason::Pending
+            };
+            blocked.push(BlockedOp { op: i, reason });
+        }
+        // Real-time precedence over all ops, transitively reduced.
+        let precedes = |a: usize, b: usize| self.records[a].respond_at < self.records[b].invoke_at;
+        let mut edges = Vec::new();
+        for a in 0..n {
+            for b in 0..n {
+                if a != b
+                    && precedes(a, b)
+                    && !(0..n).any(|c| c != a && c != b && precedes(a, c) && precedes(c, b))
+                {
+                    edges.push((a, b));
+                }
+            }
+        }
+        FailureExplanation {
+            frontier: self.best_prefix.clone(),
+            blocked,
+            edges,
+        }
+    }
+}
+
+/// Run the search to completion, report its counters into `spans` when
+/// tracing, and convert the result into a [`CheckOutcome`] (building the
+/// failure explanation on exhaustion).
+fn conclude<Sp: NondetSpec, M: Memo<Sp::State>>(
+    search: &mut Search<'_, Sp, M>,
+    full: u128,
+    init: &Sp::State,
+    spans: Option<&mut SpanRecorder>,
+) -> CheckOutcome {
+    let result = search.dfs(full, init);
+    if let Some(s) = spans {
+        s.bump("nodes", search.explored);
+        s.bump("memo_hits", search.memo_hits);
+        s.bump("backtracks", search.backtracks);
+    }
+    match result {
+        SearchResult::Found => CheckOutcome::Linearizable(std::mem::take(&mut search.witness)),
+        SearchResult::OverBudget => CheckOutcome::BudgetExhausted,
+        SearchResult::Exhausted => CheckOutcome::Violation(Violation::NotLinearizable {
+            explored: search.explored,
+            explanation: Some(Box::new(search.explain(init))),
+        }),
+    }
 }
 
 fn run_check<Sp: NondetSpec, M: Memo<Sp::State>>(
@@ -199,6 +331,7 @@ fn run_check<Sp: NondetSpec, M: Memo<Sp::State>>(
     cfg: &CheckerConfig,
     memo: M,
     complete_pending: Option<Completer<'_, Sp::State>>,
+    spans: Option<&mut SpanRecorder>,
 ) -> CheckOutcome {
     if !h.well_formed() {
         return CheckOutcome::Violation(Violation::Malformed);
@@ -213,7 +346,10 @@ fn run_check<Sp: NondetSpec, M: Memo<Sp::State>>(
         cfg,
         memo,
         explored: 0,
+        memo_hits: 0,
+        backtracks: 0,
         witness: Vec::new(),
+        best_prefix: Vec::new(),
         complete_pending,
     };
     let full: u128 = if ops.len() == MAX_OPS {
@@ -222,13 +358,7 @@ fn run_check<Sp: NondetSpec, M: Memo<Sp::State>>(
         (1u128 << ops.len()) - 1
     };
     let init = spec.initial();
-    match search.dfs(full, &init) {
-        SearchResult::Found => CheckOutcome::Linearizable(search.witness),
-        SearchResult::OverBudget => CheckOutcome::BudgetExhausted,
-        SearchResult::Exhausted => CheckOutcome::Violation(Violation::NotLinearizable {
-            explored: search.explored,
-        }),
-    }
+    conclude(&mut search, full, &init, spans)
 }
 
 /// Check a history against a nondeterministic spec, memoizing failed
@@ -242,7 +372,26 @@ where
     Sp: NondetSpec,
     Sp::State: Hash + Eq,
 {
-    run_check(spec, h, cfg, HashMemo(HashSet::new()), None)
+    run_check(spec, h, cfg, HashMemo(HashSet::new()), None, None)
+}
+
+/// [`check_linearizable`], reporting search telemetry into a span: a
+/// `"check"` child span is recorded under the currently open span with
+/// `nodes`, `memo_hits`, and `backtracks` counters.
+pub fn check_linearizable_traced<Sp>(
+    spec: &Sp,
+    h: &History<Sp::Op, Sp::Resp>,
+    cfg: &CheckerConfig,
+    spans: &mut SpanRecorder,
+) -> CheckOutcome
+where
+    Sp: NondetSpec,
+    Sp::State: Hash + Eq,
+{
+    spans.enter("check");
+    let out = run_check(spec, h, cfg, HashMemo(HashSet::new()), None, Some(spans));
+    spans.exit();
+    out
 }
 
 /// Check without memoization; use when the spec state is not hashable
@@ -256,7 +405,7 @@ pub fn check_linearizable_nomemo<Sp>(
 where
     Sp: NondetSpec,
 {
-    run_check(spec, h, cfg, NoMemo, None)
+    run_check(spec, h, cfg, NoMemo, None, None)
 }
 
 /// Check a history against a *deterministic* spec. When
@@ -268,6 +417,37 @@ pub fn check_linearizable_det<Sp>(
     spec: &Sp,
     h: &History<Sp::Op, Sp::Resp>,
     cfg: &CheckerConfig,
+) -> CheckOutcome
+where
+    Sp: DetSpec,
+    Sp::State: Hash + Eq,
+{
+    run_check_det(spec, h, cfg, None)
+}
+
+/// [`check_linearizable_det`], reporting search telemetry into a span
+/// (see [`check_linearizable_traced`]).
+pub fn check_linearizable_det_traced<Sp>(
+    spec: &Sp,
+    h: &History<Sp::Op, Sp::Resp>,
+    cfg: &CheckerConfig,
+    spans: &mut SpanRecorder,
+) -> CheckOutcome
+where
+    Sp: DetSpec,
+    Sp::State: Hash + Eq,
+{
+    spans.enter("check");
+    let out = run_check_det(spec, h, cfg, Some(spans));
+    spans.exit();
+    out
+}
+
+fn run_check_det<Sp>(
+    spec: &Sp,
+    h: &History<Sp::Op, Sp::Resp>,
+    cfg: &CheckerConfig,
+    spans: Option<&mut SpanRecorder>,
 ) -> CheckOutcome
 where
     Sp: DetSpec,
@@ -297,7 +477,10 @@ where
         cfg,
         memo: HashMemo(HashSet::new()),
         explored: 0,
+        memo_hits: 0,
+        backtracks: 0,
         witness: Vec::new(),
+        best_prefix: Vec::new(),
         complete_pending: complete,
     };
     let full: u128 = if records.len() == MAX_OPS {
@@ -306,13 +489,7 @@ where
         (1u128 << records.len()) - 1
     };
     let init = DetSpec::initial(spec);
-    match search.dfs(full, &init) {
-        SearchResult::Found => CheckOutcome::Linearizable(search.witness),
-        SearchResult::OverBudget => CheckOutcome::BudgetExhausted,
-        SearchResult::Exhausted => CheckOutcome::Violation(Violation::NotLinearizable {
-            explored: search.explored,
-        }),
-    }
+    conclude(&mut search, full, &init, spans)
 }
 
 /// Independently verify a witness: replays it through the spec and checks
@@ -501,6 +678,109 @@ mod tests {
             check_linearizable(&RegisterSpec, &h, &cfg()).is_ok(),
             check_linearizable_nomemo(&RegisterSpec, &h, &cfg()).is_ok()
         );
+    }
+
+    #[test]
+    fn failure_explanation_reports_frontier_and_reason() {
+        // w(1) completes strictly before a read that sees 0: the write
+        // linearizes, then the read's response is illegal.
+        let mut h = H::new();
+        h.invoke(0, RegOp::Write(1));
+        h.respond(0, RegResp::Ack);
+        h.invoke(1, RegOp::Read);
+        h.respond(1, RegResp::Value(0));
+        let out = check_linearizable(&RegisterSpec, &h, &cfg());
+        let CheckOutcome::Violation(Violation::NotLinearizable { explanation, .. }) = out else {
+            panic!("expected NotLinearizable, got {out:?}");
+        };
+        let e = *explanation.expect("checker attaches an explanation");
+        assert_eq!(e.frontier, vec![0]);
+        assert_eq!(e.blocked.len(), 1);
+        assert_eq!(e.blocked[0].op, 1);
+        assert_eq!(e.blocked[0].reason, BlockReason::SpecRejected);
+        assert_eq!(e.edges, vec![(0, 1)]);
+        let ops = Ops::extract(&h);
+        let text = e.render(&ops);
+        assert!(text.contains("orders 1 of 2 operations"), "{text}");
+        assert!(text.contains("spec rejects"), "{text}");
+    }
+
+    #[test]
+    fn failure_explanation_names_blocking_precedence_edge() {
+        // op 0: w(1) completes; op 1: read sees 0 (illegal after the
+        // write); op 2: read sees 1, but its invocation follows op 1's
+        // response, so the real-time edge op1 ≺ op2 blocks it from
+        // rescuing the search.
+        let mut h = H::new();
+        h.invoke(0, RegOp::Write(1));
+        h.respond(0, RegResp::Ack);
+        h.invoke(1, RegOp::Read);
+        h.respond(1, RegResp::Value(0));
+        h.invoke(2, RegOp::Read);
+        h.respond(2, RegResp::Value(1));
+        let out = check_linearizable(&RegisterSpec, &h, &cfg());
+        let CheckOutcome::Violation(Violation::NotLinearizable { explanation, .. }) = out else {
+            panic!("expected NotLinearizable, got {out:?}");
+        };
+        let e = *explanation.expect("checker attaches an explanation");
+        assert_eq!(e.frontier, vec![0]);
+        assert!(e.blocked.contains(&crate::explain::BlockedOp {
+            op: 2,
+            reason: BlockReason::Precedence { after: 1 },
+        }));
+        assert_eq!(e.blocking_edges(), vec![(1, 2)]);
+        // Transitive reduction drops the implied (0, 2) edge.
+        assert_eq!(e.edges, vec![(0, 1), (1, 2)]);
+        let text = e.render(&Ops::extract(&h));
+        assert!(text.contains("op 1 \u{227a} op 2"), "{text}");
+    }
+
+    #[test]
+    fn pending_ops_are_explained_in_strict_mode() {
+        // The pending write's effect is observed, so strict mode fails;
+        // the pending op must be called out as dropped.
+        let mut h = H::new();
+        h.invoke(0, RegOp::Write(7));
+        h.invoke(1, RegOp::Read);
+        h.respond(1, RegResp::Value(7));
+        let out = check_linearizable(&RegisterSpec, &h, &cfg());
+        let CheckOutcome::Violation(Violation::NotLinearizable { explanation, .. }) = out else {
+            panic!("expected NotLinearizable, got {out:?}");
+        };
+        let e = *explanation.expect("explanation");
+        assert!(e
+            .blocked
+            .iter()
+            .any(|b| b.op == 0 && b.reason == BlockReason::Pending));
+    }
+
+    #[test]
+    fn traced_check_records_search_counters() {
+        use apram_model::SpanRecorder;
+        let mut h = H::new();
+        h.invoke(0, RegOp::Write(1));
+        h.respond(0, RegResp::Ack);
+        h.invoke(1, RegOp::Read);
+        h.respond(1, RegResp::Value(0));
+        let mut spans = SpanRecorder::new("test");
+        let out = check_linearizable_traced(&RegisterSpec, &h, &cfg(), &mut spans);
+        let CheckOutcome::Violation(Violation::NotLinearizable { explored, .. }) = out else {
+            panic!("{out:?}");
+        };
+        let tree = spans.finish();
+        let check = &tree.children[0];
+        assert_eq!(check.name, "check");
+        assert_eq!(check.counter("nodes"), Some(explored));
+        assert!(check.counter("backtracks").unwrap_or(0) >= 1);
+        assert!(check.counter("memo_hits").is_some());
+
+        // The det-traced variant reports through the same span shape.
+        let mut spans = SpanRecorder::new("test");
+        let out = check_linearizable_det_traced(&RegisterSpec, &h, &cfg(), &mut spans);
+        assert!(!out.is_ok());
+        let tree = spans.finish();
+        assert_eq!(tree.children[0].name, "check");
+        assert!(tree.children[0].counter("nodes").is_some());
     }
 
     #[test]

@@ -92,6 +92,13 @@ impl<O, R> History<O, R> {
         self.events.is_empty()
     }
 
+    /// One more than the largest process id appearing in the history
+    /// (0 when empty): the row count for per-process renderings such as
+    /// [`crate::explain::render_timeline`].
+    pub fn n_procs(&self) -> usize {
+        self.events.iter().map(|e| e.proc() + 1).max().unwrap_or(0)
+    }
+
     /// The projection `H|P`: the subsequence of events of process `p`.
     pub fn project(&self, p: ProcId) -> Vec<&Event<O, R>> {
         self.events.iter().filter(|e| e.proc() == p).collect()

@@ -1,0 +1,332 @@
+//! Structured explanations for linearizability failures.
+//!
+//! When the checker's exhaustive search concludes that no legal
+//! linearization exists, a bare "not linearizable" is forensically
+//! useless: the interesting question is *which* operations could not be
+//! ordered, and which real-time precedence constraint blocked them. A
+//! [`FailureExplanation`] answers that with the longest linearizable
+//! prefix the search found (the *frontier*), a classified reason per
+//! still-unordered operation, and the transitively reduced real-time
+//! precedence edges of the whole history. Renderers turn it into an
+//! operation-interval timeline (the history-side companion of
+//! `Trace::render_ascii`) and a JSON document for `--forensics` bundles.
+
+use crate::ops::Ops;
+use apram_model::Json;
+use std::fmt::Debug;
+
+/// Why a specific operation could not be linearized next, judged at the
+/// frontier state (after replaying the longest legal prefix).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BlockReason {
+    /// A real-time precedence edge blocks it: operation `after` (still
+    /// unlinearized, completed) responded before this operation's
+    /// invocation, so `after` must be linearized first.
+    Precedence {
+        /// The operation that must come first.
+        after: usize,
+    },
+    /// The sequential spec rejects the operation's observed response
+    /// from the frontier state.
+    SpecRejected,
+    /// Linearizing the operation here is legal, but the search proved
+    /// every continuation fails.
+    DeadEnd,
+    /// The operation is pending and the checker ran in strict mode, so
+    /// it was dropped rather than completed.
+    Pending,
+}
+
+/// One operation the search could not linearize past the frontier.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockedOp {
+    /// Index into [`Ops::records`].
+    pub op: usize,
+    /// Why it is stuck.
+    pub reason: BlockReason,
+}
+
+/// A structured account of why a history is not linearizable.
+///
+/// Operation indices throughout refer to [`Ops::records`] of the checked
+/// history (invocation order).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FailureExplanation {
+    /// The longest legal linearization prefix the search found, in
+    /// linearized order.
+    pub frontier: Vec<usize>,
+    /// Every operation not in the frontier, with the reason it could not
+    /// extend it.
+    pub blocked: Vec<BlockedOp>,
+    /// The real-time precedence relation `≺_H` over all operations,
+    /// transitively reduced (edges implied by two others are omitted).
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl FailureExplanation {
+    /// The precedence edges directly blocking a frontier extension: one
+    /// `(after, op)` pair per [`BlockReason::Precedence`] entry.
+    pub fn blocking_edges(&self) -> Vec<(usize, usize)> {
+        self.blocked
+            .iter()
+            .filter_map(|b| match b.reason {
+                BlockReason::Precedence { after } => Some((after, b.op)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Serialise to JSON:
+    /// `{"frontier":[…],"blocked":[{"op":…,"reason":…,…}],"edges":[[a,b],…]}`.
+    pub fn to_json(&self) -> Json {
+        let blocked = self
+            .blocked
+            .iter()
+            .map(|b| {
+                let mut pairs = vec![("op".to_string(), Json::UInt(b.op as u64))];
+                let reason = match b.reason {
+                    BlockReason::Precedence { after } => {
+                        pairs.push(("after".into(), Json::UInt(after as u64)));
+                        "precedence"
+                    }
+                    BlockReason::SpecRejected => "spec_rejected",
+                    BlockReason::DeadEnd => "dead_end",
+                    BlockReason::Pending => "pending",
+                };
+                pairs.push(("reason".into(), Json::Str(reason.into())));
+                Json::Obj(pairs)
+            })
+            .collect();
+        Json::obj([
+            (
+                "frontier",
+                Json::Arr(
+                    self.frontier
+                        .iter()
+                        .map(|&i| Json::UInt(i as u64))
+                        .collect(),
+                ),
+            ),
+            ("blocked", Json::Arr(blocked)),
+            (
+                "edges",
+                Json::Arr(
+                    self.edges
+                        .iter()
+                        .map(|&(a, b)| Json::Arr(vec![Json::UInt(a as u64), Json::UInt(b as u64)]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Render a human-readable account: frontier, blocked operations with
+    /// reasons, reduced precedence edges, and the interval timeline.
+    pub fn render<O: Clone + Debug, R: Clone + Debug>(&self, ops: &Ops<O, R>) -> String {
+        let recs = ops.records();
+        let mut out = format!(
+            "not linearizable: longest legal prefix orders {} of {} operations\n",
+            self.frontier.len(),
+            recs.len()
+        );
+        if !self.frontier.is_empty() {
+            out.push_str("frontier (linearized so far):\n");
+            for &i in &self.frontier {
+                let r = &recs[i];
+                out.push_str(&format!(
+                    "  op {i}: P{} {:?} -> {:?}\n",
+                    r.proc, r.op, r.resp
+                ));
+            }
+        }
+        out.push_str("blocked:\n");
+        for b in &self.blocked {
+            let r = &recs[b.op];
+            let why = match b.reason {
+                BlockReason::Precedence { after } => format!(
+                    "real-time edge op {after} \u{227a} op {}: op {after} responded before it was invoked and must linearize first",
+                    b.op
+                ),
+                BlockReason::SpecRejected => {
+                    "spec rejects its response from the frontier state".into()
+                }
+                BlockReason::DeadEnd => "legal here, but every continuation fails".into(),
+                BlockReason::Pending => "pending (dropped in strict mode)".into(),
+            };
+            out.push_str(&format!("  op {}: P{} {:?} — {why}\n", b.op, r.proc, r.op));
+        }
+        if !self.edges.is_empty() {
+            out.push_str("real-time precedence (transitively reduced):\n");
+            for &(a, b) in &self.edges {
+                out.push_str(&format!("  op {a} \u{227a} op {b}\n"));
+            }
+        }
+        out.push_str("timeline:\n");
+        for line in render_timeline(ops).lines() {
+            out.push_str("  ");
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Render operation intervals as an ASCII timeline: one row per process,
+/// one column per history event index, `[`/`]` brackets at each
+/// operation's invocation and response, `=` in between (pending
+/// operations stay open to the right edge). The operation's index is
+/// printed just inside its opening bracket when it fits. A legend line
+/// per operation follows the rows.
+///
+/// This is the history-side companion of `Trace::render_ascii`: the trace
+/// shows *shared-memory steps* per process, this shows *operation
+/// intervals* per process, on comparable axes.
+pub fn render_timeline<O: Clone + Debug, R: Clone + Debug>(ops: &Ops<O, R>) -> String {
+    let recs = ops.records();
+    let n_procs = recs.iter().map(|r| r.proc + 1).max().unwrap_or(0);
+    // One column per event index; pending ops get two trailing cells.
+    let width = recs
+        .iter()
+        .map(|r| {
+            if r.is_pending() {
+                r.invoke_at + 3
+            } else {
+                r.respond_at + 1
+            }
+        })
+        .max()
+        .unwrap_or(0);
+    let mut rows = vec![vec![' '; width]; n_procs];
+    for (i, r) in recs.iter().enumerate() {
+        let row = &mut rows[r.proc];
+        let end = if r.is_pending() {
+            width
+        } else {
+            r.respond_at + 1
+        };
+        for cell in row.iter_mut().take(end).skip(r.invoke_at) {
+            *cell = '=';
+        }
+        row[r.invoke_at] = '[';
+        if !r.is_pending() {
+            row[r.respond_at] = ']';
+        }
+        let close = if r.is_pending() { width } else { r.respond_at };
+        for (k, d) in i.to_string().chars().enumerate() {
+            let pos = r.invoke_at + 1 + k;
+            if pos < close {
+                row[pos] = d;
+            }
+        }
+    }
+    let mut out = String::new();
+    for (p, row) in rows.iter().enumerate() {
+        let body: String = row.iter().collect();
+        out.push_str(&format!("P{p} |{}\n", body.trim_end()));
+    }
+    for (i, r) in recs.iter().enumerate() {
+        let span = if r.is_pending() {
+            format!("[{}..", r.invoke_at)
+        } else {
+            format!("[{}..{}]", r.invoke_at, r.respond_at)
+        };
+        let resp = match &r.resp {
+            Some(x) => format!("{x:?}"),
+            None => "pending".into(),
+        };
+        out.push_str(&format!(
+            "op {i}: P{} {:?} -> {resp} {span}\n",
+            r.proc, r.op
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::History;
+
+    #[test]
+    fn timeline_draws_intervals_and_legend() {
+        // P0: |--a--|        |--c--|
+        // P1:     |------b------|
+        let mut h: History<&str, u32> = History::new();
+        h.invoke(0, "a"); // event 0, op 0
+        h.invoke(1, "b"); // event 1, op 1
+        h.respond(0, 10); // event 2
+        h.invoke(0, "c"); // event 3, op 2
+        h.respond(1, 11); // event 4
+        h.respond(0, 12); // event 5
+        let ops = Ops::extract(&h);
+        let art = render_timeline(&ops);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines[0], "P0 |[0][2]");
+        assert_eq!(lines[1], "P1 | [1=]");
+        assert!(lines[2].contains("op 0: P0 \"a\" -> 10 [0..2]"));
+        assert!(lines[4].contains("op 2: P0 \"c\" -> 12 [3..5]"));
+    }
+
+    #[test]
+    fn timeline_extends_pending_ops() {
+        let mut h: History<&str, u32> = History::new();
+        h.invoke(0, "a"); // pending forever
+        h.invoke(1, "b");
+        h.respond(1, 1);
+        let ops = Ops::extract(&h);
+        let art = render_timeline(&ops);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines[0], "P0 |[0=");
+        assert_eq!(lines[1], "P1 | []");
+        assert!(art.contains("op 0: P0 \"a\" -> pending [0.."));
+    }
+
+    #[test]
+    fn json_shape_and_blocking_edges() {
+        let e = FailureExplanation {
+            frontier: vec![1],
+            blocked: vec![
+                BlockedOp {
+                    op: 0,
+                    reason: BlockReason::SpecRejected,
+                },
+                BlockedOp {
+                    op: 2,
+                    reason: BlockReason::Precedence { after: 0 },
+                },
+            ],
+            edges: vec![(0, 2)],
+        };
+        assert_eq!(e.blocking_edges(), vec![(0, 2)]);
+        let json = e.to_json();
+        let text = json.to_compact();
+        assert_eq!(
+            text,
+            r#"{"frontier":[1],"blocked":[{"op":0,"reason":"spec_rejected"},{"op":2,"after":0,"reason":"precedence"}],"edges":[[0,2]]}"#
+        );
+        // Round-trips through the parser.
+        assert!(apram_model::json::parse(&text).is_ok());
+    }
+
+    #[test]
+    fn render_names_the_blocking_edge() {
+        let mut h: History<&str, u32> = History::new();
+        h.invoke(0, "w1"); // op 0
+        h.respond(0, 0);
+        h.invoke(1, "w2"); // op 1
+        h.respond(1, 0);
+        let ops = Ops::extract(&h);
+        let e = FailureExplanation {
+            frontier: vec![],
+            blocked: vec![BlockedOp {
+                op: 1,
+                reason: BlockReason::Precedence { after: 0 },
+            }],
+            edges: vec![(0, 1)],
+        };
+        let text = e.render(&ops);
+        assert!(text.contains("op 0 \u{227a} op 1"), "{text}");
+        assert!(text.contains("must linearize first"), "{text}");
+        assert!(text.contains("timeline:"), "{text}");
+    }
+}

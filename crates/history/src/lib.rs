@@ -22,6 +22,10 @@
 //! * [`check`] — a Wing–Gong style linearizability checker (DFS over
 //!   minimal-operation choices, with memoization when states are
 //!   hashable), returning a witness linearization or a violation.
+//! * [`explain`] — structured failure explanations: the longest
+//!   linearizable prefix, why each remaining operation is blocked (with
+//!   the real-time precedence edge when that is the cause), and an
+//!   operation-interval timeline renderer.
 //! * [`brute`] — a brute-force reference checker used to property-test
 //!   the real one.
 //! * [`sc`] — a sequential-consistency checker, demonstrating the
@@ -34,12 +38,17 @@
 pub mod brute;
 pub mod check;
 pub mod event;
+pub mod explain;
 pub mod ops;
 pub mod sc;
 pub mod spec;
 
-pub use check::{check_linearizable, CheckOutcome, CheckerConfig, Violation};
+pub use check::{
+    check_linearizable, check_linearizable_det, check_linearizable_det_traced,
+    check_linearizable_traced, verify_witness, CheckOutcome, CheckerConfig, Violation,
+};
 pub use event::{Event, History, ProcId, Recorder};
+pub use explain::{render_timeline, BlockReason, BlockedOp, FailureExplanation};
 pub use ops::{OpRecord, Ops};
 pub use sc::check_sequentially_consistent;
 pub use spec::{DetSpec, NondetSpec};

@@ -134,6 +134,9 @@ where
         ScResult::OverBudget => CheckOutcome::BudgetExhausted,
         ScResult::Exhausted => CheckOutcome::Violation(Violation::NotLinearizable {
             explored: search.explored,
+            // Real time plays no role in SC, so the precedence-centric
+            // explanation machinery does not apply here.
+            explanation: None,
         }),
     }
 }

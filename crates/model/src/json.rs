@@ -236,11 +236,18 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Maximum container nesting depth accepted by [`parse`]. The parser is
+/// recursive-descent, so unbounded nesting would overflow the stack on
+/// adversarial input like `"[".repeat(1 << 20)`; deeper documents are
+/// rejected with a [`ParseError`] instead.
+pub const MAX_PARSE_DEPTH: usize = 256;
+
 /// Parse a complete JSON document (trailing whitespace allowed).
 pub fn parse(input: &str) -> Result<Json, ParseError> {
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let value = p.value()?;
@@ -254,6 +261,7 @@ pub fn parse(input: &str) -> Result<Json, ParseError> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -298,12 +306,25 @@ impl Parser<'_> {
             Some(b't') => self.literal("true", Json::Bool(true)),
             Some(b'f') => self.literal("false", Json::Bool(false)),
             Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b'[') => self.array(),
-            Some(b'{') => self.object(),
+            Some(b'[') => self.nested(Self::array),
+            Some(b'{') => self.nested(Self::object),
             Some(b'-' | b'0'..=b'9') => self.number(),
             Some(c) => Err(self.err(format!("unexpected character '{}'", c as char))),
             None => Err(self.err("unexpected end of input")),
         }
+    }
+
+    fn nested(
+        &mut self,
+        inner: fn(&mut Self) -> Result<Json, ParseError>,
+    ) -> Result<Json, ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_PARSE_DEPTH} levels")));
+        }
+        let value = inner(self);
+        self.depth -= 1;
+        value
     }
 
     fn array(&mut self) -> Result<Json, ParseError> {
@@ -542,6 +563,73 @@ mod tests {
         for bad in ["", "{", "[1,", "{\"a\"1}", "tru", "\"\\x\"", "1 2", "nul"] {
             assert!(parse(bad).is_err(), "should reject {bad:?}");
         }
+    }
+
+    #[test]
+    fn rejects_truncated_documents_with_position() {
+        // Truncation at every suffix of a valid document must error, and
+        // the reported offset must lie within the input.
+        let full = r#"{"a":[1,{"b":"cA"},true],"d":null}"#;
+        for cut in 1..full.len() {
+            if !full.is_char_boundary(cut) {
+                continue;
+            }
+            let text = &full[..cut];
+            let e = parse(text).expect_err("truncation must not parse");
+            assert!(e.offset <= text.len(), "offset {} in {text:?}", e.offset);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_escapes() {
+        for bad in [
+            r#""\q""#,            // unknown escape
+            r#""\u12""#,          // short hex
+            r#""\u12zz""#,        // non-hex digits
+            r#""\ud800""#,        // unpaired high surrogate
+            r#""\ud800A""#,       // high surrogate + non-escape
+            "\"\\ud800\\u0041\"", // high surrogate + non-surrogate escape
+            r#""\udc00""#,        // lone low surrogate
+            "\"a\u{1}b\"",        // raw control character
+            r#""unterminated"#,   // missing closing quote
+        ] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn depth_limit_guards_recursion() {
+        // Exactly at the limit: fine.
+        let ok = format!(
+            "{}1{}",
+            "[".repeat(MAX_PARSE_DEPTH),
+            "]".repeat(MAX_PARSE_DEPTH)
+        );
+        assert!(parse(&ok).is_ok());
+        // One deeper: rejected, not a stack overflow.
+        let deep = format!(
+            "{}1{}",
+            "[".repeat(MAX_PARSE_DEPTH + 1),
+            "]".repeat(MAX_PARSE_DEPTH + 1)
+        );
+        let e = parse(&deep).unwrap_err();
+        assert!(e.message.contains("nesting"), "{e}");
+        // Same via objects, and far past the limit (would otherwise
+        // overflow long before unwinding).
+        let wild = "{\"k\":".repeat(100_000) + "1" + &"}".repeat(100_000);
+        assert!(parse(&wild).is_err());
+        // Depth is nesting, not total size: wide documents are fine.
+        let wide = format!("[{}1]", "1,".repeat(10_000));
+        assert!(parse(&wide).is_ok());
+    }
+
+    #[test]
+    fn duplicate_keys_first_wins_on_get() {
+        let doc = parse(r#"{"a":1,"a":2,"b":3}"#).unwrap();
+        // The parser preserves both pairs; `get` resolves to the first,
+        // and serialisation keeps insertion order.
+        assert_eq!(doc.get("a").and_then(Json::as_u64), Some(1));
+        assert_eq!(doc.to_compact(), r#"{"a":1,"a":2,"b":3}"#);
     }
 
     #[test]

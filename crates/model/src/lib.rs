@@ -29,6 +29,12 @@
 //!   linearizability claims (paper Theorems 26/33) on small instances.
 //! * [`trace`] — step traces and per-process read/write counts; the
 //!   operation-count experiments (paper §6.2) read these directly.
+//! * [`mod@sim::shrink`] — delta-debugging schedule minimisation: a failing
+//!   schedule captured by the explorer is greedily reduced to a locally
+//!   minimal one that still reproduces the violation under strict replay.
+//! * [`span`] — lightweight span tracing (named intervals with counters);
+//!   the explorer and the linearizability checker report their internal
+//!   cost structure through it, and `--forensics` dumps the tree.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,15 +45,16 @@ pub mod json;
 pub mod metrics;
 pub mod native;
 pub mod sim;
+pub mod span;
 pub mod trace;
 
 pub use ctx::{AccessKind, Matrix, MatrixView, MemCtx, ProcId};
 pub use json::Json;
 pub use metrics::{Metrics, MetricsLevel, RegStats};
 pub use native::{NativeCtx, NativeMemory};
-#[allow(deprecated)]
 pub use sim::{
-    explore, run_sim, run_symmetric, Decision, ProcBody, SchedView, SimBuilder, SimConfig, SimCtx,
-    SimOutcome, Strategy,
+    explore, shrink_schedule, Decision, ExploreConfig, ExploreStats, ProcBody, SchedView,
+    ShrinkConfig, ShrinkReport, SimBuilder, SimConfig, SimCtx, SimOutcome, Strategy,
 };
+pub use span::{SpanNode, SpanRecorder};
 pub use trace::{StepCounts, Trace, TraceEvent};

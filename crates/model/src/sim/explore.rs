@@ -11,12 +11,19 @@
 //! checked exhaustively on small instances: every interleaving of a
 //! 2–3 process execution is generated and its history verified.
 
+use super::shrink::{shrink_schedule, ShrinkConfig, ShrinkReport};
 use super::strategy::{Decision, SchedView, Strategy};
 use super::{run_sim_with, ProcBody, SimConfig, SimOutcome};
 use crate::ctx::{AccessKind, ProcId};
 use crate::metrics::MetricsLevel;
+use crate::span::SpanRecorder;
 
-/// Exploration limits.
+/// Per-run child spans are recorded for at most this many runs; later
+/// runs only contribute to the root span's counters. Keeps span trees
+/// bounded on million-run explorations.
+const SPAN_RUN_CAP: u64 = 32;
+
+/// Exploration limits and forensics hooks.
 #[derive(Clone, Debug)]
 pub struct ExploreConfig {
     /// Stop after this many runs even if the tree is not exhausted.
@@ -25,6 +32,14 @@ pub struct ExploreConfig {
     /// first runnable process is chosen deterministically. Runs remain
     /// complete executions; coverage is exhaustive over the prefix.
     pub max_depth: usize,
+    /// When set, a run rejected by the `visit` callback (a violation) is
+    /// minimized with [`shrink_schedule`] before exploration returns; the
+    /// result lands in [`ExploreStats::violation`].
+    pub shrink: Option<ShrinkConfig>,
+    /// Record a span tree of the exploration (per-run spans for the
+    /// first few runs, aggregate counters on the root) into
+    /// [`ExploreStats::spans`].
+    pub trace_spans: bool,
 }
 
 impl Default for ExploreConfig {
@@ -32,12 +47,14 @@ impl Default for ExploreConfig {
         ExploreConfig {
             max_runs: 1_000_000,
             max_depth: usize::MAX,
+            shrink: None,
+            trace_spans: false,
         }
     }
 }
 
 /// Exploration summary.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ExploreStats {
     /// Number of complete runs executed.
     pub runs: u64,
@@ -58,6 +75,12 @@ pub struct ExploreStats {
     /// [`explore_reduced`] proved redundant and never entered. Always 0
     /// for plain [`explore`].
     pub sleep_skips: u64,
+    /// The minimized counterexample, when the `visit` callback rejected a
+    /// run and [`ExploreConfig::shrink`] was set.
+    pub violation: Option<ShrinkReport>,
+    /// The exploration's span tree, when [`ExploreConfig::trace_spans`]
+    /// was set.
+    pub spans: Option<crate::span::SpanNode>,
 }
 
 impl ExploreStats {
@@ -126,12 +149,59 @@ impl Strategy for TreeStrategy<'_> {
     }
 }
 
+/// On a rejected run: minimize the failing schedule when configured,
+/// recording the work in a `shrink` span.
+fn capture_violation<T, R, FMake, Visit>(
+    cfg: &SimConfig<T>,
+    econfig: &ExploreConfig,
+    outcome: &SimOutcome<T, R>,
+    factory: &mut FMake,
+    visit: &mut Visit,
+    stats: &mut ExploreStats,
+    spans: &mut Option<SpanRecorder>,
+) where
+    T: Clone + Send,
+    R: Send,
+    FMake: FnMut() -> Vec<ProcBody<'static, T, R>>,
+    Visit: FnMut(&SimOutcome<T, R>) -> bool,
+{
+    let Some(scfg) = &econfig.shrink else {
+        return;
+    };
+    if let Some(s) = spans.as_mut() {
+        s.enter("shrink");
+    }
+    let report = shrink_schedule(cfg, scfg, &outcome.trace.schedule(), factory, |o| !visit(o));
+    if let Some(s) = spans.as_mut() {
+        s.bump("attempts", report.stats.attempts);
+        s.bump("useful", report.stats.useful);
+        s.bump("removed", report.removed() as u64);
+        s.exit();
+    }
+    stats.violation = Some(report);
+}
+
+/// Fold the finished span tree (plus aggregate counters) into the stats.
+fn finish_spans(stats: &mut ExploreStats, spans: Option<SpanRecorder>) {
+    if let Some(mut s) = spans {
+        s.bump("replayed_steps", stats.replayed_steps);
+        s.bump("max_depth", stats.max_depth_reached as u64);
+        if stats.sleep_skips > 0 {
+            s.bump("sleep_skips", stats.sleep_skips);
+        }
+        stats.spans = Some(s.finish());
+    }
+}
+
 /// Exhaustively explore the schedules of the execution defined by
 /// `factory` (called once per run; it must return equivalent,
 /// deterministic bodies every time).
 ///
 /// `visit` is called with each run's outcome; return `false` to stop
-/// early (e.g. on the first counterexample).
+/// early (e.g. on the first counterexample). When
+/// [`ExploreConfig::shrink`] is set, a rejected run's schedule is
+/// minimized (re-invoking `visit` on each shrink candidate) and returned
+/// in [`ExploreStats::violation`].
 pub fn explore<T, R, FMake, Visit>(
     cfg: &SimConfig<T>,
     econfig: &ExploreConfig,
@@ -146,7 +216,12 @@ where
 {
     let mut stack: Vec<Branch> = Vec::new();
     let mut stats = ExploreStats::default();
+    let mut spans = econfig.trace_spans.then(|| SpanRecorder::new("explore"));
     loop {
+        let detailed = spans.is_some() && stats.runs < SPAN_RUN_CAP;
+        if detailed {
+            spans.as_mut().expect("checked").enter("run");
+        }
         let mut strategy = TreeStrategy {
             stack: &mut stack,
             pos: 0,
@@ -154,9 +229,30 @@ where
             stats: &mut stats,
         };
         let outcome = run_sim_with(cfg, MetricsLevel::Off, &mut strategy, factory());
+        let run_steps = outcome.trace.len() as u64;
+        if let Some(s) = spans.as_mut() {
+            if detailed {
+                s.bump("steps", run_steps);
+                s.exit();
+            }
+            s.bump("runs", 1);
+            s.bump("steps", run_steps);
+        }
         stats.runs += 1;
-        if !visit(&outcome) || stats.runs >= econfig.max_runs {
-            return stats;
+        if !visit(&outcome) {
+            capture_violation(
+                cfg,
+                econfig,
+                &outcome,
+                &mut factory,
+                &mut visit,
+                &mut stats,
+                &mut spans,
+            );
+            break;
+        }
+        if stats.runs >= econfig.max_runs {
+            break;
         }
         // Advance to the next schedule: drop exhausted trailing branches,
         // bump the deepest one with choices left.
@@ -170,10 +266,12 @@ where
             Some(last) => last.pick += 1,
             None => {
                 stats.exhausted = true;
-                return stats;
+                break;
             }
         }
     }
+    finish_spans(&mut stats, spans);
+    stats
 }
 
 /// Are two pending accesses *independent* (they commute as memory
@@ -342,7 +440,14 @@ where
 {
     let mut stack: Vec<SleepNode> = Vec::new();
     let mut stats = ExploreStats::default();
-    loop {
+    let mut spans = econfig
+        .trace_spans
+        .then(|| SpanRecorder::new("explore_reduced"));
+    'outer: loop {
+        let detailed = spans.is_some() && stats.runs < SPAN_RUN_CAP;
+        if detailed {
+            spans.as_mut().expect("checked").enter("run");
+        }
         let mut strategy = SleepStrategy {
             stack: &mut stack,
             pos: 0,
@@ -351,9 +456,30 @@ where
             redundant_tail: false,
         };
         let outcome = run_sim_with(cfg, MetricsLevel::Off, &mut strategy, factory());
+        let run_steps = outcome.trace.len() as u64;
+        if let Some(s) = spans.as_mut() {
+            if detailed {
+                s.bump("steps", run_steps);
+                s.exit();
+            }
+            s.bump("runs", 1);
+            s.bump("steps", run_steps);
+        }
         stats.runs += 1;
-        if !visit(&outcome) || stats.runs >= econfig.max_runs {
-            return stats;
+        if !visit(&outcome) {
+            capture_violation(
+                cfg,
+                econfig,
+                &outcome,
+                &mut factory,
+                &mut visit,
+                &mut stats,
+                &mut spans,
+            );
+            break 'outer;
+        }
+        if stats.runs >= econfig.max_runs {
+            break 'outer;
         }
         // Backtrack: mark the deepest node's pick explored and move to
         // its next explorable choice; pop exhausted nodes.
@@ -361,7 +487,7 @@ where
             match stack.last_mut() {
                 None => {
                     stats.exhausted = true;
-                    return stats;
+                    break 'outer;
                 }
                 Some(node) => {
                     if node.barren {
@@ -389,6 +515,8 @@ where
             }
         }
     }
+    finish_spans(&mut stats, spans);
+    stats
 }
 
 #[cfg(test)]
@@ -567,11 +695,106 @@ mod tests {
     }
 
     #[test]
+    fn violation_is_captured_and_shrunk() {
+        // Reject any run where P0 observed P1's write; exploration stops
+        // there and hands back a minimized failing schedule.
+        let cfg = SimConfig::base(vec![0u64; 2]);
+        let econfig = ExploreConfig {
+            shrink: Some(crate::sim::shrink::ShrinkConfig::default()),
+            ..Default::default()
+        };
+        let stats = explore(&cfg, &econfig, two_proc_bodies, |out| {
+            out.results[0] != Some(2) // "violation": P0 read 2
+        });
+        assert!(!stats.exhausted);
+        let report = stats.violation.as_ref().expect("violation captured");
+        assert!(report.schedule.len() <= report.original.len());
+        // The minimal reproduction: P1 writes (one step), P0 writes then
+        // reads — 3 steps, but P0's write is its first access so it
+        // cannot be skipped. Minimal = [1, 0, 0].
+        assert_eq!(report.schedule, vec![1, 0, 0]);
+        // Re-running the shrunk schedule still shows the violation.
+        let out = crate::sim::SimBuilder::new(vec![0u64; 2])
+            .strategy(crate::sim::strategy::Replay::strict(
+                report.schedule.clone(),
+            ))
+            .max_steps(report.schedule.len() as u64)
+            .run(two_proc_bodies());
+        assert_eq!(out.results[0], Some(2));
+    }
+
+    #[test]
+    fn no_shrink_config_leaves_violation_empty() {
+        let cfg = SimConfig::base(vec![0u64; 2]);
+        let stats = explore(&cfg, &ExploreConfig::default(), two_proc_bodies, |_| false);
+        assert_eq!(stats.runs, 1);
+        assert!(stats.violation.is_none());
+    }
+
+    #[test]
+    fn spans_capture_run_structure() {
+        let cfg = SimConfig::base(vec![0u64; 2]);
+        let econfig = ExploreConfig {
+            trace_spans: true,
+            ..Default::default()
+        };
+        let stats = explore(&cfg, &econfig, two_proc_bodies, |_| true);
+        let spans = stats.spans.as_ref().expect("spans recorded");
+        assert_eq!(spans.name, "explore");
+        assert_eq!(spans.counter("runs"), Some(stats.runs));
+        assert_eq!(spans.counter("steps"), Some(stats.executed_steps));
+        assert_eq!(spans.counter("replayed_steps"), Some(stats.replayed_steps));
+        // 6 runs, all under the cap: one child span each.
+        assert_eq!(spans.children.len(), stats.runs as usize);
+        assert!(spans.children.iter().all(|c| c.name == "run"));
+    }
+
+    #[test]
+    fn reduced_spans_count_sleep_skips() {
+        let cfg = SimConfig::base(vec![0u64; 2]);
+        let econfig = ExploreConfig {
+            trace_spans: true,
+            ..Default::default()
+        };
+        let stats = explore_reduced(&cfg, &econfig, two_proc_bodies, |_| true);
+        let spans = stats.spans.as_ref().expect("spans recorded");
+        assert_eq!(spans.name, "explore_reduced");
+        assert_eq!(spans.counter("runs"), Some(stats.runs));
+        if stats.sleep_skips > 0 {
+            assert_eq!(spans.counter("sleep_skips"), Some(stats.sleep_skips));
+        }
+    }
+
+    #[test]
+    fn shrink_span_nested_under_exploration() {
+        let cfg = SimConfig::base(vec![0u64; 2]);
+        let econfig = ExploreConfig {
+            shrink: Some(crate::sim::shrink::ShrinkConfig::default()),
+            trace_spans: true,
+            ..Default::default()
+        };
+        let stats = explore(&cfg, &econfig, two_proc_bodies, |out| {
+            out.results[0] != Some(2)
+        });
+        let spans = stats.spans.as_ref().expect("spans recorded");
+        let shrink = spans
+            .children
+            .iter()
+            .find(|c| c.name == "shrink")
+            .expect("shrink span present");
+        assert_eq!(
+            shrink.counter("attempts"),
+            Some(stats.violation.as_ref().unwrap().stats.attempts)
+        );
+    }
+
+    #[test]
     fn depth_truncation_flagged() {
         let cfg = SimConfig::base(vec![0u64; 2]);
         let econfig = ExploreConfig {
             max_runs: 1_000,
             max_depth: 1,
+            ..Default::default()
         };
         let stats = explore(&cfg, &econfig, two_proc_bodies, |_| true);
         assert!(stats.truncated);

@@ -14,9 +14,11 @@
 //! at teardown via [`crate::crash::CrashSignal`].
 
 pub mod explore;
+pub mod shrink;
 pub mod strategy;
 
 pub use explore::{explore, explore_reduced, ExploreConfig, ExploreStats};
+pub use shrink::{shrink_schedule, ShrinkConfig, ShrinkReport, ShrinkStats};
 pub use strategy::{Decision, SchedView, Strategy};
 
 use crate::crash::{self, CrashSignal};
@@ -144,7 +146,9 @@ pub struct SimConfig<T> {
 }
 
 impl<T> SimConfig<T> {
-    /// Non-deprecated construction path shared by the builder.
+    /// Plain construction with defaults (no owner map, 10M-step budget,
+    /// 30s local timeout); callers outside this crate go through
+    /// [`SimBuilder`] and obtain the config via [`SimBuilder::config`].
     pub(crate) fn base(registers: Vec<T>) -> Self {
         SimConfig {
             registers,
@@ -152,28 +156,6 @@ impl<T> SimConfig<T> {
             max_steps: 10_000_000,
             local_timeout: Duration::from_secs(30),
         }
-    }
-
-    /// A configuration with the given initial registers and defaults
-    /// (no owner map, 10M-step budget, 30s local timeout).
-    #[deprecated(since = "0.2.0", note = "use SimBuilder::new instead")]
-    pub fn new(registers: Vec<T>) -> Self {
-        Self::base(registers)
-    }
-
-    /// Attach a single-writer owner map.
-    #[deprecated(since = "0.2.0", note = "use SimBuilder::owners instead")]
-    pub fn with_owners(mut self, owners: Vec<ProcId>) -> Self {
-        assert_eq!(owners.len(), self.registers.len());
-        self.owners = Some(owners);
-        self
-    }
-
-    /// Override the step budget.
-    #[deprecated(since = "0.2.0", note = "use SimBuilder::max_steps instead")]
-    pub fn with_max_steps(mut self, max_steps: u64) -> Self {
-        self.max_steps = max_steps;
-        self
     }
 }
 
@@ -226,28 +208,11 @@ impl<T, R> SimOutcome<T, R> {
     }
 }
 
-/// Run a simulated execution.
-///
-/// Spawns one thread per body, runs the scheduler loop on the calling
-/// thread, and tears everything down before returning (no leaked
-/// threads). The `strategy` is borrowed mutably so adversaries can carry
-/// state across runs.
-#[deprecated(since = "0.2.0", note = "use SimBuilder::run instead")]
-pub fn run_sim<T, R, F>(
-    cfg: &SimConfig<T>,
-    strategy: &mut dyn Strategy,
-    bodies: Vec<F>,
-) -> SimOutcome<T, R>
-where
-    T: Clone + Send,
-    R: Send,
-    F: FnOnce(&mut SimCtx<T>) -> R + Send,
-{
-    run_sim_with(cfg, MetricsLevel::Off, strategy, bodies)
-}
-
-/// The engine behind [`SimBuilder::run`] and the deprecated free
-/// functions: one extra knob, the metrics collection level.
+/// The engine behind [`SimBuilder::run`] and the exploration/shrinking
+/// free functions: spawns one thread per body, runs the scheduler loop on
+/// the calling thread, and tears everything down before returning (no
+/// leaked threads). One extra knob over the builder surface: the metrics
+/// collection level.
 pub(crate) fn run_sim_with<T, R, F>(
     cfg: &SimConfig<T>,
     level: MetricsLevel,
@@ -313,27 +278,6 @@ where
     outcome
 }
 
-/// Run `n` copies of the same body (each told its process id via
-/// [`SimCtx::proc`]).
-#[deprecated(since = "0.2.0", note = "use SimBuilder::run_symmetric instead")]
-pub fn run_symmetric<T, R, F>(
-    cfg: &SimConfig<T>,
-    strategy: &mut dyn Strategy,
-    n: usize,
-    body: F,
-) -> SimOutcome<T, R>
-where
-    T: Clone + Send,
-    R: Send,
-    F: Fn(&mut SimCtx<T>) -> R + Send + Sync,
-{
-    let body = &body;
-    let bodies: Vec<_> = (0..n)
-        .map(|_| Box::new(move |ctx: &mut SimCtx<T>| body(ctx)) as ProcBody<'_, T, R>)
-        .collect();
-    run_sim_with(cfg, MetricsLevel::Off, strategy, bodies)
-}
-
 /// How the builder stores its strategy: owned for the common fluent case,
 /// borrowed when the caller needs to keep driving one adversary across
 /// many runs (e.g. schedule-search loops).
@@ -376,8 +320,7 @@ impl Strategy for CrashPlan<'_> {
 /// Fluent construction of simulated executions — the front door of the
 /// simulator.
 ///
-/// Replaces the positional [`SimConfig`]/[`run_sim`]/[`run_symmetric`]
-/// surface: every knob is a named method, the strategy defaults to
+/// Every knob is a named method, the strategy defaults to
 /// [`strategy::RoundRobin`], and runs are launched from the builder
 /// itself.
 ///

@@ -101,39 +101,62 @@ impl Strategy for SeededRandom {
     }
 }
 
+/// What [`Replay`] does when a scheduled process is not runnable, and
+/// when the recorded schedule runs out.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ReplayMode {
+    /// Divergence panics; exhaustion falls back to round-robin.
+    Strict,
+    /// Non-runnable entries are skipped; exhaustion falls back to
+    /// round-robin.
+    Lenient,
+    /// Non-runnable entries are skipped; exhaustion halts the run.
+    Halting,
+}
+
 /// Replay a recorded schedule.
 ///
 /// In `strict` mode, a scheduled process that is not runnable is an error
 /// (the execution diverged from the recording). In `lenient` mode the
-/// entry is skipped. When the schedule is exhausted, falls back to
-/// round-robin.
+/// entry is skipped. When the schedule is exhausted, both fall back to
+/// round-robin. `halting` mode skips like `lenient` but issues
+/// [`Decision::Halt`] at exhaustion, producing a *partial* execution that
+/// covers exactly the recorded prefix — this is what the schedule
+/// shrinker uses to test truncated candidates.
 #[derive(Clone, Debug)]
 pub struct Replay {
     schedule: Vec<ProcId>,
     pos: usize,
-    strict: bool,
+    mode: ReplayMode,
     fallback: RoundRobin,
 }
 
 impl Replay {
-    /// Strict replay: divergence from the recorded schedule panics.
-    pub fn strict(schedule: Vec<ProcId>) -> Self {
+    fn with_mode(schedule: Vec<ProcId>, mode: ReplayMode) -> Self {
         Replay {
             schedule,
             pos: 0,
-            strict: true,
+            mode,
             fallback: RoundRobin::new(),
         }
     }
 
+    /// Strict replay: divergence from the recorded schedule panics.
+    pub fn strict(schedule: Vec<ProcId>) -> Self {
+        Self::with_mode(schedule, ReplayMode::Strict)
+    }
+
     /// Lenient replay: non-runnable entries are skipped.
     pub fn lenient(schedule: Vec<ProcId>) -> Self {
-        Replay {
-            schedule,
-            pos: 0,
-            strict: false,
-            fallback: RoundRobin::new(),
-        }
+        Self::with_mode(schedule, ReplayMode::Lenient)
+    }
+
+    /// Halting replay: non-runnable entries are skipped and the run halts
+    /// when the schedule is exhausted, instead of falling back to
+    /// round-robin. The resulting execution takes no steps beyond the
+    /// recorded ones.
+    pub fn halting(schedule: Vec<ProcId>) -> Self {
+        Self::with_mode(schedule, ReplayMode::Halting)
     }
 }
 
@@ -145,14 +168,17 @@ impl Strategy for Replay {
             if view.runnable.contains(&p) {
                 return Decision::Step(p);
             }
-            if self.strict {
+            if self.mode == ReplayMode::Strict {
                 panic!(
                     "strict replay: scheduled P{p} at step {} but runnable set is {:?}",
                     view.step, view.runnable
                 );
             }
         }
-        self.fallback.decide(view)
+        match self.mode {
+            ReplayMode::Halting => Decision::Halt,
+            ReplayMode::Strict | ReplayMode::Lenient => self.fallback.decide(view),
+        }
     }
 }
 
@@ -356,6 +382,18 @@ mod tests {
         let v = view(0, &[0, 1], &pend, &fin, &cr);
         assert_eq!(r.decide(&v), Decision::Step(1)); // 5 skipped
         assert_eq!(r.decide(&v), Decision::Step(0)); // fallback RR
+    }
+
+    #[test]
+    fn replay_halting_halts_at_exhaustion() {
+        let mut r = Replay::halting(vec![5, 1]);
+        let pend = [Some((AccessKind::Read, 0)); 3];
+        let fin = [false; 3];
+        let cr = [false; 3];
+        let v = view(0, &[0, 1], &pend, &fin, &cr);
+        assert_eq!(r.decide(&v), Decision::Step(1)); // 5 skipped
+        assert_eq!(r.decide(&v), Decision::Halt); // exhausted
+        assert_eq!(r.decide(&v), Decision::Halt); // stays halted
     }
 
     #[test]

@@ -1,0 +1,269 @@
+//! Lightweight span tracing for the forensics layer.
+//!
+//! The explorer's DFS and the linearizability checker's search are both
+//! recursive processes whose cost structure (how many runs, how deep, how
+//! much was pruned or memoized) is invisible from their final results.
+//! [`SpanRecorder`] captures that structure as a tree of named spans,
+//! each carrying a wall-clock duration and a set of named counters, with
+//! no dependencies beyond `std::time` and the hand-rolled [`Json`]
+//! writer. Span trees are part of the forensics artifact a failing
+//! experiment dumps (`--forensics`).
+
+use crate::json::Json;
+use std::time::Instant;
+
+/// One completed span: a named interval with counters and child spans.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanNode {
+    /// The span's name (e.g. `"explore"`, `"run"`, `"check"`).
+    pub name: String,
+    /// Wall-clock duration in microseconds.
+    pub wall_us: u64,
+    /// Named counters bumped while the span was open, in first-bump
+    /// order.
+    pub counters: Vec<(String, u64)>,
+    /// Child spans, in open order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Look up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Total number of spans in this subtree (including `self`).
+    pub fn total_spans(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(SpanNode::total_spans)
+            .sum::<usize>()
+    }
+
+    /// Serialise the subtree to JSON:
+    /// `{"name":…,"wall_us":…,"counters":{…},"children":[…]}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::Str(self.name.clone())),
+            ("wall_us", Json::UInt(self.wall_us)),
+            (
+                "counters",
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::UInt(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "children",
+                Json::Arr(self.children.iter().map(SpanNode::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Render the subtree as an indented ASCII outline, one span per
+    /// line: `name (12µs) counter=3 …`.
+    pub fn render_ascii(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        out.push_str(&format!("{} ({}µs)", self.name, self.wall_us));
+        for (k, v) in &self.counters {
+            out.push_str(&format!(" {k}={v}"));
+        }
+        out.push('\n');
+        for c in &self.children {
+            c.render_into(out, depth + 1);
+        }
+    }
+}
+
+/// An open span under construction.
+struct RawSpan {
+    name: String,
+    started: Instant,
+    wall_us: u64,
+    counters: Vec<(String, u64)>,
+    children: Vec<usize>,
+}
+
+/// Records a tree of spans via `enter`/`exit`/`bump` calls.
+///
+/// The recorder always has an open *root* span (named at construction);
+/// [`SpanRecorder::exit`] never closes the root, and
+/// [`SpanRecorder::finish`] closes everything and yields the tree.
+///
+/// ```
+/// use apram_model::span::SpanRecorder;
+/// let mut rec = SpanRecorder::new("explore");
+/// rec.enter("run");
+/// rec.bump("steps", 4);
+/// rec.exit();
+/// rec.bump("runs", 1);
+/// let tree = rec.finish();
+/// assert_eq!(tree.name, "explore");
+/// assert_eq!(tree.children[0].counter("steps"), Some(4));
+/// assert_eq!(tree.counter("runs"), Some(1));
+/// ```
+pub struct SpanRecorder {
+    nodes: Vec<RawSpan>,
+    /// Indices into `nodes` of the currently-open spans, root first.
+    stack: Vec<usize>,
+}
+
+impl SpanRecorder {
+    /// A recorder with an open root span named `root`.
+    pub fn new(root: &str) -> Self {
+        SpanRecorder {
+            nodes: vec![RawSpan {
+                name: root.into(),
+                started: Instant::now(),
+                wall_us: 0,
+                counters: Vec::new(),
+                children: Vec::new(),
+            }],
+            stack: vec![0],
+        }
+    }
+
+    /// Open a child span of the currently-open span.
+    pub fn enter(&mut self, name: &str) {
+        let idx = self.nodes.len();
+        self.nodes.push(RawSpan {
+            name: name.into(),
+            started: Instant::now(),
+            wall_us: 0,
+            counters: Vec::new(),
+            children: Vec::new(),
+        });
+        let parent = *self.stack.last().expect("root is always open");
+        self.nodes[parent].children.push(idx);
+        self.stack.push(idx);
+    }
+
+    /// Close the currently-open span, recording its duration. The root
+    /// span cannot be exited; it closes in [`SpanRecorder::finish`].
+    pub fn exit(&mut self) {
+        if self.stack.len() <= 1 {
+            return; // root stays open
+        }
+        let idx = self.stack.pop().expect("non-empty");
+        self.nodes[idx].wall_us = self.nodes[idx].started.elapsed().as_micros() as u64;
+    }
+
+    /// Add `delta` to the named counter of the currently-open span.
+    pub fn bump(&mut self, counter: &str, delta: u64) {
+        let idx = *self.stack.last().expect("root is always open");
+        let counters = &mut self.nodes[idx].counters;
+        match counters.iter_mut().find(|(k, _)| k == counter) {
+            Some((_, v)) => *v += delta,
+            None => counters.push((counter.into(), delta)),
+        }
+    }
+
+    /// Nesting depth of the currently-open span (the root is depth 1).
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Close every open span (deepest first) and return the tree.
+    pub fn finish(mut self) -> SpanNode {
+        while self.stack.len() > 1 {
+            self.exit();
+        }
+        self.nodes[0].wall_us = self.nodes[0].started.elapsed().as_micros() as u64;
+        Self::build(&self.nodes, 0)
+    }
+
+    fn build(nodes: &[RawSpan], idx: usize) -> SpanNode {
+        let raw = &nodes[idx];
+        SpanNode {
+            name: raw.name.clone(),
+            wall_us: raw.wall_us,
+            counters: raw.counters.clone(),
+            children: raw
+                .children
+                .iter()
+                .map(|&c| Self::build(nodes, c))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_nested_spans_and_counters() {
+        let mut rec = SpanRecorder::new("root");
+        assert_eq!(rec.depth(), 1);
+        rec.bump("top", 1);
+        rec.enter("a");
+        rec.bump("x", 2);
+        rec.bump("x", 3);
+        rec.enter("b");
+        assert_eq!(rec.depth(), 3);
+        rec.exit();
+        rec.exit();
+        rec.enter("c");
+        // `c` left open: finish() closes it.
+        let tree = rec.finish();
+        assert_eq!(tree.name, "root");
+        assert_eq!(tree.counter("top"), Some(1));
+        assert_eq!(tree.children.len(), 2);
+        assert_eq!(tree.children[0].name, "a");
+        assert_eq!(tree.children[0].counter("x"), Some(5));
+        assert_eq!(tree.children[0].children[0].name, "b");
+        assert_eq!(tree.children[1].name, "c");
+        assert_eq!(tree.total_spans(), 4);
+    }
+
+    #[test]
+    fn root_cannot_be_exited() {
+        let mut rec = SpanRecorder::new("root");
+        rec.exit();
+        rec.exit();
+        assert_eq!(rec.depth(), 1);
+        rec.enter("child");
+        rec.exit();
+        let tree = rec.finish();
+        assert_eq!(tree.children.len(), 1);
+    }
+
+    #[test]
+    fn json_and_ascii_rendering() {
+        let mut rec = SpanRecorder::new("root");
+        rec.enter("run");
+        rec.bump("steps", 7);
+        rec.exit();
+        let tree = rec.finish();
+        let json = tree.to_json();
+        assert_eq!(json.get("name").and_then(Json::as_str), Some("root"));
+        let children = json.get("children").and_then(Json::as_arr).unwrap();
+        assert_eq!(
+            children[0]
+                .get("counters")
+                .and_then(|c| c.get("steps"))
+                .and_then(Json::as_u64),
+            Some(7)
+        );
+        // The serialised tree re-parses.
+        assert!(crate::json::parse(&json.to_compact()).is_ok());
+        let art = tree.render_ascii();
+        assert!(art.contains("root ("));
+        assert!(art.contains("  run ("));
+        assert!(art.contains("steps=7"));
+    }
+}

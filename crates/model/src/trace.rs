@@ -47,7 +47,7 @@ impl StepCounts {
 }
 
 /// A complete execution trace.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Trace {
     events: Vec<TraceEvent>,
 }
@@ -191,19 +191,28 @@ impl Trace {
     /// ```
     pub fn render_ascii(&self, n_procs: usize) -> String {
         let width = self.events.len();
+        // Column width follows the widest register id actually present,
+        // so large ids render in full instead of colliding mod 100.
+        let reg_digits = self
+            .events
+            .iter()
+            .map(|e| e.reg.to_string().len())
+            .max()
+            .unwrap_or(1);
+        let col = reg_digits + 2; // space + kind letter + register id
         let mut rows = vec![vec!["⋅⋅".to_string(); width]; n_procs];
-        for (col, e) in self.events.iter().enumerate() {
+        for (c, e) in self.events.iter().enumerate() {
             let k = match e.kind {
                 crate::ctx::AccessKind::Read => 'r',
                 crate::ctx::AccessKind::Write => 'w',
             };
-            rows[e.proc][col] = format!("{k}{}", e.reg % 100);
+            rows[e.proc][c] = format!("{k}{}", e.reg);
         }
         let mut out = String::new();
         for (p, row) in rows.iter().enumerate() {
             out.push_str(&format!("P{p} |"));
             for cell in row {
-                out.push_str(&format!("{cell:>3}"));
+                out.push_str(&format!("{cell:>col$}"));
             }
             out.push('\n');
         }
@@ -236,6 +245,31 @@ mod tests {
         assert!(lines[0].starts_with("P0 |"));
         assert!(lines[0].contains("r0"));
         assert!(lines[1].contains("w3"));
+    }
+
+    #[test]
+    fn ascii_rendering_keeps_large_register_ids_distinct() {
+        // Regression: ids ≥ 100 used to be truncated mod 100, colliding
+        // r105 with r5.
+        let mut t = Trace::new();
+        t.push(TraceEvent {
+            step: 0,
+            proc: 0,
+            kind: AccessKind::Read,
+            reg: 105,
+        });
+        t.push(TraceEvent {
+            step: 1,
+            proc: 1,
+            kind: AccessKind::Write,
+            reg: 5,
+        });
+        let art = t.render_ascii(2);
+        assert!(art.contains("r105"), "full id must render: {art}");
+        assert!(!art.contains("r5"), "no truncated alias: {art}");
+        // Columns stay aligned: both rows have equal display width.
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines[0].chars().count(), lines[1].chars().count(), "{art}");
     }
 
     #[test]

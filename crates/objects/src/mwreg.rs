@@ -233,6 +233,7 @@ mod tests {
             &ExploreConfig {
                 max_runs: 200_000,
                 max_depth: usize::MAX,
+                ..ExploreConfig::default()
             },
             make,
             |out| {

@@ -219,6 +219,7 @@ mod tests {
                 &ExploreConfig {
                     max_runs: 100_000,
                     max_depth: 14,
+                    ..ExploreConfig::default()
                 },
                 make,
                 |out| {

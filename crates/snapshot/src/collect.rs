@@ -235,6 +235,7 @@ mod tests {
                 &ExploreConfig {
                     max_runs: 100_000,
                     max_depth: 12,
+                    ..ExploreConfig::default()
                 },
                 make,
                 |out| {

@@ -306,6 +306,7 @@ mod tests {
                 &ExploreConfig {
                     max_runs: 50_000,
                     max_depth: 14,
+                    ..ExploreConfig::default()
                 },
                 make,
                 |out| {

@@ -58,6 +58,7 @@ fn main() {
             &ExploreConfig {
                 max_runs: 100_000,
                 max_depth: 12,
+                ..ExploreConfig::default()
             },
             make,
             |out| {

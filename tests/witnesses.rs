@@ -1,0 +1,230 @@
+//! Independent witness verification across the snapshot implementations.
+//!
+//! Every witness linearization the checker returns must survive
+//! [`verify_witness`] — an independent replay that checks real-time
+//! precedence and spec legality without trusting the search. Covered
+//! implementations: the double collect, the lock-based baseline (native
+//! threads), the Afek et al. snapshot, and the paper's Figure 5 scan.
+//! A permuted or truncated witness must be rejected.
+
+use apram_history::{
+    check_linearizable, verify_witness, CheckOutcome, CheckerConfig, History, Ops, Recorder,
+};
+use apram_lattice::{Tagged, TaggedVec};
+use apram_model::sim::{ExploreConfig, ProcBody, SimBuilder, SimCtx};
+use apram_snapshot::afek::{AfekReg, AfekSnapshot};
+use apram_snapshot::collect::{CollectArray, DoubleCollect};
+use apram_snapshot::lock::LockSnapshot;
+use apram_snapshot::snapshot::{SnapOp, SnapResp, SnapshotSpec};
+use apram_snapshot::Snapshot;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+type RecCell = Rc<RefCell<Option<Recorder<SnapOp<u32>, SnapResp<u32>>>>>;
+type Hist = History<SnapOp<u32>, SnapResp<u32>>;
+
+/// Explore the 2-process update-then-snap program of one implementation,
+/// checking every history and returning each `(history, witness)` pair.
+/// Panics when any history fails the check (these objects are all
+/// linearizable) or when a witness fails independent verification.
+fn audit<T, FMake>(
+    registers: Vec<T>,
+    owners: Vec<usize>,
+    cell: &RecCell,
+    make: FMake,
+    max_depth: usize,
+) -> Vec<(Hist, Vec<usize>)>
+where
+    T: Clone + Send,
+    FMake: FnMut() -> Vec<ProcBody<'static, T, ()>>,
+{
+    let spec = SnapshotSpec::<u32>::new(2);
+    let mut witnesses = Vec::new();
+    let stats = SimBuilder::new(registers).owners(owners).explore(
+        &ExploreConfig {
+            max_runs: 1_500,
+            max_depth,
+            ..ExploreConfig::default()
+        },
+        make,
+        |out| {
+            out.assert_no_panics();
+            let hist = cell.borrow_mut().take().unwrap().snapshot();
+            match check_linearizable(&spec, &hist, &CheckerConfig::default()) {
+                CheckOutcome::Linearizable(w) => {
+                    assert!(
+                        verify_witness(&spec, &hist, &w),
+                        "checker witness failed independent verification: {w:?}\n{hist:?}"
+                    );
+                    witnesses.push((hist, w));
+                }
+                other => panic!("history unexpectedly not linearizable: {other:?}\n{hist:?}"),
+            }
+            true
+        },
+    );
+    assert!(stats.runs > 50, "too few schedules explored: {stats:?}");
+    assert_eq!(witnesses.len() as u64, stats.runs);
+    witnesses
+}
+
+fn double_collect_witnesses() -> Vec<(Hist, Vec<usize>)> {
+    let arr = CollectArray::new(2);
+    let cell: RecCell = Rc::new(RefCell::new(None));
+    let factory_cell = Rc::clone(&cell);
+    let make = move || {
+        let rec: Recorder<SnapOp<u32>, SnapResp<u32>> = Recorder::new();
+        *factory_cell.borrow_mut() = Some(rec.clone());
+        (0..2usize)
+            .map(|p| {
+                let rec = rec.clone();
+                Box::new(move |ctx: &mut SimCtx<Tagged<u32>>| {
+                    let mut h = DoubleCollect::new(arr);
+                    rec.record(p, SnapOp::Update(p as u32 + 1), || {
+                        h.update(ctx, p as u32 + 1);
+                        SnapResp::Ack
+                    });
+                    rec.invoke(p, SnapOp::Snap);
+                    let view = h.snap(ctx);
+                    rec.respond(p, SnapResp::View(view));
+                }) as ProcBody<'static, Tagged<u32>, ()>
+            })
+            .collect()
+    };
+    audit(arr.registers::<u32>(), arr.owners(), &cell, make, 12)
+}
+
+#[test]
+fn double_collect_witnesses_verify() {
+    let _ = double_collect_witnesses();
+}
+
+#[test]
+fn figure5_scan_witnesses_verify() {
+    let snap = Snapshot::new(2);
+    let cell: RecCell = Rc::new(RefCell::new(None));
+    let factory_cell = Rc::clone(&cell);
+    let make = move || {
+        let rec: Recorder<SnapOp<u32>, SnapResp<u32>> = Recorder::new();
+        *factory_cell.borrow_mut() = Some(rec.clone());
+        (0..2usize)
+            .map(|p| {
+                let rec = rec.clone();
+                Box::new(move |ctx: &mut SimCtx<TaggedVec<u32>>| {
+                    let mut h = snap.handle::<u32>();
+                    rec.record(p, SnapOp::Update(p as u32 + 1), || {
+                        h.update(ctx, p as u32 + 1);
+                        SnapResp::Ack
+                    });
+                    rec.invoke(p, SnapOp::Snap);
+                    let view = h.snap(ctx);
+                    rec.respond(p, SnapResp::View(view));
+                }) as ProcBody<'static, TaggedVec<u32>, ()>
+            })
+            .collect()
+    };
+    let _ = audit(snap.registers::<u32>(), snap.owners(), &cell, make, 12);
+}
+
+#[test]
+fn afek_snapshot_witnesses_verify() {
+    let asnap = AfekSnapshot::new(2);
+    let cell: RecCell = Rc::new(RefCell::new(None));
+    let factory_cell = Rc::clone(&cell);
+    let make = move || {
+        let rec: Recorder<SnapOp<u32>, SnapResp<u32>> = Recorder::new();
+        *factory_cell.borrow_mut() = Some(rec.clone());
+        (0..2usize)
+            .map(|p| {
+                let rec = rec.clone();
+                Box::new(move |ctx: &mut SimCtx<AfekReg<u32>>| {
+                    rec.record(p, SnapOp::Update(p as u32 + 1), || {
+                        asnap.update(ctx, p as u32 + 1);
+                        SnapResp::Ack
+                    });
+                    rec.invoke(p, SnapOp::Snap);
+                    let view = asnap.snap(ctx);
+                    rec.respond(p, SnapResp::View(view));
+                }) as ProcBody<'static, AfekReg<u32>, ()>
+            })
+            .collect()
+    };
+    let _ = audit(asnap.registers::<u32>(), asnap.owners(), &cell, make, 12);
+}
+
+/// The lock-based baseline runs on native threads (it has no simulated
+/// register layout); its recorded histories must check out and their
+/// witnesses must verify, every round.
+#[test]
+fn lock_snapshot_witnesses_verify() {
+    let n = 3usize;
+    let spec = SnapshotSpec::<u32>::new(n);
+    for round in 0..10u32 {
+        let obj: LockSnapshot<u32> = LockSnapshot::new(n);
+        let rec: Recorder<SnapOp<u32>, SnapResp<u32>> = Recorder::new();
+        std::thread::scope(|s| {
+            for p in 0..n {
+                let obj = obj.clone();
+                let rec = rec.clone();
+                s.spawn(move || {
+                    let v = round * 10 + p as u32 + 1;
+                    rec.record(p, SnapOp::Update(v), || {
+                        obj.update(p, v);
+                        SnapResp::Ack
+                    });
+                    rec.invoke(p, SnapOp::Snap);
+                    let view = obj.snap();
+                    rec.respond(p, SnapResp::View(view));
+                });
+            }
+        });
+        let hist = rec.snapshot();
+        match check_linearizable(&spec, &hist, &CheckerConfig::default()) {
+            CheckOutcome::Linearizable(w) => assert!(
+                verify_witness(&spec, &hist, &w),
+                "round {round}: witness failed verification: {w:?}\n{hist:?}"
+            ),
+            other => panic!("round {round}: lock snapshot not linearizable? {other:?}\n{hist:?}"),
+        }
+    }
+}
+
+/// Corrupting a valid witness must be caught: swapping two entries that
+/// are real-time ordered breaks precedence, and dropping an entry leaves
+/// a completed operation unaccounted for.
+#[test]
+fn permuted_and_truncated_witnesses_are_rejected() {
+    let spec = SnapshotSpec::<u32>::new(2);
+    let witnesses = double_collect_witnesses();
+
+    let mut rejected_swap = false;
+    'hunt: for (hist, w) in &witnesses {
+        let ops = Ops::extract(hist);
+        for i in 0..w.len() {
+            for j in i + 1..w.len() {
+                if ops.precedes(w[i], w[j]) {
+                    let mut bad = w.clone();
+                    bad.swap(i, j);
+                    assert!(
+                        !verify_witness(&spec, hist, &bad),
+                        "precedence-violating permutation accepted: {bad:?}\n{hist:?}"
+                    );
+                    rejected_swap = true;
+                    break 'hunt;
+                }
+            }
+        }
+    }
+    assert!(rejected_swap, "no witness contained an ordered pair");
+
+    let (hist, w) = witnesses
+        .iter()
+        .find(|(_, w)| !w.is_empty())
+        .expect("non-empty witness");
+    let mut bad = w.clone();
+    bad.pop();
+    assert!(
+        !verify_witness(&spec, hist, &bad),
+        "witness missing a completed operation was accepted"
+    );
+}
