@@ -11,6 +11,9 @@
 //!
 //! * `--seed N` — base seed for all sampled schedules (default 0)
 //! * `--quick` — shrink grids and sample counts for a smoke run
+//! * `--threads N` — worker threads for parallel exploration and
+//!   history checking (default 0 = all available parallelism); also
+//!   pins the `explore` benchmark grid to exactly N
 //! * `--json DIR` — write one `BENCH_e<N>.json` per experiment into DIR
 //! * `--forensics DIR` — write the E9 forensics bundle into DIR
 //!   (`shrunk_schedule.jsonl`, `witness.json`, `witness.txt`,
@@ -22,7 +25,9 @@ use std::path::{Path, PathBuf};
 use std::process::exit;
 use std::time::Instant;
 
-const KNOWN: [&str; 9] = ["e1", "e2", "e3", "e4", "e4b", "e5", "e6", "e8", "e9"];
+const KNOWN: [&str; 10] = [
+    "e1", "e2", "e3", "e4", "e4b", "e5", "e6", "e8", "e9", "explore",
+];
 
 struct Cli {
     names: Vec<String>,
@@ -54,6 +59,14 @@ fn parse_cli() -> Cli {
                     .parse()
                     .unwrap_or_else(|_| usage(&format!("bad --seed value '{v}'")));
             }
+            "--threads" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("--threads needs a value"));
+                cli.opts.threads = v
+                    .parse()
+                    .unwrap_or_else(|_| usage(&format!("bad --threads value '{v}'")));
+            }
             "--json" => {
                 let v = args
                     .next()
@@ -84,8 +97,8 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: experiments [e1 e2 e3 e4 e4b e5 e6 e8 e9 ...] \
-         [--seed N] [--quick] [--json DIR] [--forensics DIR]"
+        "usage: experiments [e1 e2 e3 e4 e4b e5 e6 e8 e9 explore ...] \
+         [--seed N] [--quick] [--threads N] [--json DIR] [--forensics DIR]"
     );
     exit(if err.is_empty() { 0 } else { 2 })
 }
@@ -739,5 +752,59 @@ fn main() {
         if let Some(dir) = &cli.forensics_dir {
             write_forensics(dir, &r);
         }
+    }
+
+    if cli.want("explore") {
+        let started = Instant::now();
+        println!("## Exploration throughput (sequential vs parallel explorer)\n");
+        let data = explore_bench_rows(&opts);
+        let rows: Vec<Vec<String>> = data
+            .iter()
+            .map(|r| {
+                vec![
+                    r.engine.to_string(),
+                    r.threads.to_string(),
+                    r.runs.to_string(),
+                    format!("{:.3}", r.wall_secs),
+                    format!("{:.0}", r.runs_per_sec),
+                    format!("{:.2}x", r.speedup),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            markdown_table(
+                &[
+                    "engine",
+                    "threads",
+                    "schedules",
+                    "wall secs",
+                    "schedules/sec",
+                    "speedup vs sequential"
+                ],
+                &rows
+            )
+        );
+        let json = Json::Arr(
+            data.iter()
+                .map(|r| {
+                    Json::obj([
+                        ("engine", Json::Str(r.engine.into())),
+                        ("threads", Json::UInt(r.threads as u64)),
+                        ("runs", Json::UInt(r.runs)),
+                        ("wall_secs", Json::Float(r.wall_secs)),
+                        ("runs_per_sec", Json::Float(r.runs_per_sec)),
+                        ("speedup", Json::Float(r.speedup)),
+                    ])
+                })
+                .collect(),
+        );
+        emit_report(
+            &cli,
+            "explore",
+            "Exploration throughput: schedules/sec of the parallel explorer by thread count",
+            json,
+            started,
+        );
     }
 }

@@ -10,36 +10,44 @@ use apram_agreement::machine::AgreementMachine;
 use apram_agreement::proto::{ScanMode, Variant};
 use apram_core::{CounterOp, Universal};
 use apram_history::check::{check_linearizable, check_linearizable_traced, CheckerConfig};
-use apram_history::{CheckOutcome, FailureExplanation, Ops, Recorder, Violation};
+use apram_history::{
+    check_histories_parallel, CheckOutcome, FailureExplanation, History, Ops, Recorder, Violation,
+};
 use apram_lattice::Tagged;
 use apram_model::sim::explore::{ExploreConfig, ExploreStats};
 use apram_model::sim::shrink::ShrinkConfig;
 use apram_model::sim::strategy::Replay;
-use apram_model::sim::{ProcBody, SimBuilder, SimCtx};
-use apram_model::{MemCtx, SpanNode, SpanRecorder};
+use apram_model::sim::{ProcBody, SimBuilder, SimCtx, SimOutcome};
+use apram_model::{resolve_threads, MemCtx, SpanNode, SpanRecorder};
 use apram_snapshot::afek::{AfekReg, AfekSnapshot};
 use apram_snapshot::collect::{naive_collect, CollectArray, DoubleCollect};
 use apram_snapshot::snapshot::{SnapOp, SnapResp, SnapshotSpec};
 use apram_snapshot::{ScanHandle, ScanObject, Snapshot};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
-/// Shared experiment options, fed by the CLI's `--seed` / `--quick`
-/// flags so every experiment honors the same knobs.
+/// Shared experiment options, fed by the CLI's `--seed` / `--quick` /
+/// `--threads` flags so every experiment honors the same knobs.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ExpOpts {
     /// Base seed mixed into every sampled schedule.
     pub seed: u64,
     /// Shrink grids and sample counts for a fast smoke run.
     pub quick: bool,
+    /// Worker threads for parallel exploration and history checking
+    /// (0 = all available parallelism).
+    pub threads: usize,
 }
 
 impl ExpOpts {
     /// Options for a given base seed (full-size grids).
     pub fn with_seed(seed: u64) -> Self {
-        ExpOpts { seed, quick: false }
+        ExpOpts {
+            seed,
+            quick: false,
+            threads: 0,
+        }
     }
 }
 
@@ -324,190 +332,237 @@ impl E6Summary {
     }
 }
 
+/// The shared per-object history sink of the E6 pipeline: workers push
+/// the history of every explored run, and the batch is linearizability-
+/// checked in parallel once the exploration drains.
+type HistorySink<O, R> = Arc<Mutex<Vec<History<O, R>>>>;
+
+/// Drain `sink` and check every collected history in parallel, panicking
+/// with `label` on the first non-linearizable one. Returns how many
+/// histories were checked.
+fn drain_and_check<Sp>(
+    spec: &Sp,
+    sink: &HistorySink<Sp::Op, Sp::Resp>,
+    threads: usize,
+    label: &str,
+) -> u64
+where
+    Sp: apram_history::NondetSpec + Sync,
+    Sp::State: std::hash::Hash + Eq,
+    Sp::Op: Send + Sync,
+    Sp::Resp: Send + Sync,
+{
+    let batch = std::mem::take(&mut *sink.lock().unwrap());
+    let outcomes = check_histories_parallel(spec, &batch, &CheckerConfig::default(), threads);
+    assert!(outcomes.iter().all(|o| o.is_ok()), "{label}");
+    batch.len() as u64
+}
+
 /// Run the E6 exhaustive checks (smaller than the test-suite versions;
 /// the suite is the authority, this reports the counts for the table).
+/// Exploration fans out across `opts.threads` workers, each with a
+/// private recorder cell feeding a shared history sink; the collected
+/// batch is then checked with [`check_histories_parallel`].
 pub fn e6_summary(opts: &ExpOpts) -> E6Summary {
     let budget = if opts.quick { 2_000 } else { 20_000 };
+    let threads = opts.threads;
     let mut histories = 0u64;
 
     // Snapshot object, 2 processes, update+snap each, truncated depth.
     let snap = Snapshot::new(2);
     let spec = SnapshotSpec::<u32>::new(2);
-    let rec_cell: Rc<RefCell<Option<Recorder<SnapOp<u32>, SnapResp<u32>>>>> =
-        Rc::new(RefCell::new(None));
-    let rc = Rc::clone(&rec_cell);
-    let make = move || {
-        let rec: Recorder<SnapOp<u32>, SnapResp<u32>> = Recorder::new();
-        *rc.borrow_mut() = Some(rec.clone());
-        (0..2usize)
-            .map(|p| {
-                let rec = rec.clone();
-                Box::new(move |ctx: &mut SimCtx<apram_lattice::TaggedVec<u32>>| {
-                    let mut h = snap.handle::<u32>();
-                    rec.record(p, SnapOp::Update(p as u32 + 1), || {
-                        h.update(ctx, p as u32 + 1);
-                        SnapResp::Ack
-                    });
-                    rec.invoke(p, SnapOp::Snap);
-                    let view = h.snap(ctx);
-                    rec.respond(p, SnapResp::View(view));
-                }) as ProcBody<'static, apram_lattice::TaggedVec<u32>, ()>
-            })
-            .collect::<Vec<_>>()
-    };
+    let sink: HistorySink<SnapOp<u32>, SnapResp<u32>> = Arc::new(Mutex::new(Vec::new()));
     let snap_stats = SimBuilder::new(snap.registers::<u32>())
         .owners(snap.owners())
-        .explore(
+        .explore_parallel(
             &ExploreConfig {
                 max_runs: budget,
                 max_depth: 12,
                 ..ExploreConfig::default()
             },
-            make,
-            |out| {
-                out.assert_no_panics();
-                let hist = rec_cell.borrow_mut().take().unwrap().snapshot();
-                histories += 1;
-                assert!(
-                    check_linearizable(&spec, &hist, &CheckerConfig::default()).is_ok(),
-                    "E6: snapshot violation"
-                );
-                true
+            threads,
+            |_worker| {
+                let cell: Arc<Mutex<Option<Recorder<SnapOp<u32>, SnapResp<u32>>>>> =
+                    Arc::new(Mutex::new(None));
+                let fcell = Arc::clone(&cell);
+                let sink = Arc::clone(&sink);
+                let make = move || {
+                    let rec: Recorder<SnapOp<u32>, SnapResp<u32>> = Recorder::new();
+                    *fcell.lock().unwrap() = Some(rec.clone());
+                    (0..2usize)
+                        .map(|p| {
+                            let rec = rec.clone();
+                            Box::new(move |ctx: &mut SimCtx<apram_lattice::TaggedVec<u32>>| {
+                                let mut h = snap.handle::<u32>();
+                                rec.record(p, SnapOp::Update(p as u32 + 1), || {
+                                    h.update(ctx, p as u32 + 1);
+                                    SnapResp::Ack
+                                });
+                                rec.invoke(p, SnapOp::Snap);
+                                let view = h.snap(ctx);
+                                rec.respond(p, SnapResp::View(view));
+                            })
+                                as ProcBody<'static, apram_lattice::TaggedVec<u32>, ()>
+                        })
+                        .collect::<Vec<_>>()
+                };
+                let visit = move |out: &SimOutcome<apram_lattice::TaggedVec<u32>, ()>| {
+                    out.assert_no_panics();
+                    let hist = cell.lock().unwrap().take().unwrap().snapshot();
+                    sink.lock().unwrap().push(hist);
+                    true
+                };
+                (make, visit)
             },
         );
+    histories += drain_and_check(&spec, &sink, threads, "E6: snapshot violation");
 
     // Universal counter, 2 processes, one op each + read, truncated.
     let uni = Universal::new(2, apram_core::CounterSpec);
     let uni_sim = SimBuilder::new(uni.registers()).owners(uni.owners());
-    let rec_cell2: Rc<RefCell<Option<Recorder<CounterOp, apram_core::CounterResp>>>> =
-        Rc::new(RefCell::new(None));
-    let rc2 = Rc::clone(&rec_cell2);
-    let make2 = move || {
-        let rec: Recorder<CounterOp, apram_core::CounterResp> = Recorder::new();
-        *rc2.borrow_mut() = Some(rec.clone());
-        (0..2usize)
-            .map(|p| {
-                let rec = rec.clone();
-                let mut h = uni.handle();
-                let op = if p == 0 {
-                    CounterOp::Inc(1)
-                } else {
-                    CounterOp::Reset(5)
-                };
-                Box::new(
-                    move |ctx: &mut SimCtx<
-                        apram_core::universal::UniversalReg<apram_core::CounterSpec>,
-                    >| {
-                        rec.invoke(p, op);
-                        let r = h.execute(ctx, op);
-                        rec.respond(p, r);
-                        rec.invoke(p, CounterOp::Read);
-                        let r = h.execute(ctx, CounterOp::Read);
-                        rec.respond(p, r);
-                    },
-                ) as ProcBody<'static, _, ()>
-            })
-            .collect::<Vec<_>>()
-    };
-    let uni_stats = uni_sim.explore(
+    let sink2: HistorySink<CounterOp, apram_core::CounterResp> = Arc::new(Mutex::new(Vec::new()));
+    let uni_stats = uni_sim.explore_parallel(
         &ExploreConfig {
             max_runs: budget,
             max_depth: 10,
             ..ExploreConfig::default()
         },
-        make2,
-        |out| {
-            out.assert_no_panics();
-            let hist = rec_cell2.borrow_mut().take().unwrap().snapshot();
-            histories += 1;
-            assert!(
-                check_linearizable(&apram_core::CounterSpec, &hist, &CheckerConfig::default())
-                    .is_ok(),
-                "E6: universal counter violation"
-            );
-            true
+        threads,
+        |_worker| {
+            let cell: Arc<Mutex<Option<Recorder<CounterOp, apram_core::CounterResp>>>> =
+                Arc::new(Mutex::new(None));
+            let fcell = Arc::clone(&cell);
+            let sink = Arc::clone(&sink2);
+            let uni = uni.clone();
+            let make = move || {
+                let rec: Recorder<CounterOp, apram_core::CounterResp> = Recorder::new();
+                *fcell.lock().unwrap() = Some(rec.clone());
+                (0..2usize)
+                    .map(|p| {
+                        let rec = rec.clone();
+                        let mut h = uni.handle();
+                        let op = if p == 0 {
+                            CounterOp::Inc(1)
+                        } else {
+                            CounterOp::Reset(5)
+                        };
+                        Box::new(
+                            move |ctx: &mut SimCtx<
+                                apram_core::universal::UniversalReg<apram_core::CounterSpec>,
+                            >| {
+                                rec.invoke(p, op);
+                                let r = h.execute(ctx, op);
+                                rec.respond(p, r);
+                                rec.invoke(p, CounterOp::Read);
+                                let r = h.execute(ctx, CounterOp::Read);
+                                rec.respond(p, r);
+                            },
+                        ) as ProcBody<'static, _, ()>
+                    })
+                    .collect::<Vec<_>>()
+            };
+            let visit = move |out: &SimOutcome<
+                apram_core::universal::UniversalReg<apram_core::CounterSpec>,
+                (),
+            >| {
+                out.assert_no_panics();
+                let hist = cell.lock().unwrap().take().unwrap().snapshot();
+                sink.lock().unwrap().push(hist);
+                true
+            };
+            (make, visit)
         },
+    );
+    histories += drain_and_check(
+        &apram_core::CounterSpec,
+        &sink2,
+        threads,
+        "E6: universal counter violation",
     );
 
     // Afek et al. snapshot, 2 processes.
     let asnap = AfekSnapshot::new(2);
     let spec2 = SnapshotSpec::<u32>::new(2);
-    let rec_cell3: Rc<RefCell<Option<Recorder<SnapOp<u32>, SnapResp<u32>>>>> =
-        Rc::new(RefCell::new(None));
-    let rc3 = Rc::clone(&rec_cell3);
-    let make3 = move || {
-        let rec: Recorder<SnapOp<u32>, SnapResp<u32>> = Recorder::new();
-        *rc3.borrow_mut() = Some(rec.clone());
-        (0..2usize)
-            .map(|p| {
-                let rec = rec.clone();
-                Box::new(move |ctx: &mut SimCtx<AfekReg<u32>>| {
-                    rec.record(p, SnapOp::Update(p as u32 + 1), || {
-                        asnap.update(ctx, p as u32 + 1);
-                        SnapResp::Ack
-                    });
-                    rec.invoke(p, SnapOp::Snap);
-                    let view = asnap.snap(ctx);
-                    rec.respond(p, SnapResp::View(view));
-                }) as ProcBody<'static, AfekReg<u32>, ()>
-            })
-            .collect::<Vec<_>>()
-    };
+    let sink3: HistorySink<SnapOp<u32>, SnapResp<u32>> = Arc::new(Mutex::new(Vec::new()));
     let afek_stats = SimBuilder::new(asnap.registers::<u32>())
         .owners(asnap.owners())
-        .explore(
+        .explore_parallel(
             &ExploreConfig {
                 max_runs: budget,
                 max_depth: 12,
                 ..ExploreConfig::default()
             },
-            make3,
-            |out| {
-                out.assert_no_panics();
-                let hist = rec_cell3.borrow_mut().take().unwrap().snapshot();
-                histories += 1;
-                assert!(
-                    check_linearizable(&spec2, &hist, &CheckerConfig::default()).is_ok(),
-                    "E6: Afek snapshot violation"
-                );
-                true
+            threads,
+            |_worker| {
+                let cell: Arc<Mutex<Option<Recorder<SnapOp<u32>, SnapResp<u32>>>>> =
+                    Arc::new(Mutex::new(None));
+                let fcell = Arc::clone(&cell);
+                let sink = Arc::clone(&sink3);
+                let make = move || {
+                    let rec: Recorder<SnapOp<u32>, SnapResp<u32>> = Recorder::new();
+                    *fcell.lock().unwrap() = Some(rec.clone());
+                    (0..2usize)
+                        .map(|p| {
+                            let rec = rec.clone();
+                            Box::new(move |ctx: &mut SimCtx<AfekReg<u32>>| {
+                                rec.record(p, SnapOp::Update(p as u32 + 1), || {
+                                    asnap.update(ctx, p as u32 + 1);
+                                    SnapResp::Ack
+                                });
+                                rec.invoke(p, SnapOp::Snap);
+                                let view = asnap.snap(ctx);
+                                rec.respond(p, SnapResp::View(view));
+                            }) as ProcBody<'static, AfekReg<u32>, ()>
+                        })
+                        .collect::<Vec<_>>()
+                };
+                let visit = move |out: &SimOutcome<AfekReg<u32>, ()>| {
+                    out.assert_no_panics();
+                    let hist = cell.lock().unwrap().take().unwrap().snapshot();
+                    sink.lock().unwrap().push(hist);
+                    true
+                };
+                (make, visit)
             },
         );
+    histories += drain_and_check(&spec2, &sink3, threads, "E6: Afek snapshot violation");
 
     // MW register, 2 processes, full depth (exhaustible).
     use apram_objects::mwreg::{MwRegOp, MwRegResp, MwRegSpec, MwRegister, Stamped};
     let reg = MwRegister::new(2);
-    let rec_cell4: Rc<RefCell<Option<Recorder<MwRegOp, MwRegResp>>>> = Rc::new(RefCell::new(None));
-    let rc4 = Rc::clone(&rec_cell4);
-    let make4 = move || {
-        let rec: Recorder<MwRegOp, MwRegResp> = Recorder::new();
-        *rc4.borrow_mut() = Some(rec.clone());
-        (0..2usize)
-            .map(|p| {
-                let rec = rec.clone();
-                Box::new(move |ctx: &mut SimCtx<Stamped<u64>>| {
-                    rec.invoke(p, MwRegOp::Write(p as u64 + 1));
-                    reg.write(ctx, p as u64 + 1);
-                    rec.respond(p, MwRegResp::Ack);
-                    rec.invoke(p, MwRegOp::Read);
-                    let v = reg.read(ctx);
-                    rec.respond(p, MwRegResp::Value(v));
-                }) as ProcBody<'static, Stamped<u64>, ()>
-            })
-            .collect::<Vec<_>>()
-    };
+    let sink4: HistorySink<MwRegOp, MwRegResp> = Arc::new(Mutex::new(Vec::new()));
     let mw_stats = SimBuilder::new(reg.registers::<u64>())
         .owners(reg.owners())
-        .explore(&ExploreConfig::default(), make4, |out| {
-            out.assert_no_panics();
-            let hist = rec_cell4.borrow_mut().take().unwrap().snapshot();
-            histories += 1;
-            assert!(
-                check_linearizable(&MwRegSpec, &hist, &CheckerConfig::default()).is_ok(),
-                "E6: MW register violation"
-            );
-            true
+        .explore_parallel(&ExploreConfig::default(), threads, |_worker| {
+            let cell: Arc<Mutex<Option<Recorder<MwRegOp, MwRegResp>>>> = Arc::new(Mutex::new(None));
+            let fcell = Arc::clone(&cell);
+            let sink = Arc::clone(&sink4);
+            let make = move || {
+                let rec: Recorder<MwRegOp, MwRegResp> = Recorder::new();
+                *fcell.lock().unwrap() = Some(rec.clone());
+                (0..2usize)
+                    .map(|p| {
+                        let rec = rec.clone();
+                        Box::new(move |ctx: &mut SimCtx<Stamped<u64>>| {
+                            rec.invoke(p, MwRegOp::Write(p as u64 + 1));
+                            reg.write(ctx, p as u64 + 1);
+                            rec.respond(p, MwRegResp::Ack);
+                            rec.invoke(p, MwRegOp::Read);
+                            let v = reg.read(ctx);
+                            rec.respond(p, MwRegResp::Value(v));
+                        }) as ProcBody<'static, Stamped<u64>, ()>
+                    })
+                    .collect::<Vec<_>>()
+            };
+            let visit = move |out: &SimOutcome<Stamped<u64>, ()>| {
+                out.assert_no_panics();
+                let hist = cell.lock().unwrap().take().unwrap().snapshot();
+                sink.lock().unwrap().push(hist);
+                true
+            };
+            (make, visit)
         });
+    histories += drain_and_check(&MwRegSpec, &sink4, threads, "E6: MW register violation");
 
     E6Summary {
         snapshot: snap_stats,
@@ -516,6 +571,102 @@ pub fn e6_summary(opts: &ExpOpts) -> E6Summary {
         mwreg: mw_stats,
         histories_checked: histories,
     }
+}
+
+/// Number of processes in the exploration-throughput benchmark.
+pub const EXPLORE_BENCH_PROCS: usize = 3;
+
+/// One row of the exploration-throughput benchmark (`explore` in the
+/// CLI, `BENCH_explore.json` on disk).
+#[derive(Clone, Debug)]
+pub struct ExploreBenchRow {
+    /// Engine label: `"sequential"` (per-run thread spawning) or
+    /// `"parallel"` (work-stealing workers over pooled sim threads).
+    pub engine: &'static str,
+    /// Worker threads (1 for the sequential engine).
+    pub threads: usize,
+    /// Schedules explored (identical for every row by construction).
+    pub runs: u64,
+    /// Wall-clock seconds of the exploration.
+    pub wall_secs: f64,
+    /// Schedules per second.
+    pub runs_per_sec: f64,
+    /// Throughput relative to the sequential engine.
+    pub speedup: f64,
+}
+
+/// Run the exploration-throughput benchmark: the E4 scan object with
+/// [`EXPLORE_BENCH_PROCS`] processes each performing one optimized scan,
+/// plain exploration truncated at a fixed branching depth so every
+/// engine enumerates exactly the same schedule tree. Rows report the
+/// sequential explorer followed by the parallel one at each thread count
+/// in the grid (`opts.threads` when set, else 1/2/4/8); speedups are
+/// relative to the sequential row. Panics if any engine disagrees on the
+/// number of schedules — the benchmark doubles as an equivalence check.
+pub fn explore_bench_rows(opts: &ExpOpts) -> Vec<ExploreBenchRow> {
+    let n = EXPLORE_BENCH_PROCS;
+    let depth = if opts.quick { 5 } else { 7 };
+    let econfig = ExploreConfig {
+        max_depth: depth,
+        ..ExploreConfig::default()
+    };
+    let obj = ScanObject::new(n);
+    let make = move || {
+        (0..n)
+            .map(|p| {
+                Box::new(move |ctx: &mut SimCtx<apram_lattice::MaxU64>| {
+                    let mut h = ScanHandle::new(obj);
+                    let _ = h.scan(ctx, apram_lattice::MaxU64::new(p as u64 + 1));
+                }) as ProcBody<'static, apram_lattice::MaxU64, ()>
+            })
+            .collect::<Vec<_>>()
+    };
+    let sim = SimBuilder::new(obj.registers::<apram_lattice::MaxU64>()).owners(obj.owners());
+    let seq = sim.explore(&econfig, make, |out| {
+        out.assert_no_panics();
+        true
+    });
+    let base_rps = seq.runs_per_sec();
+    let mut rows = vec![ExploreBenchRow {
+        engine: "sequential",
+        threads: 1,
+        runs: seq.runs,
+        wall_secs: seq.elapsed.as_secs_f64(),
+        runs_per_sec: base_rps,
+        speedup: 1.0,
+    }];
+    let grid: Vec<usize> = if opts.threads != 0 {
+        vec![opts.threads]
+    } else {
+        vec![1, 2, 4, 8]
+    };
+    for t in grid {
+        let stats = sim.explore_parallel(&econfig, t, |_worker| {
+            (make, |out: &SimOutcome<apram_lattice::MaxU64, ()>| {
+                out.assert_no_panics();
+                true
+            })
+        });
+        assert_eq!(
+            stats.runs, seq.runs,
+            "parallel explorer must enumerate the sequential tree"
+        );
+        assert_eq!(stats.exhausted, seq.exhausted);
+        assert_eq!(stats.truncated, seq.truncated);
+        rows.push(ExploreBenchRow {
+            engine: "parallel",
+            threads: resolve_threads(t),
+            runs: stats.runs,
+            wall_secs: stats.elapsed.as_secs_f64(),
+            runs_per_sec: stats.runs_per_sec(),
+            speedup: if base_rps > 0.0 {
+                stats.runs_per_sec() / base_rps
+            } else {
+                0.0
+            },
+        });
+    }
+    rows
 }
 
 /// E8 — ablation / soundness outcomes for one configuration.
@@ -674,7 +825,10 @@ pub fn e8_rows(opts: &ExpOpts) -> Vec<E8Row> {
 }
 
 /// The recorder cell shared between the E9 factory and its visitors.
-pub type E9RecCell = Rc<RefCell<Option<Recorder<SnapOp<u32>, SnapResp<u32>>>>>;
+/// `Arc<Mutex<..>>` rather than `Rc<RefCell<..>>` so the factory is
+/// `Send` and can serve as a per-worker factory of the parallel
+/// explorer as well as the sequential one.
+pub type E9RecCell = Arc<Mutex<Option<Recorder<SnapOp<u32>, SnapResp<u32>>>>>;
 
 /// Number of processes in the E9 scenario (one scanner, two writers).
 pub const E9_PROCS: usize = 3;
@@ -694,7 +848,7 @@ pub fn e9_factory(
 ) -> impl FnMut() -> Vec<ProcBody<'static, Tagged<u32>, ()>> {
     move || {
         let rec: Recorder<SnapOp<u32>, SnapResp<u32>> = Recorder::new();
-        *cell.borrow_mut() = Some(rec.clone());
+        *cell.lock().unwrap() = Some(rec.clone());
         let scanner = rec.clone();
         let mut bodies: Vec<ProcBody<'static, Tagged<u32>, ()>> =
             vec![Box::new(move |ctx: &mut SimCtx<Tagged<u32>>| {
@@ -772,7 +926,7 @@ pub struct E9Report {
 pub fn e9_forensics(opts: &ExpOpts) -> E9Report {
     let arr = CollectArray::new(E9_PROCS);
     let spec = SnapshotSpec::<u32>::new(E9_PROCS);
-    let cell: E9RecCell = Rc::new(RefCell::new(None));
+    let cell: E9RecCell = Arc::new(Mutex::new(None));
     let mut histories = 0u64;
     let econfig = ExploreConfig {
         max_runs: if opts.quick { 20_000 } else { 200_000 },
@@ -780,12 +934,12 @@ pub fn e9_forensics(opts: &ExpOpts) -> E9Report {
         trace_spans: true,
         ..ExploreConfig::default()
     };
-    let visit_cell = Rc::clone(&cell);
+    let visit_cell = Arc::clone(&cell);
     let explore = SimBuilder::new(arr.registers::<u32>())
         .owners(arr.owners())
-        .explore(&econfig, e9_factory(arr, Rc::clone(&cell)), |out| {
+        .explore(&econfig, e9_factory(arr, Arc::clone(&cell)), |out| {
             out.assert_no_panics();
-            let hist = visit_cell.borrow_mut().take().unwrap().snapshot();
+            let hist = visit_cell.lock().unwrap().take().unwrap().snapshot();
             histories += 1;
             check_linearizable(&spec, &hist, &CheckerConfig::default()).is_ok()
         });
@@ -796,14 +950,14 @@ pub fn e9_forensics(opts: &ExpOpts) -> E9Report {
 
     // Strict-replay the minimal schedule (every entry is serviced, so the
     // step budget pins the execution exactly) and explain its history.
-    let mut factory = e9_factory(arr, Rc::clone(&cell));
+    let mut factory = e9_factory(arr, Arc::clone(&cell));
     let out = SimBuilder::new(arr.registers::<u32>())
         .owners(arr.owners())
         .strategy(Replay::strict(report.schedule.clone()))
         .max_steps(report.schedule.len() as u64)
         .run(factory());
     out.assert_no_panics();
-    let hist = cell.borrow_mut().take().unwrap().snapshot();
+    let hist = cell.lock().unwrap().take().unwrap().snapshot();
     let mut spans = SpanRecorder::new("forensics");
     let verdict = check_linearizable_traced(&spec, &hist, &CheckerConfig::default(), &mut spans);
     let check_spans = spans.finish();
@@ -903,6 +1057,7 @@ mod tests {
         let s = e6_summary(&ExpOpts {
             seed: 0,
             quick: true,
+            threads: 2,
         });
         let total_runs: u64 = s.per_object().iter().map(|(_, st)| st.runs).sum();
         assert_eq!(s.histories_checked, total_runs);
@@ -915,10 +1070,33 @@ mod tests {
     }
 
     #[test]
+    fn explore_bench_engines_agree_on_the_tree() {
+        let rows = explore_bench_rows(&ExpOpts {
+            seed: 0,
+            quick: true,
+            threads: 2,
+        });
+        // Sequential baseline plus one parallel row for the requested
+        // thread count; explore_bench_rows itself asserts run equality.
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].engine, "sequential");
+        assert_eq!(rows[1].engine, "parallel");
+        assert_eq!(rows[1].threads, 2);
+        assert_eq!(rows[0].runs, rows[1].runs);
+        for row in &rows {
+            assert!(row.runs > 0, "{row:?}");
+            assert!(row.wall_secs > 0.0, "{row:?}");
+            assert!(row.runs_per_sec > 0.0, "{row:?}");
+            assert!(row.speedup > 0.0, "{row:?}");
+        }
+    }
+
+    #[test]
     fn e9_minimal_run_meets_paper_costs() {
         let r = e9_forensics(&ExpOpts {
             seed: 0,
             quick: true,
+            threads: 0,
         });
         let shrink = r.explore.violation.as_ref().expect("violation captured");
         assert!(

@@ -40,6 +40,7 @@ pub mod check;
 pub mod event;
 pub mod explain;
 pub mod ops;
+pub mod parallel;
 pub mod sc;
 pub mod spec;
 
@@ -50,5 +51,6 @@ pub use check::{
 pub use event::{Event, History, ProcId, Recorder};
 pub use explain::{render_timeline, BlockReason, BlockedOp, FailureExplanation};
 pub use ops::{OpRecord, Ops};
+pub use parallel::check_histories_parallel;
 pub use sc::check_sequentially_consistent;
 pub use spec::{DetSpec, NondetSpec};

@@ -1,0 +1,127 @@
+//! Parallel linearizability checking of history batches.
+//!
+//! The checks of distinct histories are embarrassingly parallel (each
+//! search owns its memo table and spec state), so a batch collected by
+//! an exploration fans out across scoped worker threads pulling from an
+//! atomic cursor. Results come back **in input order**, independent of
+//! thread count or timing — `check_histories_parallel(spec, hs, cfg, t)`
+//! equals `hs.iter().map(|h| check_linearizable(spec, h, cfg))` for
+//! every `t`.
+
+use crate::check::{check_linearizable, CheckOutcome, CheckerConfig};
+use crate::event::History;
+use crate::spec::NondetSpec;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Check every history in `histories` against `spec` across `threads`
+/// worker threads (0 = all available parallelism), returning one
+/// [`CheckOutcome`] per history in input order.
+///
+/// Deterministic specs participate through the blanket
+/// [`NondetSpec`] impl, exactly as with [`check_linearizable`].
+pub fn check_histories_parallel<Sp>(
+    spec: &Sp,
+    histories: &[History<Sp::Op, Sp::Resp>],
+    cfg: &CheckerConfig,
+    threads: usize,
+) -> Vec<CheckOutcome>
+where
+    Sp: NondetSpec + Sync,
+    Sp::State: Hash + Eq,
+    Sp::Op: Send + Sync,
+    Sp::Resp: Send + Sync,
+{
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+    .min(histories.len().max(1));
+    if threads <= 1 {
+        return histories
+            .iter()
+            .map(|h| check_linearizable(spec, h, cfg))
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<CheckOutcome>>> =
+        histories.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let next = &next;
+            let slots = &slots;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(h) = histories.get(i) else {
+                    break;
+                };
+                *slots[i].lock().unwrap() = Some(check_linearizable(spec, h, cfg));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("every history slot checked")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::History;
+    use crate::spec::{RegOp, RegResp, RegisterSpec};
+
+    /// A linearizable register history: W(v) then a read seeing v.
+    fn good(v: u64) -> History<RegOp, RegResp> {
+        let mut h = History::new();
+        h.invoke(0, RegOp::Write(v));
+        h.respond(0, RegResp::Ack);
+        h.invoke(1, RegOp::Read);
+        h.respond(1, RegResp::Value(v));
+        h
+    }
+
+    /// Not linearizable: the read completes before any write yet sees 9.
+    fn bad() -> History<RegOp, RegResp> {
+        let mut h = History::new();
+        h.invoke(1, RegOp::Read);
+        h.respond(1, RegResp::Value(9));
+        h.invoke(0, RegOp::Write(9));
+        h.respond(0, RegResp::Ack);
+        h
+    }
+
+    #[test]
+    fn matches_sequential_in_input_order() {
+        let spec = RegisterSpec;
+        let cfg = CheckerConfig::default();
+        let histories: Vec<_> = (0..20)
+            .map(|i| if i % 7 == 3 { bad() } else { good(i) })
+            .collect();
+        let sequential: Vec<_> = histories
+            .iter()
+            .map(|h| check_linearizable(&spec, h, &cfg))
+            .collect();
+        for threads in [0, 1, 2, 4, 32] {
+            let parallel = check_histories_parallel(&spec, &histories, &cfg, threads);
+            assert_eq!(parallel, sequential, "threads={threads}");
+        }
+        assert!(!sequential[3].is_ok());
+        assert!(sequential[0].is_ok());
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let spec = RegisterSpec;
+        let out = check_histories_parallel(&spec, &[], &CheckerConfig::default(), 4);
+        assert!(out.is_empty());
+    }
+}

@@ -53,8 +53,9 @@ pub use json::Json;
 pub use metrics::{Metrics, MetricsLevel, RegStats};
 pub use native::{NativeCtx, NativeMemory};
 pub use sim::{
-    explore, shrink_schedule, Decision, ExploreConfig, ExploreStats, ProcBody, SchedView,
-    ShrinkConfig, ShrinkReport, SimBuilder, SimConfig, SimCtx, SimOutcome, Strategy,
+    explore, explore_parallel, explore_reduced_parallel, resolve_threads, shrink_schedule,
+    Decision, ExploreConfig, ExploreStats, ProcBody, SchedView, ShrinkConfig, ShrinkReport,
+    SimBuilder, SimConfig, SimCtx, SimOutcome, Strategy,
 };
 pub use span::{SpanNode, SpanRecorder};
 pub use trace::{StepCounts, Trace, TraceEvent};

@@ -15,8 +15,10 @@ use super::shrink::{shrink_schedule, ShrinkConfig, ShrinkReport};
 use super::strategy::{Decision, SchedView, Strategy};
 use super::{run_sim_with, ProcBody, SimConfig, SimOutcome};
 use crate::ctx::{AccessKind, ProcId};
+use crate::json::Json;
 use crate::metrics::MetricsLevel;
 use crate::span::SpanRecorder;
+use std::time::{Duration, Instant};
 
 /// Per-run child spans are recorded for at most this many runs; later
 /// runs only contribute to the root span's counters. Keeps span trees
@@ -81,6 +83,8 @@ pub struct ExploreStats {
     /// The exploration's span tree, when [`ExploreConfig::trace_spans`]
     /// was set.
     pub spans: Option<crate::span::SpanNode>,
+    /// Wall-clock time the exploration took (including shrinking).
+    pub elapsed: Duration,
 }
 
 impl ExploreStats {
@@ -104,6 +108,44 @@ impl ExploreStats {
         } else {
             self.replayed_steps as f64 / self.executed_steps as f64
         }
+    }
+
+    /// Exploration throughput in complete runs per wall-clock second.
+    /// 0 when no time was measured (e.g. a hand-built stats value).
+    pub fn runs_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.runs as f64 / secs
+        }
+    }
+
+    /// JSON summary (counters, flags, wall-clock timing, and the shrunk
+    /// violation when present) — the stats side of BENCH reports, so
+    /// reports and span traces agree on throughput.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("runs", Json::UInt(self.runs)),
+            ("exhausted", Json::Bool(self.exhausted)),
+            ("truncated", Json::Bool(self.truncated)),
+            ("executed_steps", Json::UInt(self.executed_steps)),
+            ("replayed_steps", Json::UInt(self.replayed_steps)),
+            (
+                "max_depth_reached",
+                Json::UInt(self.max_depth_reached as u64),
+            ),
+            ("sleep_skips", Json::UInt(self.sleep_skips)),
+            ("elapsed_secs", Json::Float(self.elapsed.as_secs_f64())),
+            ("runs_per_sec", Json::Float(self.runs_per_sec())),
+            (
+                "violation",
+                match &self.violation {
+                    Some(report) => report.to_json(),
+                    None => Json::Null,
+                },
+            ),
+        ])
     }
 }
 
@@ -214,6 +256,7 @@ where
     FMake: FnMut() -> Vec<ProcBody<'static, T, R>>,
     Visit: FnMut(&SimOutcome<T, R>) -> bool,
 {
+    let start = Instant::now();
     let mut stack: Vec<Branch> = Vec::new();
     let mut stats = ExploreStats::default();
     let mut spans = econfig.trace_spans.then(|| SpanRecorder::new("explore"));
@@ -270,39 +313,115 @@ where
             }
         }
     }
+    stats.elapsed = start.elapsed();
     finish_spans(&mut stats, spans);
     stats
 }
 
 /// Are two pending accesses *independent* (they commute as memory
 /// operations)? True when they touch different registers, or both read.
-fn independent(a: (AccessKind, usize), b: (AccessKind, usize)) -> bool {
+pub(crate) fn independent(a: (AccessKind, usize), b: (AccessKind, usize)) -> bool {
     a.1 != b.1 || (a.0 == AccessKind::Read && b.0 == AccessKind::Read)
 }
 
-struct SleepNode {
+/// A decision point in the sleep-set DFS.
+///
+/// Shared with the parallel engine ([`super::parallel`]), which rebuilds
+/// identical nodes while replaying a branch-path prefix: every field is a
+/// pure function of the sequence of pick indices leading to the node,
+/// which is what makes prefix tasks self-contained.
+pub(crate) struct SleepNode {
     /// Runnable processes at this decision point (sorted).
-    choices: Vec<ProcId>,
+    pub(crate) choices: Vec<ProcId>,
     /// The pending access of each runnable process, parallel to
-    /// `choices`.
-    accesses: Vec<(AccessKind, usize)>,
-    /// Processes asleep at this node: exploring them here is redundant
-    /// (an independence-commuted schedule already covers it).
-    sleep: Vec<ProcId>,
-    /// Indices into `choices` already fully explored from this node.
-    explored: Vec<usize>,
+    /// `choices`. Empty when built without reduction.
+    pub(crate) accesses: Vec<(AccessKind, usize)>,
+    /// Bitmask over process ids: processes asleep at this node.
+    /// Exploring them here is redundant (an independence-commuted
+    /// schedule already covers it).
+    pub(crate) sleep: u64,
+    /// Bitmask over indices into `choices`: branches already fully
+    /// explored from this node.
+    pub(crate) explored: u64,
     /// Index into `choices` currently being explored.
-    pick: usize,
+    pub(crate) pick: usize,
     /// `true` when every runnable process was asleep here: the whole
     /// subtree is redundant; one arbitrary completion run is performed
     /// and the node is popped without exploring siblings.
-    barren: bool,
+    pub(crate) barren: bool,
 }
 
 impl SleepNode {
-    fn next_explorable(&self, from: usize) -> Option<usize> {
-        (from..self.choices.len())
-            .find(|&i| !self.explored.contains(&i) && !self.sleep.contains(&self.choices[i]))
+    /// Build the node for a fresh decision point reached by taking
+    /// `parent.pick` at the previous one (`None` at the root). With
+    /// `reduce == false` the sleep set stays empty and the node spans the
+    /// full schedule tree (plain exploration).
+    ///
+    /// Its sleep set: a process q stays asleep while its pending access
+    /// is independent of every executed access since q was put to sleep;
+    /// executing a dependent access wakes it. Siblings explored before
+    /// the parent's current pick fall asleep for this subtree when
+    /// independent of the chosen access.
+    pub(crate) fn fresh(view: &SchedView, parent: Option<&SleepNode>, reduce: bool) -> SleepNode {
+        let max_id = *view.runnable.last().expect("runnable is non-empty");
+        assert!(
+            max_id < 64,
+            "sleep-set bitmasks support at most 64 processes"
+        );
+        let sleep = match parent.filter(|_| reduce) {
+            None => 0,
+            Some(parent) => {
+                let chosen = parent.accesses[parent.pick];
+                let mut sleep = 0u64;
+                for (i, &q) in parent.choices.iter().enumerate() {
+                    if (parent.sleep >> q & 1 == 1 || parent.explored >> i & 1 == 1)
+                        && independent(parent.accesses[i], chosen)
+                    {
+                        sleep |= 1 << q;
+                    }
+                }
+                sleep
+            }
+        };
+        let accesses = if reduce {
+            view.runnable
+                .iter()
+                .map(|&p| view.pending[p].expect("runnable implies pending"))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        SleepNode {
+            choices: view.runnable.to_vec(),
+            accesses,
+            sleep,
+            explored: 0,
+            pick: 0,
+            barren: false,
+        }
+    }
+
+    /// Is choice `i` asleep at this node?
+    pub(crate) fn asleep(&self, i: usize) -> bool {
+        self.sleep >> self.choices[i] & 1 == 1
+    }
+
+    /// The first explorable choice (neither explored nor asleep) at or
+    /// after `from`. One O(1) probe per candidate — the masks replace
+    /// the former `Vec::contains` scans on this hot path.
+    pub(crate) fn next_explorable(&self, from: usize) -> Option<usize> {
+        (from..self.choices.len()).find(|&i| self.explored >> i & 1 == 0 && !self.asleep(i))
+    }
+
+    /// Choices never explored from this node — once every explorable
+    /// branch is done, exactly the ones its sleep set pruned.
+    pub(crate) fn unexplored(&self) -> u64 {
+        self.choices.len() as u64 - u64::from(self.explored.count_ones())
+    }
+
+    /// Number of asleep choices — the branches reduction prunes here.
+    pub(crate) fn asleep_count(&self) -> u64 {
+        (0..self.choices.len()).filter(|&i| self.asleep(i)).count() as u64
     }
 }
 
@@ -345,50 +464,10 @@ impl Strategy for SleepStrategy<'_> {
             }
             view.runnable[0]
         } else {
-            // Push a fresh node. Its sleep set: processes asleep at the
-            // parent (after the parent's choice) — a proc q stays asleep
-            // while its pending access is independent of every executed
-            // access since q was put to sleep; executing a dependent
-            // access wakes it.
-            let sleep = match self.pos.checked_sub(1).map(|i| &self.stack[i]) {
-                None => Vec::new(),
-                Some(parent) => {
-                    let chosen = parent.accesses[parent.pick];
-                    let mut asleep: Vec<ProcId> = Vec::new();
-                    // Asleep at parent, still independent of the chosen
-                    // access ⇒ still asleep here.
-                    for &q in &parent.sleep {
-                        if let Some(i) = parent.choices.iter().position(|&c| c == q) {
-                            if independent(parent.accesses[i], chosen) {
-                                asleep.push(q);
-                            }
-                        }
-                    }
-                    // Siblings explored before the parent's current pick
-                    // fall asleep for this subtree when independent.
-                    for &i in &parent.explored {
-                        if independent(parent.accesses[i], chosen) {
-                            asleep.push(parent.choices[i]);
-                        }
-                    }
-                    asleep.sort_unstable();
-                    asleep.dedup();
-                    asleep
-                }
-            };
-            let accesses: Vec<(AccessKind, usize)> = view
-                .runnable
-                .iter()
-                .map(|&p| view.pending[p].expect("runnable implies pending"))
-                .collect();
-            let mut node = SleepNode {
-                choices: view.runnable.to_vec(),
-                accesses,
-                sleep,
-                explored: Vec::new(),
-                pick: 0,
-                barren: false,
-            };
+            // Push a fresh node; its sleep set derives from the parent
+            // (see [`SleepNode::fresh`]).
+            let parent = self.pos.checked_sub(1).map(|i| &self.stack[i]);
+            let mut node = SleepNode::fresh(view, parent, true);
             // First explorable choice (skip asleep processes).
             match node.next_explorable(0) {
                 Some(i) => node.pick = i,
@@ -438,6 +517,7 @@ where
     FMake: FnMut() -> Vec<ProcBody<'static, T, R>>,
     Visit: FnMut(&SimOutcome<T, R>) -> bool,
 {
+    let start = Instant::now();
     let mut stack: Vec<SleepNode> = Vec::new();
     let mut stats = ExploreStats::default();
     let mut spans = econfig
@@ -497,8 +577,7 @@ where
                         stack.pop();
                         continue;
                     }
-                    let pick = node.pick;
-                    node.explored.push(pick);
+                    node.explored |= 1 << node.pick;
                     match node.next_explorable(0) {
                         Some(next) => {
                             node.pick = next;
@@ -507,7 +586,7 @@ where
                         None => {
                             // Choices never explored here were pruned
                             // (asleep) — count them before popping.
-                            stats.sleep_skips += (node.choices.len() - node.explored.len()) as u64;
+                            stats.sleep_skips += node.unexplored();
                             stack.pop();
                         }
                     }
@@ -515,6 +594,7 @@ where
             }
         }
     }
+    stats.elapsed = start.elapsed();
     finish_spans(&mut stats, spans);
     stats
 }
@@ -786,6 +866,76 @@ mod tests {
             shrink.counter("attempts"),
             Some(stats.violation.as_ref().unwrap().stats.attempts)
         );
+    }
+
+    /// `independent()` must be symmetric and agree with an execution
+    /// oracle: two pending accesses are independent exactly when running
+    /// them in either order yields the same observed values and the same
+    /// final memory.
+    #[test]
+    fn independent_agrees_with_execution_oracle() {
+        use crate::sim::strategy::Replay;
+        use crate::sim::SimBuilder;
+        let kinds = [AccessKind::Read, AccessKind::Write];
+        let regs = [0usize, 1, 2];
+        fn body(acc: (AccessKind, usize), val: u64) -> ProcBody<'static, u64, Option<u64>> {
+            Box::new(move |ctx: &mut SimCtx<u64>| match acc.0 {
+                AccessKind::Read => Some(ctx.read(acc.1)),
+                AccessKind::Write => {
+                    ctx.write(acc.1, val);
+                    None
+                }
+            })
+        }
+        // P0 performs access `a` (writing 100), P1 access `b` (writing
+        // 200); distinct written values so a swapped write order is
+        // observable in memory.
+        let run = |a, b, sched: Vec<ProcId>| {
+            let out = SimBuilder::new(vec![7u64, 8, 9])
+                .strategy(Replay::strict(sched))
+                .run(vec![body(a, 100), body(b, 200)]);
+            out.assert_no_panics();
+            (out.results.clone(), out.memory.clone())
+        };
+        for a in kinds
+            .iter()
+            .flat_map(|&k| regs.iter().map(move |&r| (k, r)))
+        {
+            for b in kinds
+                .iter()
+                .flat_map(|&k| regs.iter().map(move |&r| (k, r)))
+            {
+                let commute = run(a, b, vec![0, 1]) == run(a, b, vec![1, 0]);
+                assert_eq!(
+                    independent(a, b),
+                    commute,
+                    "oracle disagrees on {a:?}/{b:?}"
+                );
+                assert_eq!(
+                    independent(a, b),
+                    independent(b, a),
+                    "independence must be symmetric on {a:?}/{b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stats_record_wall_clock_and_export_json() {
+        let cfg = SimConfig::base(vec![0u64; 2]);
+        let stats = explore(&cfg, &ExploreConfig::default(), two_proc_bodies, |_| true);
+        assert!(stats.elapsed > Duration::ZERO);
+        assert!(stats.runs_per_sec() > 0.0);
+        let doc = stats.to_json();
+        assert_eq!(doc.get("runs").and_then(Json::as_u64), Some(stats.runs));
+        assert_eq!(doc.get("violation"), Some(&Json::Null));
+        let secs = doc.get("elapsed_secs").and_then(Json::as_f64).unwrap();
+        assert!((secs - stats.elapsed.as_secs_f64()).abs() < 1e-12);
+        let rps = doc.get("runs_per_sec").and_then(Json::as_f64).unwrap();
+        assert!((rps - stats.runs_per_sec()).abs() < 1e-6);
+        // The export round-trips through the parser.
+        let parsed = crate::json::parse(&doc.to_pretty(2)).unwrap();
+        assert_eq!(parsed.get("runs").and_then(Json::as_u64), Some(stats.runs));
     }
 
     #[test]

@@ -14,10 +14,12 @@
 //! at teardown via [`crate::crash::CrashSignal`].
 
 pub mod explore;
+pub mod parallel;
 pub mod shrink;
 pub mod strategy;
 
 pub use explore::{explore, explore_reduced, ExploreConfig, ExploreStats};
+pub use parallel::{explore_parallel, explore_reduced_parallel, resolve_threads};
 pub use shrink::{shrink_schedule, ShrinkConfig, ShrinkReport, ShrinkStats};
 pub use strategy::{Decision, SchedView, Strategy};
 
@@ -487,6 +489,41 @@ impl<'s, T: Clone + Send> SimBuilder<'s, T> {
         Visit: FnMut(&SimOutcome<T, R>) -> bool,
     {
         explore::explore_reduced(&self.cfg, econfig, factory, visit)
+    }
+
+    /// Parallel exhaustive exploration across `threads` workers (0 = all
+    /// available parallelism); see [`parallel::explore_parallel`] for the
+    /// `make_worker` contract and determinism guarantees.
+    pub fn explore_parallel<R, FMake, Visit>(
+        &self,
+        econfig: &ExploreConfig,
+        threads: usize,
+        make_worker: impl FnMut(usize) -> (FMake, Visit),
+    ) -> ExploreStats
+    where
+        T: Sync + 'static,
+        R: Send + 'static,
+        FMake: FnMut() -> Vec<ProcBody<'static, T, R>> + Send,
+        Visit: FnMut(&SimOutcome<T, R>) -> bool + Send,
+    {
+        parallel::explore_parallel(&self.cfg, econfig, threads, make_worker)
+    }
+
+    /// Parallel sleep-set-reduced exploration (see
+    /// [`parallel::explore_reduced_parallel`]).
+    pub fn explore_reduced_parallel<R, FMake, Visit>(
+        &self,
+        econfig: &ExploreConfig,
+        threads: usize,
+        make_worker: impl FnMut(usize) -> (FMake, Visit),
+    ) -> ExploreStats
+    where
+        T: Sync + 'static,
+        R: Send + 'static,
+        FMake: FnMut() -> Vec<ProcBody<'static, T, R>> + Send,
+        Visit: FnMut(&SimOutcome<T, R>) -> bool + Send,
+    {
+        parallel::explore_reduced_parallel(&self.cfg, econfig, threads, make_worker)
     }
 }
 

@@ -1,0 +1,834 @@
+//! Parallel schedule exploration: the sleep-set DFS of
+//! [`super::explore`] partitioned across OS threads.
+//!
+//! ## How the tree is partitioned
+//!
+//! The schedule tree of a deterministic execution is itself
+//! deterministic: the node reached by a sequence of *pick indices*
+//! (which branch was taken at each decision point) is a pure function of
+//! that sequence, including its sleep set and its `explored` mask at the
+//! moment a given sibling is entered (every explorable branch before it
+//! is explored first, in ascending order). A unit of work can therefore
+//! be just a **branch-path prefix** — a `Vec` of pick indices — with no
+//! node state attached: the worker that picks it up replays the prefix,
+//! rebuilding identical [`SleepNode`]s along the way, and continues
+//! first-branch-descending from the frontier.
+//!
+//! Each worker keeps the canonically-first explorable branch of every
+//! fresh node it creates and pushes the remaining explorable siblings
+//! onto a shared LIFO as stealable prefix tasks, so **every task is
+//! exactly one run** and depth-first order emerges from the stack
+//! discipline. This costs no extra re-execution over the sequential
+//! explorer: stateless model checking replays every run from the root
+//! anyway, and a task's replayed prefix has exactly the length the
+//! sequential DFS would have replayed for the same leaf.
+//!
+//! ## Determinism
+//!
+//! Counters ([`ExploreStats::runs`], `sleep_skips`, `executed_steps`,
+//! `replayed_steps`, `max_depth_reached`) are aggregated atomically and
+//! are **bit-identical** to the sequential explorer's whenever the tree
+//! is explored to exhaustion, regardless of thread count or timing.
+//! When a `visit` callback rejects a run, the engine records the
+//! violation with the **lowest branch path in canonical order**: workers
+//! keep draining only tasks that could still contain a canonically
+//! smaller leaf (everything else is cancelled), so the reported — and
+//! shrunk — counterexample is the same one the sequential explorer
+//! finds, reproducibly. Runs canonically *after* a violation may still
+//! be visited while the news propagates; `visit` callbacks must
+//! tolerate out-of-order invocation (each worker gets its own pair of
+//! callbacks precisely so per-run state needs no locking).
+//!
+//! ## Per-worker simulator pools
+//!
+//! Each worker owns a [`ProcPool`]: persistent OS threads that host the
+//! simulated processes of run after run, replacing the per-run
+//! `thread::spawn`/join of [`run_sim_with`] with a channel send. On a
+//! multi-core host the workers scale the exploration; on any host the
+//! pool removes thread-creation cost from the per-run critical path.
+
+use super::explore::{independent, ExploreConfig, ExploreStats, SleepNode};
+use super::shrink::shrink_schedule;
+use super::strategy::{Decision, SchedView, Strategy};
+use super::{outcome_finish, scheduler_loop, Msg, ProcBody, Reply, SimConfig, SimCtx, SimOutcome};
+use crate::crash;
+use crate::ctx::ProcId;
+use crate::metrics::MetricsLevel;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Resolve a requested worker count: 0 means "all available
+/// parallelism" (the `--threads` default in the experiment harness).
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// What a pooled process thread reports back per job: the body's return
+/// value, or `Err(Some(message))` for a genuine panic, `Err(None)` for a
+/// crash unwind.
+type ProcResult<R> = (ProcId, Result<R, Option<String>>);
+
+/// One simulated-process job: run `body` against `ctx`, report on
+/// `results`, then signal `Done` to the scheduler.
+struct Job<T, R> {
+    ctx: SimCtx<T>,
+    body: ProcBody<'static, T, R>,
+    results: Sender<ProcResult<R>>,
+}
+
+/// A pool of persistent OS threads hosting simulated processes, so that
+/// successive runs reuse threads instead of spawning fresh ones. Thread
+/// `p` hosts process `p` of every run dispatched through the pool.
+pub(crate) struct ProcPool<T, R> {
+    jobs: Vec<Sender<Job<T, R>>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl<T, R> ProcPool<T, R>
+where
+    T: Clone + Send + 'static,
+    R: Send + 'static,
+{
+    pub(crate) fn new() -> Self {
+        ProcPool {
+            jobs: Vec::new(),
+            handles: Vec::new(),
+        }
+    }
+
+    /// Grow the pool to at least `n` process threads.
+    fn ensure(&mut self, n: usize) {
+        while self.jobs.len() < n {
+            let (tx, rx) = channel::<Job<T, R>>();
+            self.jobs.push(tx);
+            let handle = std::thread::Builder::new()
+                .name(format!("apram-sim-{}", self.handles.len()))
+                .spawn(move || pool_thread(rx))
+                .expect("spawn simulated-process pool thread");
+            self.handles.push(handle);
+        }
+    }
+}
+
+impl<T, R> Drop for ProcPool<T, R> {
+    fn drop(&mut self) {
+        // Closing the job channels ends each thread's job loop.
+        self.jobs.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The job loop of one pooled process thread: identical semantics to the
+/// per-run scoped threads of [`run_sim_with`] — crash unwinds are
+/// swallowed, genuine panics reported by message, and `Done` is always
+/// the last word to the scheduler.
+fn pool_thread<T: Clone, R>(rx: Receiver<Job<T, R>>) {
+    while let Ok(Job {
+        mut ctx,
+        body,
+        results,
+    }) = rx.recv()
+    {
+        let proc = ctx.proc;
+        let to_sched = ctx.to_sched.clone();
+        let report = match catch_unwind(AssertUnwindSafe(move || body(&mut ctx))) {
+            Ok(r) => Ok(r),
+            Err(payload) => {
+                if crash::is_crash(payload.as_ref()) {
+                    Err(None)
+                } else {
+                    Err(Some(crash::describe_panic(payload.as_ref())))
+                }
+            }
+        };
+        let _ = results.send((proc, report));
+        let _ = to_sched.send(Msg::Done { proc });
+    }
+}
+
+/// [`run_sim_with`]'s twin over a [`ProcPool`]: dispatches the bodies to
+/// the pool's persistent threads instead of spawning scoped ones, and
+/// runs the same scheduler loop on the calling thread.
+///
+/// [`run_sim_with`]: super::run_sim_with
+pub(crate) fn run_sim_pooled<T, R>(
+    cfg: &SimConfig<T>,
+    strategy: &mut dyn Strategy,
+    pool: &mut ProcPool<T, R>,
+    bodies: Vec<ProcBody<'static, T, R>>,
+) -> SimOutcome<T, R>
+where
+    T: Clone + Send + 'static,
+    R: Send + 'static,
+{
+    crash::install_quiet_crash_hook();
+    let n = bodies.len();
+    pool.ensure(n);
+    let n_regs = cfg.registers.len();
+    let (msg_tx, msg_rx) = channel::<Msg<T>>();
+    let (res_tx, res_rx) = channel::<ProcResult<R>>();
+    let mut reply_txs: Vec<Sender<Reply<T>>> = Vec::with_capacity(n);
+    for (p, body) in bodies.into_iter().enumerate() {
+        let (tx, rx) = channel::<Reply<T>>();
+        reply_txs.push(tx);
+        let ctx = SimCtx {
+            proc: p,
+            n_procs: n,
+            n_regs,
+            to_sched: msg_tx.clone(),
+            from_sched: rx,
+        };
+        pool.jobs[p]
+            .send(Job {
+                ctx,
+                body,
+                results: res_tx.clone(),
+            })
+            .expect("pool thread alive");
+    }
+    drop(msg_tx);
+    drop(res_tx);
+
+    let mut outcome = scheduler_loop(cfg, MetricsLevel::Off, strategy, n, msg_rx, reply_txs);
+
+    // The scheduler returns only after every process signalled `Done`,
+    // which each job sends after its result: the channel already holds
+    // every report.
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let mut panics: Vec<Option<String>> = vec![None; n];
+    while let Ok((p, report)) = res_rx.recv() {
+        match report {
+            Ok(r) => results[p] = Some(r),
+            Err(Some(msg)) => panics[p] = Some(msg),
+            Err(None) => {}
+        }
+    }
+    outcome_finish(&mut outcome, results, panics);
+    outcome
+}
+
+/// A branch-path prefix: the pick index taken at each decision point
+/// from the root down to (and including) the branch this task owns.
+type Task = Vec<u32>;
+
+/// The canonical first violation found so far.
+struct Candidate {
+    path: Vec<u32>,
+    schedule: Vec<ProcId>,
+}
+
+/// The shared work queue plus termination bookkeeping.
+struct Frontier {
+    tasks: Vec<Task>,
+    idle: usize,
+    done: bool,
+}
+
+/// State shared by all exploration workers.
+struct Shared {
+    queue: Mutex<Frontier>,
+    work: Condvar,
+    threads: usize,
+    max_runs: u64,
+    runs: AtomicU64,
+    sleep_skips: AtomicU64,
+    executed_steps: AtomicU64,
+    replayed_steps: AtomicU64,
+    max_depth: AtomicU64,
+    truncated: AtomicBool,
+    budget_hit: AtomicBool,
+    has_violation: AtomicBool,
+    violation: Mutex<Option<Candidate>>,
+}
+
+impl Shared {
+    fn new(threads: usize, max_runs: u64) -> Self {
+        Shared {
+            queue: Mutex::new(Frontier {
+                tasks: vec![Vec::new()], // the root: an empty prefix
+                idle: 0,
+                done: false,
+            }),
+            work: Condvar::new(),
+            threads,
+            max_runs,
+            runs: AtomicU64::new(0),
+            sleep_skips: AtomicU64::new(0),
+            executed_steps: AtomicU64::new(0),
+            replayed_steps: AtomicU64::new(0),
+            max_depth: AtomicU64::new(0),
+            truncated: AtomicBool::new(false),
+            budget_hit: AtomicBool::new(false),
+            has_violation: AtomicBool::new(false),
+            violation: Mutex::new(None),
+        }
+    }
+
+    /// Block until a task is available or the exploration is over.
+    /// Termination: when every worker is idle on an empty queue, no task
+    /// can ever appear again (only running workers publish).
+    fn next_task(&self) -> Option<Task> {
+        let mut q = self.queue.lock().unwrap();
+        loop {
+            if q.done {
+                return None;
+            }
+            if let Some(task) = q.tasks.pop() {
+                return Some(task);
+            }
+            q.idle += 1;
+            if q.idle == self.threads {
+                q.done = true;
+                self.work.notify_all();
+                return None;
+            }
+            q = self.work.wait(q).unwrap();
+            q.idle -= 1;
+        }
+    }
+
+    /// Publish delegated sibling tasks. After a violation, tasks that
+    /// cannot contain a canonically smaller leaf are dropped here (and
+    /// again at pop time — cancellation is best-effort but pruning is
+    /// exact).
+    fn publish(&self, mut tasks: Vec<Task>) {
+        if tasks.is_empty() {
+            return;
+        }
+        if let Some(best) = self.best_path() {
+            tasks.retain(|t| may_precede(t, &best));
+            if tasks.is_empty() {
+                return;
+            }
+        }
+        let mut q = self.queue.lock().unwrap();
+        // Reversed: the deepest (and within a node, lowest-pick) sibling
+        // is popped first, approximating sequential DFS order.
+        q.tasks.extend(tasks.drain(..).rev());
+        drop(q);
+        self.work.notify_all();
+    }
+
+    /// Reserve one unit of the run budget; `false` when exhausted.
+    fn reserve_run(&self) -> bool {
+        let mut cur = self.runs.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.max_runs {
+                return false;
+            }
+            match self.runs.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Cancel everything (budget exhausted).
+    fn stop(&self) {
+        let mut q = self.queue.lock().unwrap();
+        q.done = true;
+        drop(q);
+        self.work.notify_all();
+    }
+
+    fn best_path(&self) -> Option<Vec<u32>> {
+        if !self.has_violation.load(Ordering::Acquire) {
+            return None;
+        }
+        self.violation
+            .lock()
+            .unwrap()
+            .as_ref()
+            .map(|c| c.path.clone())
+    }
+
+    /// Record a violating run; the lowest branch path in canonical order
+    /// wins. Queued tasks that can no longer contain the winner are
+    /// cancelled immediately.
+    fn record_violation(&self, path: Vec<u32>, schedule: Vec<ProcId>) {
+        let best = {
+            let mut slot = self.violation.lock().unwrap();
+            match slot.as_ref() {
+                Some(existing) if existing.path <= path => existing.path.clone(),
+                _ => {
+                    let winner = path.clone();
+                    *slot = Some(Candidate { path, schedule });
+                    winner
+                }
+            }
+        };
+        self.has_violation.store(true, Ordering::Release);
+        let mut q = self.queue.lock().unwrap();
+        q.tasks.retain(|t| may_precede(t, &best));
+        drop(q);
+        // Wake idle workers so emptied queues re-check termination.
+        self.work.notify_all();
+    }
+}
+
+/// Can the subtree of a task with branch-path `prefix` contain a leaf
+/// canonically smaller than `leaf`? True when the first differing pick
+/// diverges below `leaf`, or `prefix` is a prefix of it. Distinct
+/// executed leaves are never prefixes of one another, so `<=` on paths
+/// is the canonical total order.
+fn may_precede(prefix: &[u32], leaf: &[u32]) -> bool {
+    for (p, l) in prefix.iter().zip(leaf) {
+        if p != l {
+            return p < l;
+        }
+    }
+    prefix.len() <= leaf.len()
+}
+
+/// The per-run strategy of a worker: replay the task's prefix (marking
+/// every explorable branch before each replayed pick as explored, which
+/// is exactly the sequential DFS's state on arrival), then descend
+/// first-branch, delegating the remaining explorable siblings of every
+/// fresh node as new tasks.
+struct PrefixStrategy<'a> {
+    prefix: &'a [u32],
+    reduce: bool,
+    max_depth: usize,
+    stack: Vec<SleepNode>,
+    /// Picks taken this run; equals `prefix` after replay, then grows
+    /// with each fresh node (stops at a barren node or `max_depth`).
+    path: Vec<u32>,
+    /// Delegated sibling prefixes, in (depth, pick) ascending order.
+    spawned: Vec<Task>,
+    pos: usize,
+    redundant_tail: bool,
+    truncated: bool,
+    executed_steps: u64,
+    replayed_steps: u64,
+    sleep_skips: u64,
+    max_pos: usize,
+}
+
+impl<'a> PrefixStrategy<'a> {
+    fn new(prefix: &'a [u32], reduce: bool, max_depth: usize) -> Self {
+        PrefixStrategy {
+            prefix,
+            reduce,
+            max_depth,
+            stack: Vec::new(),
+            path: Vec::with_capacity(prefix.len() + 8),
+            spawned: Vec::new(),
+            pos: 0,
+            redundant_tail: false,
+            truncated: false,
+            executed_steps: 0,
+            replayed_steps: 0,
+            sleep_skips: 0,
+            max_pos: 0,
+        }
+    }
+}
+
+impl Strategy for PrefixStrategy<'_> {
+    fn decide(&mut self, view: &SchedView) -> Decision {
+        self.executed_steps += 1;
+        self.pos += 1; // the position of *this* decision is pos - 1
+        self.max_pos = self.max_pos.max(self.pos);
+        let at = self.pos - 1;
+        if self.redundant_tail || at >= self.max_depth {
+            if !self.redundant_tail {
+                self.truncated = true;
+            }
+            return Decision::Step(view.runnable[0]);
+        }
+        let mut node = SleepNode::fresh(view, self.stack.last(), self.reduce);
+        let pick = if at < self.prefix.len() {
+            // Replaying the delegated prefix.
+            self.replayed_steps += 1;
+            let pick = self.prefix[at] as usize;
+            debug_assert!(
+                pick < node.choices.len() && !node.asleep(pick),
+                "parallel explore: prefix replay diverged at step {at}; \
+                 process bodies must be deterministic"
+            );
+            for j in 0..pick {
+                if !node.asleep(j) {
+                    node.explored |= 1 << j;
+                }
+            }
+            pick
+        } else {
+            // Fresh frontier: every asleep choice is pruned here (each
+            // node is created fresh in exactly one run, so this tallies
+            // once per node — the sequential pop-time count).
+            self.sleep_skips += node.asleep_count();
+            match node.next_explorable(0) {
+                None => {
+                    node.barren = true;
+                    self.redundant_tail = true;
+                    0
+                }
+                Some(first) => {
+                    let mut sibling = node.next_explorable(first + 1);
+                    while let Some(j) = sibling {
+                        let mut task = self.path.clone();
+                        task.push(j as u32);
+                        self.spawned.push(task);
+                        sibling = node.next_explorable(j + 1);
+                    }
+                    first
+                }
+            }
+        };
+        node.pick = pick;
+        let choice = node.choices[pick];
+        if !node.barren {
+            self.path.push(pick as u32);
+        }
+        self.stack.push(node);
+        Decision::Step(choice)
+    }
+}
+
+/// One worker: drain tasks, execute each as a single pooled run,
+/// aggregate stats, publish delegated siblings, and report violations.
+fn worker<T, R, FMake, Visit>(
+    shared: &Shared,
+    cfg: &SimConfig<T>,
+    reduce: bool,
+    max_depth: usize,
+    mut factory: FMake,
+    mut visit: Visit,
+) where
+    T: Clone + Send + 'static,
+    R: Send + 'static,
+    FMake: FnMut() -> Vec<ProcBody<'static, T, R>>,
+    Visit: FnMut(&SimOutcome<T, R>) -> bool,
+{
+    let mut pool: ProcPool<T, R> = ProcPool::new();
+    while let Some(task) = shared.next_task() {
+        if let Some(best) = shared.best_path() {
+            if !may_precede(&task, &best) {
+                continue; // cancelled: cannot beat the found violation
+            }
+        }
+        if !shared.reserve_run() {
+            shared.budget_hit.store(true, Ordering::Relaxed);
+            shared.stop();
+            break;
+        }
+        let mut strategy = PrefixStrategy::new(&task, reduce, max_depth);
+        let outcome = run_sim_pooled(cfg, &mut strategy, &mut pool, factory());
+        shared
+            .sleep_skips
+            .fetch_add(strategy.sleep_skips, Ordering::Relaxed);
+        shared
+            .executed_steps
+            .fetch_add(strategy.executed_steps, Ordering::Relaxed);
+        shared
+            .replayed_steps
+            .fetch_add(strategy.replayed_steps, Ordering::Relaxed);
+        shared
+            .max_depth
+            .fetch_max(strategy.max_pos as u64, Ordering::Relaxed);
+        if strategy.truncated {
+            shared.truncated.store(true, Ordering::Relaxed);
+        }
+        let ok = visit(&outcome);
+        if !ok {
+            let path = std::mem::take(&mut strategy.path);
+            shared.record_violation(path, outcome.trace.schedule());
+        }
+        shared.publish(std::mem::take(&mut strategy.spawned));
+    }
+}
+
+/// Shared driver behind [`explore_parallel`] and
+/// [`explore_reduced_parallel`].
+fn explore_parallel_impl<T, R, FMake, Visit>(
+    cfg: &SimConfig<T>,
+    econfig: &ExploreConfig,
+    threads: usize,
+    mut make_worker: impl FnMut(usize) -> (FMake, Visit),
+    reduce: bool,
+) -> ExploreStats
+where
+    T: Clone + Send + Sync + 'static,
+    R: Send + 'static,
+    FMake: FnMut() -> Vec<ProcBody<'static, T, R>> + Send,
+    Visit: FnMut(&SimOutcome<T, R>) -> bool + Send,
+{
+    let start = Instant::now();
+    let threads = resolve_threads(threads);
+    let shared = Shared::new(threads, econfig.max_runs);
+    let pairs: Vec<(FMake, Visit)> = (0..threads).map(&mut make_worker).collect();
+    std::thread::scope(|scope| {
+        for (fmake, vis) in pairs {
+            let shared = &shared;
+            scope.spawn(move || worker(shared, cfg, reduce, econfig.max_depth, fmake, vis));
+        }
+    });
+
+    let candidate = shared.violation.into_inner().unwrap();
+    let budget_hit = shared.budget_hit.load(Ordering::Relaxed);
+    let mut stats = ExploreStats {
+        runs: shared.runs.load(Ordering::Relaxed),
+        exhausted: candidate.is_none() && !budget_hit,
+        truncated: shared.truncated.load(Ordering::Relaxed),
+        executed_steps: shared.executed_steps.load(Ordering::Relaxed),
+        replayed_steps: shared.replayed_steps.load(Ordering::Relaxed),
+        max_depth_reached: shared.max_depth.load(Ordering::Relaxed) as usize,
+        sleep_skips: shared.sleep_skips.load(Ordering::Relaxed),
+        violation: None,
+        spans: None,
+        elapsed: Duration::ZERO,
+    };
+    // Shrinking is sequential (deterministic ddmin over the canonical
+    // schedule), driven by one extra worker pair.
+    if let (Some(cand), Some(scfg)) = (candidate, &econfig.shrink) {
+        let (mut fmake, mut vis) = make_worker(threads);
+        let report = shrink_schedule(cfg, scfg, &cand.schedule, &mut fmake, |o| !vis(o));
+        stats.violation = Some(report);
+    }
+    stats.elapsed = start.elapsed();
+    stats
+}
+
+/// Parallel version of [`explore`](super::explore::explore): exhaustive
+/// exploration of the full schedule tree across `threads` workers
+/// (0 = all available parallelism).
+///
+/// `make_worker` is called once per worker (index `0..threads`, plus
+/// once more — index `threads` — to drive shrinking when a violation is
+/// found and [`ExploreConfig::shrink`] is set) and returns that worker's
+/// private `(factory, visit)` pair; workers never share callback state.
+/// On full exhaustion the returned counters are bit-identical to the
+/// sequential explorer's; see the [module docs](self) for violation
+/// determinism and out-of-order `visit` caveats. Span tracing
+/// ([`ExploreConfig::trace_spans`]) is sequential-only and ignored here.
+pub fn explore_parallel<T, R, FMake, Visit>(
+    cfg: &SimConfig<T>,
+    econfig: &ExploreConfig,
+    threads: usize,
+    make_worker: impl FnMut(usize) -> (FMake, Visit),
+) -> ExploreStats
+where
+    T: Clone + Send + Sync + 'static,
+    R: Send + 'static,
+    FMake: FnMut() -> Vec<ProcBody<'static, T, R>> + Send,
+    Visit: FnMut(&SimOutcome<T, R>) -> bool + Send,
+{
+    explore_parallel_impl(cfg, econfig, threads, make_worker, false)
+}
+
+/// Parallel version of
+/// [`explore_reduced`](super::explore::explore_reduced): sleep-set
+/// partial-order reduction across `threads` workers (0 = all available
+/// parallelism). Same soundness caveat as the sequential form (memory-
+/// level behaviours are preserved, real-time orderings are not), same
+/// `make_worker` contract as [`explore_parallel`].
+pub fn explore_reduced_parallel<T, R, FMake, Visit>(
+    cfg: &SimConfig<T>,
+    econfig: &ExploreConfig,
+    threads: usize,
+    make_worker: impl FnMut(usize) -> (FMake, Visit),
+) -> ExploreStats
+where
+    T: Clone + Send + Sync + 'static,
+    R: Send + 'static,
+    FMake: FnMut() -> Vec<ProcBody<'static, T, R>> + Send,
+    Visit: FnMut(&SimOutcome<T, R>) -> bool + Send,
+{
+    explore_parallel_impl(cfg, econfig, threads, make_worker, true)
+}
+
+// `independent` is re-used here only through `SleepNode::fresh`; keep a
+// direct reference so the shared-internals contract is explicit.
+const _: fn((crate::ctx::AccessKind, usize), (crate::ctx::AccessKind, usize)) -> bool = independent;
+
+#[cfg(test)]
+mod tests {
+    use super::super::explore::{explore, explore_reduced};
+    use super::*;
+    use crate::sim::shrink::ShrinkConfig;
+
+    fn two_proc_factory() -> Vec<ProcBody<'static, u64, u64>> {
+        (0..2)
+            .map(|p| {
+                Box::new(move |ctx: &mut SimCtx<u64>| {
+                    use crate::ctx::MemCtx;
+                    ctx.write(p, p as u64 + 1);
+                    ctx.read(1 - p)
+                }) as ProcBody<'static, u64, u64>
+            })
+            .collect()
+    }
+
+    fn independent_factory() -> Vec<ProcBody<'static, u64, u64>> {
+        (0..3)
+            .map(|p| {
+                Box::new(move |ctx: &mut SimCtx<u64>| {
+                    use crate::ctx::MemCtx;
+                    ctx.write(p, 1);
+                    ctx.write(p, 2);
+                    ctx.read(p)
+                }) as ProcBody<'static, u64, u64>
+            })
+            .collect()
+    }
+
+    #[test]
+    fn plain_parallel_matches_sequential_counts() {
+        let cfg = SimConfig::base(vec![0u64; 2]);
+        let seq = explore(&cfg, &ExploreConfig::default(), two_proc_factory, |_| true);
+        for threads in [1, 2, 4] {
+            let par = explore_parallel(&cfg, &ExploreConfig::default(), threads, |_| {
+                (two_proc_factory as fn() -> _, |_: &SimOutcome<u64, u64>| {
+                    true
+                })
+            });
+            assert_eq!(par.runs, seq.runs, "threads={threads}");
+            assert_eq!(par.executed_steps, seq.executed_steps);
+            assert_eq!(par.replayed_steps, seq.replayed_steps);
+            assert_eq!(par.max_depth_reached, seq.max_depth_reached);
+            assert!(par.exhausted && !par.truncated);
+            assert!(par.elapsed > Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn reduced_parallel_matches_sequential_counts() {
+        let cfg = SimConfig::base(vec![0u64; 3]);
+        let seq = explore_reduced(&cfg, &ExploreConfig::default(), independent_factory, |_| {
+            true
+        });
+        for threads in [1, 2, 4] {
+            let par = explore_reduced_parallel(&cfg, &ExploreConfig::default(), threads, |_| {
+                (
+                    independent_factory as fn() -> _,
+                    |out: &SimOutcome<u64, u64>| {
+                        assert_eq!(out.results, vec![Some(2), Some(2), Some(2)]);
+                        true
+                    },
+                )
+            });
+            assert_eq!(par.runs, seq.runs, "threads={threads}");
+            assert_eq!(par.sleep_skips, seq.sleep_skips, "threads={threads}");
+            assert_eq!(par.executed_steps, seq.executed_steps);
+            assert_eq!(par.replayed_steps, seq.replayed_steps);
+            assert!(par.exhausted);
+        }
+    }
+
+    #[test]
+    fn canonical_violation_matches_sequential_shrunk_schedule() {
+        // Reject any run where P0 observed P1's write; the canonical
+        // (sequential) counterexample shrinks to [1, 0, 0].
+        let cfg = SimConfig::base(vec![0u64; 2]);
+        let econfig = ExploreConfig {
+            shrink: Some(ShrinkConfig::default()),
+            ..Default::default()
+        };
+        let seq = explore(&cfg, &econfig, two_proc_factory, |out| {
+            out.results[0] != Some(2)
+        });
+        let seq_report = seq.violation.expect("sequential violation");
+        for threads in [1, 2, 4] {
+            let par = explore_parallel(&cfg, &econfig, threads, |_| {
+                (
+                    two_proc_factory as fn() -> _,
+                    |out: &SimOutcome<u64, u64>| out.results[0] != Some(2),
+                )
+            });
+            assert!(!par.exhausted);
+            let report = par.violation.expect("parallel violation");
+            assert_eq!(report.original, seq_report.original, "threads={threads}");
+            assert_eq!(report.schedule, seq_report.schedule);
+            assert_eq!(report.schedule, vec![1, 0, 0]);
+        }
+    }
+
+    #[test]
+    fn run_budget_is_exact() {
+        let cfg = SimConfig::base(vec![0u64; 2]);
+        let econfig = ExploreConfig {
+            max_runs: 3,
+            ..Default::default()
+        };
+        for threads in [1, 2, 4] {
+            let par = explore_parallel(&cfg, &econfig, threads, |_| {
+                (two_proc_factory as fn() -> _, |_: &SimOutcome<u64, u64>| {
+                    true
+                })
+            });
+            assert_eq!(par.runs, 3, "threads={threads}");
+            assert!(!par.exhausted);
+        }
+    }
+
+    #[test]
+    fn depth_truncation_matches_sequential() {
+        let cfg = SimConfig::base(vec![0u64; 2]);
+        let econfig = ExploreConfig {
+            max_depth: 1,
+            ..Default::default()
+        };
+        let seq = explore(&cfg, &econfig, two_proc_factory, |_| true);
+        let par = explore_parallel(&cfg, &econfig, 2, |_| {
+            (two_proc_factory as fn() -> _, |_: &SimOutcome<u64, u64>| {
+                true
+            })
+        });
+        assert_eq!(par.runs, seq.runs);
+        assert_eq!((par.exhausted, par.truncated), (true, true));
+        assert_eq!(par.runs, 2);
+    }
+
+    #[test]
+    fn pooled_runs_reuse_threads_across_runs() {
+        // 1680 plain runs through one worker's pool: results must be
+        // complete and deterministic every time.
+        let cfg = SimConfig::base(vec![0u64; 3]);
+        let par = explore_parallel(&cfg, &ExploreConfig::default(), 1, |_| {
+            (
+                independent_factory as fn() -> _,
+                |out: &SimOutcome<u64, u64>| {
+                    out.assert_no_panics();
+                    out.results.iter().all(|r| r == &Some(2))
+                },
+            )
+        });
+        assert!(par.exhausted);
+        assert_eq!(par.runs, 1680);
+    }
+
+    #[test]
+    fn visit_sees_every_run_exactly_once() {
+        use std::sync::atomic::AtomicU64 as Counter;
+        let cfg = SimConfig::base(vec![0u64; 2]);
+        let seen = Counter::new(0);
+        let par = explore_parallel(&cfg, &ExploreConfig::default(), 4, |_| {
+            let seen = &seen;
+            (
+                two_proc_factory as fn() -> _,
+                move |out: &SimOutcome<u64, u64>| {
+                    out.assert_no_panics();
+                    seen.fetch_add(1, Ordering::Relaxed);
+                    true
+                },
+            )
+        });
+        assert_eq!(seen.load(Ordering::Relaxed), par.runs);
+        assert_eq!(par.runs, 6);
+    }
+}

@@ -16,8 +16,7 @@ use apram_model::sim::strategy::Replay;
 use apram_model::sim::{ExploreConfig, SimBuilder};
 use apram_snapshot::collect::CollectArray;
 use apram_snapshot::snapshot::{SnapOp, SnapResp, SnapshotSpec};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Dump a forensics artifact when `APRAM_FORENSICS_DIR` is set, so a CI
 /// failure of this suite leaves the evidence behind.
@@ -34,11 +33,11 @@ fn dump_artifact(name: &str, contents: &str) {
 fn shrunk_schedule_replays_bit_identically_and_names_the_blocking_edge() {
     let arr = CollectArray::new(E9_PROCS);
     let spec = SnapshotSpec::<u32>::new(E9_PROCS);
-    let cell: E9RecCell = Rc::new(RefCell::new(None));
+    let cell: E9RecCell = Arc::new(Mutex::new(None));
 
     // Explore until the checker rejects a history; the on-violation hook
     // then minimizes the failing schedule before `explore` returns.
-    let visit_cell = Rc::clone(&cell);
+    let visit_cell = Arc::clone(&cell);
     let stats = SimBuilder::new(arr.registers::<u32>())
         .owners(arr.owners())
         .explore(
@@ -46,10 +45,10 @@ fn shrunk_schedule_replays_bit_identically_and_names_the_blocking_edge() {
                 shrink: Some(ShrinkConfig::default()),
                 ..ExploreConfig::default()
             },
-            e9_factory(arr, Rc::clone(&cell)),
+            e9_factory(arr, Arc::clone(&cell)),
             |out| {
                 out.assert_no_panics();
-                let hist = visit_cell.borrow_mut().take().unwrap().snapshot();
+                let hist = visit_cell.lock().unwrap().take().unwrap().snapshot();
                 check_linearizable(&spec, &hist, &CheckerConfig::default()).is_ok()
             },
         );
@@ -74,7 +73,7 @@ fn shrunk_schedule_replays_bit_identically_and_names_the_blocking_edge() {
     //    the execution bit-identically — twice, to the same violation.
     let mut runs = Vec::new();
     for _ in 0..2 {
-        let mut factory = e9_factory(arr, Rc::clone(&cell));
+        let mut factory = e9_factory(arr, Arc::clone(&cell));
         let out = SimBuilder::new(arr.registers::<u32>())
             .owners(arr.owners())
             .strategy(Replay::strict(report.schedule.clone()))
@@ -86,7 +85,7 @@ fn shrunk_schedule_replays_bit_identically_and_names_the_blocking_edge() {
             report.schedule,
             "every entry of the shrunk schedule must be serviced"
         );
-        let hist = cell.borrow_mut().take().unwrap().snapshot();
+        let hist = cell.lock().unwrap().take().unwrap().snapshot();
         let verdict = check_linearizable(&spec, &hist, &CheckerConfig::default());
         runs.push((out.trace.clone(), hist, verdict));
     }

@@ -1,0 +1,196 @@
+//! PR acceptance: sequential-vs-parallel exploration equivalence.
+//!
+//! The parallel explorer must be a drop-in replacement for the
+//! sequential one: identical `runs` counts, identical exhaustion and
+//! truncation flags, bit-identical step accounting, identical sleep-set
+//! pruning totals, and — when the workload violates — the same
+//! canonical-order first violation, for every thread count. The batch
+//! history checker must likewise agree with a sequential map.
+
+use apram_bench::{e9_factory, E9RecCell, E9_PROCS};
+use apram_history::{check_histories_parallel, check_linearizable, CheckerConfig};
+use apram_lattice::{Tagged, TaggedVec};
+use apram_model::sim::shrink::ShrinkConfig;
+use apram_model::sim::{ExploreConfig, ProcBody, SimBuilder, SimCtx, SimOutcome};
+use apram_snapshot::collect::CollectArray;
+use apram_snapshot::snapshot::SnapshotSpec;
+use apram_snapshot::Snapshot;
+use std::sync::{Arc, Mutex};
+
+/// A clean (always linearizable) 2-process snapshot workload whose
+/// written values vary with `seed`, so distinct seeds produce distinct
+/// executions over the same tree shape.
+fn snapshot_make(
+    snap: Snapshot,
+    seed: u64,
+) -> impl FnMut() -> Vec<ProcBody<'static, TaggedVec<u32>, ()>> + Copy + Send {
+    move || {
+        (0..2usize)
+            .map(|p| {
+                let v = (seed as u32).wrapping_mul(31) + p as u32 + 1;
+                Box::new(move |ctx: &mut SimCtx<TaggedVec<u32>>| {
+                    let mut h = snap.handle::<u32>();
+                    h.update(ctx, v);
+                    let _ = h.snap(ctx);
+                }) as ProcBody<'static, TaggedVec<u32>, ()>
+            })
+            .collect()
+    }
+}
+
+#[test]
+fn clean_snapshot_counts_match_sequential_across_seeds_and_threads() {
+    for seed in [0u64, 1, 2] {
+        let snap = Snapshot::new(2);
+        // Vary the truncation depth with the seed so each seed explores
+        // a differently sized tree.
+        let econfig = ExploreConfig {
+            max_depth: 9 + seed as usize,
+            ..ExploreConfig::default()
+        };
+        let make = snapshot_make(snap, seed);
+        let sim = SimBuilder::new(snap.registers::<u32>()).owners(snap.owners());
+        let seq = sim.explore(&econfig, make, |out| {
+            out.assert_no_panics();
+            true
+        });
+        assert!(seq.violation.is_none());
+        assert!(seq.runs > 100, "tree unexpectedly small: {seq:?}");
+        for threads in [1usize, 2, 4] {
+            let par = sim.explore_parallel(&econfig, threads, |_| {
+                (make, |out: &SimOutcome<TaggedVec<u32>, ()>| {
+                    out.assert_no_panics();
+                    true
+                })
+            });
+            let tag = format!("seed={seed} threads={threads}");
+            assert_eq!(par.runs, seq.runs, "{tag}");
+            assert_eq!(par.exhausted, seq.exhausted, "{tag}");
+            assert_eq!(par.truncated, seq.truncated, "{tag}");
+            assert_eq!(par.executed_steps, seq.executed_steps, "{tag}");
+            assert_eq!(par.replayed_steps, seq.replayed_steps, "{tag}");
+            assert_eq!(par.max_depth_reached, seq.max_depth_reached, "{tag}");
+            assert!(par.violation.is_none(), "{tag}");
+        }
+    }
+}
+
+#[test]
+fn reduced_counts_and_pruning_match_sequential() {
+    let snap = Snapshot::new(2);
+    let econfig = ExploreConfig {
+        max_depth: 10,
+        ..ExploreConfig::default()
+    };
+    let make = snapshot_make(snap, 7);
+    let sim = SimBuilder::new(snap.registers::<u32>()).owners(snap.owners());
+    let seq = sim.explore_reduced(&econfig, make, |out| {
+        out.assert_no_panics();
+        true
+    });
+    assert!(seq.sleep_skips > 0, "reduction must prune: {seq:?}");
+    for threads in [1usize, 2, 4] {
+        let par = sim.explore_reduced_parallel(&econfig, threads, |_| {
+            (make, |out: &SimOutcome<TaggedVec<u32>, ()>| {
+                out.assert_no_panics();
+                true
+            })
+        });
+        assert_eq!(par.runs, seq.runs, "threads={threads}");
+        assert_eq!(par.exhausted, seq.exhausted, "threads={threads}");
+        assert_eq!(par.truncated, seq.truncated, "threads={threads}");
+        assert_eq!(par.executed_steps, seq.executed_steps, "threads={threads}");
+        assert_eq!(par.replayed_steps, seq.replayed_steps, "threads={threads}");
+        assert_eq!(par.sleep_skips, seq.sleep_skips, "threads={threads}");
+    }
+}
+
+#[test]
+fn naive_collect_violator_yields_identical_first_violation() {
+    let arr = CollectArray::new(E9_PROCS);
+    let spec = SnapshotSpec::<u32>::new(E9_PROCS);
+    let econfig = ExploreConfig {
+        shrink: Some(ShrinkConfig::default()),
+        ..ExploreConfig::default()
+    };
+
+    // Sequential reference: first violation in canonical DFS order.
+    let cell: E9RecCell = Arc::new(Mutex::new(None));
+    let visit_cell = Arc::clone(&cell);
+    let seq = SimBuilder::new(arr.registers::<u32>())
+        .owners(arr.owners())
+        .explore(&econfig, e9_factory(arr, Arc::clone(&cell)), |out| {
+            out.assert_no_panics();
+            let hist = visit_cell.lock().unwrap().take().unwrap().snapshot();
+            check_linearizable(&spec, &hist, &CheckerConfig::default()).is_ok()
+        });
+    let seq_report = seq.violation.expect("naive collect must violate");
+
+    for threads in [1usize, 2, 4] {
+        let spec = &spec;
+        let par = SimBuilder::new(arr.registers::<u32>())
+            .owners(arr.owners())
+            .explore_parallel(&econfig, threads, |_| {
+                let cell: E9RecCell = Arc::new(Mutex::new(None));
+                let visit_cell = Arc::clone(&cell);
+                let make = e9_factory(arr, cell);
+                let visit = move |out: &SimOutcome<Tagged<u32>, ()>| {
+                    out.assert_no_panics();
+                    let hist = visit_cell.lock().unwrap().take().unwrap().snapshot();
+                    check_linearizable(spec, &hist, &CheckerConfig::default()).is_ok()
+                };
+                (make, visit)
+            });
+        let report = par.violation.expect("parallel must find the violation");
+        // Canonical first-violation selection: the captured schedule —
+        // and hence the shrunk one — is the sequential explorer's,
+        // regardless of which worker stumbled on a violation first.
+        assert_eq!(report.original, seq_report.original, "threads={threads}");
+        assert_eq!(report.schedule, seq_report.schedule, "threads={threads}");
+        assert!(!par.exhausted, "threads={threads}");
+    }
+}
+
+#[test]
+fn parallel_batch_check_matches_sequential_checks() {
+    // Collect every history of a budget-capped naive-collect exploration
+    // (the batch mixes linearizable and pending-heavy runs), then check
+    // it sequentially and in parallel at several thread counts.
+    let arr = CollectArray::new(E9_PROCS);
+    let spec = SnapshotSpec::<u32>::new(E9_PROCS);
+    let cfg = CheckerConfig::default();
+    let sink: Arc<Mutex<Vec<_>>> = Arc::new(Mutex::new(Vec::new()));
+    let stats = SimBuilder::new(arr.registers::<u32>())
+        .owners(arr.owners())
+        .explore_parallel(
+            &ExploreConfig {
+                max_runs: 300,
+                ..ExploreConfig::default()
+            },
+            2,
+            |_| {
+                let cell: E9RecCell = Arc::new(Mutex::new(None));
+                let visit_cell = Arc::clone(&cell);
+                let make = e9_factory(arr, cell);
+                let sink = Arc::clone(&sink);
+                let visit = move |out: &SimOutcome<Tagged<u32>, ()>| {
+                    out.assert_no_panics();
+                    let hist = visit_cell.lock().unwrap().take().unwrap().snapshot();
+                    sink.lock().unwrap().push(hist);
+                    true
+                };
+                (make, visit)
+            },
+        );
+    let batch = std::mem::take(&mut *sink.lock().unwrap());
+    assert_eq!(batch.len() as u64, stats.runs, "one history per run");
+    let sequential: Vec<_> = batch
+        .iter()
+        .map(|h| check_linearizable(&spec, h, &cfg))
+        .collect();
+    assert!(sequential.iter().any(|o| o.is_ok()));
+    for threads in [0usize, 1, 2, 4, 8] {
+        let parallel = check_histories_parallel(&spec, &batch, &cfg, threads);
+        assert_eq!(parallel, sequential, "threads={threads}");
+    }
+}
