@@ -14,10 +14,18 @@
 //! * `--threads N` — worker threads for parallel exploration and
 //!   history checking (default 0 = all available parallelism); also
 //!   pins the `explore` benchmark grid to exactly N
-//! * `--json DIR` — write one `BENCH_e<N>.json` per experiment into DIR
+//! * `--json [DIR]` — write one `BENCH_e<N>.json` per experiment into
+//!   DIR (default `bench-out`)
+//! * `--telemetry [DIR]` — write the live-telemetry artifacts into DIR
+//!   (default `telemetry-out`): `telemetry.prom` (Prometheus text of the
+//!   E4 step histograms), `heartbeat.jsonl` (E6 exploration progress
+//!   beats), and `spans.folded` (E9 span trees in collapsed-stack
+//!   format, feedable to any flamegraph renderer)
 //! * `--forensics DIR` — write the E9 forensics bundle into DIR
 //!   (`shrunk_schedule.jsonl`, `witness.json`, `witness.txt`,
 //!   `spans.json`; see EXPERIMENTS.md for the schema)
+//!
+//! Experiment names may also be spelled as flags (`--e4` ≡ `e4`).
 
 use apram_bench::*;
 use apram_model::Json;
@@ -33,6 +41,7 @@ struct Cli {
     names: Vec<String>,
     opts: ExpOpts,
     json_dir: Option<PathBuf>,
+    telemetry_dir: Option<PathBuf>,
     forensics_dir: Option<PathBuf>,
 }
 
@@ -47,36 +56,58 @@ fn parse_cli() -> Cli {
         names: Vec::new(),
         opts: ExpOpts::default(),
         json_dir: None,
+        telemetry_dir: None,
         forensics_dir: None,
     };
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // A token is a directory operand (not a fresh flag or experiment
+    // name) — lets `--json` / `--telemetry` take their DIR optionally.
+    let is_dir_operand = |tok: &String| !tok.starts_with('-') && !KNOWN.contains(&tok.as_str());
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        i += 1;
         match arg.as_str() {
             "--quick" => cli.opts.quick = true,
             "--seed" => {
-                let v = args.next().unwrap_or_else(|| usage("--seed needs a value"));
+                let v = args.get(i).unwrap_or_else(|| usage("--seed needs a value"));
+                i += 1;
                 cli.opts.seed = v
                     .parse()
                     .unwrap_or_else(|_| usage(&format!("bad --seed value '{v}'")));
             }
             "--threads" => {
                 let v = args
-                    .next()
+                    .get(i)
                     .unwrap_or_else(|| usage("--threads needs a value"));
+                i += 1;
                 cli.opts.threads = v
                     .parse()
                     .unwrap_or_else(|_| usage(&format!("bad --threads value '{v}'")));
             }
             "--json" => {
-                let v = args
-                    .next()
-                    .unwrap_or_else(|| usage("--json needs a directory"));
-                cli.json_dir = Some(PathBuf::from(v));
+                cli.json_dir = Some(match args.get(i) {
+                    Some(tok) if is_dir_operand(tok) => {
+                        i += 1;
+                        PathBuf::from(tok)
+                    }
+                    _ => PathBuf::from("bench-out"),
+                });
+            }
+            "--telemetry" => {
+                cli.telemetry_dir = Some(match args.get(i) {
+                    Some(tok) if is_dir_operand(tok) => {
+                        i += 1;
+                        PathBuf::from(tok)
+                    }
+                    _ => PathBuf::from("telemetry-out"),
+                });
             }
             "--forensics" => {
                 let v = args
-                    .next()
+                    .get(i)
                     .unwrap_or_else(|| usage("--forensics needs a directory"));
+                i += 1;
                 cli.forensics_dir = Some(PathBuf::from(v));
             }
             "--help" | "-h" => usage(""),
@@ -86,7 +117,15 @@ fn parse_cli() -> Cli {
                 }
                 cli.names.push(name.to_string());
             }
-            other => usage(&format!("unknown flag '{other}'")),
+            other => {
+                // `--e4` style aliases for the experiment names.
+                let name = other.trim_start_matches("--");
+                if other.starts_with("--") && KNOWN.contains(&name) {
+                    cli.names.push(name.to_string());
+                } else {
+                    usage(&format!("unknown flag '{other}'"));
+                }
+            }
         }
     }
     cli
@@ -98,16 +137,44 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: experiments [e1 e2 e3 e4 e4b e5 e6 e8 e9 explore ...] \
-         [--seed N] [--quick] [--threads N] [--json DIR] [--forensics DIR]"
+         [--seed N] [--quick] [--threads N] [--json [DIR]] \
+         [--telemetry [DIR]] [--forensics DIR]"
     );
     exit(if err.is_empty() { 0 } else { 2 })
+}
+
+/// Write one telemetry artifact, creating DIR as needed.
+fn write_artifact(dir: &Path, name: &str, contents: &str) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("error: cannot create {}: {e}", dir.display());
+        exit(1);
+    }
+    let path = dir.join(name);
+    if let Err(e) = std::fs::write(&path, contents) {
+        eprintln!("error: cannot write {}: {e}", path.display());
+        exit(1);
+    }
+    eprintln!("wrote {}", path.display());
 }
 
 /// Write `BENCH_<name>.json` holding `rows` plus the run parameters and
 /// wall-clock, when `--json` was given.
 fn emit_report(cli: &Cli, name: &str, title: &str, rows: Json, started: Instant) {
+    emit_report_with(cli, name, title, rows, Vec::new(), started)
+}
+
+/// [`emit_report`] with extra top-level sections appended after `rows`
+/// (E4 uses this for its `distributions` tables).
+fn emit_report_with(
+    cli: &Cli,
+    name: &str,
+    title: &str,
+    rows: Json,
+    extra: Vec<(&str, Json)>,
+    started: Instant,
+) {
     let Some(dir) = &cli.json_dir else { return };
-    let doc = Json::obj([
+    let mut fields = vec![
         ("experiment", Json::Str(name.into())),
         ("title", Json::Str(title.into())),
         ("seed", Json::UInt(cli.opts.seed)),
@@ -117,7 +184,9 @@ fn emit_report(cli: &Cli, name: &str, title: &str, rows: Json, started: Instant)
             Json::Float(started.elapsed().as_secs_f64()),
         ),
         ("rows", rows),
-    ]);
+    ];
+    fields.extend(extra);
+    let doc = Json::obj(fields);
     if let Err(e) = std::fs::create_dir_all(dir) {
         eprintln!("error: cannot create {}: {e}", dir.display());
         exit(1);
@@ -425,13 +494,58 @@ fn main() {
                 })
                 .collect(),
         );
-        emit_report(
+        println!("### E4 telemetry — per-op step distributions vs analytic bounds\n");
+        let dist = step_distributions(&opts);
+        let drows: Vec<Vec<String>> = dist
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.op.clone(),
+                    r.metric.into(),
+                    r.n.to_string(),
+                    r.hist.count.to_string(),
+                    r.hist.p50().to_string(),
+                    r.hist.p99().to_string(),
+                    r.hist.max.to_string(),
+                    r.bound.map(|b| b.to_string()).unwrap_or_else(|| "-".into()),
+                    r.within_bound()
+                        .map(|b| if b { "yes" } else { "NO" }.into())
+                        .unwrap_or_else(|| "-".to_string()),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            markdown_table(
+                &[
+                    "op",
+                    "metric",
+                    "n",
+                    "count",
+                    "p50",
+                    "p99",
+                    "max",
+                    "paper bound",
+                    "within"
+                ],
+                &drows
+            )
+        );
+        let dist_json = Json::Arr(dist.rows.iter().map(DistRow::to_json).collect());
+        emit_report_with(
             &cli,
             "e4",
             "§6.2 Scan operation counts: measured vs n²+n+1/n+2 and n²−1/n+1",
             json,
+            vec![("distributions", dist_json)],
             started,
         );
+        if let Some(dir) = &cli.telemetry_dir {
+            let prom = dist.registry.to_prometheus();
+            apram_model::validate_prometheus(&prom).expect("generated Prometheus text must parse");
+            write_artifact(dir, "telemetry.prom", &prom);
+        }
     }
 
     // E4b rides along with E4 when no explicit selection was given, and
@@ -546,7 +660,21 @@ fn main() {
     if cli.want("e6") {
         let started = Instant::now();
         println!("## E6 — exhaustive linearizability verification\n");
-        let s = e6_summary(&opts);
+        // With `--telemetry`, every E6 exploration streams progress
+        // beats (plus one final beat each) into heartbeat.jsonl.
+        let beats = cli.telemetry_dir.as_ref().map(|_| {
+            let (sink, buf) = apram_model::telemetry::buffer_sink();
+            (
+                apram_model::Heartbeat::shared(std::time::Duration::from_millis(100), sink),
+                buf,
+            )
+        });
+        let s = e6_summary_with(&opts, beats.as_ref().map(|(hb, _)| hb.clone()));
+        if let (Some(dir), Some((_, buf))) = (&cli.telemetry_dir, &beats) {
+            let jsonl =
+                String::from_utf8(buf.lock().unwrap().clone()).expect("heartbeat JSONL is UTF-8");
+            write_artifact(dir, "heartbeat.jsonl", &jsonl);
+        }
         let mut rows: Vec<Vec<String>> = s
             .per_object()
             .iter()
@@ -751,6 +879,13 @@ fn main() {
         );
         if let Some(dir) = &cli.forensics_dir {
             write_forensics(dir, &r);
+        }
+        if let Some(dir) = &cli.telemetry_dir {
+            // Both E9 span trees in collapsed-stack format — pipe into
+            // any flamegraph renderer.
+            let mut folded = r.explore.spans.as_ref().expect("spans traced").to_folded();
+            folded.push_str(&r.check_spans.to_folded());
+            write_artifact(dir, "spans.folded", &folded);
         }
     }
 

@@ -18,7 +18,7 @@ use apram_model::sim::explore::{ExploreConfig, ExploreStats};
 use apram_model::sim::shrink::ShrinkConfig;
 use apram_model::sim::strategy::Replay;
 use apram_model::sim::{ProcBody, SimBuilder, SimCtx, SimOutcome};
-use apram_model::{resolve_threads, MemCtx, SpanNode, SpanRecorder};
+use apram_model::{resolve_threads, Heartbeat, MemCtx, SpanNode, SpanRecorder};
 use apram_snapshot::afek::{AfekReg, AfekSnapshot};
 use apram_snapshot::collect::{naive_collect, CollectArray, DoubleCollect};
 use apram_snapshot::snapshot::{SnapOp, SnapResp, SnapshotSpec};
@@ -364,6 +364,14 @@ where
 /// private recorder cell feeding a shared history sink; the collected
 /// batch is then checked with [`check_histories_parallel`].
 pub fn e6_summary(opts: &ExpOpts) -> E6Summary {
+    e6_summary_with(opts, None)
+}
+
+/// [`e6_summary`] with an optional progress [`Heartbeat`] installed on
+/// every exploration: all four objects stream periodic JSONL beats (and
+/// a final beat each) into the heartbeat's shared sink — the artifact
+/// the CLI's `--telemetry` flag writes as `heartbeat.jsonl`.
+pub fn e6_summary_with(opts: &ExpOpts, heartbeat: Option<Heartbeat>) -> E6Summary {
     let budget = if opts.quick { 2_000 } else { 20_000 };
     let threads = opts.threads;
     let mut histories = 0u64;
@@ -378,6 +386,7 @@ pub fn e6_summary(opts: &ExpOpts) -> E6Summary {
             &ExploreConfig {
                 max_runs: budget,
                 max_depth: 12,
+                heartbeat: heartbeat.clone(),
                 ..ExploreConfig::default()
             },
             threads,
@@ -425,6 +434,7 @@ pub fn e6_summary(opts: &ExpOpts) -> E6Summary {
         &ExploreConfig {
             max_runs: budget,
             max_depth: 10,
+            heartbeat: heartbeat.clone(),
             ..ExploreConfig::default()
         },
         threads,
@@ -490,6 +500,7 @@ pub fn e6_summary(opts: &ExpOpts) -> E6Summary {
             &ExploreConfig {
                 max_runs: budget,
                 max_depth: 12,
+                heartbeat: heartbeat.clone(),
                 ..ExploreConfig::default()
             },
             threads,
@@ -533,35 +544,43 @@ pub fn e6_summary(opts: &ExpOpts) -> E6Summary {
     let sink4: HistorySink<MwRegOp, MwRegResp> = Arc::new(Mutex::new(Vec::new()));
     let mw_stats = SimBuilder::new(reg.registers::<u64>())
         .owners(reg.owners())
-        .explore_parallel(&ExploreConfig::default(), threads, |_worker| {
-            let cell: Arc<Mutex<Option<Recorder<MwRegOp, MwRegResp>>>> = Arc::new(Mutex::new(None));
-            let fcell = Arc::clone(&cell);
-            let sink = Arc::clone(&sink4);
-            let make = move || {
-                let rec: Recorder<MwRegOp, MwRegResp> = Recorder::new();
-                *fcell.lock().unwrap() = Some(rec.clone());
-                (0..2usize)
-                    .map(|p| {
-                        let rec = rec.clone();
-                        Box::new(move |ctx: &mut SimCtx<Stamped<u64>>| {
-                            rec.invoke(p, MwRegOp::Write(p as u64 + 1));
-                            reg.write(ctx, p as u64 + 1);
-                            rec.respond(p, MwRegResp::Ack);
-                            rec.invoke(p, MwRegOp::Read);
-                            let v = reg.read(ctx);
-                            rec.respond(p, MwRegResp::Value(v));
-                        }) as ProcBody<'static, Stamped<u64>, ()>
-                    })
-                    .collect::<Vec<_>>()
-            };
-            let visit = move |out: &SimOutcome<Stamped<u64>, ()>| {
-                out.assert_no_panics();
-                let hist = cell.lock().unwrap().take().unwrap().snapshot();
-                sink.lock().unwrap().push(hist);
-                true
-            };
-            (make, visit)
-        });
+        .explore_parallel(
+            &ExploreConfig {
+                heartbeat,
+                ..ExploreConfig::default()
+            },
+            threads,
+            |_worker| {
+                let cell: Arc<Mutex<Option<Recorder<MwRegOp, MwRegResp>>>> =
+                    Arc::new(Mutex::new(None));
+                let fcell = Arc::clone(&cell);
+                let sink = Arc::clone(&sink4);
+                let make = move || {
+                    let rec: Recorder<MwRegOp, MwRegResp> = Recorder::new();
+                    *fcell.lock().unwrap() = Some(rec.clone());
+                    (0..2usize)
+                        .map(|p| {
+                            let rec = rec.clone();
+                            Box::new(move |ctx: &mut SimCtx<Stamped<u64>>| {
+                                rec.invoke(p, MwRegOp::Write(p as u64 + 1));
+                                reg.write(ctx, p as u64 + 1);
+                                rec.respond(p, MwRegResp::Ack);
+                                rec.invoke(p, MwRegOp::Read);
+                                let v = reg.read(ctx);
+                                rec.respond(p, MwRegResp::Value(v));
+                            }) as ProcBody<'static, Stamped<u64>, ()>
+                        })
+                        .collect::<Vec<_>>()
+                };
+                let visit = move |out: &SimOutcome<Stamped<u64>, ()>| {
+                    out.assert_no_panics();
+                    let hist = cell.lock().unwrap().take().unwrap().snapshot();
+                    sink.lock().unwrap().push(hist);
+                    true
+                };
+                (make, visit)
+            },
+        );
     histories += drain_and_check(&MwRegSpec, &sink4, threads, "E6: MW register violation");
 
     E6Summary {

@@ -645,4 +645,86 @@ mod tests {
         assert_eq!(doc.get("e").and_then(Json::as_f64), Some(1.5));
         assert_eq!(doc.get("zz"), None);
     }
+
+    #[test]
+    fn non_finite_floats_serialise_as_null() {
+        // JSON has no NaN/Inf tokens; the writer substitutes null
+        // rather than emitting an unparseable document.
+        assert_eq!(Json::Float(f64::NAN).to_compact(), "null");
+        assert_eq!(Json::Float(f64::INFINITY).to_compact(), "null");
+        assert_eq!(Json::Float(f64::NEG_INFINITY).to_compact(), "null");
+        // Also when nested — the whole document must stay valid.
+        let doc = Json::obj([
+            ("ok", Json::Float(1.0)),
+            ("bad", Json::Float(f64::NAN)),
+            ("arr", Json::Arr(vec![Json::Float(f64::INFINITY)])),
+        ]);
+        let text = doc.to_compact();
+        assert_eq!(text, r#"{"ok":1.0,"bad":null,"arr":[null]}"#);
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed.get("bad"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn negative_zero_round_trips_with_its_sign() {
+        let text = Json::Float(-0.0).to_compact();
+        assert_eq!(text, "-0.0");
+        match parse(&text).unwrap() {
+            Json::Float(x) => {
+                assert_eq!(x, 0.0);
+                assert!(x.is_sign_negative(), "sign must survive the trip");
+            }
+            other => panic!("expected float, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn float_round_trip_is_exact_for_measured_values() {
+        // runs_per_sec-style values: arbitrary finite doubles must
+        // survive write → parse bit-exactly (Rust's shortest display
+        // repr is round-trip precise).
+        let samples = [
+            123456.789,
+            1.0 / 3.0,
+            98_127.312_448_21,
+            6.02214076e23,
+            5e-324, // smallest subnormal
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            -273.15,
+            0.1 + 0.2, // classic 0.30000000000000004
+        ];
+        for &x in &samples {
+            let text = Json::Float(x).to_compact();
+            let parsed = parse(&text).unwrap_or_else(|e| panic!("reparse {text}: {e}"));
+            let y = parsed
+                .as_f64()
+                .unwrap_or_else(|| panic!("{text} not a number"));
+            assert_eq!(x.to_bits(), y.to_bits(), "{x} -> {text} -> {y}");
+        }
+    }
+
+    #[test]
+    fn whole_valued_floats_keep_a_fraction_marker() {
+        // Without the forced `.0` these would re-parse as integers and
+        // change type across the trip.
+        assert_eq!(Json::Float(5.0).to_compact(), "5.0");
+        assert_eq!(Json::Float(-2.0).to_compact(), "-2.0");
+        assert_eq!(Json::Float(0.0).to_compact(), "0.0");
+        assert!(matches!(parse("5.0").unwrap(), Json::Float(_)));
+        // Exponent forms already carry a float marker and are kept.
+        let big = Json::Float(1e300).to_compact();
+        assert!(big.contains('e') || big.contains('.'), "{big}");
+        assert_eq!(parse(&big).unwrap().as_f64(), Some(1e300));
+    }
+
+    #[test]
+    fn parser_rejects_bare_non_finite_tokens() {
+        // The error paths for the tokens the writer refuses to emit.
+        assert!(parse("NaN").is_err());
+        assert!(parse("Infinity").is_err());
+        assert!(parse("-Infinity").is_err());
+        assert!(parse("+Inf").is_err());
+        assert!(parse("[1,NaN]").is_err());
+    }
 }

@@ -35,6 +35,11 @@
 //! * [`span`] — lightweight span tracing (named intervals with counters);
 //!   the explorer and the linearizability checker report their internal
 //!   cost structure through it, and `--forensics` dumps the tree.
+//! * [`telemetry`] — live telemetry: log-bucketed step histograms, a
+//!   per-worker-sharded metrics registry, progress heartbeats for long
+//!   explorations, and Prometheus / collapsed-stack exporters. The
+//!   paper's step-complexity bounds are distributions, not means; this
+//!   is the layer that records them losslessly.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,6 +51,7 @@ pub mod metrics;
 pub mod native;
 pub mod sim;
 pub mod span;
+pub mod telemetry;
 pub mod trace;
 
 pub use ctx::{AccessKind, Matrix, MatrixView, MemCtx, ProcId};
@@ -58,4 +64,8 @@ pub use sim::{
     SimBuilder, SimConfig, SimCtx, SimOutcome, Strategy,
 };
 pub use span::{SpanNode, SpanRecorder};
+pub use telemetry::{
+    validate_prometheus, CounterHandle, CountingCtx, GaugeHandle, Heartbeat, HistogramHandle,
+    HistogramSnapshot, ProgressBeat, StepHistogram, TelemetryRegistry,
+};
 pub use trace::{StepCounts, Trace, TraceEvent};

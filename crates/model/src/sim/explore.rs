@@ -18,6 +18,7 @@ use crate::ctx::{AccessKind, ProcId};
 use crate::json::Json;
 use crate::metrics::MetricsLevel;
 use crate::span::SpanRecorder;
+use crate::telemetry::{Heartbeat, ProgressBeat};
 use std::time::{Duration, Instant};
 
 /// Per-run child spans are recorded for at most this many runs; later
@@ -42,6 +43,10 @@ pub struct ExploreConfig {
     /// first few runs, aggregate counters on the root) into
     /// [`ExploreStats::spans`].
     pub trace_spans: bool,
+    /// When set, emit a JSONL progress line to the heartbeat's sink at
+    /// least every [`Heartbeat::every`] (plus one final line), so long
+    /// explorations stream live progress instead of staying silent.
+    pub heartbeat: Option<Heartbeat>,
 }
 
 impl Default for ExploreConfig {
@@ -51,8 +56,42 @@ impl Default for ExploreConfig {
             max_depth: usize::MAX,
             shrink: None,
             trace_spans: false,
+            heartbeat: None,
         }
     }
+}
+
+impl ExploreConfig {
+    /// Attach a progress heartbeat: a JSONL line (runs, runs/sec,
+    /// sleep-skips, queue depth, violation-found) to `sink` at least
+    /// every `every`, plus a final line when the exploration ends.
+    pub fn heartbeat(
+        mut self,
+        every: Duration,
+        sink: impl std::io::Write + Send + 'static,
+    ) -> Self {
+        self.heartbeat = Some(Heartbeat::new(every, sink));
+        self
+    }
+}
+
+/// Emit one progress beat (shared by the sequential explorers and the
+/// parallel engine's monitor).
+pub(crate) fn emit_beat(
+    hb: &Heartbeat,
+    elapsed: Duration,
+    runs: u64,
+    sleep_skips: u64,
+    queue_depth: usize,
+    violation_found: bool,
+) {
+    hb.emit(&ProgressBeat {
+        elapsed,
+        runs,
+        sleep_skips,
+        queue_depth,
+        violation_found,
+    });
 }
 
 /// Exploration summary.
@@ -85,6 +124,15 @@ pub struct ExploreStats {
     pub spans: Option<crate::span::SpanNode>,
     /// Wall-clock time the exploration took (including shrinking).
     pub elapsed: Duration,
+    /// Complete runs executed by each worker (one entry per worker;
+    /// the sequential explorers report a single entry equal to
+    /// [`runs`](Self::runs)). Sums to `runs` up to budget-race slack,
+    /// and exposes load imbalance across the parallel engine's workers.
+    pub worker_runs: Vec<u64>,
+    /// Tasks each worker popped that a *different* worker had
+    /// delegated — actual steals, excluding the root task and
+    /// self-produced work. All zeros for the sequential explorers.
+    pub worker_steals: Vec<u64>,
 }
 
 impl ExploreStats {
@@ -138,6 +186,14 @@ impl ExploreStats {
             ("sleep_skips", Json::UInt(self.sleep_skips)),
             ("elapsed_secs", Json::Float(self.elapsed.as_secs_f64())),
             ("runs_per_sec", Json::Float(self.runs_per_sec())),
+            (
+                "worker_runs",
+                Json::Arr(self.worker_runs.iter().map(|&r| Json::UInt(r)).collect()),
+            ),
+            (
+                "worker_steals",
+                Json::Arr(self.worker_steals.iter().map(|&s| Json::UInt(s)).collect()),
+            ),
             (
                 "violation",
                 match &self.violation {
@@ -257,6 +313,8 @@ where
     Visit: FnMut(&SimOutcome<T, R>) -> bool,
 {
     let start = Instant::now();
+    let mut last_beat = Instant::now();
+    let mut violated = false;
     let mut stack: Vec<Branch> = Vec::new();
     let mut stats = ExploreStats::default();
     let mut spans = econfig.trace_spans.then(|| SpanRecorder::new("explore"));
@@ -282,6 +340,12 @@ where
             s.bump("steps", run_steps);
         }
         stats.runs += 1;
+        if let Some(hb) = &econfig.heartbeat {
+            if last_beat.elapsed() >= hb.every {
+                emit_beat(hb, start.elapsed(), stats.runs, 0, stack.len(), false);
+                last_beat = Instant::now();
+            }
+        }
         if !visit(&outcome) {
             capture_violation(
                 cfg,
@@ -292,6 +356,7 @@ where
                 &mut stats,
                 &mut spans,
             );
+            violated = true;
             break;
         }
         if stats.runs >= econfig.max_runs {
@@ -314,6 +379,11 @@ where
         }
     }
     stats.elapsed = start.elapsed();
+    stats.worker_runs = vec![stats.runs];
+    stats.worker_steals = vec![0];
+    if let Some(hb) = &econfig.heartbeat {
+        emit_beat(hb, stats.elapsed, stats.runs, 0, stack.len(), violated);
+    }
     finish_spans(&mut stats, spans);
     stats
 }
@@ -518,6 +588,8 @@ where
     Visit: FnMut(&SimOutcome<T, R>) -> bool,
 {
     let start = Instant::now();
+    let mut last_beat = Instant::now();
+    let mut violated = false;
     let mut stack: Vec<SleepNode> = Vec::new();
     let mut stats = ExploreStats::default();
     let mut spans = econfig
@@ -546,6 +618,19 @@ where
             s.bump("steps", run_steps);
         }
         stats.runs += 1;
+        if let Some(hb) = &econfig.heartbeat {
+            if last_beat.elapsed() >= hb.every {
+                emit_beat(
+                    hb,
+                    start.elapsed(),
+                    stats.runs,
+                    stats.sleep_skips,
+                    stack.len(),
+                    false,
+                );
+                last_beat = Instant::now();
+            }
+        }
         if !visit(&outcome) {
             capture_violation(
                 cfg,
@@ -556,6 +641,7 @@ where
                 &mut stats,
                 &mut spans,
             );
+            violated = true;
             break 'outer;
         }
         if stats.runs >= econfig.max_runs {
@@ -595,6 +681,18 @@ where
         }
     }
     stats.elapsed = start.elapsed();
+    stats.worker_runs = vec![stats.runs];
+    stats.worker_steals = vec![0];
+    if let Some(hb) = &econfig.heartbeat {
+        emit_beat(
+            hb,
+            stats.elapsed,
+            stats.runs,
+            stats.sleep_skips,
+            stack.len(),
+            violated,
+        );
+    }
     finish_spans(&mut stats, spans);
     stats
 }
@@ -936,6 +1034,63 @@ mod tests {
         // The export round-trips through the parser.
         let parsed = crate::json::parse(&doc.to_pretty(2)).unwrap();
         assert_eq!(parsed.get("runs").and_then(Json::as_u64), Some(stats.runs));
+    }
+
+    #[test]
+    fn heartbeat_streams_progress_and_a_final_beat() {
+        use crate::telemetry::{buffer_sink, Heartbeat};
+        let cfg = SimConfig::base(vec![0u64; 2]);
+        let (sink, buf) = buffer_sink();
+        let econfig = ExploreConfig {
+            heartbeat: Some(Heartbeat::shared(Duration::ZERO, sink)),
+            ..Default::default()
+        };
+        let stats = explore(&cfg, &econfig, two_proc_bodies, |_| true);
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // A zero interval beats after every run, plus the final beat.
+        assert_eq!(lines.len() as u64, stats.runs + 1);
+        for line in &lines {
+            crate::json::parse(line).expect("every beat is valid JSON");
+        }
+        let last = crate::json::parse(lines.last().unwrap()).unwrap();
+        assert_eq!(last.get("runs").and_then(Json::as_u64), Some(stats.runs));
+        assert_eq!(last.get("violation_found"), Some(&Json::Bool(false)));
+        assert!(last.get("runs_per_sec").and_then(Json::as_f64).is_some());
+    }
+
+    #[test]
+    fn heartbeat_reports_violations_and_builder_api_works() {
+        use crate::telemetry::buffer_sink;
+        let cfg = SimConfig::base(vec![0u64; 2]);
+        let (sink, buf) = buffer_sink();
+        let econfig = ExploreConfig {
+            heartbeat: Some(crate::telemetry::Heartbeat::shared(Duration::ZERO, sink)),
+            ..Default::default()
+        };
+        let stats = explore_reduced(&cfg, &econfig, two_proc_bodies, |out| {
+            out.results[0] != Some(2)
+        });
+        assert!(!stats.exhausted);
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let last = crate::json::parse(text.lines().last().unwrap()).unwrap();
+        assert_eq!(last.get("violation_found"), Some(&Json::Bool(true)));
+        // The builder form wires a sink in one call.
+        let cfg2 = ExploreConfig::default().heartbeat(Duration::from_secs(1), std::io::sink());
+        assert!(cfg2.heartbeat.is_some());
+    }
+
+    #[test]
+    fn sequential_worker_stats_are_a_single_entry() {
+        let cfg = SimConfig::base(vec![0u64; 2]);
+        let stats = explore(&cfg, &ExploreConfig::default(), two_proc_bodies, |_| true);
+        assert_eq!(stats.worker_runs, vec![stats.runs]);
+        assert_eq!(stats.worker_steals, vec![0]);
+        let doc = stats.to_json();
+        let runs = doc.get("worker_runs").and_then(Json::as_arr).unwrap();
+        assert_eq!(runs, &[Json::UInt(stats.runs)]);
+        let steals = doc.get("worker_steals").and_then(Json::as_arr).unwrap();
+        assert_eq!(steals, &[Json::UInt(0)]);
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! Parallel schedule exploration: the sleep-set DFS of
-//! [`super::explore`] partitioned across OS threads.
+//! [`mod@super::explore`] partitioned across OS threads.
 //!
 //! ## How the tree is partitioned
 //!
@@ -11,7 +11,7 @@
 //! is explored first, in ascending order). A unit of work can therefore
 //! be just a **branch-path prefix** — a `Vec` of pick indices — with no
 //! node state attached: the worker that picks it up replays the prefix,
-//! rebuilding identical [`SleepNode`]s along the way, and continues
+//! rebuilding identical `SleepNode`s along the way, and continues
 //! first-branch-descending from the frontier.
 //!
 //! Each worker keeps the canonically-first explorable branch of every
@@ -41,13 +41,13 @@
 //!
 //! ## Per-worker simulator pools
 //!
-//! Each worker owns a [`ProcPool`]: persistent OS threads that host the
+//! Each worker owns a `ProcPool`: persistent OS threads that host the
 //! simulated processes of run after run, replacing the per-run
-//! `thread::spawn`/join of [`run_sim_with`] with a channel send. On a
+//! `thread::spawn`/join of the one-shot runner with a channel send. On a
 //! multi-core host the workers scale the exploration; on any host the
 //! pool removes thread-creation cost from the per-run critical path.
 
-use super::explore::{independent, ExploreConfig, ExploreStats, SleepNode};
+use super::explore::{emit_beat, independent, ExploreConfig, ExploreStats, SleepNode};
 use super::shrink::shrink_schedule;
 use super::strategy::{Decision, SchedView, Strategy};
 use super::{outcome_finish, scheduler_loop, Msg, ProcBody, Reply, SimConfig, SimCtx, SimOutcome};
@@ -55,7 +55,7 @@ use crate::crash;
 use crate::ctx::ProcId;
 use crate::metrics::MetricsLevel;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -217,9 +217,19 @@ where
     outcome
 }
 
+/// Owner marker for the root task, which no worker produced.
+const NO_OWNER: usize = usize::MAX;
+
 /// A branch-path prefix: the pick index taken at each decision point
-/// from the root down to (and including) the branch this task owns.
-type Task = Vec<u32>;
+/// from the root down to (and including) the branch this task owns,
+/// tagged with the worker that delegated it so steals are countable.
+struct Task {
+    path: Vec<u32>,
+    /// Index of the worker that published this task ([`NO_OWNER`] for
+    /// the root). A worker popping a task it did not publish itself is
+    /// a *steal*.
+    owner: usize,
+}
 
 /// The canonical first violation found so far.
 struct Candidate {
@@ -249,13 +259,20 @@ struct Shared {
     budget_hit: AtomicBool,
     has_violation: AtomicBool,
     violation: Mutex<Option<Candidate>>,
+    /// Complete runs per worker, for load-imbalance telemetry.
+    worker_runs: Vec<AtomicU64>,
+    /// Tasks each worker popped that another worker had delegated.
+    worker_steals: Vec<AtomicU64>,
 }
 
 impl Shared {
     fn new(threads: usize, max_runs: u64) -> Self {
         Shared {
             queue: Mutex::new(Frontier {
-                tasks: vec![Vec::new()], // the root: an empty prefix
+                tasks: vec![Task {
+                    path: Vec::new(), // the root: an empty prefix
+                    owner: NO_OWNER,
+                }],
                 idle: 0,
                 done: false,
             }),
@@ -271,6 +288,8 @@ impl Shared {
             budget_hit: AtomicBool::new(false),
             has_violation: AtomicBool::new(false),
             violation: Mutex::new(None),
+            worker_runs: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+            worker_steals: (0..threads).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
@@ -306,7 +325,7 @@ impl Shared {
             return;
         }
         if let Some(best) = self.best_path() {
-            tasks.retain(|t| may_precede(t, &best));
+            tasks.retain(|t| may_precede(&t.path, &best));
             if tasks.is_empty() {
                 return;
             }
@@ -374,7 +393,7 @@ impl Shared {
         };
         self.has_violation.store(true, Ordering::Release);
         let mut q = self.queue.lock().unwrap();
-        q.tasks.retain(|t| may_precede(t, &best));
+        q.tasks.retain(|t| may_precede(&t.path, &best));
         drop(q);
         // Wake idle workers so emptied queues re-check termination.
         self.work.notify_all();
@@ -409,7 +428,7 @@ struct PrefixStrategy<'a> {
     /// with each fresh node (stops at a barren node or `max_depth`).
     path: Vec<u32>,
     /// Delegated sibling prefixes, in (depth, pick) ascending order.
-    spawned: Vec<Task>,
+    spawned: Vec<Vec<u32>>,
     pos: usize,
     redundant_tail: bool,
     truncated: bool,
@@ -503,6 +522,7 @@ impl Strategy for PrefixStrategy<'_> {
 /// One worker: drain tasks, execute each as a single pooled run,
 /// aggregate stats, publish delegated siblings, and report violations.
 fn worker<T, R, FMake, Visit>(
+    index: usize,
     shared: &Shared,
     cfg: &SimConfig<T>,
     reduce: bool,
@@ -518,7 +538,7 @@ fn worker<T, R, FMake, Visit>(
     let mut pool: ProcPool<T, R> = ProcPool::new();
     while let Some(task) = shared.next_task() {
         if let Some(best) = shared.best_path() {
-            if !may_precede(&task, &best) {
+            if !may_precede(&task.path, &best) {
                 continue; // cancelled: cannot beat the found violation
             }
         }
@@ -527,7 +547,11 @@ fn worker<T, R, FMake, Visit>(
             shared.stop();
             break;
         }
-        let mut strategy = PrefixStrategy::new(&task, reduce, max_depth);
+        shared.worker_runs[index].fetch_add(1, Ordering::Relaxed);
+        if task.owner != index && task.owner != NO_OWNER {
+            shared.worker_steals[index].fetch_add(1, Ordering::Relaxed);
+        }
+        let mut strategy = PrefixStrategy::new(&task.path, reduce, max_depth);
         let outcome = run_sim_pooled(cfg, &mut strategy, &mut pool, factory());
         shared
             .sleep_skips
@@ -549,7 +573,12 @@ fn worker<T, R, FMake, Visit>(
             let path = std::mem::take(&mut strategy.path);
             shared.record_violation(path, outcome.trace.schedule());
         }
-        shared.publish(std::mem::take(&mut strategy.spawned));
+        shared.publish(
+            std::mem::take(&mut strategy.spawned)
+                .into_iter()
+                .map(|path| Task { path, owner: index })
+                .collect(),
+        );
     }
 }
 
@@ -572,10 +601,43 @@ where
     let threads = resolve_threads(threads);
     let shared = Shared::new(threads, econfig.max_runs);
     let pairs: Vec<(FMake, Visit)> = (0..threads).map(&mut make_worker).collect();
+    let live = AtomicUsize::new(threads);
     std::thread::scope(|scope| {
-        for (fmake, vis) in pairs {
-            let shared = &shared;
-            scope.spawn(move || worker(shared, cfg, reduce, econfig.max_depth, fmake, vis));
+        for (index, (fmake, vis)) in pairs.into_iter().enumerate() {
+            let (shared, live) = (&shared, &live);
+            scope.spawn(move || {
+                worker(index, shared, cfg, reduce, econfig.max_depth, fmake, vis);
+                live.fetch_sub(1, Ordering::Release);
+            });
+        }
+        // The heartbeat monitor polls the shared counters in short
+        // slices and exits once every worker has; it never outlives
+        // the scope and never blocks a worker (one brief queue lock
+        // per beat for the depth reading).
+        if let Some(hb) = econfig.heartbeat.clone() {
+            let (shared, live) = (&shared, &live);
+            scope.spawn(move || {
+                let slice = hb
+                    .every
+                    .min(Duration::from_millis(20))
+                    .max(Duration::from_micros(100));
+                let mut last_beat = Instant::now();
+                while live.load(Ordering::Acquire) > 0 {
+                    std::thread::sleep(slice);
+                    if last_beat.elapsed() >= hb.every {
+                        let depth = shared.queue.lock().unwrap().tasks.len();
+                        emit_beat(
+                            &hb,
+                            start.elapsed(),
+                            shared.runs.load(Ordering::Relaxed),
+                            shared.sleep_skips.load(Ordering::Relaxed),
+                            depth,
+                            shared.has_violation.load(Ordering::Acquire),
+                        );
+                        last_beat = Instant::now();
+                    }
+                }
+            });
         }
     });
 
@@ -592,15 +654,36 @@ where
         violation: None,
         spans: None,
         elapsed: Duration::ZERO,
+        worker_runs: shared
+            .worker_runs
+            .iter()
+            .map(|r| r.load(Ordering::Relaxed))
+            .collect(),
+        worker_steals: shared
+            .worker_steals
+            .iter()
+            .map(|s| s.load(Ordering::Relaxed))
+            .collect(),
     };
     // Shrinking is sequential (deterministic ddmin over the canonical
     // schedule), driven by one extra worker pair.
+    let violated = candidate.is_some();
     if let (Some(cand), Some(scfg)) = (candidate, &econfig.shrink) {
         let (mut fmake, mut vis) = make_worker(threads);
         let report = shrink_schedule(cfg, scfg, &cand.schedule, &mut fmake, |o| !vis(o));
         stats.violation = Some(report);
     }
     stats.elapsed = start.elapsed();
+    if let Some(hb) = &econfig.heartbeat {
+        emit_beat(
+            hb,
+            stats.elapsed,
+            stats.runs,
+            stats.sleep_skips,
+            0,
+            violated,
+        );
+    }
     stats
 }
 
@@ -810,6 +893,52 @@ mod tests {
         });
         assert!(par.exhausted);
         assert_eq!(par.runs, 1680);
+    }
+
+    #[test]
+    fn worker_runs_sum_to_total_and_steals_are_bounded() {
+        let cfg = SimConfig::base(vec![0u64; 3]);
+        for threads in [1, 2, 4] {
+            let par = explore_parallel(&cfg, &ExploreConfig::default(), threads, |_| {
+                (
+                    independent_factory as fn() -> _,
+                    |_: &SimOutcome<u64, u64>| true,
+                )
+            });
+            assert_eq!(par.worker_runs.len(), threads, "threads={threads}");
+            assert_eq!(par.worker_steals.len(), threads);
+            assert_eq!(par.worker_runs.iter().sum::<u64>(), par.runs);
+            assert!(par.worker_steals.iter().sum::<u64>() <= par.runs);
+            if threads == 1 {
+                // A lone worker has nobody to steal from.
+                assert_eq!(par.worker_steals, vec![0]);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_heartbeat_emits_a_final_beat() {
+        use crate::telemetry::{buffer_sink, Heartbeat};
+        let cfg = SimConfig::base(vec![0u64; 2]);
+        let (sink, buf) = buffer_sink();
+        let econfig = ExploreConfig {
+            heartbeat: Some(Heartbeat::shared(Duration::from_millis(1), sink)),
+            ..Default::default()
+        };
+        let par = explore_parallel(&cfg, &econfig, 2, |_| {
+            (two_proc_factory as fn() -> _, |_: &SimOutcome<u64, u64>| {
+                true
+            })
+        });
+        assert!(par.exhausted);
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(!lines.is_empty(), "at least the final beat is emitted");
+        let last = crate::json::parse(lines.last().unwrap()).unwrap();
+        use crate::json::Json;
+        assert_eq!(last.get("runs").and_then(Json::as_u64), Some(par.runs));
+        assert_eq!(last.get("queue_depth").and_then(Json::as_u64), Some(0));
+        assert_eq!(last.get("violation_found"), Some(&Json::Bool(false)));
     }
 
     #[test]

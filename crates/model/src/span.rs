@@ -74,6 +74,43 @@ impl SpanNode {
         out
     }
 
+    /// Render the subtree in collapsed-stack ("folded") format — one
+    /// line per span, `root;child;grandchild <self-µs>` — the input
+    /// format of stock flamegraph tooling. Each line's sample value is
+    /// the span's *self* time: its wall-clock microseconds minus its
+    /// children's (clamped at zero, since children overlap their
+    /// parent's interval by construction). Semicolons and whitespace in
+    /// span names are replaced with `_` so frames stay unambiguous.
+    pub fn to_folded(&self) -> String {
+        let mut out = String::new();
+        let mut frames = Vec::new();
+        self.fold_into(&mut out, &mut frames);
+        out
+    }
+
+    fn fold_into(&self, out: &mut String, frames: &mut Vec<String>) {
+        let frame: String = self
+            .name
+            .chars()
+            .map(|c| {
+                if c == ';' || c.is_whitespace() {
+                    '_'
+                } else {
+                    c
+                }
+            })
+            .collect();
+        frames.push(frame);
+        let child_us: u64 = self.children.iter().map(|c| c.wall_us).sum();
+        let self_us = self.wall_us.saturating_sub(child_us);
+        out.push_str(&frames.join(";"));
+        out.push_str(&format!(" {self_us}\n"));
+        for c in &self.children {
+            c.fold_into(out, frames);
+        }
+        frames.pop();
+    }
+
     fn render_into(&self, out: &mut String, depth: usize) {
         for _ in 0..depth {
             out.push_str("  ");
@@ -265,5 +302,45 @@ mod tests {
         assert!(art.contains("root ("));
         assert!(art.contains("  run ("));
         assert!(art.contains("steps=7"));
+    }
+
+    #[test]
+    fn folded_output_lists_every_stack_with_self_time() {
+        let tree = SpanNode {
+            name: "explore all".into(),
+            wall_us: 100,
+            counters: vec![],
+            children: vec![
+                SpanNode {
+                    name: "run".into(),
+                    wall_us: 60,
+                    counters: vec![],
+                    children: vec![SpanNode {
+                        name: "check;deep".into(),
+                        wall_us: 10,
+                        counters: vec![],
+                        children: vec![],
+                    }],
+                },
+                SpanNode {
+                    name: "shrink".into(),
+                    wall_us: 70, // overlong child: parent self clamps to 0
+                    counters: vec![],
+                    children: vec![],
+                },
+            ],
+        };
+        let folded = tree.to_folded();
+        let lines: Vec<&str> = folded.lines().collect();
+        assert_eq!(lines.len(), tree.total_spans());
+        assert_eq!(lines[0], "explore_all 0"); // 100 - (60 + 70) < 0 → 0
+        assert_eq!(lines[1], "explore_all;run 50");
+        assert_eq!(lines[2], "explore_all;run;check_deep 10");
+        assert_eq!(lines[3], "explore_all;shrink 70");
+        // Every sample value parses as an integer.
+        for line in lines {
+            let val = line.rsplit(' ').next().unwrap();
+            val.parse::<u64>().expect("folded sample value");
+        }
     }
 }

@@ -85,6 +85,18 @@ impl MwRegister {
         self.view::<()>().row_owners()
     }
 
+    /// Analytic read cost of one [`write`](Self::write) or
+    /// [`read`](Self::read): the full collect, exactly `n` reads.
+    pub fn op_reads(n: usize) -> u64 {
+        n as u64
+    }
+
+    /// Analytic write cost of one `write` or `read` (the read's
+    /// write-back): exactly 1.
+    pub fn op_writes() -> u64 {
+        1
+    }
+
     fn collect_max<T, C>(&self, ctx: &mut C) -> Stamped<T>
     where
         T: Clone,

@@ -78,6 +78,27 @@ impl AfekSnapshot {
         (0..self.n).collect()
     }
 
+    /// Analytic read cost of a quiet (uncontended) [`snap`](Self::snap):
+    /// two collects, `2n` reads.
+    pub fn quiet_snap_reads(n: usize) -> u64 {
+        2 * n as u64
+    }
+
+    /// Analytic read bound of a [`snap`](Self::snap) when every other
+    /// process performs at most one update during it: each failed
+    /// double collect consumes at least one of the ≤ n sequence-number
+    /// changes, so at most `n+2` collects run — `n(n+2)` reads.
+    pub fn bounded_update_snap_reads(n: usize) -> u64 {
+        (n * (n + 2)) as u64
+    }
+
+    /// Analytic read bound of an [`update`](Self::update) under the same
+    /// at-most-one-concurrent-update-per-process assumption: the
+    /// embedded snap plus one read of the own register.
+    pub fn bounded_update_update_reads(n: usize) -> u64 {
+        Self::bounded_update_snap_reads(n) + 1
+    }
+
     fn collect<T, C>(&self, ctx: &mut C) -> Vec<AfekReg<T>>
     where
         T: Clone,

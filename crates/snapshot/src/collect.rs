@@ -48,6 +48,12 @@ impl CollectArray {
         (0..self.n).collect()
     }
 
+    /// Analytic read cost of one [`collect`](Self::collect) (and of
+    /// [`naive_collect`]): exactly `n` reads.
+    pub fn collect_reads(n: usize) -> u64 {
+        n as u64
+    }
+
     /// One collect: read every register once (`n` reads).
     pub fn collect<T, C>(&self, ctx: &mut C) -> Vec<Tagged<T>>
     where
@@ -69,6 +75,14 @@ impl DoubleCollect {
     /// A handle on the given array.
     pub fn new(arr: CollectArray) -> Self {
         DoubleCollect { arr, next_tag: 1 }
+    }
+
+    /// Analytic read bound of one [`snap`](Self::snap) when every
+    /// process performs at most one update during it: each failed
+    /// double collect consumes at least one of the ≤ n tag changes, so
+    /// at most `n+2` collects run — `n(n+2)` reads.
+    pub fn bounded_update_snap_reads(n: usize) -> u64 {
+        (n * (n + 2)) as u64
     }
 
     /// Update the caller's slot (1 write).

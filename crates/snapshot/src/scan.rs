@@ -96,6 +96,29 @@ impl ScanObject {
         self.view.reg(p, 0)
     }
 
+    /// §6.2 analytic read cost of one literal [`scan`](Self::scan):
+    /// `n²+n+1`. Schedule-independent — the distribution experiments
+    /// assert measured p-max equals this exactly.
+    pub fn literal_scan_reads(n: usize) -> u64 {
+        (n * n + n + 1) as u64
+    }
+
+    /// §6.2 analytic write cost of one literal scan: `n+2`.
+    pub fn literal_scan_writes(n: usize) -> u64 {
+        (n + 2) as u64
+    }
+
+    /// §6.2 analytic read cost of one optimized
+    /// [`ScanHandle::scan`]: `n²−1`.
+    pub fn optimized_scan_reads(n: usize) -> u64 {
+        (n * n - 1) as u64
+    }
+
+    /// §6.2 analytic write cost of one optimized scan: `n+1`.
+    pub fn optimized_scan_writes(n: usize) -> u64 {
+        (n + 1) as u64
+    }
+
     /// The literal Figure 5 `Scan`: `n²+n+1` reads, `n+2` writes.
     pub fn scan<L, C>(&self, ctx: &mut C, v: L) -> L
     where

@@ -5,7 +5,7 @@
 
 use apram_model::sim::strategy::{Replay, SeededRandom};
 use apram_model::sim::{SimBuilder, SimCtx};
-use apram_model::{AccessKind, MemCtx, MetricsLevel, Trace};
+use apram_model::{AccessKind, MemCtx, MetricsLevel, TelemetryRegistry, Trace};
 
 /// A deterministic body: three rounds of publish-then-collect, so every
 /// process issues a known mix of reads and writes.
@@ -67,9 +67,11 @@ fn jsonl_rejects_corruption() {
     assert!(Trace::from_jsonl(&corrupted).is_err());
 }
 
-/// Under a fixed round-robin schedule, the metrics histogram must equal
-/// both the outcome's per-process counts and the counts recomputed from
-/// the trace, and the per-register totals must tally with the events.
+/// Under a fixed round-robin schedule, the step accounting is asserted
+/// *through the telemetry registry*: the trace events are replayed into
+/// sharded counters (shard = process) and per-op histograms, and the
+/// legacy [`apram_model::Metrics`] struct must agree with the registry
+/// on every number — it is now a thin façade over the same counts.
 #[test]
 fn metrics_agree_with_trace_counts() {
     let n = 4;
@@ -81,21 +83,42 @@ fn metrics_agree_with_trace_counts() {
 
     let m = &out.metrics;
     assert!(m.enabled());
+
+    // Drive the telemetry registry from the trace: per-process sharded
+    // read/write counters plus per-register tallies.
+    let reg = TelemetryRegistry::new(n);
+    let reads = reg.counter("sim_reads");
+    let writes = reg.counter("sim_writes");
+    let mut reg_reads = vec![0u64; n];
+    let mut reg_writes = vec![0u64; n];
+    for ev in out.trace.events() {
+        match ev.kind {
+            AccessKind::Read => {
+                reads.inc(ev.proc);
+                reg_reads[ev.reg] += 1;
+            }
+            AccessKind::Write => {
+                writes.inc(ev.proc);
+                reg_writes[ev.reg] += 1;
+            }
+        }
+    }
+
+    // The registry is the authority; the legacy Metrics API must agree
+    // with it shard by shard and in total.
+    for p in 0..n {
+        assert_eq!(m.histogram[p].reads, reads.shard_value(p), "process {p}");
+        assert_eq!(m.histogram[p].writes, writes.shard_value(p), "process {p}");
+    }
+    assert_eq!(m.total_reads(), reads.total());
+    assert_eq!(m.total_writes(), writes.total());
     assert_eq!(m.histogram, out.trace.counts(n));
     assert_eq!(m.histogram, out.counts);
 
     // Per-register counters, recomputed straight from the events.
-    let mut reads = vec![0u64; n];
-    let mut writes = vec![0u64; n];
-    for ev in out.trace.events() {
-        match ev.kind {
-            AccessKind::Read => reads[ev.reg] += 1,
-            AccessKind::Write => writes[ev.reg] += 1,
-        }
-    }
     for r in 0..n {
-        assert_eq!(m.registers[r].reads, reads[r], "register {r} reads");
-        assert_eq!(m.registers[r].writes, writes[r], "register {r} writes");
+        assert_eq!(m.registers[r].reads, reg_reads[r], "register {r} reads");
+        assert_eq!(m.registers[r].writes, reg_writes[r], "register {r} writes");
     }
     assert_eq!(m.total_reads(), out.trace.len() as u64 - m.total_writes());
 
@@ -104,6 +127,13 @@ fn metrics_agree_with_trace_counts() {
         assert_eq!(m.histogram[p].writes, 3, "process {p}");
         assert_eq!(m.histogram[p].reads, 3 * n as u64, "process {p}");
     }
+
+    // The registry's exports carry the same totals and parse cleanly.
+    let prom = reg.to_prometheus();
+    apram_model::validate_prometheus(&prom).expect("registry Prometheus text must parse");
+    assert!(prom.contains(&format!("sim_reads {}", reads.total())));
+    let json = reg.to_json().to_compact();
+    assert!(json.contains(&format!("\"total\":{}", reads.total())));
 }
 
 /// Metrics default to off: no collection, empty vectors.

@@ -75,6 +75,76 @@ fn clean_snapshot_counts_match_sequential_across_seeds_and_threads() {
     }
 }
 
+/// PR acceptance: sequential and parallel exploration of the same tree
+/// produce *identical merged telemetry* — the per-run step histograms
+/// (bucket-exact, hence every quantile) and run counters recorded
+/// through a sharded [`TelemetryRegistry`] agree regardless of how the
+/// schedules were distributed over workers.
+#[test]
+fn merged_telemetry_is_identical_across_sequential_and_parallel() {
+    use apram_model::TelemetryRegistry;
+    let snap = Snapshot::new(2);
+    let econfig = ExploreConfig {
+        max_depth: 10,
+        ..ExploreConfig::default()
+    };
+    let make = snapshot_make(snap, 3);
+    let sim = SimBuilder::new(snap.registers::<u32>()).owners(snap.owners());
+
+    // Sequential reference: one shard records every run.
+    let seq_reg = TelemetryRegistry::new(1);
+    let hist = seq_reg.histogram("run_steps");
+    let runs = seq_reg.counter("runs");
+    let seq = sim.explore(&econfig, make, |out| {
+        out.assert_no_panics();
+        let steps: u64 = out.counts.iter().map(|c| c.reads + c.writes).sum();
+        hist.record(0, steps);
+        runs.inc(0);
+        true
+    });
+    assert!(seq.runs > 100, "tree unexpectedly small: {seq:?}");
+    let seq_hist = seq_reg.histogram_snapshot("run_steps").unwrap();
+    assert_eq!(seq_hist.count, seq.runs);
+
+    // Parallel: four workers, each recording into its own shard; the
+    // merged view must be bit-identical to the sequential one.
+    let threads = 4;
+    let par_reg = TelemetryRegistry::new(threads);
+    let par = sim.explore_parallel(&econfig, threads, |worker| {
+        let hist = par_reg.histogram("run_steps");
+        let runs = par_reg.counter("runs");
+        let visit = move |out: &SimOutcome<TaggedVec<u32>, ()>| {
+            out.assert_no_panics();
+            let steps: u64 = out.counts.iter().map(|c| c.reads + c.writes).sum();
+            hist.record(worker, steps);
+            runs.inc(worker);
+            true
+        };
+        (make, visit)
+    });
+    assert_eq!(par.runs, seq.runs);
+    let par_hist = par_reg.histogram_snapshot("run_steps").unwrap();
+    assert_eq!(
+        par_hist, seq_hist,
+        "merged histograms must be bit-identical"
+    );
+    for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+        assert_eq!(par_hist.quantile(q), seq_hist.quantile(q), "q={q}");
+    }
+    assert_eq!(par_hist.max, seq_hist.max);
+    assert_eq!(par_reg.counter_total("runs"), seq_reg.counter_total("runs"));
+
+    // Per-worker accounting: every run is owned by exactly one worker.
+    assert_eq!(par.worker_runs.len(), threads);
+    assert_eq!(par.worker_runs.iter().sum::<u64>(), par.runs);
+    assert_eq!(
+        (0..threads)
+            .map(|w| { par_reg.histogram("run_steps").shard_snapshot(w).count })
+            .sum::<u64>(),
+        par.runs
+    );
+}
+
 #[test]
 fn reduced_counts_and_pruning_match_sequential() {
     let snap = Snapshot::new(2);
