@@ -174,7 +174,7 @@ impl<C: MemCtx<OneShotReg>> MemCtx<OneShotReg> for Offset<'_, C> {
 mod tests {
     use super::*;
     use crate::spec::outputs_valid;
-    use apram_model::sim::strategy::{CrashAt, RoundRobin, SeededRandom};
+    use apram_model::sim::strategy::SeededRandom;
     use apram_model::sim::SimBuilder;
     use apram_model::NativeMemory;
 
@@ -256,20 +256,12 @@ mod tests {
         let mut checked = 0u64;
         let stats = SimBuilder::new(obj.registers())
             .owners(obj.owners())
-            .explore_reduced(
-                &ExploreConfig {
-                    max_runs: 20_000,
-                    max_depth: usize::MAX,
-                    ..ExploreConfig::default()
-                },
-                make,
-                |out| {
-                    let ys: Vec<f64> = out.results.iter().map(|r| r.unwrap()).collect();
-                    assert!(outputs_valid(eps, &inputs, &ys), "{ys:?}");
-                    checked += 1;
-                    true
-                },
-            );
+            .explore_reduced(&ExploreConfig::new().max_runs(20_000), make, |out| {
+                let ys: Vec<f64> = out.results.iter().map(|r| r.unwrap()).collect();
+                assert!(outputs_valid(eps, &inputs, &ys), "{ys:?}");
+                checked += 1;
+                true
+            });
         assert!(checked > 100, "{stats:?}");
     }
 
@@ -279,11 +271,10 @@ mod tests {
         let n = 4;
         let eps = 0.1;
         let obj = OneShotAgreement::new(n, eps, 0.0, 3.0);
-        let mut strategy = CrashAt::new(RoundRobin::new(), vec![(1, 25), (3, 60)]);
         let obj_ref = &obj;
         let out = SimBuilder::new(obj.registers())
             .owners(obj.owners())
-            .strategy_ref(&mut strategy)
+            .crashes([(1, 25), (3, 60)])
             .run_symmetric(n, move |ctx| obj_ref.run(ctx, ctx.proc() as f64));
         out.assert_no_panics();
         let survivors: Vec<f64> = [0usize, 2]

@@ -348,7 +348,7 @@ impl CollectAgreement {
 mod tests {
     use super::*;
     use crate::spec::outputs_valid;
-    use apram_model::sim::strategy::{BurstAdversary, CrashAt, RoundRobin, SeededRandom};
+    use apram_model::sim::strategy::{BurstAdversary, SeededRandom};
     use apram_model::sim::SimBuilder;
     use apram_model::NativeMemory;
 
@@ -493,10 +493,9 @@ mod tests {
         let n = 3;
         let eps = 0.1;
         let proto = AgreementProto::new(n, eps);
-        let mut strategy = CrashAt::new(RoundRobin::new(), vec![(1, 17), (2, 31)]);
         let out = SimBuilder::new(proto.registers())
             .owners(proto.owners())
-            .strategy_ref(&mut strategy)
+            .crashes([(1, 17), (2, 31)])
             .run_symmetric(n, move |ctx| {
                 let mut h = proto.handle();
                 h.input(ctx, ctx.proc() as f64);

@@ -33,8 +33,8 @@ use std::path::{Path, PathBuf};
 use std::process::exit;
 use std::time::Instant;
 
-const KNOWN: [&str; 10] = [
-    "e1", "e2", "e3", "e4", "e4b", "e5", "e6", "e8", "e9", "explore",
+const KNOWN: [&str; 11] = [
+    "e1", "e2", "e3", "e4", "e4b", "e5", "e6", "e8", "e9", "e10", "explore",
 ];
 
 struct Cli {
@@ -136,7 +136,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: experiments [e1 e2 e3 e4 e4b e5 e6 e8 e9 explore ...] \
+        "usage: experiments [e1 e2 e3 e4 e4b e5 e6 e8 e9 e10 explore ...] \
          [--seed N] [--quick] [--threads N] [--json [DIR]] \
          [--telemetry [DIR]] [--forensics DIR]"
     );
@@ -887,6 +887,86 @@ fn main() {
             folded.push_str(&r.check_spans.to_folded());
             write_artifact(dir, "spans.folded", &folded);
         }
+    }
+
+    if cli.want("e10") {
+        let started = Instant::now();
+        println!("## E10 — wait-freedom certification: the certified (n, f) grid\n");
+        let data = e10_rows(&opts);
+        let rows: Vec<Vec<String>> = data
+            .iter()
+            .map(|r| {
+                vec![
+                    r.object.to_string(),
+                    r.n.to_string(),
+                    r.f.to_string(),
+                    r.depth.to_string(),
+                    r.bound.to_string(),
+                    r.cert.runs.to_string(),
+                    r.cert.crash_branches.to_string(),
+                    r.worst_latency().to_string(),
+                    if r.cert.passed() {
+                        "certified".into()
+                    } else {
+                        "FAILED".into()
+                    },
+                    if r.parallel_agrees { "yes" } else { "NO" }.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            markdown_table(
+                &[
+                    "object",
+                    "n",
+                    "f",
+                    "depth",
+                    "step bound",
+                    "runs",
+                    "crash branches",
+                    "worst survivor steps",
+                    "verdict",
+                    "parallel agrees"
+                ],
+                &rows
+            )
+        );
+        let lock = data.last().expect("grid includes the negative control");
+        if let Some(v) = &lock.cert.violation {
+            println!(
+                "negative control ({}): {:?}; minimized witness = {} steps, {} crashes\n",
+                lock.object,
+                v.kind,
+                v.report.schedule.len(),
+                v.report.crashes.len()
+            );
+        }
+        let json = Json::Arr(
+            data.iter()
+                .map(|r| {
+                    Json::obj([
+                        ("object", Json::Str(r.object.into())),
+                        ("n", Json::UInt(r.n as u64)),
+                        ("f", Json::UInt(r.f as u64)),
+                        ("depth", Json::UInt(r.depth as u64)),
+                        ("bound", Json::UInt(r.bound)),
+                        ("expect_pass", Json::Bool(r.expect_pass)),
+                        ("passed", Json::Bool(r.cert.passed())),
+                        ("worst_survivor_steps", Json::UInt(r.worst_latency())),
+                        ("parallel_agrees", Json::Bool(r.parallel_agrees)),
+                        ("certificate", r.cert.to_json()),
+                    ])
+                })
+                .collect(),
+        );
+        emit_report(
+            &cli,
+            "e10",
+            "Wait-freedom certification: certified (n, f) grid with survivor latency vs f",
+            json,
+            started,
+        );
     }
 
     if cli.want("explore") {

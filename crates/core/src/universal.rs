@@ -329,7 +329,7 @@ mod tests {
     use apram_history::check::{check_linearizable, CheckerConfig};
     use apram_history::Recorder;
     use apram_model::sim::explore::ExploreConfig;
-    use apram_model::sim::strategy::{CrashAt, RoundRobin, SeededRandom};
+    use apram_model::sim::strategy::SeededRandom;
     use apram_model::sim::{ProcBody, SimBuilder, SimCtx};
     use apram_model::NativeMemory;
 
@@ -433,11 +433,7 @@ mod tests {
         let stats = SimBuilder::new(uni.registers())
             .owners(uni.owners())
             .explore(
-                &ExploreConfig {
-                    max_runs: 60_000,
-                    max_depth: 10,
-                    ..ExploreConfig::default()
-                },
+                &ExploreConfig::new().max_runs(60_000).max_depth(10),
                 make,
                 |out| {
                     out.assert_no_panics();
@@ -493,11 +489,10 @@ mod tests {
     fn survivor_completes_despite_crashes() {
         let n = 3;
         let uni = Universal::new(n, CounterSpec);
-        let mut strategy = CrashAt::new(RoundRobin::new(), vec![(1, 9), (2, 17)]);
         let uni2 = uni.clone();
         let out = SimBuilder::new(uni.registers())
             .owners(uni.owners())
-            .strategy_ref(&mut strategy)
+            .crashes([(1, 9), (2, 17)])
             .run_symmetric(n, move |ctx| {
                 let mut h = uni2.handle();
                 let mut last = CounterResp::Ack;

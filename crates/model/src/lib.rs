@@ -59,9 +59,10 @@ pub use json::Json;
 pub use metrics::{Metrics, MetricsLevel, RegStats};
 pub use native::{NativeCtx, NativeMemory};
 pub use sim::{
-    explore, explore_parallel, explore_reduced_parallel, resolve_threads, shrink_schedule,
-    Decision, ExploreConfig, ExploreStats, ProcBody, SchedView, ShrinkConfig, ShrinkReport,
-    SimBuilder, SimConfig, SimCtx, SimOutcome, Strategy,
+    certify, certify_parallel, explore, explore_parallel, explore_reduced_parallel,
+    resolve_threads, shrink_execution, shrink_schedule, CertViolation, Certificate, CertifyConfig,
+    Decision, ExploreConfig, ExploreStats, FaultPlan, Faulty, ProcBody, SchedView, ShrinkConfig,
+    ShrinkReport, SimBuilder, SimConfig, SimCtx, SimOutcome, Strategy, ViolationKind,
 };
 pub use span::{SpanNode, SpanRecorder};
 pub use telemetry::{

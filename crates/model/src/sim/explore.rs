@@ -11,7 +11,7 @@
 //! checked exhaustively on small instances: every interleaving of a
 //! 2–3 process execution is generated and its history verified.
 
-use super::shrink::{shrink_schedule, ShrinkConfig, ShrinkReport};
+use super::shrink::{shrink_execution, ShrinkConfig, ShrinkReport};
 use super::strategy::{Decision, SchedView, Strategy};
 use super::{run_sim_with, ProcBody, SimConfig, SimOutcome};
 use crate::ctx::{AccessKind, ProcId};
@@ -27,16 +27,40 @@ use std::time::{Duration, Instant};
 const SPAN_RUN_CAP: u64 = 32;
 
 /// Exploration limits and forensics hooks.
+///
+/// Construct fluently in the `SimBuilder` idiom — every knob is a
+/// chainable named method:
+///
+/// ```
+/// use apram_model::sim::ExploreConfig;
+/// let cfg = ExploreConfig::new()
+///     .max_runs(10_000)
+///     .max_depth(8)
+///     .max_crashes(1)
+///     .threads(4);
+/// ```
 #[derive(Clone, Debug)]
 pub struct ExploreConfig {
     /// Stop after this many runs even if the tree is not exhausted.
     pub max_runs: u64,
-    /// Only branch within the first `max_depth` steps; beyond it, the
-    /// first runnable process is chosen deterministically. Runs remain
-    /// complete executions; coverage is exhaustive over the prefix.
+    /// Only branch within the first `max_depth` decision points; beyond
+    /// it, the first runnable process is chosen deterministically. Runs
+    /// remain complete executions; coverage is exhaustive over the
+    /// prefix.
     pub max_depth: usize,
+    /// Crash-fault budget `f`: at every decision point within
+    /// `max_depth` where fewer than `max_crashes` crashes have fired,
+    /// the tree also branches on crashing each runnable process. 0 (the
+    /// default) explores only crash-free schedules.
+    pub max_crashes: usize,
+    /// Worker-thread count used by the parallel engines when their
+    /// explicit `threads` argument is 0 (in which case 0 here still
+    /// means "all available parallelism"). Ignored by the sequential
+    /// explorers.
+    pub threads: usize,
     /// When set, a run rejected by the `visit` callback (a violation) is
-    /// minimized with [`shrink_schedule`] before exploration returns; the
+    /// minimized with [`shrink_execution`] before exploration returns
+    /// (the crash pattern is minimized alongside the schedule); the
     /// result lands in [`ExploreStats::violation`].
     pub shrink: Option<ShrinkConfig>,
     /// Record a span tree of the exploration (per-run spans for the
@@ -54,6 +78,8 @@ impl Default for ExploreConfig {
         ExploreConfig {
             max_runs: 1_000_000,
             max_depth: usize::MAX,
+            max_crashes: 0,
+            threads: 0,
             shrink: None,
             trace_spans: false,
             heartbeat: None,
@@ -62,6 +88,50 @@ impl Default for ExploreConfig {
 }
 
 impl ExploreConfig {
+    /// Default limits (1M runs, unbounded depth, no crashes, no
+    /// forensics hooks), ready for fluent chaining.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stop after this many runs even if the tree is not exhausted.
+    pub fn max_runs(mut self, max_runs: u64) -> Self {
+        self.max_runs = max_runs;
+        self
+    }
+
+    /// Only branch within the first `max_depth` decision points.
+    pub fn max_depth(mut self, max_depth: usize) -> Self {
+        self.max_depth = max_depth;
+        self
+    }
+
+    /// Crash-fault budget `f`: also branch on crashing each runnable
+    /// process, in every explored execution with fewer than `f` crashes.
+    pub fn max_crashes(mut self, f: usize) -> Self {
+        self.max_crashes = f;
+        self
+    }
+
+    /// Worker-thread count for the parallel engines (0 = all available
+    /// parallelism); used when their explicit argument is 0.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Minimize rejected runs with the given shrinker configuration.
+    pub fn shrink(mut self, cfg: ShrinkConfig) -> Self {
+        self.shrink = Some(cfg);
+        self
+    }
+
+    /// Record a span tree of the exploration.
+    pub fn trace_spans(mut self, on: bool) -> Self {
+        self.trace_spans = on;
+        self
+    }
+
     /// Attach a progress heartbeat: a JSONL line (runs, runs/sec,
     /// sleep-skips, queue depth, violation-found) to `sink` at least
     /// every `every`, plus a final line when the exploration ends.
@@ -71,6 +141,14 @@ impl ExploreConfig {
         sink: impl std::io::Write + Send + 'static,
     ) -> Self {
         self.heartbeat = Some(Heartbeat::new(every, sink));
+        self
+    }
+
+    /// Install (or clear) an already-built heartbeat — the pass-through
+    /// form callers use to thread an optional shared heartbeat into a
+    /// config chain.
+    pub fn heartbeat_with(mut self, heartbeat: impl Into<Option<Heartbeat>>) -> Self {
+        self.heartbeat = heartbeat.into();
         self
     }
 }
@@ -92,6 +170,21 @@ pub(crate) fn emit_beat(
         queue_depth,
         violation_found,
     });
+}
+
+/// The canonical violating execution, exactly as first found — the
+/// schedule and crash pattern of the rejected run, before any
+/// minimization. Unlike [`ExploreStats::violation`] it is recorded even
+/// without a shrink config, so callers (e.g. the
+/// [certifier](mod@super::certify)) can drive their own shrinking with a
+/// stronger predicate.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExecutionWitness {
+    /// The executed schedule of the rejected run.
+    pub schedule: Vec<ProcId>,
+    /// The crashes that fired during it, as replayable `(proc, step)`
+    /// pairs.
+    pub crashes: Vec<(ProcId, u64)>,
 }
 
 /// Exploration summary.
@@ -116,6 +209,13 @@ pub struct ExploreStats {
     /// [`explore_reduced`] proved redundant and never entered. Always 0
     /// for plain [`explore`].
     pub sleep_skips: u64,
+    /// Crash decisions taken across all runs (including replayed prefix
+    /// crashes); 0 unless [`ExploreConfig::max_crashes`] is set.
+    pub crash_branches: u64,
+    /// The canonical rejected execution, unshrunk; recorded whenever a
+    /// `visit` callback rejected a run (with or without a shrink
+    /// config).
+    pub witness: Option<ExecutionWitness>,
     /// The minimized counterexample, when the `visit` callback rejected a
     /// run and [`ExploreConfig::shrink`] was set.
     pub violation: Option<ShrinkReport>,
@@ -184,6 +284,7 @@ impl ExploreStats {
                 Json::UInt(self.max_depth_reached as u64),
             ),
             ("sleep_skips", Json::UInt(self.sleep_skips)),
+            ("crash_branches", Json::UInt(self.crash_branches)),
             ("elapsed_secs", Json::Float(self.elapsed.as_secs_f64())),
             ("runs_per_sec", Json::Float(self.runs_per_sec())),
             (
@@ -205,21 +306,48 @@ impl ExploreStats {
     }
 }
 
+/// A decision point in the plain (unreduced) DFS. The choice list is
+/// logically `[Step(p) for p in choices] ++ [Crash(p) for p in choices]`
+/// — the crash suffix present only when the crash budget had room at
+/// this node — so picks below `choices.len()` are steps and picks at or
+/// above it are crashes. Steps come first, which makes `max_crashes: 0`
+/// exploration bit-identical to the historical crash-free engine.
 struct Branch {
     choices: Vec<ProcId>,
+    /// Number of crash choices appended after the step choices: either
+    /// `choices.len()` or 0 (crash budget already spent on this path).
+    crashes: usize,
     pick: usize,
+}
+
+impl Branch {
+    fn total(&self) -> usize {
+        self.choices.len() + self.crashes
+    }
+
+    fn decision(&self) -> Decision {
+        if self.pick < self.choices.len() {
+            Decision::Step(self.choices[self.pick])
+        } else {
+            Decision::Crash(self.choices[self.pick - self.choices.len()])
+        }
+    }
 }
 
 struct TreeStrategy<'a> {
     stack: &'a mut Vec<Branch>,
     pos: usize,
     max_depth: usize,
+    max_crashes: usize,
+    /// Crash decisions taken so far in *this* run (replayed or fresh);
+    /// the budget is a pure function of the pick path.
+    crashes_used: usize,
     stats: &'a mut ExploreStats,
 }
 
 impl Strategy for TreeStrategy<'_> {
     fn decide(&mut self, view: &SchedView) -> Decision {
-        let choice = if self.pos < self.stack.len() {
+        let decision = if self.pos < self.stack.len() {
             let b = &self.stack[self.pos];
             assert_eq!(
                 b.choices.as_slice(),
@@ -229,21 +357,31 @@ impl Strategy for TreeStrategy<'_> {
                 self.pos
             );
             self.stats.replayed_steps += 1;
-            b.choices[b.pick]
+            b.decision()
         } else if self.pos >= self.max_depth {
             self.stats.truncated = true;
-            view.runnable[0]
+            Decision::Step(view.runnable[0])
         } else {
+            let crashes = if self.crashes_used < self.max_crashes {
+                view.runnable.len()
+            } else {
+                0
+            };
             self.stack.push(Branch {
                 choices: view.runnable.to_vec(),
+                crashes,
                 pick: 0,
             });
-            view.runnable[0]
+            Decision::Step(view.runnable[0])
         };
+        if matches!(decision, Decision::Crash(_)) {
+            self.crashes_used += 1;
+            self.stats.crash_branches += 1;
+        }
         self.stats.executed_steps += 1;
         self.pos += 1;
         self.stats.max_depth_reached = self.stats.max_depth_reached.max(self.pos);
-        Decision::Step(choice)
+        decision
     }
 }
 
@@ -263,13 +401,24 @@ fn capture_violation<T, R, FMake, Visit>(
     FMake: FnMut() -> Vec<ProcBody<'static, T, R>>,
     Visit: FnMut(&SimOutcome<T, R>) -> bool,
 {
+    stats.witness = Some(ExecutionWitness {
+        schedule: outcome.trace.schedule(),
+        crashes: outcome.executed_crashes(),
+    });
     let Some(scfg) = &econfig.shrink else {
         return;
     };
     if let Some(s) = spans.as_mut() {
         s.enter("shrink");
     }
-    let report = shrink_schedule(cfg, scfg, &outcome.trace.schedule(), factory, |o| !visit(o));
+    let report = shrink_execution(
+        cfg,
+        scfg,
+        &outcome.trace.schedule(),
+        &outcome.executed_crashes(),
+        factory,
+        |o| !visit(o),
+    );
     if let Some(s) = spans.as_mut() {
         s.bump("attempts", report.stats.attempts);
         s.bump("useful", report.stats.useful);
@@ -327,6 +476,8 @@ where
             stack: &mut stack,
             pos: 0,
             max_depth: econfig.max_depth,
+            max_crashes: econfig.max_crashes,
+            crashes_used: 0,
             stats: &mut stats,
         };
         let outcome = run_sim_with(cfg, MetricsLevel::Off, &mut strategy, factory());
@@ -365,7 +516,7 @@ where
         // Advance to the next schedule: drop exhausted trailing branches,
         // bump the deepest one with choices left.
         while let Some(last) = stack.last() {
-            if last.pick + 1 < last.choices.len() {
+            if last.pick + 1 < last.total() {
                 break;
             }
             stack.pop();
@@ -406,18 +557,28 @@ pub(crate) struct SleepNode {
     /// The pending access of each runnable process, parallel to
     /// `choices`. Empty when built without reduction.
     pub(crate) accesses: Vec<(AccessKind, usize)>,
+    /// Number of crash choices appended after the step choices: either
+    /// `choices.len()` (crash budget had room at this node) or 0. Crash
+    /// choice `choices.len() + i` crashes process `choices[i]`.
+    pub(crate) crash_choices: usize,
     /// Bitmask over process ids: processes asleep at this node.
     /// Exploring them here is redundant (an independence-commuted
     /// schedule already covers it).
     pub(crate) sleep: u64,
-    /// Bitmask over indices into `choices`: branches already fully
-    /// explored from this node.
+    /// Bitmask over process ids: processes whose *crash* branch is
+    /// asleep at this node. A crash is an action of the victim with no
+    /// memory effect, so it commutes with every action of every other
+    /// process; an already-explored crash branch therefore stays asleep
+    /// until its victim itself acts.
+    pub(crate) crash_sleep: u64,
+    /// Bitmask over indices into the widened choice list (steps then
+    /// crashes): branches already fully explored from this node.
     pub(crate) explored: u64,
-    /// Index into `choices` currently being explored.
+    /// Index into the widened choice list currently being explored.
     pub(crate) pick: usize,
-    /// `true` when every runnable process was asleep here: the whole
-    /// subtree is redundant; one arbitrary completion run is performed
-    /// and the node is popped without exploring siblings.
+    /// `true` when every choice was asleep here: the whole subtree is
+    /// redundant; one arbitrary completion run is performed and the node
+    /// is popped without exploring siblings.
     pub(crate) barren: bool,
 }
 
@@ -425,32 +586,71 @@ impl SleepNode {
     /// Build the node for a fresh decision point reached by taking
     /// `parent.pick` at the previous one (`None` at the root). With
     /// `reduce == false` the sleep set stays empty and the node spans the
-    /// full schedule tree (plain exploration).
+    /// full schedule tree (plain exploration). With `allow_crashes` the
+    /// choice list is widened with one crash branch per runnable
+    /// process.
     ///
     /// Its sleep set: a process q stays asleep while its pending access
-    /// is independent of every executed access since q was put to sleep;
-    /// executing a dependent access wakes it. Siblings explored before
+    /// is independent of every executed action since q was put to sleep;
+    /// executing a dependent action wakes it. Siblings explored before
     /// the parent's current pick fall asleep for this subtree when
-    /// independent of the chosen access.
-    pub(crate) fn fresh(view: &SchedView, parent: Option<&SleepNode>, reduce: bool) -> SleepNode {
+    /// independent of the chosen action. Crashing a process is dependent
+    /// exactly on that process's own actions — so a crash victim leaves
+    /// the enabled set without waking any sleeping sibling, and explored
+    /// crash branches sleep until their victim acts.
+    pub(crate) fn fresh(
+        view: &SchedView,
+        parent: Option<&SleepNode>,
+        reduce: bool,
+        allow_crashes: bool,
+    ) -> SleepNode {
         let max_id = *view.runnable.last().expect("runnable is non-empty");
         assert!(
             max_id < 64,
             "sleep-set bitmasks support at most 64 processes"
         );
-        let sleep = match parent.filter(|_| reduce) {
-            None => 0,
+        let crash_choices = if allow_crashes {
+            view.runnable.len()
+        } else {
+            0
+        };
+        assert!(
+            view.runnable.len() + crash_choices <= 64,
+            "explored bitmask supports at most 64 widened choices"
+        );
+        let (sleep, crash_sleep) = match parent.filter(|_| reduce) {
+            None => (0, 0),
             Some(parent) => {
-                let chosen = parent.accesses[parent.pick];
+                let n = parent.choices.len();
+                // The chosen action at the parent: a step carrying its
+                // access, or the crash of a victim.
+                let chosen_access = (parent.pick < n).then(|| parent.accesses[parent.pick]);
+                let chosen_proc = parent.choices[parent.pick % n];
                 let mut sleep = 0u64;
+                let mut crash_sleep = 0u64;
                 for (i, &q) in parent.choices.iter().enumerate() {
-                    if (parent.sleep >> q & 1 == 1 || parent.explored >> i & 1 == 1)
-                        && independent(parent.accesses[i], chosen)
-                    {
+                    let was_asleep = parent.sleep >> q & 1 == 1 || parent.explored >> i & 1 == 1;
+                    let indep = match chosen_access {
+                        Some(acc) => independent(parent.accesses[i], acc),
+                        // crash(chosen_proc) commutes with any step of
+                        // another process.
+                        None => q != chosen_proc,
+                    };
+                    if was_asleep && indep {
                         sleep |= 1 << q;
                     }
                 }
-                sleep
+                for i in 0..parent.crash_choices {
+                    let v = parent.choices[i];
+                    let was_asleep =
+                        parent.crash_sleep >> v & 1 == 1 || parent.explored >> (n + i) & 1 == 1;
+                    // crash(v) commutes with any action whose process
+                    // is not v (steps and crashes alike).
+                    if was_asleep && v != chosen_proc {
+                        crash_sleep |= 1 << v;
+                    }
+                }
+                (sleep, crash_sleep)
             }
         };
         let accesses = if reduce {
@@ -464,34 +664,54 @@ impl SleepNode {
         SleepNode {
             choices: view.runnable.to_vec(),
             accesses,
+            crash_choices,
             sleep,
+            crash_sleep,
             explored: 0,
             pick: 0,
             barren: false,
         }
     }
 
-    /// Is choice `i` asleep at this node?
+    /// Widened choice count: steps plus crash branches.
+    pub(crate) fn total(&self) -> usize {
+        self.choices.len() + self.crash_choices
+    }
+
+    /// The scheduler decision encoded by the current pick.
+    pub(crate) fn decision(&self) -> Decision {
+        if self.pick < self.choices.len() {
+            Decision::Step(self.choices[self.pick])
+        } else {
+            Decision::Crash(self.choices[self.pick - self.choices.len()])
+        }
+    }
+
+    /// Is (widened) choice `i` asleep at this node?
     pub(crate) fn asleep(&self, i: usize) -> bool {
-        self.sleep >> self.choices[i] & 1 == 1
+        if i < self.choices.len() {
+            self.sleep >> self.choices[i] & 1 == 1
+        } else {
+            self.crash_sleep >> self.choices[i - self.choices.len()] & 1 == 1
+        }
     }
 
     /// The first explorable choice (neither explored nor asleep) at or
     /// after `from`. One O(1) probe per candidate — the masks replace
     /// the former `Vec::contains` scans on this hot path.
     pub(crate) fn next_explorable(&self, from: usize) -> Option<usize> {
-        (from..self.choices.len()).find(|&i| self.explored >> i & 1 == 0 && !self.asleep(i))
+        (from..self.total()).find(|&i| self.explored >> i & 1 == 0 && !self.asleep(i))
     }
 
     /// Choices never explored from this node — once every explorable
     /// branch is done, exactly the ones its sleep set pruned.
     pub(crate) fn unexplored(&self) -> u64 {
-        self.choices.len() as u64 - u64::from(self.explored.count_ones())
+        self.total() as u64 - u64::from(self.explored.count_ones())
     }
 
     /// Number of asleep choices — the branches reduction prunes here.
     pub(crate) fn asleep_count(&self) -> u64 {
-        (0..self.choices.len()).filter(|&i| self.asleep(i)).count() as u64
+        (0..self.total()).filter(|&i| self.asleep(i)).count() as u64
     }
 }
 
@@ -499,6 +719,9 @@ struct SleepStrategy<'a> {
     stack: &'a mut Vec<SleepNode>,
     pos: usize,
     max_depth: usize,
+    max_crashes: usize,
+    /// Crash decisions taken so far in this run (replayed or fresh).
+    crashes_used: usize,
     stats: &'a mut ExploreStats,
     /// Set once a barren node is entered this run: no further nodes are
     /// pushed (the tail is completed deterministically and never
@@ -507,7 +730,11 @@ struct SleepStrategy<'a> {
 }
 
 impl SleepStrategy<'_> {
-    fn step_accounting(&mut self, replayed: bool) {
+    fn step_accounting(&mut self, replayed: bool, decision: Decision) {
+        if matches!(decision, Decision::Crash(_)) {
+            self.crashes_used += 1;
+            self.stats.crash_branches += 1;
+        }
         self.stats.executed_steps += 1;
         if replayed {
             self.stats.replayed_steps += 1;
@@ -520,29 +747,30 @@ impl SleepStrategy<'_> {
 impl Strategy for SleepStrategy<'_> {
     fn decide(&mut self, view: &SchedView) -> Decision {
         let replayed = self.pos < self.stack.len();
-        let choice = if replayed {
+        let decision = if replayed {
             let node = &self.stack[self.pos];
             debug_assert_eq!(
                 node.choices.as_slice(),
                 view.runnable,
                 "explore_reduced: runnable set diverged on replay"
             );
-            node.choices[node.pick]
+            node.decision()
         } else if self.redundant_tail || self.pos >= self.max_depth {
             if !self.redundant_tail {
                 self.stats.truncated = true;
             }
-            view.runnable[0]
+            Decision::Step(view.runnable[0])
         } else {
             // Push a fresh node; its sleep set derives from the parent
             // (see [`SleepNode::fresh`]).
             let parent = self.pos.checked_sub(1).map(|i| &self.stack[i]);
-            let mut node = SleepNode::fresh(view, parent, true);
-            // First explorable choice (skip asleep processes).
+            let allow_crashes = self.crashes_used < self.max_crashes;
+            let mut node = SleepNode::fresh(view, parent, true, allow_crashes);
+            // First explorable choice (skip asleep branches).
             match node.next_explorable(0) {
                 Some(i) => node.pick = i,
                 None => {
-                    // Everyone runnable is asleep: this whole subtree is
+                    // Every choice is asleep: this whole subtree is
                     // covered elsewhere. Record a barren node (keeping
                     // stack positions aligned with decision positions),
                     // complete this run deterministically, and let the
@@ -551,13 +779,13 @@ impl Strategy for SleepStrategy<'_> {
                     self.redundant_tail = true;
                 }
             }
-            let c = node.choices[node.pick];
+            let d = node.decision();
             self.stack.push(node);
-            self.step_accounting(false);
-            return Decision::Step(c);
+            self.step_accounting(false, d);
+            return d;
         };
-        self.step_accounting(replayed);
-        Decision::Step(choice)
+        self.step_accounting(replayed, decision);
+        decision
     }
 }
 
@@ -604,6 +832,8 @@ where
             stack: &mut stack,
             pos: 0,
             max_depth: econfig.max_depth,
+            max_crashes: econfig.max_crashes,
+            crashes_used: 0,
             stats: &mut stats,
             redundant_tail: false,
         };
@@ -659,7 +889,7 @@ where
                     if node.barren {
                         // The entire node was redundant: every choice
                         // was pruned by its sleep set.
-                        stats.sleep_skips += node.choices.len() as u64;
+                        stats.sleep_skips += node.total() as u64;
                         stack.pop();
                         continue;
                     }
@@ -765,10 +995,7 @@ mod tests {
     #[test]
     fn run_budget_respected() {
         let cfg = SimConfig::base(vec![0u64; 2]);
-        let econfig = ExploreConfig {
-            max_runs: 3,
-            ..Default::default()
-        };
+        let econfig = ExploreConfig::new().max_runs(3);
         let stats = explore(&cfg, &econfig, two_proc_bodies, |_| true);
         assert_eq!(stats.runs, 3);
         assert!(!stats.exhausted);
@@ -877,10 +1104,7 @@ mod tests {
         // Reject any run where P0 observed P1's write; exploration stops
         // there and hands back a minimized failing schedule.
         let cfg = SimConfig::base(vec![0u64; 2]);
-        let econfig = ExploreConfig {
-            shrink: Some(crate::sim::shrink::ShrinkConfig::default()),
-            ..Default::default()
-        };
+        let econfig = ExploreConfig::new().shrink(crate::sim::shrink::ShrinkConfig::default());
         let stats = explore(&cfg, &econfig, two_proc_bodies, |out| {
             out.results[0] != Some(2) // "violation": P0 read 2
         });
@@ -912,10 +1136,7 @@ mod tests {
     #[test]
     fn spans_capture_run_structure() {
         let cfg = SimConfig::base(vec![0u64; 2]);
-        let econfig = ExploreConfig {
-            trace_spans: true,
-            ..Default::default()
-        };
+        let econfig = ExploreConfig::new().trace_spans(true);
         let stats = explore(&cfg, &econfig, two_proc_bodies, |_| true);
         let spans = stats.spans.as_ref().expect("spans recorded");
         assert_eq!(spans.name, "explore");
@@ -930,10 +1151,7 @@ mod tests {
     #[test]
     fn reduced_spans_count_sleep_skips() {
         let cfg = SimConfig::base(vec![0u64; 2]);
-        let econfig = ExploreConfig {
-            trace_spans: true,
-            ..Default::default()
-        };
+        let econfig = ExploreConfig::new().trace_spans(true);
         let stats = explore_reduced(&cfg, &econfig, two_proc_bodies, |_| true);
         let spans = stats.spans.as_ref().expect("spans recorded");
         assert_eq!(spans.name, "explore_reduced");
@@ -946,11 +1164,9 @@ mod tests {
     #[test]
     fn shrink_span_nested_under_exploration() {
         let cfg = SimConfig::base(vec![0u64; 2]);
-        let econfig = ExploreConfig {
-            shrink: Some(crate::sim::shrink::ShrinkConfig::default()),
-            trace_spans: true,
-            ..Default::default()
-        };
+        let econfig = ExploreConfig::new()
+            .shrink(crate::sim::shrink::ShrinkConfig::default())
+            .trace_spans(true);
         let stats = explore(&cfg, &econfig, two_proc_bodies, |out| {
             out.results[0] != Some(2)
         });
@@ -1041,10 +1257,7 @@ mod tests {
         use crate::telemetry::{buffer_sink, Heartbeat};
         let cfg = SimConfig::base(vec![0u64; 2]);
         let (sink, buf) = buffer_sink();
-        let econfig = ExploreConfig {
-            heartbeat: Some(Heartbeat::shared(Duration::ZERO, sink)),
-            ..Default::default()
-        };
+        let econfig = ExploreConfig::new().heartbeat_with(Heartbeat::shared(Duration::ZERO, sink));
         let stats = explore(&cfg, &econfig, two_proc_bodies, |_| true);
         let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
         let lines: Vec<&str> = text.lines().collect();
@@ -1064,10 +1277,8 @@ mod tests {
         use crate::telemetry::buffer_sink;
         let cfg = SimConfig::base(vec![0u64; 2]);
         let (sink, buf) = buffer_sink();
-        let econfig = ExploreConfig {
-            heartbeat: Some(crate::telemetry::Heartbeat::shared(Duration::ZERO, sink)),
-            ..Default::default()
-        };
+        let econfig = ExploreConfig::new()
+            .heartbeat_with(crate::telemetry::Heartbeat::shared(Duration::ZERO, sink));
         let stats = explore_reduced(&cfg, &econfig, two_proc_bodies, |out| {
             out.results[0] != Some(2)
         });
@@ -1096,14 +1307,159 @@ mod tests {
     #[test]
     fn depth_truncation_flagged() {
         let cfg = SimConfig::base(vec![0u64; 2]);
-        let econfig = ExploreConfig {
-            max_runs: 1_000,
-            max_depth: 1,
-            ..Default::default()
-        };
+        let econfig = ExploreConfig::new().max_runs(1_000).max_depth(1);
         let stats = explore(&cfg, &econfig, two_proc_bodies, |_| true);
         assert!(stats.truncated);
         assert!(stats.exhausted);
         assert_eq!(stats.runs, 2); // only the first step branches
+    }
+
+    #[test]
+    fn fluent_config_sets_every_knob() {
+        let cfg = ExploreConfig::new()
+            .max_runs(7)
+            .max_depth(3)
+            .max_crashes(2)
+            .threads(4)
+            .shrink(crate::sim::shrink::ShrinkConfig::default())
+            .trace_spans(true);
+        assert_eq!(cfg.max_runs, 7);
+        assert_eq!(cfg.max_depth, 3);
+        assert_eq!(cfg.max_crashes, 2);
+        assert_eq!(cfg.threads, 4);
+        assert!(cfg.shrink.is_some());
+        assert!(cfg.trace_spans);
+        assert!(cfg.heartbeat.is_none());
+        let cleared = cfg.heartbeat_with(None);
+        assert!(cleared.heartbeat.is_none());
+    }
+
+    /// Reduction-free oracle: count the leaves of the crash-widened
+    /// schedule tree directly on a step-count model of the program
+    /// (every process takes a fixed number of steps regardless of
+    /// values, which holds for `two_proc_bodies`).
+    fn crash_tree_oracle(remaining: &mut [u32], crashed: &mut [bool], budget: usize) -> u64 {
+        let runnable: Vec<usize> = (0..remaining.len())
+            .filter(|&p| !crashed[p] && remaining[p] > 0)
+            .collect();
+        if runnable.is_empty() {
+            return 1;
+        }
+        let mut total = 0;
+        for &p in &runnable {
+            remaining[p] -= 1;
+            total += crash_tree_oracle(remaining, crashed, budget);
+            remaining[p] += 1;
+        }
+        if budget > 0 {
+            for &p in &runnable {
+                crashed[p] = true;
+                total += crash_tree_oracle(remaining, crashed, budget - 1);
+                crashed[p] = false;
+            }
+        }
+        total
+    }
+
+    /// The regression test for the crash/sleep-set audit: exhaustive
+    /// crash-branching counts must match a reduction-free oracle, and a
+    /// crashed process must take no further steps in any run.
+    #[test]
+    fn crash_branching_matches_reduction_free_oracle() {
+        let cfg = SimConfig::base(vec![0u64; 2]);
+        for f in 0..=2usize {
+            let expected = crash_tree_oracle(&mut [2, 2], &mut [false, false], f);
+            let econfig = ExploreConfig::new().max_crashes(f);
+            let mut crash_counts = 0u64;
+            let stats = explore(&cfg, &econfig, two_proc_bodies, |out| {
+                out.assert_no_panics();
+                let crashes = out.crashed.iter().filter(|&&c| c).count();
+                assert!(crashes <= f, "crash budget exceeded: {crashes} > {f}");
+                crash_counts += crashes as u64;
+                // A crashed process's trace events all precede its
+                // crash point.
+                for (p, &at) in out.crashed_at.iter().enumerate() {
+                    if let Some(at) = at {
+                        assert!(out
+                            .trace
+                            .events()
+                            .iter()
+                            .all(|e| e.proc != p || e.step < at));
+                    }
+                }
+                true
+            });
+            assert!(stats.exhausted, "f={f}");
+            assert_eq!(stats.runs, expected, "f={f}");
+            assert_eq!(stats.crash_branches, crash_counts, "f={f}");
+            if f == 0 {
+                assert_eq!(stats.runs, 6);
+                assert_eq!(stats.crash_branches, 0);
+            }
+        }
+    }
+
+    /// Sleep-set reduction with crash branching stays sound: the
+    /// observable outcome set (results, final memory, crash pattern)
+    /// matches plain exploration, in no more runs.
+    #[test]
+    fn reduced_with_crashes_covers_all_outcomes() {
+        let cfg = SimConfig::base(vec![0u64; 2]);
+        for f in 1..=2usize {
+            let econfig = ExploreConfig::new().max_crashes(f);
+            let mut full_set = HashSet::new();
+            let full = explore(&cfg, &econfig, two_proc_bodies, |out| {
+                full_set.insert((out.results.clone(), out.memory.clone(), out.crashed.clone()));
+                true
+            });
+            let mut red_set = HashSet::new();
+            let reduced = explore_reduced(&cfg, &econfig, two_proc_bodies, |out| {
+                red_set.insert((out.results.clone(), out.memory.clone(), out.crashed.clone()));
+                true
+            });
+            assert!(full.exhausted && reduced.exhausted, "f={f}");
+            assert_eq!(full_set, red_set, "f={f}: outcome sets must match");
+            assert!(
+                reduced.runs <= full.runs,
+                "f={f}: reduction must not add runs ({} vs {})",
+                reduced.runs,
+                full.runs
+            );
+        }
+    }
+
+    /// A violating run under crash branching shrinks to a minimized
+    /// schedule *and* crash pattern, and the shrunk execution
+    /// strict-replays with the crash plan applied.
+    #[test]
+    fn crash_violation_shrinks_schedule_and_crash_pattern() {
+        let cfg = SimConfig::base(vec![0u64; 2]);
+        let econfig = ExploreConfig::new()
+            .max_crashes(1)
+            .shrink(crate::sim::shrink::ShrinkConfig::default());
+        // "Violation": P0 survives but never saw P1's write AND P1
+        // crashed — only reachable through a crash branch.
+        let stats = explore(&cfg, &econfig, two_proc_bodies, |out| {
+            !(out.crashed[1] && out.results[0] == Some(0))
+        });
+        assert!(!stats.exhausted);
+        let report = stats.violation.as_ref().expect("violation captured");
+        assert_eq!(
+            report.crashes.len(),
+            1,
+            "the minimized crash pattern keeps the one necessary crash"
+        );
+        assert_eq!(report.crashes[0].0, 1);
+        // Minimal surviving schedule: P0's write and read only.
+        assert_eq!(report.schedule, vec![0, 0]);
+        let out = crate::sim::SimBuilder::new(vec![0u64; 2])
+            .strategy(crate::sim::strategy::Replay::strict(
+                report.schedule.clone(),
+            ))
+            .fault_plan(crate::sim::fault::FaultPlan::from(report.crashes.clone()))
+            .max_steps(report.schedule.len() as u64)
+            .run(two_proc_bodies());
+        assert!(out.crashed[1]);
+        assert_eq!(out.results[0], Some(0));
     }
 }

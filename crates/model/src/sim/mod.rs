@@ -13,14 +13,20 @@
 //! taking steps) is a scheduler decision; the victim's thread is unwound
 //! at teardown via [`crate::crash::CrashSignal`].
 
+pub mod certify;
 pub mod explore;
+pub mod fault;
 pub mod parallel;
 pub mod shrink;
 pub mod strategy;
 
-pub use explore::{explore, explore_reduced, ExploreConfig, ExploreStats};
+pub use certify::{
+    certify, certify_parallel, CertViolation, Certificate, CertifyConfig, ViolationKind,
+};
+pub use explore::{explore, explore_reduced, ExecutionWitness, ExploreConfig, ExploreStats};
+pub use fault::{FaultPlan, Faulty};
 pub use parallel::{explore_parallel, explore_reduced_parallel, resolve_threads};
-pub use shrink::{shrink_schedule, ShrinkConfig, ShrinkReport, ShrinkStats};
+pub use shrink::{shrink_execution, shrink_schedule, ShrinkConfig, ShrinkReport, ShrinkStats};
 pub use strategy::{Decision, SchedView, Strategy};
 
 use crate::crash::{self, CrashSignal};
@@ -171,6 +177,12 @@ pub struct SimOutcome<T, R> {
     pub panics: Vec<Option<String>>,
     /// Which processes were crashed by the strategy (or at halt).
     pub crashed: Vec<bool>,
+    /// For each process crashed by an explicit `Decision::Crash`, the
+    /// global step number at which the crash fired (`None` for survivors
+    /// and for processes merely torn down at halt). Crash decisions do
+    /// not consume a step number, so replaying the schedule with a
+    /// [`fault::FaultPlan`] carrying these pairs reproduces the run.
+    pub crashed_at: Vec<Option<u64>>,
     /// The full access trace.
     pub trace: Trace,
     /// Per-process read/write counts.
@@ -194,6 +206,19 @@ impl<T, R> SimOutcome<T, R> {
                 panic!("process {p} panicked: {m}");
             }
         }
+    }
+
+    /// The `(proc, step)` pairs of every explicit crash decision taken
+    /// in this run, in process order. Replaying the schedule with a
+    /// [`fault::FaultPlan`] carrying these pairs reproduces the
+    /// execution (crashes at equal steps commute: a crashed process
+    /// takes no further steps either way).
+    pub fn executed_crashes(&self) -> Vec<(ProcId, u64)> {
+        self.crashed_at
+            .iter()
+            .enumerate()
+            .filter_map(|(p, s)| s.map(|s| (p, s)))
+            .collect()
     }
 
     /// The results of an execution in which every process finished.
@@ -297,28 +322,6 @@ impl StratHolder<'_> {
     }
 }
 
-/// Crash-plan wrapper installed by [`SimBuilder::crash_at`]: same
-/// semantics as [`strategy::CrashAt`], but over a borrowed inner strategy
-/// so the builder can reuse its strategy across runs.
-struct CrashPlan<'a> {
-    inner: &'a mut dyn Strategy,
-    crashes: Vec<(ProcId, u64)>,
-}
-
-impl Strategy for CrashPlan<'_> {
-    fn decide(&mut self, view: &SchedView) -> Decision {
-        if let Some(i) = self
-            .crashes
-            .iter()
-            .position(|&(p, s)| view.step >= s && !view.crashed[p] && !view.finished[p])
-        {
-            let (p, _) = self.crashes.remove(i);
-            return Decision::Crash(p);
-        }
-        self.inner.decide(view)
-    }
-}
-
 /// Fluent construction of simulated executions — the front door of the
 /// simulator.
 ///
@@ -351,7 +354,7 @@ impl Strategy for CrashPlan<'_> {
 pub struct SimBuilder<'s, T> {
     cfg: SimConfig<T>,
     level: MetricsLevel,
-    crashes: Vec<(ProcId, u64)>,
+    faults: fault::FaultPlan,
     strat: StratHolder<'s>,
 }
 
@@ -363,7 +366,7 @@ impl<'s, T: Clone + Send> SimBuilder<'s, T> {
         SimBuilder {
             cfg: SimConfig::base(registers),
             level: MetricsLevel::Off,
-            crashes: Vec::new(),
+            faults: fault::FaultPlan::new(),
             strat: StratHolder::Owned(Box::new(strategy::RoundRobin::new())),
         }
     }
@@ -416,8 +419,31 @@ impl<'s, T: Clone + Send> SimBuilder<'s, T> {
     /// Crash `proc` at the first decision point at or after global step
     /// `step`, on top of whatever the strategy decides. May be called
     /// once per victim; the plan applies to every subsequent run.
-    pub fn crash_at(mut self, proc: ProcId, step: u64) -> Self {
-        self.crashes.push((proc, step));
+    pub fn crash_at(self, proc: ProcId, step: u64) -> Self {
+        self.crashes([(proc, step)])
+    }
+
+    /// Extend the fault plan with `(proc, step)` pairs: each listed
+    /// process is crashed at the first decision point at or after its
+    /// given global step, on top of whatever the strategy decides.
+    ///
+    /// ```
+    /// # use apram_model::sim::SimBuilder;
+    /// # use apram_model::MemCtx;
+    /// let out = SimBuilder::new(vec![0u64; 3])
+    ///     .crashes([(1, 5), (2, 9)])
+    ///     .run_symmetric(3, |ctx| { ctx.write(ctx.proc(), 1); ctx.read(0) });
+    /// ```
+    pub fn crashes(mut self, crashes: impl IntoIterator<Item = (ProcId, u64)>) -> Self {
+        for (p, k) in crashes {
+            self.faults = std::mem::take(&mut self.faults).crash(p, k);
+        }
+        self
+    }
+
+    /// Replace the fault plan wholesale.
+    pub fn fault_plan(mut self, plan: fault::FaultPlan) -> Self {
+        self.faults = plan;
         self
     }
 
@@ -434,13 +460,10 @@ impl<'s, T: Clone + Send> SimBuilder<'s, T> {
         F: FnOnce(&mut SimCtx<T>) -> R + Send,
     {
         let strat = self.strat.get();
-        if self.crashes.is_empty() {
+        if self.faults.is_empty() {
             run_sim_with(&self.cfg, self.level, strat, bodies)
         } else {
-            let mut planned = CrashPlan {
-                inner: strat,
-                crashes: self.crashes.clone(),
-            };
+            let mut planned = fault::FaultyRef::new(&self.faults, strat);
             run_sim_with(&self.cfg, self.level, &mut planned, bodies)
         }
     }
@@ -525,6 +548,42 @@ impl<'s, T: Clone + Send> SimBuilder<'s, T> {
     {
         parallel::explore_reduced_parallel(&self.cfg, econfig, threads, make_worker)
     }
+
+    /// Certify wait-freedom of this configuration: exhaustive
+    /// fault-aware exploration with per-process step-bound judging (see
+    /// [`certify::certify`]). The builder's strategy and fault plan are
+    /// *not* used: certification owns the schedule and crash pattern.
+    pub fn certify<R, FMake, Check>(
+        &self,
+        ccfg: &certify::CertifyConfig,
+        factory: FMake,
+        check: Check,
+    ) -> certify::Certificate
+    where
+        R: Send,
+        FMake: FnMut() -> Vec<ProcBody<'static, T, R>>,
+        Check: FnMut(&SimOutcome<T, R>) -> bool,
+    {
+        certify::certify(&self.cfg, ccfg, factory, check)
+    }
+
+    /// Parallel certification across `threads` workers; bit-identical
+    /// to [`certify`](Self::certify) (see [`certify::certify_parallel`]
+    /// for the `make_worker` contract).
+    pub fn certify_parallel<R, FMake, Check>(
+        &self,
+        ccfg: &certify::CertifyConfig,
+        threads: usize,
+        make_worker: impl FnMut(usize) -> (FMake, Check),
+    ) -> certify::Certificate
+    where
+        T: Sync + 'static,
+        R: Send + 'static,
+        FMake: FnMut() -> Vec<ProcBody<'static, T, R>> + Send,
+        Check: FnMut(&SimOutcome<T, R>) -> bool + Send,
+    {
+        certify::certify_parallel(&self.cfg, ccfg, threads, make_worker)
+    }
 }
 
 fn outcome_finish<T, R>(
@@ -548,6 +607,7 @@ fn scheduler_loop<T: Clone, R>(
     let mut pending: Vec<Option<Access<T>>> = (0..n).map(|_| None).collect();
     let mut finished = vec![false; n];
     let mut crashed = vec![false; n];
+    let mut crashed_at: Vec<Option<u64>> = vec![None; n];
     let mut trace = Trace::new();
     let mut counts = vec![StepCounts::default(); n];
     let mut metrics = Metrics::new(level, n, cfg.registers.len());
@@ -648,6 +708,7 @@ fn scheduler_loop<T: Clone, R>(
             Decision::Crash(p) => {
                 assert!(!crashed[p] && !finished[p], "cannot crash {p} twice");
                 crashed[p] = true;
+                crashed_at[p] = Some(steps);
             }
             Decision::Halt => {
                 halted = true;
@@ -680,6 +741,7 @@ fn scheduler_loop<T: Clone, R>(
         results: Vec::new(), // filled by run_sim_with
         panics: Vec::new(),  // filled by run_sim_with
         crashed,
+        crashed_at,
         trace,
         counts,
         metrics,
@@ -796,6 +858,19 @@ mod tests {
         assert_eq!(out.results[0], Some(0));
         assert_eq!(out.results[1], None);
         assert!(out.crashed[1]);
+    }
+
+    #[test]
+    fn builder_fault_plan_records_crash_steps() {
+        let out = SimBuilder::new(vec![0u64; 2])
+            .crashes([(1, 1)])
+            .run_symmetric(2, body);
+        out.assert_no_panics();
+        assert!(out.crashed[1]);
+        // Crash decisions do not consume a step number; P1 died at the
+        // first decision point with step >= 1.
+        assert_eq!(out.crashed_at, vec![None, Some(1)]);
+        assert_eq!(out.executed_crashes(), vec![(1, 1)]);
     }
 
     #[test]

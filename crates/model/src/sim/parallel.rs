@@ -47,8 +47,10 @@
 //! multi-core host the workers scale the exploration; on any host the
 //! pool removes thread-creation cost from the per-run critical path.
 
-use super::explore::{emit_beat, independent, ExploreConfig, ExploreStats, SleepNode};
-use super::shrink::shrink_schedule;
+use super::explore::{
+    emit_beat, independent, ExecutionWitness, ExploreConfig, ExploreStats, SleepNode,
+};
+use super::shrink::shrink_execution;
 use super::strategy::{Decision, SchedView, Strategy};
 use super::{outcome_finish, scheduler_loop, Msg, ProcBody, Reply, SimConfig, SimCtx, SimOutcome};
 use crate::crash;
@@ -235,6 +237,7 @@ struct Task {
 struct Candidate {
     path: Vec<u32>,
     schedule: Vec<ProcId>,
+    crashes: Vec<(ProcId, u64)>,
 }
 
 /// The shared work queue plus termination bookkeeping.
@@ -252,6 +255,7 @@ struct Shared {
     max_runs: u64,
     runs: AtomicU64,
     sleep_skips: AtomicU64,
+    crash_branches: AtomicU64,
     executed_steps: AtomicU64,
     replayed_steps: AtomicU64,
     max_depth: AtomicU64,
@@ -281,6 +285,7 @@ impl Shared {
             max_runs,
             runs: AtomicU64::new(0),
             sleep_skips: AtomicU64::new(0),
+            crash_branches: AtomicU64::new(0),
             executed_steps: AtomicU64::new(0),
             replayed_steps: AtomicU64::new(0),
             max_depth: AtomicU64::new(0),
@@ -379,14 +384,18 @@ impl Shared {
     /// Record a violating run; the lowest branch path in canonical order
     /// wins. Queued tasks that can no longer contain the winner are
     /// cancelled immediately.
-    fn record_violation(&self, path: Vec<u32>, schedule: Vec<ProcId>) {
+    fn record_violation(&self, path: Vec<u32>, schedule: Vec<ProcId>, crashes: Vec<(ProcId, u64)>) {
         let best = {
             let mut slot = self.violation.lock().unwrap();
             match slot.as_ref() {
                 Some(existing) if existing.path <= path => existing.path.clone(),
                 _ => {
                     let winner = path.clone();
-                    *slot = Some(Candidate { path, schedule });
+                    *slot = Some(Candidate {
+                        path,
+                        schedule,
+                        crashes,
+                    });
                     winner
                 }
             }
@@ -423,6 +432,12 @@ struct PrefixStrategy<'a> {
     prefix: &'a [u32],
     reduce: bool,
     max_depth: usize,
+    /// Crash-branch budget for this exploration ([`ExploreConfig::max_crashes`]).
+    max_crashes: usize,
+    /// Crash decisions taken so far this run (replayed or fresh); nodes
+    /// stop widening with crash branches once the budget is spent, which
+    /// keeps rebuilt nodes identical to the sequential explorer's.
+    crashes_used: usize,
     stack: Vec<SleepNode>,
     /// Picks taken this run; equals `prefix` after replay, then grows
     /// with each fresh node (stops at a barren node or `max_depth`).
@@ -435,15 +450,18 @@ struct PrefixStrategy<'a> {
     executed_steps: u64,
     replayed_steps: u64,
     sleep_skips: u64,
+    crash_branches: u64,
     max_pos: usize,
 }
 
 impl<'a> PrefixStrategy<'a> {
-    fn new(prefix: &'a [u32], reduce: bool, max_depth: usize) -> Self {
+    fn new(prefix: &'a [u32], reduce: bool, max_depth: usize, max_crashes: usize) -> Self {
         PrefixStrategy {
             prefix,
             reduce,
             max_depth,
+            max_crashes,
+            crashes_used: 0,
             stack: Vec::new(),
             path: Vec::with_capacity(prefix.len() + 8),
             spawned: Vec::new(),
@@ -453,6 +471,7 @@ impl<'a> PrefixStrategy<'a> {
             executed_steps: 0,
             replayed_steps: 0,
             sleep_skips: 0,
+            crash_branches: 0,
             max_pos: 0,
         }
     }
@@ -470,13 +489,14 @@ impl Strategy for PrefixStrategy<'_> {
             }
             return Decision::Step(view.runnable[0]);
         }
-        let mut node = SleepNode::fresh(view, self.stack.last(), self.reduce);
+        let allow_crashes = self.crashes_used < self.max_crashes;
+        let mut node = SleepNode::fresh(view, self.stack.last(), self.reduce, allow_crashes);
         let pick = if at < self.prefix.len() {
             // Replaying the delegated prefix.
             self.replayed_steps += 1;
             let pick = self.prefix[at] as usize;
             debug_assert!(
-                pick < node.choices.len() && !node.asleep(pick),
+                pick < node.total() && !node.asleep(pick),
                 "parallel explore: prefix replay diverged at step {at}; \
                  process bodies must be deterministic"
             );
@@ -510,23 +530,29 @@ impl Strategy for PrefixStrategy<'_> {
             }
         };
         node.pick = pick;
-        let choice = node.choices[pick];
+        let decision = node.decision();
         if !node.barren {
             self.path.push(pick as u32);
         }
         self.stack.push(node);
-        Decision::Step(choice)
+        if matches!(decision, Decision::Crash(_)) {
+            self.crashes_used += 1;
+            self.crash_branches += 1;
+        }
+        decision
     }
 }
 
 /// One worker: drain tasks, execute each as a single pooled run,
 /// aggregate stats, publish delegated siblings, and report violations.
+#[allow(clippy::too_many_arguments)]
 fn worker<T, R, FMake, Visit>(
     index: usize,
     shared: &Shared,
     cfg: &SimConfig<T>,
     reduce: bool,
     max_depth: usize,
+    max_crashes: usize,
     mut factory: FMake,
     mut visit: Visit,
 ) where
@@ -551,11 +577,14 @@ fn worker<T, R, FMake, Visit>(
         if task.owner != index && task.owner != NO_OWNER {
             shared.worker_steals[index].fetch_add(1, Ordering::Relaxed);
         }
-        let mut strategy = PrefixStrategy::new(&task.path, reduce, max_depth);
+        let mut strategy = PrefixStrategy::new(&task.path, reduce, max_depth, max_crashes);
         let outcome = run_sim_pooled(cfg, &mut strategy, &mut pool, factory());
         shared
             .sleep_skips
             .fetch_add(strategy.sleep_skips, Ordering::Relaxed);
+        shared
+            .crash_branches
+            .fetch_add(strategy.crash_branches, Ordering::Relaxed);
         shared
             .executed_steps
             .fetch_add(strategy.executed_steps, Ordering::Relaxed);
@@ -571,7 +600,7 @@ fn worker<T, R, FMake, Visit>(
         let ok = visit(&outcome);
         if !ok {
             let path = std::mem::take(&mut strategy.path);
-            shared.record_violation(path, outcome.trace.schedule());
+            shared.record_violation(path, outcome.trace.schedule(), outcome.executed_crashes());
         }
         shared.publish(
             std::mem::take(&mut strategy.spawned)
@@ -598,7 +627,13 @@ where
     Visit: FnMut(&SimOutcome<T, R>) -> bool + Send,
 {
     let start = Instant::now();
-    let threads = resolve_threads(threads);
+    // An explicit `threads` argument wins; 0 falls back to the config's
+    // [`ExploreConfig::threads`], and 0 there means all available cores.
+    let threads = resolve_threads(if threads == 0 {
+        econfig.threads
+    } else {
+        threads
+    });
     let shared = Shared::new(threads, econfig.max_runs);
     let pairs: Vec<(FMake, Visit)> = (0..threads).map(&mut make_worker).collect();
     let live = AtomicUsize::new(threads);
@@ -606,7 +641,16 @@ where
         for (index, (fmake, vis)) in pairs.into_iter().enumerate() {
             let (shared, live) = (&shared, &live);
             scope.spawn(move || {
-                worker(index, shared, cfg, reduce, econfig.max_depth, fmake, vis);
+                worker(
+                    index,
+                    shared,
+                    cfg,
+                    reduce,
+                    econfig.max_depth,
+                    econfig.max_crashes,
+                    fmake,
+                    vis,
+                );
                 live.fetch_sub(1, Ordering::Release);
             });
         }
@@ -651,6 +695,8 @@ where
         replayed_steps: shared.replayed_steps.load(Ordering::Relaxed),
         max_depth_reached: shared.max_depth.load(Ordering::Relaxed) as usize,
         sleep_skips: shared.sleep_skips.load(Ordering::Relaxed),
+        crash_branches: shared.crash_branches.load(Ordering::Relaxed),
+        witness: None,
         violation: None,
         spans: None,
         elapsed: Duration::ZERO,
@@ -668,9 +714,17 @@ where
     // Shrinking is sequential (deterministic ddmin over the canonical
     // schedule), driven by one extra worker pair.
     let violated = candidate.is_some();
+    if let Some(cand) = &candidate {
+        stats.witness = Some(ExecutionWitness {
+            schedule: cand.schedule.clone(),
+            crashes: cand.crashes.clone(),
+        });
+    }
     if let (Some(cand), Some(scfg)) = (candidate, &econfig.shrink) {
         let (mut fmake, mut vis) = make_worker(threads);
-        let report = shrink_schedule(cfg, scfg, &cand.schedule, &mut fmake, |o| !vis(o));
+        let report = shrink_execution(cfg, scfg, &cand.schedule, &cand.crashes, &mut fmake, |o| {
+            !vis(o)
+        });
         stats.violation = Some(report);
     }
     stats.elapsed = start.elapsed();
@@ -818,10 +872,7 @@ mod tests {
         // Reject any run where P0 observed P1's write; the canonical
         // (sequential) counterexample shrinks to [1, 0, 0].
         let cfg = SimConfig::base(vec![0u64; 2]);
-        let econfig = ExploreConfig {
-            shrink: Some(ShrinkConfig::default()),
-            ..Default::default()
-        };
+        let econfig = ExploreConfig::new().shrink(ShrinkConfig::default());
         let seq = explore(&cfg, &econfig, two_proc_factory, |out| {
             out.results[0] != Some(2)
         });
@@ -844,10 +895,7 @@ mod tests {
     #[test]
     fn run_budget_is_exact() {
         let cfg = SimConfig::base(vec![0u64; 2]);
-        let econfig = ExploreConfig {
-            max_runs: 3,
-            ..Default::default()
-        };
+        let econfig = ExploreConfig::new().max_runs(3);
         for threads in [1, 2, 4] {
             let par = explore_parallel(&cfg, &econfig, threads, |_| {
                 (two_proc_factory as fn() -> _, |_: &SimOutcome<u64, u64>| {
@@ -862,10 +910,7 @@ mod tests {
     #[test]
     fn depth_truncation_matches_sequential() {
         let cfg = SimConfig::base(vec![0u64; 2]);
-        let econfig = ExploreConfig {
-            max_depth: 1,
-            ..Default::default()
-        };
+        let econfig = ExploreConfig::new().max_depth(1);
         let seq = explore(&cfg, &econfig, two_proc_factory, |_| true);
         let par = explore_parallel(&cfg, &econfig, 2, |_| {
             (two_proc_factory as fn() -> _, |_: &SimOutcome<u64, u64>| {
@@ -921,10 +966,8 @@ mod tests {
         use crate::telemetry::{buffer_sink, Heartbeat};
         let cfg = SimConfig::base(vec![0u64; 2]);
         let (sink, buf) = buffer_sink();
-        let econfig = ExploreConfig {
-            heartbeat: Some(Heartbeat::shared(Duration::from_millis(1), sink)),
-            ..Default::default()
-        };
+        let econfig =
+            ExploreConfig::new().heartbeat_with(Heartbeat::shared(Duration::from_millis(1), sink));
         let par = explore_parallel(&cfg, &econfig, 2, |_| {
             (two_proc_factory as fn() -> _, |_: &SimOutcome<u64, u64>| {
                 true
@@ -939,6 +982,93 @@ mod tests {
         assert_eq!(last.get("runs").and_then(Json::as_u64), Some(par.runs));
         assert_eq!(last.get("queue_depth").and_then(Json::as_u64), Some(0));
         assert_eq!(last.get("violation_found"), Some(&Json::Bool(false)));
+    }
+
+    #[test]
+    fn crash_exploration_parallel_matches_sequential() {
+        let cfg = SimConfig::base(vec![0u64; 2]);
+        for f in [1, 2] {
+            let econfig = ExploreConfig::new().max_crashes(f);
+            let seq = explore(&cfg, &econfig, two_proc_factory, |_| true);
+            assert!(seq.crash_branches > 0, "f={f}");
+            for threads in [1, 2, 4] {
+                let par = explore_parallel(&cfg, &econfig, threads, |_| {
+                    (two_proc_factory as fn() -> _, |_: &SimOutcome<u64, u64>| {
+                        true
+                    })
+                });
+                assert_eq!(par.runs, seq.runs, "f={f} threads={threads}");
+                assert_eq!(par.crash_branches, seq.crash_branches, "f={f}");
+                assert_eq!(par.executed_steps, seq.executed_steps);
+                assert_eq!(par.replayed_steps, seq.replayed_steps);
+                assert_eq!(par.max_depth_reached, seq.max_depth_reached);
+                assert!(par.exhausted && !par.truncated);
+            }
+        }
+    }
+
+    #[test]
+    fn reduced_crash_exploration_parallel_matches_sequential() {
+        let cfg = SimConfig::base(vec![0u64; 3]);
+        let econfig = ExploreConfig::new().max_crashes(1);
+        let seq = explore_reduced(&cfg, &econfig, independent_factory, |_| true);
+        assert!(seq.crash_branches > 0);
+        for threads in [1, 2, 4] {
+            let par = explore_reduced_parallel(&cfg, &econfig, threads, |_| {
+                (
+                    independent_factory as fn() -> _,
+                    |_: &SimOutcome<u64, u64>| true,
+                )
+            });
+            assert_eq!(par.runs, seq.runs, "threads={threads}");
+            assert_eq!(par.sleep_skips, seq.sleep_skips, "threads={threads}");
+            assert_eq!(par.crash_branches, seq.crash_branches);
+            assert_eq!(par.executed_steps, seq.executed_steps);
+            assert_eq!(par.replayed_steps, seq.replayed_steps);
+            assert!(par.exhausted);
+        }
+    }
+
+    #[test]
+    fn crash_violation_parity_with_sequential() {
+        // Reject runs where P1 crashed and P0 saw register 1 unwritten;
+        // the shrunk witness (schedule *and* crash pattern) must match
+        // the sequential explorer's exactly.
+        let ok = |out: &SimOutcome<u64, u64>| !(out.crashed[1] && out.results[0] == Some(0));
+        let cfg = SimConfig::base(vec![0u64; 2]);
+        let econfig = ExploreConfig::new()
+            .max_crashes(1)
+            .shrink(ShrinkConfig::default());
+        let seq = explore(&cfg, &econfig, two_proc_factory, ok);
+        let seq_report = seq.violation.expect("sequential violation");
+        assert_eq!(seq_report.crashes.len(), 1);
+        assert_eq!(seq_report.crashes[0].0, 1);
+        for threads in [1, 2, 4] {
+            let par = explore_parallel(&cfg, &econfig, threads, |_| {
+                (two_proc_factory as fn() -> _, ok)
+            });
+            assert!(!par.exhausted);
+            let report = par.violation.expect("parallel violation");
+            assert_eq!(report.schedule, seq_report.schedule, "threads={threads}");
+            assert_eq!(report.crashes, seq_report.crashes, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn config_threads_is_the_fallback_worker_count() {
+        let cfg = SimConfig::base(vec![0u64; 2]);
+        let par = explore_parallel(&cfg, &ExploreConfig::new().threads(2), 0, |_| {
+            (two_proc_factory as fn() -> _, |_: &SimOutcome<u64, u64>| {
+                true
+            })
+        });
+        assert_eq!(par.worker_runs.len(), 2, "0 defers to the config");
+        let par = explore_parallel(&cfg, &ExploreConfig::new().threads(2), 3, |_| {
+            (two_proc_factory as fn() -> _, |_: &SimOutcome<u64, u64>| {
+                true
+            })
+        });
+        assert_eq!(par.worker_runs.len(), 3, "an explicit argument wins");
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! serviced — replaying it with [`Replay::strict`] (plus a step budget
 //! equal to its length) reproduces the execution bit-identically.
 
+use super::fault::FaultPlan;
 use super::strategy::Replay;
 use super::{run_sim_with, ProcBody, SimConfig, SimOutcome};
 use crate::ctx::ProcId;
@@ -57,15 +58,20 @@ pub struct ShrinkStats {
     pub merges: u64,
 }
 
-/// A minimized counterexample schedule.
+/// A minimized counterexample execution: schedule plus crash pattern.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ShrinkReport {
     /// The schedule of the original failing run.
     pub original: Vec<ProcId>,
     /// The locally-minimal failing schedule. Every entry was serviced in
     /// the run that produced it, so [`Replay::strict`] with a step budget
-    /// of `schedule.len()` reproduces the violation exactly.
+    /// of `schedule.len`, combined with a [`FaultPlan`] carrying
+    /// [`crashes`](Self::crashes), reproduces the violation exactly.
     pub schedule: Vec<ProcId>,
+    /// The locally-minimal crash pattern: the `(proc, step)` crashes
+    /// that actually fired in the run that produced `schedule`, with
+    /// every removable crash removed. Empty for crash-free violations.
+    pub crashes: Vec<(ProcId, u64)>,
     /// Work accounting.
     pub stats: ShrinkStats,
 }
@@ -88,6 +94,15 @@ impl ShrinkReport {
                 "context_switches",
                 Json::UInt(switches(&self.schedule) as u64),
             ),
+            (
+                "crashes",
+                Json::Arr(
+                    self.crashes
+                        .iter()
+                        .map(|&(p, s)| Json::Arr(vec![Json::UInt(p as u64), Json::UInt(s)]))
+                        .collect(),
+                ),
+            ),
             ("attempts", Json::UInt(self.stats.attempts)),
             ("useful", Json::UInt(self.stats.useful)),
             ("merges", Json::UInt(self.stats.merges)),
@@ -100,43 +115,153 @@ fn switches(s: &[ProcId]) -> usize {
     s.windows(2).filter(|w| w[0] != w[1]).count()
 }
 
-/// Re-execute `candidate` with a halting replay; when `failing` still
-/// holds, return the *executed* schedule (every entry serviced).
+/// Re-execute `candidate` (schedule + crash plan) with a halting
+/// replay; when `failing` still holds, return the *executed* schedule
+/// (every entry serviced) and the *executed* crash pattern (every crash
+/// actually fired, at its actual step).
+#[allow(clippy::type_complexity)]
 fn attempt<T, R, FMake, Fail>(
     cfg: &SimConfig<T>,
     candidate: Vec<ProcId>,
+    crashes: &[(ProcId, u64)],
     factory: &mut FMake,
     failing: &mut Fail,
-) -> Option<Vec<ProcId>>
+) -> Option<(Vec<ProcId>, Vec<(ProcId, u64)>)>
 where
     T: Clone + Send,
     R: Send,
     FMake: FnMut() -> Vec<ProcBody<'static, T, R>>,
     Fail: FnMut(&SimOutcome<T, R>) -> bool,
 {
-    let mut replay = Replay::halting(candidate);
-    let outcome = run_sim_with(cfg, MetricsLevel::Off, &mut replay, factory());
+    let plan = FaultPlan::from(crashes.to_vec());
+    let mut strat = plan.over(Replay::halting(candidate));
+    let outcome = run_sim_with(cfg, MetricsLevel::Off, &mut strat, factory());
     if failing(&outcome) {
-        Some(outcome.trace.schedule())
+        Some((outcome.trace.schedule(), outcome.executed_crashes()))
     } else {
         None
     }
 }
 
-/// Minimize a failing schedule by delta debugging.
+/// One crash-removal sweep: try dropping each planned crash; a
+/// candidate that still fails adopts the executed schedule and crash
+/// pattern.
+fn drop_crashes<T, R, FMake, Fail>(
+    cfg: &SimConfig<T>,
+    scfg: &ShrinkConfig,
+    current: &mut Vec<ProcId>,
+    crashes: &mut Vec<(ProcId, u64)>,
+    stats: &mut ShrinkStats,
+    factory: &mut FMake,
+    failing: &mut Fail,
+) where
+    T: Clone + Send,
+    R: Send,
+    FMake: FnMut() -> Vec<ProcBody<'static, T, R>>,
+    Fail: FnMut(&SimOutcome<T, R>) -> bool,
+{
+    let mut i = 0;
+    while i < crashes.len() {
+        if stats.attempts >= scfg.max_attempts {
+            break;
+        }
+        let mut cand = crashes.clone();
+        cand.remove(i);
+        stats.attempts += 1;
+        match attempt(cfg, current.clone(), &cand, factory, failing) {
+            Some((sched, executed_crashes)) => {
+                stats.useful += 1;
+                *current = sched;
+                *crashes = executed_crashes;
+                // The crash now at `i` is new; retry in place.
+            }
+            None => i += 1,
+        }
+    }
+}
+
+/// One crash-advance sweep: try re-firing each crash at step 0 (the
+/// earliest decision point its victim is alive). An earlier crash
+/// shortens its victim's live window, which lets the ddmin pass remove
+/// the victim's steps — without this, a witness can be forced to keep
+/// steps whose only purpose is advancing the clock to the crash's
+/// recorded firing step. A candidate that still fails adopts the
+/// executed schedule and crash pattern (the crash's *actual* fired step
+/// is what gets recorded).
+fn advance_crashes<T, R, FMake, Fail>(
+    cfg: &SimConfig<T>,
+    scfg: &ShrinkConfig,
+    current: &mut Vec<ProcId>,
+    crashes: &mut Vec<(ProcId, u64)>,
+    stats: &mut ShrinkStats,
+    factory: &mut FMake,
+    failing: &mut Fail,
+) where
+    T: Clone + Send,
+    R: Send,
+    FMake: FnMut() -> Vec<ProcBody<'static, T, R>>,
+    Fail: FnMut(&SimOutcome<T, R>) -> bool,
+{
+    let mut i = 0;
+    while i < crashes.len() {
+        if stats.attempts >= scfg.max_attempts {
+            break;
+        }
+        if crashes[i].1 == 0 {
+            i += 1;
+            continue;
+        }
+        let mut cand = crashes.clone();
+        cand[i].1 = 0;
+        stats.attempts += 1;
+        if let Some((sched, executed_crashes)) =
+            attempt(cfg, current.clone(), &cand, factory, failing)
+        {
+            stats.useful += 1;
+            *current = sched;
+            *crashes = executed_crashes;
+        }
+        i += 1;
+    }
+}
+
+/// Minimize a failing schedule by delta debugging. Crash-free
+/// convenience wrapper over [`shrink_execution`].
+pub fn shrink_schedule<T, R, FMake, Fail>(
+    cfg: &SimConfig<T>,
+    scfg: &ShrinkConfig,
+    original: &[ProcId],
+    factory: &mut FMake,
+    failing: Fail,
+) -> ShrinkReport
+where
+    T: Clone + Send,
+    R: Send,
+    FMake: FnMut() -> Vec<ProcBody<'static, T, R>>,
+    Fail: FnMut(&SimOutcome<T, R>) -> bool,
+{
+    shrink_execution(cfg, scfg, original, &[], factory, failing)
+}
+
+/// Minimize a failing *execution* — schedule and crash pattern — by
+/// delta debugging.
 ///
 /// `factory` must produce the same deterministic process bodies as the
 /// run that recorded `original` (the explorer's contract); `failing`
 /// decides whether an outcome still exhibits the violation — it is
 /// called once per candidate and must be a pure function of the outcome.
+/// `original_crashes` is the executed crash pattern of the failing run
+/// (see [`SimOutcome::executed_crashes`]).
 ///
-/// The returned [`ShrinkReport::schedule`] is locally minimal: removing
-/// any single step loses the violation (or the attempt budget ran out
-/// first). It may equal `original` when nothing could be removed.
-pub fn shrink_schedule<T, R, FMake, Fail>(
+/// The returned [`ShrinkReport`] is locally minimal: removing any
+/// single step — or any single crash — loses the violation (or the
+/// attempt budget ran out first). It may equal the original when
+/// nothing could be removed.
+pub fn shrink_execution<T, R, FMake, Fail>(
     cfg: &SimConfig<T>,
     scfg: &ShrinkConfig,
     original: &[ProcId],
+    original_crashes: &[(ProcId, u64)],
     factory: &mut FMake,
     mut failing: Fail,
 ) -> ShrinkReport
@@ -148,6 +273,32 @@ where
 {
     let mut stats = ShrinkStats::default();
     let mut current: Vec<ProcId> = original.to_vec();
+    let mut crashes: Vec<(ProcId, u64)> = original_crashes.to_vec();
+
+    // Pass 0 — crash removal: drop each crash in turn; a candidate that
+    // still fails adopts both the executed schedule and the executed
+    // crash pattern (a dropped crash can change the whole tail).
+    drop_crashes(
+        cfg,
+        scfg,
+        &mut current,
+        &mut crashes,
+        &mut stats,
+        factory,
+        &mut failing,
+    );
+
+    // Pass 0b — crash advancing: fire each surviving crash as early as
+    // possible, so the ddmin pass can drop its victim's steps.
+    advance_crashes(
+        cfg,
+        scfg,
+        &mut current,
+        &mut crashes,
+        &mut stats,
+        factory,
+        &mut failing,
+    );
 
     // Pass 1 — ddmin: drop chunks of halving size until even single
     // steps are all load-bearing.
@@ -164,10 +315,11 @@ where
             candidate.extend_from_slice(&current[..start]);
             candidate.extend_from_slice(&current[end..]);
             stats.attempts += 1;
-            match attempt(cfg, candidate, factory, &mut failing) {
-                Some(executed) => {
+            match attempt(cfg, candidate, &crashes, factory, &mut failing) {
+                Some((executed, executed_crashes)) => {
                     stats.useful += 1;
                     current = executed;
+                    crashes = executed_crashes;
                     progress = true;
                     // The element now at `start` is new; retry in place.
                 }
@@ -181,6 +333,27 @@ where
             chunk = (chunk / 2).max(1);
         }
     }
+
+    // Passes 0 and 0b again: a shorter schedule may no longer need some
+    // crash, and a dropped step may unlock an earlier firing point.
+    drop_crashes(
+        cfg,
+        scfg,
+        &mut current,
+        &mut crashes,
+        &mut stats,
+        factory,
+        &mut failing,
+    );
+    advance_crashes(
+        cfg,
+        scfg,
+        &mut current,
+        &mut crashes,
+        &mut stats,
+        factory,
+        &mut failing,
+    );
 
     // Pass 2 — segment merging: swap adjacent steps of different
     // processes when doing so joins two segments of the same process,
@@ -201,11 +374,14 @@ where
                     candidate.swap(i, i + 1);
                     if switches(&candidate) < before {
                         stats.attempts += 1;
-                        if let Some(executed) = attempt(cfg, candidate, factory, &mut failing) {
+                        if let Some((executed, executed_crashes)) =
+                            attempt(cfg, candidate, &crashes, factory, &mut failing)
+                        {
                             stats.useful += 1;
                             let saved = before.saturating_sub(switches(&executed));
                             stats.merges += saved as u64;
                             current = executed;
+                            crashes = executed_crashes;
                             improved = true;
                             break; // restart the scan on the new schedule
                         }
@@ -222,6 +398,7 @@ where
     ShrinkReport {
         original: original.to_vec(),
         schedule: current,
+        crashes,
         stats,
     }
 }
@@ -354,6 +531,7 @@ mod tests {
         let report = ShrinkReport {
             original: vec![0, 0, 1, 2],
             schedule: vec![1, 2],
+            crashes: vec![(0, 2)],
             stats: ShrinkStats {
                 attempts: 5,
                 useful: 2,
@@ -364,6 +542,56 @@ mod tests {
         assert_eq!(doc.get("shrunk_len").and_then(Json::as_u64), Some(2));
         assert_eq!(doc.get("original_len").and_then(Json::as_u64), Some(4));
         assert_eq!(doc.get("context_switches").and_then(Json::as_u64), Some(1));
+        let crashes = doc.get("crashes").and_then(Json::as_arr).unwrap();
+        assert_eq!(crashes.len(), 1);
         assert!(crate::json::parse(&doc.to_compact()).is_ok());
+    }
+
+    #[test]
+    fn crash_pattern_is_minimized_alongside_schedule() {
+        // P2's read sees 2 only when P1 wrote and P0's second write was
+        // prevented — here by crashing P0 after its first write. The
+        // spurious P1 crash at a late step never fires usefully and must
+        // be dropped; the P0 crash is load-bearing and must survive.
+        fn bodies3() -> Vec<ProcBody<'static, u64, u64>> {
+            vec![
+                Box::new(|ctx: &mut SimCtx<u64>| {
+                    ctx.write(0, 1);
+                    ctx.write(0, 1);
+                    0
+                }),
+                Box::new(|ctx: &mut SimCtx<u64>| {
+                    ctx.write(0, 2);
+                    0
+                }),
+                Box::new(|ctx: &mut SimCtx<u64>| ctx.read(0)),
+            ]
+        }
+        let cfg = SimConfig::base(vec![0u64; 1]);
+        // Violation: the reader saw 2 AND P0 crashed (so the violation
+        // genuinely needs the crash to be minimal wrt failing()).
+        let fail = |out: &SimOutcome<u64, u64>| out.results[2] == Some(2) && out.crashed[0];
+        let report = shrink_execution(
+            &cfg,
+            &ShrinkConfig::default(),
+            &[0, 1, 2],
+            &[(0, 1), (2, 3)],
+            &mut bodies3,
+            fail,
+        );
+        // P0's write is removable (the crash still fires with P0 never
+        // scheduled); the minimal schedule is P1's write + P2's read.
+        assert_eq!(report.schedule, vec![1, 2]);
+        assert_eq!(report.crashes.len(), 1, "spurious crash dropped");
+        assert_eq!(report.crashes[0].0, 0, "load-bearing crash kept");
+        // The minimized execution strict-replays with its fault plan.
+        let mut cfg2 = SimConfig::base(vec![0u64; 1]);
+        cfg2.max_steps = report.schedule.len() as u64;
+        let mut strat = crate::sim::fault::FaultPlan::from(report.crashes.clone())
+            .over(Replay::strict(report.schedule.clone()));
+        let out = run_sim_with(&cfg2, MetricsLevel::Off, &mut strat, bodies3());
+        assert!(fail(&out));
+        assert_eq!(out.trace.schedule(), report.schedule);
+        assert_eq!(out.executed_crashes(), report.crashes);
     }
 }

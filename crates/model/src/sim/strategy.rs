@@ -184,6 +184,16 @@ impl Strategy for Replay {
 
 /// Wrap an inner strategy with crash injection: each listed process is
 /// crashed at (or after) its given global step number.
+///
+/// Deprecated: use [`FaultPlan`](crate::sim::fault::FaultPlan) —
+/// `FaultPlan::new().crash(p, k).over(inner)` — or the fluent
+/// [`SimBuilder::crashes`](crate::sim::SimBuilder::crashes) entry point.
+/// This shim delegates to the same firing logic and will be removed in
+/// the next release.
+#[deprecated(
+    since = "0.5.0",
+    note = "use sim::fault::FaultPlan::over or SimBuilder::crashes"
+)]
 #[derive(Debug)]
 pub struct CrashAt<S> {
     inner: S,
@@ -192,6 +202,7 @@ pub struct CrashAt<S> {
     crashes: Vec<(ProcId, u64)>,
 }
 
+#[allow(deprecated)]
 impl<S: Strategy> CrashAt<S> {
     /// Crash each `(proc, step)` pair on top of `inner`'s schedule.
     pub fn new(inner: S, crashes: Vec<(ProcId, u64)>) -> Self {
@@ -199,19 +210,13 @@ impl<S: Strategy> CrashAt<S> {
     }
 }
 
+#[allow(deprecated)]
 impl<S: Strategy> Strategy for CrashAt<S> {
     fn decide(&mut self, view: &SchedView) -> Decision {
-        if let Some(i) = self
-            .crashes
-            .iter()
-            .position(|&(p, s)| view.step >= s && !view.crashed[p] && !view.finished[p])
-        {
-            let (p, _) = self.crashes.remove(i);
-            return Decision::Crash(p);
-        }
         // The inner strategy may name a crashed process; retry is the
         // inner strategy's job, so just ensure it sees the current view.
-        self.inner.decide(view)
+        crate::sim::fault::FaultPlan::fire(&mut self.crashes, view)
+            .unwrap_or_else(|| self.inner.decide(view))
     }
 }
 
@@ -408,6 +413,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn crash_at_fires_once() {
         let mut s = CrashAt::new(PrioritizeLowest, vec![(1, 2)]);
         let pend = [Some((AccessKind::Read, 0)); 2];

@@ -204,7 +204,7 @@ mod tests {
     use apram_core::counter::{CounterOp, CounterResp};
     use apram_history::check::{check_linearizable, CheckerConfig};
     use apram_history::Recorder;
-    use apram_model::sim::strategy::{CrashAt, RoundRobin, SeededRandom};
+    use apram_model::sim::strategy::SeededRandom;
     use apram_model::sim::SimBuilder;
     use apram_model::NativeMemory;
 
@@ -286,10 +286,9 @@ mod tests {
     fn direct_counter_survives_crashes() {
         let n = 3;
         let c = DirectCounter::new(n);
-        let mut strategy = CrashAt::new(RoundRobin::new(), vec![(1, 6), (2, 13)]);
         let out = SimBuilder::new(c.registers())
             .owners(c.owners())
-            .strategy_ref(&mut strategy)
+            .crashes([(1, 6), (2, 13)])
             .run_symmetric(n, move |ctx| {
                 let mut h = c.handle();
                 h.inc(ctx, 10);

@@ -241,23 +241,15 @@ mod tests {
                 })
                 .collect::<Vec<_>>()
         };
-        let stats = sim.explore(
-            &ExploreConfig {
-                max_runs: 200_000,
-                max_depth: usize::MAX,
-                ..ExploreConfig::default()
-            },
-            make,
-            |out| {
-                out.assert_no_panics();
-                let hist = rec_cell.borrow_mut().take().unwrap().snapshot();
-                assert!(
-                    check_linearizable(&spec, &hist, &CheckerConfig::default()).is_ok(),
-                    "non-linearizable MW register history: {hist:?}"
-                );
-                true
-            },
-        );
+        let stats = sim.explore(&ExploreConfig::new().max_runs(200_000), make, |out| {
+            out.assert_no_panics();
+            let hist = rec_cell.borrow_mut().take().unwrap().snapshot();
+            assert!(
+                check_linearizable(&spec, &hist, &CheckerConfig::default()).is_ok(),
+                "non-linearizable MW register history: {hist:?}"
+            );
+            true
+        });
         assert!(stats.exhausted, "{stats:?}");
         assert!(stats.runs > 500); // C(12,6) = 924 complete schedules
                                    // Exploration telemetry: replay work exists and is properly
@@ -339,8 +331,7 @@ mod tests {
         let reg = MwRegister::new(n);
         let out = SimBuilder::new(reg.registers::<u64>())
             .owners(reg.owners())
-            .crash_at(1, 3)
-            .crash_at(2, 7)
+            .crashes([(1, 3), (2, 7)])
             .run_symmetric(n, move |ctx| {
                 reg.write(ctx, 9);
                 reg.read(ctx)

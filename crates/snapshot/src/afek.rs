@@ -164,7 +164,7 @@ mod tests {
     use apram_history::check::{check_linearizable, CheckerConfig};
     use apram_history::Recorder;
     use apram_model::sim::explore::ExploreConfig;
-    use apram_model::sim::strategy::{CrashAt, Pct, RoundRobin, SeededRandom};
+    use apram_model::sim::strategy::{Pct, SeededRandom};
     use apram_model::sim::{ProcBody, SimBuilder, SimCtx};
     use apram_model::NativeMemory;
     use std::cell::RefCell;
@@ -237,11 +237,7 @@ mod tests {
         let stats = SimBuilder::new(snap.registers::<u32>())
             .owners(snap.owners())
             .explore(
-                &ExploreConfig {
-                    max_runs: 100_000,
-                    max_depth: 14,
-                    ..ExploreConfig::default()
-                },
+                &ExploreConfig::new().max_runs(100_000).max_depth(14),
                 make,
                 |out| {
                     out.assert_no_panics();
@@ -342,10 +338,9 @@ mod tests {
     fn survivor_completes_despite_crashes() {
         let n = 3;
         let snap = AfekSnapshot::new(n);
-        let mut strategy = CrashAt::new(RoundRobin::new(), vec![(1, 5), (2, 9)]);
         let out = SimBuilder::new(snap.registers::<u32>())
             .owners(snap.owners())
-            .strategy_ref(&mut strategy)
+            .crashes([(1, 5), (2, 9)])
             .run_symmetric(n, move |ctx| {
                 snap.update(ctx, 1);
                 snap.snap(ctx)

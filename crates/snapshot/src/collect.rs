@@ -246,11 +246,7 @@ mod tests {
         let stats = SimBuilder::new(arr.registers::<u32>())
             .owners(arr.owners())
             .explore(
-                &ExploreConfig {
-                    max_runs: 100_000,
-                    max_depth: 12,
-                    ..ExploreConfig::default()
-                },
+                &ExploreConfig::new().max_runs(100_000).max_depth(12),
                 make,
                 |out| {
                     out.assert_no_panics();

@@ -87,7 +87,7 @@ where
 mod tests {
     use super::*;
     use apram_lattice::{SetUnion, VectorClock};
-    use apram_model::sim::strategy::{CrashAt, RoundRobin, SeededRandom};
+    use apram_model::sim::strategy::SeededRandom;
     use apram_model::sim::SimBuilder;
     use apram_model::NativeMemory;
 
@@ -156,10 +156,9 @@ mod tests {
     fn survivor_decides_despite_crashes() {
         let n = 3;
         let la = LatticeAgreement::new(n);
-        let mut strategy = CrashAt::new(RoundRobin::new(), vec![(1, 4), (2, 8)]);
         let out = SimBuilder::new(la.registers::<SetUnion<usize>>())
             .owners(la.owners())
-            .strategy_ref(&mut strategy)
+            .crashes([(1, 4), (2, 8)])
             .run_symmetric(n, move |ctx| {
                 la.propose(ctx, SetUnion::singleton(ctx.proc()))
             });

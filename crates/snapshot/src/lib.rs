@@ -40,5 +40,6 @@ pub mod snapshot;
 
 pub use afek::{AfekReg, AfekSnapshot};
 pub use lattice_agreement::{lattice_agreement_valid, LatticeAgreement};
+pub use lock::{LockSnapshot, SimLockSnapshot};
 pub use scan::{ScanHandle, ScanObject};
 pub use snapshot::{SnapOp, SnapResp, Snapshot, SnapshotHandle, SnapshotSpec};

@@ -9,6 +9,7 @@
 //! control in the crash experiments and as the wall-clock baseline in
 //! the throughput benches.
 
+use apram_model::MemCtx;
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -53,9 +54,74 @@ impl<T: Clone> LockSnapshot<T> {
     }
 }
 
+/// The same strawman compiled down to the simulator's register model: a
+/// two-process Peterson mutex guarding a two-slot array, every access an
+/// atomic register read or write.
+///
+/// Unlike [`LockSnapshot`] (whose `parking_lot::Mutex` is opaque to the
+/// scheduler), this version exposes the lock protocol itself as shared
+/// steps, so the explorer and the wait-freedom certifier can watch a
+/// survivor spin forever behind a crashed lock holder. It is the
+/// expected-to-fail negative control in experiment E10 and in the
+/// certifier tests: crash either process anywhere between its first flag
+/// write and its release and the other process never terminates.
+///
+/// Register layout (all `u64`): `[flag0, flag1, turn, slot0, slot1]`.
+pub struct SimLockSnapshot;
+
+impl SimLockSnapshot {
+    /// Registers used: two flags, the turn word, two slots.
+    pub const N_REGS: usize = 5;
+    const FLAG: usize = 0;
+    const TURN: usize = 2;
+    const SLOT: usize = 3;
+
+    /// A fresh register file: flags down, turn 0, slots 0.
+    pub fn registers() -> Vec<u64> {
+        vec![0; Self::N_REGS]
+    }
+
+    /// Peterson acquire for the calling process (`ctx.proc()` must be 0
+    /// or 1). Spins while the other process holds or contends with
+    /// priority — unboundedly, if that process crashed in between.
+    fn acquire<C: MemCtx<u64>>(ctx: &mut C) {
+        let i = ctx.proc();
+        let j = 1 - i;
+        ctx.write(Self::FLAG + i, 1);
+        ctx.write(Self::TURN, j as u64);
+        loop {
+            if ctx.read(Self::FLAG + j) == 0 {
+                break;
+            }
+            if ctx.read(Self::TURN) != j as u64 {
+                break;
+            }
+        }
+    }
+
+    /// Release: lower the caller's flag.
+    fn release<C: MemCtx<u64>>(ctx: &mut C) {
+        let i = ctx.proc();
+        ctx.write(Self::FLAG + i, 0);
+    }
+
+    /// One combined `update(p, value)` + `snap()` under the lock: write
+    /// the caller's slot, then read both slots inside the critical
+    /// section. Returns `(slot0, slot1)`.
+    pub fn update_snap<C: MemCtx<u64>>(ctx: &mut C, value: u64) -> (u64, u64) {
+        Self::acquire(ctx);
+        ctx.write(Self::SLOT + ctx.proc(), value);
+        let s0 = ctx.read(Self::SLOT);
+        let s1 = ctx.read(Self::SLOT + 1);
+        Self::release(ctx);
+        (s0, s1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use apram_model::SimBuilder;
 
     #[test]
     fn update_snap_round_trip() {
@@ -82,6 +148,38 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn sim_lock_snapshot_completes_without_crashes() {
+        let out = SimBuilder::new(SimLockSnapshot::registers())
+            .max_steps(200)
+            .run_symmetric(2, |ctx| {
+                SimLockSnapshot::update_snap(ctx, ctx.proc() as u64 + 1)
+            });
+        out.assert_no_panics();
+        for p in 0..2 {
+            let (s0, s1) = out.results[p].expect("both processes must finish");
+            // Each process reads its own slot inside its critical
+            // section, after writing it.
+            let own = if p == 0 { s0 } else { s1 };
+            assert_eq!(own, p as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn crashed_sim_holder_wedges_the_survivor() {
+        // Round-robin start: step 0 p0 raises flag0, step 1 p1 raises
+        // flag1, steps 2–3 both write turn. Crashing p0 at step 4 leaves
+        // flag0 raised forever, so p1 spins until max_steps.
+        let out = SimBuilder::new(SimLockSnapshot::registers())
+            .crashes([(0, 4)])
+            .max_steps(64)
+            .run_symmetric(2, |ctx| SimLockSnapshot::update_snap(ctx, 7));
+        out.assert_no_panics();
+        assert!(out.crashed[0]);
+        assert!(!out.crashed[1]);
+        assert!(out.results[1].is_none(), "survivor must be wedged");
     }
 
     #[test]

@@ -403,9 +403,7 @@ mod tests {
         let obj = ScanObject::new(n);
         let out = SimBuilder::new(obj.registers::<MaxU64>())
             .owners(obj.owners())
-            .crash_at(1, 5)
-            .crash_at(2, 9)
-            .crash_at(3, 13)
+            .crashes([(1, 5), (2, 9), (3, 13)])
             .run_symmetric(n, move |ctx| {
                 obj.scan(ctx, MaxU64::new(ctx.proc() as u64 + 1))
             });

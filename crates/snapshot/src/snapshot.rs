@@ -303,11 +303,7 @@ mod tests {
         let stats = SimBuilder::new(snap.registers::<u32>())
             .owners(snap.owners())
             .explore(
-                &ExploreConfig {
-                    max_runs: 50_000,
-                    max_depth: 14,
-                    ..ExploreConfig::default()
-                },
+                &ExploreConfig::new().max_runs(50_000).max_depth(14),
                 make,
                 |out| {
                     out.assert_no_panics();

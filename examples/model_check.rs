@@ -55,11 +55,7 @@ fn main() {
     let stats = SimBuilder::new(snap.registers::<u32>())
         .owners(snap.owners())
         .explore(
-            &ExploreConfig {
-                max_runs: 100_000,
-                max_depth: 12,
-                ..ExploreConfig::default()
-            },
+            &ExploreConfig::new().max_runs(100_000).max_depth(12),
             make,
             |out| {
                 out.assert_no_panics();

@@ -5,7 +5,7 @@
 use apram_agreement::{AgreementProto, OneShotAgreement};
 use apram_core::{CounterOp, CounterSpec, Universal};
 use apram_lattice::SetUnion;
-use apram_model::sim::strategy::{CrashAt, RoundRobin, SeededRandom};
+use apram_model::sim::strategy::SeededRandom;
 use apram_model::sim::SimBuilder;
 use apram_model::MemCtx;
 use apram_objects::DirectCounter;
@@ -21,10 +21,9 @@ fn scan_survivor_sweep() {
     let obj = ScanObject::new(n);
     for c1 in [1u64, 5, 9, 13] {
         for c2 in [2u64, 7, 15] {
-            let mut strategy = CrashAt::new(RoundRobin::new(), vec![(1, c1), (2, c2)]);
             let out = SimBuilder::new(obj.registers::<SetUnion<usize>>())
                 .owners(obj.owners())
-                .strategy_ref(&mut strategy)
+                .crashes([(1, c1), (2, c2)])
                 .run_symmetric(n, move |ctx| obj.scan(ctx, SetUnion::singleton(ctx.proc())));
             out.assert_no_panics();
             let r = out.results[0]
@@ -48,11 +47,10 @@ fn universal_counter_survivor_sweep() {
     let uni = Universal::new(n, CounterSpec);
     for c1 in [3u64, 11, 23] {
         for c2 in [5u64, 17] {
-            let mut strategy = CrashAt::new(RoundRobin::new(), vec![(1, c1), (2, c2)]);
             let uni2 = uni.clone();
             let out = SimBuilder::new(uni.registers())
                 .owners(uni.owners())
-                .strategy_ref(&mut strategy)
+                .crashes([(1, c1), (2, c2)])
                 .run_symmetric(n, move |ctx| {
                     let mut h = uni2.handle();
                     h.execute(ctx, CounterOp::Inc(5));
@@ -78,10 +76,9 @@ fn agreement_survivors() {
     // Figure 2, n = 2, crash the partner at various points.
     for crash_at in [0u64, 3, 8, 20] {
         let proto = AgreementProto::new(2, 0.25);
-        let mut strategy = CrashAt::new(RoundRobin::new(), vec![(1, crash_at)]);
         let out = SimBuilder::new(proto.registers())
             .owners(proto.owners())
-            .strategy_ref(&mut strategy)
+            .crashes([(1, crash_at)])
             .run_symmetric(2, move |ctx| {
                 let mut h = proto.handle();
                 h.input(ctx, ctx.proc() as f64);
@@ -93,11 +90,10 @@ fn agreement_survivors() {
     }
     // Fixed-round variant, n = 4, two crashes.
     let obj = OneShotAgreement::new(4, 0.1, 0.0, 1.0);
-    let mut strategy = CrashAt::new(RoundRobin::new(), vec![(1, 30), (2, 70)]);
     let obj_ref = &obj;
     let out = SimBuilder::new(obj.registers())
         .owners(obj.owners())
-        .strategy_ref(&mut strategy)
+        .crashes([(1, 30), (2, 70)])
         .run_symmetric(4, move |ctx| obj_ref.run(ctx, ctx.proc() as f64 / 3.0));
     out.assert_no_panics();
     let a = out.results[0].expect("P0 finishes");
@@ -119,10 +115,9 @@ fn lock_baseline_wedges_on_crash() {
     // Meanwhile the wait-free counter with the same fault keeps going.
     let n = 2;
     let cnt = DirectCounter::new(n);
-    let mut strategy = CrashAt::new(RoundRobin::new(), vec![(1, 4)]); // mid-operation
     let out = SimBuilder::new(cnt.registers())
         .owners(cnt.owners())
-        .strategy_ref(&mut strategy)
+        .crashes([(1, 4)]) // mid-operation
         .run_symmetric(n, move |ctx| {
             let mut h = cnt.handle();
             h.inc(ctx, 1);
@@ -140,11 +135,10 @@ fn randomized_crash_sweep() {
     for seed in 0..10u64 {
         let n = 4;
         let cnt = DirectCounter::new(n);
-        let crashes = vec![(1, 3 + seed % 7), (2, 9 + seed % 11)];
-        let mut strategy = CrashAt::new(SeededRandom::new(seed), crashes);
         let out = SimBuilder::new(cnt.registers())
             .owners(cnt.owners())
-            .strategy_ref(&mut strategy)
+            .strategy(SeededRandom::new(seed))
+            .crashes([(1, 3 + seed % 7), (2, 9 + seed % 11)])
             .run_symmetric(n, move |ctx| {
                 let mut h = cnt.handle();
                 h.inc(ctx, 1);

@@ -41,10 +41,7 @@ fn shrunk_schedule_replays_bit_identically_and_names_the_blocking_edge() {
     let stats = SimBuilder::new(arr.registers::<u32>())
         .owners(arr.owners())
         .explore(
-            &ExploreConfig {
-                shrink: Some(ShrinkConfig::default()),
-                ..ExploreConfig::default()
-            },
+            &ExploreConfig::new().shrink(ShrinkConfig::default()),
             e9_factory(arr, Arc::clone(&cell)),
             |out| {
                 out.assert_no_panics();

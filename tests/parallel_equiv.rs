@@ -44,10 +44,7 @@ fn clean_snapshot_counts_match_sequential_across_seeds_and_threads() {
         let snap = Snapshot::new(2);
         // Vary the truncation depth with the seed so each seed explores
         // a differently sized tree.
-        let econfig = ExploreConfig {
-            max_depth: 9 + seed as usize,
-            ..ExploreConfig::default()
-        };
+        let econfig = ExploreConfig::new().max_depth(9 + seed as usize);
         let make = snapshot_make(snap, seed);
         let sim = SimBuilder::new(snap.registers::<u32>()).owners(snap.owners());
         let seq = sim.explore(&econfig, make, |out| {
@@ -84,10 +81,7 @@ fn clean_snapshot_counts_match_sequential_across_seeds_and_threads() {
 fn merged_telemetry_is_identical_across_sequential_and_parallel() {
     use apram_model::TelemetryRegistry;
     let snap = Snapshot::new(2);
-    let econfig = ExploreConfig {
-        max_depth: 10,
-        ..ExploreConfig::default()
-    };
+    let econfig = ExploreConfig::new().max_depth(10);
     let make = snapshot_make(snap, 3);
     let sim = SimBuilder::new(snap.registers::<u32>()).owners(snap.owners());
 
@@ -148,10 +142,7 @@ fn merged_telemetry_is_identical_across_sequential_and_parallel() {
 #[test]
 fn reduced_counts_and_pruning_match_sequential() {
     let snap = Snapshot::new(2);
-    let econfig = ExploreConfig {
-        max_depth: 10,
-        ..ExploreConfig::default()
-    };
+    let econfig = ExploreConfig::new().max_depth(10);
     let make = snapshot_make(snap, 7);
     let sim = SimBuilder::new(snap.registers::<u32>()).owners(snap.owners());
     let seq = sim.explore_reduced(&econfig, make, |out| {
@@ -179,10 +170,7 @@ fn reduced_counts_and_pruning_match_sequential() {
 fn naive_collect_violator_yields_identical_first_violation() {
     let arr = CollectArray::new(E9_PROCS);
     let spec = SnapshotSpec::<u32>::new(E9_PROCS);
-    let econfig = ExploreConfig {
-        shrink: Some(ShrinkConfig::default()),
-        ..ExploreConfig::default()
-    };
+    let econfig = ExploreConfig::new().shrink(ShrinkConfig::default());
 
     // Sequential reference: first violation in canonical DFS order.
     let cell: E9RecCell = Arc::new(Mutex::new(None));
@@ -232,26 +220,19 @@ fn parallel_batch_check_matches_sequential_checks() {
     let sink: Arc<Mutex<Vec<_>>> = Arc::new(Mutex::new(Vec::new()));
     let stats = SimBuilder::new(arr.registers::<u32>())
         .owners(arr.owners())
-        .explore_parallel(
-            &ExploreConfig {
-                max_runs: 300,
-                ..ExploreConfig::default()
-            },
-            2,
-            |_| {
-                let cell: E9RecCell = Arc::new(Mutex::new(None));
-                let visit_cell = Arc::clone(&cell);
-                let make = e9_factory(arr, cell);
-                let sink = Arc::clone(&sink);
-                let visit = move |out: &SimOutcome<Tagged<u32>, ()>| {
-                    out.assert_no_panics();
-                    let hist = visit_cell.lock().unwrap().take().unwrap().snapshot();
-                    sink.lock().unwrap().push(hist);
-                    true
-                };
-                (make, visit)
-            },
-        );
+        .explore_parallel(&ExploreConfig::new().max_runs(300), 2, |_| {
+            let cell: E9RecCell = Arc::new(Mutex::new(None));
+            let visit_cell = Arc::clone(&cell);
+            let make = e9_factory(arr, cell);
+            let sink = Arc::clone(&sink);
+            let visit = move |out: &SimOutcome<Tagged<u32>, ()>| {
+                out.assert_no_panics();
+                let hist = visit_cell.lock().unwrap().take().unwrap().snapshot();
+                sink.lock().unwrap().push(hist);
+                true
+            };
+            (make, visit)
+        });
     let batch = std::mem::take(&mut *sink.lock().unwrap());
     assert_eq!(batch.len() as u64, stats.runs, "one history per run");
     let sequential: Vec<_> = batch

@@ -41,11 +41,7 @@ where
     let spec = SnapshotSpec::<u32>::new(2);
     let mut witnesses = Vec::new();
     let stats = SimBuilder::new(registers).owners(owners).explore(
-        &ExploreConfig {
-            max_runs: 1_500,
-            max_depth,
-            ..ExploreConfig::default()
-        },
+        &ExploreConfig::new().max_runs(1_500).max_depth(max_depth),
         make,
         |out| {
             out.assert_no_panics();
