@@ -238,6 +238,7 @@ mod tests {
     #[test]
     fn reduced_exploration_result_check() {
         use apram_model::sim::explore::ExploreConfig;
+        use apram_model::sim::Budgeted;
         use apram_model::sim::ProcBody;
         let eps = 0.6;
         let inputs = [0.0f64, 1.0];

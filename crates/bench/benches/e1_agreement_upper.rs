@@ -1,5 +1,5 @@
 //! E1 (wall-clock companion) — approximate agreement cost as Δ/ε and n
-//! grow. The step-count table comes from `experiments -- e1`; this bench
+//! grow. The step-count table comes from `experiments run e1`; this bench
 //! tracks the wall-clock of complete round-robin executions of the state
 //! machine, whose growth must be ~log₂(Δ/ε) (Theorem 5) and ~n² per
 //! round (n processes × n reads per scan).

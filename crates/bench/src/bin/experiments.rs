@@ -2,17 +2,30 @@
 //! machine-readable `BENCH_e<N>.json` reports.
 //!
 //! ```text
-//! cargo run -p apram-bench --bin experiments --release                # all
-//! cargo run -p apram-bench --bin experiments --release -- e2 e4      # some
-//! cargo run -p apram-bench --bin experiments -- e4 --json out/       # + report
+//! experiments run all                        # every experiment
+//! experiments run e4 e10 e11 --quick         # a selection
+//! experiments run e11 --json out/            # + BENCH_e11.json
+//! experiments sweep --config plan.json --out runs/nightly
+//! experiments resume runs/nightly            # pick up where it stopped
 //! ```
 //!
-//! Flags (shared by every experiment):
+//! Subcommands:
 //!
-//! * `--seed N` — base seed for all sampled schedules (default 0)
+//! * `run <e1 … e11 | explore | all>` — run experiments and print their
+//!   EXPERIMENTS.md tables.
+//! * `sweep --config PLAN.json --out DIR` — execute a [`SweepPlan`]
+//!   grid into a resumable run directory (`--max-cells K` stops after K
+//!   new cells, for smoke tests of the resume path).
+//! * `resume DIR` — continue the sweep recorded in DIR, skipping every
+//!   completed cell.
+//!
+//! Shared flags (parsed once, honored by every subcommand):
+//!
+//! * `--seed N` — root seed for all sampled schedules (default 0;
+//!   sweeps take their seed from the plan file instead)
 //! * `--quick` — shrink grids and sample counts for a smoke run
-//! * `--threads N` — worker threads for parallel exploration and
-//!   history checking (default 0 = all available parallelism); also
+//! * `--threads N` — worker threads for parallel exploration, sampling
+//!   and history checking (default 0 = all available parallelism); also
 //!   pins the `explore` benchmark grid to exactly N
 //! * `--json [DIR]` — write one `BENCH_e<N>.json` per experiment into
 //!   DIR (default `bench-out`)
@@ -25,7 +38,9 @@
 //!   (`shrunk_schedule.jsonl`, `witness.json`, `witness.txt`,
 //!   `spans.json`; see EXPERIMENTS.md for the schema)
 //!
-//! Experiment names may also be spelled as flags (`--e4` ≡ `e4`).
+//! The pre-subcommand spellings (`experiments e4`, `experiments --e4`)
+//! are still accepted as deprecated aliases for `run` for one release
+//! and warn on stderr.
 
 use apram_bench::*;
 use apram_model::Json;
@@ -33,16 +48,28 @@ use std::path::{Path, PathBuf};
 use std::process::exit;
 use std::time::Instant;
 
-const KNOWN: [&str; 11] = [
-    "e1", "e2", "e3", "e4", "e4b", "e5", "e6", "e8", "e9", "e10", "explore",
+const KNOWN: [&str; 12] = [
+    "e1", "e2", "e3", "e4", "e4b", "e5", "e6", "e8", "e9", "e10", "e11", "explore",
 ];
 
+/// Which subcommand was requested.
+enum Cmd {
+    /// `run <names>` (and the deprecated bare-name spelling).
+    Run,
+    /// `sweep --config PLAN --out DIR`.
+    Sweep { config: PathBuf, out: PathBuf },
+    /// `resume DIR`.
+    Resume { dir: PathBuf },
+}
+
 struct Cli {
+    cmd: Cmd,
     names: Vec<String>,
     opts: ExpOpts,
     json_dir: Option<PathBuf>,
     telemetry_dir: Option<PathBuf>,
     forensics_dir: Option<PathBuf>,
+    max_cells: Option<usize>,
 }
 
 impl Cli {
@@ -53,13 +80,50 @@ impl Cli {
 
 fn parse_cli() -> Cli {
     let mut cli = Cli {
+        cmd: Cmd::Run,
         names: Vec::new(),
         opts: ExpOpts::default(),
         json_dir: None,
         telemetry_dir: None,
         forensics_dir: None,
+        max_cells: None,
     };
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+
+    // Subcommand dispatch on the first token. Anything else falls back
+    // to the deprecated pre-subcommand grammar (bare names / --eN).
+    let mut sweep_config: Option<PathBuf> = None;
+    let mut sweep_out: Option<PathBuf> = None;
+    let mut resume_dir: Option<PathBuf> = None;
+    match args.first().map(String::as_str) {
+        Some("run") => {
+            args.remove(0);
+        }
+        Some("sweep") => {
+            cli.cmd = Cmd::Sweep {
+                config: PathBuf::new(),
+                out: PathBuf::new(),
+            };
+            args.remove(0);
+        }
+        Some("resume") => {
+            cli.cmd = Cmd::Resume {
+                dir: PathBuf::new(),
+            };
+            args.remove(0);
+        }
+        Some(tok) if tok != "--help" && tok != "-h" => {
+            let name = tok.trim_start_matches("--");
+            eprintln!(
+                "warning: subcommand-less invocation is deprecated; \
+                 use `experiments run {name} ...` (this alias will be removed next release)"
+            );
+        }
+        _ => {}
+    }
+    let in_sweep = matches!(cli.cmd, Cmd::Sweep { .. });
+    let in_resume = matches!(cli.cmd, Cmd::Resume { .. });
+
     // A token is a directory operand (not a fresh flag or experiment
     // name) — lets `--json` / `--telemetry` take their DIR optionally.
     let is_dir_operand = |tok: &String| !tok.starts_with('-') && !KNOWN.contains(&tok.as_str());
@@ -110,22 +174,70 @@ fn parse_cli() -> Cli {
                 i += 1;
                 cli.forensics_dir = Some(PathBuf::from(v));
             }
+            "--config" if in_sweep => {
+                let v = args
+                    .get(i)
+                    .unwrap_or_else(|| usage("--config needs a plan file"));
+                i += 1;
+                sweep_config = Some(PathBuf::from(v));
+            }
+            "--out" if in_sweep => {
+                let v = args
+                    .get(i)
+                    .unwrap_or_else(|| usage("--out needs a directory"));
+                i += 1;
+                sweep_out = Some(PathBuf::from(v));
+            }
+            "--max-cells" if in_sweep || in_resume => {
+                let v = args
+                    .get(i)
+                    .unwrap_or_else(|| usage("--max-cells needs a count"));
+                i += 1;
+                cli.max_cells = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| usage(&format!("bad --max-cells value '{v}'"))),
+                );
+            }
             "--help" | "-h" => usage(""),
             name if !name.starts_with('-') => {
-                if !KNOWN.contains(&name) {
+                if in_resume {
+                    if resume_dir.is_some() {
+                        usage("resume takes exactly one run directory");
+                    }
+                    resume_dir = Some(PathBuf::from(name));
+                } else if in_sweep {
+                    usage(&format!("sweep takes no positional operand '{name}'"));
+                } else if name == "all" {
+                    // `run all` = no filter.
+                } else if KNOWN.contains(&name) {
+                    cli.names.push(name.to_string());
+                } else {
                     usage(&format!("unknown experiment '{name}'"));
                 }
-                cli.names.push(name.to_string());
             }
             other => {
-                // `--e4` style aliases for the experiment names.
+                // Deprecated `--e4` style aliases for the experiment names.
                 let name = other.trim_start_matches("--");
-                if other.starts_with("--") && KNOWN.contains(&name) {
+                if other.starts_with("--") && KNOWN.contains(&name) && !in_sweep && !in_resume {
+                    eprintln!(
+                        "warning: '{other}' is deprecated; use `experiments run {name}` \
+                         (this alias will be removed next release)"
+                    );
                     cli.names.push(name.to_string());
                 } else {
                     usage(&format!("unknown flag '{other}'"));
                 }
             }
+        }
+    }
+    match &mut cli.cmd {
+        Cmd::Run => {}
+        Cmd::Sweep { config, out } => {
+            *config = sweep_config.unwrap_or_else(|| usage("sweep requires --config PLAN.json"));
+            *out = sweep_out.unwrap_or_else(|| usage("sweep requires --out DIR"));
+        }
+        Cmd::Resume { dir } => {
+            *dir = resume_dir.unwrap_or_else(|| usage("resume requires a run directory"));
         }
     }
     cli
@@ -136,11 +248,58 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: experiments [e1 e2 e3 e4 e4b e5 e6 e8 e9 e10 explore ...] \
+        "usage: experiments run [e1 e2 e3 e4 e4b e5 e6 e8 e9 e10 e11 explore | all] \
          [--seed N] [--quick] [--threads N] [--json [DIR]] \
-         [--telemetry [DIR]] [--forensics DIR]"
+         [--telemetry [DIR]] [--forensics DIR]\n\
+         \x20      experiments sweep --config PLAN.json --out DIR [--max-cells K] [--threads N]\n\
+         \x20      experiments resume DIR [--max-cells K] [--threads N]"
     );
     exit(if err.is_empty() { 0 } else { 2 })
+}
+
+/// Execute `sweep` / `resume` and print the outcome summary.
+fn run_sweep_cmd(cli: &Cli) -> ! {
+    let sweep_opts = SweepOpts {
+        threads: cli.opts.threads,
+        max_cells: cli.max_cells,
+        every: std::time::Duration::from_millis(500),
+    };
+    let (result, dir) = match &cli.cmd {
+        Cmd::Sweep { config, out } => {
+            let text = std::fs::read_to_string(config).unwrap_or_else(|e| {
+                eprintln!("error: cannot read {}: {e}", config.display());
+                exit(1);
+            });
+            let plan = SweepPlan::from_json(&text).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                exit(1);
+            });
+            (run_sweep(&plan, out, &sweep_opts), out.clone())
+        }
+        Cmd::Resume { dir } => (resume_sweep(dir, &sweep_opts), dir.clone()),
+        Cmd::Run => unreachable!("run is handled by main"),
+    };
+    match result {
+        Ok(outcome) => {
+            println!(
+                "sweep {}: {} cells total, {} skipped (already complete), {} run{}",
+                dir.display(),
+                outcome.total,
+                outcome.skipped,
+                outcome.completed,
+                if outcome.done() {
+                    "; sweep complete"
+                } else {
+                    "; interrupted (resume to continue)"
+                },
+            );
+            exit(0)
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            exit(1)
+        }
+    }
 }
 
 /// Write one telemetry artifact, creating DIR as needed.
@@ -251,6 +410,9 @@ fn write_forensics(dir: &Path, r: &E9Report) {
 
 fn main() {
     let cli = parse_cli();
+    if !matches!(cli.cmd, Cmd::Run) {
+        run_sweep_cmd(&cli);
+    }
     let opts = cli.opts;
 
     if cli.want("e1") {
@@ -965,6 +1127,76 @@ fn main() {
             "e10",
             "Wait-freedom certification: certified (n, f) grid with survivor latency vs f",
             json,
+            started,
+        );
+    }
+
+    if cli.want("e11") {
+        let started = Instant::now();
+        println!("## E11 — sampled tail latency: step percentiles vs analytic bounds\n");
+        let data = e11_rows(&opts);
+        let rows: Vec<Vec<String>> = data
+            .iter()
+            .map(|r| {
+                let (lo, hi) = r.report.exceed_ci();
+                vec![
+                    r.object.clone(),
+                    r.n.to_string(),
+                    r.f.to_string(),
+                    r.report.scheduler.clone(),
+                    r.report.runs.to_string(),
+                    r.report.hist.p50().to_string(),
+                    r.report.hist.p99().to_string(),
+                    r.report.hist.p999().to_string(),
+                    r.report.hist.max.to_string(),
+                    r.bound.to_string(),
+                    format!("[{lo:.4}, {hi:.4}]"),
+                    if r.ok() {
+                        if r.expect_within {
+                            "within".into()
+                        } else {
+                            "exceeds (expected)".into()
+                        }
+                    } else {
+                        "UNEXPECTED".to_string()
+                    },
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            markdown_table(
+                &[
+                    "object",
+                    "n",
+                    "f",
+                    "scheduler",
+                    "runs",
+                    "p50",
+                    "p99",
+                    "p999",
+                    "max",
+                    "bound",
+                    "exceed 95% CI",
+                    "verdict"
+                ],
+                &rows
+            )
+        );
+        let lock = data.last().expect("grid includes the negative control");
+        println!(
+            "negative control ({}): sampled exceedance rate {:.3} \
+             ({} of {} runs past the reference bound)\n",
+            lock.object,
+            lock.report.exceed_rate(),
+            lock.report.exceedances,
+            lock.report.samples,
+        );
+        emit_report(
+            &cli,
+            "e11",
+            "Sampled tail latency: p50/p99/p999/max survivor steps vs analytic bounds",
+            Json::Arr(data.iter().map(E11Row::to_json).collect()),
             started,
         );
     }

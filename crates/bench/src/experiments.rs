@@ -19,8 +19,10 @@ use apram_lattice::{Tagged, TaggedVec};
 use apram_model::sim::explore::{ExploreConfig, ExploreStats};
 use apram_model::sim::shrink::ShrinkConfig;
 use apram_model::sim::strategy::Replay;
-use apram_model::sim::{Certificate, CertifyConfig, ProcBody, SimBuilder, SimCtx, SimOutcome};
-use apram_model::{resolve_threads, Heartbeat, MemCtx, SpanNode, SpanRecorder};
+use apram_model::sim::{
+    Budgeted, Certificate, CertifyConfig, ProcBody, SimBuilder, SimCtx, SimOutcome,
+};
+use apram_model::{resolve_threads, Heartbeat, Json, MemCtx, SpanNode, SpanRecorder};
 use apram_snapshot::afek::{AfekReg, AfekSnapshot};
 use apram_snapshot::collect::{naive_collect, CollectArray, DoubleCollect};
 use apram_snapshot::lock::SimLockSnapshot;
@@ -1066,7 +1068,7 @@ impl E10Row {
 /// never share state.
 ///
 /// [`certify_parallel`]: apram_model::certify_parallel
-fn e10_pair<T, FBodies>(
+pub(crate) fn e10_pair<T, FBodies>(
     n: usize,
     mut bodies: FBodies,
 ) -> (
@@ -1118,7 +1120,7 @@ where
 
 /// Workload bodies for the lattice-based atomic snapshot: each process
 /// records one `update(p+1)` then one `snap`.
-fn e10_snapshot_bodies(
+pub(crate) fn e10_snapshot_bodies(
     snap: Snapshot,
     rec: Recorder<SnapOp<u32>, SnapResp<u32>>,
 ) -> Vec<ProcBody<'static, TaggedVec<u32>, ()>> {
@@ -1140,7 +1142,7 @@ fn e10_snapshot_bodies(
 }
 
 /// Same workload over Afek et al.'s bounded single-writer snapshot.
-fn e10_afek_bodies(
+pub(crate) fn e10_afek_bodies(
     snap: AfekSnapshot,
     rec: Recorder<SnapOp<u32>, SnapResp<u32>>,
 ) -> Vec<ProcBody<'static, AfekReg<u32>, ()>> {
@@ -1162,7 +1164,7 @@ fn e10_afek_bodies(
 
 /// Same workload over the double-collect snapshot (wait-free here
 /// because every process performs exactly one update).
-fn e10_collect_bodies(
+pub(crate) fn e10_collect_bodies(
     arr: CollectArray,
     rec: Recorder<SnapOp<u32>, SnapResp<u32>>,
 ) -> Vec<ProcBody<'static, Tagged<u32>, ()>> {
@@ -1187,7 +1189,7 @@ fn e10_collect_bodies(
 /// exhausts well inside the run budget (the certificate demands
 /// `exhausted`). Crash branches widen the tree, so the depth shrinks
 /// with `n` and `f`.
-fn e10_depth(n: usize, f: usize) -> usize {
+pub(crate) fn e10_depth(n: usize, f: usize) -> usize {
     match (n, f) {
         (2, 0) => 10,
         (2, _) => 8,
@@ -1315,6 +1317,108 @@ pub fn e10_rows(opts: &ExpOpts) -> Vec<E10Row> {
     rows
 }
 
+// ---------------------------------------------------------------------------
+// E11 — sampled tail latency: the stochastic complement of E10
+
+/// One cell of the sampled tail-latency grid.
+#[derive(Clone, Debug)]
+pub struct E11Row {
+    /// Object under sampling (a [`crate::sweep::SWEEP_OBJECTS`] name).
+    pub object: String,
+    /// Number of processes.
+    pub n: usize,
+    /// Random crash victims injected per run.
+    pub f: usize,
+    /// Analytic per-process step bound (for `lock`, the reference bound
+    /// its tail is expected to blow through).
+    pub bound: u64,
+    /// Whether the tail is expected to stay within the bound — `false`
+    /// only for the lock-based negative control.
+    pub expect_within: bool,
+    /// The sampling result (scheduler, histogram, CI, violations).
+    pub report: apram_model::sim::SampleReport,
+}
+
+impl E11Row {
+    /// The worst sampled survivor step count stayed within the bound.
+    /// (`hist.max` is exact — unlike the quantiles it is not bucketed.)
+    pub fn within_bound(&self) -> bool {
+        self.report.hist.max <= self.bound
+    }
+
+    /// Verdict matches the expectation: wait-free tails inside the
+    /// bound with zero exceedances, the lock tail outside it.
+    pub fn ok(&self) -> bool {
+        if self.expect_within {
+            self.within_bound() && self.report.exceedances == 0 && self.report.passed()
+        } else {
+            !self.within_bound() && self.report.exceedances > 0
+        }
+    }
+
+    /// JSON record for `BENCH_e11.json`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("object", Json::Str(self.object.clone())),
+            ("n", Json::UInt(self.n as u64)),
+            ("f", Json::UInt(self.f as u64)),
+            ("bound", Json::UInt(self.bound)),
+            ("expect_within", Json::Bool(self.expect_within)),
+            ("within_bound", Json::Bool(self.within_bound())),
+            ("ok", Json::Bool(self.ok())),
+            ("sample", self.report.to_json()),
+        ])
+    }
+}
+
+/// E11 — the sampled tail-latency grid: for every wait-free snapshot
+/// construction (and the paper's scan object), draw a large budget of
+/// uniform-random and PCT schedules with one random crash per run and
+/// record the per-survivor step distribution; the analytic bounds of
+/// E10 must hold at every sampled percentile (p50/p99/p999/max, with a
+/// Wilson 95% CI on the exceedance rate). The lock-based snapshot rides
+/// along as the unbounded-tail negative control: its p999/max blow
+/// through the reference bound that wait-free objects cannot exceed.
+///
+/// Seeding follows the sweep scheme exactly — each cell samples from
+/// `split(seed, STREAM_CELL ^ fnv1a(cell_id))` — so an E11 cell is
+/// bit-identical to the same cell run by `experiments sweep`.
+pub fn e11_rows(opts: &ExpOpts) -> Vec<E11Row> {
+    use crate::sweep::{object_bound, run_sample_cell, CellSched, SweepCell};
+    let ns: &[usize] = if opts.quick { &[2] } else { &[2, 3] };
+    let runs: u64 = if opts.quick { 300 } else { 4000 };
+    let scheds = [CellSched::Random, CellSched::Pct(3)];
+    let mut rows = Vec::new();
+    let push = |object: &str, n: usize, expect_within: bool, rows: &mut Vec<E11Row>| {
+        for sched in scheds {
+            let cell = SweepCell {
+                object: object.into(),
+                n,
+                f: 1,
+                sched,
+                runs,
+                depth: 0,
+            };
+            let report = run_sample_cell(&cell, cell.seed(opts.seed), opts.threads);
+            rows.push(E11Row {
+                object: object.into(),
+                n,
+                f: 1,
+                bound: object_bound(object, n),
+                expect_within,
+                report,
+            });
+        }
+    };
+    for &n in ns {
+        for object in ["snapshot", "afek", "double-collect", "scan"] {
+            push(object, n, true, &mut rows);
+        }
+    }
+    push("lock", 2, false, &mut rows);
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1424,6 +1528,35 @@ mod tests {
         // starving the survivor on the lock spin needs no crash, because
         // in this model a crash is only permanent descheduling.
         assert!(v.report.crashes.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn e11_tails_respect_bounds_and_convict_the_lock() {
+        let rows = e11_rows(&ExpOpts {
+            seed: 0,
+            quick: true,
+            threads: 2,
+        });
+        // Quick grid: 4 wait-free objects × 2 samplers at n=2, + 2 lock cells.
+        assert_eq!(rows.len(), 10);
+        for row in &rows {
+            assert!(row.ok(), "cell failed: {row:?}");
+            assert_eq!(row.report.runs, 300, "{row:?}");
+            assert!(row.report.samples > 0, "{row:?}");
+        }
+        let schedulers: Vec<&str> = rows.iter().map(|r| r.report.scheduler.as_str()).collect();
+        assert!(schedulers.contains(&"random") && schedulers.contains(&"pct(3)"));
+        // Wait-free tails: every percentile inside the bound, and the
+        // 95% CI on the exceedance rate starts at zero.
+        for row in rows.iter().filter(|r| r.expect_within) {
+            assert!(row.report.hist.p999() <= row.bound, "{row:?}");
+            assert_eq!(row.report.exceed_ci().0, 0.0, "{row:?}");
+        }
+        // The lock's tail blows through the reference bound.
+        for lock in rows.iter().filter(|r| r.object == "lock") {
+            assert!(lock.report.hist.max > lock.bound, "{lock:?}");
+            assert!(lock.report.exceed_rate() > 0.0, "{lock:?}");
+        }
     }
 
     #[test]

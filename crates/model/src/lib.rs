@@ -49,6 +49,7 @@ pub mod ctx;
 pub mod json;
 pub mod metrics;
 pub mod native;
+pub mod seed;
 pub mod sim;
 pub mod span;
 pub mod telemetry;
@@ -60,9 +61,11 @@ pub use metrics::{Metrics, MetricsLevel, RegStats};
 pub use native::{NativeCtx, NativeMemory};
 pub use sim::{
     certify, certify_parallel, explore, explore_parallel, explore_reduced_parallel,
-    resolve_threads, shrink_execution, shrink_schedule, CertViolation, Certificate, CertifyConfig,
-    Decision, ExploreConfig, ExploreStats, FaultPlan, Faulty, ProcBody, SchedView, ShrinkConfig,
-    ShrinkReport, SimBuilder, SimConfig, SimCtx, SimOutcome, Strategy, ViolationKind,
+    resolve_threads, sample, sample_parallel, shrink_execution, shrink_schedule, wilson_interval,
+    Budget, Budgeted, CertViolation, Certificate, CertifyConfig, Decision, ExploreConfig,
+    ExploreStats, FaultPlan, Faulty, ProcBody, SampleConfig, SampleReport, SampleViolation,
+    Sampler, SchedView, ShrinkConfig, ShrinkReport, SimBuilder, SimConfig, SimCtx, SimOutcome,
+    Strategy, ViolationKind,
 };
 pub use span::{SpanNode, SpanRecorder};
 pub use telemetry::{

@@ -29,7 +29,7 @@
 //! reporting timing-dependent aggregates.
 //!
 //! ```
-//! use apram_model::sim::{certify, CertifyConfig, ExploreConfig, SimBuilder};
+//! use apram_model::sim::{certify, Budgeted, CertifyConfig, SimBuilder};
 //! use apram_model::sim::{ProcBody, SimCtx};
 //! use apram_model::MemCtx;
 //!
@@ -46,12 +46,13 @@
 //! };
 //! // Each body performs exactly 2 shared-memory steps; certify that
 //! // bound under every schedule with at most one crash.
-//! let ccfg = CertifyConfig::new([2, 2]).explore(ExploreConfig::new().max_crashes(1));
+//! let ccfg = CertifyConfig::new([2, 2]).max_crashes(1);
 //! let cert = certify(sim.config(), &ccfg, factory, |_| true);
 //! assert!(cert.passed());
 //! assert_eq!(cert.worst_steps, vec![2, 2]);
 //! ```
 
+use super::budget::{Budget, Budgeted};
 use super::explore::{explore, ExploreConfig, ExploreStats};
 use super::fault::FaultPlan;
 use super::parallel::explore_parallel;
@@ -70,7 +71,7 @@ pub struct CertifyConfig {
     /// complete within `bounds[p]` shared-memory steps on every run.
     pub bounds: Vec<u64>,
     /// Exploration limits — in particular
-    /// [`max_crashes`](ExploreConfig::max_crashes) is the fault budget
+    /// [`max_crashes`](crate::sim::Budget::max_crashes) is the fault budget
     /// `f` the certificate covers. A shrink config is installed
     /// automatically when absent, so witnesses are always minimal.
     pub explore: ExploreConfig,
@@ -79,10 +80,21 @@ pub struct CertifyConfig {
     pub require_finish: bool,
 }
 
+impl Budgeted for CertifyConfig {
+    /// The certifier's budget is its exploration's budget: chaining
+    /// `.max_crashes(1)` on a `CertifyConfig` is the same as setting it
+    /// on [`CertifyConfig::explore`].
+    fn budget_mut(&mut self) -> &mut Budget {
+        &mut self.explore.budget
+    }
+}
+
 impl CertifyConfig {
     /// Certify the given per-process step bounds with default
-    /// exploration limits (crash-free; chain
-    /// [`explore`](Self::explore) to set a fault budget).
+    /// exploration limits (crash-free; chain the [`Budgeted`] setters —
+    /// e.g. [`max_crashes`](Budgeted::max_crashes) — to set a fault
+    /// budget, or [`explore`](Self::explore) to replace the limits
+    /// wholesale).
     pub fn new(bounds: impl Into<Vec<u64>>) -> Self {
         CertifyConfig {
             bounds: bounds.into(),
@@ -136,7 +148,7 @@ pub enum ViolationKind {
 }
 
 impl ViolationKind {
-    fn to_json(&self) -> Json {
+    pub(crate) fn to_json(&self) -> Json {
         match self {
             ViolationKind::Panic { proc, message } => Json::obj([
                 ("kind", Json::Str("panic".into())),
@@ -238,8 +250,9 @@ impl Certificate {
 /// Judge one run. `None` means the run passes; otherwise the
 /// highest-priority violation, in a deterministic order (panics, then
 /// step bounds by process id, then incompleteness by process id, then
-/// the semantic check).
-fn judge<T, R>(
+/// the semantic check). Shared with the [sampler](mod@super::sample),
+/// which applies the same verdicts to randomly drawn schedules.
+pub(crate) fn judge<T, R>(
     bounds: &[u64],
     require_finish: bool,
     out: &SimOutcome<T, R>,
@@ -278,7 +291,7 @@ fn judge<T, R>(
 
 /// Deterministically re-execute a witness: a halting replay of its
 /// schedule under its crash plan.
-fn replay_witness<T, R, FMake>(
+pub(crate) fn replay_witness<T, R, FMake>(
     cfg: &SimConfig<T>,
     schedule: &[ProcId],
     crashes: &[(ProcId, u64)],

@@ -11,6 +11,7 @@
 //! checked exhaustively on small instances: every interleaving of a
 //! 2–3 process execution is generated and its history verified.
 
+use super::budget::{Budget, Budgeted};
 use super::shrink::{shrink_execution, ShrinkConfig, ShrinkReport};
 use super::strategy::{Decision, SchedView, Strategy};
 use super::{run_sim_with, ProcBody, SimConfig, SimOutcome};
@@ -28,31 +29,32 @@ const SPAN_RUN_CAP: u64 = 32;
 
 /// Exploration limits and forensics hooks.
 ///
-/// Construct fluently in the `SimBuilder` idiom — every knob is a
-/// chainable named method:
+/// The shared limits (run cap, branching depth, crash budget,
+/// heartbeat) live in an embedded [`Budget`] and are set through the
+/// [`Budgeted`] vocabulary common to all exploration configs;
+/// explorer-specific knobs (worker threads, shrinking, span tracing)
+/// are inherent methods. Construct fluently in the `SimBuilder` idiom:
 ///
 /// ```
-/// use apram_model::sim::ExploreConfig;
+/// use apram_model::sim::{Budgeted, ExploreConfig};
 /// let cfg = ExploreConfig::new()
 ///     .max_runs(10_000)
 ///     .max_depth(8)
 ///     .max_crashes(1)
 ///     .threads(4);
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct ExploreConfig {
-    /// Stop after this many runs even if the tree is not exhausted.
-    pub max_runs: u64,
-    /// Only branch within the first `max_depth` decision points; beyond
-    /// it, the first runnable process is chosen deterministically. Runs
-    /// remain complete executions; coverage is exhaustive over the
-    /// prefix.
-    pub max_depth: usize,
-    /// Crash-fault budget `f`: at every decision point within
-    /// `max_depth` where fewer than `max_crashes` crashes have fired,
-    /// the tree also branches on crashing each runnable process. 0 (the
-    /// default) explores only crash-free schedules.
-    pub max_crashes: usize,
+    /// Shared limits: [`Budget::max_runs`] stops the search even if the
+    /// tree is not exhausted; [`Budget::max_depth`] restricts branching
+    /// to the first `max_depth` decision points (beyond it the first
+    /// runnable process is chosen deterministically — runs remain
+    /// complete executions, coverage is exhaustive over the prefix);
+    /// [`Budget::max_crashes`] is the fault budget `f` (at every
+    /// decision point within `max_depth` where fewer than `f` crashes
+    /// have fired, the tree also branches on crashing each runnable
+    /// process); [`Budget::heartbeat`] streams live progress.
+    pub budget: Budget,
     /// Worker-thread count used by the parallel engines when their
     /// explicit `threads` argument is 0 (in which case 0 here still
     /// means "all available parallelism"). Ignored by the sequential
@@ -67,23 +69,11 @@ pub struct ExploreConfig {
     /// first few runs, aggregate counters on the root) into
     /// [`ExploreStats::spans`].
     pub trace_spans: bool,
-    /// When set, emit a JSONL progress line to the heartbeat's sink at
-    /// least every [`Heartbeat::every`] (plus one final line), so long
-    /// explorations stream live progress instead of staying silent.
-    pub heartbeat: Option<Heartbeat>,
 }
 
-impl Default for ExploreConfig {
-    fn default() -> Self {
-        ExploreConfig {
-            max_runs: 1_000_000,
-            max_depth: usize::MAX,
-            max_crashes: 0,
-            threads: 0,
-            shrink: None,
-            trace_spans: false,
-            heartbeat: None,
-        }
+impl Budgeted for ExploreConfig {
+    fn budget_mut(&mut self) -> &mut Budget {
+        &mut self.budget
     }
 }
 
@@ -92,25 +82,6 @@ impl ExploreConfig {
     /// forensics hooks), ready for fluent chaining.
     pub fn new() -> Self {
         Self::default()
-    }
-
-    /// Stop after this many runs even if the tree is not exhausted.
-    pub fn max_runs(mut self, max_runs: u64) -> Self {
-        self.max_runs = max_runs;
-        self
-    }
-
-    /// Only branch within the first `max_depth` decision points.
-    pub fn max_depth(mut self, max_depth: usize) -> Self {
-        self.max_depth = max_depth;
-        self
-    }
-
-    /// Crash-fault budget `f`: also branch on crashing each runnable
-    /// process, in every explored execution with fewer than `f` crashes.
-    pub fn max_crashes(mut self, f: usize) -> Self {
-        self.max_crashes = f;
-        self
     }
 
     /// Worker-thread count for the parallel engines (0 = all available
@@ -129,26 +100,6 @@ impl ExploreConfig {
     /// Record a span tree of the exploration.
     pub fn trace_spans(mut self, on: bool) -> Self {
         self.trace_spans = on;
-        self
-    }
-
-    /// Attach a progress heartbeat: a JSONL line (runs, runs/sec,
-    /// sleep-skips, queue depth, violation-found) to `sink` at least
-    /// every `every`, plus a final line when the exploration ends.
-    pub fn heartbeat(
-        mut self,
-        every: Duration,
-        sink: impl std::io::Write + Send + 'static,
-    ) -> Self {
-        self.heartbeat = Some(Heartbeat::new(every, sink));
-        self
-    }
-
-    /// Install (or clear) an already-built heartbeat — the pass-through
-    /// form callers use to thread an optional shared heartbeat into a
-    /// config chain.
-    pub fn heartbeat_with(mut self, heartbeat: impl Into<Option<Heartbeat>>) -> Self {
-        self.heartbeat = heartbeat.into();
         self
     }
 }
@@ -210,7 +161,7 @@ pub struct ExploreStats {
     /// for plain [`explore`].
     pub sleep_skips: u64,
     /// Crash decisions taken across all runs (including replayed prefix
-    /// crashes); 0 unless [`ExploreConfig::max_crashes`] is set.
+    /// crashes); 0 unless [`Budget::max_crashes`](super::Budget::max_crashes) is set.
     pub crash_branches: u64,
     /// The canonical rejected execution, unshrunk; recorded whenever a
     /// `visit` callback rejected a run (with or without a shrink
@@ -475,8 +426,8 @@ where
         let mut strategy = TreeStrategy {
             stack: &mut stack,
             pos: 0,
-            max_depth: econfig.max_depth,
-            max_crashes: econfig.max_crashes,
+            max_depth: econfig.budget.max_depth,
+            max_crashes: econfig.budget.max_crashes,
             crashes_used: 0,
             stats: &mut stats,
         };
@@ -491,7 +442,7 @@ where
             s.bump("steps", run_steps);
         }
         stats.runs += 1;
-        if let Some(hb) = &econfig.heartbeat {
+        if let Some(hb) = &econfig.budget.heartbeat {
             if last_beat.elapsed() >= hb.every {
                 emit_beat(hb, start.elapsed(), stats.runs, 0, stack.len(), false);
                 last_beat = Instant::now();
@@ -510,7 +461,7 @@ where
             violated = true;
             break;
         }
-        if stats.runs >= econfig.max_runs {
+        if stats.runs >= econfig.budget.max_runs {
             break;
         }
         // Advance to the next schedule: drop exhausted trailing branches,
@@ -532,7 +483,7 @@ where
     stats.elapsed = start.elapsed();
     stats.worker_runs = vec![stats.runs];
     stats.worker_steals = vec![0];
-    if let Some(hb) = &econfig.heartbeat {
+    if let Some(hb) = &econfig.budget.heartbeat {
         emit_beat(hb, stats.elapsed, stats.runs, 0, stack.len(), violated);
     }
     finish_spans(&mut stats, spans);
@@ -831,8 +782,8 @@ where
         let mut strategy = SleepStrategy {
             stack: &mut stack,
             pos: 0,
-            max_depth: econfig.max_depth,
-            max_crashes: econfig.max_crashes,
+            max_depth: econfig.budget.max_depth,
+            max_crashes: econfig.budget.max_crashes,
             crashes_used: 0,
             stats: &mut stats,
             redundant_tail: false,
@@ -848,7 +799,7 @@ where
             s.bump("steps", run_steps);
         }
         stats.runs += 1;
-        if let Some(hb) = &econfig.heartbeat {
+        if let Some(hb) = &econfig.budget.heartbeat {
             if last_beat.elapsed() >= hb.every {
                 emit_beat(
                     hb,
@@ -874,7 +825,7 @@ where
             violated = true;
             break 'outer;
         }
-        if stats.runs >= econfig.max_runs {
+        if stats.runs >= econfig.budget.max_runs {
             break 'outer;
         }
         // Backtrack: mark the deepest node's pick explored and move to
@@ -913,7 +864,7 @@ where
     stats.elapsed = start.elapsed();
     stats.worker_runs = vec![stats.runs];
     stats.worker_steals = vec![0];
-    if let Some(hb) = &econfig.heartbeat {
+    if let Some(hb) = &econfig.budget.heartbeat {
         emit_beat(
             hb,
             stats.elapsed,
@@ -1288,7 +1239,7 @@ mod tests {
         assert_eq!(last.get("violation_found"), Some(&Json::Bool(true)));
         // The builder form wires a sink in one call.
         let cfg2 = ExploreConfig::default().heartbeat(Duration::from_secs(1), std::io::sink());
-        assert!(cfg2.heartbeat.is_some());
+        assert!(cfg2.budget.heartbeat.is_some());
     }
 
     #[test]
@@ -1323,15 +1274,15 @@ mod tests {
             .threads(4)
             .shrink(crate::sim::shrink::ShrinkConfig::default())
             .trace_spans(true);
-        assert_eq!(cfg.max_runs, 7);
-        assert_eq!(cfg.max_depth, 3);
-        assert_eq!(cfg.max_crashes, 2);
+        assert_eq!(cfg.budget.max_runs, 7);
+        assert_eq!(cfg.budget.max_depth, 3);
+        assert_eq!(cfg.budget.max_crashes, 2);
         assert_eq!(cfg.threads, 4);
         assert!(cfg.shrink.is_some());
         assert!(cfg.trace_spans);
-        assert!(cfg.heartbeat.is_none());
+        assert!(cfg.budget.heartbeat.is_none());
         let cleared = cfg.heartbeat_with(None);
-        assert!(cleared.heartbeat.is_none());
+        assert!(cleared.budget.heartbeat.is_none());
     }
 
     /// Reduction-free oracle: count the leaves of the crash-widened

@@ -7,16 +7,9 @@
 //! fluent [`SimBuilder::crashes`](crate::sim::SimBuilder::crashes)
 //! builder entry point.
 //!
-//! # Migration from `CrashAt`
+//! # Declaring faults
 //!
-//! The original API wrapped strategies by hand:
-//!
-//! ```text
-//! let strat = CrashAt::new(RoundRobin::new(), vec![(1, 5), (2, 9)]);   // deprecated
-//! ```
-//!
-//! New code declares the faults on the builder and leaves the strategy
-//! alone:
+//! Declare the faults on the builder and leave the strategy alone:
 //!
 //! ```
 //! use apram_model::sim::SimBuilder;
@@ -41,14 +34,15 @@
 //! # let _ = faulty;
 //! ```
 //!
-//! `CrashAt` remains as a thin deprecated shim for one release.
+//! (The deprecated `CrashAt` shim that previously wrapped this firing
+//! logic was removed in 0.6; `FaultPlan` is the only spelling.)
 
 use super::strategy::{Decision, SchedView, Strategy};
 use crate::ctx::ProcId;
 
 /// A declarative crash plan: `(proc, step)` pairs, each firing once.
 ///
-/// Firing semantics match the historical `CrashAt` wrapper exactly: a
+/// Firing semantics: a
 /// listed process `p` is crashed at the first decision point with
 /// `view.step >= step`, provided it has not already crashed or
 /// finished. Crash decisions do not consume a global step number, so a
@@ -97,8 +91,7 @@ impl FaultPlan {
     }
 
     /// Pick the next crash to fire under `view`, removing it from
-    /// `pending`. Shared by [`Faulty`], [`FaultyRef`] and the deprecated
-    /// `CrashAt` shim.
+    /// `pending`. Shared by [`Faulty`] and [`FaultyRef`].
     pub(crate) fn fire(pending: &mut Vec<(ProcId, u64)>, view: &SchedView) -> Option<Decision> {
         let i = pending
             .iter()

@@ -13,19 +13,25 @@
 //! taking steps) is a scheduler decision; the victim's thread is unwound
 //! at teardown via [`crate::crash::CrashSignal`].
 
+pub mod budget;
 pub mod certify;
 pub mod explore;
 pub mod fault;
 pub mod parallel;
+pub mod sample;
 pub mod shrink;
 pub mod strategy;
 
+pub use budget::{Budget, Budgeted};
 pub use certify::{
     certify, certify_parallel, CertViolation, Certificate, CertifyConfig, ViolationKind,
 };
 pub use explore::{explore, explore_reduced, ExecutionWitness, ExploreConfig, ExploreStats};
 pub use fault::{FaultPlan, Faulty};
 pub use parallel::{explore_parallel, explore_reduced_parallel, resolve_threads};
+pub use sample::{
+    sample, sample_parallel, wilson_interval, SampleConfig, SampleReport, SampleViolation, Sampler,
+};
 pub use shrink::{shrink_execution, shrink_schedule, ShrinkConfig, ShrinkReport, ShrinkStats};
 pub use strategy::{Decision, SchedView, Strategy};
 
@@ -583,6 +589,44 @@ impl<'s, T: Clone + Send> SimBuilder<'s, T> {
         Check: FnMut(&SimOutcome<T, R>) -> bool + Send,
     {
         certify::certify_parallel(&self.cfg, ccfg, threads, make_worker)
+    }
+
+    /// Monte-Carlo sample schedules of this configuration: randomized /
+    /// PCT scheduling with tail-percentile reporting against the step
+    /// bounds (see [`sample::sample`]). The builder's strategy and
+    /// fault plan are *not* used: sampling derives both from the
+    /// sample seed.
+    pub fn sample<R, FMake, Check>(
+        &self,
+        scfg: &sample::SampleConfig,
+        factory: FMake,
+        check: Check,
+    ) -> sample::SampleReport
+    where
+        T: 'static,
+        R: Send + 'static,
+        FMake: FnMut() -> Vec<ProcBody<'static, T, R>>,
+        Check: FnMut(&SimOutcome<T, R>) -> bool,
+    {
+        sample::sample(&self.cfg, scfg, factory, check)
+    }
+
+    /// Parallel sampling across `threads` workers; report-identical to
+    /// [`sample`](Self::sample) (see [`sample::sample_parallel`] for
+    /// the `make_worker` contract).
+    pub fn sample_parallel<R, FMake, Check>(
+        &self,
+        scfg: &sample::SampleConfig,
+        threads: usize,
+        make_worker: impl FnMut(usize) -> (FMake, Check),
+    ) -> sample::SampleReport
+    where
+        T: Sync + 'static,
+        R: Send + 'static,
+        FMake: FnMut() -> Vec<ProcBody<'static, T, R>> + Send,
+        Check: FnMut(&SimOutcome<T, R>) -> bool + Send,
+    {
+        sample::sample_parallel(&self.cfg, scfg, threads, make_worker)
     }
 }
 

@@ -432,7 +432,7 @@ struct PrefixStrategy<'a> {
     prefix: &'a [u32],
     reduce: bool,
     max_depth: usize,
-    /// Crash-branch budget for this exploration ([`ExploreConfig::max_crashes`]).
+    /// Crash-branch budget for this exploration ([`Budget::max_crashes`](super::Budget::max_crashes)).
     max_crashes: usize,
     /// Crash decisions taken so far this run (replayed or fresh); nodes
     /// stop widening with crash branches once the budget is spent, which
@@ -634,7 +634,7 @@ where
     } else {
         threads
     });
-    let shared = Shared::new(threads, econfig.max_runs);
+    let shared = Shared::new(threads, econfig.budget.max_runs);
     let pairs: Vec<(FMake, Visit)> = (0..threads).map(&mut make_worker).collect();
     let live = AtomicUsize::new(threads);
     std::thread::scope(|scope| {
@@ -646,8 +646,8 @@ where
                     shared,
                     cfg,
                     reduce,
-                    econfig.max_depth,
-                    econfig.max_crashes,
+                    econfig.budget.max_depth,
+                    econfig.budget.max_crashes,
                     fmake,
                     vis,
                 );
@@ -658,7 +658,7 @@ where
         // slices and exits once every worker has; it never outlives
         // the scope and never blocks a worker (one brief queue lock
         // per beat for the depth reading).
-        if let Some(hb) = econfig.heartbeat.clone() {
+        if let Some(hb) = econfig.budget.heartbeat.clone() {
             let (shared, live) = (&shared, &live);
             scope.spawn(move || {
                 let slice = hb
@@ -728,7 +728,7 @@ where
         stats.violation = Some(report);
     }
     stats.elapsed = start.elapsed();
-    if let Some(hb) = &econfig.heartbeat {
+    if let Some(hb) = &econfig.budget.heartbeat {
         emit_beat(
             hb,
             stats.elapsed,
@@ -797,6 +797,7 @@ const _: fn((crate::ctx::AccessKind, usize), (crate::ctx::AccessKind, usize)) ->
 mod tests {
     use super::super::explore::{explore, explore_reduced};
     use super::*;
+    use crate::sim::budget::Budgeted;
     use crate::sim::shrink::ShrinkConfig;
 
     fn two_proc_factory() -> Vec<ProcBody<'static, u64, u64>> {

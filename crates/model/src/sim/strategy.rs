@@ -182,44 +182,6 @@ impl Strategy for Replay {
     }
 }
 
-/// Wrap an inner strategy with crash injection: each listed process is
-/// crashed at (or after) its given global step number.
-///
-/// Deprecated: use [`FaultPlan`](crate::sim::fault::FaultPlan) —
-/// `FaultPlan::new().crash(p, k).over(inner)` — or the fluent
-/// [`SimBuilder::crashes`](crate::sim::SimBuilder::crashes) entry point.
-/// This shim delegates to the same firing logic and will be removed in
-/// the next release.
-#[deprecated(
-    since = "0.5.0",
-    note = "use sim::fault::FaultPlan::over or SimBuilder::crashes"
-)]
-#[derive(Debug)]
-pub struct CrashAt<S> {
-    inner: S,
-    /// `(proc, step)` pairs; each proc crashed at the first decision point
-    /// with `view.step >= step`.
-    crashes: Vec<(ProcId, u64)>,
-}
-
-#[allow(deprecated)]
-impl<S: Strategy> CrashAt<S> {
-    /// Crash each `(proc, step)` pair on top of `inner`'s schedule.
-    pub fn new(inner: S, crashes: Vec<(ProcId, u64)>) -> Self {
-        CrashAt { inner, crashes }
-    }
-}
-
-#[allow(deprecated)]
-impl<S: Strategy> Strategy for CrashAt<S> {
-    fn decide(&mut self, view: &SchedView) -> Decision {
-        // The inner strategy may name a crashed process; retry is the
-        // inner strategy's job, so just ensure it sees the current view.
-        crate::sim::fault::FaultPlan::fire(&mut self.crashes, view)
-            .unwrap_or_else(|| self.inner.decide(view))
-    }
-}
-
 /// Always runs the lowest-numbered runnable process; starves everyone
 /// else whenever possible. A simple "maximally unfair" adversary.
 #[derive(Clone, Copy, Debug, Default)]
@@ -410,22 +372,6 @@ mod tests {
         let cr = [false; 3];
         let v = view(0, &[0, 1], &pend, &fin, &cr);
         let _ = r.decide(&v);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn crash_at_fires_once() {
-        let mut s = CrashAt::new(PrioritizeLowest, vec![(1, 2)]);
-        let pend = [Some((AccessKind::Read, 0)); 2];
-        let fin = [false; 2];
-        let cr = [false; 2];
-        let v0 = view(0, &[0, 1], &pend, &fin, &cr);
-        assert_eq!(s.decide(&v0), Decision::Step(0));
-        let v2 = view(2, &[0, 1], &pend, &fin, &cr);
-        assert_eq!(s.decide(&v2), Decision::Crash(1));
-        let crashed = [false, true];
-        let v3 = view(3, &[0], &pend, &fin, &crashed);
-        assert_eq!(s.decide(&v3), Decision::Step(0));
     }
 
     #[test]

@@ -207,6 +207,12 @@ impl HistogramSnapshot {
         self.quantile(0.99)
     }
 
+    /// 99.9th percentile — the tail statistic the sampling explorer
+    /// reports against analytic step bounds.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
     /// Arithmetic mean (0.0 on an empty histogram).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -232,6 +238,7 @@ impl HistogramSnapshot {
             ("p50", Json::UInt(self.p50())),
             ("p90", Json::UInt(self.p90())),
             ("p99", Json::UInt(self.p99())),
+            ("p999", Json::UInt(self.p999())),
             (
                 "buckets",
                 Json::Arr(
@@ -727,7 +734,7 @@ impl<T: Clone, C: MemCtx<T>> MemCtx<T> for CountingCtx<'_, C> {
 
 /// A periodic progress sink for long explorations.
 ///
-/// Attach one to [`crate::sim::ExploreConfig::heartbeat`] and the
+/// Attach one to [`crate::sim::Budget::heartbeat`] and the
 /// explorer emits a JSONL [`ProgressBeat`] roughly every `every`
 /// interval (plus one final beat), so a `--quick=false` run is never
 /// silent for minutes.

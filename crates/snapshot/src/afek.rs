@@ -165,6 +165,7 @@ mod tests {
     use apram_history::Recorder;
     use apram_model::sim::explore::ExploreConfig;
     use apram_model::sim::strategy::{Pct, SeededRandom};
+    use apram_model::sim::Budgeted;
     use apram_model::sim::{ProcBody, SimBuilder, SimCtx};
     use apram_model::NativeMemory;
     use std::cell::RefCell;

@@ -213,6 +213,7 @@ mod tests {
     use apram_lattice::MaxU64;
     use apram_model::sim::explore::ExploreConfig;
     use apram_model::sim::strategy::SeededRandom;
+    use apram_model::sim::Budgeted;
     use apram_model::sim::{ProcBody, SimBuilder, SimCtx};
     use apram_model::NativeMemory;
 

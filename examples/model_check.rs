@@ -18,6 +18,7 @@ use apram_history::{History, Recorder};
 use apram_lattice::{Tagged, TaggedVec};
 use apram_model::sim::explore::ExploreConfig;
 use apram_model::sim::strategy::Replay;
+use apram_model::sim::Budgeted;
 use apram_model::sim::{ProcBody, SimBuilder, SimCtx};
 use apram_snapshot::collect::{naive_collect, CollectArray, DoubleCollect};
 use apram_snapshot::snapshot::{SnapOp, SnapResp, SnapshotSpec};

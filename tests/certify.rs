@@ -7,7 +7,7 @@
 
 use apram_lattice::MaxU64;
 use apram_model::sim::{
-    Certificate, CertifyConfig, ExploreConfig, ProcBody, SimBuilder, SimCtx, SimOutcome,
+    Budgeted, Certificate, CertifyConfig, ExploreConfig, ProcBody, SimBuilder, SimCtx, SimOutcome,
     ViolationKind,
 };
 use apram_snapshot::{ScanHandle, ScanObject, SimLockSnapshot};

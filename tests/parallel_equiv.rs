@@ -11,7 +11,7 @@ use apram_bench::{e9_factory, E9RecCell, E9_PROCS};
 use apram_history::{check_histories_parallel, check_linearizable, CheckerConfig};
 use apram_lattice::{Tagged, TaggedVec};
 use apram_model::sim::shrink::ShrinkConfig;
-use apram_model::sim::{ExploreConfig, ProcBody, SimBuilder, SimCtx, SimOutcome};
+use apram_model::sim::{Budgeted, ExploreConfig, ProcBody, SimBuilder, SimCtx, SimOutcome};
 use apram_snapshot::collect::CollectArray;
 use apram_snapshot::snapshot::SnapshotSpec;
 use apram_snapshot::Snapshot;

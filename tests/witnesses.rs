@@ -11,7 +11,7 @@ use apram_history::{
     check_linearizable, verify_witness, CheckOutcome, CheckerConfig, History, Ops, Recorder,
 };
 use apram_lattice::{Tagged, TaggedVec};
-use apram_model::sim::{ExploreConfig, ProcBody, SimBuilder, SimCtx};
+use apram_model::sim::{Budgeted, ExploreConfig, ProcBody, SimBuilder, SimCtx};
 use apram_snapshot::afek::{AfekReg, AfekSnapshot};
 use apram_snapshot::collect::{CollectArray, DoubleCollect};
 use apram_snapshot::lock::LockSnapshot;
