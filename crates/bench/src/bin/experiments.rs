@@ -48,8 +48,8 @@ use std::path::{Path, PathBuf};
 use std::process::exit;
 use std::time::Instant;
 
-const KNOWN: [&str; 12] = [
-    "e1", "e2", "e3", "e4", "e4b", "e5", "e6", "e8", "e9", "e10", "e11", "explore",
+const KNOWN: [&str; 13] = [
+    "e1", "e2", "e3", "e4", "e4b", "e5", "e6", "e8", "e9", "e10", "e11", "e12", "explore",
 ];
 
 /// Which subcommand was requested.
@@ -248,7 +248,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: experiments run [e1 e2 e3 e4 e4b e5 e6 e8 e9 e10 e11 explore | all] \
+        "usage: experiments run [e1 e2 e3 e4 e4b e5 e6 e8 e9 e10 e11 e12 explore | all] \
          [--seed N] [--quick] [--threads N] [--json [DIR]] \
          [--telemetry [DIR]] [--forensics DIR]\n\
          \x20      experiments sweep --config PLAN.json --out DIR [--max-cells K] [--threads N]\n\
@@ -1197,6 +1197,69 @@ fn main() {
             "e11",
             "Sampled tail latency: p50/p99/p999/max survivor steps vs analytic bounds",
             Json::Arr(data.iter().map(E11Row::to_json).collect()),
+            started,
+        );
+    }
+
+    if cli.want("e12") {
+        let started = Instant::now();
+        println!("## E12 — contention profile: hot cell vs spread, charged step accounting\n");
+        let data = e12_rows(&opts);
+        let rows: Vec<Vec<String>> = data
+            .iter()
+            .map(|r| {
+                vec![
+                    r.object.to_string(),
+                    r.workload.to_string(),
+                    r.k.to_string(),
+                    r.measured_steps.to_string(),
+                    format!("{:.1}", r.charged_steps),
+                    format!("{:.1}", r.contention_bound()),
+                    r.paper_bound.to_string(),
+                    format!("{:.2}", r.mean_contention),
+                    r.peak_contention.to_string(),
+                    r.stall_edges.to_string(),
+                    format!("{:.2}", r.collapse_ratio()),
+                    if r.ok() {
+                        "ok".into()
+                    } else {
+                        "UNEXPECTED".to_string()
+                    },
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            markdown_table(
+                &[
+                    "object",
+                    "workload",
+                    "k",
+                    "measured",
+                    "charged",
+                    "contention bound",
+                    "paper bound",
+                    "mean cont",
+                    "peak",
+                    "stalls",
+                    "collapse",
+                    "verdict"
+                ],
+                &rows
+            )
+        );
+        if let Some(dir) = &cli.telemetry_dir {
+            write_artifact(dir, "contention.prom", &e12_heatmap_prometheus(&data));
+            let mut heat = e12_heatmap_json(&data).to_compact();
+            heat.push('\n');
+            write_artifact(dir, "contention_heatmap.json", &heat);
+        }
+        emit_report(
+            &cli,
+            "e12",
+            "Contention profile: measured vs contention-charged vs worst-case steps, \
+             hot cell vs spread workloads",
+            Json::Arr(data.iter().map(E12Row::to_json).collect()),
             started,
         );
     }

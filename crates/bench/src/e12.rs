@@ -1,0 +1,537 @@
+//! E12 — contention profiling: hot-cell heatmaps and contention-charged
+//! step accounting for the hot objects.
+//!
+//! The paper's step bounds are worst-case over all schedules, and E10/E11
+//! confirm the measured worst cases meet them. E12 asks the complementary
+//! Bender-et-al. question: *how much of that worst case is contention?*
+//! Each cell of the grid runs `k` writers over one object under two
+//! workloads:
+//!
+//! - **hot** — all `k` processes share one object instance, scheduled by
+//!   the burst adversary, so every collect traverses cells other
+//!   processes are pending on (the one-cell pile-up).
+//! - **spread** — the same `k` processes and the same per-process
+//!   operations, but each process owns a private copy of the object
+//!   (disjoint register slabs via an offsetting [`MemCtx`] adapter), so
+//!   point contention is identically 1.
+//!
+//! Both workloads execute the same code path, so the raw step counts are
+//! comparable while the *charged* accounting (each access charged `1/k`
+//! for observed point contention `k`) separates: under `spread` charged
+//! equals raw **exactly** (a deterministic identity the tests assert),
+//! while under `hot` the charged total collapses below the raw one. The
+//! emitted `BENCH_e12.json` compares measured steps vs the
+//! contention-sensitive bound (paper bound normalized by observed mean
+//! contention) vs the paper's worst-case bound, and the per-cell
+//! [`ContentionMap`] heatmaps export as validated Prometheus text.
+
+use apram_lattice::Tagged;
+use apram_model::sim::strategy::BurstAdversary;
+use apram_model::sim::{ProcBody, SimBuilder, SimCtx};
+use apram_model::{validate_prometheus, ContentionMap, Json, MemCtx, ProcId, TelemetryRegistry};
+use apram_objects::counter::{CounterLattice, DirectCounter};
+use apram_objects::mwreg::{MwRegister, Stamped};
+use apram_snapshot::afek::{AfekReg, AfekSnapshot};
+use apram_snapshot::collect::{CollectArray, DoubleCollect};
+
+use crate::ExpOpts;
+
+/// The E12 object names. Deliberately free of characters that need
+/// Prometheus label escaping, so the exported heatmaps stay friendly to
+/// line-oriented tooling (the CI smoke grep included).
+pub const E12_OBJECTS: [&str; 4] = ["counter", "afek", "double_collect", "mwreg"];
+
+/// A [`MemCtx`] adapter that shifts every register index by a fixed
+/// base: process `p` of the `spread` workload runs the unmodified object
+/// code against its own register slab `[base, base + m)`.
+struct OffsetCtx<'a, C> {
+    inner: &'a mut C,
+    base: usize,
+}
+
+impl<T: Clone, C: MemCtx<T>> MemCtx<T> for OffsetCtx<'_, C> {
+    fn proc(&self) -> ProcId {
+        self.inner.proc()
+    }
+
+    fn n_procs(&self) -> usize {
+        self.inner.n_procs()
+    }
+
+    fn n_regs(&self) -> usize {
+        self.inner.n_regs()
+    }
+
+    fn read(&mut self, reg: usize) -> T {
+        self.inner.read(self.base + reg)
+    }
+
+    fn write(&mut self, reg: usize, val: T) {
+        self.inner.write(self.base + reg, val)
+    }
+
+    fn point_contention(&self, reg: usize) -> u64 {
+        self.inner.point_contention(self.base + reg)
+    }
+}
+
+/// One cell of the E12 grid.
+#[derive(Clone, Debug)]
+pub struct E12Row {
+    /// Object name (one of [`E12_OBJECTS`]).
+    pub object: &'static str,
+    /// `"hot"` (shared instance, burst adversary) or `"spread"`
+    /// (private instances, disjoint cells).
+    pub workload: &'static str,
+    /// Concurrent writers (= processes).
+    pub k: usize,
+    /// The paper's worst-case per-process step bound for the cell's
+    /// operation pair.
+    pub paper_bound: u64,
+    /// Worst raw per-process steps observed.
+    pub measured_steps: u64,
+    /// Worst contention-charged per-process steps observed (each access
+    /// charged `1/contention`).
+    pub charged_steps: f64,
+    /// Mean point contention over all accesses of the run.
+    pub mean_contention: f64,
+    /// Peak point contention any single access observed.
+    pub peak_contention: u64,
+    /// Total stalled re-reads attributed to intervening writers.
+    pub stall_edges: u64,
+    /// The full per-cell heatmap of the run.
+    pub map: ContentionMap,
+}
+
+impl E12Row {
+    /// The contention-sensitive bound: the paper bound normalized by the
+    /// observed mean point contention — what the worst case collapses to
+    /// once steps are charged against the contention they suffered.
+    pub fn contention_bound(&self) -> f64 {
+        self.paper_bound as f64 / self.mean_contention.max(1.0)
+    }
+
+    /// Total charged / total raw steps — 1.0 when uncontended, strictly
+    /// below 1.0 whenever any access observed contention. Computed over
+    /// totals (not the worst process) because the process with the worst
+    /// raw count need not be the contended one.
+    pub fn collapse_ratio(&self) -> f64 {
+        let raw = self.map.total_steps();
+        if raw == 0 {
+            1.0
+        } else {
+            self.map.total_charged_steps() / raw as f64
+        }
+    }
+
+    /// The cell's acceptance verdict: raw steps within the paper's
+    /// worst-case bound, charged steps within it too (they can only
+    /// collapse), the `spread` workload perfectly uncontended (charged
+    /// equals raw exactly), and the `hot` workload visibly contended.
+    pub fn ok(&self) -> bool {
+        let charged_within = self.charged_steps <= self.paper_bound as f64 + 1e-9;
+        let within = self.measured_steps <= self.paper_bound && charged_within;
+        match self.workload {
+            "spread" => within && self.peak_contention <= 1 && self.stall_edges == 0,
+            _ => within && self.peak_contention >= 2,
+        }
+    }
+
+    /// JSON record for `BENCH_e12.json`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("object", Json::Str(self.object.into())),
+            ("workload", Json::Str(self.workload.into())),
+            ("k", Json::UInt(self.k as u64)),
+            ("measured_steps", Json::UInt(self.measured_steps)),
+            ("charged_steps", Json::Float(self.charged_steps)),
+            ("contention_bound", Json::Float(self.contention_bound())),
+            ("paper_bound", Json::UInt(self.paper_bound)),
+            ("mean_contention", Json::Float(self.mean_contention)),
+            ("peak_contention", Json::UInt(self.peak_contention)),
+            ("stall_edges", Json::UInt(self.stall_edges)),
+            ("collapse_ratio", Json::Float(self.collapse_ratio())),
+            ("ok", Json::Bool(self.ok())),
+            ("heatmap", self.map.to_json()),
+        ])
+    }
+}
+
+/// Per-process worst-case step bound for one operation pair of `object`
+/// at `k` processes (the same analytic costs E10 certifies against):
+/// counter `inc`+`read` are two optimized scans, Afek `update`+`snap`
+/// are bounded by `2k(k+2)+2`, one double-collect `update`+`snap` by
+/// `k(k+2)+1`, and an MW-register `write`+`read` are a collect plus a
+/// write each.
+pub fn e12_bound(object: &str, k: usize) -> u64 {
+    match object {
+        "counter" => (2 * (k * k + k)) as u64,
+        "afek" => (2 * k * (k + 2) + 2) as u64,
+        "double_collect" => (k * (k + 2) + 1) as u64,
+        "mwreg" => (2 * (k + 1)) as u64,
+        other => panic!("unknown E12 object '{other}'"),
+    }
+}
+
+/// Run one profiled execution and return its contention map. `hot`
+/// selects the burst adversary (process 1 blasts through whole
+/// operations between single steps of everyone else); otherwise the
+/// default round-robin runs — for the `spread` workload the schedule is
+/// irrelevant, disjoint slabs cannot contend under any interleaving.
+fn profile_run<T: Clone + Send + Sync + 'static>(
+    registers: Vec<T>,
+    owners: Vec<ProcId>,
+    bodies: Vec<ProcBody<'static, T, ()>>,
+    hot: bool,
+    burst: u64,
+) -> ContentionMap {
+    let sim = SimBuilder::new(registers)
+        .owners(owners)
+        .max_steps(10_000_000)
+        .profile(true);
+    let out = if hot {
+        let mut sim = sim.strategy(BurstAdversary::new(1, burst));
+        sim.run(bodies)
+    } else {
+        let mut sim = sim;
+        sim.run(bodies)
+    };
+    out.assert_no_panics();
+    assert!(
+        out.results.iter().all(Option::is_some),
+        "E12 workload must terminate within the step cap"
+    );
+    out.contention.expect("profiling was enabled")
+}
+
+/// Build the row for one `(object, workload, k)` cell from its map.
+fn finish_row(
+    object: &'static str,
+    workload: &'static str,
+    k: usize,
+    map: ContentionMap,
+) -> E12Row {
+    let accesses: u64 = map.cells.iter().map(|c| c.accesses()).sum();
+    let contention_sum: u64 = map.cells.iter().map(|c| c.contention_sum).sum();
+    let mean = if accesses == 0 {
+        0.0
+    } else {
+        contention_sum as f64 / accesses as f64
+    };
+    E12Row {
+        object,
+        workload,
+        k,
+        paper_bound: e12_bound(object, k),
+        measured_steps: map.proc_steps.iter().copied().max().unwrap_or(0),
+        charged_steps: map.worst_charged_steps(),
+        mean_contention: mean,
+        peak_contention: map
+            .cells
+            .iter()
+            .map(|c| c.peak_contention)
+            .max()
+            .unwrap_or(0),
+        stall_edges: map.stall_edges.values().sum(),
+        map,
+    }
+}
+
+/// `k` disjoint copies of one instance's registers, each slab owned
+/// wholesale by its process.
+fn spread_layout<T: Clone>(instance: &[T], k: usize) -> (Vec<T>, Vec<ProcId>) {
+    let m = instance.len();
+    let registers: Vec<T> = (0..k).flat_map(|_| instance.iter().cloned()).collect();
+    let owners: Vec<ProcId> = (0..k).flat_map(|p| std::iter::repeat_n(p, m)).collect();
+    (registers, owners)
+}
+
+/// The `(hot, spread)` maps for the striped (direct lattice) counter:
+/// every process performs `inc(1)` then `read()` — two optimized scans.
+fn e12_counter(k: usize) -> (ContentionMap, ContentionMap) {
+    let body = |c: DirectCounter, base_of: fn(usize, usize) -> usize, m: usize| {
+        (0..k)
+            .map(|p| {
+                Box::new(move |ctx: &mut SimCtx<CounterLattice>| {
+                    let mut ctx = OffsetCtx {
+                        inner: ctx,
+                        base: base_of(p, m),
+                    };
+                    let mut h = c.handle();
+                    h.inc(&mut ctx, p as u64 + 1);
+                    let _ = h.read(&mut ctx);
+                }) as ProcBody<'static, CounterLattice, ()>
+            })
+            .collect::<Vec<_>>()
+    };
+    let c = DirectCounter::new(k);
+    let m = c.registers().len();
+    let hot = profile_run(
+        c.registers(),
+        c.owners(),
+        body(c, |_, _| 0, m),
+        true,
+        (k * k + k) as u64,
+    );
+    let (registers, owners) = spread_layout(&c.registers(), k);
+    let spread = profile_run(registers, owners, body(c, |p, m| p * m, m), false, 0);
+    (hot, spread)
+}
+
+/// The `(hot, spread)` maps for the Afek et al. bounded snapshot:
+/// every process performs one `update` then one `snap`.
+fn e12_afek(k: usize) -> (ContentionMap, ContentionMap) {
+    let body = |snap: AfekSnapshot, base_of: fn(usize, usize) -> usize, m: usize| {
+        (0..k)
+            .map(|p| {
+                Box::new(move |ctx: &mut SimCtx<AfekReg<u32>>| {
+                    let mut ctx = OffsetCtx {
+                        inner: ctx,
+                        base: base_of(p, m),
+                    };
+                    snap.update(&mut ctx, p as u32 + 1);
+                    let _ = snap.snap::<u32, _>(&mut ctx);
+                }) as ProcBody<'static, AfekReg<u32>, ()>
+            })
+            .collect::<Vec<_>>()
+    };
+    let snap = AfekSnapshot::new(k);
+    let m = snap.registers::<u32>().len();
+    let hot = profile_run(
+        snap.registers::<u32>(),
+        snap.owners(),
+        body(snap, |_, _| 0, m),
+        true,
+        (k * (k + 2) + 2) as u64,
+    );
+    let (registers, owners) = spread_layout(&snap.registers::<u32>(), k);
+    let spread = profile_run(registers, owners, body(snap, |p, m| p * m, m), false, 0);
+    (hot, spread)
+}
+
+/// The `(hot, spread)` maps for the double-collect snapshot: one
+/// `update` then one `snap` per process (wait-free at one update each).
+fn e12_double_collect(k: usize) -> (ContentionMap, ContentionMap) {
+    let body = |arr: CollectArray, base_of: fn(usize, usize) -> usize, m: usize| {
+        (0..k)
+            .map(|p| {
+                Box::new(move |ctx: &mut SimCtx<Tagged<u32>>| {
+                    let mut ctx = OffsetCtx {
+                        inner: ctx,
+                        base: base_of(p, m),
+                    };
+                    let mut h = DoubleCollect::new(arr);
+                    h.update(&mut ctx, p as u32 + 1);
+                    let _ = h.snap(&mut ctx);
+                }) as ProcBody<'static, Tagged<u32>, ()>
+            })
+            .collect::<Vec<_>>()
+    };
+    let arr = CollectArray::new(k);
+    let m = arr.registers::<u32>().len();
+    let hot = profile_run(
+        arr.registers::<u32>(),
+        arr.owners(),
+        body(arr, |_, _| 0, m),
+        true,
+        (k + 2) as u64,
+    );
+    let (registers, owners) = spread_layout(&arr.registers::<u32>(), k);
+    let spread = profile_run(registers, owners, body(arr, |p, m| p * m, m), false, 0);
+    (hot, spread)
+}
+
+/// The `(hot, spread)` maps for the multi-writer register — the closest
+/// thing this model has to a literal one-cell pile-up: every `write`
+/// and `read` collects the whole stamped column.
+fn e12_mwreg(k: usize) -> (ContentionMap, ContentionMap) {
+    let body = |reg: MwRegister, base_of: fn(usize, usize) -> usize, m: usize| {
+        (0..k)
+            .map(|p| {
+                Box::new(move |ctx: &mut SimCtx<Stamped<u64>>| {
+                    let mut ctx = OffsetCtx {
+                        inner: ctx,
+                        base: base_of(p, m),
+                    };
+                    reg.write(&mut ctx, p as u64 + 1);
+                    let _ = reg.read(&mut ctx);
+                }) as ProcBody<'static, Stamped<u64>, ()>
+            })
+            .collect::<Vec<_>>()
+    };
+    let reg = MwRegister::new(k);
+    let m = reg.registers::<u64>().len();
+    let hot = profile_run(
+        reg.registers::<u64>(),
+        reg.owners(),
+        body(reg, |_, _| 0, m),
+        true,
+        (k + 1) as u64,
+    );
+    let (registers, owners) = spread_layout(&reg.registers::<u64>(), k);
+    let spread = profile_run(registers, owners, body(reg, |p, m| p * m, m), false, 0);
+    (hot, spread)
+}
+
+/// Run the E12 grid: for every object and every writer count `k`, the
+/// hot (shared instance, burst adversary) and spread (private slabs)
+/// workloads, profiled. Fully deterministic — both schedules are
+/// deterministic and the profiler has no clock.
+pub fn e12_rows(opts: &ExpOpts) -> Vec<E12Row> {
+    let ks: &[usize] = if opts.quick { &[2, 3] } else { &[2, 3, 4] };
+    let mut rows = Vec::new();
+    for &k in ks {
+        for object in E12_OBJECTS {
+            let (hot, spread) = match object {
+                "counter" => e12_counter(k),
+                "afek" => e12_afek(k),
+                "double_collect" => e12_double_collect(k),
+                "mwreg" => e12_mwreg(k),
+                _ => unreachable!(),
+            };
+            rows.push(finish_row(object, "hot", k, hot));
+            rows.push(finish_row(object, "spread", k, spread));
+        }
+    }
+    rows
+}
+
+/// All E12 heatmaps as one Prometheus exposition document, every series
+/// labeled `object="<object>_<workload>_k<k>"`, exported through a
+/// [`TelemetryRegistry`] so the text dedupes `# TYPE` headers. Panics if
+/// the result fails [`validate_prometheus`] — the acceptance criterion.
+pub fn e12_heatmap_prometheus(rows: &[E12Row]) -> String {
+    let reg = TelemetryRegistry::new(1);
+    for row in rows {
+        let label = format!("{}_{}_k{}", row.object, row.workload, row.k);
+        row.map.register_heatmap(&reg, 0, &label);
+    }
+    let text = reg.to_prometheus();
+    validate_prometheus(&text).expect("E12 heatmap must pass validate_prometheus");
+    text
+}
+
+/// All E12 heatmaps as one JSON document keyed `<object>/<workload>/k`.
+pub fn e12_heatmap_json(rows: &[E12Row]) -> Json {
+    Json::Arr(
+        rows.iter()
+            .map(|row| {
+                Json::obj([
+                    ("object", Json::Str(row.object.into())),
+                    ("workload", Json::Str(row.workload.into())),
+                    ("k", Json::UInt(row.k as u64)),
+                    ("heatmap", row.map.to_json()),
+                ])
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apram_model::CHARGE_UNIT;
+
+    fn quick_rows() -> Vec<E12Row> {
+        e12_rows(&ExpOpts {
+            seed: 0,
+            quick: true,
+            threads: 0,
+        })
+    }
+
+    #[test]
+    fn e12_grid_shape_and_verdicts() {
+        let rows = quick_rows();
+        // 4 objects × 2 workloads × k ∈ {2, 3}.
+        assert_eq!(rows.len(), 16);
+        for row in &rows {
+            assert!(row.ok(), "cell failed: {row:?}");
+            assert!(row.measured_steps > 0, "{row:?}");
+            assert!(row.map.runs == 1, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn spread_is_perfectly_uncontended() {
+        for row in quick_rows().iter().filter(|r| r.workload == "spread") {
+            // Disjoint slabs: every access is charged a full step, so
+            // the fixed-point identity holds exactly per process.
+            for p in 0..row.k {
+                assert_eq!(
+                    row.map.charged_total[p],
+                    row.map.proc_steps[p] * CHARGE_UNIT,
+                    "{}/{} proc {p}",
+                    row.object,
+                    row.k
+                );
+            }
+            assert_eq!(row.mean_contention, 1.0, "{row:?}");
+            assert!(row.stall_edges == 0, "{row:?}");
+            // The CI gate: charged steps within the paper bound.
+            assert!(row.charged_steps <= row.paper_bound as f64, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn hot_collapses_below_raw_steps() {
+        for row in quick_rows().iter().filter(|r| r.workload == "hot") {
+            assert!(
+                row.peak_contention >= 2,
+                "adversary forced no contention: {row:?}"
+            );
+            assert!(
+                row.collapse_ratio() < 1.0,
+                "charged accounting did not collapse: {row:?}"
+            );
+            assert!(row.contention_bound() < row.paper_bound as f64, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn hot_outweighs_spread_on_contention() {
+        let rows = quick_rows();
+        for hot in rows.iter().filter(|r| r.workload == "hot") {
+            let spread = rows
+                .iter()
+                .find(|r| r.object == hot.object && r.k == hot.k && r.workload == "spread")
+                .unwrap();
+            assert!(
+                hot.mean_contention > spread.mean_contention,
+                "{}",
+                hot.object
+            );
+            // Same code path: the quiet (spread) run can never take more
+            // raw steps than the adversarial one.
+            assert!(
+                spread.measured_steps <= hot.measured_steps,
+                "{}",
+                hot.object
+            );
+        }
+    }
+
+    #[test]
+    fn heatmap_artifacts_validate() {
+        let rows = quick_rows();
+        let prom = e12_heatmap_prometheus(&rows);
+        assert!(prom.contains("apram_cell_accesses{object=\"counter_hot_k2\""));
+        for row in &rows {
+            let text = row.map.to_prometheus(row.object);
+            validate_prometheus(&text).expect("per-row heatmap must validate");
+        }
+        let doc = e12_heatmap_json(&rows);
+        let parsed = apram_model::json::parse(&doc.to_compact()).unwrap();
+        assert_eq!(parsed.as_arr().unwrap().len(), rows.len());
+    }
+
+    #[test]
+    fn e12_is_deterministic() {
+        let a = quick_rows();
+        let b = quick_rows();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.map, y.map, "{}/{}/{}", x.object, x.workload, x.k);
+        }
+    }
+}

@@ -1,0 +1,921 @@
+//! Contention profiling: per-cell hot-spot attribution, stall tracing,
+//! and contention-charged step accounting.
+//!
+//! The paper's step bounds are worst-case over all schedules, but Bender
+//! et al. ("Fast Concurrent Primitives Despite Contention") argue the
+//! honest cost model charges a step against the *point contention* it
+//! suffered: an access serviced while `k` processes compete for the same
+//! cell counts `1/k`, so a bound that is only reached by piling every
+//! process onto one register "collapses" once the accounting normalizes
+//! by the observed contention. This module is the profiling substrate
+//! that records exactly that:
+//!
+//! - **Per-cell counters** ([`CellStats`]): reads/writes, how many were
+//!   contended, the sum and peak of observed point contention, and
+//!   *step-window* accessor statistics (how many distinct processes
+//!   touched the cell per [`WINDOW`]-step window).
+//! - **Stall attribution edges**: `(reader P, writer Q, cell c) -> k`
+//!   counts the re-reads of `c` by `P` that observed an intervening
+//!   write by `Q` — the steps `P` "spent because of" `Q` (the
+//!   double-collect retry pattern makes these edges the interesting
+//!   forensic signal).
+//! - **Contention-charged accounting**: each access adds
+//!   `CHARGE_UNIT / k` (integer fixed point, `k` = point contention) to
+//!   its process's charged total, so charged step counts are exact
+//!   rationals for `k <= 16` and deterministic for all `k` — no float
+//!   summation order to worry about.
+//!
+//! A [`ContentionProfiler`] observes one execution at a time
+//! ([`ContentionProfiler::begin_run`] resets the per-run transient
+//! state); its accumulated [`ContentionMap`] is a plain mergeable value
+//! whose merge is commutative and associative, so per-worker maps from
+//! the parallel explorer fold into a map **bit-identical** to the
+//! sequential explorer's — the same guarantee the step counters already
+//! give.
+//!
+//! The simulator profiles *exactly* (the scheduler sees every pending
+//! request, so point contention is the true number of processes blocked
+//! on the cell); the native backend *samples* it from the per-register
+//! in-flight gauge via [`MemCtx::point_contention`]. The
+//! [`ProfiledCtx`] adapter profiles any [`MemCtx`] the same way
+//! [`crate::telemetry::CountingCtx`] counts one.
+
+use crate::ctx::{AccessKind, MemCtx, ProcId};
+use crate::json::Json;
+use crate::telemetry::escape_label_value;
+use std::collections::BTreeMap;
+
+/// Fixed-point denominator for contention-charged step accounting:
+/// `lcm(1..=16)`, so a charge of `1/k` is exact for any point contention
+/// `k <= 16` (and deterministically truncated above). One full step is
+/// `CHARGE_UNIT`; charged totals divide back out via
+/// [`ContentionMap::charged_steps`].
+pub const CHARGE_UNIT: u64 = 720_720;
+
+/// Width (in scheduler steps) of the accessor-counting window: within
+/// each window the profiler records how many *distinct* processes
+/// touched each cell.
+pub const WINDOW: u64 = 64;
+
+/// Accumulated contention statistics for one register (cell).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CellStats {
+    /// Reads serviced on this cell.
+    pub reads: u64,
+    /// Writes serviced on this cell.
+    pub writes: u64,
+    /// Accesses whose point contention exceeded 1.
+    pub contended: u64,
+    /// Sum of the point contention observed by each access (so the mean
+    /// is `contention_sum / (reads + writes)`).
+    pub contention_sum: u64,
+    /// Largest point contention any single access observed.
+    pub peak_contention: u64,
+    /// Step windows (width [`WINDOW`]) in which this cell was accessed.
+    pub windows: u64,
+    /// Sum over those windows of the number of distinct accessors.
+    pub accessor_sum: u64,
+    /// Largest number of distinct accessors in any one window.
+    pub peak_window_accessors: u64,
+}
+
+impl CellStats {
+    /// Total accesses to this cell.
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Mean point contention per access (0.0 when untouched).
+    pub fn mean_contention(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.contention_sum as f64 / self.accesses() as f64
+        }
+    }
+
+    fn merge(&mut self, other: &CellStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.contended += other.contended;
+        self.contention_sum += other.contention_sum;
+        self.peak_contention = self.peak_contention.max(other.peak_contention);
+        self.windows += other.windows;
+        self.accessor_sum += other.accessor_sum;
+        self.peak_window_accessors = self.peak_window_accessors.max(other.peak_window_accessors);
+    }
+}
+
+/// The mergeable product of contention profiling: per-cell hot-spot
+/// counters, per-process (raw and contention-charged) step totals, and
+/// stall attribution edges.
+///
+/// All fields are sums or maxes of per-run quantities, so
+/// [`ContentionMap::merge`] is commutative and associative: any
+/// partition of the same set of runs across workers folds to the same
+/// map, which is what makes 1-thread and 4-thread exploration
+/// bit-identical.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ContentionMap {
+    n_procs: usize,
+    n_regs: usize,
+    /// Profiled runs folded into this map.
+    pub runs: u64,
+    /// Per-register statistics (`n_regs` entries).
+    pub cells: Vec<CellStats>,
+    /// Raw steps per process.
+    pub proc_steps: Vec<u64>,
+    /// Contention-charged steps per process, in [`CHARGE_UNIT`] fixed
+    /// point, summed over all runs.
+    pub charged_total: Vec<u64>,
+    /// The worst (largest) single-run charged total per process, in
+    /// [`CHARGE_UNIT`] fixed point.
+    pub charged_worst: Vec<u64>,
+    /// `(reader, writer, cell) -> stalled re-reads`: reads by `reader`
+    /// that re-read `cell` after an intervening write by `writer`.
+    pub stall_edges: BTreeMap<(ProcId, ProcId, usize), u64>,
+}
+
+impl ContentionMap {
+    /// An empty map for `n_procs` processes over `n_regs` registers.
+    pub fn new(n_procs: usize, n_regs: usize) -> Self {
+        ContentionMap {
+            n_procs,
+            n_regs,
+            runs: 0,
+            cells: vec![CellStats::default(); n_regs],
+            proc_steps: vec![0; n_procs],
+            charged_total: vec![0; n_procs],
+            charged_worst: vec![0; n_procs],
+            stall_edges: BTreeMap::new(),
+        }
+    }
+
+    /// Number of processes.
+    pub fn n_procs(&self) -> usize {
+        self.n_procs
+    }
+
+    /// Number of registers.
+    pub fn n_regs(&self) -> usize {
+        self.n_regs
+    }
+
+    /// Total raw steps across all processes and runs.
+    pub fn total_steps(&self) -> u64 {
+        self.proc_steps.iter().sum()
+    }
+
+    /// Contention-charged steps of `proc` across all runs, as a real
+    /// number of steps ([`CHARGE_UNIT`] divided back out).
+    pub fn charged_steps(&self, proc: ProcId) -> f64 {
+        self.charged_total[proc] as f64 / CHARGE_UNIT as f64
+    }
+
+    /// Total contention-charged steps across all processes and runs.
+    pub fn total_charged_steps(&self) -> f64 {
+        self.charged_total.iter().sum::<u64>() as f64 / CHARGE_UNIT as f64
+    }
+
+    /// The largest single-run contention-charged step total of any
+    /// process — the charged analogue of a worst-case survivor latency.
+    pub fn worst_charged_steps(&self) -> f64 {
+        self.charged_worst.iter().copied().max().unwrap_or(0) as f64 / CHARGE_UNIT as f64
+    }
+
+    /// The largest single-run raw step total is not tracked (raw steps
+    /// already live on [`crate::sim::SimOutcome::counts`]); the hottest
+    /// cells are: registers sorted by descending contention sum (ties
+    /// broken by register id), truncated to `limit`.
+    pub fn hot_cells(&self, limit: usize) -> Vec<(usize, &CellStats)> {
+        let mut idx: Vec<usize> = (0..self.n_regs)
+            .filter(|&r| self.cells[r].accesses() > 0)
+            .collect();
+        idx.sort_by(|&a, &b| {
+            self.cells[b]
+                .contention_sum
+                .cmp(&self.cells[a].contention_sum)
+                .then(a.cmp(&b))
+        });
+        idx.truncate(limit);
+        idx.into_iter().map(|r| (r, &self.cells[r])).collect()
+    }
+
+    /// Fold `other` into `self` (element-wise sums; maxes for peaks).
+    /// Panics if the dimensions differ.
+    pub fn merge(&mut self, other: &ContentionMap) {
+        assert_eq!(
+            (self.n_procs, self.n_regs),
+            (other.n_procs, other.n_regs),
+            "cannot merge contention maps of different dimensions"
+        );
+        self.runs += other.runs;
+        for (a, b) in self.cells.iter_mut().zip(&other.cells) {
+            a.merge(b);
+        }
+        for (a, b) in self.proc_steps.iter_mut().zip(&other.proc_steps) {
+            *a += b;
+        }
+        for (a, b) in self.charged_total.iter_mut().zip(&other.charged_total) {
+            *a += b;
+        }
+        for (a, b) in self.charged_worst.iter_mut().zip(&other.charged_worst) {
+            *a = (*a).max(*b);
+        }
+        for (&k, &v) in &other.stall_edges {
+            *self.stall_edges.entry(k).or_insert(0) += v;
+        }
+    }
+
+    /// The hot-cell heatmap as JSON: per-cell counters (cells with no
+    /// accesses are omitted), per-process raw/charged steps, and the
+    /// stall edges.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("n_procs", Json::UInt(self.n_procs as u64)),
+            ("n_regs", Json::UInt(self.n_regs as u64)),
+            ("runs", Json::UInt(self.runs)),
+            ("charge_unit", Json::UInt(CHARGE_UNIT)),
+            ("total_steps", Json::UInt(self.total_steps())),
+            ("charged_steps", Json::Float(self.total_charged_steps())),
+            (
+                "worst_charged_steps",
+                Json::Float(self.worst_charged_steps()),
+            ),
+            (
+                "cells",
+                Json::Arr(
+                    (0..self.n_regs)
+                        .filter(|&r| self.cells[r].accesses() > 0)
+                        .map(|r| {
+                            let c = &self.cells[r];
+                            Json::obj([
+                                ("reg", Json::UInt(r as u64)),
+                                ("reads", Json::UInt(c.reads)),
+                                ("writes", Json::UInt(c.writes)),
+                                ("contended", Json::UInt(c.contended)),
+                                ("contention_sum", Json::UInt(c.contention_sum)),
+                                ("peak_contention", Json::UInt(c.peak_contention)),
+                                ("mean_contention", Json::Float(c.mean_contention())),
+                                ("windows", Json::UInt(c.windows)),
+                                ("accessor_sum", Json::UInt(c.accessor_sum)),
+                                ("peak_window_accessors", Json::UInt(c.peak_window_accessors)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "procs",
+                Json::Arr(
+                    (0..self.n_procs)
+                        .map(|p| {
+                            Json::obj([
+                                ("proc", Json::UInt(p as u64)),
+                                ("steps", Json::UInt(self.proc_steps[p])),
+                                ("charged", Json::Float(self.charged_steps(p))),
+                                (
+                                    "charged_worst_run",
+                                    Json::Float(self.charged_worst[p] as f64 / CHARGE_UNIT as f64),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "stall_edges",
+                Json::Arr(
+                    self.stall_edges
+                        .iter()
+                        .map(|(&(reader, writer, reg), &stalls)| {
+                            Json::obj([
+                                ("reader", Json::UInt(reader as u64)),
+                                ("writer", Json::UInt(writer as u64)),
+                                ("reg", Json::UInt(reg as u64)),
+                                ("stalls", Json::UInt(stalls)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// The heatmap in Prometheus text exposition format, every series
+    /// labeled with `object` (escaped per the exposition rules — see
+    /// [`escape_label_value`]). Passes
+    /// [`crate::telemetry::validate_prometheus`] by construction.
+    pub fn to_prometheus(&self, object: &str) -> String {
+        let obj = escape_label_value(object);
+        let mut out = String::new();
+        let hot: Vec<usize> = (0..self.n_regs)
+            .filter(|&r| self.cells[r].accesses() > 0)
+            .collect();
+        out.push_str("# TYPE apram_cell_accesses counter\n");
+        for &r in &hot {
+            let c = &self.cells[r];
+            out.push_str(&format!(
+                "apram_cell_accesses{{object=\"{obj}\",cell=\"{r}\",kind=\"read\"}} {}\n",
+                c.reads
+            ));
+            out.push_str(&format!(
+                "apram_cell_accesses{{object=\"{obj}\",cell=\"{r}\",kind=\"write\"}} {}\n",
+                c.writes
+            ));
+        }
+        out.push_str("# TYPE apram_cell_contended counter\n");
+        for &r in &hot {
+            out.push_str(&format!(
+                "apram_cell_contended{{object=\"{obj}\",cell=\"{r}\"}} {}\n",
+                self.cells[r].contended
+            ));
+        }
+        out.push_str("# TYPE apram_cell_peak_contention gauge\n");
+        for &r in &hot {
+            out.push_str(&format!(
+                "apram_cell_peak_contention{{object=\"{obj}\",cell=\"{r}\"}} {}\n",
+                self.cells[r].peak_contention
+            ));
+        }
+        out.push_str("# TYPE apram_cell_window_peak_accessors gauge\n");
+        for &r in &hot {
+            out.push_str(&format!(
+                "apram_cell_window_peak_accessors{{object=\"{obj}\",cell=\"{r}\"}} {}\n",
+                self.cells[r].peak_window_accessors
+            ));
+        }
+        out.push_str("# TYPE apram_stall_steps counter\n");
+        for (&(reader, writer, reg), &stalls) in &self.stall_edges {
+            out.push_str(&format!(
+                "apram_stall_steps{{object=\"{obj}\",reader=\"{reader}\",\
+                 writer=\"{writer}\",cell=\"{reg}\"}} {stalls}\n"
+            ));
+        }
+        out.push_str("# TYPE apram_charged_steps gauge\n");
+        for p in 0..self.n_procs {
+            out.push_str(&format!(
+                "apram_charged_steps{{object=\"{obj}\",proc=\"{p}\"}} {}\n",
+                self.charged_steps(p)
+            ));
+        }
+        out
+    }
+
+    /// Push the heatmap's integer series into a
+    /// [`crate::telemetry::TelemetryRegistry`] as labeled counters on
+    /// `shard`, so the map exports through the same registry (and the
+    /// same [`crate::telemetry::TelemetryRegistry::to_prometheus`]
+    /// endpoint) as the rest of the run's telemetry.
+    pub fn register_heatmap(
+        &self,
+        registry: &crate::telemetry::TelemetryRegistry,
+        shard: usize,
+        object: &str,
+    ) {
+        for (r, c) in self.cells.iter().enumerate() {
+            if c.accesses() == 0 {
+                continue;
+            }
+            let cell = r.to_string();
+            for (kind, v) in [("read", c.reads), ("write", c.writes)] {
+                registry
+                    .labeled_counter(
+                        "apram_cell_accesses",
+                        &[("object", object), ("cell", &cell), ("kind", kind)],
+                    )
+                    .add(shard, v);
+            }
+            registry
+                .labeled_counter(
+                    "apram_cell_contended",
+                    &[("object", object), ("cell", &cell)],
+                )
+                .add(shard, c.contended);
+        }
+        for (&(reader, writer, reg), &stalls) in &self.stall_edges {
+            registry
+                .labeled_counter(
+                    "apram_stall_steps",
+                    &[
+                        ("object", object),
+                        ("reader", &reader.to_string()),
+                        ("writer", &writer.to_string()),
+                        ("cell", &reg.to_string()),
+                    ],
+                )
+                .add(shard, stalls);
+        }
+    }
+}
+
+/// Observes executions and accumulates a [`ContentionMap`].
+///
+/// One profiler observes one run at a time; call
+/// [`begin_run`](Self::begin_run) at each run boundary (the simulator's
+/// scheduler loop does this automatically) and
+/// [`into_map`](Self::into_map) (or [`snapshot`](Self::snapshot)) when
+/// done. Recording is deterministic: given the same sequence of
+/// `(proc, reg, kind, point_contention)` records partitioned into the
+/// same runs, the resulting map is identical — there is no clock and no
+/// float accumulation.
+#[derive(Debug)]
+pub struct ContentionProfiler {
+    map: ContentionMap,
+    run_open: bool,
+    // Per-run transient state, reset by `begin_run`.
+    /// Last process to write each register this run.
+    last_writer: Vec<Option<ProcId>>,
+    /// Writes applied to each register this run.
+    write_epoch: Vec<u64>,
+    /// `proc * n_regs + reg` -> write epoch the process last observed on
+    /// the register (`u64::MAX` = never accessed it this run).
+    seen_epoch: Vec<u64>,
+    /// Distinct-accessor bitmask per register for the current window.
+    window_mask: Vec<u64>,
+    /// Steps into the current window.
+    window_len: u64,
+    /// Charged steps (fixed point) per process this run.
+    run_charged: Vec<u64>,
+}
+
+impl ContentionProfiler {
+    /// A profiler for `n_procs` processes over `n_regs` registers.
+    /// Window accessor masks are 64-bit, so `n_procs` must be below 64
+    /// (the same limit the explorer's sleep sets impose).
+    pub fn new(n_procs: usize, n_regs: usize) -> Self {
+        assert!(
+            n_procs < 64,
+            "contention profiler supports at most 63 processes"
+        );
+        ContentionProfiler {
+            map: ContentionMap::new(n_procs, n_regs),
+            run_open: false,
+            last_writer: vec![None; n_regs],
+            write_epoch: vec![0; n_regs],
+            seen_epoch: vec![u64::MAX; n_procs * n_regs],
+            window_mask: vec![0; n_regs],
+            window_len: 0,
+            run_charged: vec![0; n_procs],
+        }
+    }
+
+    /// Start a new run: fold the previous run's per-run aggregates into
+    /// the map and reset the transient state. Idempotent between runs.
+    pub fn begin_run(&mut self) {
+        self.finish_run();
+    }
+
+    fn finish_run(&mut self) {
+        if !self.run_open {
+            return;
+        }
+        self.flush_window();
+        for p in 0..self.map.n_procs {
+            self.map.charged_worst[p] = self.map.charged_worst[p].max(self.run_charged[p]);
+            self.run_charged[p] = 0;
+        }
+        self.last_writer.fill(None);
+        self.write_epoch.fill(0);
+        self.seen_epoch.fill(u64::MAX);
+        self.run_open = false;
+    }
+
+    fn flush_window(&mut self) {
+        for (r, mask) in self.window_mask.iter_mut().enumerate() {
+            if *mask != 0 {
+                let accessors = mask.count_ones() as u64;
+                let c = &mut self.map.cells[r];
+                c.windows += 1;
+                c.accessor_sum += accessors;
+                c.peak_window_accessors = c.peak_window_accessors.max(accessors);
+                *mask = 0;
+            }
+        }
+        self.window_len = 0;
+    }
+
+    /// Record one serviced access: process `proc` touched register `reg`
+    /// while `point_contention` processes (including itself, so `>= 1`)
+    /// were competing for it.
+    pub fn record(&mut self, proc: ProcId, reg: usize, kind: AccessKind, point_contention: u64) {
+        let k = point_contention.max(1);
+        if !self.run_open {
+            self.run_open = true;
+            self.map.runs += 1;
+        }
+        let cell = &mut self.map.cells[reg];
+        match kind {
+            AccessKind::Read => cell.reads += 1,
+            AccessKind::Write => cell.writes += 1,
+        }
+        if k > 1 {
+            cell.contended += 1;
+        }
+        cell.contention_sum += k;
+        cell.peak_contention = cell.peak_contention.max(k);
+
+        let charge = CHARGE_UNIT / k;
+        self.map.proc_steps[proc] += 1;
+        self.map.charged_total[proc] += charge;
+        self.run_charged[proc] += charge;
+
+        // Stall attribution: a read that observes a write it has not
+        // seen before, by someone else, after having read the cell
+        // earlier this run, is a stalled re-read charged to that writer.
+        let slot = proc * self.map.n_regs + reg;
+        match kind {
+            AccessKind::Read => {
+                let seen = self.seen_epoch[slot];
+                if seen != u64::MAX && self.write_epoch[reg] > seen {
+                    if let Some(w) = self.last_writer[reg] {
+                        if w != proc {
+                            *self.map.stall_edges.entry((proc, w, reg)).or_insert(0) += 1;
+                        }
+                    }
+                }
+                self.seen_epoch[slot] = self.write_epoch[reg];
+            }
+            AccessKind::Write => {
+                self.write_epoch[reg] += 1;
+                self.last_writer[reg] = Some(proc);
+                self.seen_epoch[slot] = self.write_epoch[reg];
+            }
+        }
+
+        // Window accounting: distinct accessors per WINDOW-step window.
+        self.window_mask[reg] |= 1 << proc;
+        self.window_len += 1;
+        if self.window_len >= WINDOW {
+            self.flush_window();
+        }
+    }
+
+    /// The map accumulated so far (folding any open run first).
+    pub fn snapshot(&mut self) -> ContentionMap {
+        self.finish_run();
+        self.map.clone()
+    }
+
+    /// Consume the profiler, folding any open run.
+    pub fn into_map(mut self) -> ContentionMap {
+        self.finish_run();
+        self.map
+    }
+}
+
+/// A [`MemCtx`] adapter that profiles every access of the wrapped
+/// context into a [`ContentionProfiler`], sampling point contention via
+/// [`MemCtx::point_contention`] (exact on backends that know it, 1
+/// elsewhere). The native-backend counterpart of the simulator's
+/// scheduler-side profiling.
+pub struct ProfiledCtx<'a, C> {
+    inner: &'a mut C,
+    profiler: &'a mut ContentionProfiler,
+}
+
+impl<'a, C> ProfiledCtx<'a, C> {
+    /// Profile `inner`'s accesses into `profiler`.
+    pub fn new(inner: &'a mut C, profiler: &'a mut ContentionProfiler) -> Self {
+        ProfiledCtx { inner, profiler }
+    }
+}
+
+impl<T: Clone, C: MemCtx<T>> MemCtx<T> for ProfiledCtx<'_, C> {
+    fn proc(&self) -> ProcId {
+        self.inner.proc()
+    }
+
+    fn n_procs(&self) -> usize {
+        self.inner.n_procs()
+    }
+
+    fn n_regs(&self) -> usize {
+        self.inner.n_regs()
+    }
+
+    fn read(&mut self, reg: usize) -> T {
+        let k = self.inner.point_contention(reg);
+        let v = self.inner.read(reg);
+        self.profiler
+            .record(self.inner.proc(), reg, AccessKind::Read, k);
+        v
+    }
+
+    fn write(&mut self, reg: usize, val: T) {
+        let k = self.inner.point_contention(reg);
+        self.inner.write(reg, val);
+        self.profiler
+            .record(self.inner.proc(), reg, AccessKind::Write, k);
+    }
+
+    fn point_contention(&self, reg: usize) -> u64 {
+        self.inner.point_contention(reg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::validate_prometheus;
+
+    fn record_seq(p: &mut ContentionProfiler, seq: &[(ProcId, usize, AccessKind, u64)]) {
+        for &(proc, reg, kind, k) in seq {
+            p.record(proc, reg, kind, k);
+        }
+    }
+
+    #[test]
+    fn charges_are_exact_fixed_point() {
+        let mut p = ContentionProfiler::new(3, 2);
+        p.begin_run();
+        // Three accesses at contention 1, 2, 3: charged 1 + 1/2 + 1/3.
+        record_seq(
+            &mut p,
+            &[
+                (0, 0, AccessKind::Write, 1),
+                (1, 0, AccessKind::Read, 2),
+                (2, 0, AccessKind::Read, 3),
+            ],
+        );
+        let m = p.into_map();
+        assert_eq!(m.total_steps(), 3);
+        let charged = m.charged_total.iter().sum::<u64>();
+        assert_eq!(charged, CHARGE_UNIT + CHARGE_UNIT / 2 + CHARGE_UNIT / 3);
+        assert!((m.total_charged_steps() - (1.0 + 0.5 + 1.0 / 3.0)).abs() < 1e-12);
+        assert_eq!(m.cells[0].contended, 2);
+        assert_eq!(m.cells[0].peak_contention, 3);
+        assert_eq!(m.cells[0].contention_sum, 6);
+        assert_eq!(m.cells[1].accesses(), 0);
+    }
+
+    #[test]
+    fn stall_edges_attribute_rereads_to_the_intervening_writer() {
+        let mut p = ContentionProfiler::new(3, 1);
+        p.begin_run();
+        record_seq(
+            &mut p,
+            &[
+                (0, 0, AccessKind::Read, 1),  // first read: no edge
+                (1, 0, AccessKind::Write, 1), // intervening writer Q=1
+                (0, 0, AccessKind::Read, 1),  // stalled re-read -> (0,1,0)
+                (0, 0, AccessKind::Read, 1),  // no new write: no edge
+                (2, 0, AccessKind::Write, 1),
+                (0, 0, AccessKind::Read, 1), // stalled re-read -> (0,2,0)
+            ],
+        );
+        let m = p.into_map();
+        assert_eq!(m.stall_edges.get(&(0, 1, 0)), Some(&1));
+        assert_eq!(m.stall_edges.get(&(0, 2, 0)), Some(&1));
+        assert_eq!(m.stall_edges.len(), 2);
+    }
+
+    #[test]
+    fn own_writes_do_not_stall() {
+        let mut p = ContentionProfiler::new(2, 1);
+        p.begin_run();
+        record_seq(
+            &mut p,
+            &[
+                (0, 0, AccessKind::Read, 1),
+                (0, 0, AccessKind::Write, 1),
+                (0, 0, AccessKind::Read, 1), // saw only its own write
+            ],
+        );
+        assert!(p.into_map().stall_edges.is_empty());
+    }
+
+    #[test]
+    fn stall_state_resets_between_runs() {
+        let mut p = ContentionProfiler::new(2, 1);
+        p.begin_run();
+        record_seq(
+            &mut p,
+            &[(0, 0, AccessKind::Read, 1), (1, 0, AccessKind::Write, 1)],
+        );
+        p.begin_run(); // the pending stall context must not leak
+        record_seq(&mut p, &[(0, 0, AccessKind::Read, 1)]);
+        let m = p.into_map();
+        assert!(m.stall_edges.is_empty());
+        assert_eq!(m.runs, 2);
+    }
+
+    #[test]
+    fn windows_count_distinct_accessors() {
+        let mut p = ContentionProfiler::new(4, 2);
+        p.begin_run();
+        // 3 distinct accessors on reg 0, one on reg 1, in one window.
+        record_seq(
+            &mut p,
+            &[
+                (0, 0, AccessKind::Read, 1),
+                (1, 0, AccessKind::Read, 1),
+                (2, 0, AccessKind::Read, 1),
+                (0, 0, AccessKind::Read, 1), // repeat: still 3 distinct
+                (3, 1, AccessKind::Write, 1),
+            ],
+        );
+        let m = p.into_map(); // flushes the partial window
+        assert_eq!(m.cells[0].windows, 1);
+        assert_eq!(m.cells[0].accessor_sum, 3);
+        assert_eq!(m.cells[0].peak_window_accessors, 3);
+        assert_eq!(m.cells[1].windows, 1);
+        assert_eq!(m.cells[1].accessor_sum, 1);
+    }
+
+    #[test]
+    fn window_boundary_splits_accessor_counts() {
+        let mut p = ContentionProfiler::new(2, 1);
+        p.begin_run();
+        for _ in 0..WINDOW {
+            p.record(0, 0, AccessKind::Read, 1);
+        }
+        // Window flushed exactly at the boundary; next access opens a new one.
+        p.record(1, 0, AccessKind::Read, 1);
+        let m = p.into_map();
+        assert_eq!(m.cells[0].windows, 2);
+        assert_eq!(m.cells[0].accessor_sum, 2); // 1 + 1 distinct
+        assert_eq!(m.cells[0].peak_window_accessors, 1);
+    }
+
+    #[test]
+    fn merge_is_commutative_and_partition_independent() {
+        let seq: Vec<(ProcId, usize, AccessKind, u64)> = (0..200)
+            .map(|i| {
+                (
+                    i % 3,
+                    (i * 7) % 4,
+                    if i % 2 == 0 {
+                        AccessKind::Read
+                    } else {
+                        AccessKind::Write
+                    },
+                    (i % 3) as u64 + 1,
+                )
+            })
+            .collect();
+        // One profiler sees all runs; two others split them.
+        let mut whole = ContentionProfiler::new(3, 4);
+        let mut part_a = ContentionProfiler::new(3, 4);
+        let mut part_b = ContentionProfiler::new(3, 4);
+        for (run, chunk) in seq.chunks(50).enumerate() {
+            whole.begin_run();
+            record_seq(&mut whole, chunk);
+            let part = if run % 2 == 0 {
+                &mut part_a
+            } else {
+                &mut part_b
+            };
+            part.begin_run();
+            record_seq(part, chunk);
+        }
+        let whole = whole.into_map();
+        let (a, b) = (part_a.into_map(), part_b.into_map());
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab, whole);
+        assert_eq!(ab.runs, 4);
+    }
+
+    #[test]
+    fn charged_worst_takes_the_max_run() {
+        let mut p = ContentionProfiler::new(1, 1);
+        p.begin_run();
+        record_seq(&mut p, &[(0, 0, AccessKind::Read, 1)]);
+        p.begin_run();
+        record_seq(
+            &mut p,
+            &[(0, 0, AccessKind::Read, 1), (0, 0, AccessKind::Read, 1)],
+        );
+        let m = p.into_map();
+        assert_eq!(m.charged_worst[0], 2 * CHARGE_UNIT);
+        assert!((m.worst_charged_steps() - 2.0).abs() < 1e-12);
+        assert_eq!(m.charged_total[0], 3 * CHARGE_UNIT);
+    }
+
+    #[test]
+    fn hot_cells_rank_by_contention() {
+        let mut p = ContentionProfiler::new(2, 3);
+        p.begin_run();
+        record_seq(
+            &mut p,
+            &[
+                (0, 2, AccessKind::Read, 2),
+                (1, 2, AccessKind::Read, 2),
+                (0, 1, AccessKind::Read, 1),
+            ],
+        );
+        let m = p.into_map();
+        let hot = m.hot_cells(2);
+        assert_eq!(hot.len(), 2);
+        assert_eq!(hot[0].0, 2);
+        assert_eq!(hot[1].0, 1);
+        assert_eq!(m.hot_cells(1).len(), 1);
+    }
+
+    #[test]
+    fn json_and_prometheus_exports_are_well_formed() {
+        let mut p = ContentionProfiler::new(2, 2);
+        p.begin_run();
+        record_seq(
+            &mut p,
+            &[
+                (0, 0, AccessKind::Read, 2),
+                (1, 0, AccessKind::Write, 2),
+                (0, 0, AccessKind::Read, 1),
+            ],
+        );
+        let m = p.into_map();
+        let doc = m.to_json();
+        assert_eq!(doc.get("runs").and_then(Json::as_u64), Some(1));
+        assert_eq!(doc.get("total_steps").and_then(Json::as_u64), Some(3));
+        let cells = doc.get("cells").and_then(Json::as_arr).unwrap();
+        assert_eq!(cells.len(), 1); // untouched cell omitted
+        let parsed = crate::json::parse(&doc.to_compact()).unwrap();
+        assert_eq!(
+            parsed.get("charge_unit").and_then(Json::as_u64),
+            Some(CHARGE_UNIT)
+        );
+
+        let prom = m.to_prometheus("double \"quoted\" \\ name");
+        validate_prometheus(&prom).expect("heatmap must validate");
+        assert!(prom.contains("apram_cell_accesses{object=\"double \\\"quoted\\\" \\\\ name\",cell=\"0\",kind=\"read\"} 2"));
+        assert!(prom.contains("apram_stall_steps"));
+        assert!(prom.contains("apram_charged_steps"));
+    }
+
+    #[test]
+    fn registry_heatmap_export_validates() {
+        let mut p = ContentionProfiler::new(2, 1);
+        p.begin_run();
+        record_seq(
+            &mut p,
+            &[
+                (0, 0, AccessKind::Read, 1),
+                (1, 0, AccessKind::Write, 2),
+                (0, 0, AccessKind::Read, 2),
+            ],
+        );
+        let m = p.into_map();
+        let reg = crate::telemetry::TelemetryRegistry::new(2);
+        m.register_heatmap(&reg, 0, "afek");
+        m.register_heatmap(&reg, 1, "afek"); // second shard accumulates
+        let text = reg.to_prometheus();
+        validate_prometheus(&text).expect("registry export must validate");
+        assert!(text.contains("apram_cell_accesses{object=\"afek\",cell=\"0\",kind=\"read\"} 4"));
+        assert!(text
+            .contains("apram_stall_steps{object=\"afek\",reader=\"0\",writer=\"1\",cell=\"0\"} 2"));
+    }
+
+    #[test]
+    fn profiled_ctx_matches_manual_recording() {
+        struct VecCtx {
+            regs: Vec<u32>,
+        }
+        impl MemCtx<u32> for VecCtx {
+            fn proc(&self) -> ProcId {
+                0
+            }
+            fn n_procs(&self) -> usize {
+                1
+            }
+            fn n_regs(&self) -> usize {
+                self.regs.len()
+            }
+            fn read(&mut self, reg: usize) -> u32 {
+                self.regs[reg]
+            }
+            fn write(&mut self, reg: usize, val: u32) {
+                self.regs[reg] = val;
+            }
+        }
+        let mut inner = VecCtx { regs: vec![0; 2] };
+        let mut prof = ContentionProfiler::new(1, 2);
+        {
+            let mut ctx = ProfiledCtx::new(&mut inner, &mut prof);
+            assert_eq!(ctx.proc(), 0);
+            assert_eq!(ctx.n_procs(), 1);
+            assert_eq!(ctx.n_regs(), 2);
+            assert_eq!(ctx.point_contention(0), 1);
+            ctx.write(0, 9);
+            assert_eq!(ctx.read(0), 9);
+        }
+        let m = prof.into_map();
+        assert_eq!(m.cells[0].reads, 1);
+        assert_eq!(m.cells[0].writes, 1);
+        assert_eq!(m.proc_steps[0], 2);
+        assert_eq!(m.charged_total[0], 2 * CHARGE_UNIT);
+        assert_eq!(inner.regs[0], 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "different dimensions")]
+    fn merge_rejects_mismatched_dimensions() {
+        let mut a = ContentionMap::new(2, 2);
+        let b = ContentionMap::new(2, 3);
+        a.merge(&b);
+    }
+}

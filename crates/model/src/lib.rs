@@ -40,10 +40,16 @@
 //!   explorations, and Prometheus / collapsed-stack exporters. The
 //!   paper's step-complexity bounds are distributions, not means; this
 //!   is the layer that records them losslessly.
+//! * [`contention`] — contention profiling: per-cell hot-spot counters,
+//!   stall attribution edges, and contention-charged step accounting
+//!   (steps normalized by observed point contention, per Bender et
+//!   al.), mergeable across explorer workers and exportable as JSON
+//!   heatmaps and labeled Prometheus series.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod contention;
 pub mod crash;
 pub mod ctx;
 pub mod json;
@@ -55,6 +61,7 @@ pub mod span;
 pub mod telemetry;
 pub mod trace;
 
+pub use contention::{CellStats, ContentionMap, ContentionProfiler, ProfiledCtx, CHARGE_UNIT};
 pub use ctx::{AccessKind, Matrix, MatrixView, MemCtx, ProcId};
 pub use json::Json;
 pub use metrics::{Metrics, MetricsLevel, RegStats};
@@ -69,7 +76,7 @@ pub use sim::{
 };
 pub use span::{SpanNode, SpanRecorder};
 pub use telemetry::{
-    validate_prometheus, CounterHandle, CountingCtx, GaugeHandle, Heartbeat, HistogramHandle,
-    HistogramSnapshot, ProgressBeat, StepHistogram, TelemetryRegistry,
+    escape_label_value, validate_prometheus, CounterHandle, CountingCtx, GaugeHandle, Heartbeat,
+    HistogramHandle, HistogramSnapshot, ProgressBeat, StepHistogram, TelemetryRegistry,
 };
 pub use trace::{StepCounts, Trace, TraceEvent};

@@ -238,6 +238,16 @@ impl<T: Clone> MemCtx<T> for NativeCtx<T> {
             None => *self.mem.regs[reg].write() = val,
         }
     }
+
+    /// Sampled point contention: the threads currently inside an access
+    /// to `reg` (per-register in-flight gauge), plus this one. Requires
+    /// [`NativeMemory::with_metrics`]; reports 1 when metrics are off.
+    fn point_contention(&self, reg: usize) -> u64 {
+        match &self.mem.metrics {
+            Some(m) => m.in_flight[reg].load(Ordering::Relaxed) + 1,
+            None => 1,
+        }
+    }
 }
 
 #[cfg(test)]

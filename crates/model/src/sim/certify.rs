@@ -59,6 +59,7 @@ use super::parallel::explore_parallel;
 use super::shrink::{shrink_execution, ShrinkConfig, ShrinkReport};
 use super::strategy::Replay;
 use super::{run_sim_with, ProcBody, SimConfig, SimOutcome};
+use crate::contention::{ContentionMap, ContentionProfiler};
 use crate::ctx::ProcId;
 use crate::json::Json;
 use crate::metrics::MetricsLevel;
@@ -205,6 +206,13 @@ pub struct Certificate {
     pub bounds: Vec<u64>,
     /// The classified, minimized counterexample, when any run failed.
     pub violation: Option<CertViolation>,
+    /// The contention profile, when
+    /// [`ExploreConfig::profile`] was set on
+    /// [`CertifyConfig::explore`]. On a certified pass it aggregates
+    /// every explored run; on a violation it profiles the canonical
+    /// minimized witness replay alone — both deterministic across
+    /// sequential and parallel certification.
+    pub contention: Option<ContentionMap>,
 }
 
 impl Certificate {
@@ -240,6 +248,13 @@ impl Certificate {
                         ),
                         ("witness", v.report.to_json()),
                     ]),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "contention",
+                match &self.contention {
+                    Some(map) => map.to_json(),
                     None => Json::Null,
                 },
             ),
@@ -303,7 +318,7 @@ where
     FMake: FnMut() -> Vec<ProcBody<'static, T, R>>,
 {
     let mut strat = FaultPlan::from(crashes.to_vec()).over(Replay::halting(schedule.to_vec()));
-    run_sim_with(cfg, MetricsLevel::Off, &mut strat, factory())
+    run_sim_with(cfg, MetricsLevel::Off, &mut strat, factory(), None)
 }
 
 /// Turn exploration results into a certificate. On a violation the
@@ -338,6 +353,7 @@ where
             worst_steps: worst,
             bounds: ccfg.bounds.clone(),
             violation: None,
+            contention: stats.contention,
         };
     };
     let first = replay_witness(cfg, &w.schedule, &w.crashes, factory);
@@ -348,7 +364,17 @@ where
         judge(&ccfg.bounds, ccfg.require_finish, o, check)
             .is_some_and(|k| std::mem::discriminant(&k) == pin)
     });
-    let outcome = replay_witness(cfg, &report.schedule, &report.crashes, factory);
+    // Profile the canonical witness replay alone (never the finding
+    // exploration, whose run set is engine-dependent on violation), so
+    // sequential and parallel certificates stay bit-identical.
+    let bodies = factory();
+    let mut prof = ccfg
+        .explore
+        .profile
+        .then(|| ContentionProfiler::new(bodies.len(), cfg.registers.len()));
+    let mut strat =
+        FaultPlan::from(report.crashes.clone()).over(Replay::halting(report.schedule.clone()));
+    let outcome = run_sim_with(cfg, MetricsLevel::Off, &mut strat, bodies, prof.as_mut());
     let kind = judge(&ccfg.bounds, ccfg.require_finish, &outcome, check)
         .expect("the shrunk witness must still violate");
     let worst = outcome
@@ -368,6 +394,7 @@ where
             crashed: outcome.crashed.clone(),
             report,
         }),
+        contention: prof.map(ContentionProfiler::into_map),
     }
 }
 
@@ -466,6 +493,7 @@ where
             worst_steps: worst,
             bounds: ccfg.bounds.clone(),
             violation: None,
+            contention: stats.contention,
         }
     }
 }

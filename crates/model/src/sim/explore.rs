@@ -15,6 +15,7 @@ use super::budget::{Budget, Budgeted};
 use super::shrink::{shrink_execution, ShrinkConfig, ShrinkReport};
 use super::strategy::{Decision, SchedView, Strategy};
 use super::{run_sim_with, ProcBody, SimConfig, SimOutcome};
+use crate::contention::{ContentionMap, ContentionProfiler};
 use crate::ctx::{AccessKind, ProcId};
 use crate::json::Json;
 use crate::metrics::MetricsLevel;
@@ -69,6 +70,12 @@ pub struct ExploreConfig {
     /// first few runs, aggregate counters on the root) into
     /// [`ExploreStats::spans`].
     pub trace_spans: bool,
+    /// Profile per-cell contention across every explored run into
+    /// [`ExploreStats::contention`] (hot cells, stall edges, and
+    /// contention-charged step totals). The map merges
+    /// partition-independently, so the parallel engines report the same
+    /// map as the sequential explorers on exhaustion.
+    pub profile: bool,
 }
 
 impl Budgeted for ExploreConfig {
@@ -100,6 +107,12 @@ impl ExploreConfig {
     /// Record a span tree of the exploration.
     pub fn trace_spans(mut self, on: bool) -> Self {
         self.trace_spans = on;
+        self
+    }
+
+    /// Profile per-cell contention across every explored run.
+    pub fn profile(mut self, on: bool) -> Self {
+        self.profile = on;
         self
     }
 }
@@ -184,6 +197,9 @@ pub struct ExploreStats {
     /// delegated — actual steals, excluding the root task and
     /// self-produced work. All zeros for the sequential explorers.
     pub worker_steals: Vec<u64>,
+    /// The contention profile aggregated over every executed run, when
+    /// [`ExploreConfig::profile`] was set.
+    pub contention: Option<ContentionMap>,
 }
 
 impl ExploreStats {
@@ -250,6 +266,13 @@ impl ExploreStats {
                 "violation",
                 match &self.violation {
                     Some(report) => report.to_json(),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "contention",
+                match &self.contention {
+                    Some(map) => map.to_json(),
                     None => Json::Null,
                 },
             ),
@@ -418,6 +441,7 @@ where
     let mut stack: Vec<Branch> = Vec::new();
     let mut stats = ExploreStats::default();
     let mut spans = econfig.trace_spans.then(|| SpanRecorder::new("explore"));
+    let mut prof: Option<ContentionProfiler> = None;
     loop {
         let detailed = spans.is_some() && stats.runs < SPAN_RUN_CAP;
         if detailed {
@@ -431,7 +455,11 @@ where
             crashes_used: 0,
             stats: &mut stats,
         };
-        let outcome = run_sim_with(cfg, MetricsLevel::Off, &mut strategy, factory());
+        let bodies = factory();
+        if econfig.profile && prof.is_none() {
+            prof = Some(ContentionProfiler::new(bodies.len(), cfg.registers.len()));
+        }
+        let outcome = run_sim_with(cfg, MetricsLevel::Off, &mut strategy, bodies, prof.as_mut());
         let run_steps = outcome.trace.len() as u64;
         if let Some(s) = spans.as_mut() {
             if detailed {
@@ -483,6 +511,7 @@ where
     stats.elapsed = start.elapsed();
     stats.worker_runs = vec![stats.runs];
     stats.worker_steals = vec![0];
+    stats.contention = prof.map(ContentionProfiler::into_map);
     if let Some(hb) = &econfig.budget.heartbeat {
         emit_beat(hb, stats.elapsed, stats.runs, 0, stack.len(), violated);
     }
@@ -774,6 +803,7 @@ where
     let mut spans = econfig
         .trace_spans
         .then(|| SpanRecorder::new("explore_reduced"));
+    let mut prof: Option<ContentionProfiler> = None;
     'outer: loop {
         let detailed = spans.is_some() && stats.runs < SPAN_RUN_CAP;
         if detailed {
@@ -788,7 +818,11 @@ where
             stats: &mut stats,
             redundant_tail: false,
         };
-        let outcome = run_sim_with(cfg, MetricsLevel::Off, &mut strategy, factory());
+        let bodies = factory();
+        if econfig.profile && prof.is_none() {
+            prof = Some(ContentionProfiler::new(bodies.len(), cfg.registers.len()));
+        }
+        let outcome = run_sim_with(cfg, MetricsLevel::Off, &mut strategy, bodies, prof.as_mut());
         let run_steps = outcome.trace.len() as u64;
         if let Some(s) = spans.as_mut() {
             if detailed {
@@ -864,6 +898,7 @@ where
     stats.elapsed = start.elapsed();
     stats.worker_runs = vec![stats.runs];
     stats.worker_steals = vec![0];
+    stats.contention = prof.map(ContentionProfiler::into_map);
     if let Some(hb) = &econfig.budget.heartbeat {
         emit_beat(
             hb,
@@ -1273,13 +1308,15 @@ mod tests {
             .max_crashes(2)
             .threads(4)
             .shrink(crate::sim::shrink::ShrinkConfig::default())
-            .trace_spans(true);
+            .trace_spans(true)
+            .profile(true);
         assert_eq!(cfg.budget.max_runs, 7);
         assert_eq!(cfg.budget.max_depth, 3);
         assert_eq!(cfg.budget.max_crashes, 2);
         assert_eq!(cfg.threads, 4);
         assert!(cfg.shrink.is_some());
         assert!(cfg.trace_spans);
+        assert!(cfg.profile);
         assert!(cfg.budget.heartbeat.is_none());
         let cleared = cfg.heartbeat_with(None);
         assert!(cleared.budget.heartbeat.is_none());

@@ -35,6 +35,7 @@ pub use sample::{
 pub use shrink::{shrink_execution, shrink_schedule, ShrinkConfig, ShrinkReport, ShrinkStats};
 pub use strategy::{Decision, SchedView, Strategy};
 
+use crate::contention::{ContentionMap, ContentionProfiler};
 use crate::crash::{self, CrashSignal};
 use crate::ctx::{AccessKind, MemCtx, ProcId};
 use crate::metrics::{Metrics, MetricsLevel};
@@ -196,6 +197,11 @@ pub struct SimOutcome<T, R> {
     /// Observability data (empty unless a metrics level was enabled via
     /// [`SimBuilder::metrics`]).
     pub metrics: Metrics,
+    /// Contention profile of the run (`None` unless profiling was
+    /// enabled via [`SimBuilder::profile`]). Exact: point contention is
+    /// the number of processes with a pending request on the same
+    /// register at the instant each access is serviced.
+    pub contention: Option<ContentionMap>,
     /// Final register contents.
     pub memory: Vec<T>,
     /// `true` when the run was stopped by `Decision::Halt` or the step
@@ -251,6 +257,7 @@ pub(crate) fn run_sim_with<T, R, F>(
     level: MetricsLevel,
     strategy: &mut dyn Strategy,
     bodies: Vec<F>,
+    profiler: Option<&mut ContentionProfiler>,
 ) -> SimOutcome<T, R>
 where
     T: Clone + Send,
@@ -300,7 +307,7 @@ where
                 let _ = to_sched.send(Msg::Done { proc: p });
             });
         }
-        scheduler_loop(cfg, level, strategy, n, msg_rx, reply_txs)
+        scheduler_loop(cfg, level, strategy, n, msg_rx, reply_txs, profiler)
     });
 
     outcome_finish(
@@ -362,6 +369,7 @@ pub struct SimBuilder<'s, T> {
     level: MetricsLevel,
     faults: fault::FaultPlan,
     strat: StratHolder<'s>,
+    profile: bool,
 }
 
 impl<'s, T: Clone + Send> SimBuilder<'s, T> {
@@ -374,6 +382,7 @@ impl<'s, T: Clone + Send> SimBuilder<'s, T> {
             level: MetricsLevel::Off,
             faults: fault::FaultPlan::new(),
             strat: StratHolder::Owned(Box::new(strategy::RoundRobin::new())),
+            profile: false,
         }
     }
 
@@ -406,6 +415,15 @@ impl<'s, T: Clone + Send> SimBuilder<'s, T> {
     /// Observability collection level for [`SimOutcome::metrics`].
     pub fn metrics(mut self, level: MetricsLevel) -> Self {
         self.level = level;
+        self
+    }
+
+    /// Collect a [`ContentionMap`] for each run (surfaced on
+    /// [`SimOutcome::contention`]): per-cell hot-spot counters, stall
+    /// attribution edges, and contention-charged step accounting, with
+    /// point contention attributed exactly by the scheduler.
+    pub fn profile(mut self, profile: bool) -> Self {
+        self.profile = profile;
         self
     }
 
@@ -465,13 +483,18 @@ impl<'s, T: Clone + Send> SimBuilder<'s, T> {
         R: Send,
         F: FnOnce(&mut SimCtx<T>) -> R + Send,
     {
+        let mut prof = self
+            .profile
+            .then(|| ContentionProfiler::new(bodies.len(), self.cfg.registers.len()));
         let strat = self.strat.get();
-        if self.faults.is_empty() {
-            run_sim_with(&self.cfg, self.level, strat, bodies)
+        let mut out = if self.faults.is_empty() {
+            run_sim_with(&self.cfg, self.level, strat, bodies, prof.as_mut())
         } else {
             let mut planned = fault::FaultyRef::new(&self.faults, strat);
-            run_sim_with(&self.cfg, self.level, &mut planned, bodies)
-        }
+            run_sim_with(&self.cfg, self.level, &mut planned, bodies, prof.as_mut())
+        };
+        out.contention = prof.map(ContentionProfiler::into_map);
+        out
     }
 
     /// Run `n` copies of the same body (each told its process id via
@@ -646,7 +669,11 @@ fn scheduler_loop<T: Clone, R>(
     n: usize,
     msg_rx: Receiver<Msg<T>>,
     reply_txs: Vec<Sender<Reply<T>>>,
+    mut profiler: Option<&mut ContentionProfiler>,
 ) -> SimOutcome<T, R> {
+    if let Some(prof) = profiler.as_deref_mut() {
+        prof.begin_run();
+    }
     let mut memory = cfg.registers.clone();
     let mut pending: Vec<Option<Access<T>>> = (0..n).map(|_| None).collect();
     let mut finished = vec![false; n];
@@ -728,6 +755,17 @@ fn scheduler_loop<T: Clone, R>(
                         AccessKind::Write => metrics.record_write(p, reg, contended),
                     }
                 }
+                if let Some(prof) = profiler.as_deref_mut() {
+                    // Exact point contention: every process with a
+                    // pending request on the same register right now,
+                    // including the serviced one.
+                    let reg = access.reg();
+                    let k = 1 + runnable
+                        .iter()
+                        .filter(|&&q| q != p && pending_info[q].is_some_and(|(_, r)| r == reg))
+                        .count() as u64;
+                    prof.record(p, reg, access.kind(), k);
+                }
                 steps += 1;
                 let reply = match access {
                     Access::Read(r) => Reply::Value(memory[r].clone()),
@@ -789,6 +827,7 @@ fn scheduler_loop<T: Clone, R>(
         trace,
         counts,
         metrics,
+        contention: None, // filled by SimBuilder::run when profiling
         memory,
         halted,
     }

@@ -53,6 +53,7 @@ use super::explore::{
 use super::shrink::shrink_execution;
 use super::strategy::{Decision, SchedView, Strategy};
 use super::{outcome_finish, scheduler_loop, Msg, ProcBody, Reply, SimConfig, SimCtx, SimOutcome};
+use crate::contention::{ContentionMap, ContentionProfiler};
 use crate::crash;
 use crate::ctx::ProcId;
 use crate::metrics::MetricsLevel;
@@ -168,6 +169,7 @@ pub(crate) fn run_sim_pooled<T, R>(
     strategy: &mut dyn Strategy,
     pool: &mut ProcPool<T, R>,
     bodies: Vec<ProcBody<'static, T, R>>,
+    profiler: Option<&mut ContentionProfiler>,
 ) -> SimOutcome<T, R>
 where
     T: Clone + Send + 'static,
@@ -201,7 +203,15 @@ where
     drop(msg_tx);
     drop(res_tx);
 
-    let mut outcome = scheduler_loop(cfg, MetricsLevel::Off, strategy, n, msg_rx, reply_txs);
+    let mut outcome = scheduler_loop(
+        cfg,
+        MetricsLevel::Off,
+        strategy,
+        n,
+        msg_rx,
+        reply_txs,
+        profiler,
+    );
 
     // The scheduler returns only after every process signalled `Done`,
     // which each job sends after its result: the channel already holds
@@ -267,6 +277,11 @@ struct Shared {
     worker_runs: Vec<AtomicU64>,
     /// Tasks each worker popped that another worker had delegated.
     worker_steals: Vec<AtomicU64>,
+    /// Merged contention profile across workers (profiling only).
+    /// [`ContentionMap::merge`] is commutative and partition-
+    /// independent, so the merged map does not depend on which worker
+    /// executed which run.
+    contention: Mutex<Option<ContentionMap>>,
 }
 
 impl Shared {
@@ -295,6 +310,7 @@ impl Shared {
             violation: Mutex::new(None),
             worker_runs: (0..threads).map(|_| AtomicU64::new(0)).collect(),
             worker_steals: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+            contention: Mutex::new(None),
         }
     }
 
@@ -553,6 +569,7 @@ fn worker<T, R, FMake, Visit>(
     reduce: bool,
     max_depth: usize,
     max_crashes: usize,
+    profile: bool,
     mut factory: FMake,
     mut visit: Visit,
 ) where
@@ -562,6 +579,7 @@ fn worker<T, R, FMake, Visit>(
     Visit: FnMut(&SimOutcome<T, R>) -> bool,
 {
     let mut pool: ProcPool<T, R> = ProcPool::new();
+    let mut prof: Option<ContentionProfiler> = None;
     while let Some(task) = shared.next_task() {
         if let Some(best) = shared.best_path() {
             if !may_precede(&task.path, &best) {
@@ -578,7 +596,11 @@ fn worker<T, R, FMake, Visit>(
             shared.worker_steals[index].fetch_add(1, Ordering::Relaxed);
         }
         let mut strategy = PrefixStrategy::new(&task.path, reduce, max_depth, max_crashes);
-        let outcome = run_sim_pooled(cfg, &mut strategy, &mut pool, factory());
+        let bodies = factory();
+        if profile && prof.is_none() {
+            prof = Some(ContentionProfiler::new(bodies.len(), cfg.registers.len()));
+        }
+        let outcome = run_sim_pooled(cfg, &mut strategy, &mut pool, bodies, prof.as_mut());
         shared
             .sleep_skips
             .fetch_add(strategy.sleep_skips, Ordering::Relaxed);
@@ -608,6 +630,13 @@ fn worker<T, R, FMake, Visit>(
                 .map(|path| Task { path, owner: index })
                 .collect(),
         );
+    }
+    if let Some(map) = prof.map(ContentionProfiler::into_map) {
+        let mut slot = shared.contention.lock().unwrap();
+        match slot.as_mut() {
+            Some(acc) => acc.merge(&map),
+            None => *slot = Some(map),
+        }
     }
 }
 
@@ -648,6 +677,7 @@ where
                     reduce,
                     econfig.budget.max_depth,
                     econfig.budget.max_crashes,
+                    econfig.profile,
                     fmake,
                     vis,
                 );
@@ -710,6 +740,7 @@ where
             .iter()
             .map(|s| s.load(Ordering::Relaxed))
             .collect(),
+        contention: shared.contention.into_inner().unwrap(),
     };
     // Shrinking is sequential (deterministic ddmin over the canonical
     // schedule), driven by one extra worker pair.

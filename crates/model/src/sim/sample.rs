@@ -65,6 +65,7 @@ use super::parallel::{resolve_threads, run_sim_pooled, ProcPool};
 use super::shrink::{shrink_execution, ShrinkConfig};
 use super::strategy::{Pct, SeededRandom, Strategy};
 use super::{ProcBody, SimConfig, SimOutcome};
+use crate::contention::{ContentionMap, ContentionProfiler};
 use crate::ctx::ProcId;
 use crate::json::Json;
 use crate::seed::{split, STREAM_CRASHES};
@@ -144,6 +145,11 @@ pub struct SampleConfig {
     /// Shrinker configuration for minimizing a sampled violation (the
     /// default budget when `None`).
     pub shrink: Option<ShrinkConfig>,
+    /// Profile per-cell contention across every sampled run into
+    /// [`SampleReport::contention`]. Profiling is per-run and the map
+    /// merge is commutative, so the report stays byte-identical across
+    /// thread counts. Defaults to `false`.
+    pub profile: bool,
 }
 
 impl SampleConfig {
@@ -161,6 +167,7 @@ impl SampleConfig {
             require_finish: true,
             tail_only: false,
             shrink: None,
+            profile: false,
         }
     }
 
@@ -204,6 +211,12 @@ impl SampleConfig {
     /// Replace the shrinker configuration.
     pub fn shrink(mut self, cfg: ShrinkConfig) -> Self {
         self.shrink = Some(cfg);
+        self
+    }
+
+    /// Profile per-cell contention across every sampled run.
+    pub fn profile(mut self, on: bool) -> Self {
+        self.profile = on;
         self
     }
 
@@ -309,6 +322,10 @@ pub struct SampleReport {
     /// The canonical (lowest-run-index) violation, minimized through
     /// the certifier's shrink pipeline.
     pub violation: Option<SampleViolation>,
+    /// The contention profile aggregated over every sampled run, when
+    /// [`SampleConfig::profile`] was set. Deterministic for a given
+    /// `(config, seed)` regardless of thread count.
+    pub contention: Option<ContentionMap>,
     /// Wall-clock time of the sampling (not serialized; excluded from
     /// determinism comparisons).
     pub elapsed: Duration,
@@ -373,6 +390,13 @@ impl SampleReport {
                         ),
                         ("witness", v.cert.report.to_json()),
                     ]),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "contention",
+                match &self.contention {
+                    Some(map) => map.to_json(),
                     None => Json::Null,
                 },
             ),
@@ -517,6 +541,9 @@ struct SampleState {
     violations: AtomicU64,
     first: Mutex<Option<FirstViolation>>,
     next_run: AtomicU64,
+    /// Merged contention profile across workers (profiling only); the
+    /// merge commutes, so the result is thread-count-independent.
+    contention: Mutex<Option<ContentionMap>>,
 }
 
 impl SampleState {
@@ -529,6 +556,16 @@ impl SampleState {
             violations: AtomicU64::new(0),
             first: Mutex::new(None),
             next_run: AtomicU64::new(0),
+            contention: Mutex::new(None),
+        }
+    }
+
+    /// Fold one worker's finished profile into the shared slot.
+    fn merge_contention(&self, map: ContentionMap) {
+        let mut slot = self.contention.lock().unwrap();
+        match slot.as_mut() {
+            Some(acc) => acc.merge(&map),
+            None => *slot = Some(map),
         }
     }
 }
@@ -550,13 +587,16 @@ fn sample_worker<T, R, FMake, Check>(
     Check: FnMut(&SimOutcome<T, R>) -> bool,
 {
     let mut pool: ProcPool<T, R> = ProcPool::new();
+    let mut prof = scfg
+        .profile
+        .then(|| ContentionProfiler::new(n_procs, cfg.registers.len()));
     loop {
         let run = state.next_run.fetch_add(1, Ordering::Relaxed);
         if run >= scfg.budget.max_runs {
             break;
         }
         let mut strat = run_strategy(scfg, n_procs, run);
-        let out = run_sim_pooled(cfg, &mut strat, &mut pool, factory());
+        let out = run_sim_pooled(cfg, &mut strat, &mut pool, factory(), prof.as_mut());
         let violated = observe_run(
             scfg,
             judge_bounds,
@@ -579,6 +619,9 @@ fn sample_worker<T, R, FMake, Check>(
             );
         }
     }
+    if let Some(map) = prof.map(ContentionProfiler::into_map) {
+        state.merge_contention(map);
+    }
 }
 
 /// Assemble the final report (shared tail of both engines), minimizing
@@ -597,6 +640,7 @@ where
     FMake: FnMut() -> Vec<ProcBody<'static, T, R>>,
     Check: FnMut(&SimOutcome<T, R>) -> bool,
 {
+    let contention = state.contention.into_inner().unwrap();
     let violation =
         state.first.into_inner().unwrap().map(|fv| {
             build_violation(cfg, scfg, fv.run, &fv.schedule, &fv.crashes, factory, check)
@@ -616,6 +660,7 @@ where
         exceedances: state.exceedances.load(Ordering::Relaxed),
         violations: state.violations.load(Ordering::Relaxed),
         violation,
+        contention,
         elapsed: start.elapsed(),
     };
     if let Some(hb) = &scfg.budget.heartbeat {
@@ -648,13 +693,16 @@ where
     let hb = scfg.budget.heartbeat.clone();
     let mut last_beat = Instant::now();
     let mut pool: ProcPool<T, R> = ProcPool::new();
+    let mut prof = scfg
+        .profile
+        .then(|| ContentionProfiler::new(n_procs, cfg.registers.len()));
     loop {
         let run = state.next_run.fetch_add(1, Ordering::Relaxed);
         if run >= scfg.budget.max_runs {
             break;
         }
         let mut strat = run_strategy(scfg, n_procs, run);
-        let out = run_sim_pooled(cfg, &mut strat, &mut pool, factory());
+        let out = run_sim_pooled(cfg, &mut strat, &mut pool, factory(), prof.as_mut());
         let violated = observe_run(
             scfg,
             &judge_bounds,
@@ -691,6 +739,9 @@ where
         }
     }
     drop(pool);
+    if let Some(map) = prof.map(ContentionProfiler::into_map) {
+        state.merge_contention(map);
+    }
     finish_report(cfg, scfg, state, start, &mut factory, &mut check)
 }
 

@@ -135,7 +135,7 @@ where
 {
     let plan = FaultPlan::from(crashes.to_vec());
     let mut strat = plan.over(Replay::halting(candidate));
-    let outcome = run_sim_with(cfg, MetricsLevel::Off, &mut strat, factory());
+    let outcome = run_sim_with(cfg, MetricsLevel::Off, &mut strat, factory(), None);
     if failing(&outcome) {
         Some((outcome.trace.schedule(), outcome.executed_crashes()))
     } else {
@@ -464,7 +464,7 @@ mod tests {
         let mut replay = Replay::strict(report.schedule.clone());
         let mut cfg2 = SimConfig::base(vec![0u64; 1]);
         cfg2.max_steps = report.schedule.len() as u64;
-        let out = run_sim_with(&cfg2, MetricsLevel::Off, &mut replay, bodies());
+        let out = run_sim_with(&cfg2, MetricsLevel::Off, &mut replay, bodies(), None);
         assert!(failing(&out));
         assert_eq!(out.trace.schedule(), report.schedule);
     }
@@ -589,7 +589,7 @@ mod tests {
         cfg2.max_steps = report.schedule.len() as u64;
         let mut strat = crate::sim::fault::FaultPlan::from(report.crashes.clone())
             .over(Replay::strict(report.schedule.clone()));
-        let out = run_sim_with(&cfg2, MetricsLevel::Off, &mut strat, bodies3());
+        let out = run_sim_with(&cfg2, MetricsLevel::Off, &mut strat, bodies3(), None);
         assert!(fail(&out));
         assert_eq!(out.trace.schedule(), report.schedule);
         assert_eq!(out.executed_crashes(), report.crashes);

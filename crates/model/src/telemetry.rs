@@ -382,7 +382,12 @@ pub struct TelemetryRegistry {
     counters: Mutex<Vec<(String, CounterHandle)>>,
     gauges: Mutex<Vec<(String, GaugeHandle)>>,
     histograms: Mutex<Vec<(String, HistogramHandle)>>,
+    labeled: Mutex<Vec<LabeledSeries>>,
 }
+
+/// One labeled counter series: metric key, label `(name, value)` pairs
+/// in registration order, and its sharded handle.
+type LabeledSeries = (String, Vec<(String, String)>, CounterHandle);
 
 impl TelemetryRegistry {
     /// A registry with `shards` worker slots (at least 1).
@@ -392,6 +397,7 @@ impl TelemetryRegistry {
             counters: Mutex::new(Vec::new()),
             gauges: Mutex::new(Vec::new()),
             histograms: Mutex::new(Vec::new()),
+            labeled: Mutex::new(Vec::new()),
         }
     }
 
@@ -439,6 +445,50 @@ impl TelemetryRegistry {
         h
     }
 
+    /// Register (or retrieve) the counter `key` with a fixed label set
+    /// — one series per distinct `(key, labels)` pair, exported as
+    /// `key{label="value",...}` with label values escaped per the
+    /// exposition format. This is how per-cell heatmap series (cell
+    /// ids, object names) flow through the registry.
+    pub fn labeled_counter(&self, key: &str, labels: &[(&str, &str)]) -> CounterHandle {
+        let mut list = self.labeled.lock().expect("registry lock");
+        if let Some((_, _, h)) = list.iter().find(|(k, l, _)| {
+            k == key
+                && l.len() == labels.len()
+                && l.iter()
+                    .zip(labels)
+                    .all(|((lk, lv), (k2, v2))| lk == k2 && lv == v2)
+        }) {
+            return h.clone();
+        }
+        let h = CounterHandle {
+            cells: Arc::new(ShardedCells::new(self.shards)),
+        };
+        list.push((
+            key.to_string(),
+            labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            h.clone(),
+        ));
+        h
+    }
+
+    /// The merged total of the labeled counter series, if registered.
+    pub fn labeled_counter_total(&self, key: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        let list = self.labeled.lock().expect("registry lock");
+        list.iter()
+            .find(|(k, l, _)| {
+                k == key
+                    && l.len() == labels.len()
+                    && l.iter()
+                        .zip(labels)
+                        .all(|((lk, lv), (k2, v2))| lk == k2 && lv == v2)
+            })
+            .map(|(_, _, h)| h.total())
+    }
+
     /// The merged total of counter `key`, if registered.
     pub fn counter_total(&self, key: &str) -> Option<u64> {
         let list = self.counters.lock().expect("registry lock");
@@ -459,6 +509,7 @@ impl TelemetryRegistry {
         let counters = self.counters.lock().expect("registry lock");
         let gauges = self.gauges.lock().expect("registry lock");
         let histograms = self.histograms.lock().expect("registry lock");
+        let labeled = self.labeled.lock().expect("registry lock");
         Json::obj([
             (
                 "counters",
@@ -502,6 +553,28 @@ impl TelemetryRegistry {
                         .collect(),
                 ),
             ),
+            (
+                "labeled_counters",
+                Json::Arr(
+                    labeled
+                        .iter()
+                        .map(|(k, l, h)| {
+                            Json::obj([
+                                ("name", Json::Str(k.clone())),
+                                (
+                                    "labels",
+                                    Json::Obj(
+                                        l.iter()
+                                            .map(|(lk, lv)| (lk.clone(), Json::Str(lv.clone())))
+                                            .collect(),
+                                    ),
+                                ),
+                                ("total", Json::UInt(h.total())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
         ])
     }
 
@@ -526,6 +599,21 @@ impl TelemetryRegistry {
             }
         }
         drop(counters);
+        let labeled = self.labeled.lock().expect("registry lock");
+        let mut typed: Vec<String> = Vec::new();
+        for (key, labels, h) in labeled.iter() {
+            let name = sanitize_metric_name(key);
+            if !typed.contains(&name) {
+                out.push_str(&format!("# TYPE {name} counter\n"));
+                typed.push(name.clone());
+            }
+            let series: Vec<String> = labels
+                .iter()
+                .map(|(k, v)| format!("{}=\"{}\"", sanitize_metric_name(k), escape_label_value(v)))
+                .collect();
+            out.push_str(&format!("{name}{{{}}} {}\n", series.join(","), h.total()));
+        }
+        drop(labeled);
         let gauges = self.gauges.lock().expect("registry lock");
         for (key, h) in gauges.iter() {
             let name = sanitize_metric_name(key);
@@ -587,8 +675,28 @@ fn sanitize_metric_name(key: &str) -> String {
     name
 }
 
+/// Escape a label value for the Prometheus text exposition format:
+/// backslash, double quote and newline become `\\`, `\"` and `\n`.
+/// Everything the heatmap exporters put between label quotes (cell ids,
+/// object names) goes through this, and [`validate_prometheus`] accepts
+/// exactly these escapes back.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
 /// Validate Prometheus text-exposition line format (comment lines and
-/// `name{labels} value` samples). Returns the first offending line on
+/// `name{labels} value` samples). Label values may contain any
+/// characters, with `\\`, `\"` and `\n` escapes (see
+/// [`escape_label_value`]). Returns the first offending line on
 /// failure. A self-contained smoke check for CI — no external parser.
 pub fn validate_prometheus(text: &str) -> Result<(), String> {
     for (no, raw) in text.lines().enumerate() {
@@ -627,7 +735,9 @@ fn is_metric_name(s: &str) -> bool {
     chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
 }
 
-/// Parse one `name[{label="value",...}] value` sample line.
+/// Parse one `name[{label="value",...}] value` sample line. Label
+/// values are scanned escape-aware, so quoted values may contain
+/// commas, braces, and `\\` / `\"` / `\n` escapes.
 fn parse_sample_line(line: &str) -> Result<(), &'static str> {
     let name_end = line
         .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == ':'))
@@ -635,27 +745,68 @@ fn parse_sample_line(line: &str) -> Result<(), &'static str> {
     if !is_metric_name(&line[..name_end]) {
         return Err("bad metric name");
     }
-    let mut rest = &line[name_end..];
-    if let Some(body) = rest.strip_prefix('{') {
-        let close = body.find('}').ok_or("unterminated label set")?;
-        let labels = &body[..close];
-        rest = &body[close + 1..];
-        for pair in labels.split(',').filter(|p| !p.is_empty()) {
-            let (k, v) = pair.split_once('=').ok_or("label without '='")?;
-            let k = k.trim();
-            if k.is_empty()
-                || !k.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
-                || k.starts_with(|c: char| c.is_ascii_digit())
-            {
+    let bytes = line.as_bytes();
+    let mut i = name_end;
+    if i < bytes.len() && bytes[i] == b'{' {
+        i += 1;
+        loop {
+            while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if i >= bytes.len() {
+                return Err("unterminated label set");
+            }
+            if bytes[i] == b'}' {
+                i += 1;
+                break;
+            }
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            let name = &line[start..i];
+            if name.is_empty() || name.starts_with(|c: char| c.is_ascii_digit()) {
                 return Err("bad label name");
             }
-            let v = v.trim();
-            if !(v.len() >= 2 && v.starts_with('"') && v.ends_with('"')) {
+            while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if i >= bytes.len() || bytes[i] != b'=' {
+                return Err("label without '='");
+            }
+            i += 1;
+            while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if i >= bytes.len() || bytes[i] != b'"' {
                 return Err("label value not quoted");
+            }
+            i += 1;
+            loop {
+                match bytes.get(i) {
+                    None => return Err("unterminated label value"),
+                    Some(b'"') => {
+                        i += 1;
+                        break;
+                    }
+                    Some(b'\\') => match bytes.get(i + 1) {
+                        Some(b'\\' | b'"' | b'n') => i += 2,
+                        _ => return Err("bad escape in label value"),
+                    },
+                    Some(_) => i += 1,
+                }
+            }
+            while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if i < bytes.len() && bytes[i] == b',' {
+                i += 1;
+            } else if i >= bytes.len() || bytes[i] != b'}' {
+                return Err("expected ',' or '}' after label");
             }
         }
     }
-    let value = rest.trim();
+    let value = line[i..].trim();
     if value.is_empty() {
         return Err("missing sample value");
     }
@@ -811,6 +962,7 @@ impl ProgressBeat {
     pub fn to_json(&self) -> Json {
         Json::obj([
             ("elapsed_secs", Json::Float(self.elapsed.as_secs_f64())),
+            ("elapsed_ms", Json::UInt(self.elapsed.as_millis() as u64)),
             ("runs", Json::UInt(self.runs)),
             ("runs_per_sec", Json::Float(self.runs_per_sec())),
             ("sleep_skips", Json::UInt(self.sleep_skips)),
@@ -1053,6 +1205,77 @@ mod tests {
         assert!(validate_prometheus("# TYPE 1x counter\n").is_err());
     }
 
+    /// Satellite: the validator accepts escaped label values (commas,
+    /// braces, escaped quotes/backslashes/newlines inside the quotes)
+    /// and rejects the malformed variants.
+    #[test]
+    fn validator_handles_label_value_escapes() {
+        assert!(validate_prometheus("x{l=\"a,b\"} 1\n").is_ok());
+        assert!(validate_prometheus("x{l=\"a}b\"} 1\n").is_ok());
+        assert!(validate_prometheus("x{l=\"say \\\"hi\\\"\"} 1\n").is_ok());
+        assert!(validate_prometheus("x{l=\"back\\\\slash\"} 1\n").is_ok());
+        assert!(validate_prometheus("x{l=\"line\\nbreak\"} 1\n").is_ok());
+        assert!(validate_prometheus("x{a=\"1,2\",b=\"3\"} 4\n").is_ok());
+        assert!(validate_prometheus("x{l=\"\"} 1\n").is_ok());
+        // Bad escape sequence.
+        assert!(validate_prometheus("x{l=\"oops\\q\"} 1\n").is_err());
+        // Trailing backslash swallows the closing quote.
+        assert!(validate_prometheus("x{l=\"oops\\\"} 1\n").is_err());
+        // Unterminated value.
+        assert!(validate_prometheus("x{l=\"open} 1\n").is_err());
+        // Garbage between labels.
+        assert!(validate_prometheus("x{l=\"v\" ; m=\"w\"} 1\n").is_err());
+    }
+
+    #[test]
+    fn escape_label_value_round_trips_through_the_validator() {
+        for raw in [
+            "plain",
+            "with \"quotes\"",
+            "back\\slash",
+            "multi\nline",
+            "a,b}c{d",
+        ] {
+            let line = format!("m{{l=\"{}\"}} 1\n", escape_label_value(raw));
+            validate_prometheus(&line).unwrap_or_else(|e| panic!("{raw:?}: {e}"));
+        }
+        assert_eq!(escape_label_value("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+        assert_eq!(escape_label_value("plain"), "plain");
+    }
+
+    #[test]
+    fn labeled_counters_export_and_dedup() {
+        let reg = TelemetryRegistry::new(2);
+        let a = reg.labeled_counter("hot_cells", &[("object", "afek"), ("cell", "3")]);
+        let b = reg.labeled_counter("hot_cells", &[("object", "afek"), ("cell", "3")]);
+        let other = reg.labeled_counter("hot_cells", &[("object", "we\"ird"), ("cell", "4")]);
+        a.add(0, 5);
+        b.add(1, 2); // same series, different shard
+        other.inc(0);
+        assert_eq!(
+            reg.labeled_counter_total("hot_cells", &[("object", "afek"), ("cell", "3")]),
+            Some(7)
+        );
+        assert_eq!(
+            reg.labeled_counter_total("hot_cells", &[("object", "nope"), ("cell", "3")]),
+            None
+        );
+        let text = reg.to_prometheus();
+        validate_prometheus(&text).expect("labeled export must validate");
+        assert!(text.contains("hot_cells{object=\"afek\",cell=\"3\"} 7"));
+        assert!(text.contains("hot_cells{object=\"we\\\"ird\",cell=\"4\"} 1"));
+        // One TYPE line for the shared metric name.
+        assert_eq!(
+            text.matches("# TYPE hot_cells counter").count(),
+            1,
+            "{text}"
+        );
+        let doc = reg.to_json();
+        let labeled = doc.get("labeled_counters").and_then(Json::as_arr).unwrap();
+        assert_eq!(labeled.len(), 2);
+        assert_eq!(labeled[0].get("total").and_then(Json::as_u64), Some(7));
+    }
+
     #[test]
     fn sanitizer_covers_the_edge_cases() {
         assert_eq!(sanitize_metric_name("scan.reads/op"), "scan_reads_op");
@@ -1122,6 +1345,7 @@ mod tests {
         assert_eq!(lines.len(), 2);
         let first = crate::json::parse(lines[0]).unwrap();
         assert_eq!(first.get("runs").and_then(Json::as_u64), Some(42));
+        assert_eq!(first.get("elapsed_ms").and_then(Json::as_u64), Some(1500));
         assert_eq!(first.get("queue_depth").and_then(Json::as_u64), Some(3));
         let rps = first.get("runs_per_sec").and_then(Json::as_f64).unwrap();
         assert!((rps - 28.0).abs() < 1e-9);

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Compare two directories of BENCH_*.json reports, ignoring wall-clock.
+
+Usage: scripts/compare_bench.py BASELINE_DIR CANDIDATE_DIR [--ignore KEY]...
+
+Every experiment in this repo is deterministic modulo wall-clock columns,
+so a regenerated report must equal the archived baseline once the
+timing-derived keys are stripped (recursively): `wall_clock_secs`,
+`wall_secs`, `runs_per_sec`, `speedup`, plus any `--ignore KEY` extras.
+
+Exit status: 0 if every common file matches, 1 otherwise. Files present
+on only one side are reported but only fail the comparison when missing
+from the candidate.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+VOLATILE = {"wall_clock_secs", "wall_secs", "runs_per_sec", "speedup"}
+
+
+def strip(doc, ignored):
+    if isinstance(doc, dict):
+        return {k: strip(v, ignored) for k, v in doc.items() if k not in ignored}
+    if isinstance(doc, list):
+        return [strip(v, ignored) for v in doc]
+    return doc
+
+
+def first_diff(a, b, path="$"):
+    if type(a) is not type(b):
+        return f"{path}: type {type(a).__name__} != {type(b).__name__}"
+    if isinstance(a, dict):
+        for k in sorted(set(a) | set(b)):
+            if k not in a or k not in b:
+                return f"{path}.{k}: present on one side only"
+            d = first_diff(a[k], b[k], f"{path}.{k}")
+            if d:
+                return d
+        return None
+    if isinstance(a, list):
+        if len(a) != len(b):
+            return f"{path}: length {len(a)} != {len(b)}"
+        for i, (x, y) in enumerate(zip(a, b)):
+            d = first_diff(x, y, f"{path}[{i}]")
+            if d:
+                return d
+        return None
+    if a != b:
+        return f"{path}: {a!r} != {b!r}"
+    return None
+
+
+def main(argv):
+    args, ignored = [], set(VOLATILE)
+    it = iter(argv)
+    for tok in it:
+        if tok == "--ignore":
+            ignored.add(next(it, "") or sys.exit("--ignore needs a KEY"))
+        else:
+            args.append(tok)
+    if len(args) != 2:
+        sys.exit(__doc__.strip().splitlines()[2].strip())
+    base, cand = Path(args[0]), Path(args[1])
+
+    failed = False
+    base_files = sorted(base.glob("BENCH_*.json"))
+    if not base_files:
+        sys.exit(f"no BENCH_*.json under {base}")
+    for bf in base_files:
+        cf = cand / bf.name
+        if not cf.exists():
+            print(f"MISSING  {bf.name} (not in {cand})")
+            failed = True
+            continue
+        a = strip(json.loads(bf.read_text()), ignored)
+        b = strip(json.loads(cf.read_text()), ignored)
+        d = first_diff(a, b)
+        if d:
+            print(f"DIFF     {bf.name}: {d}")
+            failed = True
+        else:
+            print(f"OK       {bf.name}")
+    for cf in sorted(cand.glob("BENCH_*.json")):
+        if not (base / cf.name).exists():
+            print(f"NEW      {cf.name} (no baseline yet)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -4,8 +4,11 @@
 //! schedule.
 
 use apram_model::sim::strategy::{Replay, SeededRandom};
-use apram_model::sim::{SimBuilder, SimCtx};
-use apram_model::{AccessKind, MemCtx, MetricsLevel, TelemetryRegistry, Trace};
+use apram_model::sim::{Budgeted, ExploreConfig, ProcBody, SimBuilder, SimCtx};
+use apram_model::telemetry::{buffer_sink, CountingCtx, Heartbeat};
+use apram_model::{AccessKind, Json, MemCtx, MetricsLevel, TelemetryRegistry, Trace};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// A deterministic body: three rounds of publish-then-collect, so every
 /// process issues a known mix of reads and writes.
@@ -134,6 +137,116 @@ fn metrics_agree_with_trace_counts() {
     assert!(prom.contains(&format!("sim_reads {}", reads.total())));
     let json = reg.to_json().to_compact();
     assert!(json.contains(&format!("\"total\":{}", reads.total())));
+}
+
+/// Every heartbeat JSONL record carries a wall-clock `elapsed_ms` field
+/// and the values never go backwards across the stream (including the
+/// final beat).
+#[test]
+fn heartbeat_elapsed_ms_is_present_and_monotone() {
+    let n = 2;
+    let (sink, buf) = buffer_sink();
+    let econfig = ExploreConfig::new()
+        .max_depth(8)
+        .max_runs(50)
+        .heartbeat_with(Heartbeat::shared(Duration::ZERO, sink));
+    let stats = SimBuilder::new(vec![0u64; n])
+        .owners((0..n).collect())
+        .explore(
+            &econfig,
+            move || {
+                (0..n)
+                    .map(|_| {
+                        let b = body(n);
+                        Box::new(move |ctx: &mut SimCtx<u64>| b(ctx)) as ProcBody<'static, u64, u64>
+                    })
+                    .collect()
+            },
+            |out| {
+                out.assert_no_panics();
+                true
+            },
+        );
+    assert!(stats.runs > 0);
+
+    let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+    let mut beats = 0u64;
+    let mut prev_ms = 0u64;
+    for line in text.lines() {
+        let doc = apram_model::json::parse(line).expect("heartbeat line must parse as JSON");
+        let ms = doc
+            .get("elapsed_ms")
+            .and_then(Json::as_u64)
+            .expect("every beat must carry elapsed_ms");
+        assert!(
+            ms >= prev_ms,
+            "elapsed_ms went backwards: {prev_ms} -> {ms}\n{line}"
+        );
+        prev_ms = ms;
+        assert!(doc.get("runs").and_then(Json::as_u64).is_some());
+        beats += 1;
+    }
+    assert!(
+        beats >= 2,
+        "expected per-run beats plus a final beat, got {beats}"
+    );
+}
+
+/// Property check across random schedules: [`CountingCtx`]'s per-op
+/// read/write totals must equal the contention profiler's per-cell sums
+/// — the two observers count the same accesses from opposite sides of
+/// the [`MemCtx`] boundary (op-level wrapper vs scheduler-side
+/// profiling), so their totals agree exactly on every schedule.
+#[test]
+fn counting_ctx_totals_match_profiler_cell_sums() {
+    let n = 3;
+    for seed in 0..8u64 {
+        let totals: Arc<Mutex<Vec<(u64, u64)>>> = Arc::new(Mutex::new(vec![(0, 0); n]));
+        let sink = Arc::clone(&totals);
+        let out = SimBuilder::new(vec![0u64; n])
+            .owners((0..n).collect())
+            .strategy(SeededRandom::new(seed))
+            .profile(true)
+            .run_symmetric(n, move |ctx: &mut SimCtx<u64>| {
+                let p = ctx.proc();
+                let mut c = CountingCtx::new(ctx);
+                c.begin_op();
+                let mut acc = 0u64;
+                for round in 0..3u64 {
+                    c.write(p, round * n as u64 + p as u64);
+                    for r in 0..n {
+                        acc = acc.wrapping_add(c.read(r));
+                    }
+                }
+                sink.lock().unwrap()[p] = (c.op_reads(), c.op_writes());
+                acc
+            });
+        out.assert_no_panics();
+
+        let map = out.contention.expect("profiling was enabled");
+        assert_eq!(map.runs, 1, "seed {seed}");
+        let cell_reads: u64 = map.cells.iter().map(|c| c.reads).sum();
+        let cell_writes: u64 = map.cells.iter().map(|c| c.writes).sum();
+        let per_op = totals.lock().unwrap();
+        let op_reads: u64 = per_op.iter().map(|&(r, _)| r).sum();
+        let op_writes: u64 = per_op.iter().map(|&(_, w)| w).sum();
+        assert_eq!(cell_reads, op_reads, "seed {seed}");
+        assert_eq!(cell_writes, op_writes, "seed {seed}");
+        // Per-process raw steps are the same numbers sliced the other way.
+        for p in 0..n {
+            assert_eq!(
+                map.proc_steps[p],
+                per_op[p].0 + per_op[p].1,
+                "seed {seed} process {p}"
+            );
+        }
+        // And the trace-derived counts agree with both observers.
+        assert_eq!(out.counts, out.trace.counts(n), "seed {seed}");
+        for p in 0..n {
+            assert_eq!(out.counts[p].reads, per_op[p].0, "seed {seed} process {p}");
+            assert_eq!(out.counts[p].writes, per_op[p].1, "seed {seed} process {p}");
+        }
+    }
 }
 
 /// Metrics default to off: no collection, empty vectors.
