@@ -48,8 +48,8 @@ use std::path::{Path, PathBuf};
 use std::process::exit;
 use std::time::Instant;
 
-const KNOWN: [&str; 13] = [
-    "e1", "e2", "e3", "e4", "e4b", "e5", "e6", "e8", "e9", "e10", "e11", "e12", "explore",
+const KNOWN: [&str; 14] = [
+    "e1", "e2", "e3", "e4", "e4b", "e5", "e6", "e8", "e9", "e10", "e11", "e12", "e13", "explore",
 ];
 
 /// Which subcommand was requested.
@@ -248,7 +248,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: experiments run [e1 e2 e3 e4 e4b e5 e6 e8 e9 e10 e11 e12 explore | all] \
+        "usage: experiments run [e1 e2 e3 e4 e4b e5 e6 e8 e9 e10 e11 e12 e13 explore | all] \
          [--seed N] [--quick] [--threads N] [--json [DIR]] \
          [--telemetry [DIR]] [--forensics DIR]\n\
          \x20      experiments sweep --config PLAN.json --out DIR [--max-cells K] [--threads N]\n\
@@ -1260,6 +1260,56 @@ fn main() {
             "Contention profile: measured vs contention-charged vs worst-case steps, \
              hot cell vs spread workloads",
             Json::Arr(data.iter().map(E12Row::to_json).collect()),
+            started,
+        );
+    }
+
+    if cli.want("e13") {
+        let started = Instant::now();
+        println!("## E13 — native register-file scaling: threads × objects × tiers\n");
+        let data = e13_rows(&opts);
+        let rows: Vec<Vec<String>> = data
+            .iter()
+            .map(|r| {
+                vec![
+                    r.object.to_string(),
+                    r.tier.to_string(),
+                    r.threads.to_string(),
+                    r.total_ops.to_string(),
+                    format!("{:.0}", r.ops_per_sec),
+                    r.hist.p50().to_string(),
+                    r.hist.p99().to_string(),
+                    r.hist.p999().to_string(),
+                    r.read_retries.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            markdown_table(
+                &[
+                    "object",
+                    "tier",
+                    "threads",
+                    "ops",
+                    "ops/sec",
+                    "p50 ns",
+                    "p99 ns",
+                    "p999 ns",
+                    "read retries"
+                ],
+                &rows
+            )
+        );
+        let gates = e13_gates(&data);
+        println!("gates: {}\n", gates.to_compact());
+        emit_report_with(
+            &cli,
+            "e13",
+            "Native register-file scaling: ops/sec and op-latency percentiles, \
+             packed vs buffered vs rwlock-baseline tiers",
+            Json::Arr(data.iter().map(E13Row::to_json).collect()),
+            vec![("gates", gates)],
             started,
         );
     }

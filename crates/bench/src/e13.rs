@@ -1,0 +1,461 @@
+//! E13 — native register-file scaling: ops/sec and op-latency
+//! percentiles across threads × objects × register tiers.
+//!
+//! The paper's cost model counts register accesses; E13 measures what
+//! those accesses cost *on hardware* now that the native backend's
+//! registers are genuinely non-blocking. The grid crosses:
+//!
+//! * **threads** — 1/2/4/8/16/32 real OS threads;
+//! * **objects** — the striped counter (word registers, one write per
+//!   inc), the direct max-register (a Section 6 scan per op), the Afek
+//!   et al. bounded snapshot, and the last-writer-wins map through the
+//!   Figure 4 universal construction (wide `Clone` registers);
+//! * **tiers** — `packed` (one `AtomicU64` per register; word-packable
+//!   objects only), `buffered` (announce/validate multi-slot cells, any
+//!   `Clone` value), and `rwlock` (the pre-register-file backend, kept
+//!   behind the `rwlock-baseline` feature purely as this baseline).
+//!
+//! Each cell reports throughput (ops/sec over the joined wall-clock)
+//! and per-op latency p50/p99/p999 in nanoseconds through the shared
+//! [`StepHistogram`], plus the buffered tier's reader-retry count (how
+//! often a publish landed inside a reader's two-instruction announce
+//! window — the protocol's only non-wait-free event).
+//!
+//! The accompanying gates (emitted into `BENCH_e13.json` and enforced
+//! in CI on the quick grid via `scripts/compare_bench.py --e13-gate`):
+//! the packed counter must beat the rwlock baseline at 8 threads, and —
+//! on machines with real parallelism — 8-thread packed-counter
+//! throughput must exceed 1-thread throughput. The report records
+//! `available_parallelism` so the scaling gate can stand down on
+//! single-core runners instead of asserting the impossible.
+
+use crate::ExpOpts;
+use apram_model::telemetry::HistogramSnapshot;
+use apram_model::{AtomicPackable, Json, NativeCtx, NativeMemory, StepHistogram};
+use apram_objects::lwwmap::{LwwMapSpec, MapOp};
+use apram_objects::maxreg::DirectMaxRegister;
+use apram_objects::striped::StripedCounter;
+use apram_snapshot::afek::AfekSnapshot;
+use std::sync::Barrier;
+use std::time::Instant;
+
+/// The E13 object names, in emission order.
+pub const E13_OBJECTS: [&str; 4] = ["counter", "maxreg", "afek", "lwwmap"];
+
+/// The E13 register tiers, in emission order.
+pub const E13_TIERS: [&str; 3] = ["packed", "buffered", "rwlock"];
+
+/// One cell of the E13 grid.
+#[derive(Clone, Debug)]
+pub struct E13Row {
+    /// Object name (one of [`E13_OBJECTS`]).
+    pub object: &'static str,
+    /// Register tier (one of [`E13_TIERS`]).
+    pub tier: &'static str,
+    /// Concurrent OS threads (= processes).
+    pub threads: usize,
+    /// Total operations across all threads (one op = update + read).
+    pub total_ops: u64,
+    /// Wall-clock of the measured region (barrier release to last join).
+    pub elapsed_secs: f64,
+    /// `total_ops / elapsed_secs`.
+    pub ops_per_sec: f64,
+    /// Per-op latency distribution in nanoseconds.
+    pub hist: HistogramSnapshot,
+    /// Buffered-tier reader validation retries (0 on other tiers).
+    pub read_retries: u64,
+}
+
+impl E13Row {
+    /// JSON record for `BENCH_e13.json`. Wall-clock-derived fields
+    /// (`elapsed_secs`, `ops_per_sec`, the `*_ns` percentiles) are
+    /// volatile across runs; `scripts/compare_bench.py` excludes them
+    /// from byte diffs and gates on their ratios instead.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("object", Json::Str(self.object.into())),
+            ("tier", Json::Str(self.tier.into())),
+            ("threads", Json::UInt(self.threads as u64)),
+            ("total_ops", Json::UInt(self.total_ops)),
+            ("elapsed_secs", Json::Float(self.elapsed_secs)),
+            ("ops_per_sec", Json::Float(self.ops_per_sec)),
+            ("p50_ns", Json::UInt(self.hist.p50())),
+            ("p99_ns", Json::UInt(self.hist.p99())),
+            ("p999_ns", Json::UInt(self.hist.p999())),
+            ("max_ns", Json::UInt(self.hist.max)),
+            ("mean_ns", Json::Float(self.hist.mean())),
+            ("read_retries", Json::UInt(self.read_retries)),
+        ])
+    }
+}
+
+/// The thread grid (always includes 1 and 8, which the gates compare).
+pub fn e13_threads(quick: bool) -> &'static [usize] {
+    if quick {
+        &[1, 2, 8]
+    } else {
+        &[1, 2, 4, 8, 16, 32]
+    }
+}
+
+/// Per-thread operations for one cell, scaled so a cell's total work is
+/// roughly constant across thread counts (an op's cost also grows with
+/// `n` for the scan-based objects, hence the per-object bases).
+fn ops_per_thread(object: &str, threads: usize, quick: bool) -> u64 {
+    let (base, floor) = match object {
+        // The counter is the object the CI gates ratio on, so its quick
+        // budget stays large enough to average out scheduler noise.
+        "counter" => (if quick { 16_000 } else { 48_000 }, 100),
+        "maxreg" => (if quick { 600 } else { 6_000 }, 20),
+        "afek" => (if quick { 300 } else { 3_000 }, 10),
+        // The universal construction replays the whole history per op;
+        // its cost is quadratic in total ops, so the budget is tiny.
+        "lwwmap" => (if quick { 48 } else { 96 }, 3),
+        other => panic!("unknown E13 object '{other}'"),
+    };
+    (base / threads as u64).max(floor)
+}
+
+/// Run one timed cell: `threads` threads, per-thread state from
+/// `setup`, then `ops` iterations of `op`, each op's latency recorded
+/// in nanoseconds. Setup is excluded from the measurement by a barrier.
+fn run_cell<T, S>(
+    mem: &NativeMemory<T>,
+    threads: usize,
+    ops: u64,
+    setup: impl Fn(usize) -> S + Sync,
+    op: impl Fn(&mut S, &mut NativeCtx<T>, u64) + Sync,
+) -> (f64, HistogramSnapshot)
+where
+    T: Clone + Send + Sync + 'static,
+    S: Send,
+{
+    let hist = StepHistogram::new();
+    let barrier = Barrier::new(threads + 1);
+    let start = std::thread::scope(|s| {
+        for t in 0..threads {
+            let mem = mem.clone();
+            let (barrier, hist, setup, op) = (&barrier, &hist, &setup, &op);
+            s.spawn(move || {
+                let mut ctx = mem.ctx(t);
+                let mut state = setup(t);
+                barrier.wait();
+                for k in 0..ops {
+                    let t0 = Instant::now();
+                    op(&mut state, &mut ctx, k);
+                    hist.record(t0.elapsed().as_nanos() as u64);
+                }
+            });
+        }
+        // Start the clock *before* releasing the barrier: if main
+        // started it after, a worker scheduled ahead of main's wake-up
+        // (guaranteed on a single-core host) could finish its whole
+        // loop before the clock ever started, under-measuring the cell
+        // by orders of magnitude.
+        let t0 = Instant::now();
+        barrier.wait();
+        t0
+    });
+    (start.elapsed().as_secs_f64(), hist.snapshot())
+}
+
+/// A memory on `tier` for a word-packable register type (all three
+/// tiers apply).
+fn mem_packable<T: AtomicPackable + Clone>(
+    tier: &str,
+    n: usize,
+    regs: Vec<T>,
+    owners: Vec<usize>,
+) -> NativeMemory<T> {
+    match tier {
+        "packed" => NativeMemory::new_packed(n, regs).with_owners(owners),
+        _ => mem_wide(tier, n, regs, owners),
+    }
+}
+
+/// A memory on `tier` for an arbitrary `Clone` register type (the
+/// packed tier does not apply).
+fn mem_wide<T: Clone>(tier: &str, n: usize, regs: Vec<T>, owners: Vec<usize>) -> NativeMemory<T> {
+    match tier {
+        "buffered" => NativeMemory::new(n, regs).with_owners(owners),
+        "rwlock" => NativeMemory::new_locked(n, regs).with_owners(owners),
+        other => panic!("tier '{other}' not applicable here"),
+    }
+}
+
+fn finish(
+    object: &'static str,
+    tier: &'static str,
+    threads: usize,
+    ops: u64,
+    elapsed: f64,
+    hist: HistogramSnapshot,
+    retries: u64,
+) -> E13Row {
+    let total_ops = ops * threads as u64;
+    E13Row {
+        object,
+        tier,
+        threads,
+        total_ops,
+        elapsed_secs: elapsed,
+        ops_per_sec: total_ops as f64 / elapsed.max(1e-9),
+        hist,
+        read_retries: retries,
+    }
+}
+
+/// One cell: striped counter (word registers; one write per inc, one
+/// collect per read).
+fn counter_cell(tier: &'static str, threads: usize, quick: bool) -> E13Row {
+    let ops = ops_per_thread("counter", threads, quick);
+    let c = StripedCounter::new(threads);
+    let mem = mem_packable(tier, threads, c.registers(), c.owners());
+    let (elapsed, hist) = run_cell(
+        &mem,
+        threads,
+        ops,
+        |_| c.handle(),
+        |h, ctx, _| {
+            h.inc(ctx);
+            let _ = h.read(ctx);
+        },
+    );
+    finish(
+        "counter",
+        tier,
+        threads,
+        ops,
+        elapsed,
+        hist,
+        mem.read_retries(),
+    )
+}
+
+/// One cell: direct max-register (a Section 6 scan per operation over
+/// `MaxI64` registers — word-packable, so all three tiers apply).
+fn maxreg_cell(tier: &'static str, threads: usize, quick: bool) -> E13Row {
+    let ops = ops_per_thread("maxreg", threads, quick);
+    let r = DirectMaxRegister::new(threads);
+    let mem = mem_packable(tier, threads, r.registers(), r.owners());
+    let (elapsed, hist) = run_cell(
+        &mem,
+        threads,
+        ops,
+        |_| r.handle(),
+        |h, ctx, k| {
+            h.write_max(ctx, k as i64);
+            let _ = h.read(ctx);
+        },
+    );
+    finish(
+        "maxreg",
+        tier,
+        threads,
+        ops,
+        elapsed,
+        hist,
+        mem.read_retries(),
+    )
+}
+
+/// One cell: Afek et al. bounded snapshot (wide `AfekReg` registers —
+/// buffered and rwlock tiers only).
+fn afek_cell(tier: &'static str, threads: usize, quick: bool) -> E13Row {
+    let ops = ops_per_thread("afek", threads, quick);
+    let snap = AfekSnapshot::new(threads);
+    let mem = mem_wide(tier, threads, snap.registers::<u64>(), snap.owners());
+    let (elapsed, hist) = run_cell(
+        &mem,
+        threads,
+        ops,
+        |_| (),
+        |(), ctx, k| {
+            snap.update(ctx, k);
+            let _ = snap.snap::<u64, _>(ctx);
+        },
+    );
+    finish(
+        "afek",
+        tier,
+        threads,
+        ops,
+        elapsed,
+        hist,
+        mem.read_retries(),
+    )
+}
+
+/// One cell: LWW map through the Figure 4 universal construction (wide
+/// operation-graph registers — buffered and rwlock tiers only).
+fn lwwmap_cell(tier: &'static str, threads: usize, quick: bool) -> E13Row {
+    let ops = ops_per_thread("lwwmap", threads, quick);
+    let uni = apram_core::Universal::new(threads, LwwMapSpec);
+    let mem = mem_wide(tier, threads, uni.registers(), uni.owners());
+    let (elapsed, hist) = run_cell(
+        &mem,
+        threads,
+        ops,
+        |_| uni.handle(),
+        |h, ctx, k| {
+            let key = (k % 8) as u32;
+            let _ = h.execute(ctx, MapOp::Put(key, k));
+            let _ = h.execute(ctx, MapOp::Get(key));
+        },
+    );
+    finish(
+        "lwwmap",
+        tier,
+        threads,
+        ops,
+        elapsed,
+        hist,
+        mem.read_retries(),
+    )
+}
+
+/// Tiers applicable to an object: word-packable objects take all three,
+/// wide-register objects skip `packed`.
+pub fn e13_tiers_for(object: &str) -> &'static [&'static str] {
+    match object {
+        "counter" | "maxreg" => &E13_TIERS,
+        _ => &["buffered", "rwlock"],
+    }
+}
+
+/// Run the full E13 grid. Wall-clock-dependent by nature (the one
+/// experiment in the suite that is): rerunning reproduces the schema
+/// and the gate relations, not the exact numbers.
+pub fn e13_rows(opts: &ExpOpts) -> Vec<E13Row> {
+    let mut rows = Vec::new();
+    for &threads in e13_threads(opts.quick) {
+        for object in E13_OBJECTS {
+            for &tier in e13_tiers_for(object) {
+                let row = match object {
+                    "counter" => counter_cell(tier, threads, opts.quick),
+                    "maxreg" => maxreg_cell(tier, threads, opts.quick),
+                    "afek" => afek_cell(tier, threads, opts.quick),
+                    "lwwmap" => lwwmap_cell(tier, threads, opts.quick),
+                    _ => unreachable!(),
+                };
+                rows.push(row);
+            }
+        }
+    }
+    rows
+}
+
+/// The host's available parallelism (recorded so the CI scaling gate
+/// can stand down on single-core runners).
+pub fn host_parallelism() -> u64 {
+    std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(1)
+}
+
+fn find_ops(rows: &[E13Row], object: &str, tier: &str, threads: usize) -> Option<f64> {
+    rows.iter()
+        .find(|r| r.object == object && r.tier == tier && r.threads == threads)
+        .map(|r| r.ops_per_sec)
+}
+
+/// The gate section of `BENCH_e13.json`: the two accept ratios, plus
+/// the host parallelism they are conditioned on.
+///
+/// * `packed_over_rwlock_8t` — packed-counter / rwlock-counter
+///   throughput at 8 threads (acceptance: ≥ 2 on real hardware; CI
+///   enforces > 1 to absorb runner noise);
+/// * `packed_8t_over_1t` — packed-counter 8-thread / 1-thread
+///   throughput (only meaningful when `available_parallelism > 1`).
+pub fn e13_gates(rows: &[E13Row]) -> Json {
+    let ratio = |num: Option<f64>, den: Option<f64>| match (num, den) {
+        (Some(n), Some(d)) if d > 0.0 => Json::Float(n / d),
+        _ => Json::Null,
+    };
+    Json::obj([
+        ("available_parallelism", Json::UInt(host_parallelism())),
+        (
+            "packed_over_rwlock_8t",
+            ratio(
+                find_ops(rows, "counter", "packed", 8),
+                find_ops(rows, "counter", "rwlock", 8),
+            ),
+        ),
+        (
+            "packed_8t_over_1t",
+            ratio(
+                find_ops(rows, "counter", "packed", 8),
+                find_ops(rows, "counter", "packed", 1),
+            ),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_rows() -> Vec<E13Row> {
+        // The quick grid at its smallest: structural checks only (unit
+        // tests must not assert relative performance).
+        let mut rows = Vec::new();
+        for &threads in &[1usize, 8] {
+            for object in E13_OBJECTS {
+                for &tier in e13_tiers_for(object) {
+                    rows.push(match object {
+                        "counter" => counter_cell(tier, threads, true),
+                        "maxreg" => maxreg_cell(tier, threads, true),
+                        "afek" => afek_cell(tier, threads, true),
+                        "lwwmap" => lwwmap_cell(tier, threads, true),
+                        _ => unreachable!(),
+                    });
+                }
+            }
+        }
+        rows
+    }
+
+    #[test]
+    fn grid_shape_and_measurements() {
+        let rows = tiny_rows();
+        // 2 thread counts × (2 objects × 3 tiers + 2 objects × 2 tiers).
+        assert_eq!(rows.len(), 2 * (2 * 3 + 2 * 2));
+        for r in &rows {
+            assert_eq!(r.hist.count, r.total_ops, "{}/{}", r.object, r.tier);
+            assert!(r.ops_per_sec > 0.0, "{}/{}", r.object, r.tier);
+            assert!(r.elapsed_secs > 0.0);
+            assert!(r.hist.p50() <= r.hist.p99());
+            assert!(r.hist.p99() <= r.hist.p999());
+            assert!(r.hist.p999() <= r.hist.max);
+            if r.tier != "buffered" {
+                assert_eq!(r.read_retries, 0, "{}/{} cannot retry", r.object, r.tier);
+            }
+        }
+    }
+
+    #[test]
+    fn gates_report_ratios() {
+        let rows = tiny_rows();
+        let gates = e13_gates(&rows);
+        let parsed = apram_model::json::parse(&gates.to_compact()).unwrap();
+        // Both gate ratios must be real numbers (the tiny grid includes
+        // the 1- and 8-thread cells they compare).
+        for key in ["packed_over_rwlock_8t", "packed_8t_over_1t"] {
+            let v = parsed.get(key).unwrap().as_f64().unwrap();
+            assert!(v > 0.0, "{key} = {v}");
+        }
+        let par = parsed.get("available_parallelism").unwrap();
+        assert!(par.as_f64().unwrap() >= 1.0);
+    }
+
+    #[test]
+    fn ops_scale_down_with_threads() {
+        for object in E13_OBJECTS {
+            assert!(
+                ops_per_thread(object, 8, true) <= ops_per_thread(object, 1, true),
+                "{object}"
+            );
+            assert!(ops_per_thread(object, 32, false) > 0, "{object}");
+        }
+    }
+}

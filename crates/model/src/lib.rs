@@ -11,11 +11,15 @@
 //!   workspace is written against: a per-process handle whose only shared
 //!   operations are atomic register reads and writes. The same algorithm
 //!   code runs on both backends below.
-//! * [`native`] — a real-threads backend: one `parking_lot::RwLock` per
-//!   register (register values are arbitrary `Clone` data, which an
-//!   `AtomicUsize` cannot hold; a short-critical-section lock per cell is
-//!   the standard way to realize a linearizable register of arbitrary
-//!   width). Shared-memory step counters are kept per process.
+//! * [`native`] — a real-threads backend: a tiered lock-free register
+//!   file on `std::sync::atomic`. Word-packable value types (see
+//!   [`AtomicPackable`]) live in single cache-padded `AtomicU64`s;
+//!   arbitrary `Clone` values go through a multi-slot announce/validate
+//!   buffer (single-writer) with a hardware ticket layered on top for
+//!   multi-writer registers. No locks on any register access path;
+//!   the old lock-per-register backend survives only behind the
+//!   `rwlock-baseline` feature as the E13 comparison baseline.
+//!   Shared-memory step counters are kept per process.
 //! * [`sim`] — the deterministic simulator. Every simulated process runs
 //!   on an OS thread but blocks at each shared access until the central
 //!   scheduler services it, so a *schedule* (a sequence of process ids)
@@ -46,7 +50,10 @@
 //!   al.), mergeable across explorer workers and exportable as JSON
 //!   heatmaps and labeled Prometheus series.
 
-#![forbid(unsafe_code)]
+// Unsafe is denied crate-wide and allowed back in exactly one place:
+// `native::buffered`, whose multi-slot cells need `UnsafeCell` slot
+// storage (each use is justified by the protocol proof in that module).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod contention;
@@ -65,7 +72,7 @@ pub use contention::{CellStats, ContentionMap, ContentionProfiler, ProfiledCtx, 
 pub use ctx::{AccessKind, Matrix, MatrixView, MemCtx, ProcId};
 pub use json::Json;
 pub use metrics::{Metrics, MetricsLevel, RegStats};
-pub use native::{NativeCtx, NativeMemory};
+pub use native::{AtomicPackable, CachePadded, NativeCtx, NativeMemory};
 pub use sim::{
     certify, certify_parallel, explore, explore_parallel, explore_reduced_parallel,
     resolve_threads, sample, sample_parallel, shrink_execution, shrink_schedule, wilson_interval,

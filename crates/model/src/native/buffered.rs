@@ -1,0 +1,421 @@
+//! The buffered register tier: registers of arbitrary `Clone` width
+//! realized without locks.
+//!
+//! # Single-writer cells ([`SwmrCell`])
+//!
+//! A SWMR register of arbitrary width is a multi-slot buffer (the
+//! triple-buffer idiom, widened to one spare slot per reader): the
+//! writer fills a spare slot and then swaps a single `published` index
+//! word; readers load the index and clone out of a stable slot. The
+//! protocol that keeps a slot stable while a reader clones it:
+//!
+//! * every process owns an **announce word** per cell; a reader stores
+//!   the slot index it is about to clone there *before* re-validating
+//!   `published`;
+//! * the writer, before filling a slot, scans all announce words and the
+//!   currently published index and picks a slot in neither set. With
+//!   `n + 1` announce words (one per process plus one for out-of-band
+//!   [`SwmrCell::peek`]) and one published slot, `n + 3` slots always
+//!   leave one free.
+//!
+//! Soundness (no torn clone): a reader clones slot `s` only after
+//! observing `published == s` *after* its announcement was globally
+//! visible (all index traffic is `SeqCst`). Any write that targets `s`
+//! either scanned announcements after that point — and saw the
+//! announcement, so it avoided `s` — or published in between, in which
+//! case the reader's re-validation fails and it retries. The writer is
+//! wait-free with exactly `n + 2` index operations plus one value move
+//! per write. A reader retries only when a publish lands inside its
+//! two-instruction announce window, so reads are lock-free (and
+//! wait-free for any writer that is not publishing at that instant);
+//! the per-cell [`SwmrCell::retries`] counter measures how often this
+//! happens in practice (it is vanishingly rare — the window is two
+//! index operations wide).
+//!
+//! # Multi-writer cells ([`MwmrCell`])
+//!
+//! Multi-writer registers are layered on per-writer SWMR slots exactly
+//! as the model's `MwRegister` object does, except the native tier can
+//! take its timestamps from a hardware `fetch_add` ticket instead of a
+//! collect: `write` draws a ticket and publishes `(ticket, value)` in
+//! the writer's own SWMR slot; `read` collects all slots and returns
+//! the lexicographically largest `(ticket, writer)` stamp. The ticket
+//! draw is the write's linearization point, so overlapping reads by
+//! different processes can never disagree on the order of writes.
+//!
+//! # Loom
+//!
+//! Under `--cfg loom` the index words and slots switch to `loom`'s
+//! instrumented types so the publication ordering can be model-checked;
+//! see `crates/model/tests/loom_native.rs` and `vendored/loom`.
+
+#![allow(unsafe_code)]
+
+use super::padded::CachePadded;
+
+#[cfg(loom)]
+use loom::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+#[cfg(not(loom))]
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+/// One value slot. Mirrors the subset of `loom::cell::UnsafeCell`'s
+/// closure API this module uses, so the same protocol code compiles
+/// against raw `std` cells and against loom's instrumented ones.
+struct Slot<T> {
+    #[cfg(loom)]
+    cell: loom::cell::UnsafeCell<T>,
+    #[cfg(not(loom))]
+    cell: std::cell::UnsafeCell<T>,
+}
+
+impl<T> Slot<T> {
+    fn new(value: T) -> Self {
+        Slot {
+            #[cfg(loom)]
+            cell: loom::cell::UnsafeCell::new(value),
+            #[cfg(not(loom))]
+            cell: std::cell::UnsafeCell::new(value),
+        }
+    }
+
+    /// Run `f` on a shared pointer to the contents.
+    fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        #[cfg(loom)]
+        {
+            self.cell.with(f)
+        }
+        #[cfg(not(loom))]
+        {
+            f(self.cell.get())
+        }
+    }
+
+    /// Run `f` on an exclusive pointer to the contents.
+    fn with_mut(&self, f: impl FnOnce(*mut T)) {
+        #[cfg(loom)]
+        {
+            self.cell.with_mut(f)
+        }
+        #[cfg(not(loom))]
+        {
+            f(self.cell.get())
+        }
+    }
+}
+
+/// Announce-word sentinel: "not reading any slot".
+const NONE: usize = usize::MAX;
+
+/// A single-writer multi-reader register of arbitrary `Clone` width.
+///
+/// Constructed per register by the buffered tier; the single-writer
+/// discipline is enforced by the owning memory, not here.
+pub struct SwmrCell<T> {
+    /// `n + 3` value slots.
+    slots: Box<[Slot<T>]>,
+    /// Index of the slot holding the current value.
+    published: CachePadded<AtomicUsize>,
+    /// Per-process announce words (`announce[n]` backs [`SwmrCell::peek`]).
+    announce: Box<[CachePadded<AtomicUsize>]>,
+    /// Claims the peek announce word (peek is an out-of-band audit API).
+    peek_claim: AtomicBool,
+    /// Reader validation retries (one publish landed inside the window).
+    retries: AtomicU64,
+}
+
+// Readers clone `&T` out of slots from many threads and the writer moves
+// values in from its own; the announce/validate protocol above proves the
+// two never overlap on a slot, which is exactly the `Send + Sync` contract.
+unsafe impl<T: Send> Send for SwmrCell<T> {}
+unsafe impl<T: Send + Sync> Sync for SwmrCell<T> {}
+
+impl<T: Clone> SwmrCell<T> {
+    /// A cell for `n_procs` processes holding `init`.
+    pub fn new(n_procs: usize, init: T) -> Self {
+        let n_slots = n_procs + 3;
+        assert!(
+            n_slots <= 64,
+            "buffered cells track free slots in a u64 bitmask: at most 61 processes"
+        );
+        SwmrCell {
+            slots: (0..n_slots).map(|_| Slot::new(init.clone())).collect(),
+            published: CachePadded::new(AtomicUsize::new(0)),
+            announce: (0..n_procs + 1)
+                .map(|_| CachePadded::new(AtomicUsize::new(NONE)))
+                .collect(),
+            peek_claim: AtomicBool::new(false),
+            retries: AtomicU64::new(0),
+        }
+    }
+
+    /// Publish `val`. Must only be called by the cell's single writer
+    /// (enforced by the owning memory). Wait-free: one announce scan,
+    /// one value move, one index store.
+    pub fn write(&self, val: T) {
+        // Only this writer stores `published`, so a relaxed load reads
+        // back its own last publish.
+        let mut used: u64 = 1 << self.published.load(Ordering::Relaxed);
+        for a in self.announce.iter() {
+            let s = a.load(Ordering::SeqCst);
+            if s != NONE {
+                used |= 1 << s;
+            }
+        }
+        let free = (!used).trailing_zeros() as usize;
+        debug_assert!(free < self.slots.len(), "slot accounting broken");
+        self.slots[free].with_mut(|p| unsafe { *p = val });
+        self.published.store(free, Ordering::SeqCst);
+    }
+
+    /// Read as process `proc`.
+    pub fn read(&self, proc: usize) -> T {
+        self.read_via(proc)
+    }
+
+    fn read_via(&self, announce_idx: usize) -> T {
+        let a = &self.announce[announce_idx];
+        loop {
+            let p = self.published.load(Ordering::SeqCst);
+            a.store(p, Ordering::SeqCst);
+            if self.published.load(Ordering::SeqCst) == p {
+                // Safe: our announcement of `p` was visible before we saw
+                // `published == p`, so every later slot choice avoids `p`
+                // until we clear the announcement.
+                let v = self.slots[p].with(|q| unsafe { (*q).clone() });
+                a.store(NONE, Ordering::Release);
+                return v;
+            }
+            self.retries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Read from outside any process (test assertions, audits). Claims
+    /// the dedicated peek announce word; concurrent peeks serialize on
+    /// the claim (this path is *not* part of the register-access
+    /// protocol and makes no wait-freedom promise).
+    pub fn peek(&self) -> T {
+        while self
+            .peek_claim
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            #[cfg(loom)]
+            loom::thread::yield_now();
+            #[cfg(not(loom))]
+            std::hint::spin_loop();
+        }
+        let v = self.read_via(self.announce.len() - 1);
+        self.peek_claim.store(false, Ordering::Release);
+        v
+    }
+
+    /// The current value, through exclusive access (no protocol needed).
+    pub fn value_mut(&mut self) -> T {
+        let p = self.published.load(Ordering::SeqCst);
+        self.slots[p].with(|q| unsafe { (*q).clone() })
+    }
+
+    /// How many reader validation retries this cell has seen.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+}
+
+/// A `(ticket, value)` stamp held in one writer's SWMR slot.
+#[derive(Clone)]
+struct Stamp<T> {
+    ticket: u64,
+    value: T,
+}
+
+/// A multi-writer multi-reader register layered on per-writer
+/// [`SwmrCell`]s with a hardware ticket for timestamps.
+pub struct MwmrCell<T> {
+    ticket: CachePadded<AtomicU64>,
+    slots: Box<[SwmrCell<Stamp<T>>]>,
+}
+
+impl<T: Clone> MwmrCell<T> {
+    /// A cell for `n_procs` processes holding `init` (stamped as ticket
+    /// 0 in every writer slot, so reads of the untouched cell agree).
+    pub fn new(n_procs: usize, init: T) -> Self {
+        MwmrCell {
+            ticket: CachePadded::new(AtomicU64::new(0)),
+            slots: (0..n_procs)
+                .map(|_| {
+                    SwmrCell::new(
+                        n_procs,
+                        Stamp {
+                            ticket: 0,
+                            value: init.clone(),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Write `val` as process `proc`. The ticket draw is the
+    /// linearization point.
+    pub fn write(&self, proc: usize, val: T) {
+        let ticket = self.ticket.fetch_add(1, Ordering::SeqCst) + 1;
+        self.slots[proc].write(Stamp { ticket, value: val });
+    }
+
+    /// Read as process `proc`: collect every writer slot, return the
+    /// value with the largest `(ticket, writer)` stamp.
+    pub fn read(&self, proc: usize) -> T {
+        self.collect(|cell| cell.read(proc))
+    }
+
+    /// Read from outside any process (see [`SwmrCell::peek`]).
+    pub fn peek(&self) -> T {
+        self.collect(SwmrCell::peek)
+    }
+
+    fn collect(&self, read: impl Fn(&SwmrCell<Stamp<T>>) -> Stamp<T>) -> T {
+        let mut best: Option<(u64, T)> = None;
+        for cell in self.slots.iter() {
+            let s = read(cell);
+            // `>=` so later writer slots win ticket ties, which only
+            // occur at ticket 0 where every slot holds the same init.
+            if best.as_ref().is_none_or(|(t, _)| s.ticket >= *t) {
+                best = Some((s.ticket, s.value));
+            }
+        }
+        best.expect("cells have at least one writer slot").1
+    }
+
+    /// The current value, through exclusive access.
+    pub fn value_mut(&mut self) -> T {
+        let mut best: Option<(u64, T)> = None;
+        for cell in self.slots.iter_mut() {
+            let s = cell.value_mut();
+            if best.as_ref().is_none_or(|(t, _)| s.ticket >= *t) {
+                best = Some((s.ticket, s.value));
+            }
+        }
+        best.expect("cells have at least one writer slot").1
+    }
+
+    /// Total reader validation retries across the writer slots.
+    pub fn retries(&self) -> u64 {
+        self.slots.iter().map(SwmrCell::retries).sum()
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swmr_single_thread_roundtrip() {
+        let c = SwmrCell::new(2, vec![0u8]);
+        assert_eq!(c.read(0), vec![0]);
+        c.write(vec![1, 2, 3]);
+        assert_eq!(c.read(1), vec![1, 2, 3]);
+        assert_eq!(c.peek(), vec![1, 2, 3]);
+        c.write(vec![4]);
+        assert_eq!(c.read(0), vec![4]);
+        assert_eq!(c.retries(), 0);
+    }
+
+    #[test]
+    fn swmr_value_mut_sees_last_publish() {
+        let mut c = SwmrCell::new(1, String::from("a"));
+        c.write(String::from("b"));
+        assert_eq!(c.value_mut(), "b");
+    }
+
+    /// The writer cycles through slots but never more than the bound.
+    #[test]
+    fn swmr_writer_reuses_slots() {
+        let c = SwmrCell::new(1, 0u64);
+        for i in 0..100 {
+            c.write(i);
+            assert_eq!(c.read(0), i);
+        }
+        assert_eq!(c.slots.len(), 4);
+    }
+
+    /// One writer, many readers, arbitrary-width (heap) values: readers
+    /// must never observe a torn clone. Sized down under miri, where
+    /// this doubles as the UB check on the unsafe slot accesses.
+    #[test]
+    fn swmr_readers_never_tear() {
+        #[cfg(miri)]
+        const WRITES: u64 = 60;
+        #[cfg(not(miri))]
+        const WRITES: u64 = 20_000;
+        let n_readers = 3;
+        let c = SwmrCell::new(n_readers + 1, vec![0u64; 8]);
+        std::thread::scope(|s| {
+            for r in 0..n_readers {
+                let c = &c;
+                s.spawn(move || {
+                    let mut last = 0;
+                    for _ in 0..WRITES {
+                        let v = c.read(r);
+                        // Every slot write is `vec![k; 8]`: a torn clone
+                        // would mix ks or break the length.
+                        assert_eq!(v.len(), 8);
+                        assert!(v.iter().all(|&x| x == v[0]), "torn value {v:?}");
+                        assert!(v[0] >= last, "stale value after fresher one");
+                        last = v[0];
+                    }
+                });
+            }
+            let c = &c;
+            s.spawn(move || {
+                for k in 1..=WRITES {
+                    c.write(vec![k; 8]);
+                }
+            });
+        });
+        assert_eq!(c.peek(), vec![WRITES; 8]);
+    }
+
+    #[test]
+    fn mwmr_ticket_order_wins() {
+        let c = MwmrCell::new(3, 0i64);
+        assert_eq!(c.read(0), 0);
+        c.write(1, 10);
+        c.write(2, 20);
+        assert_eq!(c.read(0), 20, "later ticket wins");
+        c.write(0, 30);
+        assert_eq!(c.peek(), 30);
+        let mut c = c;
+        assert_eq!(c.value_mut(), 30);
+    }
+
+    /// Concurrent multi-writer traffic: the final value must be the one
+    /// holding the highest ticket, and readers must always see values
+    /// that some write actually produced.
+    #[test]
+    fn mwmr_concurrent_writers_converge() {
+        #[cfg(miri)]
+        const PER: u64 = 20;
+        #[cfg(not(miri))]
+        const PER: u64 = 2_000;
+        let n = 4;
+        let c = MwmrCell::new(n, (usize::MAX, 0u64));
+        std::thread::scope(|s| {
+            for p in 0..n {
+                let c = &c;
+                s.spawn(move || {
+                    for k in 0..PER {
+                        c.write(p, (p, k));
+                        let (wp, wk) = c.read(p);
+                        assert!(wp == usize::MAX || wp < n);
+                        assert!(wk <= PER, "impossible payload {wk}");
+                    }
+                });
+            }
+        });
+        let (p, k) = c.peek();
+        assert!(
+            p < n && k == PER - 1,
+            "final value {p}/{k} not a last write"
+        );
+    }
+}

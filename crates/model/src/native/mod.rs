@@ -1,0 +1,456 @@
+//! The native (real threads) backend: a tiered wait-free register file.
+//!
+//! Register values in this workspace range from machine words (counter
+//! stripes, max-register timestamps) to arbitrary `Clone` lattice data,
+//! so the register file has tiers:
+//!
+//! * **packed** ([`packed`]) — values implementing [`AtomicPackable`]
+//!   live in one `CachePadded<AtomicU64>` each; reads and writes are
+//!   single atomic instructions. Constructed with
+//!   [`NativeMemory::new_packed`].
+//! * **buffered** ([`buffered`]) — the default for arbitrary `Clone`
+//!   values: single-writer registers are announce/validate multi-slot
+//!   buffers, multi-writer registers layer a hardware ticket over
+//!   per-writer slots. No locks anywhere; the writer is wait-free and
+//!   readers are lock-free (retrying only when a publish lands inside a
+//!   two-instruction window). Constructed with [`NativeMemory::new`];
+//!   attaching an owner map with [`NativeMemory::with_owners`] drops
+//!   every register to the cheaper single-writer cell.
+//! * **rwlock baseline** — the pre-register-file backend (one
+//!   `parking_lot::RwLock` per register), kept only behind the
+//!   `rwlock-baseline` feature as the comparison baseline for the E13
+//!   scaling experiment. It is *not* compiled into default builds.
+//!
+//! Layout matters as much as the protocol: every index word, metric
+//! counter, and packed cell is [`CachePadded`] so independent registers
+//! (and the observability counters watching them) never false-share a
+//! cache line.
+//!
+//! Per-context read/write counters let native benches report the same
+//! step counts the simulator does.
+
+pub mod buffered;
+pub mod packed;
+pub mod padded;
+
+use crate::ctx::{AccessKind, MemCtx, ProcId};
+use crate::metrics::{Metrics, MetricsLevel};
+use crate::trace::StepCounts;
+use buffered::{MwmrCell, SwmrCell};
+use packed::PackedFile;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+pub use packed::AtomicPackable;
+pub use padded::CachePadded;
+
+/// Lock-free shared counters backing [`NativeMemory::metrics`]. All
+/// updates are relaxed `fetch_add`s on [`CachePadded`] cells (so the
+/// observability path does not induce the false sharing it measures); a
+/// snapshot is not an atomic cut across counters, which is fine for
+/// observability data.
+struct MetricsShared {
+    level: MetricsLevel,
+    /// Per register: reads, writes, contended accesses.
+    reg_reads: Vec<CachePadded<AtomicU64>>,
+    reg_writes: Vec<CachePadded<AtomicU64>>,
+    reg_contended: Vec<CachePadded<AtomicU64>>,
+    /// Per register: how many threads are inside an access right now.
+    /// Touched only when the level attributes contention — at
+    /// [`MetricsLevel::Counts`] the hot path does no gauge traffic.
+    in_flight: Vec<CachePadded<AtomicU64>>,
+    /// Per process: reads, writes.
+    proc_reads: Vec<CachePadded<AtomicU64>>,
+    proc_writes: Vec<CachePadded<AtomicU64>>,
+}
+
+impl MetricsShared {
+    fn new(level: MetricsLevel, n_procs: usize, n_regs: usize) -> Self {
+        let fill = |n: usize| {
+            (0..n)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect()
+        };
+        MetricsShared {
+            level,
+            reg_reads: fill(n_regs),
+            reg_writes: fill(n_regs),
+            reg_contended: fill(n_regs),
+            in_flight: fill(n_regs),
+            proc_reads: fill(n_procs),
+            proc_writes: fill(n_procs),
+        }
+    }
+
+    /// Bracket one access to `reg` by `proc`: bump the in-flight gauge,
+    /// run `access`, then record. Contention is sampled: the access is
+    /// contended iff another thread's access to the same register was in
+    /// flight when this one began. The gauge bracket exists only for
+    /// that sampling, so it is skipped entirely when the level does not
+    /// attribute contention — the zero-/counts-metrics hot path does no
+    /// shared gauge traffic.
+    fn record<R>(
+        &self,
+        kind: AccessKind,
+        proc: ProcId,
+        reg: usize,
+        access: impl FnOnce() -> R,
+    ) -> R {
+        let track_contention = self.level.contention();
+        let others = if track_contention {
+            self.in_flight[reg].fetch_add(1, Ordering::Relaxed)
+        } else {
+            0
+        };
+        let out = access();
+        if track_contention {
+            self.in_flight[reg].fetch_sub(1, Ordering::Relaxed);
+        }
+        match kind {
+            AccessKind::Read => {
+                self.reg_reads[reg].fetch_add(1, Ordering::Relaxed);
+                self.proc_reads[proc].fetch_add(1, Ordering::Relaxed);
+            }
+            AccessKind::Write => {
+                self.reg_writes[reg].fetch_add(1, Ordering::Relaxed);
+                self.proc_writes[proc].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if others > 0 && track_contention {
+            self.reg_contended[reg].fetch_add(1, Ordering::Relaxed);
+        }
+        out
+    }
+
+    fn snapshot(&self) -> Metrics {
+        let mut m = Metrics::new(self.level, self.proc_reads.len(), self.reg_reads.len());
+        for (reg, slot) in m.registers.iter_mut().enumerate() {
+            slot.reads = self.reg_reads[reg].load(Ordering::Relaxed);
+            slot.writes = self.reg_writes[reg].load(Ordering::Relaxed);
+            slot.contended = self.reg_contended[reg].load(Ordering::Relaxed);
+        }
+        for (proc, slot) in m.histogram.iter_mut().enumerate() {
+            slot.reads = self.proc_reads[proc].load(Ordering::Relaxed);
+            slot.writes = self.proc_writes[proc].load(Ordering::Relaxed);
+        }
+        m
+    }
+}
+
+/// One buffered-tier register: single-writer cell when an owner map is
+/// attached, ticket-layered multi-writer cell otherwise.
+enum BufferedCell<T> {
+    Swmr(SwmrCell<T>),
+    Mwmr(MwmrCell<T>),
+}
+
+impl<T: Clone> BufferedCell<T> {
+    fn read(&self, proc: ProcId) -> T {
+        match self {
+            BufferedCell::Swmr(c) => c.read(proc),
+            BufferedCell::Mwmr(c) => c.read(proc),
+        }
+    }
+
+    fn write(&self, proc: ProcId, val: T) {
+        match self {
+            BufferedCell::Swmr(c) => c.write(val),
+            BufferedCell::Mwmr(c) => c.write(proc, val),
+        }
+    }
+
+    fn peek(&self) -> T {
+        match self {
+            BufferedCell::Swmr(c) => c.peek(),
+            BufferedCell::Mwmr(c) => c.peek(),
+        }
+    }
+
+    fn value_mut(&mut self) -> T {
+        match self {
+            BufferedCell::Swmr(c) => c.value_mut(),
+            BufferedCell::Mwmr(c) => c.value_mut(),
+        }
+    }
+
+    fn retries(&self) -> u64 {
+        match self {
+            BufferedCell::Swmr(c) => c.retries(),
+            BufferedCell::Mwmr(c) => c.retries(),
+        }
+    }
+}
+
+/// The register file, by tier.
+enum Regs<T> {
+    Packed(PackedFile<T>),
+    Buffered(Vec<BufferedCell<T>>),
+    #[cfg(feature = "rwlock-baseline")]
+    Locked(Vec<parking_lot::RwLock<T>>),
+}
+
+impl<T> Regs<T> {
+    fn len(&self) -> usize {
+        match self {
+            Regs::Packed(f) => f.len(),
+            Regs::Buffered(cells) => cells.len(),
+            #[cfg(feature = "rwlock-baseline")]
+            Regs::Locked(cells) => cells.len(),
+        }
+    }
+}
+
+/// A shared array of atomic registers for native threads.
+pub struct NativeMemory<T> {
+    regs: Arc<Regs<T>>,
+    owners: Option<Arc<Vec<ProcId>>>,
+    n_procs: usize,
+    metrics: Option<Arc<MetricsShared>>,
+}
+
+impl<T> Clone for NativeMemory<T> {
+    fn clone(&self) -> Self {
+        NativeMemory {
+            regs: Arc::clone(&self.regs),
+            owners: self.owners.clone(),
+            n_procs: self.n_procs,
+            metrics: self.metrics.clone(),
+        }
+    }
+}
+
+impl<T: Clone> NativeMemory<T> {
+    /// A memory with the given initial register contents, shared by
+    /// `n_procs` processes, on the buffered (arbitrary-width, lock-free)
+    /// tier. Registers start as multi-writer cells; attach an owner map
+    /// with [`NativeMemory::with_owners`] to drop them to the cheaper
+    /// single-writer form.
+    pub fn new(n_procs: usize, init: Vec<T>) -> Self {
+        let cells = init
+            .into_iter()
+            .map(|v| BufferedCell::Mwmr(MwmrCell::new(n_procs, v)))
+            .collect();
+        NativeMemory {
+            regs: Arc::new(Regs::Buffered(cells)),
+            owners: None,
+            n_procs,
+            metrics: None,
+        }
+    }
+
+    /// The old lock-per-register backend, kept as the E13 comparison
+    /// baseline. Opt-in only: default builds contain no lock on any
+    /// register access path.
+    #[cfg(feature = "rwlock-baseline")]
+    pub fn new_locked(n_procs: usize, init: Vec<T>) -> Self {
+        NativeMemory {
+            regs: Arc::new(Regs::Locked(
+                init.into_iter().map(parking_lot::RwLock::new).collect(),
+            )),
+            owners: None,
+            n_procs,
+            metrics: None,
+        }
+    }
+
+    /// Attach a single-writer owner map (checked on every write). On
+    /// the buffered tier this also rebuilds every register as a
+    /// single-writer cell. Must be called before the memory is shared
+    /// (i.e. directly after construction, before any `clone`).
+    pub fn with_owners(mut self, owners: Vec<ProcId>) -> Self {
+        assert_eq!(owners.len(), self.regs.len());
+        let regs = Arc::get_mut(&mut self.regs)
+            .expect("with_owners must be called before the memory is shared");
+        if let Regs::Buffered(cells) = regs {
+            let n_procs = self.n_procs;
+            for cell in cells.iter_mut() {
+                let v = cell.value_mut();
+                *cell = BufferedCell::Swmr(SwmrCell::new(n_procs, v));
+            }
+        }
+        self.owners = Some(Arc::new(owners));
+        self
+    }
+
+    /// Collect [`Metrics`] during the run. Unlike the simulator's exact
+    /// contention attribution, the native backend *samples*: an access is
+    /// contended when another thread's access to the same register is in
+    /// flight at the instant it begins (per-register in-flight gauge).
+    /// The gauge is maintained only at [`MetricsLevel::Full`]; at
+    /// [`MetricsLevel::Counts`] accesses touch nothing but their own
+    /// padded counters.
+    pub fn with_metrics(mut self, level: MetricsLevel) -> Self {
+        self.metrics = level
+            .enabled()
+            .then(|| Arc::new(MetricsShared::new(level, self.n_procs, self.regs.len())));
+        self
+    }
+
+    /// Snapshot the counters collected so far. Empty (level
+    /// [`MetricsLevel::Off`]) unless [`NativeMemory::with_metrics`] was
+    /// called. The snapshot is not an atomic cut while threads are still
+    /// running; call it after joining for exact totals.
+    pub fn metrics(&self) -> Metrics {
+        match &self.metrics {
+            Some(shared) => shared.snapshot(),
+            None => Metrics::new(MetricsLevel::Off, self.n_procs, self.regs.len()),
+        }
+    }
+
+    /// Number of registers.
+    pub fn n_regs(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// Number of processes.
+    pub fn n_procs(&self) -> usize {
+        self.n_procs
+    }
+
+    /// Which register-file tier this memory runs on: `"packed"`,
+    /// `"buffered"`, or `"rwlock"`.
+    pub fn tier(&self) -> &'static str {
+        match &*self.regs {
+            Regs::Packed(_) => "packed",
+            Regs::Buffered(_) => "buffered",
+            #[cfg(feature = "rwlock-baseline")]
+            Regs::Locked(_) => "rwlock",
+        }
+    }
+
+    /// Total reader validation retries across the buffered tier's cells
+    /// (0 on other tiers): how often a reader's two-instruction
+    /// announce window was hit by a concurrent publish.
+    pub fn read_retries(&self) -> u64 {
+        match &*self.regs {
+            Regs::Buffered(cells) => cells.iter().map(BufferedCell::retries).sum(),
+            _ => 0,
+        }
+    }
+
+    /// A context for process `proc`, with fresh step counters.
+    pub fn ctx(&self, proc: ProcId) -> NativeCtx<T> {
+        assert!(proc < self.n_procs, "process {proc} out of range");
+        NativeCtx {
+            mem: self.clone(),
+            proc,
+            counts: StepCounts::default(),
+        }
+    }
+
+    /// Read a register from outside any process (e.g. test assertions).
+    pub fn peek(&self, reg: usize) -> T {
+        match &*self.regs {
+            Regs::Packed(f) => f.read(reg),
+            Regs::Buffered(cells) => cells[reg].peek(),
+            #[cfg(feature = "rwlock-baseline")]
+            Regs::Locked(cells) => cells[reg].read().clone(),
+        }
+    }
+}
+
+impl<T: AtomicPackable> NativeMemory<T> {
+    /// A memory on the packed tier: every register is one padded
+    /// `AtomicU64`, every access one atomic instruction. Only available
+    /// for word-packable value types; registers are natively
+    /// multi-writer (the hardware arbitrates), so no cell rebuild
+    /// happens when an owner map is attached.
+    pub fn new_packed(n_procs: usize, init: Vec<T>) -> Self {
+        NativeMemory {
+            regs: Arc::new(Regs::Packed(PackedFile::new(init))),
+            owners: None,
+            n_procs,
+            metrics: None,
+        }
+    }
+}
+
+/// A process's handle onto a [`NativeMemory`].
+pub struct NativeCtx<T> {
+    mem: NativeMemory<T>,
+    proc: ProcId,
+    counts: StepCounts,
+}
+
+impl<T: Clone> NativeCtx<T> {
+    /// The read/write counts of this context so far.
+    pub fn counts(&self) -> StepCounts {
+        self.counts
+    }
+
+    /// Reset the counters (e.g. between benchmark phases).
+    pub fn reset_counts(&mut self) {
+        self.counts = StepCounts::default();
+    }
+
+    fn raw_read(&self, reg: usize) -> T {
+        match &*self.mem.regs {
+            Regs::Packed(f) => f.read(reg),
+            Regs::Buffered(cells) => cells[reg].read(self.proc),
+            #[cfg(feature = "rwlock-baseline")]
+            Regs::Locked(cells) => cells[reg].read().clone(),
+        }
+    }
+
+    fn raw_write(&self, reg: usize, val: T) {
+        match &*self.mem.regs {
+            Regs::Packed(f) => f.write(reg, &val),
+            Regs::Buffered(cells) => cells[reg].write(self.proc, val),
+            #[cfg(feature = "rwlock-baseline")]
+            Regs::Locked(cells) => *cells[reg].write() = val,
+        }
+    }
+}
+
+impl<T: Clone> MemCtx<T> for NativeCtx<T> {
+    fn proc(&self) -> ProcId {
+        self.proc
+    }
+
+    fn n_procs(&self) -> usize {
+        self.mem.n_procs
+    }
+
+    fn n_regs(&self) -> usize {
+        self.mem.regs.len()
+    }
+
+    fn read(&mut self, reg: usize) -> T {
+        self.counts.bump(AccessKind::Read);
+        match &self.mem.metrics {
+            Some(m) => m.record(AccessKind::Read, self.proc, reg, || self.raw_read(reg)),
+            None => self.raw_read(reg),
+        }
+    }
+
+    fn write(&mut self, reg: usize, val: T) {
+        if let Some(owners) = &self.mem.owners {
+            assert_eq!(
+                owners[reg], self.proc,
+                "SWMR violation: P{} wrote register {reg} owned by P{}",
+                self.proc, owners[reg]
+            );
+        }
+        self.counts.bump(AccessKind::Write);
+        match &self.mem.metrics {
+            Some(m) => m.record(AccessKind::Write, self.proc, reg, || {
+                self.raw_write(reg, val)
+            }),
+            None => self.raw_write(reg, val),
+        }
+    }
+
+    /// Sampled point contention: the threads currently inside an access
+    /// to `reg` (per-register in-flight gauge), plus this one. Requires
+    /// [`NativeMemory::with_metrics`] at [`MetricsLevel::Full`] (the
+    /// gauge is not maintained below that); reports 1 otherwise.
+    fn point_contention(&self, reg: usize) -> u64 {
+        match &self.mem.metrics {
+            Some(m) if m.level.contention() => m.in_flight[reg].load(Ordering::Relaxed) + 1,
+            _ => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,224 @@
+//! The packed register tier: values that fit a machine word live in a
+//! single `AtomicU64` and are read/written with one atomic instruction.
+//!
+//! The model's registers are *atomic* by assumption; for word-sized
+//! value types the hardware provides exactly that, with no protocol on
+//! top — a packed register read is one `load(Acquire)` and a write one
+//! `store(Release)`, both wait-free in the strongest sense (one step,
+//! ever, regardless of contention). Counters, max-register timestamps,
+//! vector-clock slots, and small tagged pairs all fit; anything wider
+//! takes the buffered tier (see [`super::buffered`]).
+//!
+//! Each cell is [`CachePadded`] so neighbouring registers never
+//! false-share a cache line — without this, a striped counter's
+//! per-process slots land on one line and every increment invalidates
+//! every other process's cached slot, which is precisely the effect the
+//! E13 experiment exists to measure.
+
+use super::padded::CachePadded;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A register value type that packs losslessly into a `u64`.
+///
+/// `unpack(pack(v))` must equal `v`. The packing is private to one
+/// register file (bits never cross process or type boundaries), so any
+/// faithful encoding works.
+pub trait AtomicPackable: Clone {
+    /// Encode the value into a word.
+    fn pack(&self) -> u64;
+
+    /// Decode a word produced by [`AtomicPackable::pack`].
+    fn unpack(bits: u64) -> Self;
+}
+
+impl AtomicPackable for u64 {
+    fn pack(&self) -> u64 {
+        *self
+    }
+    fn unpack(bits: u64) -> Self {
+        bits
+    }
+}
+
+impl AtomicPackable for i64 {
+    fn pack(&self) -> u64 {
+        *self as u64
+    }
+    fn unpack(bits: u64) -> Self {
+        bits as i64
+    }
+}
+
+impl AtomicPackable for u32 {
+    fn pack(&self) -> u64 {
+        u64::from(*self)
+    }
+    fn unpack(bits: u64) -> Self {
+        bits as u32
+    }
+}
+
+impl AtomicPackable for i32 {
+    fn pack(&self) -> u64 {
+        *self as u32 as u64
+    }
+    fn unpack(bits: u64) -> Self {
+        bits as u32 as i32
+    }
+}
+
+impl AtomicPackable for usize {
+    fn pack(&self) -> u64 {
+        *self as u64
+    }
+    fn unpack(bits: u64) -> Self {
+        bits as usize
+    }
+}
+
+impl AtomicPackable for bool {
+    fn pack(&self) -> u64 {
+        u64::from(*self)
+    }
+    fn unpack(bits: u64) -> Self {
+        bits != 0
+    }
+}
+
+/// Tagged small value: `(tag, payload)` in the high/low halves — the
+/// shape used by sequence-stamped slots.
+impl AtomicPackable for (u32, u32) {
+    fn pack(&self) -> u64 {
+        (u64::from(self.0) << 32) | u64::from(self.1)
+    }
+    fn unpack(bits: u64) -> Self {
+        ((bits >> 32) as u32, bits as u32)
+    }
+}
+
+/// Counter lattice elements are bare `u64`s.
+impl AtomicPackable for apram_lattice::MaxU64 {
+    fn pack(&self) -> u64 {
+        self.get()
+    }
+    fn unpack(bits: u64) -> Self {
+        apram_lattice::MaxU64::new(bits)
+    }
+}
+
+/// Max-register timestamps are bare `i64`s.
+impl AtomicPackable for apram_lattice::MaxI64 {
+    fn pack(&self) -> u64 {
+        self.get() as u64
+    }
+    fn unpack(bits: u64) -> Self {
+        apram_lattice::MaxI64::new(bits as i64)
+    }
+}
+
+/// A file of packed registers: one padded `AtomicU64` per register.
+///
+/// The pack/unpack functions are captured as plain function pointers at
+/// construction (where the `T: AtomicPackable` bound is in scope), so
+/// the containing memory can stay generic over any `Clone` value type
+/// and still dispatch to this tier at runtime.
+pub(crate) struct PackedFile<T> {
+    cells: Box<[CachePadded<AtomicU64>]>,
+    pack: fn(&T) -> u64,
+    unpack: fn(u64) -> T,
+}
+
+impl<T: AtomicPackable> PackedFile<T> {
+    /// A file initialised from `init`, one register per element.
+    pub(crate) fn new(init: Vec<T>) -> Self {
+        PackedFile {
+            cells: init
+                .iter()
+                .map(|v| CachePadded::new(AtomicU64::new(v.pack())))
+                .collect(),
+            pack: T::pack,
+            unpack: T::unpack,
+        }
+    }
+}
+
+impl<T> PackedFile<T> {
+    /// Number of registers.
+    pub(crate) fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// One-instruction atomic read.
+    pub(crate) fn read(&self, reg: usize) -> T {
+        (self.unpack)(self.cells[reg].load(Ordering::Acquire))
+    }
+
+    /// One-instruction atomic write.
+    pub(crate) fn write(&self, reg: usize, val: &T) {
+        self.cells[reg].store((self.pack)(val), Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: AtomicPackable + PartialEq + std::fmt::Debug>(v: T) {
+        assert_eq!(T::unpack(v.pack()), v);
+    }
+
+    #[test]
+    fn packing_roundtrips() {
+        roundtrip(0u64);
+        roundtrip(u64::MAX);
+        roundtrip(-1i64);
+        roundtrip(i64::MIN);
+        roundtrip(u32::MAX);
+        roundtrip(-7i32);
+        roundtrip(usize::MAX);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip((u32::MAX, 0u32));
+        roundtrip((0u32, u32::MAX));
+        roundtrip((3u32, 4u32));
+        roundtrip(apram_lattice::MaxU64::new(u64::MAX));
+        roundtrip(apram_lattice::MaxI64::new(i64::MIN));
+    }
+
+    #[test]
+    fn file_reads_and_writes() {
+        let f = PackedFile::new(vec![0i64, -5, 7]);
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.read(1), -5);
+        f.write(1, &99);
+        assert_eq!(f.read(1), 99);
+        assert_eq!(f.read(2), 7);
+    }
+
+    /// Plain-atomics concurrency smoke, sized down under miri so the
+    /// interpreter finishes quickly; this is one of the tests the miri
+    /// CI job runs to check the packed tier for UB.
+    #[test]
+    fn concurrent_striped_increments() {
+        #[cfg(miri)]
+        const PER: u64 = 50;
+        #[cfg(not(miri))]
+        const PER: u64 = 5_000;
+        let n = 4;
+        let f = PackedFile::new(vec![0u64; n]);
+        std::thread::scope(|s| {
+            for p in 0..n {
+                let f = &f;
+                s.spawn(move || {
+                    for _ in 0..PER {
+                        let cur = f.read(p);
+                        f.write(p, &(cur + 1));
+                    }
+                });
+            }
+        });
+        for p in 0..n {
+            assert_eq!(f.read(p), PER);
+        }
+    }
+}

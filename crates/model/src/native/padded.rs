@@ -1,0 +1,92 @@
+//! Cache-line padding for shared hot words.
+//!
+//! Every modern x86/ARM server core transfers memory in 64-byte cache
+//! lines, and adjacent-line prefetchers effectively couple *pairs* of
+//! lines — so two atomics within 128 bytes of each other ping-pong
+//! between cores even when logically independent (false sharing).
+//! [`CachePadded`] aligns its contents to 128 bytes so each wrapped
+//! value owns its (pre-fetch-paired) cache lines outright. The native
+//! register file wraps every per-register index word and every shared
+//! metric counter in it; the cost is memory, the payoff is that a
+//! register's traffic never invalidates its neighbour's line.
+
+/// Pads and aligns `T` to 128 bytes (two cache lines) so concurrent
+/// access to neighbouring values never false-shares.
+#[derive(Debug, Default)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wrap `value` in its own pair of cache lines.
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    /// Unwrap the padded value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> std::ops::DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        CachePadded::new(value)
+    }
+}
+
+impl<T: Clone> Clone for CachePadded<T> {
+    fn clone(&self) -> Self {
+        CachePadded::new(self.value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn alignment_and_size() {
+        assert_eq!(std::mem::align_of::<CachePadded<u8>>(), 128);
+        assert_eq!(std::mem::size_of::<CachePadded<u8>>(), 128);
+        assert_eq!(std::mem::size_of::<CachePadded<[u8; 200]>>(), 256);
+    }
+
+    #[test]
+    fn array_elements_never_share_a_line() {
+        let cells: Vec<CachePadded<AtomicU64>> = (0..4)
+            .map(|_| CachePadded::new(AtomicU64::new(0)))
+            .collect();
+        for w in cells.windows(2) {
+            let a = &*w[0] as *const AtomicU64 as usize;
+            let b = &*w[1] as *const AtomicU64 as usize;
+            assert!(b - a >= 128, "adjacent cells {a:#x} {b:#x} share a line");
+        }
+    }
+
+    #[test]
+    fn deref_and_into_inner() {
+        let mut c = CachePadded::new(41u64);
+        *c += 1;
+        assert_eq!(*c, 42);
+        assert_eq!(c.into_inner(), 42);
+        let c2: CachePadded<u64> = 7.into();
+        assert_eq!(c2.clone().into_inner(), 7);
+    }
+}

@@ -1,0 +1,297 @@
+use super::*;
+use crate::metrics::MetricsLevel;
+
+#[test]
+fn single_thread_read_write() {
+    let mem = NativeMemory::new(1, vec![0u64; 3]);
+    let mut ctx = mem.ctx(0);
+    assert_eq!(ctx.read(1), 0);
+    ctx.write(1, 42);
+    assert_eq!(ctx.read(1), 42);
+    assert_eq!(mem.peek(1), 42);
+    assert_eq!(
+        ctx.counts(),
+        StepCounts {
+            reads: 2,
+            writes: 1
+        }
+    );
+    ctx.reset_counts();
+    assert_eq!(ctx.counts().total(), 0);
+    assert_eq!(ctx.n_procs(), 1);
+    assert_eq!(ctx.n_regs(), 3);
+    assert_eq!(ctx.proc(), 0);
+}
+
+#[test]
+#[should_panic(expected = "SWMR violation")]
+fn owner_map_enforced() {
+    let mem = NativeMemory::new(2, vec![0u64; 2]).with_owners(vec![0, 1]);
+    let mut ctx = mem.ctx(0);
+    ctx.write(1, 5);
+}
+
+#[test]
+#[should_panic(expected = "out of range")]
+fn proc_bounds_checked() {
+    let mem = NativeMemory::new(2, vec![0u64; 1]);
+    let _ = mem.ctx(2);
+}
+
+#[test]
+fn concurrent_writers_to_distinct_registers() {
+    let mem = NativeMemory::new(8, vec![0u64; 8]).with_owners((0..8).collect());
+    std::thread::scope(|s| {
+        for p in 0..8 {
+            let mem = mem.clone();
+            s.spawn(move || {
+                let mut ctx = mem.ctx(p);
+                for i in 0..1000u64 {
+                    ctx.write(p, i);
+                    let _ = ctx.read((p + 1) % 8);
+                }
+            });
+        }
+    });
+    for p in 0..8 {
+        assert_eq!(mem.peek(p), 999);
+    }
+}
+
+#[test]
+fn metrics_default_off() {
+    let mem = NativeMemory::new(1, vec![0u64; 2]);
+    mem.ctx(0).write(0, 1);
+    let m = mem.metrics();
+    assert!(!m.enabled());
+    assert!(m.registers.is_empty());
+}
+
+#[test]
+fn metrics_count_per_register_and_process() {
+    let mem = NativeMemory::new(2, vec![0u64; 3]).with_metrics(MetricsLevel::Full);
+    let mut c0 = mem.ctx(0);
+    let mut c1 = mem.ctx(1);
+    c0.write(0, 1);
+    c0.write(0, 2);
+    let _ = c1.read(0);
+    let _ = c1.read(2);
+    let m = mem.metrics();
+    assert_eq!(m.registers[0].reads, 1);
+    assert_eq!(m.registers[0].writes, 2);
+    assert_eq!(m.registers[2].reads, 1);
+    assert_eq!(m.registers[1].reads + m.registers[1].writes, 0);
+    assert_eq!(
+        m.histogram[0],
+        StepCounts {
+            reads: 0,
+            writes: 2
+        }
+    );
+    assert_eq!(
+        m.histogram[1],
+        StepCounts {
+            reads: 2,
+            writes: 0
+        }
+    );
+    // Single-threaded accesses are never contended.
+    assert_eq!(m.total_contended(), 0);
+    // Metrics agree with the per-context counters.
+    assert_eq!(c0.counts(), m.histogram[0]);
+    assert_eq!(c1.counts(), m.histogram[1]);
+}
+
+#[test]
+fn metrics_totals_exact_after_join() {
+    let n = 4;
+    let per = 500u64;
+    let mem = NativeMemory::new(n, vec![0u64; n])
+        .with_owners((0..n).collect())
+        .with_metrics(MetricsLevel::Full);
+    std::thread::scope(|s| {
+        for p in 0..n {
+            let mem = mem.clone();
+            s.spawn(move || {
+                let mut ctx = mem.ctx(p);
+                for i in 0..per {
+                    ctx.write(p, i);
+                    let _ = ctx.read((p + 1) % n);
+                }
+            });
+        }
+    });
+    let m = mem.metrics();
+    assert_eq!(m.total_reads(), n as u64 * per);
+    assert_eq!(m.total_writes(), n as u64 * per);
+    for p in 0..n {
+        assert_eq!(m.histogram[p].reads, per);
+        assert_eq!(m.histogram[p].writes, per);
+    }
+}
+
+#[test]
+fn clone_shares_storage() {
+    let mem = NativeMemory::new(1, vec![7u64]);
+    let mem2 = mem.clone();
+    mem.ctx(0).write(0, 9);
+    assert_eq!(mem2.peek(0), 9);
+    assert_eq!(mem2.n_regs(), 1);
+    assert_eq!(mem2.n_procs(), 1);
+}
+
+// ---- tier selection and tier-specific behavior ----
+
+#[test]
+fn tier_names() {
+    assert_eq!(NativeMemory::new(2, vec![0u64; 1]).tier(), "buffered");
+    assert_eq!(NativeMemory::new_packed(2, vec![0u64; 1]).tier(), "packed");
+    #[cfg(feature = "rwlock-baseline")]
+    assert_eq!(NativeMemory::new_locked(2, vec![0u64; 1]).tier(), "rwlock");
+}
+
+#[test]
+fn packed_tier_round_trips_words() {
+    let mem = NativeMemory::new_packed(2, vec![-1i64, 5]);
+    let mut c0 = mem.ctx(0);
+    assert_eq!(c0.read(0), -1);
+    c0.write(0, i64::MIN);
+    assert_eq!(c0.read(0), i64::MIN);
+    assert_eq!(mem.peek(1), 5);
+    assert_eq!(mem.read_retries(), 0);
+}
+
+#[test]
+fn packed_tier_honours_owner_map() {
+    let mem = NativeMemory::new_packed(2, vec![0u64; 2]).with_owners(vec![0, 1]);
+    let mut c1 = mem.ctx(1);
+    c1.write(1, 3);
+    assert_eq!(mem.peek(1), 3);
+    let got = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        mem.ctx(0).write(1, 9);
+    }));
+    assert!(got.is_err(), "packed tier must enforce the owner map too");
+}
+
+#[test]
+fn buffered_tier_holds_wide_values() {
+    // Values far wider than a machine word go through the buffered tier.
+    let init: Vec<Vec<u64>> = vec![vec![0; 32]; 4];
+    let mem = NativeMemory::new(4, init).with_owners((0..4).collect());
+    std::thread::scope(|s| {
+        for p in 0..4 {
+            let mem = mem.clone();
+            s.spawn(move || {
+                let mut ctx = mem.ctx(p);
+                for i in 1..=200u64 {
+                    ctx.write(p, vec![i; 32]);
+                    let seen = ctx.read((p + 1) % 4);
+                    // Never a torn value: every element identical.
+                    assert!(seen.iter().all(|&x| x == seen[0]), "torn read: {seen:?}");
+                }
+            });
+        }
+    });
+    for p in 0..4 {
+        assert_eq!(mem.peek(p), vec![200u64; 32]);
+    }
+}
+
+#[test]
+fn mwmr_default_allows_any_writer() {
+    // Without an owner map, every process may write every register.
+    let mem = NativeMemory::new(3, vec![String::new()]);
+    std::thread::scope(|s| {
+        for p in 0..3 {
+            let mem = mem.clone();
+            s.spawn(move || {
+                let mut ctx = mem.ctx(p);
+                for i in 0..100 {
+                    ctx.write(0, format!("P{p}:{i}"));
+                    let _ = ctx.read(0);
+                }
+            });
+        }
+    });
+    let last = mem.peek(0);
+    assert!(
+        last.ends_with(":99"),
+        "final value {last:?} not a last write"
+    );
+}
+
+#[test]
+#[should_panic(expected = "before the memory is shared")]
+fn with_owners_rejects_shared_memory() {
+    let mem = NativeMemory::new(2, vec![0u64; 2]);
+    let _extra_handle = mem.clone();
+    let _ = mem.with_owners(vec![0, 1]);
+}
+
+// ---- metrics sampler gating (the zero-metrics hot path) ----
+
+#[test]
+fn metrics_off_does_no_counter_movement() {
+    // At MetricsLevel::Off no shared counter state exists at all, so the
+    // hot path cannot move any counter: the snapshot stays empty and
+    // disabled no matter how many accesses run.
+    let mem = NativeMemory::new(2, vec![0u64; 2]).with_metrics(MetricsLevel::Off);
+    let mut ctx = mem.ctx(0);
+    for i in 0..50 {
+        ctx.write(0, i);
+        let _ = ctx.read(1);
+    }
+    let m = mem.metrics();
+    assert!(!m.enabled());
+    assert!(m.registers.is_empty());
+    assert!(m.histogram.is_empty());
+    assert_eq!(m.total_reads() + m.total_writes() + m.total_contended(), 0);
+    // And point contention falls back to the trivial bound.
+    assert_eq!(ctx.point_contention(0), 1);
+}
+
+#[test]
+fn in_flight_gauge_idle_unless_contention_tracked() {
+    // At Counts the gauge bracket must be skipped entirely: observing the
+    // gauge from *inside* an access sees zero traffic.
+    let counts = MetricsShared::new(MetricsLevel::Counts, 1, 1);
+    let seen = counts.record(AccessKind::Read, 0, 0, || {
+        counts.in_flight[0].load(Ordering::Relaxed)
+    });
+    assert_eq!(seen, 0, "Counts level must not touch the in-flight gauge");
+    assert_eq!(counts.in_flight[0].load(Ordering::Relaxed), 0);
+    // Counting still works without the gauge.
+    assert_eq!(counts.reg_reads[0].load(Ordering::Relaxed), 1);
+
+    // At Full the bracket is live: the same probe sees this access.
+    let full = MetricsShared::new(MetricsLevel::Full, 1, 1);
+    let seen = full.record(AccessKind::Write, 0, 0, || {
+        full.in_flight[0].load(Ordering::Relaxed)
+    });
+    assert_eq!(seen, 1, "Full level maintains the in-flight gauge");
+    assert_eq!(full.in_flight[0].load(Ordering::Relaxed), 0);
+}
+
+#[test]
+fn point_contention_requires_full_level() {
+    let mem = NativeMemory::new(1, vec![0u64]).with_metrics(MetricsLevel::Counts);
+    let mut ctx = mem.ctx(0);
+    ctx.write(0, 1);
+    // Gauge not maintained below Full: trivial bound reported.
+    assert_eq!(ctx.point_contention(0), 1);
+
+    let mem = NativeMemory::new(1, vec![0u64]).with_metrics(MetricsLevel::Full);
+    let ctx = mem.ctx(0);
+    assert_eq!(ctx.point_contention(0), 1);
+}
+
+#[cfg(feature = "rwlock-baseline")]
+#[test]
+fn rwlock_baseline_tier_still_works() {
+    let mem = NativeMemory::new_locked(2, vec![0u64; 2]).with_owners(vec![0, 1]);
+    let mut c0 = mem.ctx(0);
+    c0.write(0, 7);
+    assert_eq!(c0.read(0), 7);
+    assert_eq!(mem.peek(0), 7);
+    assert_eq!(mem.read_retries(), 0);
+}

@@ -21,6 +21,10 @@
 //!
 //! * [`counter`] — inc/dec/reset/read counter (universal) and the
 //!   inc/dec/read direct counter over per-process `(inc, dec)` pairs.
+//! * [`striped`] — the increment-only counter on word-sized per-process
+//!   stripes: one write per `inc`, one collect per `read`, and the
+//!   workload that drives the native backend's packed register tier in
+//!   experiment E13.
 //! * [`maxreg`] — max-register: `write_max`/`read` (universal spec) and
 //!   the direct lattice form, which *is* the Section 6 object.
 //! * [`clock`] — Lamport logical clocks on top of the max-register.
@@ -55,6 +59,7 @@ pub mod mwreg;
 pub mod prmw;
 pub mod regular;
 pub mod sticky;
+pub mod striped;
 
 pub use clock::LamportClock;
 pub use counter::{DirectCounter, DirectCounterHandle, UniversalCounter, UniversalCounterHandle};
@@ -65,3 +70,4 @@ pub use mwreg::{MwRegSpec, MwRegister};
 pub use prmw::{CommutingOp, PrmwRegister};
 pub use regular::{AtomicFromRegular, RegularRegister};
 pub use sticky::StickySpec;
+pub use striped::{StripedCounter, StripedCounterHandle};

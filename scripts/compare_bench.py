@@ -2,22 +2,89 @@
 """Compare two directories of BENCH_*.json reports, ignoring wall-clock.
 
 Usage: scripts/compare_bench.py BASELINE_DIR CANDIDATE_DIR [--ignore KEY]...
+       scripts/compare_bench.py --e13-gate BENCH_e13.json [--min-ratio R]
 
 Every experiment in this repo is deterministic modulo wall-clock columns,
 so a regenerated report must equal the archived baseline once the
 timing-derived keys are stripped (recursively): `wall_clock_secs`,
 `wall_secs`, `runs_per_sec`, `speedup`, plus any `--ignore KEY` extras.
 
-Exit status: 0 if every common file matches, 1 otherwise. Files present
-on only one side are reported but only fail the comparison when missing
-from the candidate.
+E13 (the native register-file scaling grid) is the one wall-clock
+experiment: its measured columns (`ops_per_sec`, the latency
+percentiles, the buffered tier's `read_retries`, and the whole `gates`
+section) are stripped too, so the directory comparison still checks its
+deterministic skeleton — the thread grid, the object x tier matrix, and
+the operation counts.
+
+`--e13-gate` instead checks one report's performance *relations*, which
+are machine-speed-independent: the packed counter must beat the
+rwlock-baseline counter at 8 threads by at least `--min-ratio` (default
+1.0), and — only when the report's `available_parallelism` exceeds 1 —
+8-thread packed-counter throughput must exceed 1-thread throughput.
+
+Exit status: 0 if every common file matches (or the gate holds),
+1 otherwise. Files present on only one side are reported but only fail
+the comparison when missing from the candidate.
 """
 
 import json
 import sys
 from pathlib import Path
 
-VOLATILE = {"wall_clock_secs", "wall_secs", "runs_per_sec", "speedup"}
+VOLATILE = {
+    "wall_clock_secs",
+    "wall_secs",
+    "runs_per_sec",
+    "speedup",
+    # E13's measured columns (everything wall-clock- or machine-derived).
+    "elapsed_secs",
+    "ops_per_sec",
+    "p50_ns",
+    "p99_ns",
+    "p999_ns",
+    "max_ns",
+    "mean_ns",
+    "read_retries",
+    "gates",
+}
+
+
+def e13_gate(path, min_ratio):
+    """Check the E13 gate relations in one report. Returns exit status."""
+    with open(path) as f:
+        doc = json.load(f)
+    gates = doc.get("gates")
+    if not gates:
+        print(f"FAIL     {path}: no 'gates' section")
+        return 1
+    parallelism = gates.get("available_parallelism", 1)
+    ratio = gates.get("packed_over_rwlock_8t")
+    if ratio is None:
+        print(f"FAIL     {path}: packed_over_rwlock_8t missing (null?)")
+        return 1
+    failed = False
+    if ratio >= min_ratio:
+        print(f"OK       packed/rwlock at 8 threads = {ratio:.2f}x "
+              f"(>= {min_ratio})")
+    else:
+        print(f"FAIL     packed/rwlock at 8 threads = {ratio:.2f}x "
+              f"(< {min_ratio})")
+        failed = True
+    scaling = gates.get("packed_8t_over_1t")
+    if parallelism <= 1:
+        print(f"SKIP     8t/1t scaling gate (available_parallelism = "
+              f"{parallelism})")
+    elif scaling is None:
+        print(f"FAIL     {path}: packed_8t_over_1t missing (null?)")
+        failed = True
+    elif scaling > 1.0:
+        print(f"OK       packed 8t/1t = {scaling:.2f}x on "
+              f"{parallelism}-way host")
+    else:
+        print(f"FAIL     packed 8t/1t = {scaling:.2f}x on "
+              f"{parallelism}-way host (expected > 1)")
+        failed = True
+    return 1 if failed else 0
 
 
 def strip(doc, ignored):
@@ -54,12 +121,21 @@ def first_diff(a, b, path="$"):
 
 def main(argv):
     args, ignored = [], set(VOLATILE)
+    gate_file, min_ratio = None, 1.0
     it = iter(argv)
     for tok in it:
         if tok == "--ignore":
             ignored.add(next(it, "") or sys.exit("--ignore needs a KEY"))
+        elif tok == "--e13-gate":
+            gate_file = next(it, "") or sys.exit("--e13-gate needs a FILE")
+        elif tok == "--min-ratio":
+            min_ratio = float(next(it, "") or sys.exit("--min-ratio needs R"))
         else:
             args.append(tok)
+    if gate_file is not None:
+        if args:
+            sys.exit("--e13-gate takes no directory operands")
+        return e13_gate(gate_file, min_ratio)
     if len(args) != 2:
         sys.exit(__doc__.strip().splitlines()[2].strip())
     base, cand = Path(args[0]), Path(args[1])

@@ -131,3 +131,246 @@ fn swmr_enforced_on_both_backends() {
     }));
     assert!(result.is_err(), "simulated SWMR violation must panic");
 }
+
+// ---------------------------------------------------------------------
+// Randomized cross-backend stress: the same per-process operation
+// scripts run under a seeded simulator schedule AND under free-running
+// native threads; every recorded history from either backend must be
+// linearizable against the object's sequential spec. The histories are
+// batch-checked through `check_histories_parallel`, so this doubles as
+// an integration test of the parallel checker on native-produced
+// (real-time, non-deterministic) histories.
+// ---------------------------------------------------------------------
+
+use apram_core::counter::{CounterOp, CounterResp};
+use apram_core::CounterSpec;
+use apram_history::check::{CheckOutcome, CheckerConfig};
+use apram_history::check_histories_parallel;
+use apram_history::{History, Recorder};
+use apram_objects::maxreg::{DirectMaxRegister, MaxRegOp, MaxRegResp, MaxRegSpec};
+use apram_objects::striped::StripedCounter;
+use apram_snapshot::afek::AfekSnapshot;
+use apram_snapshot::{SnapOp, SnapResp, SnapshotSpec};
+
+/// SplitMix64 step — a self-contained deterministic value source, so
+/// both backends derive identical scripts from the same seed.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn assert_all_linearizable(label: &str, outcomes: &[CheckOutcome]) {
+    for (i, o) in outcomes.iter().enumerate() {
+        assert!(o.is_ok(), "{label}: history {i} not linearizable: {o:?}");
+    }
+}
+
+/// Striped counter: seeded schedules in the simulator plus free-running
+/// native threads on the packed register tier, one history per run, all
+/// checked in one parallel batch.
+#[test]
+fn randomized_counter_stress_linearizable_on_both_backends() {
+    let n = 3;
+    let rounds = 3;
+    let mut batch: Vec<History<CounterOp, CounterResp>> = Vec::new();
+    for seed in 0..6u64 {
+        let c = StripedCounter::new(n);
+        // Per-process script: `true` = inc, `false` = read.
+        let mut rng = seed;
+        let scripts: Vec<Vec<bool>> = (0..n)
+            .map(|_| (0..rounds).map(|_| splitmix(&mut rng) % 2 == 0).collect())
+            .collect();
+
+        // Simulator under a seeded random schedule.
+        let rec: Recorder<CounterOp, CounterResp> = Recorder::new();
+        let (rec2, scripts2) = (rec.clone(), scripts.clone());
+        let out = SimBuilder::new(c.registers())
+            .owners(c.owners())
+            .strategy(SeededRandom::new(seed))
+            .run_symmetric(n, move |ctx| {
+                let p = ctx.proc();
+                let mut h = c.handle();
+                for &inc in &scripts2[p] {
+                    if inc {
+                        rec2.invoke(p, CounterOp::Inc(1));
+                        h.inc(ctx);
+                        rec2.respond(p, CounterResp::Ack);
+                    } else {
+                        rec2.invoke(p, CounterOp::Read);
+                        let v = h.read(ctx);
+                        rec2.respond(p, CounterResp::Value(v as i64));
+                    }
+                }
+            });
+        out.assert_no_panics();
+        batch.push(rec.snapshot());
+
+        // Native threads on the packed tier, same scripts.
+        let mem = NativeMemory::new_packed(n, c.registers()).with_owners(c.owners());
+        let rec: Recorder<CounterOp, CounterResp> = Recorder::new();
+        std::thread::scope(|s| {
+            for (p, script) in scripts.iter().cloned().enumerate() {
+                let mem = mem.clone();
+                let rec = rec.clone();
+                s.spawn(move || {
+                    let mut ctx = mem.ctx(p);
+                    let mut h = c.handle();
+                    for inc in script {
+                        if inc {
+                            rec.invoke(p, CounterOp::Inc(1));
+                            h.inc(&mut ctx);
+                            rec.respond(p, CounterResp::Ack);
+                        } else {
+                            rec.invoke(p, CounterOp::Read);
+                            let v = h.read(&mut ctx);
+                            rec.respond(p, CounterResp::Value(v as i64));
+                        }
+                    }
+                });
+            }
+        });
+        batch.push(rec.snapshot());
+    }
+    let outcomes = check_histories_parallel(&CounterSpec, &batch, &CheckerConfig::default(), 0);
+    assert_eq!(outcomes.len(), batch.len());
+    assert_all_linearizable("counter", &outcomes);
+}
+
+/// Direct max-register: write_max/read scripts through the simulator
+/// and through native threads on the packed `MaxI64` tier.
+#[test]
+fn randomized_maxreg_stress_linearizable_on_both_backends() {
+    let n = 3;
+    let rounds = 3;
+    let mut batch: Vec<History<MaxRegOp, MaxRegResp>> = Vec::new();
+    for seed in 0..6u64 {
+        let r = DirectMaxRegister::new(n);
+        // Per-process script: Some(v) = write_max(v), None = read.
+        let mut rng = seed.wrapping_mul(0x5DEE_CE66);
+        let scripts: Vec<Vec<Option<i64>>> = (0..n)
+            .map(|_| {
+                (0..rounds)
+                    .map(|_| {
+                        let bits = splitmix(&mut rng);
+                        (bits % 2 == 0).then_some((bits >> 8) as i64 % 100)
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let rec: Recorder<MaxRegOp, MaxRegResp> = Recorder::new();
+        let (rec2, scripts2) = (rec.clone(), scripts.clone());
+        let out = SimBuilder::new(r.registers())
+            .owners(r.owners())
+            .strategy(SeededRandom::new(seed))
+            .run_symmetric(n, move |ctx| {
+                let p = ctx.proc();
+                let mut h = r.handle();
+                for &step in &scripts2[p] {
+                    match step {
+                        Some(v) => {
+                            rec2.invoke(p, MaxRegOp::WriteMax(v));
+                            h.write_max(ctx, v);
+                            rec2.respond(p, MaxRegResp::Ack);
+                        }
+                        None => {
+                            rec2.invoke(p, MaxRegOp::Read);
+                            let v = h.read(ctx);
+                            rec2.respond(p, MaxRegResp::Value(v));
+                        }
+                    }
+                }
+            });
+        out.assert_no_panics();
+        batch.push(rec.snapshot());
+
+        let mem = NativeMemory::new_packed(n, r.registers()).with_owners(r.owners());
+        let rec: Recorder<MaxRegOp, MaxRegResp> = Recorder::new();
+        std::thread::scope(|s| {
+            for (p, script) in scripts.iter().cloned().enumerate() {
+                let mem = mem.clone();
+                let rec = rec.clone();
+                s.spawn(move || {
+                    let mut ctx = mem.ctx(p);
+                    let mut h = r.handle();
+                    for step in script {
+                        match step {
+                            Some(v) => {
+                                rec.invoke(p, MaxRegOp::WriteMax(v));
+                                h.write_max(&mut ctx, v);
+                                rec.respond(p, MaxRegResp::Ack);
+                            }
+                            None => {
+                                rec.invoke(p, MaxRegOp::Read);
+                                let v = h.read(&mut ctx);
+                                rec.respond(p, MaxRegResp::Value(v));
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        batch.push(rec.snapshot());
+    }
+    let outcomes = check_histories_parallel(&MaxRegSpec, &batch, &CheckerConfig::default(), 0);
+    assert_all_linearizable("maxreg", &outcomes);
+}
+
+/// Afek et al. bounded snapshot: update/snap scripts through the
+/// simulator and through native threads on the buffered (announce/
+/// validate) register tier — the wide-value path the packed tier
+/// cannot take.
+#[test]
+fn randomized_afek_stress_linearizable_on_both_backends() {
+    let n = 3;
+    let mut batch: Vec<History<SnapOp<u32>, SnapResp<u32>>> = Vec::new();
+    for seed in 0..4u64 {
+        let snap = AfekSnapshot::new(n);
+        let mut rng = seed.wrapping_mul(0xA076_1D64);
+        let values: Vec<u32> = (0..n)
+            .map(|_| (splitmix(&mut rng) % 90) as u32 + 1)
+            .collect();
+
+        let rec: Recorder<SnapOp<u32>, SnapResp<u32>> = Recorder::new();
+        let (rec2, values2) = (rec.clone(), values.clone());
+        let out = SimBuilder::new(snap.registers::<u32>())
+            .owners(snap.owners())
+            .strategy(SeededRandom::new(seed))
+            .run_symmetric(n, move |ctx| {
+                let p = ctx.proc();
+                rec2.invoke(p, SnapOp::Update(values2[p]));
+                snap.update(ctx, values2[p]);
+                rec2.respond(p, SnapResp::Ack);
+                rec2.invoke(p, SnapOp::Snap);
+                let view = snap.snap::<u32, _>(ctx);
+                rec2.respond(p, SnapResp::View(view));
+            });
+        out.assert_no_panics();
+        batch.push(rec.snapshot());
+
+        let mem = NativeMemory::new(n, snap.registers::<u32>()).with_owners(snap.owners());
+        let rec: Recorder<SnapOp<u32>, SnapResp<u32>> = Recorder::new();
+        std::thread::scope(|s| {
+            for (p, &v) in values.iter().enumerate() {
+                let mem = mem.clone();
+                let rec = rec.clone();
+                s.spawn(move || {
+                    let mut ctx = mem.ctx(p);
+                    rec.invoke(p, SnapOp::Update(v));
+                    snap.update(&mut ctx, v);
+                    rec.respond(p, SnapResp::Ack);
+                    rec.invoke(p, SnapOp::Snap);
+                    let view = snap.snap::<u32, _>(&mut ctx);
+                    rec.respond(p, SnapResp::View(view));
+                });
+            }
+        });
+        batch.push(rec.snapshot());
+    }
+    let spec = SnapshotSpec::<u32>::new(n);
+    let outcomes = check_histories_parallel(&spec, &batch, &CheckerConfig::default(), 0);
+    assert_all_linearizable("afek", &outcomes);
+}

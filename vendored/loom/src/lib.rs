@@ -1,0 +1,103 @@
+//! Offline drop-in subset of the `loom` model checker's API.
+//!
+//! This container has no network access, so the real `loom` crate cannot
+//! be fetched. This shim keeps the `--cfg loom` build and the loom-gated
+//! tests *compiling and running* against the same API surface:
+//!
+//! * the instrumented types (`cell::UnsafeCell`, `sync::atomic::*`)
+//!   degrade to their `std` counterparts — accesses execute, but are not
+//!   checked against alternative interleavings;
+//! * [`model`] degrades to running the closure repeatedly (a schedule
+//!   stress, not an exhaustive exploration);
+//! * `thread::spawn`/`yield_now` are `std`'s.
+//!
+//! Code written against this subset is source-compatible with real loom:
+//! swapping this path dependency for `loom = "0.7"` upgrades the same
+//! tests to exhaustive model checking with no source changes. The tests
+//! remain valuable offline — they exercise the protocol under real
+//! preemption many times per run — but a green run here is evidence, not
+//! proof. See `crates/model/tests/loom_native.rs`.
+
+/// How many times [`model`] re-runs the closure. Real loom explores
+/// every interleaving; the shim settles for many independent runs under
+/// the OS scheduler.
+pub const MODEL_ITERS: usize = 64;
+
+/// Run `f` under the "model checker". Offline degradation: execute the
+/// closure [`MODEL_ITERS`] times so distinct OS-level interleavings get
+/// a chance to occur. Real loom replaces this with exhaustive
+/// enumeration of all schedules.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    for _ in 0..MODEL_ITERS {
+        f();
+    }
+}
+
+pub mod cell {
+    //! Instrumented interior mutability (degraded: raw `std` cell).
+
+    /// API-compatible stand-in for `loom::cell::UnsafeCell`: access goes
+    /// through `with`/`with_mut` closures, which is where real loom
+    /// checks for concurrent conflicts. The shim just hands out the
+    /// pointer.
+    #[derive(Debug, Default)]
+    pub struct UnsafeCell<T>(std::cell::UnsafeCell<T>);
+
+    impl<T> UnsafeCell<T> {
+        /// A new cell holding `value`.
+        pub fn new(value: T) -> Self {
+            UnsafeCell(std::cell::UnsafeCell::new(value))
+        }
+
+        /// Run `f` with a shared pointer to the contents.
+        pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+            f(self.0.get())
+        }
+
+        /// Run `f` with an exclusive pointer to the contents.
+        pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+            f(self.0.get())
+        }
+    }
+}
+
+pub mod sync {
+    //! Instrumented sync primitives (degraded: `std::sync`).
+
+    pub use std::sync::Arc;
+
+    pub mod atomic {
+        //! Instrumented atomics (degraded: `std::sync::atomic`).
+        pub use std::sync::atomic::{
+            fence, AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering,
+        };
+    }
+}
+
+pub mod thread {
+    //! Instrumented threads (degraded: `std::thread`).
+    pub use std::thread::{spawn, yield_now, JoinHandle};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn model_runs_closure_many_times() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static RUNS: AtomicUsize = AtomicUsize::new(0);
+        super::model(|| {
+            RUNS.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(RUNS.load(Ordering::Relaxed), super::MODEL_ITERS);
+    }
+
+    #[test]
+    fn cell_with_and_with_mut() {
+        let c = super::cell::UnsafeCell::new(1u32);
+        c.with_mut(|p| unsafe { *p = 5 });
+        assert_eq!(c.with(|p| unsafe { *p }), 5);
+    }
+}
