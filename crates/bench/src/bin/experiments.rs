@@ -48,8 +48,9 @@ use std::path::{Path, PathBuf};
 use std::process::exit;
 use std::time::Instant;
 
-const KNOWN: [&str; 14] = [
-    "e1", "e2", "e3", "e4", "e4b", "e5", "e6", "e8", "e9", "e10", "e11", "e12", "e13", "explore",
+const KNOWN: [&str; 15] = [
+    "e1", "e2", "e3", "e4", "e4b", "e5", "e6", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+    "explore",
 ];
 
 /// Which subcommand was requested.
@@ -248,7 +249,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: experiments run [e1 e2 e3 e4 e4b e5 e6 e8 e9 e10 e11 e12 e13 explore | all] \
+        "usage: experiments run [e1 e2 e3 e4 e4b e5 e6 e8 e9 e10 e11 e12 e13 e14 explore | all] \
          [--seed N] [--quick] [--threads N] [--json [DIR]] \
          [--telemetry [DIR]] [--forensics DIR]\n\
          \x20      experiments sweep --config PLAN.json --out DIR [--max-cells K] [--threads N]\n\
@@ -1310,6 +1311,69 @@ fn main() {
              packed vs buffered vs rwlock-baseline tiers",
             Json::Arr(data.iter().map(E13Row::to_json).collect()),
             vec![("gates", gates)],
+            started,
+        );
+    }
+
+    if cli.want("e14") {
+        let started = Instant::now();
+        println!("## E14 — flight-recorder overhead and online spot-checks\n");
+        let out = e14_run(&opts);
+        let rows: Vec<Vec<String>> = out
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.object.to_string(),
+                    r.mode.to_string(),
+                    r.threads.to_string(),
+                    r.total_ops.to_string(),
+                    format!("{:.0}", r.ops_per_sec),
+                    r.hist.p50().to_string(),
+                    r.hist.p99().to_string(),
+                    r.events_recorded.to_string(),
+                    r.events_dropped.to_string(),
+                    r.retry_events.to_string(),
+                    r.ticket_draws.to_string(),
+                    r.contended_draws.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            markdown_table(
+                &[
+                    "object",
+                    "mode",
+                    "threads",
+                    "ops",
+                    "ops/sec",
+                    "p50 ns",
+                    "p99 ns",
+                    "events",
+                    "dropped",
+                    "retry evts",
+                    "tickets",
+                    "contended"
+                ],
+                &rows
+            )
+        );
+        let gates = e14_gates(&out.rows, &out.spot, opts.quick);
+        println!("gates: {}\n", gates.to_compact());
+        if let Some(dir) = &cli.telemetry_dir {
+            let mut trace = out.trace.to_compact();
+            trace.push('\n');
+            write_artifact(dir, "flight.json", &trace);
+            write_artifact(dir, "flight.prom", &out.prom);
+        }
+        emit_report_with(
+            &cli,
+            "e14",
+            "Flight-recorder overhead: recorder off vs 1-in-64 sampling vs always-on, \
+             with online linearizability spot-checks of reconstructed native histories",
+            Json::Arr(out.rows.iter().map(E14Row::to_json).collect()),
+            vec![("gates", gates), ("spot_check", out.spot.to_json())],
             started,
         );
     }

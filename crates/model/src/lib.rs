@@ -49,6 +49,11 @@
 //!   (steps normalized by observed point contention, per Bender et
 //!   al.), mergeable across explorer workers and exportable as JSON
 //!   heatmaps and labeled Prometheus series.
+//! * [`flight`] — a wait-free flight recorder for the native backend:
+//!   per-thread drop-oldest event rings (op begin/end, read retries,
+//!   ticket draws, slot choices) drained into Chrome-trace/Perfetto
+//!   JSON, the telemetry registry, or reconstructed op histories for
+//!   online linearizability spot-checks.
 
 // Unsafe is denied crate-wide and allowed back in exactly one place:
 // `native::buffered`, whose multi-slot cells need `UnsafeCell` slot
@@ -59,6 +64,7 @@
 pub mod contention;
 pub mod crash;
 pub mod ctx;
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod native;
@@ -70,6 +76,7 @@ pub mod trace;
 
 pub use contention::{CellStats, ContentionMap, ContentionProfiler, ProfiledCtx, CHARGE_UNIT};
 pub use ctx::{AccessKind, Matrix, MatrixView, MemCtx, ProcId};
+pub use flight::{FlightEvent, FlightLog, FlightMode, FlightRecorder, FlightRing, OpSpan};
 pub use json::Json;
 pub use metrics::{Metrics, MetricsLevel, RegStats};
 pub use native::{AtomicPackable, CachePadded, NativeCtx, NativeMemory};

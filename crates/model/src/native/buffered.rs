@@ -152,6 +152,12 @@ impl<T: Clone> SwmrCell<T> {
     /// (enforced by the owning memory). Wait-free: one announce scan,
     /// one value move, one index store.
     pub fn write(&self, val: T) {
+        let _ = self.write_traced(val);
+    }
+
+    /// [`SwmrCell::write`], reporting which slot the announce scan
+    /// chose (the flight recorder's slot-choice event).
+    pub fn write_traced(&self, val: T) -> usize {
         // Only this writer stores `published`, so a relaxed load reads
         // back its own last publish.
         let mut used: u64 = 1 << self.published.load(Ordering::Relaxed);
@@ -165,15 +171,24 @@ impl<T: Clone> SwmrCell<T> {
         debug_assert!(free < self.slots.len(), "slot accounting broken");
         self.slots[free].with_mut(|p| unsafe { *p = val });
         self.published.store(free, Ordering::SeqCst);
+        free
     }
 
     /// Read as process `proc`.
     pub fn read(&self, proc: usize) -> T {
+        self.read_via(proc).0
+    }
+
+    /// [`SwmrCell::read`], reporting how many validation retries this
+    /// read performed (the flight recorder's read-retry event; also
+    /// accumulated into [`SwmrCell::retries`]).
+    pub fn read_traced(&self, proc: usize) -> (T, u64) {
         self.read_via(proc)
     }
 
-    fn read_via(&self, announce_idx: usize) -> T {
+    fn read_via(&self, announce_idx: usize) -> (T, u64) {
         let a = &self.announce[announce_idx];
+        let mut tries = 0u64;
         loop {
             let p = self.published.load(Ordering::SeqCst);
             a.store(p, Ordering::SeqCst);
@@ -183,8 +198,9 @@ impl<T: Clone> SwmrCell<T> {
                 // until we clear the announcement.
                 let v = self.slots[p].with(|q| unsafe { (*q).clone() });
                 a.store(NONE, Ordering::Release);
-                return v;
+                return (v, tries);
             }
+            tries += 1;
             self.retries.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -204,7 +220,7 @@ impl<T: Clone> SwmrCell<T> {
             #[cfg(not(loom))]
             std::hint::spin_loop();
         }
-        let v = self.read_via(self.announce.len() - 1);
+        let v = self.read_via(self.announce.len() - 1).0;
         self.peek_claim.store(false, Ordering::Release);
         v
     }
@@ -258,8 +274,21 @@ impl<T: Clone> MwmrCell<T> {
     /// Write `val` as process `proc`. The ticket draw is the
     /// linearization point.
     pub fn write(&self, proc: usize, val: T) {
+        let _ = self.write_traced(proc, val);
+    }
+
+    /// [`MwmrCell::write`], reporting the ticket drawn and the slot the
+    /// writer's own SWMR cell chose (the flight recorder's ticket-draw
+    /// and slot-choice events).
+    pub fn write_traced(&self, proc: usize, val: T) -> (u64, usize) {
         let ticket = self.ticket.fetch_add(1, Ordering::SeqCst) + 1;
-        self.slots[proc].write(Stamp { ticket, value: val });
+        let slot = self.slots[proc].write_traced(Stamp { ticket, value: val });
+        (ticket, slot)
+    }
+
+    /// Total tickets ever drawn (= completed or in-flight writes).
+    pub fn tickets(&self) -> u64 {
+        self.ticket.load(Ordering::Relaxed)
     }
 
     /// Read as process `proc`: collect every writer slot, return the
@@ -268,12 +297,24 @@ impl<T: Clone> MwmrCell<T> {
         self.collect(|cell| cell.read(proc))
     }
 
+    /// [`MwmrCell::read`], reporting the summed validation retries of
+    /// the per-writer slot reads the collect performed.
+    pub fn read_traced(&self, proc: usize) -> (T, u64) {
+        let mut retries = 0;
+        let v = self.collect(|cell| {
+            let (s, r) = cell.read_traced(proc);
+            retries += r;
+            s
+        });
+        (v, retries)
+    }
+
     /// Read from outside any process (see [`SwmrCell::peek`]).
     pub fn peek(&self) -> T {
         self.collect(SwmrCell::peek)
     }
 
-    fn collect(&self, read: impl Fn(&SwmrCell<Stamp<T>>) -> Stamp<T>) -> T {
+    fn collect(&self, mut read: impl FnMut(&SwmrCell<Stamp<T>>) -> Stamp<T>) -> T {
         let mut best: Option<(u64, T)> = None;
         for cell in self.slots.iter() {
             let s = read(cell);

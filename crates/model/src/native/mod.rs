@@ -34,7 +34,9 @@ pub mod packed;
 pub mod padded;
 
 use crate::ctx::{AccessKind, MemCtx, ProcId};
+use crate::flight::{FlightEvent, FlightLog, FlightMode, FlightRecorder};
 use crate::metrics::{Metrics, MetricsLevel};
+use crate::telemetry::TelemetryRegistry;
 use crate::trace::StepCounts;
 use buffered::{MwmrCell, SwmrCell};
 use packed::PackedFile;
@@ -179,6 +181,39 @@ impl<T: Clone> BufferedCell<T> {
             BufferedCell::Mwmr(c) => c.retries(),
         }
     }
+
+    fn read_traced(&self, proc: ProcId) -> (T, u64) {
+        match self {
+            BufferedCell::Swmr(c) => c.read_traced(proc),
+            BufferedCell::Mwmr(c) => c.read_traced(proc),
+        }
+    }
+
+    fn write_traced(&self, proc: ProcId, val: T) -> WriteTrace {
+        match self {
+            BufferedCell::Swmr(c) => WriteTrace {
+                ticket: None,
+                slot: Some(c.write_traced(val) as u64),
+            },
+            BufferedCell::Mwmr(c) => {
+                let (ticket, slot) = c.write_traced(proc, val);
+                WriteTrace {
+                    ticket: Some(ticket),
+                    slot: Some(slot as u64),
+                }
+            }
+        }
+    }
+}
+
+/// What a traced write observed: the MWMR ticket it drew (multi-writer
+/// cells only) and the buffer slot its announce scan chose (buffered
+/// tier only). Both `None` on the packed and rwlock tiers, whose
+/// writes are single instructions with nothing to report.
+#[derive(Clone, Copy, Default)]
+struct WriteTrace {
+    ticket: Option<u64>,
+    slot: Option<u64>,
 }
 
 /// The register file, by tier.
@@ -206,6 +241,7 @@ pub struct NativeMemory<T> {
     owners: Option<Arc<Vec<ProcId>>>,
     n_procs: usize,
     metrics: Option<Arc<MetricsShared>>,
+    flight: Option<Arc<FlightRecorder>>,
 }
 
 impl<T> Clone for NativeMemory<T> {
@@ -215,6 +251,7 @@ impl<T> Clone for NativeMemory<T> {
             owners: self.owners.clone(),
             n_procs: self.n_procs,
             metrics: self.metrics.clone(),
+            flight: self.flight.clone(),
         }
     }
 }
@@ -235,6 +272,7 @@ impl<T: Clone> NativeMemory<T> {
             owners: None,
             n_procs,
             metrics: None,
+            flight: None,
         }
     }
 
@@ -250,6 +288,7 @@ impl<T: Clone> NativeMemory<T> {
             owners: None,
             n_procs,
             metrics: None,
+            flight: None,
         }
     }
 
@@ -297,6 +336,69 @@ impl<T: Clone> NativeMemory<T> {
         }
     }
 
+    /// Attach a flight recorder (see [`crate::flight`]): per-process
+    /// wait-free event rings holding `capacity` events each (rounded up
+    /// to a power of two; [`crate::flight::DEFAULT_FLIGHT_CAPACITY`] is
+    /// a reasonable default). At [`FlightMode::Off`] nothing is
+    /// allocated and every instrumentation site stays a single branch
+    /// on a `None` — the same zero-cost-when-off discipline as
+    /// [`NativeMemory::with_metrics`].
+    ///
+    /// The rings are single-writer: with a recorder attached, create at
+    /// most one live [`NativeCtx`] per process id (the same discipline
+    /// SWMR register ownership already imposes).
+    pub fn with_flight(mut self, mode: FlightMode, capacity: usize) -> Self {
+        self.flight = mode
+            .enabled()
+            .then(|| Arc::new(FlightRecorder::new(mode, self.n_procs, capacity)));
+        self
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn flight_recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.flight.as_ref()
+    }
+
+    /// Drain the flight recorder into a [`FlightLog`] (`None` when no
+    /// recorder is attached). Callable mid-run; drain after joining the
+    /// worker threads for the exact `recorded == drained + dropped`
+    /// accounting.
+    pub fn flight_log(&self) -> Option<FlightLog> {
+        self.flight.as_ref().map(|f| f.drain())
+    }
+
+    /// Total MWMR tickets drawn across the buffered tier's multi-writer
+    /// cells (0 on other tiers and on owner-mapped memories, whose
+    /// cells are all single-writer).
+    pub fn ticket_draws(&self) -> u64 {
+        match &*self.regs {
+            Regs::Buffered(cells) => cells
+                .iter()
+                .map(|c| match c {
+                    BufferedCell::Mwmr(m) => m.tickets(),
+                    BufferedCell::Swmr(_) => 0,
+                })
+                .sum(),
+            _ => 0,
+        }
+    }
+
+    /// Export this memory's protocol counters into `registry` as
+    /// labeled Prometheus series: `native_read_retries{object=...}`
+    /// (buffered-tier reader validation retries, previously reachable
+    /// only by summing the cells directly) and
+    /// `native_ticket_draws{object=...}` (MWMR writes). Call after
+    /// joining the worker threads for exact totals.
+    pub fn export_telemetry(&self, registry: &TelemetryRegistry, object: &str) {
+        let labels = [("object", object)];
+        registry
+            .labeled_counter("native_read_retries", &labels)
+            .add(0, self.read_retries());
+        registry
+            .labeled_counter("native_ticket_draws", &labels)
+            .add(0, self.ticket_draws());
+    }
+
     /// Number of registers.
     pub fn n_regs(&self) -> usize {
         self.regs.len()
@@ -335,6 +437,12 @@ impl<T: Clone> NativeMemory<T> {
             mem: self.clone(),
             proc,
             counts: StepCounts::default(),
+            flight: self.flight.as_ref().map(|rec| FlightCtx {
+                rec: Arc::clone(rec),
+                period: rec.mode().period(),
+                ops_begun: 0,
+                active: false,
+            }),
         }
     }
 
@@ -361,8 +469,21 @@ impl<T: AtomicPackable> NativeMemory<T> {
             owners: None,
             n_procs,
             metrics: None,
+            flight: None,
         }
     }
+}
+
+/// Per-context flight recording state: the shared recorder plus this
+/// process's sampling countdown. `active` is flipped by
+/// [`NativeCtx::op_begin`]/[`NativeCtx::op_end`]; register-level events
+/// are emitted only inside a sampled op, so an unsampled op costs one
+/// predictable branch per access.
+struct FlightCtx {
+    rec: Arc<FlightRecorder>,
+    period: u64,
+    ops_begun: u64,
+    active: bool,
 }
 
 /// A process's handle onto a [`NativeMemory`].
@@ -370,6 +491,7 @@ pub struct NativeCtx<T> {
     mem: NativeMemory<T>,
     proc: ProcId,
     counts: StepCounts,
+    flight: Option<FlightCtx>,
 }
 
 impl<T: Clone> NativeCtx<T> {
@@ -381,6 +503,46 @@ impl<T: Clone> NativeCtx<T> {
     /// Reset the counters (e.g. between benchmark phases).
     pub fn reset_counts(&mut self) {
         self.counts = StepCounts::default();
+    }
+
+    /// Mark the start of a logical operation for the flight recorder:
+    /// `op` is a caller-chosen code, `arg` the encoded argument.
+    /// Returns whether this op was sampled (recorded); with no recorder
+    /// attached this is a single branch and always `false`. Between a
+    /// sampled `op_begin` and its [`NativeCtx::op_end`], every register
+    /// access also emits its protocol events (read retries, ticket
+    /// draws, slot choices).
+    pub fn op_begin(&mut self, op: u32, arg: u64) -> bool {
+        let Some(f) = &mut self.flight else {
+            return false;
+        };
+        let idx = f.ops_begun;
+        f.ops_begun += 1;
+        if idx % f.period != 0 {
+            f.active = false;
+            return false;
+        }
+        f.active = true;
+        let t_ns = f.rec.now_ns();
+        f.rec
+            .record(self.proc, FlightEvent::OpBegin { t_ns, op, arg });
+        true
+    }
+
+    /// Mark the end of the operation begun by the last
+    /// [`NativeCtx::op_begin`], with its encoded response. A no-op
+    /// unless that begin was sampled.
+    pub fn op_end(&mut self, op: u32, resp: u64) {
+        let Some(f) = &mut self.flight else {
+            return;
+        };
+        if !f.active {
+            return;
+        }
+        f.active = false;
+        let t_ns = f.rec.now_ns();
+        f.rec
+            .record(self.proc, FlightEvent::OpEnd { t_ns, op, resp });
     }
 
     fn raw_read(&self, reg: usize) -> T {
@@ -400,6 +562,87 @@ impl<T: Clone> NativeCtx<T> {
             Regs::Locked(cells) => *cells[reg].write() = val,
         }
     }
+
+    fn raw_read_traced(&self, reg: usize) -> (T, u64) {
+        match &*self.mem.regs {
+            Regs::Packed(f) => (f.read(reg), 0),
+            Regs::Buffered(cells) => cells[reg].read_traced(self.proc),
+            #[cfg(feature = "rwlock-baseline")]
+            Regs::Locked(cells) => (cells[reg].read().clone(), 0),
+        }
+    }
+
+    fn raw_write_traced(&self, reg: usize, val: T) -> WriteTrace {
+        match &*self.mem.regs {
+            Regs::Packed(f) => {
+                f.write(reg, &val);
+                WriteTrace::default()
+            }
+            Regs::Buffered(cells) => cells[reg].write_traced(self.proc, val),
+            #[cfg(feature = "rwlock-baseline")]
+            Regs::Locked(cells) => {
+                *cells[reg].write() = val;
+                WriteTrace::default()
+            }
+        }
+    }
+
+    /// A read inside a sampled op: same access (and the same metrics
+    /// bracket, when both observers are on), plus a retry event when
+    /// the buffered tier's validation looped.
+    fn read_recorded(&self, reg: usize) -> T {
+        let raw = || self.raw_read_traced(reg);
+        let (v, retries) = match &self.mem.metrics {
+            Some(m) => m.record(AccessKind::Read, self.proc, reg, raw),
+            None => raw(),
+        };
+        if retries > 0 {
+            let f = self.flight.as_ref().expect("recorded path requires flight");
+            let t_ns = f.rec.now_ns();
+            f.rec.record(
+                self.proc,
+                FlightEvent::ReadRetry {
+                    t_ns,
+                    reg: reg as u32,
+                    retries,
+                },
+            );
+        }
+        v
+    }
+
+    /// A write inside a sampled op: emits the MWMR ticket draw and the
+    /// buffered-tier slot choice, when the tier has them.
+    fn write_recorded(&self, reg: usize, val: T) {
+        let raw = || self.raw_write_traced(reg, val);
+        let trace = match &self.mem.metrics {
+            Some(m) => m.record(AccessKind::Write, self.proc, reg, raw),
+            None => raw(),
+        };
+        let f = self.flight.as_ref().expect("recorded path requires flight");
+        if let Some(ticket) = trace.ticket {
+            let t_ns = f.rec.now_ns();
+            f.rec.record(
+                self.proc,
+                FlightEvent::TicketDraw {
+                    t_ns,
+                    reg: reg as u32,
+                    ticket,
+                },
+            );
+        }
+        if let Some(slot) = trace.slot {
+            let t_ns = f.rec.now_ns();
+            f.rec.record(
+                self.proc,
+                FlightEvent::SlotChoice {
+                    t_ns,
+                    reg: reg as u32,
+                    slot,
+                },
+            );
+        }
+    }
 }
 
 impl<T: Clone> MemCtx<T> for NativeCtx<T> {
@@ -417,6 +660,9 @@ impl<T: Clone> MemCtx<T> for NativeCtx<T> {
 
     fn read(&mut self, reg: usize) -> T {
         self.counts.bump(AccessKind::Read);
+        if self.flight.as_ref().is_some_and(|f| f.active) {
+            return self.read_recorded(reg);
+        }
         match &self.mem.metrics {
             Some(m) => m.record(AccessKind::Read, self.proc, reg, || self.raw_read(reg)),
             None => self.raw_read(reg),
@@ -432,6 +678,9 @@ impl<T: Clone> MemCtx<T> for NativeCtx<T> {
             );
         }
         self.counts.bump(AccessKind::Write);
+        if self.flight.as_ref().is_some_and(|f| f.active) {
+            return self.write_recorded(reg, val);
+        }
         match &self.mem.metrics {
             Some(m) => m.record(AccessKind::Write, self.proc, reg, || {
                 self.raw_write(reg, val)

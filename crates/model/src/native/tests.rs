@@ -295,3 +295,140 @@ fn rwlock_baseline_tier_still_works() {
     assert_eq!(mem.peek(0), 7);
     assert_eq!(mem.read_retries(), 0);
 }
+
+// ---------------------------------------------------------------------
+// Flight recorder instrumentation (see `crate::flight` for the ring's
+// own tests; these cover the NativeCtx gating and event emission).
+// ---------------------------------------------------------------------
+
+#[test]
+fn flight_off_is_inert() {
+    let mem = NativeMemory::new(1, vec![0u64]).with_flight(FlightMode::Off, 64);
+    assert!(mem.flight_recorder().is_none());
+    assert!(mem.flight_log().is_none());
+    let mut ctx = mem.ctx(0);
+    assert!(!ctx.op_begin(0, 0), "no recorder: never sampled");
+    ctx.write(0, 1);
+    ctx.op_end(0, 0);
+}
+
+#[test]
+fn flight_sampling_records_one_in_n() {
+    let mem = NativeMemory::new_packed(1, vec![0u64]).with_flight(FlightMode::Sampled(64), 1 << 10);
+    let mut ctx = mem.ctx(0);
+    let mut sampled = 0;
+    for k in 0..130u64 {
+        if ctx.op_begin(0, k) {
+            sampled += 1;
+        }
+        ctx.write(0, k);
+        ctx.op_end(0, k);
+    }
+    // Ops 0, 64 and 128 hit the 1-in-64 sampler.
+    assert_eq!(sampled, 3);
+    let log = mem.flight_log().unwrap();
+    assert_eq!(log.dropped, 0);
+    assert_eq!(log.op_spans().len(), 3);
+    assert_eq!(log.recorded, 6, "begin + end per sampled op, packed tier");
+}
+
+#[test]
+fn flight_always_traces_buffered_slot_choices_and_retries() {
+    let mem = NativeMemory::new(2, vec![vec![0u8]; 2])
+        .with_owners(vec![0, 1])
+        .with_flight(FlightMode::Always, 1 << 10);
+    let mut ctx = mem.ctx(0);
+    assert!(ctx.op_begin(7, 1));
+    ctx.write(0, vec![1, 2]);
+    let _ = ctx.read(1);
+    ctx.op_end(7, 2);
+    let log = mem.flight_log().unwrap();
+    assert_eq!(log.dropped, 0);
+    let spans = log.op_spans();
+    assert_eq!(spans.len(), 1);
+    assert_eq!((spans[0].op, spans[0].arg, spans[0].resp), (7, 1, 2));
+    assert!(spans[0].end_ns >= spans[0].begin_ns);
+    // The SWMR write reported which buffer slot the announce scan chose.
+    assert_eq!(log.slot_choices(), 1);
+    assert_eq!(log.ticket_draws(), 0, "owner-mapped cells draw no tickets");
+}
+
+#[test]
+fn flight_traces_mwmr_ticket_draws() {
+    // No owner map: registers stay multi-writer, writes draw tickets.
+    let mem = NativeMemory::new(2, vec![0u64]).with_flight(FlightMode::Always, 1 << 10);
+    let mut ctx = mem.ctx(1);
+    assert!(ctx.op_begin(0, 0));
+    ctx.write(0, 5);
+    ctx.op_end(0, 0);
+    assert_eq!(mem.ticket_draws(), 1);
+    let log = mem.flight_log().unwrap();
+    assert_eq!(log.ticket_draws(), 1);
+    assert_eq!(log.slot_choices(), 1, "the writer's own SWMR slot");
+}
+
+#[test]
+fn flight_unsampled_ops_emit_no_register_events() {
+    let mem = NativeMemory::new(1, vec![0u64]).with_flight(FlightMode::Sampled(1000), 1 << 10);
+    let mut ctx = mem.ctx(0);
+    assert!(ctx.op_begin(0, 0), "the first op is always sampled");
+    ctx.write(0, 1);
+    ctx.op_end(0, 0);
+    for k in 1..10u64 {
+        assert!(!ctx.op_begin(0, k));
+        ctx.write(0, k);
+        ctx.op_end(0, k);
+    }
+    let log = mem.flight_log().unwrap();
+    // Begin + end + one MWMR write (ticket + slot) from the sampled op;
+    // the nine unsampled ops contribute nothing.
+    assert_eq!(log.recorded, 4);
+}
+
+#[test]
+fn flight_composes_with_metrics() {
+    let mem = NativeMemory::new(1, vec![0u64])
+        .with_metrics(MetricsLevel::Counts)
+        .with_flight(FlightMode::Always, 64);
+    let mut ctx = mem.ctx(0);
+    ctx.op_begin(0, 0);
+    ctx.write(0, 1);
+    let _ = ctx.read(0);
+    ctx.op_end(0, 1);
+    // The metrics bracket still counted the traced accesses.
+    let m = mem.metrics();
+    assert_eq!(m.registers[0].reads, 1);
+    assert_eq!(m.registers[0].writes, 1);
+    assert!(mem.flight_log().unwrap().recorded >= 2);
+}
+
+#[test]
+fn export_telemetry_emits_labeled_series() {
+    let n = 3;
+    let mem = NativeMemory::new(n, vec![vec![0u64; 4]; 2]);
+    std::thread::scope(|s| {
+        for p in 0..n {
+            let mem = mem.clone();
+            s.spawn(move || {
+                let mut ctx = mem.ctx(p);
+                for k in 0..200u64 {
+                    ctx.write(p % 2, vec![k; 4]);
+                    let _ = ctx.read((p + 1) % 2);
+                }
+            });
+        }
+    });
+    let reg = crate::telemetry::TelemetryRegistry::new(1);
+    mem.export_telemetry(&reg, "stress");
+    assert_eq!(
+        reg.labeled_counter_total("native_ticket_draws", &[("object", "stress")]),
+        Some(n as u64 * 200),
+    );
+    let retries = reg
+        .labeled_counter_total("native_read_retries", &[("object", "stress")])
+        .unwrap();
+    assert_eq!(retries, mem.read_retries());
+    let text = reg.to_prometheus();
+    assert!(text.contains("native_ticket_draws{object=\"stress\"}"));
+    crate::telemetry::validate_prometheus(&text).unwrap();
+}

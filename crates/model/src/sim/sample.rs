@@ -967,6 +967,44 @@ mod tests {
     }
 
     #[test]
+    fn sampling_heartbeat_schema_matches_explorer() {
+        use crate::telemetry::{buffer_sink, Heartbeat};
+        use std::time::Duration;
+        let (sink, buf) = buffer_sink();
+        let hb = Heartbeat::shared(Duration::from_millis(1), sink);
+        let cfg = SimConfig::base(vec![0u64; 2]);
+        let scfg = SampleConfig::new([2, 2])
+            .seed(7)
+            .max_runs(50)
+            .heartbeat_with(hb);
+        let report = sample(&cfg, &scfg, two_proc_factory, |_| true);
+        assert!(report.passed());
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(!lines.is_empty(), "sampling emits at least the final beat");
+        // Every beat carries the full explorer schema: `sleep_skips`
+        // and `queue_depth` are explicit zeros in sampling mode (the
+        // sampler has no sleep sets and no work queue), never omitted,
+        // so one JSONL parser serves explore/sample/sweep heartbeats.
+        for line in lines {
+            let beat = crate::json::parse(line).unwrap();
+            for key in [
+                "elapsed_secs",
+                "elapsed_ms",
+                "runs",
+                "runs_per_sec",
+                "sleep_skips",
+                "queue_depth",
+                "violation_found",
+            ] {
+                assert!(beat.get(key).is_some(), "missing {key} in {line}");
+            }
+            assert_eq!(beat.get("sleep_skips").and_then(Json::as_u64), Some(0));
+            assert_eq!(beat.get("queue_depth").and_then(Json::as_u64), Some(0));
+        }
+    }
+
+    #[test]
     fn rejected_history_flows_into_the_witness_pipeline() {
         let cfg = SimConfig::base(vec![0u64; 2]);
         let scfg = SampleConfig::new([2, 2]).seed(1).max_runs(10);

@@ -106,3 +106,62 @@ fn mwmr_ticket_layering_converges() {
         assert!(p < 2 && v == 41 + p as u64, "final value ({p}, {v})");
     });
 }
+
+// ---------------------------------------------------------------------
+// Flight-recorder ring: the record/drain index protocol.
+// ---------------------------------------------------------------------
+
+use apram_model::flight::{FlightEvent, FlightRing};
+
+/// One writer lapping a tiny ring while a drainer races it: every
+/// drained event must be untorn (its payload words consistent), the
+/// per-drain order monotone, and the accounting exact once the writer
+/// stopped. This pins the busy-mark/fence/publish protocol: a drain
+/// that overlaps an overwrite must count the slot dropped, never
+/// surface a mixed event.
+#[test]
+fn flight_ring_drain_never_tears_and_accounts_exactly() {
+    loom::model(|| {
+        let ring = Arc::new(FlightRing::new(2));
+        const EVENTS: u64 = 5;
+        let w = {
+            let ring = Arc::clone(&ring);
+            thread::spawn(move || {
+                for i in 0..EVENTS {
+                    // Payload is a function of the index: a torn slot
+                    // (words from two different events) breaks t == arg.
+                    ring.record(&FlightEvent::OpBegin {
+                        t_ns: i,
+                        op: 9,
+                        arg: i,
+                    });
+                }
+            })
+        };
+        let d = {
+            let ring = Arc::clone(&ring);
+            thread::spawn(move || {
+                let mut out = Vec::new();
+                ring.drain_into(&mut out);
+                let mut last = None;
+                for ev in &out {
+                    let FlightEvent::OpBegin { t_ns, op, arg } = *ev else {
+                        panic!("decoded a tag never recorded: {ev:?}");
+                    };
+                    assert_eq!(op, 9);
+                    assert_eq!(t_ns, arg, "torn slot: {t_ns} vs {arg}");
+                    assert!(last.is_none_or(|l| arg > l), "drain went backwards");
+                    last = Some(arg);
+                }
+            })
+        };
+        w.join().unwrap();
+        d.join().unwrap();
+        // Final drain with the writer stopped: nothing is in flight, so
+        // the absolute accounting must balance to the event count.
+        let mut rest = Vec::new();
+        ring.drain_into(&mut rest);
+        assert_eq!(ring.recorded(), EVENTS);
+        assert_eq!(ring.recorded(), ring.drained() + ring.dropped());
+    });
+}

@@ -3,24 +3,32 @@
 
 Usage: scripts/compare_bench.py BASELINE_DIR CANDIDATE_DIR [--ignore KEY]...
        scripts/compare_bench.py --e13-gate BENCH_e13.json [--min-ratio R]
+       scripts/compare_bench.py --e14-gate BENCH_e14.json [--min-ratio R]
 
 Every experiment in this repo is deterministic modulo wall-clock columns,
 so a regenerated report must equal the archived baseline once the
 timing-derived keys are stripped (recursively): `wall_clock_secs`,
 `wall_secs`, `runs_per_sec`, `speedup`, plus any `--ignore KEY` extras.
 
-E13 (the native register-file scaling grid) is the one wall-clock
-experiment: its measured columns (`ops_per_sec`, the latency
-percentiles, the buffered tier's `read_retries`, and the whole `gates`
-section) are stripped too, so the directory comparison still checks its
-deterministic skeleton — the thread grid, the object x tier matrix, and
-the operation counts.
+E13/E14 (the native register-file scaling and flight-recorder overhead
+grids) are the wall-clock experiments: their measured columns
+(`ops_per_sec`, the latency percentiles, the buffered tier's
+`read_retries`, E14's flight-log counts, and the whole `gates` /
+`spot_check` sections) are stripped too, so the directory comparison
+still checks the deterministic skeleton — the thread grid, the
+object x tier/mode matrix, and the operation counts.
 
 `--e13-gate` instead checks one report's performance *relations*, which
 are machine-speed-independent: the packed counter must beat the
 rwlock-baseline counter at 8 threads by at least `--min-ratio` (default
 1.0), and — only when the report's `available_parallelism` exceeds 1 —
 8-thread packed-counter throughput must exceed 1-thread throughput.
+
+`--e14-gate` checks the flight-recorder overhead and spot-check gates:
+1-in-64 sampling must keep at least `--min-ratio` (default 0.95) of
+recorder-off counter throughput summed across the thread grid, every
+spot-checked native history must be linearizable (with at least one
+history checked), and the spot-check runs must have dropped no events.
 
 Exit status: 0 if every common file matches (or the gate holds),
 1 otherwise. Files present on only one side are reported but only fail
@@ -46,6 +54,16 @@ VOLATILE = {
     "mean_ns",
     "read_retries",
     "gates",
+    # E14's flight-log columns (event volume depends on timing once
+    # drop-oldest engages) and the spot-check verdict section.
+    "ticket_draws",
+    "events_recorded",
+    "events_drained",
+    "events_dropped",
+    "retry_events",
+    "contended_draws",
+    "sampled_spans",
+    "spot_check",
 }
 
 
@@ -87,6 +105,48 @@ def e13_gate(path, min_ratio):
     return 1 if failed else 0
 
 
+def e14_gate(path, min_ratio):
+    """Check the E14 overhead and spot-check gates. Returns exit status."""
+    with open(path) as f:
+        doc = json.load(f)
+    gates = doc.get("gates")
+    if not gates:
+        print(f"FAIL     {path}: no 'gates' section")
+        return 1
+    failed = False
+    ratio = gates.get("sampled_over_off_counter")
+    if ratio is None:
+        print(f"FAIL     {path}: sampled_over_off_counter missing (null?)")
+        failed = True
+    elif ratio >= min_ratio:
+        print(f"OK       sampled/off counter throughput = {ratio:.3f} "
+              f"(>= {min_ratio})")
+    else:
+        print(f"FAIL     sampled/off counter throughput = {ratio:.3f} "
+              f"(< {min_ratio}: 1-in-64 sampling costs too much)")
+        failed = True
+    histories = gates.get("spotcheck_histories", 0)
+    if histories > 0:
+        print(f"OK       spot-check covered {histories} histories")
+    else:
+        print(f"FAIL     spot-check covered no histories")
+        failed = True
+    dropped = gates.get("spotcheck_dropped")
+    if dropped == 0:
+        print(f"OK       spot-check runs dropped no events")
+    else:
+        print(f"FAIL     spot-check runs dropped {dropped} events "
+              f"(histories incomplete)")
+        failed = True
+    if gates.get("spotcheck_all_linearizable") is True:
+        print(f"OK       every spot-checked native history linearizable")
+    else:
+        print(f"FAIL     spot-check found a non-linearizable history "
+              f"(see the report's spot_check.failures)")
+        failed = True
+    return 1 if failed else 0
+
+
 def strip(doc, ignored):
     if isinstance(doc, dict):
         return {k: strip(v, ignored) for k, v in doc.items() if k not in ignored}
@@ -121,21 +181,26 @@ def first_diff(a, b, path="$"):
 
 def main(argv):
     args, ignored = [], set(VOLATILE)
-    gate_file, min_ratio = None, 1.0
+    gate_file, gate_fn, min_ratio = None, None, None
     it = iter(argv)
     for tok in it:
         if tok == "--ignore":
             ignored.add(next(it, "") or sys.exit("--ignore needs a KEY"))
         elif tok == "--e13-gate":
             gate_file = next(it, "") or sys.exit("--e13-gate needs a FILE")
+            gate_fn, default_ratio = e13_gate, 1.0
+        elif tok == "--e14-gate":
+            gate_file = next(it, "") or sys.exit("--e14-gate needs a FILE")
+            gate_fn, default_ratio = e14_gate, 0.95
         elif tok == "--min-ratio":
             min_ratio = float(next(it, "") or sys.exit("--min-ratio needs R"))
         else:
             args.append(tok)
     if gate_file is not None:
         if args:
-            sys.exit("--e13-gate takes no directory operands")
-        return e13_gate(gate_file, min_ratio)
+            sys.exit("gate mode takes no directory operands")
+        return gate_fn(gate_file,
+                       default_ratio if min_ratio is None else min_ratio)
     if len(args) != 2:
         sys.exit(__doc__.strip().splitlines()[2].strip())
     base, cand = Path(args[0]), Path(args[1])
