@@ -38,9 +38,8 @@
 //!   (`shrunk_schedule.jsonl`, `witness.json`, `witness.txt`,
 //!   `spans.json`; see EXPERIMENTS.md for the schema)
 //!
-//! The pre-subcommand spellings (`experiments e4`, `experiments --e4`)
-//! are still accepted as deprecated aliases for `run` for one release
-//! and warn on stderr.
+//! A subcommand is required: the historical pre-subcommand spellings
+//! (`experiments e4`, `experiments --e4`) are gone.
 
 use apram_bench::*;
 use apram_model::Json;
@@ -48,14 +47,14 @@ use std::path::{Path, PathBuf};
 use std::process::exit;
 use std::time::Instant;
 
-const KNOWN: [&str; 15] = [
+const KNOWN: [&str; 16] = [
     "e1", "e2", "e3", "e4", "e4b", "e5", "e6", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-    "explore",
+    "e15", "explore",
 ];
 
 /// Which subcommand was requested.
 enum Cmd {
-    /// `run <names>` (and the deprecated bare-name spelling).
+    /// `run <names>`.
     Run,
     /// `sweep --config PLAN --out DIR`.
     Sweep { config: PathBuf, out: PathBuf },
@@ -91,8 +90,8 @@ fn parse_cli() -> Cli {
     };
     let mut args: Vec<String> = std::env::args().skip(1).collect();
 
-    // Subcommand dispatch on the first token. Anything else falls back
-    // to the deprecated pre-subcommand grammar (bare names / --eN).
+    // Subcommand dispatch on the first token; anything else is an
+    // error (the old pre-subcommand grammar is gone).
     let mut sweep_config: Option<PathBuf> = None;
     let mut sweep_out: Option<PathBuf> = None;
     let mut resume_dir: Option<PathBuf> = None;
@@ -114,11 +113,9 @@ fn parse_cli() -> Cli {
             args.remove(0);
         }
         Some(tok) if tok != "--help" && tok != "-h" => {
-            let name = tok.trim_start_matches("--");
-            eprintln!(
-                "warning: subcommand-less invocation is deprecated; \
-                 use `experiments run {name} ...` (this alias will be removed next release)"
-            );
+            usage(&format!(
+                "unknown subcommand '{tok}' (want run|sweep|resume)"
+            ));
         }
         _ => {}
     }
@@ -216,19 +213,7 @@ fn parse_cli() -> Cli {
                     usage(&format!("unknown experiment '{name}'"));
                 }
             }
-            other => {
-                // Deprecated `--e4` style aliases for the experiment names.
-                let name = other.trim_start_matches("--");
-                if other.starts_with("--") && KNOWN.contains(&name) && !in_sweep && !in_resume {
-                    eprintln!(
-                        "warning: '{other}' is deprecated; use `experiments run {name}` \
-                         (this alias will be removed next release)"
-                    );
-                    cli.names.push(name.to_string());
-                } else {
-                    usage(&format!("unknown flag '{other}'"));
-                }
-            }
+            other => usage(&format!("unknown flag '{other}'")),
         }
     }
     match &mut cli.cmd {
@@ -249,7 +234,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: experiments run [e1 e2 e3 e4 e4b e5 e6 e8 e9 e10 e11 e12 e13 e14 explore | all] \
+        "usage: experiments run [e1 e2 e3 e4 e4b e5 e6 e8 e9 e10 e11 e12 e13 e14 e15 explore | all] \
          [--seed N] [--quick] [--threads N] [--json [DIR]] \
          [--telemetry [DIR]] [--forensics DIR]\n\
          \x20      experiments sweep --config PLAN.json --out DIR [--max-cells K] [--threads N]\n\
@@ -1374,6 +1359,68 @@ fn main() {
              with online linearizability spot-checks of reconstructed native histories",
             Json::Arr(out.rows.iter().map(E14Row::to_json).collect()),
             vec![("gates", gates), ("spot_check", out.spot.to_json())],
+            started,
+        );
+    }
+
+    if cli.want("e15") {
+        let started = Instant::now();
+        println!("## E15 — serving-layer SLO and offline audit (apram-serve)\n");
+        let out = e15_run(&opts);
+        let rows: Vec<Vec<String>> = out
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.object.to_string(),
+                    r.tenants.to_string(),
+                    r.total_ops.to_string(),
+                    format!("{:.0}", r.ops_per_sec),
+                    r.latency.p50().to_string(),
+                    r.latency.p99().to_string(),
+                    r.latency.p999().to_string(),
+                    r.crash_reconnects.to_string(),
+                    if r.completed { "yes" } else { "NO" }.into(),
+                    r.audit_histories.to_string(),
+                    r.audit_dropped.to_string(),
+                    if r.audit_linearizable { "yes" } else { "NO" }.into(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            markdown_table(
+                &[
+                    "object",
+                    "tenants",
+                    "ops",
+                    "ops/sec",
+                    "p50 ns",
+                    "p99 ns",
+                    "p999 ns",
+                    "reconnects",
+                    "completed",
+                    "audit hists",
+                    "dropped",
+                    "linearizable"
+                ],
+                &rows
+            )
+        );
+        let gates = e15_gates(&out.rows);
+        println!("gates: {}\n", gates.to_compact());
+        if let Some(dir) = &cli.telemetry_dir {
+            apram_model::validate_prometheus(&out.prom)
+                .expect("scraped Prometheus text must parse");
+            write_artifact(dir, "flight.prom", &out.prom);
+        }
+        emit_report_with(
+            &cli,
+            "e15",
+            "Serving-layer SLO and offline audit: multi-tenant load with a mid-stream \
+             client kill over apram-serve, flight-recorder histories re-checked offline",
+            Json::Arr(out.rows.iter().map(E15Row::to_json).collect()),
+            vec![("gates", gates)],
             started,
         );
     }

@@ -15,6 +15,11 @@
 //!   `Clone` value), and `rwlock` (the pre-register-file backend, kept
 //!   behind the `rwlock-baseline` feature purely as this baseline).
 //!
+//! Objects and their applicable tiers come from the
+//! [`apram_objects::spec`] registry — one generic timed cell drives any
+//! [`ObjectSpec`] through its uniform session interface, so the grid
+//! has no per-object code at all.
+//!
 //! Each cell reports throughput (ops/sec over the joined wall-clock)
 //! and per-op latency p50/p99/p999 in nanoseconds through the shared
 //! [`StepHistogram`], plus the buffered tier's reader-retry count (how
@@ -31,15 +36,13 @@
 
 use crate::ExpOpts;
 use apram_model::telemetry::HistogramSnapshot;
-use apram_model::{AtomicPackable, Json, NativeCtx, NativeMemory, StepHistogram};
-use apram_objects::lwwmap::{LwwMapSpec, MapOp};
-use apram_objects::maxreg::DirectMaxRegister;
-use apram_objects::striped::StripedCounter;
-use apram_snapshot::afek::AfekSnapshot;
+use apram_model::{Json, StepHistogram};
+use apram_objects::spec::{native_spec, BuildCtx, ObjectSpec, Tier, OP_READ, OP_UPDATE};
 use std::sync::Barrier;
 use std::time::Instant;
 
-/// The E13 object names, in emission order.
+/// The E13 object names, in emission order (each is an
+/// [`apram_objects::spec`] registry name).
 pub const E13_OBJECTS: [&str; 4] = ["counter", "maxreg", "afek", "lwwmap"];
 
 /// The E13 register tiers, in emission order.
@@ -100,49 +103,33 @@ pub fn e13_threads(quick: bool) -> &'static [usize] {
 
 /// Per-thread operations for one cell, scaled so a cell's total work is
 /// roughly constant across thread counts (an op's cost also grows with
-/// `n` for the scan-based objects, hence the per-object bases).
-fn ops_per_thread(object: &str, threads: usize, quick: bool) -> u64 {
-    let (base, floor) = match object {
-        // The counter is the object the CI gates ratio on, so its quick
-        // budget stays large enough to average out scheduler noise.
-        "counter" => (if quick { 16_000 } else { 48_000 }, 100),
-        "maxreg" => (if quick { 600 } else { 6_000 }, 20),
-        "afek" => (if quick { 300 } else { 3_000 }, 10),
-        // The universal construction replays the whole history per op;
-        // its cost is quadratic in total ops, so the budget is tiny.
-        "lwwmap" => (if quick { 48 } else { 96 }, 3),
-        other => panic!("unknown E13 object '{other}'"),
-    };
+/// `n` for the scan-based objects, hence the per-object base budgets in
+/// the registry).
+pub fn spec_ops_per_thread(spec: &dyn ObjectSpec, threads: usize, quick: bool) -> u64 {
+    let (base, floor) = spec.ops_budget(quick);
     (base / threads as u64).max(floor)
 }
 
-/// Run one timed cell: `threads` threads, per-thread state from
-/// `setup`, then `ops` iterations of `op`, each op's latency recorded
-/// in nanoseconds. Setup is excluded from the measurement by a barrier.
-fn run_cell<T, S>(
-    mem: &NativeMemory<T>,
-    threads: usize,
-    ops: u64,
-    setup: impl Fn(usize) -> S + Sync,
-    op: impl Fn(&mut S, &mut NativeCtx<T>, u64) + Sync,
-) -> (f64, HistogramSnapshot)
-where
-    T: Clone + Send + Sync + 'static,
-    S: Send,
-{
+/// Run one timed cell of any registered object: `threads` sessions, one
+/// per thread, each performing `ops` iterations of update + read, each
+/// iteration's latency recorded in nanoseconds. Session setup is
+/// excluded from the measurement by the barrier.
+pub fn spec_cell(object: &'static str, tier: Tier, threads: usize, quick: bool) -> E13Row {
+    let spec = native_spec(object).unwrap_or_else(|| panic!("unknown object '{object}'"));
+    let ops = spec_ops_per_thread(spec, threads, quick);
+    let inst = spec.build(&BuildCtx::new(threads, tier));
     let hist = StepHistogram::new();
     let barrier = Barrier::new(threads + 1);
     let start = std::thread::scope(|s| {
         for t in 0..threads {
-            let mem = mem.clone();
-            let (barrier, hist, setup, op) = (&barrier, &hist, &setup, &op);
+            let mut sess = inst.session(t);
+            let (barrier, hist) = (&barrier, &hist);
             s.spawn(move || {
-                let mut ctx = mem.ctx(t);
-                let mut state = setup(t);
                 barrier.wait();
                 for k in 0..ops {
                     let t0 = Instant::now();
-                    op(&mut state, &mut ctx, k);
+                    sess.op(OP_UPDATE, k, k);
+                    sess.op(OP_READ, k, 0);
                     hist.record(t0.elapsed().as_nanos() as u64);
                 }
             });
@@ -156,171 +143,26 @@ where
         barrier.wait();
         t0
     });
-    (start.elapsed().as_secs_f64(), hist.snapshot())
-}
-
-/// A memory on `tier` for a word-packable register type (all three
-/// tiers apply).
-fn mem_packable<T: AtomicPackable + Clone>(
-    tier: &str,
-    n: usize,
-    regs: Vec<T>,
-    owners: Vec<usize>,
-) -> NativeMemory<T> {
-    match tier {
-        "packed" => NativeMemory::new_packed(n, regs).with_owners(owners),
-        _ => mem_wide(tier, n, regs, owners),
-    }
-}
-
-/// A memory on `tier` for an arbitrary `Clone` register type (the
-/// packed tier does not apply).
-fn mem_wide<T: Clone>(tier: &str, n: usize, regs: Vec<T>, owners: Vec<usize>) -> NativeMemory<T> {
-    match tier {
-        "buffered" => NativeMemory::new(n, regs).with_owners(owners),
-        "rwlock" => NativeMemory::new_locked(n, regs).with_owners(owners),
-        other => panic!("tier '{other}' not applicable here"),
-    }
-}
-
-fn finish(
-    object: &'static str,
-    tier: &'static str,
-    threads: usize,
-    ops: u64,
-    elapsed: f64,
-    hist: HistogramSnapshot,
-    retries: u64,
-) -> E13Row {
+    let elapsed = start.elapsed().as_secs_f64();
     let total_ops = ops * threads as u64;
     E13Row {
         object,
-        tier,
+        tier: tier.label(),
         threads,
         total_ops,
         elapsed_secs: elapsed,
         ops_per_sec: total_ops as f64 / elapsed.max(1e-9),
-        hist,
-        read_retries: retries,
+        hist: hist.snapshot(),
+        read_retries: inst.read_retries(),
     }
 }
 
-/// One cell: striped counter (word registers; one write per inc, one
-/// collect per read).
-fn counter_cell(tier: &'static str, threads: usize, quick: bool) -> E13Row {
-    let ops = ops_per_thread("counter", threads, quick);
-    let c = StripedCounter::new(threads);
-    let mem = mem_packable(tier, threads, c.registers(), c.owners());
-    let (elapsed, hist) = run_cell(
-        &mem,
-        threads,
-        ops,
-        |_| c.handle(),
-        |h, ctx, _| {
-            h.inc(ctx);
-            let _ = h.read(ctx);
-        },
-    );
-    finish(
-        "counter",
-        tier,
-        threads,
-        ops,
-        elapsed,
-        hist,
-        mem.read_retries(),
-    )
-}
-
-/// One cell: direct max-register (a Section 6 scan per operation over
-/// `MaxI64` registers — word-packable, so all three tiers apply).
-fn maxreg_cell(tier: &'static str, threads: usize, quick: bool) -> E13Row {
-    let ops = ops_per_thread("maxreg", threads, quick);
-    let r = DirectMaxRegister::new(threads);
-    let mem = mem_packable(tier, threads, r.registers(), r.owners());
-    let (elapsed, hist) = run_cell(
-        &mem,
-        threads,
-        ops,
-        |_| r.handle(),
-        |h, ctx, k| {
-            h.write_max(ctx, k as i64);
-            let _ = h.read(ctx);
-        },
-    );
-    finish(
-        "maxreg",
-        tier,
-        threads,
-        ops,
-        elapsed,
-        hist,
-        mem.read_retries(),
-    )
-}
-
-/// One cell: Afek et al. bounded snapshot (wide `AfekReg` registers —
-/// buffered and rwlock tiers only).
-fn afek_cell(tier: &'static str, threads: usize, quick: bool) -> E13Row {
-    let ops = ops_per_thread("afek", threads, quick);
-    let snap = AfekSnapshot::new(threads);
-    let mem = mem_wide(tier, threads, snap.registers::<u64>(), snap.owners());
-    let (elapsed, hist) = run_cell(
-        &mem,
-        threads,
-        ops,
-        |_| (),
-        |(), ctx, k| {
-            snap.update(ctx, k);
-            let _ = snap.snap::<u64, _>(ctx);
-        },
-    );
-    finish(
-        "afek",
-        tier,
-        threads,
-        ops,
-        elapsed,
-        hist,
-        mem.read_retries(),
-    )
-}
-
-/// One cell: LWW map through the Figure 4 universal construction (wide
-/// operation-graph registers — buffered and rwlock tiers only).
-fn lwwmap_cell(tier: &'static str, threads: usize, quick: bool) -> E13Row {
-    let ops = ops_per_thread("lwwmap", threads, quick);
-    let uni = apram_core::Universal::new(threads, LwwMapSpec);
-    let mem = mem_wide(tier, threads, uni.registers(), uni.owners());
-    let (elapsed, hist) = run_cell(
-        &mem,
-        threads,
-        ops,
-        |_| uni.handle(),
-        |h, ctx, k| {
-            let key = (k % 8) as u32;
-            let _ = h.execute(ctx, MapOp::Put(key, k));
-            let _ = h.execute(ctx, MapOp::Get(key));
-        },
-    );
-    finish(
-        "lwwmap",
-        tier,
-        threads,
-        ops,
-        elapsed,
-        hist,
-        mem.read_retries(),
-    )
-}
-
-/// Tiers applicable to an object: word-packable objects take all three,
-/// wide-register objects skip `packed`.
-pub fn e13_tiers_for(object: &str) -> &'static [&'static str] {
-    match object {
-        "counter" | "maxreg" => &E13_TIERS,
-        _ => &["buffered", "rwlock"],
-    }
+/// Tiers applicable to an object, from its registry spec: word-packable
+/// objects take all three, wide-register objects skip `packed`.
+pub fn e13_tiers_for(object: &str) -> &'static [Tier] {
+    native_spec(object)
+        .unwrap_or_else(|| panic!("unknown object '{object}'"))
+        .tiers()
 }
 
 /// Run the full E13 grid. Wall-clock-dependent by nature (the one
@@ -331,14 +173,7 @@ pub fn e13_rows(opts: &ExpOpts) -> Vec<E13Row> {
     for &threads in e13_threads(opts.quick) {
         for object in E13_OBJECTS {
             for &tier in e13_tiers_for(object) {
-                let row = match object {
-                    "counter" => counter_cell(tier, threads, opts.quick),
-                    "maxreg" => maxreg_cell(tier, threads, opts.quick),
-                    "afek" => afek_cell(tier, threads, opts.quick),
-                    "lwwmap" => lwwmap_cell(tier, threads, opts.quick),
-                    _ => unreachable!(),
-                };
-                rows.push(row);
+                rows.push(spec_cell(object, tier, threads, opts.quick));
             }
         }
     }
@@ -402,13 +237,7 @@ mod tests {
         for &threads in &[1usize, 8] {
             for object in E13_OBJECTS {
                 for &tier in e13_tiers_for(object) {
-                    rows.push(match object {
-                        "counter" => counter_cell(tier, threads, true),
-                        "maxreg" => maxreg_cell(tier, threads, true),
-                        "afek" => afek_cell(tier, threads, true),
-                        "lwwmap" => lwwmap_cell(tier, threads, true),
-                        _ => unreachable!(),
-                    });
+                    rows.push(spec_cell(object, tier, threads, true));
                 }
             }
         }
@@ -451,11 +280,12 @@ mod tests {
     #[test]
     fn ops_scale_down_with_threads() {
         for object in E13_OBJECTS {
+            let spec = native_spec(object).unwrap();
             assert!(
-                ops_per_thread(object, 8, true) <= ops_per_thread(object, 1, true),
+                spec_ops_per_thread(spec, 8, true) <= spec_ops_per_thread(spec, 1, true),
                 "{object}"
             );
-            assert!(ops_per_thread(object, 32, false) > 0, "{object}");
+            assert!(spec_ops_per_thread(spec, 32, false) > 0, "{object}");
         }
     }
 }

@@ -42,35 +42,35 @@
 //! history must be linearizable, and the spot-check runs must have
 //! dropped zero events (otherwise the histories would be partial).
 
-use crate::{e13_threads, host_parallelism, ExpOpts};
+use crate::{e13_threads, host_parallelism, spec_ops_per_thread, ExpOpts};
 use apram_core::counter::{CounterOp, CounterResp};
 use apram_core::CounterSpec;
 use apram_history::check::CheckerConfig;
-use apram_history::{check_histories_parallel, Event, History};
+use apram_history::{check_histories_parallel, history_from_spans, History};
 use apram_model::seed::split;
 use apram_model::telemetry::{HistogramSnapshot, TelemetryRegistry};
-use apram_model::{
-    FlightEvent, FlightLog, FlightMode, Json, MemCtx, NativeCtx, NativeMemory, OpSpan,
-    StepHistogram,
-};
+use apram_model::{FlightEvent, FlightLog, FlightMode, Json, NativeMemory, OpSpan, StepHistogram};
 use apram_objects::maxreg::{DirectMaxRegister, MaxRegOp, MaxRegResp, MaxRegSpec};
+use apram_objects::spec::{decode_opt, encode_opt, native_spec, BuildCtx};
 use apram_objects::striped::StripedCounter;
 use apram_snapshot::afek::AfekSnapshot;
 use apram_snapshot::{SnapOp, SnapResp, SnapshotSpec};
 use std::sync::Barrier;
 use std::time::Instant;
 
-/// The E14 object names, in emission order.
+/// The E14 object names, in emission order (each is an
+/// [`apram_objects::spec`] registry name; each cell runs on its spec's
+/// preferred tier).
 pub const E14_OBJECTS: [&str; 4] = ["counter", "maxreg", "afek", "mwreg"];
 
 /// The E14 recorder modes, in emission order.
 pub const E14_MODES: [&str; 3] = ["off", "sampled64", "always"];
 
 /// Flight-op code: the object's update operation (inc / write_max /
-/// update / write).
-pub const E14_OP_UPDATE: u32 = 0;
+/// update / write). Same value every factory session records.
+pub const E14_OP_UPDATE: u32 = apram_objects::spec::OP_UPDATE;
 /// Flight-op code: the object's read operation (read / snap).
-pub const E14_OP_READ: u32 = 1;
+pub const E14_OP_READ: u32 = apram_objects::spec::OP_READ;
 
 /// Ring capacity for grid cells. Deliberately smaller than a cell's
 /// event volume so drop-oldest actually engages and the accounting
@@ -87,21 +87,13 @@ fn e14_mode(name: &str) -> FlightMode {
     }
 }
 
-/// Human-readable flight-op names per object, for the Chrome trace.
+/// Human-readable flight-op names per object, for the Chrome trace
+/// (straight from the object's registry spec).
 pub fn e14_op_name(object: &'static str) -> impl Fn(u32) -> String {
-    move |op| {
-        let (update, read) = match object {
-            "counter" => ("inc", "read"),
-            "maxreg" => ("write_max", "read"),
-            "afek" => ("update", "snap"),
-            "mwreg" => ("write", "read"),
-            _ => ("update", "read"),
-        };
-        match op {
-            E14_OP_UPDATE => update.to_string(),
-            E14_OP_READ => read.to_string(),
-            other => format!("op{other}"),
-        }
+    let spec = native_spec(object);
+    move |op| match (spec, op) {
+        (Some(s), E14_OP_UPDATE | E14_OP_READ) => s.op_label(op).to_string(),
+        _ => format!("op{op}"),
     }
 }
 
@@ -173,47 +165,28 @@ impl E14Row {
     }
 }
 
-/// Per-thread iterations for one cell (same bases as E13 for the
-/// shared objects, so off-mode cells are directly comparable).
-fn ops_per_thread(object: &str, threads: usize, quick: bool) -> u64 {
-    let (base, floor) = match object {
-        "counter" => (if quick { 16_000 } else { 48_000 }, 100),
-        "maxreg" => (if quick { 600 } else { 6_000 }, 20),
-        "afek" => (if quick { 300 } else { 3_000 }, 10),
-        // One ticketed MWMR register, all threads hammering it: cheap
-        // per op, so the budget matches maxreg.
-        "mwreg" => (if quick { 600 } else { 6_000 }, 20),
-        other => panic!("unknown E14 object '{other}'"),
-    };
-    (base / threads as u64).max(floor)
-}
-
-/// Run one timed cell (the E13 barrier/clock discipline: setup outside
-/// the measured region, clock started before the barrier releases).
-fn e14_run_cell<T, S>(
-    mem: &NativeMemory<T>,
+/// Run one timed cell (the E13 barrier/clock discipline: session setup
+/// outside the measured region, clock started before the barrier
+/// releases). Factory sessions bracket every op with
+/// `op_begin`/`op_end` themselves, so flight recording needs no
+/// per-object code here.
+fn e14_run_cell(
+    inst: &dyn apram_objects::spec::ObjectInstance,
     threads: usize,
     ops: u64,
-    setup: impl Fn(usize) -> S + Sync,
-    op: impl Fn(&mut S, &mut NativeCtx<T>, u64) + Sync,
-) -> (f64, HistogramSnapshot)
-where
-    T: Clone + Send + Sync + 'static,
-    S: Send,
-{
+) -> (f64, HistogramSnapshot) {
     let hist = StepHistogram::new();
     let barrier = Barrier::new(threads + 1);
     let start = std::thread::scope(|s| {
         for t in 0..threads {
-            let mem = mem.clone();
-            let (barrier, hist, setup, op) = (&barrier, &hist, &setup, &op);
+            let mut sess = inst.session(t);
+            let (barrier, hist) = (&barrier, &hist);
             s.spawn(move || {
-                let mut ctx = mem.ctx(t);
-                let mut state = setup(t);
                 barrier.wait();
                 for k in 0..ops {
                     let t0 = Instant::now();
-                    op(&mut state, &mut ctx, k);
+                    sess.op(E14_OP_UPDATE, k, k);
+                    sess.op(E14_OP_READ, k, 0);
                     hist.record(t0.elapsed().as_nanos() as u64);
                 }
             });
@@ -274,190 +247,10 @@ fn finish(
     }
 }
 
-/// Export one cell's counters and drained log into `registry` (drain
-/// (b): the Prometheus path).
-fn export_cell<T: Clone>(
-    mem: &NativeMemory<T>,
-    log: Option<&FlightLog>,
-    registry: Option<&TelemetryRegistry>,
-    object: &str,
-) {
-    if let Some(reg) = registry {
-        mem.export_telemetry(reg, object);
-        if let Some(log) = log {
-            log.aggregate_into(reg, object);
-        }
-    }
-}
-
-/// One cell: striped counter on the packed tier.
-fn counter_cell(
-    mode: &'static str,
-    threads: usize,
-    quick: bool,
-    registry: Option<&TelemetryRegistry>,
-) -> (E14Row, Option<FlightLog>) {
-    let ops = ops_per_thread("counter", threads, quick);
-    let c = StripedCounter::new(threads);
-    let mem = NativeMemory::new_packed(threads, c.registers())
-        .with_owners(c.owners())
-        .with_flight(e14_mode(mode), GRID_FLIGHT_CAP);
-    let (elapsed, hist) = e14_run_cell(
-        &mem,
-        threads,
-        ops,
-        |_| c.handle(),
-        |h, ctx, _| {
-            ctx.op_begin(E14_OP_UPDATE, 1);
-            h.inc(ctx);
-            ctx.op_end(E14_OP_UPDATE, 0);
-            ctx.op_begin(E14_OP_READ, 0);
-            let v = h.read(ctx);
-            ctx.op_end(E14_OP_READ, v);
-        },
-    );
-    let log = mem.flight_log();
-    export_cell(&mem, log.as_ref(), registry, "counter");
-    let row = finish(
-        "counter",
-        mode,
-        threads,
-        ops,
-        elapsed,
-        hist,
-        mem.read_retries(),
-        mem.ticket_draws(),
-        log.as_ref(),
-    );
-    (row, log)
-}
-
-/// One cell: direct max-register on the packed tier.
-fn maxreg_cell(
-    mode: &'static str,
-    threads: usize,
-    quick: bool,
-    registry: Option<&TelemetryRegistry>,
-) -> (E14Row, Option<FlightLog>) {
-    let ops = ops_per_thread("maxreg", threads, quick);
-    let r = DirectMaxRegister::new(threads);
-    let mem = NativeMemory::new_packed(threads, r.registers())
-        .with_owners(r.owners())
-        .with_flight(e14_mode(mode), GRID_FLIGHT_CAP);
-    let (elapsed, hist) = e14_run_cell(
-        &mem,
-        threads,
-        ops,
-        |_| r.handle(),
-        |h, ctx, k| {
-            ctx.op_begin(E14_OP_UPDATE, k);
-            h.write_max(ctx, k as i64);
-            ctx.op_end(E14_OP_UPDATE, 0);
-            ctx.op_begin(E14_OP_READ, 0);
-            let v = h.read(ctx);
-            ctx.op_end(E14_OP_READ, encode_maxreg_resp(v));
-        },
-    );
-    let log = mem.flight_log();
-    export_cell(&mem, log.as_ref(), registry, "maxreg");
-    let row = finish(
-        "maxreg",
-        mode,
-        threads,
-        ops,
-        elapsed,
-        hist,
-        mem.read_retries(),
-        mem.ticket_draws(),
-        log.as_ref(),
-    );
-    (row, log)
-}
-
-/// One cell: Afek et al. bounded snapshot on the buffered tier
-/// (owner-mapped, so all cells are SWMR).
-fn afek_cell(
-    mode: &'static str,
-    threads: usize,
-    quick: bool,
-    registry: Option<&TelemetryRegistry>,
-) -> (E14Row, Option<FlightLog>) {
-    let ops = ops_per_thread("afek", threads, quick);
-    let snap = AfekSnapshot::new(threads);
-    let mem = NativeMemory::new(threads, snap.registers::<u64>())
-        .with_owners(snap.owners())
-        .with_flight(e14_mode(mode), GRID_FLIGHT_CAP);
-    let (elapsed, hist) = e14_run_cell(
-        &mem,
-        threads,
-        ops,
-        |_| (),
-        |(), ctx, k| {
-            ctx.op_begin(E14_OP_UPDATE, k);
-            snap.update(ctx, k);
-            ctx.op_end(E14_OP_UPDATE, 0);
-            ctx.op_begin(E14_OP_READ, 0);
-            let view = snap.snap::<u64, _>(ctx);
-            ctx.op_end(E14_OP_READ, view.len() as u64);
-        },
-    );
-    let log = mem.flight_log();
-    export_cell(&mem, log.as_ref(), registry, "afek");
-    let row = finish(
-        "afek",
-        mode,
-        threads,
-        ops,
-        elapsed,
-        hist,
-        mem.read_retries(),
-        mem.ticket_draws(),
-        log.as_ref(),
-    );
-    (row, log)
-}
-
-/// One cell: a single unowned buffered register — every write draws an
-/// MWMR hardware ticket, so this is the cell whose ticket-contention
-/// curve vs thread count is real.
-fn mwreg_cell(
-    mode: &'static str,
-    threads: usize,
-    quick: bool,
-    registry: Option<&TelemetryRegistry>,
-) -> (E14Row, Option<FlightLog>) {
-    let ops = ops_per_thread("mwreg", threads, quick);
-    let mem = NativeMemory::new(threads, vec![0u64]).with_flight(e14_mode(mode), GRID_FLIGHT_CAP);
-    let (elapsed, hist) = e14_run_cell(
-        &mem,
-        threads,
-        ops,
-        |_| (),
-        |(), ctx, k| {
-            ctx.op_begin(E14_OP_UPDATE, k);
-            ctx.write(0, k);
-            ctx.op_end(E14_OP_UPDATE, 0);
-            ctx.op_begin(E14_OP_READ, 0);
-            let v = ctx.read(0);
-            ctx.op_end(E14_OP_READ, v);
-        },
-    );
-    let log = mem.flight_log();
-    export_cell(&mem, log.as_ref(), registry, "mwreg");
-    let row = finish(
-        "mwreg",
-        mode,
-        threads,
-        ops,
-        elapsed,
-        hist,
-        mem.read_retries(),
-        mem.ticket_draws(),
-        log.as_ref(),
-    );
-    (row, log)
-}
-
+/// Run one grid cell of any registered object on its preferred tier.
+/// When `registry` is set (drain (b): the Prometheus path), the drain
+/// goes through the instance's delta-aware `snapshot_prometheus` — the
+/// same call `apram-serve`'s `/metrics` endpoint makes.
 fn run_obj_cell(
     object: &'static str,
     mode: &'static str,
@@ -465,81 +258,51 @@ fn run_obj_cell(
     quick: bool,
     registry: Option<&TelemetryRegistry>,
 ) -> (E14Row, Option<FlightLog>) {
-    match object {
-        "counter" => counter_cell(mode, threads, quick, registry),
-        "maxreg" => maxreg_cell(mode, threads, quick, registry),
-        "afek" => afek_cell(mode, threads, quick, registry),
-        "mwreg" => mwreg_cell(mode, threads, quick, registry),
-        other => panic!("unknown E14 object '{other}'"),
-    }
+    let spec = native_spec(object).unwrap_or_else(|| panic!("unknown object '{object}'"));
+    let ops = spec_ops_per_thread(spec, threads, quick);
+    let inst = spec
+        .build(&BuildCtx::new(threads, spec.tiers()[0]).flight(e14_mode(mode), GRID_FLIGHT_CAP));
+    let (elapsed, hist) = e14_run_cell(inst.as_ref(), threads, ops);
+    let log = match registry {
+        Some(reg) => inst.snapshot_prometheus(reg, object),
+        None => inst.flight_log(),
+    };
+    let row = finish(
+        object,
+        mode,
+        threads,
+        ops,
+        elapsed,
+        hist,
+        inst.read_retries(),
+        inst.ticket_draws(),
+        log.as_ref(),
+    );
+    (row, log)
 }
 
 /// `None` ↦ `u64::MAX`, `Some(v)` ↦ `v as u64` (the E14 max-register
 /// workload only writes non-negative values, so the sentinel is free).
+/// Same encoding every factory session uses on the wire and in spans.
 fn encode_maxreg_resp(v: Option<i64>) -> u64 {
-    v.map(|x| x as u64).unwrap_or(u64::MAX)
+    encode_opt(v)
 }
 
 fn decode_maxreg_resp(resp: u64) -> Option<i64> {
-    (resp != u64::MAX).then_some(resp as i64)
+    decode_opt(resp)
 }
 
 /// Rebuild a checkable [`History`] from reconstructed op spans
-/// (drain (c)).
-///
-/// Per process, spans arrive in program order with monotone stamps;
-/// timestamps are first made *strictly* increasing within each process
-/// (bumping a tied stamp to predecessor + 1 only ever widens overlap —
-/// conservative), then all events merge by global time with invokes
-/// ordered before responds on cross-process ties, so a tie becomes
-/// overlap rather than a fabricated precedence.
+/// (drain (c)). Now a thin alias for the shared
+/// [`apram_history::history_from_spans`] — the serve audit and the E14
+/// spot-checks must reconstruct identically, so the logic lives in one
+/// place.
 pub fn spans_to_history<O, R>(
     spans: &[OpSpan],
     mk_op: impl Fn(&OpSpan) -> O,
     mk_resp: impl Fn(&OpSpan) -> R,
 ) -> History<O, R> {
-    let n = spans.iter().map(|s| s.proc + 1).max().unwrap_or(0);
-    // (t, is_invoke, span index), per process, in program order.
-    let mut per: Vec<Vec<(u64, bool, usize)>> = vec![Vec::new(); n];
-    for (i, s) in spans.iter().enumerate() {
-        per[s.proc].push((s.begin_ns, true, i));
-        per[s.proc].push((s.end_ns, false, i));
-    }
-    for evs in &mut per {
-        let mut last: Option<u64> = None;
-        for e in evs.iter_mut() {
-            if let Some(l) = last {
-                if e.0 <= l {
-                    e.0 = l + 1;
-                }
-            }
-            last = Some(e.0);
-        }
-    }
-    let mut all: Vec<(u64, u8, usize)> = per
-        .into_iter()
-        .flatten()
-        .map(|(t, inv, i)| (t, if inv { 0 } else { 1 }, i))
-        .collect();
-    all.sort_by_key(|&(t, rank, _)| (t, rank));
-    History::from_events(
-        all.into_iter()
-            .map(|(_, rank, i)| {
-                let s = &spans[i];
-                if rank == 0 {
-                    Event::Invoke {
-                        proc: s.proc,
-                        op: mk_op(s),
-                    }
-                } else {
-                    Event::Respond {
-                        proc: s.proc,
-                        resp: mk_resp(s),
-                    }
-                }
-            })
-            .collect(),
-    )
+    history_from_spans(spans, mk_op, mk_resp)
 }
 
 /// Outcome of the online linearizability spot-check.
@@ -1044,7 +807,7 @@ mod tests {
         let mut rows = Vec::new();
         for &threads in &[1usize, 2] {
             for mode in E14_MODES {
-                let (row, _) = counter_cell(mode, threads, true, None);
+                let (row, _) = run_obj_cell("counter", mode, threads, true, None);
                 rows.push(row);
             }
         }

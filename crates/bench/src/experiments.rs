@@ -9,13 +9,11 @@ use apram_agreement::hierarchy::{hierarchy_row, theorem5_bound, unbounded_growth
 use apram_agreement::machine::AgreementMachine;
 use apram_agreement::proto::{ScanMode, Variant};
 use apram_core::{CounterOp, Universal};
-use apram_history::check::{
-    check_linearizable, check_linearizable_det, check_linearizable_traced, CheckerConfig,
-};
+use apram_history::check::{check_linearizable, check_linearizable_traced, CheckerConfig};
 use apram_history::{
     check_histories_parallel, CheckOutcome, FailureExplanation, History, Ops, Recorder, Violation,
 };
-use apram_lattice::{Tagged, TaggedVec};
+use apram_lattice::Tagged;
 use apram_model::sim::explore::{ExploreConfig, ExploreStats};
 use apram_model::sim::shrink::ShrinkConfig;
 use apram_model::sim::strategy::Replay;
@@ -23,6 +21,9 @@ use apram_model::sim::{
     Budgeted, Certificate, CertifyConfig, ProcBody, SimBuilder, SimCtx, SimOutcome,
 };
 use apram_model::{resolve_threads, Heartbeat, Json, MemCtx, SpanNode, SpanRecorder};
+use apram_objects::simspec::{
+    e10_afek_bodies, e10_collect_bodies, e10_depth, e10_pair, e10_snapshot_bodies, lock_pair,
+};
 use apram_snapshot::afek::{AfekReg, AfekSnapshot};
 use apram_snapshot::collect::{naive_collect, CollectArray, DoubleCollect};
 use apram_snapshot::lock::SimLockSnapshot;
@@ -1061,43 +1062,6 @@ impl E10Row {
     }
 }
 
-/// A fresh `(factory, check)` pair wired through a recorder cell: the
-/// factory plants a new [`Recorder`] per run, the check linearizes the
-/// (possibly crash-truncated) history against [`SnapshotSpec`]. Each
-/// call builds an independent cell, so [`certify_parallel`] workers
-/// never share state.
-///
-/// [`certify_parallel`]: apram_model::certify_parallel
-pub(crate) fn e10_pair<T, FBodies>(
-    n: usize,
-    mut bodies: FBodies,
-) -> (
-    impl FnMut() -> Vec<ProcBody<'static, T, ()>> + Send,
-    impl FnMut(&SimOutcome<T, ()>) -> bool + Send,
-)
-where
-    T: Clone + Send + Sync + 'static,
-    FBodies: FnMut(Recorder<SnapOp<u32>, SnapResp<u32>>) -> Vec<ProcBody<'static, T, ()>> + Send,
-{
-    let cell: Arc<Mutex<Option<Recorder<SnapOp<u32>, SnapResp<u32>>>>> = Arc::new(Mutex::new(None));
-    let fcell = Arc::clone(&cell);
-    let factory = move || {
-        let rec: Recorder<SnapOp<u32>, SnapResp<u32>> = Recorder::new();
-        *fcell.lock().unwrap() = Some(rec.clone());
-        bodies(rec)
-    };
-    let spec = SnapshotSpec::<u32>::new(n);
-    let check = move |_out: &SimOutcome<T, ()>| {
-        // The det checker: a crashed process's pending op may have taken
-        // visible effect, so the check must be allowed to complete it
-        // (`complete_pending`); the strict nondet entry point would
-        // reject such histories.
-        let hist = cell.lock().unwrap().take().unwrap().snapshot();
-        check_linearizable_det(&spec, &hist, &CheckerConfig::default()).is_ok()
-    };
-    (factory, check)
-}
-
 /// Certify one cell sequentially and with [`E10_THREADS`] workers;
 /// returns the sequential certificate and whether the parallel one is
 /// bit-identical.
@@ -1118,87 +1082,6 @@ where
     (cert, agrees)
 }
 
-/// Workload bodies for the lattice-based atomic snapshot: each process
-/// records one `update(p+1)` then one `snap`.
-pub(crate) fn e10_snapshot_bodies(
-    snap: Snapshot,
-    rec: Recorder<SnapOp<u32>, SnapResp<u32>>,
-) -> Vec<ProcBody<'static, TaggedVec<u32>, ()>> {
-    (0..snap.n())
-        .map(|p| {
-            let rec = rec.clone();
-            Box::new(move |ctx: &mut SimCtx<TaggedVec<u32>>| {
-                let mut h = snap.handle::<u32>();
-                rec.record(p, SnapOp::Update(p as u32 + 1), || {
-                    h.update(ctx, p as u32 + 1);
-                    SnapResp::Ack
-                });
-                rec.invoke(p, SnapOp::Snap);
-                let view = h.snap(ctx);
-                rec.respond(p, SnapResp::View(view));
-            }) as ProcBody<'static, TaggedVec<u32>, ()>
-        })
-        .collect()
-}
-
-/// Same workload over Afek et al.'s bounded single-writer snapshot.
-pub(crate) fn e10_afek_bodies(
-    snap: AfekSnapshot,
-    rec: Recorder<SnapOp<u32>, SnapResp<u32>>,
-) -> Vec<ProcBody<'static, AfekReg<u32>, ()>> {
-    (0..snap.n())
-        .map(|p| {
-            let rec = rec.clone();
-            Box::new(move |ctx: &mut SimCtx<AfekReg<u32>>| {
-                rec.record(p, SnapOp::Update(p as u32 + 1), || {
-                    snap.update(ctx, p as u32 + 1);
-                    SnapResp::Ack
-                });
-                rec.invoke(p, SnapOp::Snap);
-                let view = snap.snap(ctx);
-                rec.respond(p, SnapResp::View(view));
-            }) as ProcBody<'static, AfekReg<u32>, ()>
-        })
-        .collect()
-}
-
-/// Same workload over the double-collect snapshot (wait-free here
-/// because every process performs exactly one update).
-pub(crate) fn e10_collect_bodies(
-    arr: CollectArray,
-    rec: Recorder<SnapOp<u32>, SnapResp<u32>>,
-) -> Vec<ProcBody<'static, Tagged<u32>, ()>> {
-    (0..arr.n())
-        .map(|p| {
-            let rec = rec.clone();
-            Box::new(move |ctx: &mut SimCtx<Tagged<u32>>| {
-                let mut h = DoubleCollect::new(arr);
-                rec.record(p, SnapOp::Update(p as u32 + 1), || {
-                    h.update(ctx, p as u32 + 1);
-                    SnapResp::Ack
-                });
-                rec.invoke(p, SnapOp::Snap);
-                let view = h.snap(ctx);
-                rec.respond(p, SnapResp::View(view));
-            }) as ProcBody<'static, Tagged<u32>, ()>
-        })
-        .collect()
-}
-
-/// Branching depth per cell, chosen so the depth-truncated tree
-/// exhausts well inside the run budget (the certificate demands
-/// `exhausted`). Crash branches widen the tree, so the depth shrinks
-/// with `n` and `f`.
-pub(crate) fn e10_depth(n: usize, f: usize) -> usize {
-    match (n, f) {
-        (2, 0) => 10,
-        (2, _) => 8,
-        (_, 0) => 7,
-        (_, 1) => 6,
-        _ => 5,
-    }
-}
-
 /// The negative control: certification of the lock-based snapshot for
 /// `n = 2, f = 1`. A crash while holding the lock wedges the survivor
 /// on the spin, so the step-bound judge convicts. The *minimized*
@@ -1210,22 +1093,10 @@ fn e10_lock_row() -> E10Row {
     let sim = SimBuilder::new(SimLockSnapshot::registers()).max_steps(max_steps);
     let ccfg = CertifyConfig::new([bound; 2])
         .explore(ExploreConfig::new().max_depth(depth).max_crashes(1));
-    let make_pair = || {
-        let factory = || {
-            (0..2usize)
-                .map(|p| {
-                    Box::new(move |ctx: &mut SimCtx<u64>| {
-                        let _ = SimLockSnapshot::update_snap(ctx, p as u64 + 1);
-                    }) as ProcBody<'static, u64, ()>
-                })
-                .collect::<Vec<_>>()
-        };
-        // Mutual exclusion is not in question; wait-freedom is. The
-        // step-bound judge alone must convict, so the semantic check
-        // accepts everything.
-        (factory, |_: &SimOutcome<u64, ()>| true)
-    };
-    let (cert, parallel_agrees) = e10_cell(&sim, &ccfg, make_pair);
+    // Mutual exclusion is not in question; wait-freedom is: the step-
+    // bound judge alone must convict, so `lock_pair`'s semantic check
+    // accepts everything.
+    let (cert, parallel_agrees) = e10_cell(&sim, &ccfg, lock_pair);
     E10Row {
         object: "lock snapshot",
         n: 2,

@@ -50,28 +50,20 @@
 //! the schedule budget per sampled cell and `budget.depth` the
 //! exhaustive branching depth (0 = the E10 per-cell default).
 
-use crate::experiments::{
-    e10_afek_bodies, e10_collect_bodies, e10_depth, e10_pair, e10_snapshot_bodies,
-};
-use apram_lattice::MaxU64;
 use apram_model::seed::{fnv1a, split, STREAM_CELL, STREAM_ORDER};
 use apram_model::sim::{
-    Budgeted, CertifyConfig, ExploreConfig, ProcBody, SampleConfig, SampleReport, Sampler,
-    SimBuilder, SimCtx, SimOutcome,
+    Budgeted, CertifyConfig, ExploreConfig, SampleConfig, SampleReport, Sampler,
 };
 use apram_model::telemetry::{Heartbeat, ProgressBeat};
 use apram_model::Json;
-use apram_snapshot::afek::AfekSnapshot;
-use apram_snapshot::collect::CollectArray;
-use apram_snapshot::lock::SimLockSnapshot;
-use apram_snapshot::{ScanHandle, ScanObject, Snapshot};
+use apram_objects::simspec::{sim_spec, SimObjectSpec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 /// The objects a sweep can instantiate, in canonical grid order.
-pub const SWEEP_OBJECTS: [&str; 5] = ["snapshot", "afek", "double-collect", "scan", "lock"];
+pub const SWEEP_OBJECTS: [&str; 5] = apram_objects::simspec::SIM_OBJECTS;
 
 /// How one cell explores its schedule space.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -322,187 +314,55 @@ impl SweepPlan {
     }
 }
 
+/// Look up the sim spec for an object name, panicking with the sweep's
+/// canonical error on an unknown name.
+fn spec_for(object: &str) -> &'static dyn SimObjectSpec {
+    sim_spec(object).unwrap_or_else(|| panic!("unknown object '{object}'"))
+}
+
 /// Analytic per-process step bound for one object instance (the same
 /// bounds the E10 grid certifies against; `lock`'s is the reference
-/// bound its tail is expected to blow through).
+/// bound its tail is expected to blow through). Delegates to the
+/// [`apram_objects::simspec`] registry.
 pub fn object_bound(object: &str, n: usize) -> u64 {
-    match object {
-        "snapshot" | "scan" => (2 * (n * n + n)) as u64,
-        "afek" => (2 * n * (n + 2) + 2) as u64,
-        "double-collect" => (n * (n + 2) + 1) as u64,
-        "lock" => 18,
-        other => panic!("unknown object '{other}'"),
-    }
-}
-
-/// Step cap for one object instance: wait-free objects terminate on
-/// their own under any schedule; the lock control needs a hard cap or a
-/// crashed lock holder starves the survivor forever.
-fn object_max_steps(object: &str) -> Option<u64> {
-    (object == "lock").then_some(512)
-}
-
-/// Whether sampled cells of this object only record the tail (the lock
-/// control: its breaches are the *finding*, not a counterexample worth
-/// shrinking on every sweep).
-fn object_tail_only(object: &str) -> bool {
-    object == "lock"
-}
-
-/// Workload factory/check pair for the paper's scan object: one
-/// `write_l` + one `read_max` per process (an optimized scan each), the
-/// check validating every survivor's max against its own contribution.
-#[allow(clippy::type_complexity)]
-pub(crate) fn scan_pair(
-    n: usize,
-) -> (
-    impl FnMut() -> Vec<ProcBody<'static, MaxU64, MaxU64>> + Send,
-    impl FnMut(&SimOutcome<MaxU64, MaxU64>) -> bool + Send,
-) {
-    let obj = ScanObject::new(n);
-    let factory = move || {
-        (0..n)
-            .map(|p| {
-                Box::new(move |ctx: &mut SimCtx<MaxU64>| {
-                    let mut h: ScanHandle<MaxU64> = ScanHandle::new(obj);
-                    h.write_l(ctx, MaxU64(p as u64 + 1));
-                    h.read_max(ctx)
-                }) as ProcBody<'static, MaxU64, MaxU64>
-            })
-            .collect()
-    };
-    let check = move |out: &SimOutcome<MaxU64, MaxU64>| {
-        (0..n).all(|p| match &out.results[p] {
-            Some(MaxU64(v)) => *v > p as u64 && *v <= n as u64,
-            None => out.crashed[p] || out.panics[p].is_some(),
-        })
-    };
-    (factory, check)
-}
-
-/// Workload pair for the lock-based snapshot negative control (n = 2;
-/// the step-bound judge alone is in question, so the semantic check
-/// accepts everything).
-#[allow(clippy::type_complexity)]
-pub(crate) fn lock_pair() -> (
-    impl FnMut() -> Vec<ProcBody<'static, u64, ()>> + Send,
-    impl FnMut(&SimOutcome<u64, ()>) -> bool + Send,
-) {
-    let factory = || {
-        (0..2usize)
-            .map(|p| {
-                Box::new(move |ctx: &mut SimCtx<u64>| {
-                    let _ = SimLockSnapshot::update_snap(ctx, p as u64 + 1);
-                }) as ProcBody<'static, u64, ()>
-            })
-            .collect::<Vec<_>>()
-    };
-    (factory, |_: &SimOutcome<u64, ()>| true)
+    spec_for(object).bound(n)
 }
 
 /// Build the sampled configuration shared by every object dispatch arm.
 fn cell_sample_config(cell: &SweepCell, seed: u64, threads: usize) -> SampleConfig {
     let sampler = cell.sched.sampler().expect("sampled cell");
-    SampleConfig::new(vec![object_bound(&cell.object, cell.n); cell.n])
+    let spec = spec_for(&cell.object);
+    SampleConfig::new(vec![spec.bound(cell.n); cell.n])
         .sampler(sampler)
         .seed(seed)
         .threads(threads)
-        .tail_only(object_tail_only(&cell.object))
-        .require_finish(!object_tail_only(&cell.object))
+        .tail_only(spec.tail_only())
+        .require_finish(!spec.tail_only())
         .max_runs(cell.runs)
         .max_crashes(cell.f)
 }
 
-/// Run one *sampled* cell (`random` / `pct<d>`), dispatching on the
-/// object name; `seed` is the cell seed from [`SweepCell::seed`].
+/// Run one *sampled* cell (`random` / `pct<d>`) through the
+/// [`apram_objects::simspec`] registry; `seed` is the cell seed from
+/// [`SweepCell::seed`].
 pub fn run_sample_cell(cell: &SweepCell, seed: u64, threads: usize) -> SampleReport {
     let scfg = cell_sample_config(cell, seed, threads);
-    let n = cell.n;
-    match cell.object.as_str() {
-        "snapshot" => {
-            let snap = Snapshot::new(n);
-            let sim = SimBuilder::new(snap.registers::<u32>()).owners(snap.owners());
-            sim.sample_parallel(&scfg, threads, |_| {
-                e10_pair(n, move |rec| e10_snapshot_bodies(snap, rec))
-            })
-        }
-        "afek" => {
-            let afek = AfekSnapshot::new(n);
-            let sim = SimBuilder::new(afek.registers::<u32>()).owners(afek.owners());
-            sim.sample_parallel(&scfg, threads, |_| {
-                e10_pair(n, move |rec| e10_afek_bodies(afek, rec))
-            })
-        }
-        "double-collect" => {
-            let arr = CollectArray::new(n);
-            let sim = SimBuilder::new(arr.registers::<u32>()).owners(arr.owners());
-            sim.sample_parallel(&scfg, threads, |_| {
-                e10_pair(n, move |rec| e10_collect_bodies(arr, rec))
-            })
-        }
-        "scan" => {
-            let obj = ScanObject::new(n);
-            let sim = SimBuilder::new(obj.registers::<MaxU64>()).owners(obj.owners());
-            sim.sample_parallel(&scfg, threads, |_| scan_pair(n))
-        }
-        "lock" => {
-            assert_eq!(n, 2, "the lock control is a 2-process object");
-            let sim = SimBuilder::new(SimLockSnapshot::registers())
-                .max_steps(object_max_steps("lock").unwrap());
-            sim.sample_parallel(&scfg, threads, |_| lock_pair())
-        }
-        other => panic!("unknown object '{other}'"),
-    }
+    spec_for(&cell.object).sample(&scfg, cell.n, threads)
 }
 
 /// Run one *exhaustive* cell through the E10 certifier; bit-identical
 /// across thread counts by the certifier's own guarantee.
 pub fn run_exhaustive_cell(cell: &SweepCell, threads: usize) -> Json {
     let n = cell.n;
+    let spec = spec_for(&cell.object);
     let depth = if cell.depth > 0 {
         cell.depth
-    } else if cell.object == "lock" {
-        6
     } else {
-        e10_depth(n, cell.f)
+        spec.default_depth(n, cell.f)
     };
-    let bound = object_bound(&cell.object, n);
-    let ccfg = CertifyConfig::new(vec![bound; n])
+    let ccfg = CertifyConfig::new(vec![spec.bound(n); n])
         .explore(ExploreConfig::new().max_depth(depth).max_crashes(cell.f));
-    let cert = match cell.object.as_str() {
-        "snapshot" => {
-            let snap = Snapshot::new(n);
-            let sim = SimBuilder::new(snap.registers::<u32>()).owners(snap.owners());
-            sim.certify_parallel(&ccfg, threads, |_| {
-                e10_pair(n, move |rec| e10_snapshot_bodies(snap, rec))
-            })
-        }
-        "afek" => {
-            let afek = AfekSnapshot::new(n);
-            let sim = SimBuilder::new(afek.registers::<u32>()).owners(afek.owners());
-            sim.certify_parallel(&ccfg, threads, |_| {
-                e10_pair(n, move |rec| e10_afek_bodies(afek, rec))
-            })
-        }
-        "double-collect" => {
-            let arr = CollectArray::new(n);
-            let sim = SimBuilder::new(arr.registers::<u32>()).owners(arr.owners());
-            sim.certify_parallel(&ccfg, threads, |_| {
-                e10_pair(n, move |rec| e10_collect_bodies(arr, rec))
-            })
-        }
-        "scan" => {
-            let obj = ScanObject::new(n);
-            let sim = SimBuilder::new(obj.registers::<MaxU64>()).owners(obj.owners());
-            sim.certify_parallel(&ccfg, threads, |_| scan_pair(n))
-        }
-        "lock" => {
-            assert_eq!(n, 2, "the lock control is a 2-process object");
-            let sim = SimBuilder::new(SimLockSnapshot::registers()).max_steps(64);
-            sim.certify_parallel(&ccfg, threads, |_| lock_pair())
-        }
-        other => panic!("unknown object '{other}'"),
-    };
+    let cert = spec.certify(&ccfg, n, threads);
     Json::obj([
         ("depth", Json::UInt(depth as u64)),
         ("certificate", cert.to_json()),

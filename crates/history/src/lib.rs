@@ -31,6 +31,9 @@
 //! * [`sc`] — a sequential-consistency checker, demonstrating the
 //!   paper's §3.2 point that linearizability is a *local* property while
 //!   SC is not.
+//! * [`spans`] — reconstruction of checkable histories from the native
+//!   flight recorder's op spans (shared by the E14 spot-checks and
+//!   `apram-serve`'s offline audit).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,6 +45,7 @@ pub mod explain;
 pub mod ops;
 pub mod parallel;
 pub mod sc;
+pub mod spans;
 pub mod spec;
 
 pub use check::{
@@ -53,4 +57,5 @@ pub use explain::{render_timeline, BlockReason, BlockedOp, FailureExplanation};
 pub use ops::{OpRecord, Ops};
 pub use parallel::check_histories_parallel;
 pub use sc::check_sequentially_consistent;
+pub use spans::history_from_spans;
 pub use spec::{DetSpec, NondetSpec};

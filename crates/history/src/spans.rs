@@ -1,0 +1,75 @@
+//! Reconstructing checkable histories from flight-recorder op spans.
+//!
+//! The native backend's flight recorder ([`apram_model::flight`])
+//! timestamps each sampled operation's begin and end; pairing them
+//! yields [`OpSpan`]s. This module turns a batch of spans back into a
+//! [`History`] the checker understands — the bridge between drain (c)
+//! of the flight-recorder design and the linearizability pipeline,
+//! shared by the E14 spot-checks and `apram-serve`'s offline audit.
+
+use crate::event::{Event, History};
+use apram_model::OpSpan;
+
+/// Rebuild a checkable [`History`] from reconstructed op spans.
+///
+/// Per process, spans arrive in program order with monotone stamps;
+/// timestamps are first made *strictly* increasing within each process
+/// (bumping a tied stamp to predecessor + 1 only ever widens overlap —
+/// conservative), then all events merge by global time with invokes
+/// ordered before responds on cross-process ties, so a tie becomes
+/// overlap rather than a fabricated precedence.
+///
+/// Reconstruction is sound because begin stamps are taken before the
+/// op's first shared access and end stamps after its last: the measured
+/// interval *contains* the true one, so any precedence the
+/// reconstruction asserts (`end(A) < begin(B)`) also holds between the
+/// true intervals — the check can produce false alarms never, missed
+/// overlaps at worst.
+pub fn history_from_spans<O, R>(
+    spans: &[OpSpan],
+    mk_op: impl Fn(&OpSpan) -> O,
+    mk_resp: impl Fn(&OpSpan) -> R,
+) -> History<O, R> {
+    let n = spans.iter().map(|s| s.proc + 1).max().unwrap_or(0);
+    // (t, is_invoke, span index), per process, in program order.
+    let mut per: Vec<Vec<(u64, bool, usize)>> = vec![Vec::new(); n];
+    for (i, s) in spans.iter().enumerate() {
+        per[s.proc].push((s.begin_ns, true, i));
+        per[s.proc].push((s.end_ns, false, i));
+    }
+    for evs in &mut per {
+        let mut last: Option<u64> = None;
+        for e in evs.iter_mut() {
+            if let Some(l) = last {
+                if e.0 <= l {
+                    e.0 = l + 1;
+                }
+            }
+            last = Some(e.0);
+        }
+    }
+    let mut all: Vec<(u64, u8, usize)> = per
+        .into_iter()
+        .flatten()
+        .map(|(t, inv, i)| (t, if inv { 0 } else { 1 }, i))
+        .collect();
+    all.sort_by_key(|&(t, rank, _)| (t, rank));
+    History::from_events(
+        all.into_iter()
+            .map(|(_, rank, i)| {
+                let s = &spans[i];
+                if rank == 0 {
+                    Event::Invoke {
+                        proc: s.proc,
+                        op: mk_op(s),
+                    }
+                } else {
+                    Event::Respond {
+                        proc: s.proc,
+                        resp: mk_resp(s),
+                    }
+                }
+            })
+            .collect(),
+    )
+}

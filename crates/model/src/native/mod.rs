@@ -235,6 +235,15 @@ impl<T> Regs<T> {
     }
 }
 
+/// High-water marks of what [`NativeMemory::snapshot_prometheus`] has
+/// already exported, shared by all clones of a memory so repeated
+/// scrapes add only the delta since the previous one.
+#[derive(Default)]
+struct ExportMark {
+    read_retries: AtomicU64,
+    ticket_draws: AtomicU64,
+}
+
 /// A shared array of atomic registers for native threads.
 pub struct NativeMemory<T> {
     regs: Arc<Regs<T>>,
@@ -242,6 +251,7 @@ pub struct NativeMemory<T> {
     n_procs: usize,
     metrics: Option<Arc<MetricsShared>>,
     flight: Option<Arc<FlightRecorder>>,
+    exported: Arc<ExportMark>,
 }
 
 impl<T> Clone for NativeMemory<T> {
@@ -252,6 +262,7 @@ impl<T> Clone for NativeMemory<T> {
             n_procs: self.n_procs,
             metrics: self.metrics.clone(),
             flight: self.flight.clone(),
+            exported: Arc::clone(&self.exported),
         }
     }
 }
@@ -273,6 +284,7 @@ impl<T: Clone> NativeMemory<T> {
             n_procs,
             metrics: None,
             flight: None,
+            exported: Arc::default(),
         }
     }
 
@@ -289,6 +301,7 @@ impl<T: Clone> NativeMemory<T> {
             n_procs,
             metrics: None,
             flight: None,
+            exported: Arc::default(),
         }
     }
 
@@ -399,6 +412,45 @@ impl<T: Clone> NativeMemory<T> {
             .add(0, self.ticket_draws());
     }
 
+    /// One-stop Prometheus export for a scrape or a bench report: add
+    /// the protocol counters ([`NativeMemory::export_telemetry`]'s
+    /// series) to `registry`, drain any attached flight recorder, and
+    /// aggregate the drained events into the same registry (the
+    /// `flight_*` series and the per-object latency histogram). Returns
+    /// the drained [`FlightLog`] so callers can also derive op spans or
+    /// traces from the same drain (`None` when no recorder is attached).
+    ///
+    /// Unlike `export_telemetry` (raw lifetime totals, one-shot), this
+    /// is safe to call repeatedly against one long-lived registry — it
+    /// exports only the delta of the protocol counters since the
+    /// previous call, and flight drains are incremental by
+    /// construction. Both E14 and `apram-serve`'s `/metrics` endpoint
+    /// go through here, so the two exports cannot drift. Concurrent
+    /// calls on clones of one memory should be serialized by the caller
+    /// (a scrape is not a hot path).
+    pub fn snapshot_prometheus(
+        &self,
+        registry: &TelemetryRegistry,
+        object: &str,
+    ) -> Option<FlightLog> {
+        let labels = [("object", object)];
+        let retries = self.read_retries();
+        let prev = self.exported.read_retries.swap(retries, Ordering::Relaxed);
+        registry
+            .labeled_counter("native_read_retries", &labels)
+            .add(0, retries.saturating_sub(prev));
+        let tickets = self.ticket_draws();
+        let prev = self.exported.ticket_draws.swap(tickets, Ordering::Relaxed);
+        registry
+            .labeled_counter("native_ticket_draws", &labels)
+            .add(0, tickets.saturating_sub(prev));
+        let log = self.flight_log();
+        if let Some(log) = &log {
+            log.aggregate_into(registry, object);
+        }
+        log
+    }
+
     /// Number of registers.
     pub fn n_regs(&self) -> usize {
         self.regs.len()
@@ -470,6 +522,7 @@ impl<T: AtomicPackable> NativeMemory<T> {
             n_procs,
             metrics: None,
             flight: None,
+            exported: Arc::default(),
         }
     }
 }

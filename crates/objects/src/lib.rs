@@ -46,6 +46,17 @@
 //!   [`apram_core::verify`] rejects it, and the paper's impossibility
 //!   results (it solves consensus for two processes) explain why it
 //!   must be rejected.
+//!
+//! Two registries make the inventory *constructible by name*:
+//!
+//! * [`spec`] — the native factory: [`spec::ObjectSpec`] recipes for
+//!   every object the multi-threaded backend serves and benchmarks
+//!   (counter, max-register, clock, snapshots, the LWW maps), so the
+//!   `apram-serve` dispatch table and the E13/E14 grids build objects
+//!   from name + params with no per-object match arms.
+//! * [`simspec`] — the simulator twin: [`simspec::SimObjectSpec`]
+//!   recipes for the five snapshot constructions the E10/E11 grids and
+//!   the sweep harness certify and sample.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -58,16 +69,23 @@ pub mod maxreg;
 pub mod mwreg;
 pub mod prmw;
 pub mod regular;
+pub mod simspec;
+pub mod spec;
 pub mod sticky;
 pub mod striped;
 
 pub use clock::LamportClock;
 pub use counter::{DirectCounter, DirectCounterHandle, UniversalCounter, UniversalCounterHandle};
 pub use growset::{DirectGrowSet, GrowSetSpec};
-pub use lwwmap::LwwMapSpec;
+pub use lwwmap::{DirectLwwMap, DirectLwwMapHandle, LwwMapSpec};
 pub use maxreg::{DirectMaxRegister, MaxRegSpec};
 pub use mwreg::{MwRegSpec, MwRegister};
 pub use prmw::{CommutingOp, PrmwRegister};
 pub use regular::{AtomicFromRegular, RegularRegister};
+pub use simspec::{sim_spec, sim_specs, SimObjectSpec, SIM_OBJECTS};
+pub use spec::{
+    native_spec, native_specs, BuildCtx, ObjectInstance, ObjectSession, ObjectSpec, OpOutput, Tier,
+    NATIVE_OBJECTS, OP_READ, OP_UPDATE,
+};
 pub use sticky::StickySpec;
 pub use striped::{StripedCounter, StripedCounterHandle};

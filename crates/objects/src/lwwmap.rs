@@ -14,9 +14,21 @@
 //! construction hosts the map; [`apram_core::verify`] validates the
 //! algebra, and the construction's linearizability is checked under
 //! randomized schedules.
+//!
+//! The universal form pays for its generality: each operation replays
+//! the whole precedence graph, so cost is quadratic in history length —
+//! fine for certification grids, unusable for serving traffic. The
+//! [`DirectLwwMap`] is the type-specific optimization for the
+//! put/get/remove core: one atomic multi-writer register per key slot,
+//! so every operation is a single register access. Linearizability is
+//! per-key register atomicity (last writer wins *is* the register's
+//! semantics); what the direct form gives up is `keys()` — a consistent
+//! key listing needs a snapshot scan, which is exactly the overhead the
+//! universal construction exists to pay.
 
 use apram_core::AlgebraicSpec;
 use apram_history::{DetSpec, ProcId};
+use apram_model::MemCtx;
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 
@@ -108,6 +120,72 @@ impl AlgebraicSpec for LwwMapSpec {
     }
 }
 
+/// The direct last-writer-wins map: one atomic multi-writer register
+/// per key slot (keys hash-mod into slots), every operation a single
+/// register access. This is the map the serving path uses; see the
+/// [module docs](self) for what it trades against the universal form.
+#[derive(Clone, Copy, Debug)]
+pub struct DirectLwwMap {
+    keys: usize,
+}
+
+impl DirectLwwMap {
+    /// A map with `keys` register slots (keys reduce modulo `keys`, so
+    /// distinct keys may share a slot — size the slot count to the key
+    /// universe when exact per-key semantics matter).
+    pub fn new(keys: usize) -> Self {
+        assert!(keys > 0, "a map needs at least one key slot");
+        DirectLwwMap { keys }
+    }
+
+    /// Number of key slots.
+    pub fn keys(&self) -> usize {
+        self.keys
+    }
+
+    /// Initial register contents: every slot unbound. Registers stay
+    /// unowned (multi-writer): any process may put to any key.
+    pub fn registers(&self) -> Vec<Option<u64>> {
+        vec![None; self.keys]
+    }
+
+    /// A per-process handle.
+    pub fn handle(&self) -> DirectLwwMapHandle {
+        DirectLwwMapHandle { keys: self.keys }
+    }
+}
+
+/// Per-process handle on a [`DirectLwwMap`].
+#[derive(Clone, Copy, Debug)]
+pub struct DirectLwwMapHandle {
+    keys: usize,
+}
+
+impl DirectLwwMapHandle {
+    fn slot(&self, key: u32) -> usize {
+        key as usize % self.keys
+    }
+
+    /// Bind `key` to `v` (one atomic register write).
+    pub fn put<C: MemCtx<Option<u64>>>(&mut self, ctx: &mut C, key: u32, v: u64) {
+        let slot = self.slot(key);
+        ctx.write(slot, Some(v));
+    }
+
+    /// Unbind `key` (an overwrite like any other — the slot register is
+    /// atomic, so removal is as linearizable as a put).
+    pub fn remove<C: MemCtx<Option<u64>>>(&mut self, ctx: &mut C, key: u32) {
+        let slot = self.slot(key);
+        ctx.write(slot, None);
+    }
+
+    /// Look up `key` (one atomic register read).
+    pub fn get<C: MemCtx<Option<u64>>>(&mut self, ctx: &mut C, key: u32) -> Option<u64> {
+        let slot = self.slot(key);
+        ctx.read(slot)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,7 +195,7 @@ mod tests {
     use apram_history::Recorder;
     use apram_model::sim::strategy::{Pct, SeededRandom};
     use apram_model::sim::SimBuilder;
-    use apram_model::{MemCtx, NativeMemory};
+    use apram_model::NativeMemory;
 
     fn op_pool() -> Vec<MapOp> {
         vec![
@@ -201,6 +279,55 @@ mod tests {
             h0.execute_unpublished(&mut c0, MapOp::Keys),
             MapResp::Keys(BTreeSet::from([2]))
         );
+    }
+
+    #[test]
+    fn direct_map_native() {
+        let map = DirectLwwMap::new(4);
+        let mem = NativeMemory::new(2, map.registers());
+        let mut h0 = map.handle();
+        let mut h1 = map.handle();
+        let mut c0 = mem.ctx(0);
+        let mut c1 = mem.ctx(1);
+        h0.put(&mut c0, 1, 10);
+        h1.put(&mut c1, 2, 20);
+        assert_eq!(h0.get(&mut c0, 2), Some(20));
+        h1.remove(&mut c1, 1);
+        assert_eq!(h0.get(&mut c0, 1), None);
+        // Keys reduce modulo the slot count: key 5 aliases key 1.
+        h0.put(&mut c0, 5, 50);
+        assert_eq!(h1.get(&mut c1, 1), Some(50));
+    }
+
+    /// Per-key linearizability of the direct map under random simulated
+    /// schedules: each slot is one atomic register, so a history of
+    /// puts/gets on one key must linearize against the sequential map.
+    #[test]
+    fn direct_map_linearizable() {
+        for seed in 0..8u64 {
+            let n = 3;
+            let map = DirectLwwMap::new(2);
+            let rec: Recorder<MapOp, MapResp> = Recorder::new();
+            let rec2 = rec.clone();
+            let out = SimBuilder::new(map.registers())
+                .strategy(SeededRandom::new(seed))
+                .run_symmetric(n, move |ctx| {
+                    let p = ctx.proc();
+                    let mut h = map.handle();
+                    let key = 1u32;
+                    rec2.record(p, MapOp::Put(key, 10 + p as u64), || {
+                        h.put(ctx, key, 10 + p as u64);
+                        MapResp::Ack
+                    });
+                    rec2.record(p, MapOp::Get(key), || MapResp::Value(h.get(ctx, key)));
+                });
+            out.assert_no_panics();
+            let hist = rec.snapshot();
+            assert!(
+                check_linearizable(&LwwMapSpec, &hist, &CheckerConfig::default()).is_ok(),
+                "seed {seed}: {hist:?}"
+            );
+        }
     }
 
     /// Linearizability under random + PCT simulated schedules.

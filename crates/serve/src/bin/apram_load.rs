@@ -1,0 +1,120 @@
+//! `apram-load` — replay a multi-tenant workload against `apram-serve`.
+//!
+//! ```text
+//! apram-load --addr HOST:PORT [--object NAME] [--index N] [--tenants N]
+//!            [--ops N] [--keys N] [--theta F] [--read-pct N]
+//!            [--seed N] [--crash]
+//! ```
+//!
+//! `--index` is the object's wire index in the server's table (the
+//! position in its `--objects` list; defaults to 0). Prints a JSON
+//! report with per-tenant op counts and latency percentiles.
+
+use apram_model::Json;
+use apram_serve::{run_load, LoadConfig};
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: apram-load --addr HOST:PORT [--object NAME] [--index N] [--tenants N] \
+         [--ops N] [--keys N] [--theta F] [--read-pct N] [--seed N] [--crash]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut addr: Option<String> = None;
+    let mut index = 0u8;
+    let mut cfg = LoadConfig::new("counter");
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--crash" {
+            cfg.crash_tenant = true;
+            continue;
+        }
+        let Some(val) = it.next() else {
+            eprintln!("missing value for {flag}");
+            return usage();
+        };
+        let ok = match flag.as_str() {
+            "--addr" => {
+                addr = Some(val.clone());
+                true
+            }
+            "--object" => {
+                cfg.object = val.clone();
+                true
+            }
+            "--index" => val.parse().map(|v| index = v).is_ok(),
+            "--tenants" => val.parse().map(|v| cfg.tenants = v).is_ok(),
+            "--ops" => val.parse().map(|v| cfg.ops_per_tenant = v).is_ok(),
+            "--keys" => val.parse().map(|v| cfg.keys = v).is_ok(),
+            "--theta" => val.parse().map(|v| cfg.theta = v).is_ok(),
+            "--read-pct" => val.parse().map(|v| cfg.read_pct = v).is_ok(),
+            "--seed" => val.parse().map(|v| cfg.seed = v).is_ok(),
+            other => {
+                eprintln!("unknown flag '{other}'");
+                return usage();
+            }
+        };
+        if !ok {
+            eprintln!("bad value for {flag}: '{val}'");
+            return usage();
+        }
+    }
+
+    let Some(addr) = addr else {
+        eprintln!("--addr is required");
+        return usage();
+    };
+    let addr: SocketAddr = match addr.to_socket_addrs().ok().and_then(|mut a| a.next()) {
+        Some(a) => a,
+        None => {
+            eprintln!("cannot resolve '{addr}'");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let report = match run_load(addr, index, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("apram-load: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let merged = report.merged_latency();
+    let json = Json::obj([
+        ("object", Json::Str(cfg.object.clone())),
+        ("tenants", Json::UInt(cfg.tenants as u64)),
+        ("total_ops", Json::UInt(report.total_ops())),
+        ("elapsed_secs", Json::Float(report.elapsed.as_secs_f64())),
+        ("p50_ns", Json::UInt(merged.p50())),
+        ("p99_ns", Json::UInt(merged.p99())),
+        ("p999_ns", Json::UInt(merged.p999())),
+        ("mean_ns", Json::Float(merged.mean())),
+        (
+            "tenant_reports",
+            Json::Arr(
+                report
+                    .tenants
+                    .iter()
+                    .map(|t| {
+                        Json::obj([
+                            ("tenant", Json::UInt(t.tenant as u64)),
+                            ("ops_ok", Json::UInt(t.ops_ok)),
+                            ("ops_err", Json::UInt(t.ops_err)),
+                            ("reconnects", Json::UInt(t.reconnects)),
+                            ("crashed", Json::Bool(t.crashed)),
+                            ("p99_ns", Json::UInt(t.latency.p99())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    println!("{}", json.to_pretty(2));
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,121 @@
+//! `apram-serve` — serve the wait-free native objects over TCP.
+//!
+//! ```text
+//! apram-serve [--addr HOST:PORT] [--objects a,b,c] [--shards N]
+//!             [--slots N] [--keys N] [--flight off|sampled64|always]
+//! ```
+//!
+//! Prints the bound address (useful with `--addr 127.0.0.1:0`), then
+//! serves until stdin reads a line saying `quit`. When stdin is closed
+//! from the start (daemonized, `</dev/null`), there is no console to
+//! say `quit` from, so the process serves until killed. Scrape
+//! Prometheus metrics with a plain `GET` on the same port.
+
+use apram_model::flight::DEFAULT_FLIGHT_CAPACITY;
+use apram_model::FlightMode;
+use apram_serve::{serve, ServeConfig, TableConfig};
+use std::io::BufRead;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: apram-serve [--addr HOST:PORT] [--objects a,b,c] [--shards N] \
+         [--slots N] [--keys N] [--flight off|sampled64|always]"
+    );
+    eprintln!(
+        "objects: {}",
+        apram_objects::spec::NATIVE_OBJECTS.join(", ")
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut objects: Vec<String> = vec!["counter".into(), "maxreg".into(), "lwwmap-direct".into()];
+    let mut shards = 2usize;
+    let mut slots = 16usize;
+    let mut keys = 64usize;
+    let mut flight = FlightMode::Off;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let Some(val) = it.next() else {
+            eprintln!("missing value for {flag}");
+            return usage();
+        };
+        match flag.as_str() {
+            "--addr" => addr = val.clone(),
+            "--objects" => objects = val.split(',').map(|s| s.trim().to_string()).collect(),
+            "--shards" => match val.parse() {
+                Ok(v) => shards = v,
+                Err(_) => return usage(),
+            },
+            "--slots" => match val.parse() {
+                Ok(v) => slots = v,
+                Err(_) => return usage(),
+            },
+            "--keys" => match val.parse() {
+                Ok(v) => keys = v,
+                Err(_) => return usage(),
+            },
+            "--flight" => {
+                flight = match val.as_str() {
+                    "off" => FlightMode::Off,
+                    "sampled64" => FlightMode::Sampled(64),
+                    "always" => FlightMode::Always,
+                    other => {
+                        eprintln!("unknown flight mode '{other}'");
+                        return usage();
+                    }
+                }
+            }
+            other => {
+                eprintln!("unknown flag '{other}'");
+                return usage();
+            }
+        }
+    }
+
+    let names: Vec<&str> = objects.iter().map(String::as_str).collect();
+    let mut table = TableConfig::new(&names, shards, slots).flight(flight, DEFAULT_FLIGHT_CAPACITY);
+    table.keys = keys;
+    let cfg = ServeConfig { addr, table };
+    let server = match serve(&cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("apram-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on {}", server.addr());
+    println!(
+        "objects: {} ({} shards, {} slots)",
+        objects.join(", "),
+        shards,
+        slots
+    );
+
+    // Serve until a console says quit — no signal handling machinery,
+    // by design: the driver owning our stdin owns our life. An stdin
+    // that is EOF *immediately* means we were started without a console
+    // (backgrounded, `</dev/null`): park and serve until killed, rather
+    // than shutting down before the first connection arrives.
+    let stdin = std::io::stdin();
+    let mut saw_input = false;
+    for line in stdin.lock().lines() {
+        saw_input = true;
+        match line {
+            Ok(l) if l.trim() == "quit" => break,
+            Ok(_) => continue,
+            Err(_) => break,
+        }
+    }
+    if !saw_input {
+        loop {
+            std::thread::park();
+        }
+    }
+    server.shutdown();
+    ExitCode::SUCCESS
+}

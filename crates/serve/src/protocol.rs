@@ -1,0 +1,381 @@
+//! The wire protocol: length-prefixed binary frames, hand-rolled with
+//! the same no-dependencies discipline as `apram-model`'s `json.rs`.
+//!
+//! Every message is a **frame**: a 4-byte little-endian `u32` payload
+//! length followed by that many payload bytes. Frames longer than
+//! [`MAX_FRAME`] are rejected before allocation, so a hostile length
+//! prefix cannot balloon memory.
+//!
+//! A **request** payload is exactly [`REQ_LEN`] bytes:
+//!
+//! ```text
+//! offset  size  field
+//! 0       1     opcode   (OPC_UPDATE = 0, OPC_READ = 1)
+//! 1       1     object   (index into the server's object table)
+//! 2       2     reserved (must be zero)
+//! 4       8     a        (u64 LE — first argument; key for keyed ops)
+//! 12      8     b        (u64 LE — second argument; value for updates)
+//! ```
+//!
+//! A **response** payload is a 4-byte header then `n` `u64` values:
+//!
+//! ```text
+//! offset  size  field
+//! 0       1     status (ST_OK = 0, ST_ERR = 1)
+//! 1       1     kind   (ok: KIND_VAL/KIND_OPT/KIND_VIEW; err: error code)
+//! 2       2     n      (u16 LE — number of u64 values following)
+//! 4       8n    values (u64 LE each; optionals use the u64::MAX sentinel)
+//! ```
+//!
+//! Argument meaning per object follows the [`apram_objects::spec`]
+//! session conventions — the protocol carries `(opcode, a, b)` opaquely
+//! and the object table gives them semantics.
+
+use apram_objects::spec::OpOutput;
+use std::io::{self, Read, Write};
+
+/// Hard ceiling on a frame's payload length (64 KiB). Large enough for
+/// a snapshot view of hundreds of slots, small enough that a bogus
+/// length prefix cannot allocate unboundedly.
+pub const MAX_FRAME: usize = 64 * 1024;
+
+/// A request payload's exact length.
+pub const REQ_LEN: usize = 20;
+
+/// Protocol opcode: the object's update operation.
+pub const OPC_UPDATE: u8 = 0;
+/// Protocol opcode: the object's read operation.
+pub const OPC_READ: u8 = 1;
+
+/// Response status: success.
+pub const ST_OK: u8 = 0;
+/// Response status: error (the kind byte carries the error code).
+pub const ST_ERR: u8 = 1;
+
+/// Response kind: a single plain value.
+pub const KIND_VAL: u8 = 0;
+/// Response kind: a single optional value (`u64::MAX` = absent).
+pub const KIND_OPT: u8 = 1;
+/// Response kind: a snapshot view, one slot per process.
+pub const KIND_VIEW: u8 = 2;
+
+/// Error code: unknown opcode.
+pub const ERR_BAD_OPCODE: u8 = 1;
+/// Error code: object index outside the server's table.
+pub const ERR_BAD_OBJECT: u8 = 2;
+/// Error code: malformed request payload.
+pub const ERR_BAD_REQUEST: u8 = 3;
+/// Error code: server has no free connection slots.
+pub const ERR_BUSY: u8 = 4;
+
+/// Why a payload failed to decode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Payload length is not what the message type requires.
+    Length(usize),
+    /// Unknown opcode byte.
+    Opcode(u8),
+    /// Reserved bytes were not zero.
+    Reserved,
+    /// Response header's value count disagrees with the payload length.
+    Truncated,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Length(n) => write!(f, "bad payload length {n}"),
+            DecodeError::Opcode(op) => write!(f, "unknown opcode {op}"),
+            DecodeError::Reserved => write!(f, "reserved bytes not zero"),
+            DecodeError::Truncated => write!(f, "value count exceeds payload"),
+        }
+    }
+}
+
+/// One decoded request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// [`OPC_UPDATE`] or [`OPC_READ`].
+    pub opcode: u8,
+    /// Object-table index.
+    pub object: u8,
+    /// First argument (key for keyed objects).
+    pub a: u64,
+    /// Second argument (value for keyed updates).
+    pub b: u64,
+}
+
+impl Request {
+    /// Serialize to the fixed request layout.
+    pub fn encode(&self) -> [u8; REQ_LEN] {
+        let mut buf = [0u8; REQ_LEN];
+        buf[0] = self.opcode;
+        buf[1] = self.object;
+        buf[4..12].copy_from_slice(&self.a.to_le_bytes());
+        buf[12..20].copy_from_slice(&self.b.to_le_bytes());
+        buf
+    }
+
+    /// Parse and validate a request payload. The opcode is validated
+    /// here — dispatch never sees an unknown code.
+    pub fn decode(payload: &[u8]) -> Result<Request, DecodeError> {
+        if payload.len() != REQ_LEN {
+            return Err(DecodeError::Length(payload.len()));
+        }
+        if payload[2] != 0 || payload[3] != 0 {
+            return Err(DecodeError::Reserved);
+        }
+        let opcode = payload[0];
+        if opcode != OPC_UPDATE && opcode != OPC_READ {
+            return Err(DecodeError::Opcode(opcode));
+        }
+        Ok(Request {
+            opcode,
+            object: payload[1],
+            a: u64::from_le_bytes(payload[4..12].try_into().unwrap()),
+            b: u64::from_le_bytes(payload[12..20].try_into().unwrap()),
+        })
+    }
+}
+
+/// One decoded response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Response {
+    /// [`ST_OK`] or [`ST_ERR`].
+    pub status: u8,
+    /// Value kind on success; error code on failure.
+    pub kind: u8,
+    /// The values (empty on error).
+    pub values: Vec<u64>,
+}
+
+impl Response {
+    /// An error response carrying `code` in the kind byte.
+    pub fn err(code: u8) -> Response {
+        Response {
+            status: ST_ERR,
+            kind: code,
+            values: Vec::new(),
+        }
+    }
+
+    /// Encode an object session's output (the server side of the
+    /// [`OpOutput`] ↦ wire mapping; optionals use the `u64::MAX`
+    /// sentinel).
+    pub fn from_output(out: &OpOutput) -> Response {
+        let (kind, values) = match out {
+            OpOutput::Val(v) => (KIND_VAL, vec![*v]),
+            OpOutput::Opt(v) => (KIND_OPT, vec![v.unwrap_or(u64::MAX)]),
+            OpOutput::View(view) => (
+                KIND_VIEW,
+                view.iter().map(|s| s.unwrap_or(u64::MAX)).collect(),
+            ),
+        };
+        Response {
+            status: ST_OK,
+            kind,
+            values,
+        }
+    }
+
+    /// The client side of the mapping: a successful single-optional
+    /// response as `Option<u64>` (`None` for the sentinel).
+    pub fn as_opt(&self) -> Option<u64> {
+        self.values.first().copied().filter(|&v| v != u64::MAX)
+    }
+
+    /// Serialize to the response layout.
+    pub fn encode(&self) -> Vec<u8> {
+        debug_assert!(self.values.len() <= u16::MAX as usize);
+        let mut buf = Vec::with_capacity(4 + 8 * self.values.len());
+        buf.push(self.status);
+        buf.push(self.kind);
+        buf.extend_from_slice(&(self.values.len() as u16).to_le_bytes());
+        for v in &self.values {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        buf
+    }
+
+    /// Parse and validate a response payload.
+    pub fn decode(payload: &[u8]) -> Result<Response, DecodeError> {
+        if payload.len() < 4 {
+            return Err(DecodeError::Length(payload.len()));
+        }
+        let n = u16::from_le_bytes(payload[2..4].try_into().unwrap()) as usize;
+        if payload.len() != 4 + 8 * n {
+            return Err(DecodeError::Truncated);
+        }
+        let values = (0..n)
+            .map(|i| u64::from_le_bytes(payload[4 + 8 * i..12 + 8 * i].try_into().unwrap()))
+            .collect();
+        Ok(Response {
+            status: payload[0],
+            kind: payload[1],
+            values,
+        })
+    }
+}
+
+/// Write one frame: 4-byte LE length prefix, then the payload.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "frame exceeds MAX_FRAME",
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame. Returns `Ok(None)` on clean EOF at a frame boundary;
+/// a connection dropped mid-frame surfaces as `UnexpectedEof`, and an
+/// oversized length prefix as `InvalidData` *before* any allocation.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    match r.read(&mut len)? {
+        0 => return Ok(None),
+        4 => {}
+        n => r.read_exact(&mut len[n..])?,
+    }
+    read_frame_body(r, len).map(Some)
+}
+
+/// Read a frame's payload given its already-consumed length prefix
+/// (the server reads the first 4 bytes itself to sniff HTTP scrapes).
+pub fn read_frame_body(r: &mut impl Read, len: [u8; 4]) -> io::Result<Vec<u8>> {
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME {MAX_FRAME}"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        for (opcode, object, a, b) in [
+            (OPC_UPDATE, 0u8, 0u64, 0u64),
+            (OPC_READ, 3, u64::MAX, 17),
+            (OPC_UPDATE, 255, 42, u64::MAX - 1),
+        ] {
+            let req = Request {
+                opcode,
+                object,
+                a,
+                b,
+            };
+            assert_eq!(Request::decode(&req.encode()), Ok(req));
+        }
+    }
+
+    #[test]
+    fn response_round_trips() {
+        for resp in [
+            Response {
+                status: ST_OK,
+                kind: KIND_VAL,
+                values: vec![7],
+            },
+            Response {
+                status: ST_OK,
+                kind: KIND_VIEW,
+                values: vec![u64::MAX, 0, 3],
+            },
+            Response::err(ERR_BAD_OBJECT),
+        ] {
+            assert_eq!(Response::decode(&resp.encode()), Ok(resp.clone()));
+        }
+    }
+
+    #[test]
+    fn output_mapping_uses_sentinel() {
+        let r = Response::from_output(&OpOutput::Opt(None));
+        assert_eq!(r.values, vec![u64::MAX]);
+        assert_eq!(r.as_opt(), None);
+        let r = Response::from_output(&OpOutput::Opt(Some(9)));
+        assert_eq!(r.as_opt(), Some(9));
+        let r = Response::from_output(&OpOutput::View(vec![Some(1), None]));
+        assert_eq!(r.kind, KIND_VIEW);
+        assert_eq!(r.values, vec![1, u64::MAX]);
+    }
+
+    #[test]
+    fn bad_requests_are_rejected() {
+        assert_eq!(Request::decode(&[0u8; 19]), Err(DecodeError::Length(19)));
+        assert_eq!(Request::decode(&[0u8; 21]), Err(DecodeError::Length(21)));
+        let mut buf = Request {
+            opcode: 9,
+            object: 0,
+            a: 0,
+            b: 0,
+        }
+        .encode();
+        assert_eq!(Request::decode(&buf), Err(DecodeError::Opcode(9)));
+        buf[0] = OPC_READ;
+        buf[2] = 1;
+        assert_eq!(Request::decode(&buf), Err(DecodeError::Reserved));
+    }
+
+    #[test]
+    fn bad_responses_are_rejected() {
+        assert_eq!(Response::decode(&[0u8; 3]), Err(DecodeError::Length(3)));
+        // Header claims 2 values but carries bytes for 1.
+        let mut buf = Response {
+            status: ST_OK,
+            kind: KIND_VAL,
+            values: vec![5],
+        }
+        .encode();
+        buf[2] = 2;
+        assert_eq!(Response::decode(&buf), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        let mut r = &wire[..];
+        assert_eq!(read_frame(&mut r).unwrap(), Some(b"hello".to_vec()));
+        assert_eq!(read_frame(&mut r).unwrap(), Some(Vec::new()));
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn truncated_frame_is_unexpected_eof() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        wire.truncate(wire.len() - 2);
+        let mut r = &wire[..];
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        // Truncated inside the length prefix itself, too.
+        let mut r = &wire[..2];
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_without_allocation() {
+        let mut wire = (u32::MAX).to_le_bytes().to_vec();
+        wire.extend_from_slice(b"xx");
+        let mut r = &wire[..];
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // And the writer refuses to emit one.
+        let big = vec![0u8; MAX_FRAME + 1];
+        let mut out = Vec::new();
+        assert!(write_frame(&mut out, &big).is_err());
+    }
+}

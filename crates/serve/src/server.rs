@@ -1,0 +1,452 @@
+//! The TCP service: per-connection worker threads over the sharded
+//! object table, plus a piggybacked `/metrics` scrape endpoint.
+//!
+//! The server is std-only and deliberately boring: a nonblocking accept
+//! loop hands each connection a *slot* (a process id in every shard
+//! memory) and a dedicated worker thread. Wait-freedom lives below this
+//! layer — a slow worker never blocks another slot's operations, because
+//! the object table's register files are wait-free; the threads-per-
+//! connection shell just keeps the transport out of the story.
+//!
+//! A connection whose first four bytes are `b"GET "` is treated as an
+//! HTTP scrape: the server answers one `text/plain` Prometheus exposition
+//! (built from the shared [`TelemetryRegistry`] plus a delta-aware
+//! flight/protocol export from every object) and closes. Anything else
+//! is the binary frame protocol from [`crate::protocol`].
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use apram_model::telemetry::TelemetryRegistry;
+use apram_model::FlightLog;
+
+use crate::protocol::{
+    read_frame_body, write_frame, DecodeError, Request, Response, ERR_BAD_OBJECT, ERR_BAD_OPCODE,
+    ERR_BAD_REQUEST, ERR_BUSY, MAX_FRAME,
+};
+use crate::table::{ObjectTable, SlotSessions, TableConfig};
+
+/// How often blocked reads wake up to check the shutdown flag.
+const POLL_TIMEOUT: Duration = Duration::from_millis(50);
+/// Accept-loop idle sleep.
+const ACCEPT_IDLE: Duration = Duration::from_millis(5);
+
+/// Server configuration: bind address plus the object table.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// The object table to serve.
+    pub table: TableConfig,
+}
+
+impl ServeConfig {
+    /// Serve `table` on an ephemeral localhost port.
+    pub fn local(table: TableConfig) -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            table,
+        }
+    }
+}
+
+/// One slot's durable state: the process id plus its per-object
+/// sessions, created lazily and **reused across connections**.
+///
+/// This is load-bearing for correctness, not a cache: several object
+/// handles carry state that mirrors their process's own single-writer
+/// registers (the striped counter's running stripe total, a scan
+/// handle's lattice mirror, the universal construction's sequence
+/// numbers), under the invariant *one handle per process for the
+/// object's lifetime*. A connection is just a transport for a slot; a
+/// dropped connection suspends the process and a later lease resumes
+/// it — building fresh sessions instead would restart those mirrors
+/// from their initial values and clobber the process's own registers.
+struct SlotLease {
+    slot: usize,
+    sessions: Vec<Option<SlotSessions>>,
+}
+
+/// State shared between the accept loop, the workers, and the handle.
+struct Shared {
+    table: ObjectTable,
+    registry: TelemetryRegistry,
+    /// Serializes scrapes: `snapshot_prometheus` requires callers to
+    /// serialize concurrent exports against one registry.
+    scrape: Mutex<()>,
+    /// Slot pool; `None` = leased to a live connection.
+    slots: Mutex<Vec<Option<SlotLease>>>,
+    shutdown: AtomicBool,
+    active: AtomicUsize,
+}
+
+impl Shared {
+    fn lease_slot(&self) -> Option<SlotLease> {
+        let mut slots = self.slots.lock().expect("slot pool lock");
+        slots.iter_mut().find_map(|s| s.take())
+    }
+
+    fn release_slot(&self, lease: SlotLease) {
+        let slot = lease.slot;
+        self.slots.lock().expect("slot pool lock")[slot] = Some(lease);
+    }
+
+    /// One Prometheus exposition: registry counters plus a delta export
+    /// from every object (which also drains any attached recorders).
+    fn scrape_text(&self) -> String {
+        let _guard = self.scrape.lock().expect("scrape lock");
+        for obj in self.table.objects() {
+            obj.export_prometheus(&self.registry);
+        }
+        self.registry.to_prometheus()
+    }
+}
+
+/// A running server: join handles plus the shared state.
+pub struct ServerHandle {
+    addr: std::net::SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<thread::JoinHandle<()>>,
+    workers: Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the resolved ephemeral port).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// The served object table.
+    pub fn table(&self) -> &ObjectTable {
+        &self.shared.table
+    }
+
+    /// The shared telemetry registry.
+    pub fn registry(&self) -> &TelemetryRegistry {
+        &self.shared.registry
+    }
+
+    /// The current Prometheus exposition (same text `/metrics` serves).
+    pub fn metrics(&self) -> String {
+        self.shared.scrape_text()
+    }
+
+    /// Drain one object's flight recorders, one log per shard. Audit
+    /// windows use this instead of scraping (a scrape also drains).
+    pub fn drain_flight(&self, object: &str) -> Vec<FlightLog> {
+        self.shared
+            .table
+            .by_name(object)
+            .map(|o| o.drain_flight())
+            .unwrap_or_default()
+    }
+
+    /// Live connection count.
+    pub fn active_connections(&self) -> usize {
+        self.shared.active.load(Ordering::Acquire)
+    }
+
+    /// Stop accepting, wake every worker, and join all threads.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let workers = std::mem::take(&mut *self.workers.lock().expect("worker list lock"));
+        for h in workers {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Bind, build the table, and start the accept loop.
+pub fn serve(cfg: &ServeConfig) -> io::Result<ServerHandle> {
+    let table = ObjectTable::build(&cfg.table)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+    let listener = TcpListener::bind(&cfg.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let n_objects = table.objects().len();
+    let pool = (0..cfg.table.slots)
+        .map(|slot| {
+            Some(SlotLease {
+                slot,
+                sessions: (0..n_objects).map(|_| None).collect(),
+            })
+        })
+        .collect();
+    let shared = Arc::new(Shared {
+        table,
+        registry: TelemetryRegistry::new(1),
+        scrape: Mutex::new(()),
+        slots: Mutex::new(pool),
+        shutdown: AtomicBool::new(false),
+        active: AtomicUsize::new(0),
+    });
+    let workers: Arc<Mutex<Vec<thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let accept = {
+        let shared = Arc::clone(&shared);
+        let workers = Arc::clone(&workers);
+        thread::spawn(move || accept_loop(listener, shared, workers))
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept: Some(accept),
+        workers,
+    })
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    workers: Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
+) {
+    let conns = shared.registry.counter("serve_connections_total");
+    while !shared.shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                conns.inc(0);
+                let shared = Arc::clone(&shared);
+                let handle = thread::spawn(move || worker(shared, stream));
+                workers.lock().expect("worker list lock").push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_IDLE),
+            Err(_) => thread::sleep(ACCEPT_IDLE),
+        }
+    }
+}
+
+/// What a shutdown-aware read produced.
+enum ReadOutcome {
+    /// Buffer filled.
+    Full,
+    /// Clean EOF before the first byte (only when `allow_eof`).
+    CleanEof,
+    /// The server is shutting down.
+    Shutdown,
+}
+
+/// Fill `buf`, waking every [`POLL_TIMEOUT`] to check the shutdown
+/// flag. EOF at offset zero is clean iff `allow_eof`; EOF mid-buffer is
+/// always `UnexpectedEof`.
+fn read_full(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    allow_eof: bool,
+) -> io::Result<ReadOutcome> {
+    let mut got = 0;
+    while got < buf.len() {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return Ok(ReadOutcome::Shutdown);
+        }
+        match stream.read(&mut buf[got..]) {
+            Ok(0) => {
+                if got == 0 && allow_eof {
+                    return Ok(ReadOutcome::CleanEof);
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection dropped mid-frame",
+                ));
+            }
+            Ok(n) => got += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(ReadOutcome::Full)
+}
+
+fn worker(shared: Arc<Shared>, mut stream: TcpStream) {
+    shared.active.fetch_add(1, Ordering::AcqRel);
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL_TIMEOUT));
+    let _ = serve_connection(&shared, &mut stream);
+    shared.active.fetch_sub(1, Ordering::AcqRel);
+}
+
+fn serve_connection(shared: &Shared, stream: &mut TcpStream) -> io::Result<()> {
+    // Sniff the first four bytes: an HTTP scrape's "GET ", or the
+    // first binary frame's length prefix.
+    let mut first = [0u8; 4];
+    match read_full(shared, stream, &mut first, true)? {
+        ReadOutcome::Full => {}
+        ReadOutcome::CleanEof | ReadOutcome::Shutdown => return Ok(()),
+    }
+    if &first == b"GET " {
+        return serve_scrape(shared, stream);
+    }
+
+    let Some(mut lease) = shared.lease_slot() else {
+        // Every process id is leased: refuse politely so the client can
+        // back off, without stalling anyone already connected.
+        let _ = write_frame(stream, &Response::err(ERR_BUSY).encode());
+        return Ok(());
+    };
+    let result = serve_frames(shared, stream, &mut lease, first);
+    shared.release_slot(lease);
+    result
+}
+
+/// The binary-protocol loop for one leased slot. `first` is the
+/// already-sniffed length prefix of the first frame.
+fn serve_frames(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    lease: &mut SlotLease,
+    first: [u8; 4],
+) -> io::Result<()> {
+    let reqs = shared.registry.counter("serve_requests_total");
+
+    if u32::from_le_bytes(first) as usize > MAX_FRAME {
+        let _ = write_frame(stream, &Response::err(ERR_BAD_REQUEST).encode());
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "oversized frame",
+        ));
+    }
+    let mut payload = read_frame_body(stream, first)?;
+    loop {
+        reqs.inc(0);
+        let resp = dispatch(shared, lease, &payload);
+        write_frame(stream, &resp.encode())?;
+
+        let mut len = [0u8; 4];
+        match read_full(shared, stream, &mut len, true)? {
+            ReadOutcome::Full => {}
+            ReadOutcome::CleanEof | ReadOutcome::Shutdown => return Ok(()),
+        }
+        if u32::from_le_bytes(len) as usize > MAX_FRAME {
+            let _ = write_frame(stream, &Response::err(ERR_BAD_REQUEST).encode());
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "oversized frame",
+            ));
+        }
+        payload = read_frame_body(stream, len)?;
+    }
+}
+
+fn dispatch(shared: &Shared, lease: &mut SlotLease, payload: &[u8]) -> Response {
+    let req = match Request::decode(payload) {
+        Ok(req) => req,
+        Err(DecodeError::Opcode(_)) => return Response::err(ERR_BAD_OPCODE),
+        Err(_) => return Response::err(ERR_BAD_REQUEST),
+    };
+    let Some(obj) = shared.table.object(req.object) else {
+        return Response::err(ERR_BAD_OBJECT);
+    };
+    let slot = lease.slot;
+    let sess = lease.sessions[req.object as usize].get_or_insert_with(|| obj.sessions(slot));
+    Response::from_output(&sess.execute(req.opcode, req.a, req.b))
+}
+
+/// Answer one HTTP metrics scrape and close. The request beyond the
+/// sniffed `GET ` is drained best-effort (scrapers send a full request
+/// line + headers; we never need them).
+fn serve_scrape(shared: &Shared, stream: &mut TcpStream) -> io::Result<()> {
+    let mut rest = [0u8; 1024];
+    let _ = stream.read(&mut rest);
+    let body = shared.scrape_text();
+    let head = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use crate::protocol::{OPC_READ, OPC_UPDATE};
+    use apram_model::telemetry::validate_prometheus;
+
+    fn local(objects: &[&str], shards: usize, slots: usize) -> ServerHandle {
+        serve(&ServeConfig::local(TableConfig::new(
+            objects, shards, slots,
+        )))
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trips_counter_ops_over_tcp() {
+        let server = local(&["counter"], 2, 2);
+        let mut c = Client::connect(server.addr()).unwrap();
+        for _ in 0..5 {
+            c.op(OPC_UPDATE, 0, 0, 0).unwrap();
+        }
+        let read = c.op(OPC_READ, 0, 0, 0).unwrap();
+        assert_eq!(read.values, vec![5]);
+        drop(c);
+        server.shutdown();
+    }
+
+    #[test]
+    fn rejects_unknown_objects_and_keeps_serving() {
+        let server = local(&["counter"], 1, 1);
+        let mut c = Client::connect(server.addr()).unwrap();
+        let resp = c.op(OPC_UPDATE, 9, 0, 0).unwrap();
+        assert_eq!(resp.status, crate::protocol::ST_ERR);
+        assert_eq!(resp.kind, ERR_BAD_OBJECT);
+        assert!(resp.values.is_empty());
+        // The connection survives the error.
+        let resp = c.op(OPC_READ, 0, 0, 0).unwrap();
+        assert_eq!(resp.values, vec![0]);
+        drop(c);
+        server.shutdown();
+    }
+
+    #[test]
+    fn busy_when_slot_pool_exhausted() {
+        let server = local(&["counter"], 1, 1);
+        let mut a = Client::connect(server.addr()).unwrap();
+        a.op(OPC_UPDATE, 0, 0, 0).unwrap();
+        let mut b = Client::connect(server.addr()).unwrap();
+        let resp = b.op(OPC_UPDATE, 0, 0, 0).unwrap();
+        assert_eq!(resp.status, crate::protocol::ST_ERR);
+        assert_eq!(resp.kind, ERR_BUSY);
+        // Dropping the first connection frees its slot for a newcomer.
+        drop(a);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let mut c = Client::connect(server.addr()).unwrap();
+            let resp = c.op(OPC_READ, 0, 0, 0).unwrap();
+            if resp.status == crate::protocol::ST_OK {
+                assert_eq!(resp.values, vec![1]);
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "slot never came back");
+            thread::sleep(Duration::from_millis(20));
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn metrics_scrape_is_valid_prometheus() {
+        let server = local(&["counter", "mwreg"], 2, 2);
+        let mut c = Client::connect(server.addr()).unwrap();
+        c.op(OPC_UPDATE, 1, 7, 0).unwrap(); // mwreg write draws a ticket
+        drop(c);
+        let text = Client::scrape_metrics(server.addr()).unwrap();
+        validate_prometheus(&text).unwrap();
+        assert!(text.contains("serve_requests_total"), "{text}");
+        assert!(text.contains("native_ticket_draws"), "{text}");
+        server.shutdown();
+    }
+}

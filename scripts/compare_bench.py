@@ -4,6 +4,7 @@
 Usage: scripts/compare_bench.py BASELINE_DIR CANDIDATE_DIR [--ignore KEY]...
        scripts/compare_bench.py --e13-gate BENCH_e13.json [--min-ratio R]
        scripts/compare_bench.py --e14-gate BENCH_e14.json [--min-ratio R]
+       scripts/compare_bench.py --e15-gate BENCH_e15.json
 
 Every experiment in this repo is deterministic modulo wall-clock columns,
 so a regenerated report must equal the archived baseline once the
@@ -29,6 +30,13 @@ rwlock-baseline counter at 8 threads by at least `--min-ratio` (default
 recorder-off counter throughput summed across the thread grid, every
 spot-checked native history must be linearizable (with at least one
 history checked), and the spot-check runs must have dropped no events.
+
+`--e15-gate` checks the serving-layer SLO + audit gates: worst-case op
+latency percentiles across the grid inside their budgets
+(`slo_within_budget`), the offline audit sound (at least one history,
+zero recorder drops) and clean (every sampled history linearizable),
+and every crash scenario survived (`crash_survivors_completed`: the
+killed tenant reconnected and all tenants finished their budgets).
 
 Exit status: 0 if every common file matches (or the gate holds),
 1 otherwise. Files present on only one side are reported but only fail
@@ -64,6 +72,10 @@ VOLATILE = {
     "contended_draws",
     "sampled_spans",
     "spot_check",
+    # E15's timing-dependent columns: when the killed tenant dies and
+    # how often it has to retry the reconnect both depend on scheduling.
+    "crash_reconnects",
+    "audit_spans",
 }
 
 
@@ -147,6 +159,55 @@ def e14_gate(path, min_ratio):
     return 1 if failed else 0
 
 
+def e15_gate(path, min_ratio):
+    """Check the E15 SLO + audit gates. Returns exit status."""
+    del min_ratio  # the SLO budgets live in the report itself
+    with open(path) as f:
+        doc = json.load(f)
+    gates = doc.get("gates")
+    if not gates:
+        print(f"FAIL     {path}: no 'gates' section")
+        return 1
+    failed = False
+    if gates.get("slo_within_budget") is True:
+        print(f"OK       SLO within budget: worst p50/p99/p999 = "
+              f"{gates.get('worst_p50_ns')}/{gates.get('worst_p99_ns')}/"
+              f"{gates.get('worst_p999_ns')} ns")
+    else:
+        print(f"FAIL     SLO breached: worst p50/p99/p999 = "
+              f"{gates.get('worst_p50_ns')}/{gates.get('worst_p99_ns')}/"
+              f"{gates.get('worst_p999_ns')} ns vs budgets "
+              f"{gates.get('p50_budget_ns')}/{gates.get('p99_budget_ns')}/"
+              f"{gates.get('p999_budget_ns')}")
+        failed = True
+    histories = gates.get("audit_histories", 0)
+    if histories > 0:
+        print(f"OK       audit covered {histories} histories")
+    else:
+        print(f"FAIL     audit covered no histories")
+        failed = True
+    dropped = gates.get("audit_dropped")
+    if dropped == 0:
+        print(f"OK       audit recorders dropped no events")
+    else:
+        print(f"FAIL     audit recorders dropped {dropped} events "
+              f"(histories incomplete)")
+        failed = True
+    if gates.get("audit_all_linearizable") is True:
+        print(f"OK       every audited history linearizable")
+    else:
+        print(f"FAIL     audit found a non-linearizable history "
+              f"(see the report's audit_failures)")
+        failed = True
+    if gates.get("crash_survivors_completed") is True:
+        print(f"OK       crash scenarios survived: every tenant finished")
+    else:
+        print(f"FAIL     a crash scenario did not complete (stalled "
+              f"tenant or missing reconnect)")
+        failed = True
+    return 1 if failed else 0
+
+
 def strip(doc, ignored):
     if isinstance(doc, dict):
         return {k: strip(v, ignored) for k, v in doc.items() if k not in ignored}
@@ -192,6 +253,9 @@ def main(argv):
         elif tok == "--e14-gate":
             gate_file = next(it, "") or sys.exit("--e14-gate needs a FILE")
             gate_fn, default_ratio = e14_gate, 0.95
+        elif tok == "--e15-gate":
+            gate_file = next(it, "") or sys.exit("--e15-gate needs a FILE")
+            gate_fn, default_ratio = e15_gate, 0.0
         elif tok == "--min-ratio":
             min_ratio = float(next(it, "") or sys.exit("--min-ratio needs R"))
         else:
